@@ -1,0 +1,306 @@
+//! Path enumeration, isomorphism checking and other analyses used by the
+//! learning loop and the test-suite.
+
+use crate::nfa::{Nfa, StateId};
+use std::collections::BTreeSet;
+use std::hash::Hash;
+
+/// Enumeration of label paths of a fixed length, the ingredient of the
+/// paper's compliance check (`S_l ⊆ P_l`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathEnumeration<L> {
+    /// The distinct label sequences of the requested length that are
+    /// realisable in the automaton (starting from *any* state).
+    pub paths: Vec<Vec<L>>,
+}
+
+impl<L> Nfa<L>
+where
+    L: Clone + Eq + Hash + Ord,
+{
+    /// Enumerates every distinct sequence of `length` labels that can be
+    /// traversed consecutively in the automaton, starting from any state.
+    ///
+    /// The learner compares this set against the subsequences of the
+    /// predicate sequence; any path not occurring in the trace is an invalid
+    /// generalisation and is excluded in the next refinement iteration.
+    pub fn label_paths(&self, length: usize) -> PathEnumeration<L> {
+        let mut paths = BTreeSet::new();
+        if length == 0 {
+            return PathEnumeration { paths: Vec::new() };
+        }
+        for state in self.states() {
+            let mut stack: Vec<(StateId, Vec<L>)> = vec![(state, Vec::new())];
+            while let Some((current, prefix)) = stack.pop() {
+                if prefix.len() == length {
+                    paths.insert(prefix);
+                    continue;
+                }
+                for t in self.outgoing(current) {
+                    let mut extended = prefix.clone();
+                    extended.push(t.label.clone());
+                    stack.push((t.to, extended));
+                }
+            }
+        }
+        PathEnumeration {
+            paths: paths.into_iter().collect(),
+        }
+    }
+
+    /// Enumerates every distinct sequence of `length` labels realisable
+    /// starting from the initial state only.
+    pub fn label_paths_from_initial(&self, length: usize) -> PathEnumeration<L> {
+        let mut paths = BTreeSet::new();
+        let mut stack: Vec<(StateId, Vec<L>)> = vec![(self.initial(), Vec::new())];
+        while let Some((current, prefix)) = stack.pop() {
+            if prefix.len() == length {
+                paths.insert(prefix);
+                continue;
+            }
+            for t in self.outgoing(current) {
+                let mut extended = prefix.clone();
+                extended.push(t.label.clone());
+                stack.push((t.to, extended));
+            }
+        }
+        PathEnumeration {
+            paths: paths.into_iter().collect(),
+        }
+    }
+
+    /// Checks whether two automata are isomorphic: equal up to a renaming of
+    /// states that maps initial state to initial state and preserves every
+    /// transition. Intended for test assertions on small learned models.
+    pub fn is_isomorphic_to(&self, other: &Nfa<L>) -> bool {
+        if self.num_states() != other.num_states()
+            || self.num_transitions() != other.num_transitions()
+        {
+            return false;
+        }
+        let n = self.num_states();
+        // Backtracking search over state mappings. Candidate models are tiny
+        // (≤ 10 states in the paper's benchmarks), so this is cheap.
+        let mut mapping: Vec<Option<StateId>> = vec![None; n];
+        let mut used = vec![false; n];
+        mapping[self.initial().index()] = Some(other.initial());
+        used[other.initial().index()] = true;
+        self.search_isomorphism(other, &mut mapping, &mut used, 0)
+    }
+
+    fn search_isomorphism(
+        &self,
+        other: &Nfa<L>,
+        mapping: &mut Vec<Option<StateId>>,
+        used: &mut Vec<bool>,
+        next_unmapped: usize,
+    ) -> bool {
+        // Find the next state without an image.
+        let mut index = next_unmapped;
+        while index < mapping.len() && mapping[index].is_some() {
+            index += 1;
+        }
+        if index == mapping.len() {
+            return self.mapping_preserves_transitions(other, mapping);
+        }
+        for candidate in 0..mapping.len() {
+            if used[candidate] {
+                continue;
+            }
+            mapping[index] = Some(StateId::new(candidate as u32));
+            used[candidate] = true;
+            // Prune early: partial mappings must not already violate any
+            // fully-mapped transition.
+            if self.partial_mapping_consistent(other, mapping)
+                && self.search_isomorphism(other, mapping, used, index + 1)
+            {
+                return true;
+            }
+            mapping[index] = None;
+            used[candidate] = false;
+        }
+        false
+    }
+
+    fn partial_mapping_consistent(&self, other: &Nfa<L>, mapping: &[Option<StateId>]) -> bool {
+        for t in self.transitions() {
+            if let (Some(from), Some(to)) = (mapping[t.from.index()], mapping[t.to.index()]) {
+                if !other.successors(from, &t.label).contains(&to) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    fn mapping_preserves_transitions(&self, other: &Nfa<L>, mapping: &[Option<StateId>]) -> bool {
+        // With equal transition counts, checking the forward direction for
+        // every transition is enough for a bijection on transitions as well.
+        self.transitions().iter().all(|t| {
+            let from = mapping[t.from.index()].expect("total mapping");
+            let to = mapping[t.to.index()].expect("total mapping");
+            other.successors(from, &t.label).contains(&to)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(i: u32) -> StateId {
+        StateId::new(i)
+    }
+
+    fn cycle(labels: [&'static str; 3]) -> Nfa<&'static str> {
+        let mut nfa = Nfa::new(3, s(0));
+        nfa.add_transition(s(0), labels[0], s(1));
+        nfa.add_transition(s(1), labels[1], s(2));
+        nfa.add_transition(s(2), labels[2], s(0));
+        nfa
+    }
+
+    #[test]
+    fn label_paths_of_length_two() {
+        let nfa = cycle(["a", "b", "c"]);
+        let paths = nfa.label_paths(2);
+        let expected: BTreeSet<Vec<&str>> = [vec!["a", "b"], vec!["b", "c"], vec!["c", "a"]]
+            .into_iter()
+            .collect();
+        let actual: BTreeSet<Vec<&str>> = paths.paths.into_iter().collect();
+        assert_eq!(actual, expected);
+    }
+
+    #[test]
+    fn label_paths_zero_length_is_empty() {
+        let nfa = cycle(["a", "b", "c"]);
+        assert!(nfa.label_paths(0).paths.is_empty());
+    }
+
+    #[test]
+    fn label_paths_longer_than_any_walk() {
+        let mut nfa = Nfa::new(2, s(0));
+        nfa.add_transition(s(0), "a", s(1));
+        // Only one transition: no length-2 paths exist.
+        assert!(nfa.label_paths(2).paths.is_empty());
+        assert_eq!(nfa.label_paths(1).paths, vec![vec!["a"]]);
+    }
+
+    #[test]
+    fn label_paths_from_initial_are_a_subset() {
+        let nfa = cycle(["a", "b", "c"]);
+        let from_initial = nfa.label_paths_from_initial(2);
+        assert_eq!(from_initial.paths, vec![vec!["a", "b"]]);
+    }
+
+    #[test]
+    fn nondeterminism_branches_appear_in_paths() {
+        let mut nfa = Nfa::new(3, s(0));
+        nfa.add_transition(s(0), "a", s(1));
+        nfa.add_transition(s(0), "a", s(2));
+        nfa.add_transition(s(1), "b", s(0));
+        nfa.add_transition(s(2), "c", s(0));
+        let paths: BTreeSet<_> = nfa.label_paths(2).paths.into_iter().collect();
+        assert!(paths.contains(&vec!["a", "b"]));
+        assert!(paths.contains(&vec!["a", "c"]));
+    }
+
+    #[test]
+    fn isomorphic_relabelled_cycles() {
+        let a = cycle(["x", "y", "z"]);
+        // Same structure, states listed in a different order.
+        let mut b = Nfa::new(3, s(2));
+        b.add_transition(s(2), "x", s(0));
+        b.add_transition(s(0), "y", s(1));
+        b.add_transition(s(1), "z", s(2));
+        assert!(a.is_isomorphic_to(&b));
+        assert!(b.is_isomorphic_to(&a));
+    }
+
+    #[test]
+    fn non_isomorphic_different_labels() {
+        let a = cycle(["x", "y", "z"]);
+        let b = cycle(["x", "y", "w"]);
+        assert!(!a.is_isomorphic_to(&b));
+    }
+
+    #[test]
+    fn non_isomorphic_different_counts() {
+        let a = cycle(["x", "y", "z"]);
+        let mut b = Nfa::new(4, s(0));
+        b.add_transition(s(0), "x", s(1));
+        assert!(!a.is_isomorphic_to(&b));
+    }
+
+    #[test]
+    fn isomorphism_respects_initial_state() {
+        let mut a = Nfa::new(2, s(0));
+        a.add_transition(s(0), "x", s(1));
+        let mut b = Nfa::new(2, s(1));
+        b.add_transition(s(1), "x", s(0));
+        assert!(a.is_isomorphic_to(&b));
+        let mut c = Nfa::new(2, s(1));
+        c.add_transition(s(0), "x", s(1));
+        assert!(!a.is_isomorphic_to(&c));
+    }
+
+    #[test]
+    fn self_isomorphism() {
+        let a = cycle(["p", "q", "r"]);
+        assert!(a.is_isomorphic_to(&a));
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn random_nfa() -> impl Strategy<Value = Nfa<u8>> {
+            (2usize..5).prop_flat_map(|n| {
+                proptest::collection::vec((0..n, 0u8..3, 0..n), 1..10).prop_map(move |edges| {
+                    let mut nfa = Nfa::new(n, StateId::new(0));
+                    for (from, label, to) in edges {
+                        nfa.add_transition(
+                            StateId::new(from as u32),
+                            label,
+                            StateId::new(to as u32),
+                        );
+                    }
+                    nfa
+                })
+            })
+        }
+
+        proptest! {
+            /// Any automaton is isomorphic to a copy of itself with permuted state ids.
+            #[test]
+            fn isomorphic_to_permuted_self(nfa in random_nfa(), seed in 0u64..1000) {
+                let n = nfa.num_states();
+                // Build a permutation from the seed.
+                let mut perm: Vec<usize> = (0..n).collect();
+                let mut state = seed;
+                for i in (1..n).rev() {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    let j = (state >> 33) as usize % (i + 1);
+                    perm.swap(i, j);
+                }
+                let mut permuted = Nfa::new(n, StateId::new(perm[nfa.initial().index()] as u32));
+                for t in nfa.transitions() {
+                    permuted.add_transition(
+                        StateId::new(perm[t.from.index()] as u32),
+                        t.label,
+                        StateId::new(perm[t.to.index()] as u32),
+                    );
+                }
+                prop_assert!(nfa.is_isomorphic_to(&permuted));
+            }
+
+            /// Every enumerated label path is genuinely traversable from some state.
+            #[test]
+            fn label_paths_are_traversable(nfa in random_nfa()) {
+                for path in nfa.label_paths(2).paths {
+                    prop_assert!(nfa.accepts_from_any_state(&path));
+                }
+            }
+        }
+    }
+}

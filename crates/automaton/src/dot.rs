@@ -1,0 +1,75 @@
+//! Graphviz (dot) export of automata, for the figures of the paper.
+
+use crate::nfa::Nfa;
+use std::fmt::Display;
+use std::hash::Hash;
+
+impl<L> Nfa<L>
+where
+    L: Clone + Eq + Hash + Display,
+{
+    /// Renders the automaton in Graphviz dot syntax.
+    ///
+    /// The output mirrors the figures of the paper: circles for states named
+    /// `q1 … qN`, a free-floating arrow into the initial state and one edge
+    /// per transition labelled with its predicate.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use tracelearn_automaton::{Nfa, StateId};
+    ///
+    /// let mut nfa = Nfa::new(2, StateId::new(0));
+    /// nfa.add_transition(StateId::new(0), "x' = x + 1", StateId::new(1));
+    /// let dot = nfa.to_dot("counter");
+    /// assert!(dot.contains("digraph counter"));
+    /// assert!(dot.contains("q1 -> q2"));
+    /// ```
+    pub fn to_dot(&self, name: &str) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("digraph {name} {{\n"));
+        out.push_str("  rankdir=LR;\n");
+        out.push_str("  node [shape=circle];\n");
+        out.push_str("  __start [shape=none, label=\"\"];\n");
+        out.push_str(&format!("  __start -> {};\n", self.initial()));
+        for state in self.states() {
+            out.push_str(&format!("  {state} [label=\"{state}\"];\n"));
+        }
+        for t in self.transitions() {
+            let label = escape(&t.label.to_string());
+            out.push_str(&format!("  {} -> {} [label=\"{label}\"];\n", t.from, t.to));
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+fn escape(label: &str) -> String {
+    label.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::nfa::{Nfa, StateId};
+
+    #[test]
+    fn dot_contains_all_elements() {
+        let mut nfa = Nfa::new(3, StateId::new(1));
+        nfa.add_transition(StateId::new(1), "a", StateId::new(0));
+        nfa.add_transition(StateId::new(0), "b", StateId::new(2));
+        let dot = nfa.to_dot("model");
+        assert!(dot.starts_with("digraph model {"));
+        assert!(dot.contains("__start -> q2;"));
+        assert!(dot.contains("q2 -> q1 [label=\"a\"];"));
+        assert!(dot.contains("q1 -> q3 [label=\"b\"];"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn labels_are_escaped() {
+        let mut nfa = Nfa::new(1, StateId::new(0));
+        nfa.add_transition(StateId::new(0), "say \"hi\"", StateId::new(0));
+        let dot = nfa.to_dot("m");
+        assert!(dot.contains("say \\\"hi\\\""));
+    }
+}

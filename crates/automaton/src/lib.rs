@@ -1,0 +1,38 @@
+//! Labelled non-deterministic finite automata.
+//!
+//! The learned models of the DAC 2020 paper are NFAs whose transition labels
+//! are synthesised predicates and in which *every* state is accepting — a
+//! word is rejected only by running into a dead end. This crate provides the
+//! generic automaton container [`Nfa<L>`] used both for learned models
+//! (labels are predicate ids) and for the state-merge baseline (labels are
+//! event names), together with the analyses the learning loop needs:
+//! acceptance, path enumeration for the compliance check, reachability,
+//! determinism checking, Graphviz export and isomorphism testing for the
+//! test-suite.
+//!
+//! # Example
+//!
+//! ```
+//! use tracelearn_automaton::{Nfa, StateId};
+//!
+//! // The 3-state anti-windup integrator shape from Fig. 4 of the paper.
+//! let mut nfa = Nfa::new(3, StateId::new(0));
+//! nfa.add_transition(StateId::new(0), "op' = op + ip", StateId::new(0));
+//! nfa.add_transition(StateId::new(0), "saturated", StateId::new(1));
+//! nfa.add_transition(StateId::new(1), "op' = op", StateId::new(1));
+//! nfa.add_transition(StateId::new(1), "reset", StateId::new(2));
+//! nfa.add_transition(StateId::new(2), "op' = 0", StateId::new(0));
+//!
+//! assert!(nfa.accepts(&["op' = op + ip", "saturated", "op' = op"]));
+//! assert!(!nfa.accepts(&["saturated", "saturated"]));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod analysis;
+mod dot;
+mod nfa;
+
+pub use crate::analysis::PathEnumeration;
+pub use crate::nfa::{Nfa, StateId, Transition};

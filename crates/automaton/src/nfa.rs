@@ -1,0 +1,351 @@
+//! The core NFA container.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::hash::Hash;
+
+/// Identifier of an automaton state (zero-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StateId(u32);
+
+impl StateId {
+    /// Creates a state id from a zero-based index.
+    pub fn new(index: u32) -> Self {
+        StateId(index)
+    }
+
+    /// The zero-based index of the state.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for StateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // States are displayed 1-based, matching the paper's figures (q1, q2, …).
+        write!(f, "q{}", self.0 + 1)
+    }
+}
+
+/// A single labelled transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Transition<L> {
+    /// Source state.
+    pub from: StateId,
+    /// Transition label.
+    pub label: L,
+    /// Target state.
+    pub to: StateId,
+}
+
+/// A non-deterministic finite automaton with labels of type `L` in which all
+/// states are accepting (rejection = running into a dead end).
+///
+/// Labels are generic: the learner instantiates `L` with predicate ids, the
+/// state-merge baseline with event strings and tests with `&str` literals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Nfa<L> {
+    num_states: usize,
+    initial: StateId,
+    transitions: Vec<Transition<L>>,
+}
+
+impl<L> Nfa<L>
+where
+    L: Clone + Eq + Hash,
+{
+    /// Creates an automaton with `num_states` states and the given initial
+    /// state, and no transitions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_states` is zero or the initial state is out of range.
+    pub fn new(num_states: usize, initial: StateId) -> Self {
+        assert!(num_states > 0, "an automaton needs at least one state");
+        assert!(initial.index() < num_states, "initial state out of range");
+        Nfa {
+            num_states,
+            initial,
+            transitions: Vec::new(),
+        }
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.num_states
+    }
+
+    /// The initial state.
+    pub fn initial(&self) -> StateId {
+        self.initial
+    }
+
+    /// All states, in index order.
+    pub fn states(&self) -> impl Iterator<Item = StateId> {
+        (0..self.num_states as u32).map(StateId::new)
+    }
+
+    /// All transitions, in insertion order.
+    pub fn transitions(&self) -> &[Transition<L>] {
+        &self.transitions
+    }
+
+    /// Number of transitions.
+    pub fn num_transitions(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// Adds a transition. Duplicate transitions are ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either state is out of range.
+    pub fn add_transition(&mut self, from: StateId, label: L, to: StateId) {
+        assert!(from.index() < self.num_states, "source state out of range");
+        assert!(to.index() < self.num_states, "target state out of range");
+        let transition = Transition { from, label, to };
+        if !self.transitions.contains(&transition) {
+            self.transitions.push(transition);
+        }
+    }
+
+    /// The successor states of `state` under `label`.
+    pub fn successors(&self, state: StateId, label: &L) -> Vec<StateId> {
+        self.transitions
+            .iter()
+            .filter(|t| t.from == state && &t.label == label)
+            .map(|t| t.to)
+            .collect()
+    }
+
+    /// All transitions leaving `state`.
+    pub fn outgoing(&self, state: StateId) -> Vec<&Transition<L>> {
+        self.transitions.iter().filter(|t| t.from == state).collect()
+    }
+
+    /// The set of distinct labels used on transitions.
+    pub fn labels(&self) -> Vec<L> {
+        let mut seen = Vec::new();
+        for t in &self.transitions {
+            if !seen.contains(&t.label) {
+                seen.push(t.label.clone());
+            }
+        }
+        seen
+    }
+
+    /// Runs the automaton on `word` from the initial state and returns the
+    /// set of states reachable after consuming the whole word, or an empty
+    /// set if the automaton gets stuck.
+    pub fn run(&self, word: &[L]) -> BTreeSet<StateId> {
+        let mut current: BTreeSet<StateId> = BTreeSet::new();
+        current.insert(self.initial);
+        for label in word {
+            let mut next = BTreeSet::new();
+            for &state in &current {
+                for succ in self.successors(state, label) {
+                    next.insert(succ);
+                }
+            }
+            current = next;
+            if current.is_empty() {
+                break;
+            }
+        }
+        current
+    }
+
+    /// Whether the automaton accepts `word` (all states are accepting, so
+    /// acceptance means the word can be consumed without getting stuck).
+    pub fn accepts(&self, word: &[L]) -> bool {
+        !self.run(word).is_empty()
+    }
+
+    /// Runs the automaton on `word` starting from an arbitrary state, the
+    /// acceptance notion used when checking trace segments that start in the
+    /// middle of an execution.
+    pub fn accepts_from_any_state(&self, word: &[L]) -> bool {
+        let mut current: BTreeSet<StateId> = self.states().collect();
+        for label in word {
+            let mut next = BTreeSet::new();
+            for &state in &current {
+                for succ in self.successors(state, label) {
+                    next.insert(succ);
+                }
+            }
+            current = next;
+            if current.is_empty() {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// States reachable from the initial state through any transitions.
+    pub fn reachable_states(&self) -> BTreeSet<StateId> {
+        let mut reached = BTreeSet::new();
+        let mut stack = vec![self.initial];
+        while let Some(state) = stack.pop() {
+            if reached.insert(state) {
+                for t in self.outgoing(state) {
+                    stack.push(t.to);
+                }
+            }
+        }
+        reached
+    }
+
+    /// Whether every (state, label) pair has at most one successor, the
+    /// structural constraint the learner imposes on candidate models.
+    pub fn is_deterministic(&self) -> bool {
+        for (i, a) in self.transitions.iter().enumerate() {
+            for b in &self.transitions[i + 1..] {
+                if a.from == b.from && a.label == b.label && a.to != b.to {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Applies a function to every label, producing a new automaton with the
+    /// same shape. Used to render predicate-id automata with human-readable
+    /// predicate strings.
+    pub fn map_labels<M, F>(&self, mut f: F) -> Nfa<M>
+    where
+        M: Clone + Eq + Hash,
+        F: FnMut(&L) -> M,
+    {
+        let mut mapped = Nfa::new(self.num_states, self.initial);
+        for t in &self.transitions {
+            mapped.add_transition(t.from, f(&t.label), t.to);
+        }
+        mapped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(i: u32) -> StateId {
+        StateId::new(i)
+    }
+
+    /// The counter automaton of Fig. 5: up, threshold, down, floor.
+    fn counter_nfa() -> Nfa<&'static str> {
+        let mut nfa = Nfa::new(4, s(0));
+        nfa.add_transition(s(0), "inc", s(0));
+        nfa.add_transition(s(0), "at_max", s(1));
+        nfa.add_transition(s(1), "dec", s(2));
+        nfa.add_transition(s(2), "dec", s(2));
+        nfa.add_transition(s(2), "at_min", s(3));
+        nfa.add_transition(s(3), "inc", s(0));
+        nfa
+    }
+
+    #[test]
+    fn construction_and_counts() {
+        let nfa = counter_nfa();
+        assert_eq!(nfa.num_states(), 4);
+        assert_eq!(nfa.num_transitions(), 6);
+        assert_eq!(nfa.initial(), s(0));
+        assert_eq!(nfa.states().count(), 4);
+        assert_eq!(nfa.labels().len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn transition_to_unknown_state_panics() {
+        let mut nfa = Nfa::new(2, s(0));
+        nfa.add_transition(s(0), "a", s(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one state")]
+    fn zero_state_automaton_panics() {
+        let _: Nfa<&str> = Nfa::new(0, s(0));
+    }
+
+    #[test]
+    fn duplicate_transitions_are_ignored() {
+        let mut nfa = Nfa::new(2, s(0));
+        nfa.add_transition(s(0), "a", s(1));
+        nfa.add_transition(s(0), "a", s(1));
+        assert_eq!(nfa.num_transitions(), 1);
+    }
+
+    #[test]
+    fn successors_and_outgoing() {
+        let nfa = counter_nfa();
+        assert_eq!(nfa.successors(s(0), &"inc"), vec![s(0)]);
+        assert_eq!(nfa.successors(s(0), &"dec"), vec![]);
+        assert_eq!(nfa.outgoing(s(0)).len(), 2);
+        assert_eq!(nfa.outgoing(s(3)).len(), 1);
+    }
+
+    #[test]
+    fn acceptance() {
+        let nfa = counter_nfa();
+        assert!(nfa.accepts(&[]));
+        assert!(nfa.accepts(&["inc", "inc", "at_max", "dec", "dec", "at_min", "inc"]));
+        assert!(!nfa.accepts(&["dec"]));
+        assert!(!nfa.accepts(&["inc", "at_max", "inc"]));
+    }
+
+    #[test]
+    fn acceptance_from_any_state() {
+        let nfa = counter_nfa();
+        // "dec" is not possible from the initial state, but is from q2/q3.
+        assert!(!nfa.accepts(&["dec"]));
+        assert!(nfa.accepts_from_any_state(&["dec", "at_min", "inc"]));
+        assert!(!nfa.accepts_from_any_state(&["at_max", "at_max"]));
+    }
+
+    #[test]
+    fn run_returns_reached_states() {
+        let mut nfa = Nfa::new(3, s(0));
+        nfa.add_transition(s(0), "a", s(1));
+        nfa.add_transition(s(0), "a", s(2));
+        let reached = nfa.run(&["a"]);
+        assert_eq!(reached.len(), 2);
+        assert!(reached.contains(&s(1)) && reached.contains(&s(2)));
+    }
+
+    #[test]
+    fn reachability() {
+        let mut nfa = Nfa::new(4, s(0));
+        nfa.add_transition(s(0), "a", s(1));
+        nfa.add_transition(s(1), "b", s(0));
+        nfa.add_transition(s(2), "c", s(3));
+        let reached = nfa.reachable_states();
+        assert_eq!(reached.len(), 2);
+        assert!(!reached.contains(&s(3)));
+    }
+
+    #[test]
+    fn determinism_check() {
+        let mut nfa = Nfa::new(3, s(0));
+        nfa.add_transition(s(0), "a", s(1));
+        nfa.add_transition(s(1), "a", s(2));
+        assert!(nfa.is_deterministic());
+        nfa.add_transition(s(0), "a", s(2));
+        assert!(!nfa.is_deterministic());
+    }
+
+    #[test]
+    fn map_labels_preserves_shape() {
+        let nfa = counter_nfa();
+        let mapped = nfa.map_labels(|l| l.len());
+        assert_eq!(mapped.num_states(), nfa.num_states());
+        assert_eq!(mapped.num_transitions(), nfa.num_transitions());
+        assert!(mapped.accepts(&[3, 6, 3])); // inc, at_max, dec
+    }
+
+    #[test]
+    fn display_of_states_is_one_based() {
+        assert_eq!(s(0).to_string(), "q1");
+        assert_eq!(s(6).to_string(), "q7");
+        assert_eq!(s(2).index(), 2);
+    }
+}

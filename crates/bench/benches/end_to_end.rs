@@ -1,0 +1,43 @@
+//! Criterion benchmarks of the full learning pipeline on each paper
+//! benchmark (Table II's "Model Learning" column, at reduced trace lengths so
+//! a bench run completes quickly).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tracelearn_bench::learner_config_for;
+use tracelearn_core::Learner;
+use tracelearn_workloads::Workload;
+
+fn bench_learning_per_workload(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end/learn");
+    group.sample_size(10);
+    for workload in Workload::all() {
+        let length = workload.paper_trace_length().min(512);
+        let trace = workload.generate(length);
+        let learner = Learner::new(learner_config_for(workload));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(workload.name().replace(' ', "_")),
+            &trace,
+            |b, trace| {
+                b.iter(|| {
+                    learner
+                        .learn(std::hint::black_box(trace))
+                        .expect("benchmark workloads are learnable")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// The USB slot benchmark at exactly the paper's scale (39 events); small
+/// enough to keep at full fidelity in a micro-benchmark.
+fn bench_usb_slot_paper_scale(c: &mut Criterion) {
+    let trace = Workload::UsbSlot.generate_paper_scale();
+    let learner = Learner::new(learner_config_for(Workload::UsbSlot));
+    c.bench_function("end_to_end/usb_slot_paper_scale", |b| {
+        b.iter(|| learner.learn(std::hint::black_box(&trace)).expect("learnable"))
+    });
+}
+
+criterion_group!(benches, bench_learning_per_workload, bench_usb_slot_paper_scale);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion benchmarks of the state-merge baselines (Table II's
+//! "State Merge" column).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tracelearn_statemerge::{edsm, k_tails, trace_to_events, Pta};
+use tracelearn_workloads::Workload;
+
+fn bench_ktails_by_length(c: &mut Criterion) {
+    let mut group = c.benchmark_group("state_merge/ktails_usb_attach");
+    group.sample_size(10);
+    for length in [128usize, 256, 512] {
+        let trace = Workload::UsbAttach.generate(length);
+        let events = trace_to_events(&trace);
+        group.bench_with_input(BenchmarkId::from_parameter(length), &events, |b, events| {
+            b.iter(|| {
+                let pta = Pta::from_sequences(std::slice::from_ref(events));
+                k_tails(&pta, 2)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_edsm_serial(c: &mut Criterion) {
+    let trace = Workload::SerialPort.generate(256);
+    let events = trace_to_events(&trace);
+    c.bench_function("state_merge/edsm_serial_256", |b| {
+        b.iter(|| {
+            let pta = Pta::from_sequences(std::slice::from_ref(&events));
+            edsm(&pta, 2)
+        })
+    });
+}
+
+fn bench_pta_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("state_merge/pta_construction");
+    for length in [1024usize, 4096] {
+        let trace = Workload::LinuxKernel.generate(length);
+        let events = trace_to_events(&trace);
+        group.bench_with_input(BenchmarkId::from_parameter(length), &events, |b, events| {
+            b.iter(|| Pta::from_sequences(std::slice::from_ref(events)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ktails_by_length, bench_edsm_serial, bench_pta_construction);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Criterion micro-benchmarks for the synthesis stage (predicate generation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tracelearn_synth::{SynthesisConfig, Synthesizer};
+use tracelearn_workloads::{counter, integrator};
+
+/// Uniform update synthesis on a small counter window (the common case).
+fn bench_uniform_update(c: &mut Criterion) {
+    let trace = counter::generate(&counter::CounterConfig { threshold: 128, length: 447 });
+    let synth = Synthesizer::new(&trace, SynthesisConfig::default());
+    let x = trace.signature().var("x").unwrap();
+    let steps: Vec<_> = trace.steps().take(2).collect();
+    c.bench_function("synthesis/uniform_update_window", |b| {
+        b.iter(|| synth.synthesize_update(x, std::hint::black_box(&steps)))
+    });
+}
+
+/// Conditional update synthesis at the counter's threshold window.
+fn bench_conditional_update(c: &mut Criterion) {
+    let trace = counter::generate(&counter::CounterConfig { threshold: 128, length: 447 });
+    let synth = Synthesizer::new(&trace, SynthesisConfig::default());
+    let x = trace.signature().var("x").unwrap();
+    let steps: Vec<_> = trace.steps().collect();
+    let window = &steps[126..128];
+    c.bench_function("synthesis/conditional_update_threshold", |b| {
+        b.iter(|| synth.synthesize_conditional_update(x, std::hint::black_box(window)))
+    });
+}
+
+/// CEGIS update synthesis over whole traces of increasing length — the cost
+/// profile of non-segmented predicate generation.
+fn bench_cegis_long_windows(c: &mut Criterion) {
+    let mut group = c.benchmark_group("synthesis/cegis_full_trace");
+    for exponent in [8u32, 10, 12] {
+        let length = 1usize << exponent;
+        let trace =
+            counter::generate(&counter::CounterConfig { threshold: 1 << (exponent - 1), length });
+        let synth = Synthesizer::new(&trace, SynthesisConfig::default());
+        let x = trace.signature().var("x").unwrap();
+        let steps: Vec<_> = trace.steps().take(length / 2).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(length), &steps, |b, steps| {
+            b.iter(|| synth.synthesize_update(x, std::hint::black_box(steps)))
+        });
+    }
+    group.finish();
+}
+
+/// Cross-variable update synthesis on integrator windows.
+fn bench_integrator_update(c: &mut Criterion) {
+    let trace = integrator::generate(&integrator::IntegratorConfig {
+        length: 2048,
+        saturation: 5,
+        reset_period: 256,
+        seed: 3,
+    });
+    let synth = Synthesizer::new(&trace, SynthesisConfig::default());
+    let op = trace.signature().var("op").unwrap();
+    let steps: Vec<_> = trace.steps().take(2).collect();
+    c.bench_function("synthesis/integrator_cross_variable", |b| {
+        b.iter(|| synth.synthesize_update(op, std::hint::black_box(&steps)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_uniform_update,
+    bench_conditional_update,
+    bench_cegis_long_windows,
+    bench_integrator_update
+);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Regenerates Fig. 7: runtime against trace length (log–log) for the
+//! integrator example, segmented vs. non-segmented.
+//!
+//! Usage:
+//!
+//! ```text
+//! fig7 [--max-exponent <k>] [--budget <seconds>]
+//! ```
+//!
+//! Trace lengths are 2^6, 2^7, …, 2^k (default k = 15, the paper's range).
+//! Each run gets a wall-clock budget (default 120 s); runs that exceed it are
+//! reported as `timeout`, which is where the non-segmented curve leaves the
+//! plot in the paper.
+
+use std::env;
+use std::time::Duration;
+use tracelearn_bench::{format_row, table1_config_for, timed_learn};
+use tracelearn_core::Learner;
+use tracelearn_workloads::Workload;
+
+fn main() {
+    let mut max_exponent = 15u32;
+    let mut budget = Duration::from_secs(120);
+    let mut arguments = env::args().skip(1);
+    while let Some(argument) = arguments.next() {
+        match argument.as_str() {
+            "--max-exponent" => {
+                max_exponent = arguments
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(15);
+            }
+            "--budget" => {
+                let seconds: u64 = arguments.next().and_then(|s| s.parse().ok()).unwrap_or(120);
+                budget = Duration::from_secs(seconds);
+            }
+            other => eprintln!("ignoring unknown argument `{other}`"),
+        }
+    }
+
+    println!("Fig. 7: runtime vs. trace length for the integrator example (log–log data)");
+    println!();
+    let widths = [12usize, 18, 18];
+    println!(
+        "{}",
+        format_row(
+            &[
+                "Length".into(),
+                "Segmented (s)".into(),
+                "Non-segmented (s)".into(),
+            ],
+            &widths
+        )
+    );
+    for exponent in 6..=max_exponent {
+        let length = 1usize << exponent;
+        let trace = Workload::Integrator.generate(length);
+        let segmented = {
+            let learner =
+                Learner::new(table1_config_for(Workload::Integrator, true, 2).with_time_budget(budget));
+            timed_learn(&learner, &trace).0
+        };
+        let non_segmented = {
+            let learner = Learner::new(
+                table1_config_for(Workload::Integrator, false, 2).with_time_budget(budget),
+            );
+            timed_learn(&learner, &trace).0
+        };
+        println!(
+            "{}",
+            format_row(
+                &[
+                    format!("2^{exponent} = {length}"),
+                    segmented.runtime_cell(),
+                    non_segmented.runtime_cell(),
+                ],
+                &widths
+            )
+        );
+    }
+}

@@ -1,0 +1,148 @@
+//! Regenerates the learned models of Figs. 1b, 2b, 3, 4, 5 and 6.
+//!
+//! Usage:
+//!
+//! ```text
+//! figures [workload …] [--full] [--dot]
+//! ```
+//!
+//! Workloads: `usb-slot`, `usb-attach`, `counter`, `serial`, `rtlinux`,
+//! `integrator`, `serial-state-merge` (Fig. 2a), or no argument for all of
+//! them. By default the two very long traces (RT-Linux, integrator) are run
+//! at a reduced length so the binary finishes in seconds; pass `--full` for
+//! the paper's full trace lengths. `--dot` prints Graphviz output for each
+//! learned model.
+
+use std::env;
+use std::process::ExitCode;
+use std::time::Duration;
+use tracelearn_bench::{learner_config_for, timed_learn};
+use tracelearn_core::Learner;
+use tracelearn_statemerge::{StateMergeConfig, StateMergeLearner, trace_to_events};
+use tracelearn_workloads::Workload;
+
+struct Options {
+    workloads: Vec<String>,
+    full: bool,
+    dot: bool,
+}
+
+fn parse_args() -> Options {
+    let mut options = Options {
+        workloads: Vec::new(),
+        full: false,
+        dot: false,
+    };
+    for argument in env::args().skip(1) {
+        match argument.as_str() {
+            "--full" => options.full = true,
+            "--dot" => options.dot = true,
+            other => options.workloads.push(other.to_owned()),
+        }
+    }
+    if options.workloads.is_empty() {
+        options.workloads = vec![
+            "usb-slot".into(),
+            "usb-attach".into(),
+            "counter".into(),
+            "serial".into(),
+            "serial-state-merge".into(),
+            "rtlinux".into(),
+            "integrator".into(),
+        ];
+    }
+    options
+}
+
+fn workload_of(name: &str) -> Option<(Workload, &'static str)> {
+    match name {
+        "usb-slot" => Some((Workload::UsbSlot, "Fig. 1b — USB xHCI slot state machine")),
+        "usb-attach" => Some((Workload::UsbAttach, "Fig. 3 — USB attach ring traffic")),
+        "counter" => Some((Workload::Counter, "Fig. 5 — threshold counter")),
+        "serial" => Some((Workload::SerialPort, "Fig. 2b — serial I/O port")),
+        "rtlinux" => Some((Workload::LinuxKernel, "Fig. 6 — RT-Linux thread scheduling")),
+        "integrator" => Some((Workload::Integrator, "Fig. 4 — anti-windup integrator")),
+        _ => None,
+    }
+}
+
+fn trace_length(workload: Workload, full: bool) -> usize {
+    let paper = workload.paper_trace_length();
+    if full {
+        paper
+    } else {
+        paper.min(4096)
+    }
+}
+
+fn main() -> ExitCode {
+    let options = parse_args();
+    let mut failures = 0u32;
+    for name in &options.workloads {
+        if name == "serial-state-merge" {
+            print_serial_state_merge(options.full, options.dot);
+            continue;
+        }
+        let Some((workload, title)) = workload_of(name) else {
+            eprintln!("unknown workload `{name}`");
+            failures += 1;
+            continue;
+        };
+        let length = trace_length(workload, options.full);
+        let trace = workload.generate(length);
+        let learner = Learner::new(
+            learner_config_for(workload).with_time_budget(Duration::from_secs(600)),
+        );
+        let (run, model) = timed_learn(&learner, &trace);
+        println!("== {title} ==");
+        println!("trace length: {length} observations  (paper: {})", workload.paper_trace_length());
+        match model {
+            Some(model) => {
+                println!(
+                    "learned model: {} states, {} transitions in {:.1}s (paper: {} states)",
+                    model.num_states(),
+                    model.num_transitions(),
+                    run.elapsed.as_secs_f64(),
+                    workload.paper_model_states()
+                );
+                println!("transition predicates:");
+                for predicate in model.predicate_strings() {
+                    println!("  {predicate}");
+                }
+                if options.dot {
+                    println!("{}", model.to_dot(&name.replace('-', "_")));
+                }
+            }
+            None => {
+                println!("learning failed: {}", run.status);
+                failures += 1;
+            }
+        }
+        println!();
+    }
+    if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Fig. 2a: the state-merge model of the serial port, for contrast.
+fn print_serial_state_merge(full: bool, dot: bool) {
+    let workload = Workload::SerialPort;
+    let length = trace_length(workload, full);
+    let trace = workload.generate(length);
+    let model = StateMergeLearner::new(StateMergeConfig::default())
+        .learn(&[trace_to_events(&trace)]);
+    println!("== Fig. 2a — serial I/O port, state-merge baseline ==");
+    println!("trace length: {length} observations");
+    println!(
+        "state-merge model: {} states, {} transitions (paper: 28 states — note the contrast with Fig. 2b)",
+        model.num_states(),
+        model.num_transitions()
+    );
+    if dot {
+        println!("{}", model.to_dot("serial_state_merge"));
+    }
+    println!();
+}

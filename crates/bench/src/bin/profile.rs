@@ -1,0 +1,91 @@
+//! Stage-by-stage timing of the learning pipeline on one workload — an
+//! ablation/diagnostic aid (not a paper artefact).
+//!
+//! ```text
+//! profile <workload> <length>
+//! ```
+
+use std::env;
+use std::time::Instant;
+use tracelearn_bench::learner_config_for;
+use tracelearn_core::{Learner, PredicateExtractor};
+use tracelearn_trace::unique_windows;
+use tracelearn_workloads::Workload;
+
+fn main() {
+    let mut arguments = env::args().skip(1);
+    let name = arguments.next().unwrap_or_else(|| "integrator".to_owned());
+    let length: usize = arguments
+        .next()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1024);
+    let workload = match name.as_str() {
+        "usb-slot" => Workload::UsbSlot,
+        "usb-attach" => Workload::UsbAttach,
+        "counter" => Workload::Counter,
+        "serial" => Workload::SerialPort,
+        "rtlinux" => Workload::LinuxKernel,
+        _ => Workload::Integrator,
+    };
+    let config = learner_config_for(workload);
+
+    let start = Instant::now();
+    let trace = workload.generate(length);
+    println!("generate:          {:>8.2?}", start.elapsed());
+
+    let start = Instant::now();
+    let extractor =
+        PredicateExtractor::new(&trace, config.window, config.synthesis.clone(), &config.input_variables)
+            .expect("extractable");
+    println!("input detection:   {:>8.2?}  (inputs: {:?})", start.elapsed(), extractor.input_variables());
+
+    let start = Instant::now();
+    let (sequence, alphabet) = extractor.extract();
+    println!(
+        "extraction:        {:>8.2?}  ({} predicates, alphabet {})",
+        start.elapsed(),
+        sequence.len(),
+        alphabet.len()
+    );
+
+    let start = Instant::now();
+    let windows = unique_windows(&sequence, config.window);
+    println!("segmentation:      {:>8.2?}  ({} unique windows)", start.elapsed(), windows.len());
+    for (id, _) in alphabet.iter() {
+        println!("  label {id}: {}", alphabet.render(id, trace.signature(), trace.symbols()));
+    }
+
+    for k in [2usize, 3, 4] {
+        let start = Instant::now();
+        let events = tracelearn_statemerge::trace_to_events(&trace);
+        let model = tracelearn_statemerge::StateMergeLearner::new(
+            tracelearn_statemerge::StateMergeConfig {
+                algorithm: tracelearn_statemerge::MergeAlgorithm::KTails,
+                k,
+            },
+        )
+        .learn(&[events]);
+        println!(
+            "ktails k={k}:         {:>8.2?}  ({} states)",
+            start.elapsed(),
+            model.num_states()
+        );
+    }
+
+    let start = Instant::now();
+    match Learner::new(config).learn(&trace) {
+        Ok(model) => {
+            let stats = model.stats();
+            println!(
+                "full learn:        {:>8.2?}  ({} states, {} SAT queries, {} refinements, synth {:.2?}, solver {:.2?})",
+                start.elapsed(),
+                model.num_states(),
+                stats.sat_queries,
+                stats.refinements,
+                stats.synthesis_time,
+                stats.solver_time
+            );
+        }
+        Err(error) => println!("full learn failed: {error}"),
+    }
+}

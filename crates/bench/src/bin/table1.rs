@@ -1,0 +1,104 @@
+//! Regenerates Table I: runtime comparison for segmented vs. non-segmented
+//! (full-trace) input on the six benchmarks.
+//!
+//! Usage:
+//!
+//! ```text
+//! table1 [--full] [--budget <seconds>]
+//! ```
+//!
+//! As in the paper, both runs start the state search at the final state
+//! count `N` so that the comparison measures the cost of constructing the
+//! same model with and without segmentation. The non-segmented run gets a
+//! wall-clock budget (default 300 s) and reports `timeout` when it exceeds
+//! it, mirroring the `> 16 hours` entries of the paper. By default traces
+//! are capped at 4096 observations; pass `--full` for the paper's lengths.
+
+use std::env;
+use std::time::Duration;
+use tracelearn_bench::{format_row, table1_config_for, timed_learn};
+use tracelearn_core::Learner;
+use tracelearn_workloads::Workload;
+
+fn main() {
+    let mut full = false;
+    let mut budget = Duration::from_secs(300);
+    let mut arguments = env::args().skip(1);
+    while let Some(argument) = arguments.next() {
+        match argument.as_str() {
+            "--full" => full = true,
+            "--budget" => {
+                let seconds: u64 = arguments
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(300);
+                budget = Duration::from_secs(seconds);
+            }
+            other => eprintln!("ignoring unknown argument `{other}`"),
+        }
+    }
+
+    println!("Table I: runtime comparison for segmented and non-segmented trace input");
+    println!("(learning starts at the final number of states N, as in the paper)");
+    println!();
+    let widths = [16usize, 4, 8, 16, 18];
+    println!(
+        "{}",
+        format_row(
+            &[
+                "Example".into(),
+                "N".into(),
+                "Length".into(),
+                "Full trace (s)".into(),
+                "Segmented (s)".into(),
+            ],
+            &widths
+        )
+    );
+    for workload in Workload::all() {
+        let length = if full {
+            workload.paper_trace_length()
+        } else {
+            workload.paper_trace_length().min(4096)
+        };
+        let trace = workload.generate(length);
+
+        // First learn with segmentation to discover the final state count N.
+        let segmented_learner = Learner::new(
+            table1_config_for(workload, true, 2).with_time_budget(Duration::from_secs(1800)),
+        );
+        let (segmented_probe, model) = timed_learn(&segmented_learner, &trace);
+        let final_states = model.as_ref().map(|m| m.num_states()).unwrap_or(2);
+
+        // Timed runs, both starting at N.
+        let segmented = {
+            let learner = Learner::new(
+                table1_config_for(workload, true, final_states).with_time_budget(budget),
+            );
+            timed_learn(&learner, &trace).0
+        };
+        let full_trace = {
+            let learner = Learner::new(
+                table1_config_for(workload, false, final_states).with_time_budget(budget),
+            );
+            timed_learn(&learner, &trace).0
+        };
+
+        println!(
+            "{}",
+            format_row(
+                &[
+                    workload.name().into(),
+                    model
+                        .as_ref()
+                        .map(|m| m.num_states().to_string())
+                        .unwrap_or_else(|| segmented_probe.status.clone()),
+                    length.to_string(),
+                    full_trace.runtime_cell(),
+                    segmented.runtime_cell(),
+                ],
+                &widths
+            )
+        );
+    }
+}

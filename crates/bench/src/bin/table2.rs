@@ -1,0 +1,96 @@
+//! Regenerates Table II: state merge vs. model learning (runtime and number
+//! of states) on the six benchmarks.
+//!
+//! Usage:
+//!
+//! ```text
+//! table2 [--full] [--budget <seconds>]
+//! ```
+//!
+//! By default the two very long traces (RT-Linux, integrator) are run at a
+//! reduced length (4096 observations) so the table is produced in a few
+//! minutes; pass `--full` for the paper's full trace lengths. The state-merge
+//! baseline gets a wall-clock budget (default 120 s) and reports `no model`
+//! when it exceeds it — which is exactly what happened to MINT on the paper's
+//! two long traces.
+
+use std::env;
+use std::time::Duration;
+use tracelearn_bench::{format_row, learner_config_for, timed_learn, timed_state_merge};
+use tracelearn_core::Learner;
+use tracelearn_statemerge::StateMergeConfig;
+use tracelearn_workloads::Workload;
+
+fn main() {
+    let mut full = false;
+    let mut budget = Duration::from_secs(120);
+    let mut arguments = env::args().skip(1);
+    while let Some(argument) = arguments.next() {
+        match argument.as_str() {
+            "--full" => full = true,
+            "--budget" => {
+                let seconds: u64 = arguments
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(120);
+                budget = Duration::from_secs(seconds);
+            }
+            other => eprintln!("ignoring unknown argument `{other}`"),
+        }
+    }
+
+    println!("Table II: runtime analysis of state-merge vs. model learning");
+    println!("(paper values in parentheses; absolute runtimes are not comparable across machines)");
+    println!();
+    let widths = [16usize, 8, 14, 14, 12, 12];
+    println!(
+        "{}",
+        format_row(
+            &[
+                "Example".into(),
+                "Length".into(),
+                "SM time (s)".into(),
+                "ML time (s)".into(),
+                "SM states".into(),
+                "ML states".into(),
+            ],
+            &widths
+        )
+    );
+    for workload in Workload::all() {
+        let length = if full {
+            workload.paper_trace_length()
+        } else {
+            workload.paper_trace_length().min(4096)
+        };
+        let trace = workload.generate(length);
+
+        let state_merge = timed_state_merge(StateMergeConfig::default(), &trace, budget);
+        let learner = Learner::new(
+            learner_config_for(workload).with_time_budget(Duration::from_secs(1800)),
+        );
+        let (learning, _) = timed_learn(&learner, &trace);
+
+        let paper_sm = workload
+            .paper_state_merge_states()
+            .map_or("no model".to_owned(), |n| n.to_string());
+        println!(
+            "{}",
+            format_row(
+                &[
+                    workload.name().into(),
+                    length.to_string(),
+                    state_merge.runtime_cell(),
+                    learning.runtime_cell(),
+                    format!("{} ({})", state_merge.states_cell(), paper_sm),
+                    format!(
+                        "{} ({})",
+                        learning.states_cell(),
+                        workload.paper_model_states()
+                    ),
+                ],
+                &widths
+            )
+        );
+    }
+}

@@ -1,0 +1,199 @@
+//! Shared harness utilities for the table/figure reproduction binaries.
+//!
+//! The binaries in `src/bin/` regenerate the paper's evaluation artefacts:
+//!
+//! | Binary          | Paper artefact |
+//! |-----------------|----------------|
+//! | `figures`       | Figs. 1b, 2b, 3, 4, 5, 6 — the learned models |
+//! | `table1`        | Table I — segmented vs. full-trace runtime |
+//! | `table2`        | Table II — state merge vs. model learning |
+//! | `fig7`          | Fig. 7 — runtime vs. trace length (integrator) |
+//! | `synth_compare` | §VII — SyGuS-style vs. fastsynth-style synthesis |
+//!
+//! Criterion micro-benchmarks live in `benches/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+use tracelearn_core::{LearnError, LearnedModel, Learner, LearnerConfig};
+use tracelearn_statemerge::{trace_to_events, StateMergeConfig, StateMergeLearner};
+use tracelearn_trace::Trace;
+use tracelearn_workloads::Workload;
+
+/// Outcome of a timed learning run.
+#[derive(Debug, Clone)]
+pub struct TimedRun {
+    /// Wall-clock time of the run.
+    pub elapsed: Duration,
+    /// Number of states of the produced model, when one was produced.
+    pub states: Option<usize>,
+    /// Human-readable status: `ok`, `timeout`, or an error summary.
+    pub status: String,
+}
+
+impl TimedRun {
+    /// Formats the runtime like the paper's tables (seconds with one decimal,
+    /// or the failure status).
+    pub fn runtime_cell(&self) -> String {
+        if self.states.is_some() {
+            format!("{:.1}", self.elapsed.as_secs_f64())
+        } else {
+            self.status.clone()
+        }
+    }
+
+    /// Formats the state count like the paper's tables.
+    pub fn states_cell(&self) -> String {
+        match self.states {
+            Some(n) => n.to_string(),
+            None => "no model".to_owned(),
+        }
+    }
+}
+
+/// Runs the learner on a trace and reports timing and model size.
+pub fn timed_learn(learner: &Learner, trace: &Trace) -> (TimedRun, Option<LearnedModel>) {
+    let start = Instant::now();
+    match learner.learn(trace) {
+        Ok(model) => (
+            TimedRun {
+                elapsed: start.elapsed(),
+                states: Some(model.num_states()),
+                status: "ok".to_owned(),
+            },
+            Some(model),
+        ),
+        Err(LearnError::BudgetExhausted { .. }) => (
+            TimedRun {
+                elapsed: start.elapsed(),
+                states: None,
+                status: "timeout".to_owned(),
+            },
+            None,
+        ),
+        Err(error) => (
+            TimedRun {
+                elapsed: start.elapsed(),
+                states: None,
+                status: format!("error: {error}"),
+            },
+            None,
+        ),
+    }
+}
+
+/// Runs the state-merge baseline with a wall-clock budget, reporting timing
+/// and model size (`no model` when the budget is exceeded, matching how MINT
+/// failed on the paper's two long traces).
+pub fn timed_state_merge(
+    config: StateMergeConfig,
+    trace: &Trace,
+    budget: Duration,
+) -> TimedRun {
+    let events = trace_to_events(trace);
+    let start = Instant::now();
+    // The PTA for very long traces is huge; guard with a size heuristic so the
+    // harness itself stays responsive. kTails folding cost grows roughly
+    // quadratically with the number of distinct prefixes.
+    let estimated_cost = events.len() as u64 * events.len() as u64 / 2_000;
+    if Duration::from_millis(estimated_cost) > budget {
+        return TimedRun {
+            elapsed: start.elapsed(),
+            states: None,
+            status: "budget".to_owned(),
+        };
+    }
+    let model = StateMergeLearner::new(config).learn(&[events]);
+    TimedRun {
+        elapsed: start.elapsed(),
+        states: Some(model.num_states()),
+        status: "ok".to_owned(),
+    }
+}
+
+/// The learner configuration used for a benchmark workload: the defaults of
+/// the paper (`w = 3`, `l = 2`), with the integrator's free input declared.
+pub fn learner_config_for(workload: Workload) -> LearnerConfig {
+    let config = LearnerConfig::default();
+    match workload {
+        Workload::Integrator => config.with_input_variable("ip"),
+        _ => config,
+    }
+}
+
+/// The learner configuration for the Table I timing comparison: like the
+/// paper, the search starts at the known final state count so that segmented
+/// and full-trace runs solve the same final instance.
+pub fn table1_config_for(workload: Workload, segmented: bool, final_states: usize) -> LearnerConfig {
+    let mut config = learner_config_for(workload).with_initial_states(final_states);
+    config.segmented = segmented;
+    config
+}
+
+/// Formats a row of a fixed-width text table.
+pub fn format_row(cells: &[String], widths: &[usize]) -> String {
+    let mut row = String::new();
+    for (cell, width) in cells.iter().zip(widths) {
+        row.push_str(&format!("{cell:>width$}  ", width = width));
+    }
+    row.trim_end().to_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracelearn_workloads::counter;
+
+    #[test]
+    fn timed_learn_reports_states() {
+        let trace = counter::generate(&counter::CounterConfig { threshold: 6, length: 50 });
+        let learner = Learner::new(LearnerConfig::default());
+        let (run, model) = timed_learn(&learner, &trace);
+        assert!(model.is_some());
+        assert_eq!(run.status, "ok");
+        assert!(run.states.unwrap() >= 2);
+        assert!(run.runtime_cell().parse::<f64>().is_ok());
+        assert_eq!(run.states_cell(), run.states.unwrap().to_string());
+    }
+
+    #[test]
+    fn timed_state_merge_reports_states() {
+        let trace = counter::generate(&counter::CounterConfig { threshold: 6, length: 50 });
+        let run = timed_state_merge(
+            StateMergeConfig::default(),
+            &trace,
+            Duration::from_secs(10),
+        );
+        assert_eq!(run.status, "ok");
+        assert!(run.states.unwrap() > 0);
+    }
+
+    #[test]
+    fn state_merge_budget_guard_trips_on_huge_traces() {
+        let trace = counter::generate(&counter::CounterConfig { threshold: 100, length: 30_000 });
+        let run = timed_state_merge(
+            StateMergeConfig::default(),
+            &trace,
+            Duration::from_millis(10),
+        );
+        assert_eq!(run.status, "budget");
+        assert_eq!(run.states_cell(), "no model");
+    }
+
+    #[test]
+    fn workload_configs_declare_integrator_input() {
+        let config = learner_config_for(Workload::Integrator);
+        assert!(config.input_variables.contains(&"ip".to_owned()));
+        let config = table1_config_for(Workload::Counter, false, 4);
+        assert!(!config.segmented);
+        assert_eq!(config.initial_states, 4);
+    }
+
+    #[test]
+    fn row_formatting_aligns_cells() {
+        let row = format_row(&["a".into(), "bb".into()], &[3, 5]);
+        assert!(row.contains("  a"));
+        assert!(row.contains("   bb"));
+    }
+}

@@ -1,0 +1,135 @@
+//! The compliance check of the refinement loop.
+//!
+//! A candidate automaton may generalise beyond the trace: it may admit
+//! transition sequences that never occur in the predicate sequence `P`. The
+//! compliance check enumerates every length-`l` label path of the candidate
+//! and compares it against the set of length-`l` subsequences of `P`; any
+//! path not backed by the trace is an *invalid sequence* and is excluded in
+//! the next solver iteration. The parameter `l` controls the degree of
+//! generalisation: the paper uses `l = 2` as the sweet spot between
+//! over-generalisation and the NP-complete exact-identification problem.
+
+use crate::predicates::PredId;
+use std::collections::HashSet;
+use tracelearn_automaton::Nfa;
+use tracelearn_trace::subsequences;
+
+/// Returns the invalid transition sequences of `candidate`: label paths of
+/// length `l` that are not subsequences of `predicate_sequence`.
+///
+/// The result is sorted so refinement is deterministic.
+///
+/// # Example
+///
+/// ```
+/// use tracelearn_automaton::{Nfa, StateId};
+/// use tracelearn_core::compliance::invalid_sequences;
+/// use tracelearn_core::{PredicateAlphabet};
+/// use tracelearn_expr::Predicate;
+///
+/// let mut alphabet = PredicateAlphabet::new();
+/// let a = alphabet.intern(Predicate::True);
+/// let b = alphabet.intern(Predicate::False);
+///
+/// // A one-state automaton with self-loops on both labels admits the path
+/// // [b, a], which never occurs in the sequence [a, b].
+/// let mut nfa = Nfa::new(1, StateId::new(0));
+/// nfa.add_transition(StateId::new(0), a, StateId::new(0));
+/// nfa.add_transition(StateId::new(0), b, StateId::new(0));
+/// let invalid = invalid_sequences(&nfa, &[a, b], 2);
+/// assert!(invalid.contains(&vec![b, a]));
+/// ```
+pub fn invalid_sequences(
+    candidate: &Nfa<PredId>,
+    predicate_sequence: &[PredId],
+    l: usize,
+) -> Vec<Vec<PredId>> {
+    let allowed: HashSet<Vec<PredId>> = subsequences(predicate_sequence, l);
+    let mut invalid: Vec<Vec<PredId>> = candidate
+        .label_paths(l)
+        .paths
+        .into_iter()
+        .filter(|path| !allowed.contains(path))
+        .collect();
+    invalid.sort();
+    invalid
+}
+
+/// Whether the candidate passes the compliance check.
+pub fn is_compliant(candidate: &Nfa<PredId>, predicate_sequence: &[PredId], l: usize) -> bool {
+    invalid_sequences(candidate, predicate_sequence, l).is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicates::PredicateAlphabet;
+    use tracelearn_automaton::StateId;
+    use tracelearn_expr::{IntTerm, Predicate};
+    use tracelearn_trace::VarId;
+
+    fn alphabet_of(n: usize) -> (PredicateAlphabet, Vec<PredId>) {
+        let mut alphabet = PredicateAlphabet::new();
+        let ids = (0..n)
+            .map(|k| {
+                alphabet.intern(Predicate::update(
+                    VarId::new(0),
+                    IntTerm::constant(k as i64),
+                ))
+            })
+            .collect();
+        (alphabet, ids)
+    }
+
+    #[test]
+    fn faithful_cycle_is_compliant() {
+        let (_, p) = alphabet_of(3);
+        let sequence = vec![p[0], p[1], p[2], p[0], p[1], p[2], p[0]];
+        let mut nfa = Nfa::new(3, StateId::new(0));
+        nfa.add_transition(StateId::new(0), p[0], StateId::new(1));
+        nfa.add_transition(StateId::new(1), p[1], StateId::new(2));
+        nfa.add_transition(StateId::new(2), p[2], StateId::new(0));
+        assert!(is_compliant(&nfa, &sequence, 2));
+        assert!(invalid_sequences(&nfa, &sequence, 2).is_empty());
+    }
+
+    #[test]
+    fn over_general_self_loop_is_detected() {
+        let (_, p) = alphabet_of(2);
+        let sequence = vec![p[0], p[1], p[0], p[1]];
+        let mut nfa = Nfa::new(1, StateId::new(0));
+        nfa.add_transition(StateId::new(0), p[0], StateId::new(0));
+        nfa.add_transition(StateId::new(0), p[1], StateId::new(0));
+        let invalid = invalid_sequences(&nfa, &sequence, 2);
+        assert_eq!(invalid, vec![vec![p[0], p[0]], vec![p[1], p[1]]]);
+        assert!(!is_compliant(&nfa, &sequence, 2));
+    }
+
+    #[test]
+    fn longer_compliance_length_is_stricter() {
+        let (_, p) = alphabet_of(2);
+        // Sequence abab…; a two-state flip-flop is compliant for l = 2 and
+        // also for l = 3 (aba and bab are subsequences).
+        let sequence = vec![p[0], p[1], p[0], p[1], p[0]];
+        let mut nfa = Nfa::new(2, StateId::new(0));
+        nfa.add_transition(StateId::new(0), p[0], StateId::new(1));
+        nfa.add_transition(StateId::new(1), p[1], StateId::new(0));
+        assert!(is_compliant(&nfa, &sequence, 2));
+        assert!(is_compliant(&nfa, &sequence, 3));
+        // But a model that also loops on `a` fails at l = 2 already.
+        nfa.add_transition(StateId::new(1), p[0], StateId::new(1));
+        assert!(!is_compliant(&nfa, &sequence, 2));
+    }
+
+    #[test]
+    fn paths_longer_than_the_sequence_are_invalid() {
+        let (_, p) = alphabet_of(1);
+        let sequence = vec![p[0], p[0]];
+        let mut nfa = Nfa::new(1, StateId::new(0));
+        nfa.add_transition(StateId::new(0), p[0], StateId::new(0));
+        // l = 3 paths exist in the model but the sequence only has length-2
+        // subsequences at most… actually it has none of length 3.
+        let invalid = invalid_sequences(&nfa, &sequence, 3);
+        assert_eq!(invalid, vec![vec![p[0], p[0], p[0]]]);
+    }
+}

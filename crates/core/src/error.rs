@@ -1,0 +1,81 @@
+//! Errors reported by the learner.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by [`Learner::learn`](crate::Learner::learn).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LearnError {
+    /// The trace has fewer observations than the sliding-window length.
+    TraceTooShort {
+        /// Number of observations in the trace.
+        trace_length: usize,
+        /// Configured window length.
+        window: usize,
+    },
+    /// The configured window length cannot capture any sequential behaviour.
+    WindowTooSmall {
+        /// Configured window length.
+        window: usize,
+    },
+    /// No automaton with at most `max_states` states satisfies the
+    /// constraints.
+    NoAutomaton {
+        /// The configured state limit.
+        max_states: usize,
+    },
+    /// A resource budget (solver conflicts, clause count, refinement rounds
+    /// or wall-clock time) was exhausted before an answer was found. This is
+    /// how the non-segmented runs on very long traces "time out", matching
+    /// the paper's Table I.
+    BudgetExhausted {
+        /// Description of the budget that was exhausted.
+        resource: String,
+    },
+}
+
+impl fmt::Display for LearnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LearnError::TraceTooShort { trace_length, window } => write!(
+                f,
+                "trace of {trace_length} observations is shorter than the window length {window}"
+            ),
+            LearnError::WindowTooSmall { window } => {
+                write!(f, "window length {window} is too small; at least 2 is required")
+            }
+            LearnError::NoAutomaton { max_states } => {
+                write!(f, "no automaton with at most {max_states} states satisfies the trace")
+            }
+            LearnError::BudgetExhausted { resource } => {
+                write!(f, "learning budget exhausted: {resource}")
+            }
+        }
+    }
+}
+
+impl Error for LearnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(LearnError::TraceTooShort { trace_length: 2, window: 3 }
+            .to_string()
+            .contains("shorter than the window"));
+        assert!(LearnError::WindowTooSmall { window: 1 }.to_string().contains("at least 2"));
+        assert!(LearnError::NoAutomaton { max_states: 8 }.to_string().contains("8 states"));
+        assert!(LearnError::BudgetExhausted { resource: "clauses".into() }
+            .to_string()
+            .contains("clauses"));
+    }
+
+    #[test]
+    fn is_error_send_sync() {
+        fn assert_bounds<T: Error + Send + Sync>() {}
+        assert_bounds::<LearnError>();
+    }
+}

@@ -1,0 +1,452 @@
+//! The end-to-end learner: Algorithm 1 of the paper.
+
+use crate::compliance::invalid_sequences;
+use crate::encoding::AutomatonEncoder;
+use crate::error::LearnError;
+use crate::predicates::{PredId, PredicateAlphabet, PredicateExtractor};
+use std::time::{Duration, Instant};
+use tracelearn_automaton::Nfa;
+use tracelearn_sat::{Limits, SatResult, Solver};
+use tracelearn_synth::SynthesisConfig;
+use tracelearn_trace::{unique_windows, Signature, SymbolTable, Trace};
+
+/// Configuration of the learner (the tunable parameters of Algorithm 1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LearnerConfig {
+    /// Sliding-window length `w` (for both predicate generation and
+    /// segmentation of the predicate sequence). The paper fixes `w = 3`.
+    pub window: usize,
+    /// Compliance-check path length `l`. The paper uses `l = 2`.
+    pub compliance_length: usize,
+    /// Number of automaton states to start the search from (the paper starts
+    /// at 2, or at the known target size for the Table I timing runs).
+    pub initial_states: usize,
+    /// Upper bound on the number of automaton states before giving up.
+    pub max_states: usize,
+    /// Whether to segment the predicate sequence into unique windows
+    /// (the paper's scalability mechanism) or to feed the whole sequence to
+    /// the solver as one path ("Full Trace" in Table I).
+    pub segmented: bool,
+    /// Maximum number of compliance-refinement rounds per state count.
+    pub max_refinements: usize,
+    /// Conflict budget per SAT call; `None` means unlimited.
+    pub max_conflicts: Option<u64>,
+    /// Upper bound on the (estimated) clause count of a single encoding;
+    /// larger instances are reported as budget exhaustion. This is what makes
+    /// the non-segmented runs on very long traces "time out" cleanly instead
+    /// of exhausting memory.
+    pub max_clauses: usize,
+    /// Wall-clock budget for the whole learning run; `None` means unlimited.
+    pub time_budget: Option<Duration>,
+    /// Configuration of the predicate synthesiser.
+    pub synthesis: SynthesisConfig,
+    /// Names of variables to treat as unconstrained inputs (no update atoms),
+    /// in addition to the automatically detected ones.
+    pub input_variables: Vec<String>,
+}
+
+impl Default for LearnerConfig {
+    fn default() -> Self {
+        LearnerConfig {
+            window: 3,
+            compliance_length: 2,
+            initial_states: 2,
+            max_states: 16,
+            segmented: true,
+            max_refinements: 200,
+            max_conflicts: Some(2_000_000),
+            max_clauses: 40_000_000,
+            time_budget: None,
+            synthesis: SynthesisConfig::default(),
+            input_variables: Vec::new(),
+        }
+    }
+}
+
+impl LearnerConfig {
+    /// A configuration with segmentation disabled ("Full Trace" mode).
+    pub fn non_segmented() -> Self {
+        LearnerConfig {
+            segmented: false,
+            ..LearnerConfig::default()
+        }
+    }
+
+    /// Sets the sliding-window length `w`.
+    pub fn with_window(mut self, window: usize) -> Self {
+        self.window = window;
+        self
+    }
+
+    /// Sets the compliance path length `l`.
+    pub fn with_compliance_length(mut self, l: usize) -> Self {
+        self.compliance_length = l;
+        self
+    }
+
+    /// Sets the initial number of states for the search.
+    pub fn with_initial_states(mut self, n: usize) -> Self {
+        self.initial_states = n.max(1);
+        self
+    }
+
+    /// Sets the wall-clock budget.
+    pub fn with_time_budget(mut self, budget: Duration) -> Self {
+        self.time_budget = Some(budget);
+        self
+    }
+
+    /// Declares a variable as an unconstrained input.
+    pub fn with_input_variable(mut self, name: impl Into<String>) -> Self {
+        self.input_variables.push(name.into());
+        self
+    }
+}
+
+/// Statistics of a learning run, reported alongside the model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LearnStats {
+    /// Number of observations in the input trace.
+    pub trace_length: usize,
+    /// Length of the predicate sequence `P`.
+    pub predicate_count: usize,
+    /// Number of distinct predicates (alphabet size).
+    pub alphabet_size: usize,
+    /// Number of windows handed to the solver (after deduplication when
+    /// segmentation is on).
+    pub solver_windows: usize,
+    /// Number of SAT queries issued.
+    pub sat_queries: usize,
+    /// Number of compliance-refinement rounds performed.
+    pub refinements: usize,
+    /// Number of states of the learned automaton.
+    pub states: usize,
+    /// Wall-clock time spent generating predicates.
+    pub synthesis_time: Duration,
+    /// Wall-clock time spent in the solver and the compliance loop.
+    pub solver_time: Duration,
+    /// Total wall-clock time.
+    pub total_time: Duration,
+}
+
+/// The result of a successful learning run.
+#[derive(Debug, Clone)]
+pub struct LearnedModel {
+    automaton: Nfa<PredId>,
+    alphabet: PredicateAlphabet,
+    signature: Signature,
+    symbols: SymbolTable,
+    predicate_sequence: Vec<PredId>,
+    stats: LearnStats,
+}
+
+impl LearnedModel {
+    /// The learned automaton over predicate ids.
+    pub fn automaton(&self) -> &Nfa<PredId> {
+        &self.automaton
+    }
+
+    /// The predicate alphabet of the automaton.
+    pub fn alphabet(&self) -> &PredicateAlphabet {
+        &self.alphabet
+    }
+
+    /// The predicate sequence `P` the model was learned from.
+    pub fn predicate_sequence(&self) -> &[PredId] {
+        &self.predicate_sequence
+    }
+
+    /// Statistics of the learning run.
+    pub fn stats(&self) -> LearnStats {
+        self.stats
+    }
+
+    /// Number of states of the learned model.
+    pub fn num_states(&self) -> usize {
+        self.automaton.num_states()
+    }
+
+    /// Number of transitions of the learned model.
+    pub fn num_transitions(&self) -> usize {
+        self.automaton.num_transitions()
+    }
+
+    /// The learned automaton with human-readable predicate strings as labels.
+    pub fn rendered_automaton(&self) -> Nfa<String> {
+        self.automaton
+            .map_labels(|id| self.alphabet.render(*id, &self.signature, &self.symbols))
+    }
+
+    /// Every predicate of the alphabet, rendered.
+    pub fn predicate_strings(&self) -> Vec<String> {
+        self.alphabet
+            .iter()
+            .map(|(id, _)| self.alphabet.render(id, &self.signature, &self.symbols))
+            .collect()
+    }
+
+    /// Graphviz rendering of the model (the paper's figures).
+    pub fn to_dot(&self, name: &str) -> String {
+        self.rendered_automaton().to_dot(name)
+    }
+}
+
+/// The model learner (Algorithm 1 of the paper).
+#[derive(Debug, Clone, Default)]
+pub struct Learner {
+    config: LearnerConfig,
+}
+
+impl Learner {
+    /// Creates a learner with the given configuration.
+    pub fn new(config: LearnerConfig) -> Self {
+        Learner { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &LearnerConfig {
+        &self.config
+    }
+
+    /// Learns an automaton from a trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LearnError::TraceTooShort`] / [`LearnError::WindowTooSmall`]
+    /// for unusable inputs, [`LearnError::NoAutomaton`] when no automaton
+    /// within the state bound satisfies the constraints, and
+    /// [`LearnError::BudgetExhausted`] when a resource budget runs out (the
+    /// "timeout" rows of the paper's Table I).
+    pub fn learn(&self, trace: &Trace) -> Result<LearnedModel, LearnError> {
+        let start = Instant::now();
+        let config = &self.config;
+
+        // Phase 1: predicate synthesis.
+        let extractor = PredicateExtractor::new(
+            trace,
+            config.window,
+            config.synthesis.clone(),
+            &config.input_variables,
+        )?;
+        let (sequence, alphabet) = extractor.extract();
+        let synthesis_time = start.elapsed();
+
+        // Phase 2: segmentation of the predicate sequence.
+        let windows: Vec<Vec<PredId>> = if config.segmented {
+            if sequence.len() < config.window {
+                vec![sequence.clone()]
+            } else {
+                unique_windows(&sequence, config.window)
+            }
+        } else {
+            vec![sequence.clone()]
+        };
+        debug_assert!(!windows.is_empty());
+
+        // Phase 3: SAT-based search for the smallest compliant automaton.
+        let solver_start = Instant::now();
+        let mut stats = LearnStats {
+            trace_length: trace.len(),
+            predicate_count: sequence.len(),
+            alphabet_size: alphabet.len(),
+            solver_windows: windows.len(),
+            synthesis_time,
+            ..LearnStats::default()
+        };
+
+        for num_states in config.initial_states..=config.max_states {
+            let mut encoder = AutomatonEncoder::new(windows.clone(), num_states);
+            let mut refinements_here = 0usize;
+            loop {
+                self.check_time(start)?;
+                if encoder.estimated_clauses() > config.max_clauses {
+                    return Err(LearnError::BudgetExhausted {
+                        resource: format!(
+                            "encoding with {} states exceeds the clause budget ({} estimated)",
+                            num_states,
+                            encoder.estimated_clauses()
+                        ),
+                    });
+                }
+                let encoding = encoder.encode();
+                let mut solver = Solver::from_cnf(&encoding.cnf);
+                stats.sat_queries += 1;
+                let limits = Limits {
+                    max_conflicts: config.max_conflicts,
+                    max_propagations: None,
+                };
+                match solver.solve_with_limits(limits) {
+                    SatResult::Unsat => break, // try more states
+                    SatResult::Unknown => {
+                        return Err(LearnError::BudgetExhausted {
+                            resource: format!(
+                                "SAT conflict budget exhausted with {num_states} states"
+                            ),
+                        })
+                    }
+                    SatResult::Sat(model) => {
+                        let candidate = encoding.decode(&windows, &model);
+                        let violations = invalid_sequences(
+                            &candidate,
+                            &sequence,
+                            config.compliance_length,
+                        );
+                        if violations.is_empty() {
+                            stats.states = num_states;
+                            stats.refinements += refinements_here;
+                            stats.solver_time = solver_start.elapsed();
+                            stats.total_time = start.elapsed();
+                            return Ok(LearnedModel {
+                                automaton: candidate,
+                                alphabet,
+                                signature: trace.signature().clone(),
+                                symbols: trace.symbols().clone(),
+                                predicate_sequence: sequence,
+                                stats,
+                            });
+                        }
+                        refinements_here += 1;
+                        if refinements_here > config.max_refinements {
+                            return Err(LearnError::BudgetExhausted {
+                                resource: format!(
+                                    "more than {} refinement rounds with {num_states} states",
+                                    config.max_refinements
+                                ),
+                            });
+                        }
+                        for violation in violations {
+                            encoder.forbid_sequence(violation);
+                        }
+                    }
+                }
+            }
+            stats.refinements += refinements_here;
+        }
+        Err(LearnError::NoAutomaton {
+            max_states: config.max_states,
+        })
+    }
+
+    fn check_time(&self, start: Instant) -> Result<(), LearnError> {
+        if let Some(budget) = self.config.time_budget {
+            if start.elapsed() > budget {
+                return Err(LearnError::BudgetExhausted {
+                    resource: format!("wall-clock budget of {budget:?} exceeded"),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Convenience: learns a model with the default configuration.
+///
+/// # Errors
+///
+/// See [`Learner::learn`].
+pub fn learn_with_defaults(trace: &Trace) -> Result<LearnedModel, LearnError> {
+    Learner::new(LearnerConfig::default()).learn(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracelearn_trace::Value;
+    use tracelearn_workloads::{counter, usb_slot};
+
+    fn small_counter() -> Trace {
+        counter::generate(&counter::CounterConfig { threshold: 8, length: 80 })
+    }
+
+    #[test]
+    fn learns_a_small_counter_model() {
+        let model = learn_with_defaults(&small_counter()).unwrap();
+        assert!(model.num_states() >= 2);
+        assert!(model.num_states() <= 5, "too many states: {}", model.num_states());
+        assert!(model.automaton().is_deterministic());
+        let predicates = model.predicate_strings();
+        assert!(predicates.iter().any(|p| p.contains("x + 1")), "{predicates:?}");
+        assert!(predicates.iter().any(|p| p.contains("x - 1")), "{predicates:?}");
+        let stats = model.stats();
+        assert_eq!(stats.trace_length, 80);
+        assert!(stats.sat_queries >= 1);
+        assert!(stats.alphabet_size >= 3);
+    }
+
+    #[test]
+    fn learned_model_embeds_every_unique_window() {
+        let model = learn_with_defaults(&small_counter()).unwrap();
+        let sequence = model.predicate_sequence().to_vec();
+        for window in unique_windows(&sequence, 3) {
+            assert!(model.automaton().accepts_from_any_state(&window));
+        }
+    }
+
+    #[test]
+    fn compliance_holds_on_the_returned_model() {
+        let model = learn_with_defaults(&small_counter()).unwrap();
+        let violations =
+            invalid_sequences(model.automaton(), model.predicate_sequence(), 2);
+        assert!(violations.is_empty());
+    }
+
+    #[test]
+    fn segmented_and_full_trace_agree_on_small_inputs() {
+        let trace = counter::generate(&counter::CounterConfig { threshold: 6, length: 40 });
+        let segmented = Learner::new(LearnerConfig::default()).learn(&trace).unwrap();
+        let full = Learner::new(LearnerConfig::non_segmented()).learn(&trace).unwrap();
+        assert_eq!(segmented.num_states(), full.num_states());
+    }
+
+    #[test]
+    fn usb_slot_model_is_concise() {
+        let trace = usb_slot::generate(&usb_slot::UsbSlotConfig { length: 39, seed: 0xDAC2020 });
+        let model = learn_with_defaults(&trace).unwrap();
+        assert!(model.num_states() <= 6, "{} states", model.num_states());
+        let predicates = model.predicate_strings();
+        assert!(predicates.iter().any(|p| p.contains("CR_ADDR_DEV")), "{predicates:?}");
+        assert!(predicates.iter().any(|p| p.contains("CR_CONFIG_END")), "{predicates:?}");
+    }
+
+    #[test]
+    fn too_short_trace_is_rejected() {
+        let sig = tracelearn_trace::Signature::builder().int("x").build();
+        let mut trace = Trace::new(sig);
+        trace.push_row([Value::Int(1)]).unwrap();
+        assert!(matches!(
+            learn_with_defaults(&trace),
+            Err(LearnError::TraceTooShort { .. })
+        ));
+    }
+
+    #[test]
+    fn tight_time_budget_reports_budget_exhaustion() {
+        let trace = small_counter();
+        let config = LearnerConfig::default().with_time_budget(Duration::from_nanos(1));
+        match Learner::new(config).learn(&trace) {
+            Err(LearnError::BudgetExhausted { .. }) => {}
+            other => panic!("expected budget exhaustion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn builder_methods_set_fields() {
+        let config = LearnerConfig::default()
+            .with_window(4)
+            .with_compliance_length(3)
+            .with_initial_states(0)
+            .with_input_variable("ip");
+        assert_eq!(config.window, 4);
+        assert_eq!(config.compliance_length, 3);
+        assert_eq!(config.initial_states, 1);
+        assert_eq!(config.input_variables, vec!["ip".to_owned()]);
+    }
+
+    #[test]
+    fn dot_output_contains_rendered_predicates() {
+        let model = learn_with_defaults(&small_counter()).unwrap();
+        let dot = model.to_dot("counter");
+        assert!(dot.contains("digraph counter"));
+        assert!(dot.contains("x + 1"));
+    }
+}

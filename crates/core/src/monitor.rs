@@ -1,0 +1,307 @@
+//! Using learned models: runtime monitoring and coverage comparison.
+//!
+//! The paper's §IX lists the intended applications of learned models:
+//! summarising which behaviours a test suite covers, acting as runtime
+//! monitors, and seeding model-based test generation. This module provides
+//! the first two as library features:
+//!
+//! * [`Monitor`] replays a fresh trace of the same system against a learned
+//!   model and reports every window it cannot explain — a deviation from the
+//!   learned behaviour (or a behaviour the original trace never exercised);
+//! * [`coverage_gap`] compares two learned models of the same system (for
+//!   example, models learned under two different test loads) and reports the
+//!   transition labels present in one but missing from the other, the
+//!   paper's RT-Linux coverage observation.
+
+use crate::learner::{LearnedModel, LearnerConfig};
+use crate::predicates::{PredicateExtractor};
+use crate::LearnError;
+use std::collections::BTreeSet;
+use tracelearn_trace::{unique_windows, Trace};
+
+/// The verdict of replaying one window of a fresh trace against a model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Deviation {
+    /// Position (window start index) in the fresh trace's predicate sequence.
+    pub position: usize,
+    /// The rendered predicates of the offending window.
+    pub window: Vec<String>,
+    /// Why the window is a deviation.
+    pub kind: DeviationKind,
+}
+
+/// Why a window could not be explained by the model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviationKind {
+    /// The window contains a predicate the model has never seen.
+    UnknownPredicate,
+    /// All predicates are known but the model admits no path labelled with
+    /// this window.
+    NoPath,
+}
+
+/// Summary of a monitoring run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MonitorReport {
+    /// Number of windows checked (unique windows of the fresh trace).
+    pub windows_checked: usize,
+    /// The windows the model could not explain, in order of first occurrence.
+    pub deviations: Vec<Deviation>,
+}
+
+impl MonitorReport {
+    /// Whether the fresh trace is fully explained by the model.
+    pub fn is_clean(&self) -> bool {
+        self.deviations.is_empty()
+    }
+
+    /// Fraction of checked windows that were explained (1.0 = fully covered).
+    pub fn conformance(&self) -> f64 {
+        if self.windows_checked == 0 {
+            return 1.0;
+        }
+        1.0 - self.deviations.len() as f64 / self.windows_checked as f64
+    }
+}
+
+/// A runtime monitor built from a learned model.
+///
+/// # Example
+///
+/// ```
+/// # use std::error::Error;
+/// # fn main() -> Result<(), Box<dyn Error>> {
+/// use tracelearn_core::monitor::Monitor;
+/// use tracelearn_core::{Learner, LearnerConfig};
+/// use tracelearn_workloads::counter;
+///
+/// let train = counter::generate(&counter::CounterConfig { threshold: 8, length: 120 });
+/// let model = Learner::new(LearnerConfig::default()).learn(&train)?;
+/// let monitor = Monitor::new(&model, LearnerConfig::default());
+///
+/// // A fresh trace of the same system conforms …
+/// let fresh = counter::generate(&counter::CounterConfig { threshold: 8, length: 90 });
+/// assert!(monitor.check(&fresh)?.is_clean());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Monitor<'m> {
+    model: &'m LearnedModel,
+    config: LearnerConfig,
+}
+
+impl<'m> Monitor<'m> {
+    /// Creates a monitor for a learned model. The configuration must use the
+    /// same window length and input variables as the one the model was
+    /// learned with, so that fresh traces are abstracted identically.
+    pub fn new(model: &'m LearnedModel, config: LearnerConfig) -> Self {
+        Monitor { model, config }
+    }
+
+    /// Replays a fresh trace against the model.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same input-validation errors as learning (trace shorter
+    /// than the window, window too small).
+    pub fn check(&self, fresh: &Trace) -> Result<MonitorReport, LearnError> {
+        let extractor = PredicateExtractor::new(
+            fresh,
+            self.config.window,
+            self.config.synthesis.clone(),
+            &self.config.input_variables,
+        )?;
+        let (sequence, alphabet) = extractor.extract();
+
+        // Map the fresh alphabet onto the model's alphabet via rendered form;
+        // predicates are hash-consed per trace, so ids are not comparable
+        // directly but the rendered predicate is canonical.
+        let known: std::collections::HashMap<String, crate::PredId> = self
+            .model
+            .alphabet()
+            .iter()
+            .map(|(id, _)| (self.model.alphabet().render(id, fresh.signature(), fresh.symbols()), id))
+            .collect();
+
+        let mut deviations = Vec::new();
+        let windows = unique_windows(&sequence, self.config.window.min(sequence.len().max(1)));
+        let mut first_occurrence = std::collections::HashMap::new();
+        for (position, window) in sequence
+            .windows(self.config.window.min(sequence.len().max(1)))
+            .enumerate()
+        {
+            first_occurrence.entry(window.to_vec()).or_insert(position);
+        }
+        for window in &windows {
+            let rendered: Vec<String> = window
+                .iter()
+                .map(|id| alphabet.render(*id, fresh.signature(), fresh.symbols()))
+                .collect();
+            let position = first_occurrence.get(window).copied().unwrap_or(0);
+            let mapped: Option<Vec<crate::PredId>> =
+                rendered.iter().map(|r| known.get(r).copied()).collect();
+            match mapped {
+                None => deviations.push(Deviation {
+                    position,
+                    window: rendered,
+                    kind: DeviationKind::UnknownPredicate,
+                }),
+                Some(labels) => {
+                    if !self.model.automaton().accepts_from_any_state(&labels) {
+                        deviations.push(Deviation {
+                            position,
+                            window: rendered,
+                            kind: DeviationKind::NoPath,
+                        });
+                    }
+                }
+            }
+        }
+        deviations.sort_by_key(|d| d.position);
+        Ok(MonitorReport {
+            windows_checked: windows.len(),
+            deviations,
+        })
+    }
+}
+
+/// The transition labels present in `reference` but absent from `other` —
+/// behaviour exercised by the reference model's workload that the other
+/// workload misses (the paper's functional-coverage reading of Fig. 6).
+pub fn coverage_gap(reference: &LearnedModel, other: &LearnedModel) -> Vec<String> {
+    let other_labels: BTreeSet<String> = other.predicate_strings().into_iter().collect();
+    reference
+        .predicate_strings()
+        .into_iter()
+        .filter(|label| !other_labels.contains(label))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Learner;
+    use tracelearn_trace::{Signature, Value};
+    use tracelearn_workloads::{counter, rtlinux, serial};
+
+    fn learner() -> Learner {
+        Learner::new(LearnerConfig::default())
+    }
+
+    #[test]
+    fn fresh_trace_of_same_system_is_clean() {
+        let train = serial::generate(&serial::SerialConfig { length: 800, capacity: 16, seed: 1 });
+        let model = learner().learn(&train).unwrap();
+        let monitor = Monitor::new(&model, LearnerConfig::default());
+        let fresh = serial::generate(&serial::SerialConfig { length: 400, capacity: 16, seed: 2 });
+        let report = monitor.check(&fresh).unwrap();
+        assert!(report.conformance() > 0.9, "conformance {}", report.conformance());
+    }
+
+    #[test]
+    fn deviating_system_is_flagged() {
+        let train = counter::generate(&counter::CounterConfig { threshold: 8, length: 200 });
+        let model = learner().learn(&train).unwrap();
+        let monitor = Monitor::new(&model, LearnerConfig::default());
+
+        // A "buggy" counter that jumps by 3 occasionally.
+        let sig = Signature::builder().int("x").build();
+        let mut buggy = tracelearn_trace::Trace::new(sig);
+        let mut x = 1i64;
+        let mut direction = 1i64;
+        for step in 0..200 {
+            buggy.push_row([Value::Int(x)]).unwrap();
+            if x >= 8 {
+                direction = -1;
+            } else if x <= 1 {
+                direction = 1;
+            }
+            x += direction;
+            if step % 37 == 36 {
+                x = (x + 2).min(8);
+            }
+        }
+        let report = monitor.check(&buggy).unwrap();
+        assert!(!report.is_clean());
+        assert!(report.conformance() < 1.0);
+        assert!(report
+            .deviations
+            .iter()
+            .any(|d| d.kind == DeviationKind::UnknownPredicate));
+    }
+
+    #[test]
+    fn reordered_protocol_is_a_no_path_deviation() {
+        let train = rtlinux::generate(&rtlinux::RtLinuxConfig { length: 2000, seed: 3 });
+        let model = learner().learn(&train).unwrap();
+        let monitor = Monitor::new(&model, LearnerConfig::default());
+
+        // A trace over the same events but with an impossible ordering:
+        // the thread is switched in twice in a row without being woken.
+        let sig = Signature::builder().event("sched").build();
+        let mut weird = tracelearn_trace::Trace::new(sig);
+        for event in [
+            "sched_waking",
+            "sched_switch_in",
+            "sched_switch_in",
+            "sched_switch_in",
+            "set_state_sleepable",
+            "sched_switch_suspend",
+            "sched_waking",
+            "sched_switch_in",
+        ] {
+            weird
+                .push_named_row(vec![tracelearn_trace::RowEntry::Event(event)])
+                .unwrap();
+        }
+        let report = monitor.check(&weird).unwrap();
+        assert!(!report.is_clean());
+        assert!(report.deviations.iter().any(|d| d.kind == DeviationKind::NoPath));
+    }
+
+    #[test]
+    fn coverage_gap_reports_missing_behaviour() {
+        // Full load vs a load that never preempts.
+        let full = rtlinux::generate(&rtlinux::RtLinuxConfig { length: 3000, seed: 5 });
+        let full_model = learner().learn(&full).unwrap();
+
+        let sig = Signature::builder().event("sched").build();
+        let mut reduced = tracelearn_trace::Trace::new(sig);
+        for _ in 0..200 {
+            for event in [
+                "sched_waking",
+                "sched_switch_in",
+                "sched_entry",
+                "set_state_sleepable",
+                "sched_switch_suspend",
+            ] {
+                reduced
+                    .push_named_row(vec![tracelearn_trace::RowEntry::Event(event)])
+                    .unwrap();
+            }
+        }
+        let reduced_model = learner().learn(&reduced).unwrap();
+
+        let gap = coverage_gap(&full_model, &reduced_model);
+        assert!(gap.iter().any(|label| label.contains("preempt")), "{gap:?}");
+        // The reduced model exercises nothing the full model misses.
+        let reverse = coverage_gap(&reduced_model, &full_model);
+        assert!(reverse.is_empty(), "{reverse:?}");
+    }
+
+    #[test]
+    fn monitor_report_helpers() {
+        let report = MonitorReport {
+            windows_checked: 10,
+            deviations: vec![],
+        };
+        assert!(report.is_clean());
+        assert_eq!(report.conformance(), 1.0);
+        let report = MonitorReport {
+            windows_checked: 0,
+            deviations: vec![],
+        };
+        assert_eq!(report.conformance(), 1.0);
+    }
+}

@@ -1,0 +1,50 @@
+//! Typed expression language for transition predicates.
+//!
+//! Transition predicates of the learned automaton relate the current
+//! observation (unprimed variables `X`) to the next observation (primed
+//! variables `X'`). This crate defines:
+//!
+//! * [`VarRef`] — a reference to either `x` or `x'` for a trace variable;
+//! * [`IntTerm`] — integer-valued terms (constants, variables, `+`, `−`,
+//!   scaling, `ite`);
+//! * [`Predicate`] — boolean formulas over comparison atoms, event equality
+//!   and boolean variables, closed under `∧`, `∨`, `¬`;
+//! * evaluation of both against a [`StepPair`](tracelearn_trace::StepPair);
+//! * simplification and human-readable rendering.
+//!
+//! # Example
+//!
+//! ```
+//! # use std::error::Error;
+//! # fn main() -> Result<(), Box<dyn Error>> {
+//! use tracelearn_expr::{IntTerm, Predicate, VarRef};
+//! use tracelearn_trace::{Signature, Trace, Value};
+//!
+//! let sig = Signature::builder().int("x").build();
+//! let mut trace = Trace::new(sig.clone());
+//! trace.push_row([Value::Int(3)])?;
+//! trace.push_row([Value::Int(4)])?;
+//!
+//! // x' = x + 1
+//! let x = sig.var("x").unwrap();
+//! let pred = Predicate::eq(
+//!     IntTerm::var(VarRef::next(x)),
+//!     IntTerm::var(VarRef::current(x)) + IntTerm::constant(1),
+//! );
+//! let step = trace.steps().next().unwrap();
+//! assert_eq!(pred.eval(&step), Some(true));
+//! assert_eq!(pred.render(&sig, trace.symbols()), "(x' = (x + 1))");
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod pred;
+mod render;
+mod simplify;
+mod term;
+
+pub use crate::pred::{CmpOp, Predicate};
+pub use crate::term::{IntTerm, VarRef};

@@ -1,0 +1,379 @@
+//! Boolean predicates over step pairs.
+
+use crate::term::{IntTerm, VarRef};
+use serde::{Deserialize, Serialize};
+use tracelearn_trace::{StepPair, SymbolId, Value};
+
+/// Comparison operators for integer atoms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CmpOp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+    /// Greater than.
+    Gt,
+    /// Greater than or equal.
+    Ge,
+}
+
+impl CmpOp {
+    /// Applies the comparison to two integers.
+    pub fn apply(self, lhs: i64, rhs: i64) -> bool {
+        match self {
+            CmpOp::Eq => lhs == rhs,
+            CmpOp::Ne => lhs != rhs,
+            CmpOp::Lt => lhs < rhs,
+            CmpOp::Le => lhs <= rhs,
+            CmpOp::Gt => lhs > rhs,
+            CmpOp::Ge => lhs >= rhs,
+        }
+    }
+
+    /// The textual symbol of the operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "≠",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "≤",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => "≥",
+        }
+    }
+
+    /// All comparison operators, in a canonical order.
+    pub fn all() -> [CmpOp; 6] {
+        [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge]
+    }
+}
+
+/// A boolean predicate over a pair of consecutive observations.
+///
+/// Predicates are the transition labels of the learned automaton. Typical
+/// examples from the paper are `x' = x + 1`, `op' = op + ip`,
+/// `(op = 5 ∧ ip = 1) ∨ (op = −5 ∧ ip = −1)` and event labels such as
+/// `op = read`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Predicate {
+    /// Always true.
+    True,
+    /// Always false.
+    False,
+    /// Comparison of two integer terms.
+    Cmp {
+        /// The comparison operator.
+        op: CmpOp,
+        /// Left-hand side term.
+        lhs: IntTerm,
+        /// Right-hand side term.
+        rhs: IntTerm,
+    },
+    /// An event-valued variable equals a specific interned event.
+    EventIs {
+        /// The (possibly primed) event variable.
+        var: VarRef,
+        /// The expected event symbol.
+        symbol: SymbolId,
+    },
+    /// A boolean variable holds (or, with `negated`, does not hold).
+    BoolVar {
+        /// The (possibly primed) boolean variable.
+        var: VarRef,
+        /// Whether the atom is negated.
+        negated: bool,
+    },
+    /// Negation.
+    Not(Box<Predicate>),
+    /// Conjunction of all children.
+    And(Vec<Predicate>),
+    /// Disjunction of all children.
+    Or(Vec<Predicate>),
+}
+
+impl Predicate {
+    /// The predicate `lhs = rhs`.
+    pub fn eq(lhs: IntTerm, rhs: IntTerm) -> Self {
+        Predicate::Cmp { op: CmpOp::Eq, lhs, rhs }
+    }
+
+    /// The predicate `lhs ≥ rhs`.
+    pub fn ge(lhs: IntTerm, rhs: IntTerm) -> Self {
+        Predicate::Cmp { op: CmpOp::Ge, lhs, rhs }
+    }
+
+    /// The predicate `lhs ≤ rhs`.
+    pub fn le(lhs: IntTerm, rhs: IntTerm) -> Self {
+        Predicate::Cmp { op: CmpOp::Le, lhs, rhs }
+    }
+
+    /// A comparison predicate with an arbitrary operator.
+    pub fn cmp(op: CmpOp, lhs: IntTerm, rhs: IntTerm) -> Self {
+        Predicate::Cmp { op, lhs, rhs }
+    }
+
+    /// The update predicate `var' = term`, the shape produced by next-state
+    /// function synthesis.
+    pub fn update(var: tracelearn_trace::VarId, term: IntTerm) -> Self {
+        Predicate::eq(IntTerm::var(VarRef::next(var)), term)
+    }
+
+    /// The predicate "event variable `var` is `symbol`".
+    pub fn event_is(var: VarRef, symbol: SymbolId) -> Self {
+        Predicate::EventIs { var, symbol }
+    }
+
+    /// Conjunction, flattening trivial cases.
+    pub fn and(mut parts: Vec<Predicate>) -> Self {
+        parts.retain(|p| *p != Predicate::True);
+        if parts.iter().any(|p| *p == Predicate::False) {
+            return Predicate::False;
+        }
+        match parts.len() {
+            0 => Predicate::True,
+            1 => parts.pop().expect("length checked"),
+            _ => Predicate::And(parts),
+        }
+    }
+
+    /// Disjunction, flattening trivial cases.
+    pub fn or(mut parts: Vec<Predicate>) -> Self {
+        parts.retain(|p| *p != Predicate::False);
+        if parts.iter().any(|p| *p == Predicate::True) {
+            return Predicate::True;
+        }
+        match parts.len() {
+            0 => Predicate::False,
+            1 => parts.pop().expect("length checked"),
+            _ => Predicate::Or(parts),
+        }
+    }
+
+    /// Negation with double-negation elimination.
+    pub fn negate(self) -> Self {
+        match self {
+            Predicate::True => Predicate::False,
+            Predicate::False => Predicate::True,
+            Predicate::Not(inner) => *inner,
+            other => Predicate::Not(Box::new(other)),
+        }
+    }
+
+    /// Evaluates the predicate against a step pair.
+    ///
+    /// Returns `None` when a referenced variable has the wrong kind for its
+    /// atom (e.g. comparing an event variable arithmetically) or when nested
+    /// term evaluation fails.
+    pub fn eval(&self, step: &StepPair<'_>) -> Option<bool> {
+        match self {
+            Predicate::True => Some(true),
+            Predicate::False => Some(false),
+            Predicate::Cmp { op, lhs, rhs } => Some(op.apply(lhs.eval(step)?, rhs.eval(step)?)),
+            Predicate::EventIs { var, symbol } => match var.value(step) {
+                Value::Sym(s) => Some(s == *symbol),
+                _ => None,
+            },
+            Predicate::BoolVar { var, negated } => {
+                let b = var.value(step).as_bool()?;
+                Some(b != *negated)
+            }
+            Predicate::Not(inner) => inner.eval(step).map(|b| !b),
+            Predicate::And(parts) => {
+                let mut result = true;
+                for p in parts {
+                    result &= p.eval(step)?;
+                }
+                Some(result)
+            }
+            Predicate::Or(parts) => {
+                let mut result = false;
+                for p in parts {
+                    result |= p.eval(step)?;
+                }
+                Some(result)
+            }
+        }
+    }
+
+    /// Evaluates the predicate, treating evaluation failure as `false`.
+    ///
+    /// This is the semantics used when checking whether a trace step
+    /// satisfies a transition label: a label that does not even type-check
+    /// against the step cannot describe it.
+    pub fn holds(&self, step: &StepPair<'_>) -> bool {
+        self.eval(step).unwrap_or(false)
+    }
+
+    /// Syntactic size (number of AST nodes).
+    pub fn size(&self) -> usize {
+        match self {
+            Predicate::True | Predicate::False => 1,
+            Predicate::Cmp { lhs, rhs, .. } => 1 + lhs.size() + rhs.size(),
+            Predicate::EventIs { .. } | Predicate::BoolVar { .. } => 1,
+            Predicate::Not(inner) => 1 + inner.size(),
+            Predicate::And(parts) | Predicate::Or(parts) => {
+                1 + parts.iter().map(Predicate::size).sum::<usize>()
+            }
+        }
+    }
+
+    /// Collects every variable reference appearing in the predicate.
+    pub fn var_refs(&self, out: &mut Vec<VarRef>) {
+        match self {
+            Predicate::True | Predicate::False => {}
+            Predicate::Cmp { lhs, rhs, .. } => {
+                lhs.var_refs(out);
+                rhs.var_refs(out);
+            }
+            Predicate::EventIs { var, .. } | Predicate::BoolVar { var, .. } => out.push(*var),
+            Predicate::Not(inner) => inner.var_refs(out),
+            Predicate::And(parts) | Predicate::Or(parts) => {
+                for p in parts {
+                    p.var_refs(out);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracelearn_trace::{RowEntry, Signature, Trace, VarId};
+
+    fn step_trace() -> (Trace, VarId, VarId) {
+        let sig = Signature::builder().int("op").int("ip").build();
+        let op = sig.var("op").unwrap();
+        let ip = sig.var("ip").unwrap();
+        let mut t = Trace::new(sig);
+        t.push_row([Value::Int(4), Value::Int(1)]).unwrap();
+        t.push_row([Value::Int(5), Value::Int(1)]).unwrap();
+        (t, op, ip)
+    }
+
+    #[test]
+    fn cmp_ops_apply() {
+        assert!(CmpOp::Eq.apply(2, 2));
+        assert!(CmpOp::Ne.apply(2, 3));
+        assert!(CmpOp::Lt.apply(2, 3));
+        assert!(CmpOp::Le.apply(3, 3));
+        assert!(CmpOp::Gt.apply(4, 3));
+        assert!(CmpOp::Ge.apply(4, 4));
+        assert_eq!(CmpOp::all().len(), 6);
+    }
+
+    #[test]
+    fn integrator_update_predicate() {
+        let (t, op, ip) = step_trace();
+        let step = t.steps().next().unwrap();
+        // op' = op + ip
+        let pred = Predicate::update(
+            op,
+            IntTerm::var(VarRef::current(op)) + IntTerm::var(VarRef::current(ip)),
+        );
+        assert_eq!(pred.eval(&step), Some(true));
+        // op' = op
+        let stutter = Predicate::update(op, IntTerm::var(VarRef::current(op)));
+        assert_eq!(stutter.eval(&step), Some(false));
+    }
+
+    #[test]
+    fn guard_predicates() {
+        let (t, op, _) = step_trace();
+        let step = t.steps().next().unwrap();
+        let ge = Predicate::ge(IntTerm::var(VarRef::current(op)), IntTerm::constant(4));
+        let le = Predicate::le(IntTerm::var(VarRef::current(op)), IntTerm::constant(3));
+        assert_eq!(ge.eval(&step), Some(true));
+        assert_eq!(le.eval(&step), Some(false));
+    }
+
+    #[test]
+    fn event_atoms() {
+        let sig = Signature::builder().event("ev").build();
+        let ev = sig.var("ev").unwrap();
+        let mut t = Trace::new(sig);
+        t.push_named_row(vec![RowEntry::Event("read")]).unwrap();
+        t.push_named_row(vec![RowEntry::Event("write")]).unwrap();
+        let read = t.symbols().lookup("read").unwrap();
+        let write = t.symbols().lookup("write").unwrap();
+        let step = t.steps().next().unwrap();
+        assert_eq!(Predicate::event_is(VarRef::current(ev), read).eval(&step), Some(true));
+        assert_eq!(Predicate::event_is(VarRef::next(ev), write).eval(&step), Some(true));
+        assert_eq!(Predicate::event_is(VarRef::current(ev), write).eval(&step), Some(false));
+    }
+
+    #[test]
+    fn bool_atoms() {
+        let sig = Signature::builder().boolean("b").build();
+        let b = sig.var("b").unwrap();
+        let mut t = Trace::new(sig);
+        t.push_row([Value::Bool(true)]).unwrap();
+        t.push_row([Value::Bool(false)]).unwrap();
+        let step = t.steps().next().unwrap();
+        assert_eq!(
+            Predicate::BoolVar { var: VarRef::current(b), negated: false }.eval(&step),
+            Some(true)
+        );
+        assert_eq!(
+            Predicate::BoolVar { var: VarRef::next(b), negated: true }.eval(&step),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn connectives_and_smart_constructors() {
+        let (t, op, ip) = step_trace();
+        let step = t.steps().next().unwrap();
+        let a = Predicate::eq(IntTerm::var(VarRef::current(op)), IntTerm::constant(4));
+        let b = Predicate::eq(IntTerm::var(VarRef::current(ip)), IntTerm::constant(1));
+        let both = Predicate::and(vec![a.clone(), b.clone()]);
+        assert_eq!(both.eval(&step), Some(true));
+        let either = Predicate::or(vec![a.clone().negate(), b]);
+        assert_eq!(either.eval(&step), Some(true));
+        // Simplifications.
+        assert_eq!(Predicate::and(vec![]), Predicate::True);
+        assert_eq!(Predicate::or(vec![]), Predicate::False);
+        assert_eq!(Predicate::and(vec![Predicate::False, a.clone()]), Predicate::False);
+        assert_eq!(Predicate::or(vec![Predicate::True, a.clone()]), Predicate::True);
+        assert_eq!(Predicate::and(vec![a.clone()]), a.clone());
+        assert_eq!(a.clone().negate().negate(), a);
+    }
+
+    #[test]
+    fn eval_failure_on_kind_mismatch() {
+        let sig = Signature::builder().event("ev").build();
+        let ev = sig.var("ev").unwrap();
+        let mut t = Trace::new(sig);
+        t.push_named_row(vec![RowEntry::Event("a")]).unwrap();
+        t.push_named_row(vec![RowEntry::Event("b")]).unwrap();
+        let step = t.steps().next().unwrap();
+        let pred = Predicate::eq(IntTerm::var(VarRef::current(ev)), IntTerm::constant(0));
+        assert_eq!(pred.eval(&step), None);
+        assert!(!pred.holds(&step));
+    }
+
+    #[test]
+    fn size_and_var_refs() {
+        let (_, op, ip) = step_trace();
+        let pred = Predicate::and(vec![
+            Predicate::eq(IntTerm::var(VarRef::current(op)), IntTerm::constant(5)),
+            Predicate::eq(IntTerm::var(VarRef::current(ip)), IntTerm::constant(1)),
+        ]);
+        assert_eq!(pred.size(), 7);
+        let mut refs = Vec::new();
+        pred.var_refs(&mut refs);
+        assert_eq!(refs.len(), 2);
+    }
+
+    #[test]
+    fn constants_eval() {
+        let (t, _, _) = step_trace();
+        let step = t.steps().next().unwrap();
+        assert_eq!(Predicate::True.eval(&step), Some(true));
+        assert_eq!(Predicate::False.eval(&step), Some(false));
+    }
+}

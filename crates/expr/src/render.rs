@@ -1,0 +1,180 @@
+//! Human-readable rendering of terms and predicates.
+//!
+//! Rendering needs the trace [`Signature`] for variable names and the
+//! [`SymbolTable`] for event names, so it is provided as `render` methods
+//! taking both rather than a bare `Display` impl.
+
+use crate::pred::Predicate;
+use crate::term::{IntTerm, VarRef};
+use tracelearn_trace::{Signature, SymbolTable};
+
+impl VarRef {
+    /// Renders the variable reference as `name` or `name'`.
+    pub fn render(&self, signature: &Signature) -> String {
+        let name = signature.variable(self.var).name();
+        if self.primed {
+            format!("{name}'")
+        } else {
+            name.to_owned()
+        }
+    }
+}
+
+impl IntTerm {
+    /// Renders the term using variable names from `signature`.
+    pub fn render(&self, signature: &Signature, symbols: &SymbolTable) -> String {
+        match self {
+            IntTerm::Const(c) => c.to_string(),
+            IntTerm::Var(v) => v.render(signature),
+            IntTerm::Add(a, b) => format!(
+                "({} + {})",
+                a.render(signature, symbols),
+                b.render(signature, symbols)
+            ),
+            IntTerm::Sub(a, b) => format!(
+                "({} - {})",
+                a.render(signature, symbols),
+                b.render(signature, symbols)
+            ),
+            IntTerm::Scale(k, t) => format!("({k} * {})", t.render(signature, symbols)),
+            IntTerm::Ite(c, a, b) => format!(
+                "ite({}, {}, {})",
+                c.render(signature, symbols),
+                a.render(signature, symbols),
+                b.render(signature, symbols)
+            ),
+        }
+    }
+}
+
+impl Predicate {
+    /// Renders the predicate using variable names from `signature` and event
+    /// names from `symbols`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use tracelearn_expr::{IntTerm, Predicate, VarRef};
+    /// use tracelearn_trace::{Signature, SymbolTable};
+    ///
+    /// let sig = Signature::builder().int("x").build();
+    /// let x = sig.var("x").unwrap();
+    /// let p = Predicate::ge(IntTerm::var(VarRef::current(x)), IntTerm::constant(128));
+    /// assert_eq!(p.render(&sig, &SymbolTable::new()), "(x ≥ 128)");
+    /// ```
+    pub fn render(&self, signature: &Signature, symbols: &SymbolTable) -> String {
+        match self {
+            Predicate::True => "true".to_owned(),
+            Predicate::False => "false".to_owned(),
+            Predicate::Cmp { op, lhs, rhs } => format!(
+                "({} {} {})",
+                lhs.render(signature, symbols),
+                op.symbol(),
+                rhs.render(signature, symbols)
+            ),
+            Predicate::EventIs { var, symbol } => format!(
+                "{} = {}",
+                var.render(signature),
+                symbols.name(*symbol).unwrap_or("<unknown>")
+            ),
+            Predicate::BoolVar { var, negated } => {
+                if *negated {
+                    format!("¬{}", var.render(signature))
+                } else {
+                    var.render(signature)
+                }
+            }
+            Predicate::Not(inner) => format!("¬{}", inner.render(signature, symbols)),
+            Predicate::And(parts) => {
+                let rendered: Vec<String> =
+                    parts.iter().map(|p| p.render(signature, symbols)).collect();
+                format!("({})", rendered.join(" ∧ "))
+            }
+            Predicate::Or(parts) => {
+                let rendered: Vec<String> =
+                    parts.iter().map(|p| p.render(signature, symbols)).collect();
+                format!("({})", rendered.join(" ∨ "))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pred::CmpOp;
+    use tracelearn_trace::Signature;
+
+    fn sig() -> Signature {
+        Signature::builder().int("op").int("ip").event("ev").boolean("b").build()
+    }
+
+    #[test]
+    fn renders_update_predicate() {
+        let s = sig();
+        let op = s.var("op").unwrap();
+        let ip = s.var("ip").unwrap();
+        let p = Predicate::update(
+            op,
+            IntTerm::var(VarRef::current(op)) + IntTerm::var(VarRef::current(ip)),
+        );
+        assert_eq!(p.render(&s, &SymbolTable::new()), "(op' = (op + ip))");
+    }
+
+    #[test]
+    fn renders_saturation_guard() {
+        let s = sig();
+        let op = s.var("op").unwrap();
+        let ip = s.var("ip").unwrap();
+        let p = Predicate::or(vec![
+            Predicate::and(vec![
+                Predicate::eq(IntTerm::var(VarRef::current(op)), IntTerm::constant(5)),
+                Predicate::eq(IntTerm::var(VarRef::current(ip)), IntTerm::constant(1)),
+            ]),
+            Predicate::and(vec![
+                Predicate::eq(IntTerm::var(VarRef::current(op)), IntTerm::constant(-5)),
+                Predicate::eq(IntTerm::var(VarRef::current(ip)), IntTerm::constant(-1)),
+            ]),
+        ]);
+        assert_eq!(
+            p.render(&s, &SymbolTable::new()),
+            "(((op = 5) ∧ (ip = 1)) ∨ ((op = -5) ∧ (ip = -1)))"
+        );
+    }
+
+    #[test]
+    fn renders_events_and_bools() {
+        let s = sig();
+        let mut symbols = SymbolTable::new();
+        let read = symbols.intern("read");
+        let ev = s.var("ev").unwrap();
+        let b = s.var("b").unwrap();
+        assert_eq!(
+            Predicate::event_is(VarRef::next(ev), read).render(&s, &symbols),
+            "ev' = read"
+        );
+        assert_eq!(
+            Predicate::BoolVar { var: VarRef::current(b), negated: true }.render(&s, &symbols),
+            "¬b"
+        );
+    }
+
+    #[test]
+    fn renders_other_operators() {
+        let s = sig();
+        let op = s.var("op").unwrap();
+        let p = Predicate::cmp(
+            CmpOp::Ne,
+            IntTerm::var(VarRef::current(op)),
+            IntTerm::Scale(2, Box::new(IntTerm::constant(3))),
+        );
+        assert_eq!(p.render(&s, &SymbolTable::new()), "(op ≠ (2 * 3))");
+        let ite = IntTerm::ite(Predicate::True, IntTerm::constant(1), IntTerm::constant(0));
+        assert_eq!(ite.render(&s, &SymbolTable::new()), "ite(true, 1, 0)");
+        assert_eq!(Predicate::False.render(&s, &SymbolTable::new()), "false");
+        assert_eq!(
+            Predicate::True.negate().render(&s, &SymbolTable::new()),
+            "false"
+        );
+    }
+}

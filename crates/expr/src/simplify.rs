@@ -1,0 +1,277 @@
+//! Conservative, semantics-preserving simplification of terms and predicates.
+//!
+//! The synthesiser enumerates syntactically small expressions, but predicate
+//! combination (e.g. conjoining per-variable updates, or disjoining branch
+//! behaviours) can introduce redundancy. `simplify` performs constant
+//! folding, neutral-element elimination, flattening of nested conjunctions
+//! and disjunctions and duplicate removal. It never changes the value of the
+//! expression on any step pair — a property checked by the proptests below.
+
+use crate::pred::Predicate;
+use crate::term::IntTerm;
+
+impl IntTerm {
+    /// Returns a simplified term with the same semantics.
+    pub fn simplify(&self) -> IntTerm {
+        match self {
+            IntTerm::Const(_) | IntTerm::Var(_) => self.clone(),
+            IntTerm::Add(a, b) => {
+                let (a, b) = (a.simplify(), b.simplify());
+                match (&a, &b) {
+                    (IntTerm::Const(x), IntTerm::Const(y)) => match x.checked_add(*y) {
+                        Some(sum) => IntTerm::Const(sum),
+                        None => IntTerm::Add(Box::new(a), Box::new(b)),
+                    },
+                    (IntTerm::Const(0), _) => b,
+                    (_, IntTerm::Const(0)) => a,
+                    // Adding a negative constant reads better as a subtraction.
+                    (_, IntTerm::Const(c)) if *c < 0 && *c != i64::MIN => {
+                        IntTerm::Sub(Box::new(a), Box::new(IntTerm::Const(-c)))
+                    }
+                    _ => IntTerm::Add(Box::new(a), Box::new(b)),
+                }
+            }
+            IntTerm::Sub(a, b) => {
+                let (a, b) = (a.simplify(), b.simplify());
+                match (&a, &b) {
+                    (IntTerm::Const(x), IntTerm::Const(y)) => match x.checked_sub(*y) {
+                        Some(diff) => IntTerm::Const(diff),
+                        None => IntTerm::Sub(Box::new(a), Box::new(b)),
+                    },
+                    (_, IntTerm::Const(0)) => a,
+                    // Subtracting a negative constant reads better as an addition.
+                    (_, IntTerm::Const(c)) if *c < 0 && *c != i64::MIN => {
+                        IntTerm::Add(Box::new(a), Box::new(IntTerm::Const(-c)))
+                    }
+                    _ => IntTerm::Sub(Box::new(a), Box::new(b)),
+                }
+            }
+            IntTerm::Scale(k, t) => {
+                let t = t.simplify();
+                match (k, &t) {
+                    (0, _) => IntTerm::Const(0),
+                    (1, _) => t,
+                    (k, IntTerm::Const(c)) => match c.checked_mul(*k) {
+                        Some(prod) => IntTerm::Const(prod),
+                        None => IntTerm::Scale(*k, Box::new(t)),
+                    },
+                    _ => IntTerm::Scale(*k, Box::new(t)),
+                }
+            }
+            IntTerm::Ite(c, a, b) => {
+                let c = c.simplify();
+                let (a, b) = (a.simplify(), b.simplify());
+                match &c {
+                    Predicate::True => a,
+                    Predicate::False => b,
+                    _ if a == b => a,
+                    _ => IntTerm::Ite(Box::new(c), Box::new(a), Box::new(b)),
+                }
+            }
+        }
+    }
+}
+
+impl Predicate {
+    /// Returns a simplified predicate with the same semantics.
+    pub fn simplify(&self) -> Predicate {
+        match self {
+            Predicate::True | Predicate::False => self.clone(),
+            Predicate::Cmp { op, lhs, rhs } => {
+                let (lhs, rhs) = (lhs.simplify(), rhs.simplify());
+                if let (IntTerm::Const(a), IntTerm::Const(b)) = (&lhs, &rhs) {
+                    return if op.apply(*a, *b) { Predicate::True } else { Predicate::False };
+                }
+                Predicate::Cmp { op: *op, lhs, rhs }
+            }
+            Predicate::EventIs { .. } | Predicate::BoolVar { .. } => self.clone(),
+            Predicate::Not(inner) => inner.simplify().negate(),
+            Predicate::And(parts) => {
+                let mut flat = Vec::new();
+                for p in parts {
+                    match p.simplify() {
+                        Predicate::True => {}
+                        Predicate::False => return Predicate::False,
+                        Predicate::And(nested) => flat.extend(nested),
+                        other => flat.push(other),
+                    }
+                }
+                dedup_preserving_order(&mut flat);
+                Predicate::and(flat)
+            }
+            Predicate::Or(parts) => {
+                let mut flat = Vec::new();
+                for p in parts {
+                    match p.simplify() {
+                        Predicate::False => {}
+                        Predicate::True => return Predicate::True,
+                        Predicate::Or(nested) => flat.extend(nested),
+                        other => flat.push(other),
+                    }
+                }
+                dedup_preserving_order(&mut flat);
+                Predicate::or(flat)
+            }
+        }
+    }
+}
+
+fn dedup_preserving_order(parts: &mut Vec<Predicate>) {
+    let mut seen: Vec<Predicate> = Vec::new();
+    parts.retain(|p| {
+        if seen.contains(p) {
+            false
+        } else {
+            seen.push(p.clone());
+            true
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pred::CmpOp;
+    use crate::term::VarRef;
+    use proptest::prelude::*;
+    use tracelearn_trace::{Signature, Trace, Value, VarId};
+
+    fn x() -> VarId {
+        VarId::new(0)
+    }
+
+    fn cur_x() -> IntTerm {
+        IntTerm::var(VarRef::current(x()))
+    }
+
+    #[test]
+    fn constant_folding() {
+        let t = IntTerm::constant(2) + IntTerm::constant(3);
+        assert_eq!(t.simplify(), IntTerm::Const(5));
+        let t = IntTerm::Scale(4, Box::new(IntTerm::constant(2)));
+        assert_eq!(t.simplify(), IntTerm::Const(8));
+        let t = IntTerm::constant(7) - IntTerm::constant(7);
+        assert_eq!(t.simplify(), IntTerm::Const(0));
+    }
+
+    #[test]
+    fn neutral_elements() {
+        assert_eq!((cur_x() + IntTerm::constant(0)).simplify(), cur_x());
+        assert_eq!((IntTerm::constant(0) + cur_x()).simplify(), cur_x());
+        assert_eq!((cur_x() - IntTerm::constant(0)).simplify(), cur_x());
+        assert_eq!(IntTerm::Scale(1, Box::new(cur_x())).simplify(), cur_x());
+        assert_eq!(IntTerm::Scale(0, Box::new(cur_x())).simplify(), IntTerm::Const(0));
+    }
+
+    #[test]
+    fn ite_collapse() {
+        let t = IntTerm::ite(Predicate::True, cur_x(), IntTerm::constant(9));
+        assert_eq!(t.simplify(), cur_x());
+        let t = IntTerm::ite(Predicate::False, cur_x(), IntTerm::constant(9));
+        assert_eq!(t.simplify(), IntTerm::Const(9));
+        let t = IntTerm::ite(
+            Predicate::ge(cur_x(), IntTerm::constant(1)),
+            IntTerm::constant(4),
+            IntTerm::constant(4),
+        );
+        assert_eq!(t.simplify(), IntTerm::Const(4));
+    }
+
+    #[test]
+    fn predicate_constant_folding() {
+        let p = Predicate::cmp(CmpOp::Lt, IntTerm::constant(1), IntTerm::constant(2));
+        assert_eq!(p.simplify(), Predicate::True);
+        let p = Predicate::cmp(CmpOp::Eq, IntTerm::constant(1), IntTerm::constant(2));
+        assert_eq!(p.simplify(), Predicate::False);
+    }
+
+    #[test]
+    fn and_or_flattening_and_dedup() {
+        let atom = Predicate::ge(cur_x(), IntTerm::constant(3));
+        let nested = Predicate::And(vec![
+            atom.clone(),
+            Predicate::And(vec![atom.clone(), Predicate::True]),
+        ]);
+        assert_eq!(nested.simplify(), atom);
+        let or = Predicate::Or(vec![
+            Predicate::False,
+            atom.clone(),
+            Predicate::Or(vec![atom.clone()]),
+        ]);
+        assert_eq!(or.simplify(), atom);
+        let poisoned = Predicate::And(vec![atom.clone(), Predicate::False]);
+        assert_eq!(poisoned.simplify(), Predicate::False);
+        let tautology = Predicate::Or(vec![atom, Predicate::True]);
+        assert_eq!(tautology.simplify(), Predicate::True);
+    }
+
+    #[test]
+    fn not_simplification() {
+        let atom = Predicate::ge(cur_x(), IntTerm::constant(3));
+        assert_eq!(Predicate::Not(Box::new(Predicate::True)).simplify(), Predicate::False);
+        assert_eq!(
+            Predicate::Not(Box::new(Predicate::Not(Box::new(atom.clone())))).simplify(),
+            atom
+        );
+    }
+
+    // --- Property tests: simplification preserves semantics. -------------
+
+    /// A small strategy of terms over a single integer variable `x`.
+    fn term_strategy() -> impl Strategy<Value = IntTerm> {
+        let leaf = prop_oneof![
+            (-8i64..8).prop_map(IntTerm::Const),
+            Just(IntTerm::var(VarRef::current(VarId::new(0)))),
+            Just(IntTerm::var(VarRef::next(VarId::new(0)))),
+        ];
+        leaf.prop_recursive(3, 24, 2, |inner| {
+            prop_oneof![
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| a + b),
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| a - b),
+                ((-3i64..4), inner).prop_map(|(k, t)| IntTerm::Scale(k, Box::new(t))),
+            ]
+        })
+    }
+
+    fn pred_strategy() -> impl Strategy<Value = Predicate> {
+        let atom = (term_strategy(), term_strategy(), 0usize..6).prop_map(|(a, b, op)| {
+            Predicate::cmp(CmpOp::all()[op], a, b)
+        });
+        atom.prop_recursive(3, 24, 3, |inner| {
+            prop_oneof![
+                proptest::collection::vec(inner.clone(), 1..3).prop_map(Predicate::And),
+                proptest::collection::vec(inner.clone(), 1..3).prop_map(Predicate::Or),
+                inner.prop_map(|p| Predicate::Not(Box::new(p))),
+            ]
+        })
+    }
+
+    fn sample_trace(a: i64, b: i64) -> Trace {
+        let sig = Signature::builder().int("x").build();
+        let mut t = Trace::new(sig);
+        t.push_row([Value::Int(a)]).unwrap();
+        t.push_row([Value::Int(b)]).unwrap();
+        t
+    }
+
+    proptest! {
+        #[test]
+        fn term_simplify_preserves_semantics(t in term_strategy(), a in -10i64..10, b in -10i64..10) {
+            let trace = sample_trace(a, b);
+            let step = trace.steps().next().unwrap();
+            prop_assert_eq!(t.simplify().eval(&step), t.eval(&step));
+        }
+
+        #[test]
+        fn pred_simplify_preserves_semantics(p in pred_strategy(), a in -10i64..10, b in -10i64..10) {
+            let trace = sample_trace(a, b);
+            let step = trace.steps().next().unwrap();
+            prop_assert_eq!(p.simplify().eval(&step), p.eval(&step));
+        }
+
+        #[test]
+        fn simplify_never_grows(p in pred_strategy()) {
+            prop_assert!(p.simplify().size() <= p.size());
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! Integer-valued terms over current and next-state variables.
+
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, Neg, Sub};
+use tracelearn_trace::{StepPair, Value, VarId};
+
+/// A reference to a trace variable, either in the current state (`x`) or in
+/// the next state (`x'`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct VarRef {
+    /// The underlying trace variable.
+    pub var: VarId,
+    /// Whether this refers to the primed (next-state) copy.
+    pub primed: bool,
+}
+
+impl VarRef {
+    /// Refers to the current-state value of `var`.
+    pub fn current(var: VarId) -> Self {
+        VarRef { var, primed: false }
+    }
+
+    /// Refers to the next-state value of `var`.
+    pub fn next(var: VarId) -> Self {
+        VarRef { var, primed: true }
+    }
+
+    /// Resolves the reference against a step pair.
+    pub fn value(&self, step: &StepPair<'_>) -> Value {
+        if self.primed {
+            step.next_value(self.var)
+        } else {
+            step.current_value(self.var)
+        }
+    }
+}
+
+/// An integer-valued term.
+///
+/// Terms are the right-hand sides of the update predicates `x' = next(x)`
+/// synthesised by the learner: constants, variables, sums, differences,
+/// constant scaling and conditional expressions.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IntTerm {
+    /// An integer constant.
+    Const(i64),
+    /// The value of a (possibly primed) variable.
+    Var(VarRef),
+    /// Sum of two terms.
+    Add(Box<IntTerm>, Box<IntTerm>),
+    /// Difference of two terms.
+    Sub(Box<IntTerm>, Box<IntTerm>),
+    /// A term multiplied by an integer constant.
+    Scale(i64, Box<IntTerm>),
+    /// `if cond then a else b` where `cond` is a predicate.
+    Ite(Box<crate::Predicate>, Box<IntTerm>, Box<IntTerm>),
+}
+
+impl IntTerm {
+    /// A constant term.
+    pub fn constant(value: i64) -> Self {
+        IntTerm::Const(value)
+    }
+
+    /// A variable term.
+    pub fn var(var: VarRef) -> Self {
+        IntTerm::Var(var)
+    }
+
+    /// A conditional term.
+    pub fn ite(cond: crate::Predicate, then: IntTerm, otherwise: IntTerm) -> Self {
+        IntTerm::Ite(Box::new(cond), Box::new(then), Box::new(otherwise))
+    }
+
+    /// Evaluates the term against a step pair.
+    ///
+    /// Returns `None` when a referenced variable is not integer-valued, on
+    /// arithmetic overflow, or when a nested condition cannot be evaluated.
+    pub fn eval(&self, step: &StepPair<'_>) -> Option<i64> {
+        match self {
+            IntTerm::Const(c) => Some(*c),
+            IntTerm::Var(v) => v.value(step).as_int(),
+            IntTerm::Add(a, b) => a.eval(step)?.checked_add(b.eval(step)?),
+            IntTerm::Sub(a, b) => a.eval(step)?.checked_sub(b.eval(step)?),
+            IntTerm::Scale(k, t) => t.eval(step)?.checked_mul(*k),
+            IntTerm::Ite(cond, then, otherwise) => {
+                if cond.eval(step)? {
+                    then.eval(step)
+                } else {
+                    otherwise.eval(step)
+                }
+            }
+        }
+    }
+
+    /// Syntactic size of the term (number of AST nodes), the minimality
+    /// metric used by the enumerative synthesiser.
+    pub fn size(&self) -> usize {
+        match self {
+            IntTerm::Const(_) | IntTerm::Var(_) => 1,
+            IntTerm::Add(a, b) | IntTerm::Sub(a, b) => 1 + a.size() + b.size(),
+            IntTerm::Scale(_, t) => 1 + t.size(),
+            IntTerm::Ite(c, a, b) => 1 + c.size() + a.size() + b.size(),
+        }
+    }
+
+    /// Collects every variable reference appearing in the term.
+    pub fn var_refs(&self, out: &mut Vec<VarRef>) {
+        match self {
+            IntTerm::Const(_) => {}
+            IntTerm::Var(v) => out.push(*v),
+            IntTerm::Add(a, b) | IntTerm::Sub(a, b) => {
+                a.var_refs(out);
+                b.var_refs(out);
+            }
+            IntTerm::Scale(_, t) => t.var_refs(out),
+            IntTerm::Ite(c, a, b) => {
+                c.var_refs(out);
+                a.var_refs(out);
+                b.var_refs(out);
+            }
+        }
+    }
+
+    /// Whether the term mentions any primed (next-state) variable.
+    pub fn mentions_primed(&self) -> bool {
+        let mut refs = Vec::new();
+        self.var_refs(&mut refs);
+        refs.iter().any(|r| r.primed)
+    }
+}
+
+impl Add for IntTerm {
+    type Output = IntTerm;
+
+    fn add(self, rhs: IntTerm) -> IntTerm {
+        IntTerm::Add(Box::new(self), Box::new(rhs))
+    }
+}
+
+impl Sub for IntTerm {
+    type Output = IntTerm;
+
+    fn sub(self, rhs: IntTerm) -> IntTerm {
+        IntTerm::Sub(Box::new(self), Box::new(rhs))
+    }
+}
+
+impl Neg for IntTerm {
+    type Output = IntTerm;
+
+    fn neg(self) -> IntTerm {
+        IntTerm::Scale(-1, Box::new(self))
+    }
+}
+
+impl From<i64> for IntTerm {
+    fn from(value: i64) -> Self {
+        IntTerm::Const(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Predicate;
+    use tracelearn_trace::{Signature, Trace};
+
+    fn two_var_trace() -> (Trace, VarId, VarId) {
+        let sig = Signature::builder().int("x").int("y").build();
+        let x = sig.var("x").unwrap();
+        let y = sig.var("y").unwrap();
+        let mut t = Trace::new(sig);
+        t.push_row([Value::Int(3), Value::Int(10)]).unwrap();
+        t.push_row([Value::Int(4), Value::Int(8)]).unwrap();
+        (t, x, y)
+    }
+
+    #[test]
+    fn var_ref_resolution() {
+        let (t, x, _) = two_var_trace();
+        let step = t.steps().next().unwrap();
+        assert_eq!(VarRef::current(x).value(&step), Value::Int(3));
+        assert_eq!(VarRef::next(x).value(&step), Value::Int(4));
+    }
+
+    #[test]
+    fn arithmetic_evaluation() {
+        let (t, x, y) = two_var_trace();
+        let step = t.steps().next().unwrap();
+        let term = IntTerm::var(VarRef::current(x)) + IntTerm::var(VarRef::current(y));
+        assert_eq!(term.eval(&step), Some(13));
+        let term = IntTerm::var(VarRef::next(y)) - IntTerm::constant(3);
+        assert_eq!(term.eval(&step), Some(5));
+        let term = IntTerm::Scale(2, Box::new(IntTerm::var(VarRef::current(x))));
+        assert_eq!(term.eval(&step), Some(6));
+        let term = -IntTerm::constant(7);
+        assert_eq!(term.eval(&step), Some(-7));
+    }
+
+    #[test]
+    fn ite_evaluation() {
+        let (t, x, _) = two_var_trace();
+        let step = t.steps().next().unwrap();
+        let cond = Predicate::ge(IntTerm::var(VarRef::current(x)), IntTerm::constant(3));
+        let term = IntTerm::ite(cond, IntTerm::constant(1), IntTerm::constant(0));
+        assert_eq!(term.eval(&step), Some(1));
+    }
+
+    #[test]
+    fn overflow_yields_none() {
+        let (t, x, _) = two_var_trace();
+        let step = t.steps().next().unwrap();
+        let term = IntTerm::constant(i64::MAX) + IntTerm::var(VarRef::current(x));
+        assert_eq!(term.eval(&step), None);
+    }
+
+    #[test]
+    fn kind_mismatch_yields_none() {
+        let sig = Signature::builder().event("op").build();
+        let mut t = Trace::new(sig.clone());
+        t.push_named_row(vec![tracelearn_trace::RowEntry::Event("a")]).unwrap();
+        t.push_named_row(vec![tracelearn_trace::RowEntry::Event("b")]).unwrap();
+        let step = t.steps().next().unwrap();
+        let term = IntTerm::var(VarRef::current(sig.var("op").unwrap()));
+        assert_eq!(term.eval(&step), None);
+    }
+
+    #[test]
+    fn size_counts_nodes() {
+        let (_, x, _) = two_var_trace();
+        assert_eq!(IntTerm::constant(3).size(), 1);
+        let sum = IntTerm::var(VarRef::current(x)) + IntTerm::constant(1);
+        assert_eq!(sum.size(), 3);
+    }
+
+    #[test]
+    fn var_refs_and_primed_detection() {
+        let (_, x, y) = two_var_trace();
+        let term = IntTerm::var(VarRef::next(x)) - IntTerm::var(VarRef::current(y));
+        let mut refs = Vec::new();
+        term.var_refs(&mut refs);
+        assert_eq!(refs.len(), 2);
+        assert!(term.mentions_primed());
+        assert!(!IntTerm::var(VarRef::current(x)).mentions_primed());
+    }
+}

@@ -1,0 +1,133 @@
+//! Boolean variables and literals.
+
+use std::fmt;
+use std::ops::Not;
+
+/// A propositional variable, identified by a zero-based index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(u32);
+
+impl Var {
+    /// Creates a variable from its zero-based index.
+    pub fn new(index: u32) -> Self {
+        Var(index)
+    }
+
+    /// The zero-based index of the variable.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0 + 1)
+    }
+}
+
+/// A literal: a variable or its negation.
+///
+/// Internally encoded as `2 * var + sign` so that a literal and its negation
+/// differ only in the lowest bit, which keeps watch lists compact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// The positive literal of `var`.
+    pub fn positive(var: Var) -> Self {
+        Lit(var.0 << 1)
+    }
+
+    /// The negative literal of `var`.
+    pub fn negative(var: Var) -> Self {
+        Lit((var.0 << 1) | 1)
+    }
+
+    /// Builds a literal from a variable and a polarity.
+    pub fn new(var: Var, positive: bool) -> Self {
+        if positive {
+            Lit::positive(var)
+        } else {
+            Lit::negative(var)
+        }
+    }
+
+    /// The underlying variable.
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// Whether the literal is positive.
+    pub fn is_positive(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// Dense index usable for watch lists (`2 * var + sign`).
+    pub fn code(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstructs a literal from its dense code.
+    pub fn from_code(code: usize) -> Self {
+        Lit(u32::try_from(code).expect("literal code fits in u32"))
+    }
+}
+
+impl Not for Lit {
+    type Output = Lit;
+
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_positive() {
+            write!(f, "{}", self.var())
+        } else {
+            write!(f, "¬{}", self.var())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_encoding_round_trips() {
+        let v = Var::new(7);
+        let pos = Lit::positive(v);
+        let neg = Lit::negative(v);
+        assert_eq!(pos.var(), v);
+        assert_eq!(neg.var(), v);
+        assert!(pos.is_positive());
+        assert!(!neg.is_positive());
+        assert_eq!(!pos, neg);
+        assert_eq!(!neg, pos);
+        assert_eq!(Lit::from_code(pos.code()), pos);
+    }
+
+    #[test]
+    fn new_with_polarity() {
+        let v = Var::new(3);
+        assert_eq!(Lit::new(v, true), Lit::positive(v));
+        assert_eq!(Lit::new(v, false), Lit::negative(v));
+    }
+
+    #[test]
+    fn codes_are_adjacent() {
+        let v = Var::new(5);
+        assert_eq!(Lit::positive(v).code() + 1, Lit::negative(v).code());
+        assert_eq!(Lit::positive(v).code(), 10);
+    }
+
+    #[test]
+    fn display_forms() {
+        let v = Var::new(0);
+        assert_eq!(Lit::positive(v).to_string(), "x1");
+        assert_eq!(Lit::negative(v).to_string(), "¬x1");
+        assert_eq!(v.to_string(), "x1");
+    }
+}

@@ -1,0 +1,92 @@
+//! Satisfying assignments.
+
+use crate::lit::{Lit, Var};
+
+/// A satisfying assignment returned by the solver.
+///
+/// # Example
+///
+/// ```
+/// use tracelearn_sat::{Cnf, Lit, SatResult, Solver};
+///
+/// let mut cnf = Cnf::new();
+/// let v = cnf.new_var();
+/// cnf.add_clause([Lit::positive(v)]);
+/// if let SatResult::Sat(model) = Solver::from_cnf(&cnf).solve() {
+///     assert!(model.value(v));
+///     assert!(model.lit_value(Lit::positive(v)));
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Model {
+    values: Vec<bool>,
+}
+
+impl Model {
+    /// Creates a model from per-variable values (indexed by variable index).
+    pub fn new(values: Vec<bool>) -> Self {
+        Model { values }
+    }
+
+    /// The truth value assigned to `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` was not part of the solved formula.
+    pub fn value(&self, var: Var) -> bool {
+        self.values[var.index()]
+    }
+
+    /// The truth value of a literal under this model.
+    pub fn lit_value(&self, lit: Lit) -> bool {
+        self.value(lit.var()) == lit.is_positive()
+    }
+
+    /// Number of assigned variables.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the model assigns no variables.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Checks the model against a set of clauses, returning `true` when every
+    /// clause contains at least one satisfied literal.
+    pub fn satisfies(&self, clauses: &[Vec<Lit>]) -> bool {
+        clauses
+            .iter()
+            .all(|clause| clause.iter().any(|&lit| self.lit_value(lit)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_lookup() {
+        let model = Model::new(vec![true, false, true]);
+        assert!(model.value(Var::new(0)));
+        assert!(!model.value(Var::new(1)));
+        assert!(model.lit_value(Lit::negative(Var::new(1))));
+        assert!(!model.lit_value(Lit::negative(Var::new(2))));
+        assert_eq!(model.len(), 3);
+        assert!(!model.is_empty());
+    }
+
+    #[test]
+    fn satisfies_checks_all_clauses() {
+        let model = Model::new(vec![true, false]);
+        let a = Var::new(0);
+        let b = Var::new(1);
+        let clauses = vec![
+            vec![Lit::positive(a), Lit::positive(b)],
+            vec![Lit::negative(b)],
+        ];
+        assert!(model.satisfies(&clauses));
+        let failing = vec![vec![Lit::positive(b)]];
+        assert!(!model.satisfies(&failing));
+    }
+}

@@ -1,0 +1,828 @@
+//! A conflict-driven clause-learning (CDCL) SAT solver.
+//!
+//! The implementation follows the classic MiniSat architecture:
+//! two-watched-literal unit propagation, first-UIP conflict analysis with
+//! clause learning and non-chronological backjumping, activity-ordered
+//! (VSIDS) decision making with phase saving, and Luby-sequence restarts.
+
+use crate::cnf::Cnf;
+use crate::lit::{Lit, Var};
+use crate::model::Model;
+
+/// Resource limits for a single [`Solver::solve_with_limits`] call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Limits {
+    /// Maximum number of conflicts before giving up with
+    /// [`SatResult::Unknown`]. `None` means unlimited.
+    pub max_conflicts: Option<u64>,
+    /// Maximum number of unit propagations before giving up. `None` means
+    /// unlimited.
+    pub max_propagations: Option<u64>,
+}
+
+impl Limits {
+    /// No limits: the solver runs to completion.
+    pub fn unlimited() -> Self {
+        Limits::default()
+    }
+
+    /// Limits the number of conflicts.
+    pub fn conflicts(max_conflicts: u64) -> Self {
+        Limits {
+            max_conflicts: Some(max_conflicts),
+            max_propagations: None,
+        }
+    }
+}
+
+/// Outcome of a solve call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SatResult {
+    /// The formula is satisfiable; a witnessing assignment is attached.
+    Sat(Model),
+    /// The formula is unsatisfiable.
+    Unsat,
+    /// The resource budget was exhausted before an answer was found.
+    Unknown,
+}
+
+impl SatResult {
+    /// Returns the model when satisfiable.
+    pub fn model(self) -> Option<Model> {
+        match self {
+            SatResult::Sat(model) => Some(model),
+            _ => None,
+        }
+    }
+
+    /// Whether the result is `Sat`.
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SatResult::Sat(_))
+    }
+
+    /// Whether the result is `Unsat`.
+    pub fn is_unsat(&self) -> bool {
+        matches!(self, SatResult::Unsat)
+    }
+}
+
+/// Counters describing the work performed by the solver.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Number of decisions made.
+    pub decisions: u64,
+    /// Number of conflicts encountered.
+    pub conflicts: u64,
+    /// Number of literals propagated.
+    pub propagations: u64,
+    /// Number of learnt clauses added.
+    pub learnt_clauses: u64,
+    /// Number of restarts performed.
+    pub restarts: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Clause {
+    lits: Vec<Lit>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Watch {
+    clause: usize,
+    blocker: Lit,
+}
+
+/// The CDCL solver. Construct it from a [`Cnf`] and call [`Solver::solve`].
+#[derive(Debug, Clone)]
+pub struct Solver {
+    num_vars: usize,
+    clauses: Vec<Clause>,
+    watches: Vec<Vec<Watch>>,
+    assign: Vec<Option<bool>>,
+    level: Vec<u32>,
+    reason: Vec<Option<usize>>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    activity: Vec<f64>,
+    var_inc: f64,
+    phase: Vec<bool>,
+    heap: VarHeap,
+    seen: Vec<bool>,
+    ok: bool,
+    stats: SolverStats,
+}
+
+impl Solver {
+    /// Creates a solver over `num_vars` variables with no clauses.
+    pub fn new(num_vars: usize) -> Self {
+        let mut heap = VarHeap::new(num_vars);
+        let initial_activity = vec![0.0; num_vars];
+        for v in 0..num_vars {
+            heap.insert(v, &initial_activity);
+        }
+        Solver {
+            num_vars,
+            clauses: Vec::new(),
+            watches: vec![Vec::new(); num_vars * 2],
+            assign: vec![None; num_vars],
+            level: vec![0; num_vars],
+            reason: vec![None; num_vars],
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: vec![0.0; num_vars],
+            var_inc: 1.0,
+            phase: vec![false; num_vars],
+            heap,
+            seen: vec![false; num_vars],
+            ok: true,
+            stats: SolverStats::default(),
+        }
+    }
+
+    /// Creates a solver and loads every clause of `cnf`.
+    pub fn from_cnf(cnf: &Cnf) -> Self {
+        let mut solver = Solver::new(cnf.num_vars());
+        for clause in cnf.clauses() {
+            solver.add_clause(clause.iter().copied());
+        }
+        solver
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    /// Number of variables known to the solver.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    fn lit_value(&self, lit: Lit) -> Option<bool> {
+        self.assign[lit.var().index()].map(|v| v == lit.is_positive())
+    }
+
+    fn current_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    /// Adds a clause. Must be called before [`Solver::solve`]; clauses added
+    /// after a solve call are still handled correctly because solving always
+    /// restarts from decision level zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a literal refers to a variable outside the solver's range.
+    pub fn add_clause<I>(&mut self, lits: I)
+    where
+        I: IntoIterator<Item = Lit>,
+    {
+        if !self.ok {
+            return;
+        }
+        // Reset to decision level 0 so value checks below are top-level facts.
+        self.backjump(0);
+        let mut clause: Vec<Lit> = lits.into_iter().collect();
+        for lit in &clause {
+            assert!(lit.var().index() < self.num_vars, "literal out of range");
+        }
+        clause.sort();
+        clause.dedup();
+        // Tautologies are trivially satisfied.
+        for i in 1..clause.len() {
+            if clause[i] == !clause[i - 1] {
+                return;
+            }
+        }
+        // Remove literals already false at top level; drop satisfied clauses.
+        clause.retain(|&l| self.lit_value(l) != Some(false));
+        if clause.iter().any(|&l| self.lit_value(l) == Some(true)) {
+            return;
+        }
+        match clause.len() {
+            0 => self.ok = false,
+            1 => {
+                if !self.enqueue(clause[0], None) {
+                    self.ok = false;
+                } else if self.propagate().is_some() {
+                    self.ok = false;
+                }
+            }
+            _ => {
+                self.attach(clause);
+            }
+        }
+    }
+
+    fn attach(&mut self, lits: Vec<Lit>) -> usize {
+        let idx = self.clauses.len();
+        self.watches[(!lits[0]).code()].push(Watch {
+            clause: idx,
+            blocker: lits[1],
+        });
+        self.watches[(!lits[1]).code()].push(Watch {
+            clause: idx,
+            blocker: lits[0],
+        });
+        self.clauses.push(Clause { lits });
+        idx
+    }
+
+    fn enqueue(&mut self, lit: Lit, reason: Option<usize>) -> bool {
+        match self.lit_value(lit) {
+            Some(true) => true,
+            Some(false) => false,
+            None => {
+                let v = lit.var().index();
+                self.assign[v] = Some(lit.is_positive());
+                self.level[v] = self.current_level();
+                self.reason[v] = reason;
+                self.trail.push(lit);
+                true
+            }
+        }
+    }
+
+    fn propagate(&mut self) -> Option<usize> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+
+            let mut watch_list = std::mem::take(&mut self.watches[p.code()]);
+            let mut kept = Vec::with_capacity(watch_list.len());
+            let mut conflict = None;
+            let mut iter = watch_list.drain(..);
+            while let Some(watch) = iter.next() {
+                if self.lit_value(watch.blocker) == Some(true) {
+                    kept.push(watch);
+                    continue;
+                }
+                let clause_idx = watch.clause;
+                let false_lit = !p;
+                // Ensure the falsified literal is at position 1.
+                {
+                    let clause = &mut self.clauses[clause_idx];
+                    if clause.lits[0] == false_lit {
+                        clause.lits.swap(0, 1);
+                    }
+                }
+                let first = self.clauses[clause_idx].lits[0];
+                if first != watch.blocker && self.lit_value(first) == Some(true) {
+                    kept.push(Watch {
+                        clause: clause_idx,
+                        blocker: first,
+                    });
+                    continue;
+                }
+                // Look for a new literal to watch.
+                let mut moved = false;
+                {
+                    let len = self.clauses[clause_idx].lits.len();
+                    for k in 2..len {
+                        let candidate = self.clauses[clause_idx].lits[k];
+                        if self.lit_value(candidate) != Some(false) {
+                            self.clauses[clause_idx].lits.swap(1, k);
+                            self.watches[(!candidate).code()].push(Watch {
+                                clause: clause_idx,
+                                blocker: first,
+                            });
+                            moved = true;
+                            break;
+                        }
+                    }
+                }
+                if moved {
+                    continue;
+                }
+                // Clause is unit or conflicting under the current assignment.
+                kept.push(Watch {
+                    clause: clause_idx,
+                    blocker: first,
+                });
+                if self.lit_value(first) == Some(false) {
+                    conflict = Some(clause_idx);
+                    self.qhead = self.trail.len();
+                    break;
+                }
+                let enqueued = self.enqueue(first, Some(clause_idx));
+                debug_assert!(enqueued, "unit literal must be assignable");
+            }
+            kept.extend(iter);
+            debug_assert!(self.watches[p.code()].is_empty() || conflict.is_none());
+            // New watches for other literals may have been appended while we
+            // iterated; keep them.
+            let appended = std::mem::take(&mut self.watches[p.code()]);
+            kept.extend(appended);
+            self.watches[p.code()] = kept;
+            if conflict.is_some() {
+                return conflict;
+            }
+        }
+        None
+    }
+
+    fn bump_var(&mut self, var: usize) {
+        self.activity[var] += self.var_inc;
+        if self.activity[var] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        self.heap.update(var, &self.activity);
+    }
+
+    fn analyze(&mut self, mut conflict: usize) -> (Vec<Lit>, u32) {
+        let mut learnt: Vec<Lit> = vec![Lit::positive(Var::new(0))]; // placeholder for the asserting literal
+        let mut counter = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut index = self.trail.len();
+        let current = self.current_level();
+
+        loop {
+            let clause_lits = self.clauses[conflict].lits.clone();
+            let skip = usize::from(p.is_some());
+            for &q in clause_lits.iter().skip(skip) {
+                let v = q.var().index();
+                if !self.seen[v] && self.level[v] > 0 {
+                    self.seen[v] = true;
+                    self.bump_var(v);
+                    if self.level[v] >= current {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Find the next literal of the current level to resolve on.
+            loop {
+                index -= 1;
+                if self.seen[self.trail[index].var().index()] {
+                    break;
+                }
+            }
+            let lit = self.trail[index];
+            let v = lit.var().index();
+            self.seen[v] = false;
+            counter -= 1;
+            p = Some(lit);
+            if counter == 0 {
+                break;
+            }
+            conflict = self.reason[v].expect("non-UIP literal has a reason clause");
+        }
+        learnt[0] = !p.expect("analysis produced an asserting literal");
+
+        // Clear the seen flags of the remaining literals.
+        for &lit in &learnt {
+            self.seen[lit.var().index()] = false;
+        }
+
+        // Compute the backtrack level: the highest level among the non-asserting literals.
+        let backtrack_level = if learnt.len() == 1 {
+            0
+        } else {
+            let mut max_idx = 1;
+            for i in 2..learnt.len() {
+                if self.level[learnt[i].var().index()] > self.level[learnt[max_idx].var().index()] {
+                    max_idx = i;
+                }
+            }
+            learnt.swap(1, max_idx);
+            self.level[learnt[1].var().index()]
+        };
+        (learnt, backtrack_level)
+    }
+
+    fn backjump(&mut self, target_level: u32) {
+        if self.current_level() <= target_level {
+            return;
+        }
+        let keep = self.trail_lim[target_level as usize];
+        while self.trail.len() > keep {
+            let lit = self.trail.pop().expect("trail entry");
+            let v = lit.var().index();
+            self.phase[v] = lit.is_positive();
+            self.assign[v] = None;
+            self.reason[v] = None;
+            self.heap.insert(v, &self.activity);
+        }
+        self.trail_lim.truncate(target_level as usize);
+        self.qhead = self.trail.len();
+    }
+
+    fn decide(&mut self) -> bool {
+        while let Some(v) = self.heap.pop(&self.activity) {
+            if self.assign[v].is_none() {
+                self.stats.decisions += 1;
+                self.trail_lim.push(self.trail.len());
+                let lit = Lit::new(Var::new(v as u32), self.phase[v]);
+                let enqueued = self.enqueue(lit, None);
+                debug_assert!(enqueued);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Solves the formula to completion.
+    pub fn solve(&mut self) -> SatResult {
+        self.solve_with_limits(Limits::unlimited())
+    }
+
+    /// Solves the formula, giving up with [`SatResult::Unknown`] when the
+    /// budget in `limits` is exhausted.
+    pub fn solve_with_limits(&mut self, limits: Limits) -> SatResult {
+        if !self.ok {
+            return SatResult::Unsat;
+        }
+        self.backjump(0);
+        if self.propagate().is_some() {
+            self.ok = false;
+            return SatResult::Unsat;
+        }
+
+        let mut conflicts_since_restart = 0u64;
+        let mut restart_limit = 100u64 * luby(self.stats.restarts + 1);
+
+        loop {
+            if let Some(max) = limits.max_conflicts {
+                if self.stats.conflicts >= max {
+                    self.backjump(0);
+                    return SatResult::Unknown;
+                }
+            }
+            if let Some(max) = limits.max_propagations {
+                if self.stats.propagations >= max {
+                    self.backjump(0);
+                    return SatResult::Unknown;
+                }
+            }
+
+            if let Some(conflict) = self.propagate() {
+                self.stats.conflicts += 1;
+                conflicts_since_restart += 1;
+                if self.current_level() == 0 {
+                    self.ok = false;
+                    return SatResult::Unsat;
+                }
+                let (learnt, backtrack_level) = self.analyze(conflict);
+                self.backjump(backtrack_level);
+                if learnt.len() == 1 {
+                    let enqueued = self.enqueue(learnt[0], None);
+                    debug_assert!(enqueued);
+                } else {
+                    let asserting = learnt[0];
+                    let idx = self.attach(learnt);
+                    self.stats.learnt_clauses += 1;
+                    let enqueued = self.enqueue(asserting, Some(idx));
+                    debug_assert!(enqueued);
+                }
+                self.var_inc /= 0.95;
+            } else {
+                if conflicts_since_restart >= restart_limit {
+                    self.stats.restarts += 1;
+                    conflicts_since_restart = 0;
+                    restart_limit = 100 * luby(self.stats.restarts + 1);
+                    self.backjump(0);
+                    continue;
+                }
+                if !self.decide() {
+                    // All variables assigned: build the model.
+                    let values = self
+                        .assign
+                        .iter()
+                        .map(|v| v.unwrap_or(false))
+                        .collect::<Vec<_>>();
+                    let model = Model::new(values);
+                    self.backjump(0);
+                    return SatResult::Sat(model);
+                }
+            }
+        }
+    }
+}
+
+/// The Luby restart sequence: 1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8, …
+fn luby(mut i: u64) -> u64 {
+    // Find the finite subsequence containing index i and its size.
+    let mut k = 1u32;
+    while (1u64 << k) - 1 < i {
+        k += 1;
+    }
+    loop {
+        if (1u64 << (k - 1)) - 1 == i {
+            return 1u64 << (k - 1);
+        }
+        if i == 0 {
+            return 1;
+        }
+        if (1u64 << k) - 1 == i {
+            return 1u64 << (k - 1);
+        }
+        i -= (1u64 << (k - 1)) - 1;
+        k = 1;
+        while (1u64 << k) - 1 < i {
+            k += 1;
+        }
+    }
+}
+
+/// An indexed binary max-heap over variables, ordered by activity.
+#[derive(Debug, Clone)]
+struct VarHeap {
+    heap: Vec<usize>,
+    position: Vec<Option<usize>>,
+}
+
+impl VarHeap {
+    fn new(num_vars: usize) -> Self {
+        VarHeap {
+            heap: Vec::with_capacity(num_vars),
+            position: vec![None; num_vars],
+        }
+    }
+
+    fn contains(&self, var: usize) -> bool {
+        self.position[var].is_some()
+    }
+
+    fn insert(&mut self, var: usize, activity: &[f64]) {
+        if self.contains(var) {
+            return;
+        }
+        self.position[var] = Some(self.heap.len());
+        self.heap.push(var);
+        self.sift_up(self.heap.len() - 1, activity);
+    }
+
+    fn update(&mut self, var: usize, activity: &[f64]) {
+        if let Some(pos) = self.position[var] {
+            self.sift_up(pos, activity);
+        }
+    }
+
+    fn pop(&mut self, activity: &[f64]) -> Option<usize> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let top = self.heap[0];
+        self.position[top] = None;
+        let last = self.heap.pop().expect("heap non-empty");
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.position[last] = Some(0);
+            self.sift_down(0, activity);
+        }
+        Some(top)
+    }
+
+    fn sift_up(&mut self, mut pos: usize, activity: &[f64]) {
+        while pos > 0 {
+            let parent = (pos - 1) / 2;
+            if activity[self.heap[pos]] > activity[self.heap[parent]] {
+                self.swap(pos, parent);
+                pos = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut pos: usize, activity: &[f64]) {
+        loop {
+            let left = 2 * pos + 1;
+            let right = 2 * pos + 2;
+            let mut largest = pos;
+            if left < self.heap.len() && activity[self.heap[left]] > activity[self.heap[largest]] {
+                largest = left;
+            }
+            if right < self.heap.len() && activity[self.heap[right]] > activity[self.heap[largest]]
+            {
+                largest = right;
+            }
+            if largest == pos {
+                break;
+            }
+            self.swap(pos, largest);
+            pos = largest;
+        }
+    }
+
+    fn swap(&mut self, a: usize, b: usize) {
+        self.heap.swap(a, b);
+        self.position[self.heap[a]] = Some(a);
+        self.position[self.heap[b]] = Some(b);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(v: usize, positive: bool) -> Lit {
+        Lit::new(Var::new(v as u32), positive)
+    }
+
+    /// Brute-force satisfiability check for cross-validation.
+    fn brute_force_sat(num_vars: usize, clauses: &[Vec<Lit>]) -> bool {
+        assert!(num_vars <= 20, "brute force only for small formulas");
+        'outer: for assignment in 0u32..(1 << num_vars) {
+            for clause in clauses {
+                let satisfied = clause.iter().any(|l| {
+                    let bit = (assignment >> l.var().index()) & 1 == 1;
+                    bit == l.is_positive()
+                });
+                if !satisfied {
+                    continue 'outer;
+                }
+            }
+            return true;
+        }
+        false
+    }
+
+    fn solve_clauses(num_vars: usize, clauses: &[Vec<Lit>]) -> SatResult {
+        let mut solver = Solver::new(num_vars);
+        for clause in clauses {
+            solver.add_clause(clause.iter().copied());
+        }
+        solver.solve()
+    }
+
+    #[test]
+    fn empty_formula_is_sat() {
+        assert!(solve_clauses(3, &[]).is_sat());
+    }
+
+    #[test]
+    fn unit_clauses_propagate() {
+        let clauses = vec![vec![lit(0, true)], vec![lit(0, false), lit(1, true)]];
+        match solve_clauses(2, &clauses) {
+            SatResult::Sat(model) => {
+                assert!(model.value(Var::new(0)));
+                assert!(model.value(Var::new(1)));
+            }
+            other => panic!("expected SAT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn contradictory_units_are_unsat() {
+        let clauses = vec![vec![lit(0, true)], vec![lit(0, false)]];
+        assert!(solve_clauses(1, &clauses).is_unsat());
+    }
+
+    #[test]
+    fn pigeonhole_three_into_two_is_unsat() {
+        // Pigeon i in hole j: variable 2*i + j for i in 0..3, j in 0..2.
+        let var = |pigeon: usize, hole: usize| lit(2 * pigeon + hole, true);
+        let mut clauses = Vec::new();
+        for pigeon in 0..3 {
+            clauses.push(vec![var(pigeon, 0), var(pigeon, 1)]);
+        }
+        for hole in 0..2 {
+            for a in 0..3 {
+                for b in (a + 1)..3 {
+                    clauses.push(vec![!var(a, hole), !var(b, hole)]);
+                }
+            }
+        }
+        assert!(solve_clauses(6, &clauses).is_unsat());
+    }
+
+    #[test]
+    fn simple_backtracking_formula() {
+        // (a ∨ b) ∧ (¬a ∨ c) ∧ (¬b ∨ c) ∧ (¬c ∨ d) ∧ (¬d ∨ ¬a)
+        let clauses = vec![
+            vec![lit(0, true), lit(1, true)],
+            vec![lit(0, false), lit(2, true)],
+            vec![lit(1, false), lit(2, true)],
+            vec![lit(2, false), lit(3, true)],
+            vec![lit(3, false), lit(0, false)],
+        ];
+        match solve_clauses(4, &clauses) {
+            SatResult::Sat(model) => {
+                assert!(model.satisfies(&clauses));
+            }
+            other => panic!("expected SAT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn model_always_satisfies_formula() {
+        let clauses = vec![
+            vec![lit(0, true), lit(1, false), lit(2, true)],
+            vec![lit(1, true), lit(2, false)],
+            vec![lit(0, false), lit(3, true)],
+            vec![lit(3, false), lit(4, true), lit(1, true)],
+            vec![lit(4, false), lit(0, true)],
+        ];
+        match solve_clauses(5, &clauses) {
+            SatResult::Sat(model) => assert!(model.satisfies(&clauses)),
+            other => panic!("expected SAT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tautological_clauses_are_ignored() {
+        let clauses = vec![vec![lit(0, true), lit(0, false)], vec![lit(1, true)]];
+        assert!(solve_clauses(2, &clauses).is_sat());
+    }
+
+    #[test]
+    fn limits_return_unknown() {
+        // A hard pigeonhole instance with a tiny conflict budget.
+        let pigeons = 6usize;
+        let holes = 5usize;
+        let var = |pigeon: usize, hole: usize| lit(pigeon * holes + hole, true);
+        let mut clauses = Vec::new();
+        for p in 0..pigeons {
+            clauses.push((0..holes).map(|h| var(p, h)).collect::<Vec<_>>());
+        }
+        for h in 0..holes {
+            for a in 0..pigeons {
+                for b in (a + 1)..pigeons {
+                    clauses.push(vec![!var(a, h), !var(b, h)]);
+                }
+            }
+        }
+        let mut solver = Solver::new(pigeons * holes);
+        for clause in &clauses {
+            solver.add_clause(clause.iter().copied());
+        }
+        let result = solver.solve_with_limits(Limits::conflicts(3));
+        assert_eq!(result, SatResult::Unknown);
+        // And without limits the instance is UNSAT.
+        let mut solver = Solver::new(pigeons * holes);
+        for clause in &clauses {
+            solver.add_clause(clause.iter().copied());
+        }
+        assert!(solver.solve().is_unsat());
+        assert!(solver.stats().conflicts > 0);
+    }
+
+    #[test]
+    fn luby_sequence_prefix() {
+        let expected = [1u64, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        let actual: Vec<u64> = (1..=15).map(luby).collect();
+        assert_eq!(actual, expected);
+    }
+
+    #[test]
+    fn agrees_with_brute_force_on_fixed_formulas() {
+        let formulas: Vec<(usize, Vec<Vec<Lit>>)> = vec![
+            (3, vec![vec![lit(0, true)], vec![lit(1, true), lit(2, false)]]),
+            (
+                3,
+                vec![
+                    vec![lit(0, true), lit(1, true)],
+                    vec![lit(0, false), lit(1, false)],
+                    vec![lit(1, true), lit(2, true)],
+                    vec![lit(1, false), lit(2, false)],
+                    vec![lit(0, true), lit(2, true)],
+                    vec![lit(0, false), lit(2, false)],
+                ],
+            ),
+        ];
+        for (num_vars, clauses) in formulas {
+            let expected = brute_force_sat(num_vars, &clauses);
+            let actual = solve_clauses(num_vars, &clauses).is_sat();
+            assert_eq!(actual, expected);
+        }
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn clause_strategy(num_vars: usize) -> impl Strategy<Value = Vec<Lit>> {
+            proptest::collection::vec(
+                (0..num_vars, proptest::bool::ANY).prop_map(|(v, s)| lit(v, s)),
+                1..4,
+            )
+        }
+
+        proptest! {
+            /// On random small 3-CNF formulas the CDCL solver agrees with
+            /// exhaustive enumeration, and SAT answers carry genuine models.
+            #[test]
+            fn cdcl_matches_brute_force(
+                clauses in proptest::collection::vec(clause_strategy(8), 0..40)
+            ) {
+                let expected = brute_force_sat(8, &clauses);
+                match solve_clauses(8, &clauses) {
+                    SatResult::Sat(model) => {
+                        prop_assert!(expected);
+                        prop_assert!(model.satisfies(&clauses));
+                    }
+                    SatResult::Unsat => prop_assert!(!expected),
+                    SatResult::Unknown => prop_assert!(false, "no limits were set"),
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Evidence-driven state merging (blue-fringe EDSM).
+
+use crate::merge::MergeAutomaton;
+use crate::pta::Pta;
+use std::collections::BTreeSet;
+use tracelearn_automaton::Nfa;
+
+/// Runs blue-fringe EDSM on a PTA.
+///
+/// Red states form the consolidated core of the hypothesis; blue states are
+/// their immediate successors. Each round scores every (red, blue) merge by
+/// the evidence it would gather — the number of states that would be folded
+/// together — performs the best-scoring merge whose score reaches
+/// `min_score`, and promotes unmergeable blue states to red. With only
+/// positive traces (the paper's setting) there are no conflicts, so the
+/// evidence threshold is what keeps the hypothesis from over-generalising.
+pub fn edsm(pta: &Pta, min_score: usize) -> Nfa<String> {
+    let mut automaton = MergeAutomaton::from_pta(pta);
+    let total_states = pta.automaton().num_states();
+    let mut red: BTreeSet<usize> = BTreeSet::new();
+    red.insert(automaton.find(pta.automaton().initial().index()));
+
+    loop {
+        // Blue fringe: successors of red states that are not red themselves.
+        let mut blue: BTreeSet<usize> = BTreeSet::new();
+        let red_snapshot: Vec<usize> = red.iter().copied().collect();
+        for &r in &red_snapshot {
+            for (_, targets) in automaton.outgoing(r) {
+                for t in targets {
+                    let rep = automaton.find(t);
+                    if !red.contains(&rep) {
+                        blue.insert(rep);
+                    }
+                }
+            }
+        }
+        let Some(&candidate) = blue.iter().next() else {
+            break;
+        };
+
+        // Score the candidate against every red state.
+        let mut best: Option<(usize, usize)> = None; // (score, red state)
+        for &r in &red_snapshot {
+            let score = merge_score(&mut automaton, r, candidate, total_states);
+            if best.map_or(true, |(s, _)| score > s) {
+                best = Some((score, r));
+            }
+        }
+        match best {
+            Some((score, r)) if score >= min_score => {
+                automaton.merge(r, candidate);
+                // Normalise the red set after folding.
+                red = red.iter().map(|&s| automaton.find(s)).collect();
+            }
+            _ => {
+                red.insert(candidate);
+            }
+        }
+    }
+    automaton.to_nfa()
+}
+
+/// The EDSM evidence score: how many state pairs would be folded together by
+/// merging `red` and `blue` (computed on a scratch copy so the hypothesis is
+/// untouched).
+fn merge_score(
+    automaton: &mut MergeAutomaton,
+    red: usize,
+    blue: usize,
+    total_states: usize,
+) -> usize {
+    let mut scratch = automaton.clone();
+    let before = scratch.num_states();
+    scratch.merge(red, blue);
+    let after = scratch.num_states();
+    debug_assert!(before <= total_states);
+    before - after
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(events: &[&str]) -> Vec<String> {
+        events.iter().map(|e| (*e).to_owned()).collect()
+    }
+
+    #[test]
+    fn repetitive_trace_collapses() {
+        let pta = Pta::from_sequences(&[seq(&[
+            "a", "b", "a", "b", "a", "b", "a", "b", "a", "b", "a", "b",
+        ])]);
+        let model = edsm(&pta, 2);
+        assert!(model.num_states() < pta.automaton().num_states());
+        assert!(model.accepts(&seq(&["a", "b", "a", "b"])));
+    }
+
+    #[test]
+    fn training_sequences_remain_accepted() {
+        let sequences = vec![
+            seq(&["w", "w", "r", "r", "reset", "w", "r", "reset"]),
+            seq(&["w", "r", "reset", "w", "w", "r", "r", "reset"]),
+        ];
+        let pta = Pta::from_sequences(&sequences);
+        let model = edsm(&pta, 1);
+        for sequence in &sequences {
+            assert!(model.accepts(sequence));
+        }
+    }
+
+    #[test]
+    fn high_threshold_keeps_more_states() {
+        let sequence = seq(&["a", "b", "c", "a", "b", "c", "a", "b", "c"]);
+        let pta = Pta::from_sequences(&[sequence]);
+        let permissive = edsm(&pta, 1);
+        let strict = edsm(&pta, 50);
+        assert!(permissive.num_states() <= strict.num_states());
+        // With an unreachable threshold nothing merges: the PTA comes back.
+        assert_eq!(strict.num_states(), pta.automaton().num_states());
+    }
+
+    #[test]
+    fn deterministic_output_on_deterministic_input() {
+        let pta = Pta::from_sequences(&[seq(&["x", "y", "x", "y", "x", "y"])]);
+        let model = edsm(&pta, 1);
+        assert!(model.is_deterministic());
+    }
+}

@@ -1,0 +1,149 @@
+//! The kTails state-merge algorithm.
+
+use crate::merge::MergeAutomaton;
+use crate::pta::Pta;
+use std::collections::{BTreeSet, HashMap};
+use tracelearn_automaton::Nfa;
+
+/// Runs kTails on a PTA: states whose outgoing label paths agree up to
+/// length `k` are merged, repeatedly, until a fixpoint is reached.
+///
+/// # Example
+///
+/// ```
+/// use tracelearn_statemerge::{k_tails, Pta};
+///
+/// let pta = Pta::from_sequences(&[
+///     vec!["a".into(), "b".into(), "a".into(), "b".into(), "a".into(), "b".into()],
+/// ]);
+/// let model = k_tails(&pta, 2);
+/// assert!(model.num_states() < pta.automaton().num_states());
+/// ```
+pub fn k_tails(pta: &Pta, k: usize) -> Nfa<String> {
+    let mut automaton = MergeAutomaton::from_pta(pta);
+    let total_states = pta.automaton().num_states();
+    loop {
+        // Partition current representatives by their k-tail.
+        let mut buckets: HashMap<BTreeSet<Vec<String>>, Vec<usize>> = HashMap::new();
+        let mut representatives = Vec::new();
+        for state in 0..total_states {
+            if automaton.find(state) == state {
+                representatives.push(state);
+            }
+        }
+        for &state in &representatives {
+            let tail = tails(&mut automaton, state, k);
+            buckets.entry(tail).or_default().push(state);
+        }
+        let mut merged_any = false;
+        for bucket in buckets.values() {
+            if bucket.len() > 1 {
+                for &other in &bucket[1..] {
+                    if !automaton.same(bucket[0], other) {
+                        automaton.merge(bucket[0], other);
+                        merged_any = true;
+                    }
+                }
+            }
+        }
+        if !merged_any {
+            break;
+        }
+    }
+    automaton.to_nfa()
+}
+
+/// The set of label paths of length at most `k` leaving `state`.
+fn tails(automaton: &mut MergeAutomaton, state: usize, k: usize) -> BTreeSet<Vec<String>> {
+    let mut result = BTreeSet::new();
+    let mut frontier: Vec<(usize, Vec<String>)> = vec![(state, Vec::new())];
+    while let Some((current, path)) = frontier.pop() {
+        if path.len() >= k {
+            continue;
+        }
+        for (label, targets) in automaton.outgoing(current) {
+            let mut extended = path.clone();
+            extended.push(label);
+            result.insert(extended.clone());
+            for target in targets {
+                frontier.push((target, extended.clone()));
+            }
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(events: &[&str]) -> Vec<String> {
+        events.iter().map(|e| (*e).to_owned()).collect()
+    }
+
+    #[test]
+    fn periodic_sequence_collapses_to_a_small_loop() {
+        let pta = Pta::from_sequences(&[seq(&["a", "b", "a", "b", "a", "b", "a", "b", "a", "b"])]);
+        let model = k_tails(&pta, 2);
+        assert!(model.num_states() <= 4, "{} states", model.num_states());
+        assert!(model.accepts(&seq(&["a", "b", "a", "b", "a", "b", "a", "b"])));
+    }
+
+    #[test]
+    fn training_sequences_remain_accepted() {
+        let sequences = vec![
+            seq(&["enable", "addr", "config", "stop", "config", "stop", "disable"]),
+            seq(&["enable", "addr", "config", "disable"]),
+        ];
+        let pta = Pta::from_sequences(&sequences);
+        let model = k_tails(&pta, 2);
+        for sequence in &sequences {
+            assert!(model.accepts(sequence));
+        }
+    }
+
+    #[test]
+    fn higher_k_merges_less() {
+        let sequence = seq(&["a", "b", "c", "a", "b", "d", "a", "b", "c", "a", "b", "d"]);
+        let pta = Pta::from_sequences(&[sequence]);
+        let loose = k_tails(&pta, 1);
+        let strict = k_tails(&pta, 4);
+        assert!(loose.num_states() <= strict.num_states());
+    }
+
+    #[test]
+    fn unmergeable_distinct_behaviour_stays_separate() {
+        // Two completely different alphabets cannot merge below 1+len states each.
+        let pta = Pta::from_sequences(&[seq(&["p", "q", "r"])]);
+        let model = k_tails(&pta, 2);
+        // A straight line with distinct labels cannot collapse at all.
+        assert_eq!(model.num_states(), 4);
+    }
+
+    #[test]
+    fn k_zero_merges_everything() {
+        let pta = Pta::from_sequences(&[seq(&["a", "b", "c"])]);
+        let model = k_tails(&pta, 0);
+        assert_eq!(model.num_states(), 1);
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// kTails never rejects a sequence it was trained on.
+            #[test]
+            fn training_acceptance_is_preserved(
+                events in proptest::collection::vec(0u8..4, 1..40),
+                k in 0usize..4
+            ) {
+                let sequence: Vec<String> = events.iter().map(|e| format!("e{e}")).collect();
+                let pta = Pta::from_sequences(&[sequence.clone()]);
+                let model = k_tails(&pta, k);
+                prop_assert!(model.accepts(&sequence));
+                prop_assert!(model.num_states() <= pta.automaton().num_states());
+            }
+        }
+    }
+}

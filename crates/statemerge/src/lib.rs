@@ -1,0 +1,196 @@
+//! State-merge baselines: PTA construction, kTails and blue-fringe EDSM.
+//!
+//! State merging is the established approach to model inference from traces
+//! and the comparison baseline of the paper's Table II and Fig. 2a (the MINT
+//! tool). Traces are first arranged into a prefix tree acceptor ([`Pta`]);
+//! pairs of states deemed equivalent are then merged — by k-equivalence of
+//! their outgoing label paths (kTails, [`k_tails`]) or by an evidence score
+//! on a blue-fringe search (EDSM, [`edsm`]). The result is typically much
+//! larger than the models produced by the SAT/synthesis learner, which is
+//! exactly the comparison the paper draws.
+//!
+//! # Example
+//!
+//! ```
+//! use tracelearn_statemerge::{MergeAlgorithm, StateMergeConfig, StateMergeLearner};
+//!
+//! let sequences = vec![
+//!     vec!["enable".to_owned(), "addr".to_owned(), "config".to_owned()],
+//!     vec!["enable".to_owned(), "addr".to_owned(), "config".to_owned(), "stop".to_owned()],
+//! ];
+//! let learner = StateMergeLearner::new(StateMergeConfig {
+//!     algorithm: MergeAlgorithm::KTails,
+//!     k: 2,
+//! });
+//! let model = learner.learn(&sequences);
+//! assert!(model.accepts(&["enable".to_owned(), "addr".to_owned(), "config".to_owned()]));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod edsm;
+mod ktails;
+mod merge;
+mod pta;
+
+pub use crate::edsm::edsm;
+pub use crate::ktails::k_tails;
+pub use crate::merge::MergeAutomaton;
+pub use crate::pta::Pta;
+
+use tracelearn_automaton::Nfa;
+use tracelearn_trace::{Trace, VarKind};
+
+/// Which merging strategy to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MergeAlgorithm {
+    /// Classic kTails: merge states whose outgoing label paths agree up to
+    /// length `k`.
+    KTails,
+    /// Evidence-driven state merging on a blue-fringe search.
+    Edsm,
+}
+
+/// Configuration of the state-merge learner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StateMergeConfig {
+    /// The merging strategy.
+    pub algorithm: MergeAlgorithm,
+    /// The k parameter (tail length for kTails, score horizon for EDSM).
+    pub k: usize,
+}
+
+impl Default for StateMergeConfig {
+    fn default() -> Self {
+        StateMergeConfig {
+            algorithm: MergeAlgorithm::KTails,
+            k: 2,
+        }
+    }
+}
+
+/// A MINT-like facade over the state-merge algorithms.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StateMergeLearner {
+    config: StateMergeConfig,
+}
+
+impl StateMergeLearner {
+    /// Creates a learner with the given configuration.
+    pub fn new(config: StateMergeConfig) -> Self {
+        StateMergeLearner { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> StateMergeConfig {
+        self.config
+    }
+
+    /// Learns a model from a set of event sequences.
+    pub fn learn(&self, sequences: &[Vec<String>]) -> Nfa<String> {
+        let pta = Pta::from_sequences(sequences);
+        match self.config.algorithm {
+            MergeAlgorithm::KTails => k_tails(&pta, self.config.k),
+            MergeAlgorithm::Edsm => edsm(&pta, self.config.k),
+        }
+    }
+
+    /// Learns a model directly from a trace by rendering every observation
+    /// as an event string — how a purely event-based tool such as MINT sees
+    /// a trace that contains numeric data.
+    pub fn learn_from_trace(&self, trace: &Trace) -> Nfa<String> {
+        self.learn(&[trace_to_events(trace)])
+    }
+}
+
+/// Renders each observation of a trace as a single event string, the
+/// flattening a state-merge tool applies to non-Boolean data (and the reason
+/// it needs 377 states for the counter in the paper's Table II).
+pub fn trace_to_events(trace: &Trace) -> Vec<String> {
+    let event_only = trace
+        .signature()
+        .iter()
+        .all(|(_, v)| v.kind() == VarKind::Event);
+    if event_only && trace.signature().arity() == 1 {
+        let name = trace
+            .signature()
+            .iter()
+            .next()
+            .map(|(_, v)| v.name().to_owned())
+            .unwrap_or_default();
+        return trace.event_sequence(&name).unwrap_or_default();
+    }
+    (0..trace.len())
+        .map(|t| trace.render_observation(t).unwrap_or_default())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracelearn_trace::{RowEntry, Signature, Value};
+
+    fn seq(events: &[&str]) -> Vec<String> {
+        events.iter().map(|e| (*e).to_owned()).collect()
+    }
+
+    #[test]
+    fn learner_accepts_training_sequences() {
+        let sequences = vec![seq(&["a", "b", "c", "a", "b", "c"]), seq(&["a", "b", "a", "b"])];
+        for algorithm in [MergeAlgorithm::KTails, MergeAlgorithm::Edsm] {
+            let learner = StateMergeLearner::new(StateMergeConfig { algorithm, k: 2 });
+            let model = learner.learn(&sequences);
+            for sequence in &sequences {
+                assert!(model.accepts(sequence), "{algorithm:?} rejects a training sequence");
+            }
+        }
+    }
+
+    #[test]
+    fn merged_models_are_no_larger_than_the_pta() {
+        let sequences = vec![seq(&["x", "y", "x", "y", "x", "y", "x", "y"])];
+        let pta = Pta::from_sequences(&sequences);
+        let learner = StateMergeLearner::default();
+        let model = learner.learn(&sequences);
+        assert!(model.num_states() <= pta.automaton().num_states());
+    }
+
+    #[test]
+    fn trace_to_events_flattens_numeric_observations() {
+        let sig = Signature::builder().int("x").build();
+        let mut trace = Trace::new(sig);
+        for v in [1i64, 2, 3] {
+            trace.push_row([Value::Int(v)]).unwrap();
+        }
+        let events = trace_to_events(&trace);
+        assert_eq!(events, vec!["x=1", "x=2", "x=3"]);
+    }
+
+    #[test]
+    fn trace_to_events_uses_plain_names_for_event_traces() {
+        let sig = Signature::builder().event("cmd").build();
+        let mut trace = Trace::new(sig);
+        trace.push_named_row(vec![RowEntry::Event("enable")]).unwrap();
+        trace.push_named_row(vec![RowEntry::Event("addr")]).unwrap();
+        assert_eq!(trace_to_events(&trace), vec!["enable", "addr"]);
+    }
+
+    #[test]
+    fn learn_from_trace_produces_a_model_over_rendered_events() {
+        let sig = Signature::builder().int("x").build();
+        let mut trace = Trace::new(sig);
+        for v in [1i64, 2, 1, 2, 1, 2] {
+            trace.push_row([Value::Int(v)]).unwrap();
+        }
+        let model = StateMergeLearner::default().learn_from_trace(&trace);
+        assert!(model.accepts(&trace_to_events(&trace)));
+    }
+
+    #[test]
+    fn default_config() {
+        let learner = StateMergeLearner::default();
+        assert_eq!(learner.config().k, 2);
+        assert_eq!(learner.config().algorithm, MergeAlgorithm::KTails);
+    }
+}

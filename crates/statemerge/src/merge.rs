@@ -1,0 +1,217 @@
+//! Merge-and-fold machinery shared by kTails and EDSM.
+
+use crate::pta::Pta;
+use std::collections::{BTreeMap, BTreeSet};
+use tracelearn_automaton::{Nfa, StateId};
+
+/// A mutable automaton supporting state merging with automatic folding.
+///
+/// Merging two states can make the automaton non-deterministic (two
+/// transitions with the same label from the merged state); folding resolves
+/// this by recursively merging the conflicting targets, the standard
+/// behaviour of state-merge inference.
+#[derive(Debug, Clone)]
+pub struct MergeAutomaton {
+    parent: Vec<usize>,
+    outgoing: Vec<BTreeMap<String, BTreeSet<usize>>>,
+    initial: usize,
+}
+
+impl MergeAutomaton {
+    /// Builds the merge automaton from a PTA.
+    pub fn from_pta(pta: &Pta) -> Self {
+        let automaton = pta.automaton();
+        let n = automaton.num_states();
+        let mut outgoing: Vec<BTreeMap<String, BTreeSet<usize>>> = vec![BTreeMap::new(); n];
+        for t in automaton.transitions() {
+            outgoing[t.from.index()]
+                .entry(t.label.clone())
+                .or_default()
+                .insert(t.to.index());
+        }
+        MergeAutomaton {
+            parent: (0..n).collect(),
+            outgoing,
+            initial: automaton.initial().index(),
+        }
+    }
+
+    /// The representative of `state` under the merges performed so far.
+    pub fn find(&mut self, state: usize) -> usize {
+        if self.parent[state] != state {
+            let root = self.find(self.parent[state]);
+            self.parent[state] = root;
+            root
+        } else {
+            state
+        }
+    }
+
+    /// The representative of `state` without path compression (read-only).
+    pub fn find_readonly(&self, mut state: usize) -> usize {
+        while self.parent[state] != state {
+            state = self.parent[state];
+        }
+        state
+    }
+
+    /// Whether two states have already been merged together.
+    pub fn same(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Merges `a` and `b` (and folds away any resulting non-determinism).
+    pub fn merge(&mut self, a: usize, b: usize) {
+        let mut worklist = vec![(a, b)];
+        while let Some((x, y)) = worklist.pop() {
+            let x = self.find(x);
+            let y = self.find(y);
+            if x == y {
+                continue;
+            }
+            // Keep the initial state's representative stable when possible.
+            let (keep, absorb) = if y == self.find(self.initial) { (y, x) } else { (x, y) };
+            self.parent[absorb] = keep;
+            let absorbed = std::mem::take(&mut self.outgoing[absorb]);
+            for (label, targets) in absorbed {
+                self.outgoing[keep].entry(label).or_default().extend(targets);
+            }
+            // Fold: any label with two distinct target representatives forces
+            // those targets to merge as well.
+            let labels: Vec<String> = self.outgoing[keep].keys().cloned().collect();
+            for label in labels {
+                let targets: Vec<usize> = self.outgoing[keep][&label].iter().copied().collect();
+                let mut representatives: Vec<usize> =
+                    targets.iter().map(|&t| self.find(t)).collect();
+                representatives.sort_unstable();
+                representatives.dedup();
+                if representatives.len() > 1 {
+                    let canonical = representatives[0];
+                    for other in &representatives[1..] {
+                        worklist.push((canonical, *other));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Number of distinct (merged) states.
+    pub fn num_states(&self) -> usize {
+        (0..self.parent.len())
+            .filter(|&s| self.find_readonly(s) == s)
+            .count()
+    }
+
+    /// The outgoing transitions of the representative of `state`, with
+    /// targets normalised to representatives.
+    pub fn outgoing(&mut self, state: usize) -> BTreeMap<String, BTreeSet<usize>> {
+        let root = self.find(state);
+        let entries = self.outgoing[root].clone();
+        let mut normalised = BTreeMap::new();
+        for (label, targets) in entries {
+            let set: BTreeSet<usize> = targets.into_iter().map(|t| self.find(t)).collect();
+            normalised.insert(label, set);
+        }
+        normalised
+    }
+
+    /// Freezes the merged automaton into an [`Nfa`].
+    pub fn to_nfa(&mut self) -> Nfa<String> {
+        let n = self.parent.len();
+        let mut representatives: Vec<usize> = (0..n).filter(|&s| self.find(s) == s).collect();
+        representatives.sort_unstable();
+        let index_of = |reps: &[usize], s: usize| reps.binary_search(&s).expect("representative");
+        let initial = self.find(self.initial);
+        let mut nfa = Nfa::new(
+            representatives.len(),
+            StateId::new(index_of(&representatives, initial) as u32),
+        );
+        for &rep in &representatives {
+            let outgoing = self.outgoing(rep);
+            for (label, targets) in outgoing {
+                for target in targets {
+                    nfa.add_transition(
+                        StateId::new(index_of(&representatives, rep) as u32),
+                        label.clone(),
+                        StateId::new(index_of(&representatives, self.find(target)) as u32),
+                    );
+                }
+            }
+        }
+        nfa
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(events: &[&str]) -> Vec<String> {
+        events.iter().map(|e| (*e).to_owned()).collect()
+    }
+
+    fn chain_pta() -> Pta {
+        Pta::from_sequences(&[seq(&["a", "b", "a", "b"])])
+    }
+
+    #[test]
+    fn initial_state_has_no_merges() {
+        let mut m = MergeAutomaton::from_pta(&chain_pta());
+        assert_eq!(m.num_states(), 5);
+        assert!(!m.same(0, 2));
+    }
+
+    #[test]
+    fn merging_folds_nondeterminism() {
+        // Chain 0 -a-> 1 -b-> 2 -a-> 3 -b-> 4. Merging 0 and 2 makes two
+        // a-transitions from the merged state, so 1 and 3 must fold together,
+        // and then 2 and 4, collapsing to a two-state loop.
+        let mut m = MergeAutomaton::from_pta(&chain_pta());
+        m.merge(0, 2);
+        let nfa = m.to_nfa();
+        assert_eq!(nfa.num_states(), 2);
+        assert!(nfa.is_deterministic());
+        assert!(nfa.accepts(&seq(&["a", "b", "a", "b", "a", "b"])));
+    }
+
+    #[test]
+    fn merged_model_still_accepts_training_words() {
+        let pta = Pta::from_sequences(&[seq(&["x", "y", "z"]), seq(&["x", "y", "x"])]);
+        let mut m = MergeAutomaton::from_pta(&pta);
+        m.merge(1, 2);
+        let nfa = m.to_nfa();
+        assert!(nfa.accepts(&seq(&["x", "y", "z"])));
+        assert!(nfa.accepts(&seq(&["x", "y", "x"])));
+    }
+
+    #[test]
+    fn num_states_decreases_monotonically() {
+        let mut m = MergeAutomaton::from_pta(&chain_pta());
+        let before = m.num_states();
+        m.merge(1, 3);
+        assert!(m.num_states() < before);
+    }
+
+    #[test]
+    fn initial_representative_is_preserved() {
+        let mut m = MergeAutomaton::from_pta(&chain_pta());
+        m.merge(0, 4);
+        let initial_rep = m.find(0);
+        assert_eq!(m.find(4), initial_rep);
+        let nfa = m.to_nfa();
+        // The initial state still has an outgoing `a` transition.
+        assert!(nfa.accepts(&seq(&["a"])));
+    }
+
+    #[test]
+    fn outgoing_normalises_targets() {
+        let mut m = MergeAutomaton::from_pta(&chain_pta());
+        m.merge(2, 4);
+        let out = m.outgoing(2);
+        for targets in out.values() {
+            for &t in targets {
+                assert_eq!(m.find(t), t);
+            }
+        }
+    }
+}

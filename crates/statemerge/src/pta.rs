@@ -1,0 +1,125 @@
+//! Prefix tree acceptors.
+
+use tracelearn_automaton::{Nfa, StateId};
+
+/// A prefix tree acceptor: the tree automaton whose paths from the root are
+/// exactly the prefixes of the training sequences.
+///
+/// Every state-merge algorithm starts from the PTA and merges its states.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pta {
+    automaton: Nfa<String>,
+    /// Number of training sequences that pass through each state, the
+    /// "evidence" weight used by EDSM scoring.
+    weights: Vec<usize>,
+}
+
+impl Pta {
+    /// Builds the PTA of a set of event sequences.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use tracelearn_statemerge::Pta;
+    ///
+    /// let pta = Pta::from_sequences(&[
+    ///     vec!["a".to_owned(), "b".to_owned()],
+    ///     vec!["a".to_owned(), "c".to_owned()],
+    /// ]);
+    /// // Root, shared "a" state, and one state per distinct suffix.
+    /// assert_eq!(pta.automaton().num_states(), 4);
+    /// ```
+    pub fn from_sequences(sequences: &[Vec<String>]) -> Self {
+        // First build the tree as adjacency lists, then freeze into an Nfa.
+        let mut children: Vec<Vec<(String, usize)>> = vec![Vec::new()];
+        let mut weights: Vec<usize> = vec![0];
+        for sequence in sequences {
+            let mut current = 0usize;
+            weights[current] += 1;
+            for event in sequence {
+                let next = match children[current].iter().find(|(label, _)| label == event) {
+                    Some((_, existing)) => *existing,
+                    None => {
+                        let fresh = children.len();
+                        children.push(Vec::new());
+                        weights.push(0);
+                        children[current].push((event.clone(), fresh));
+                        fresh
+                    }
+                };
+                weights[next] += 1;
+                current = next;
+            }
+        }
+        let mut automaton = Nfa::new(children.len(), StateId::new(0));
+        for (from, outgoing) in children.iter().enumerate() {
+            for (label, to) in outgoing {
+                automaton.add_transition(
+                    StateId::new(from as u32),
+                    label.clone(),
+                    StateId::new(*to as u32),
+                );
+            }
+        }
+        Pta { automaton, weights }
+    }
+
+    /// The PTA as an automaton.
+    pub fn automaton(&self) -> &Nfa<String> {
+        &self.automaton
+    }
+
+    /// The number of training sequences passing through `state`.
+    pub fn weight(&self, state: StateId) -> usize {
+        self.weights.get(state.index()).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(events: &[&str]) -> Vec<String> {
+        events.iter().map(|e| (*e).to_owned()).collect()
+    }
+
+    #[test]
+    fn single_sequence_is_a_chain() {
+        let pta = Pta::from_sequences(&[seq(&["a", "b", "c"])]);
+        assert_eq!(pta.automaton().num_states(), 4);
+        assert_eq!(pta.automaton().num_transitions(), 3);
+        assert!(pta.automaton().is_deterministic());
+    }
+
+    #[test]
+    fn shared_prefixes_are_shared_states() {
+        let pta = Pta::from_sequences(&[seq(&["a", "b"]), seq(&["a", "c"]), seq(&["a", "b"])]);
+        assert_eq!(pta.automaton().num_states(), 4);
+        // The root and the "a" state carry all three sequences.
+        assert_eq!(pta.weight(StateId::new(0)), 3);
+        assert_eq!(pta.weight(StateId::new(1)), 3);
+    }
+
+    #[test]
+    fn pta_accepts_exactly_its_prefixes() {
+        let pta = Pta::from_sequences(&[seq(&["a", "b", "a"])]);
+        let automaton = pta.automaton();
+        assert!(automaton.accepts(&seq(&["a"])));
+        assert!(automaton.accepts(&seq(&["a", "b", "a"])));
+        assert!(!automaton.accepts(&seq(&["b"])));
+        assert!(!automaton.accepts(&seq(&["a", "a"])));
+    }
+
+    #[test]
+    fn empty_input_is_just_the_root() {
+        let pta = Pta::from_sequences(&[]);
+        assert_eq!(pta.automaton().num_states(), 1);
+        assert_eq!(pta.automaton().num_transitions(), 0);
+    }
+
+    #[test]
+    fn weight_of_unknown_state_is_zero() {
+        let pta = Pta::from_sequences(&[seq(&["a"])]);
+        assert_eq!(pta.weight(StateId::new(40)), 0);
+    }
+}

@@ -1,0 +1,135 @@
+//! Synthesis configuration.
+
+use std::collections::BTreeSet;
+
+/// An optional SyGuS-style restriction of the term grammar.
+///
+/// The paper's §VII compares CVC4's syntax-guided mode — where the user must
+/// supply the grammar and, crucially, the constants — against fastsynth,
+/// which discovers constants automatically. [`GrammarRestriction::Free`]
+/// corresponds to the fastsynth behaviour (the default);
+/// [`GrammarRestriction::LinearWithConstants`] corresponds to a SyGuS run
+/// where only the listed constants may appear.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum GrammarRestriction {
+    /// No restriction: constants are harvested from the trace automatically.
+    #[default]
+    Free,
+    /// Only the given constants may appear, and terms are restricted to the
+    /// linear fragment (variables, constants, `+`, `−`).
+    LinearWithConstants(Vec<i64>),
+}
+
+/// Tunable parameters for the synthesis engines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SynthesisConfig {
+    /// Maximum syntactic size of enumerated terms.
+    pub max_term_size: usize,
+    /// Maximum number of candidate terms the enumerator will generate before
+    /// giving up, a safety valve against pathological windows.
+    pub max_candidates: usize,
+    /// Additional constants always available to the enumerator (besides the
+    /// ones harvested from the trace).
+    pub extra_constants: Vec<i64>,
+    /// Grammar restriction (SyGuS-style) or free search (fastsynth-style).
+    pub grammar: GrammarRestriction,
+    /// Number of examples in the initial CEGIS sample.
+    pub cegis_initial_samples: usize,
+    /// Maximum number of CEGIS refinement iterations.
+    pub cegis_max_iterations: usize,
+}
+
+impl Default for SynthesisConfig {
+    fn default() -> Self {
+        SynthesisConfig {
+            // Size 3 covers every update shape the paper's benchmarks need
+            // (`x ± 1`, `op + ip`, constants); raising it buys more exotic
+            // updates at a steep cost for windows where synthesis fails.
+            max_term_size: 3,
+            max_candidates: 200_000,
+            extra_constants: vec![0, 1, -1],
+            grammar: GrammarRestriction::Free,
+            cegis_initial_samples: 4,
+            cegis_max_iterations: 32,
+        }
+    }
+}
+
+impl SynthesisConfig {
+    /// A configuration mimicking a SyGuS engine: the caller supplies the
+    /// constants, nothing else is discovered.
+    pub fn sygus(constants: Vec<i64>) -> Self {
+        SynthesisConfig {
+            grammar: GrammarRestriction::LinearWithConstants(constants),
+            ..SynthesisConfig::default()
+        }
+    }
+
+    /// The set of constants available to the enumerator, combining the
+    /// grammar restriction (if any), the extra constants and the constants
+    /// harvested from the trace.
+    pub fn constant_pool(&self, harvested: &BTreeSet<i64>) -> Vec<i64> {
+        let mut pool: BTreeSet<i64> = match &self.grammar {
+            GrammarRestriction::Free => {
+                let mut set: BTreeSet<i64> = harvested.clone();
+                set.extend(self.extra_constants.iter().copied());
+                set
+            }
+            GrammarRestriction::LinearWithConstants(allowed) => allowed.iter().copied().collect(),
+        };
+        // Keep the pool bounded: very long traces can contain thousands of
+        // distinct values; retain the extremes and small constants, which is
+        // where thresholds live.
+        if pool.len() > 64 {
+            let small: Vec<i64> = pool.iter().copied().filter(|c| c.abs() <= 8).collect();
+            let mut trimmed: BTreeSet<i64> = small.into_iter().collect();
+            let lo: Vec<i64> = pool.iter().copied().take(16).collect();
+            let hi: Vec<i64> = pool.iter().copied().rev().take(16).collect();
+            trimmed.extend(lo);
+            trimmed.extend(hi);
+            pool = trimmed;
+        }
+        pool.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_configuration_is_free() {
+        let config = SynthesisConfig::default();
+        assert_eq!(config.grammar, GrammarRestriction::Free);
+        assert!(config.max_term_size >= 3);
+    }
+
+    #[test]
+    fn free_pool_combines_harvested_and_extras() {
+        let config = SynthesisConfig::default();
+        let harvested: BTreeSet<i64> = [5, 128].into_iter().collect();
+        let pool = config.constant_pool(&harvested);
+        assert!(pool.contains(&128));
+        assert!(pool.contains(&0));
+        assert!(pool.contains(&1));
+    }
+
+    #[test]
+    fn sygus_pool_is_exactly_the_user_constants() {
+        let config = SynthesisConfig::sygus(vec![3, 7]);
+        let harvested: BTreeSet<i64> = [128].into_iter().collect();
+        let pool = config.constant_pool(&harvested);
+        assert_eq!(pool, vec![3, 7]);
+    }
+
+    #[test]
+    fn huge_pools_are_trimmed_but_keep_extremes() {
+        let config = SynthesisConfig::default();
+        let harvested: BTreeSet<i64> = (0..1000).collect();
+        let pool = config.constant_pool(&harvested);
+        assert!(pool.len() <= 64 + 16);
+        assert!(pool.contains(&999));
+        assert!(pool.contains(&0));
+        assert!(pool.contains(&1));
+    }
+}

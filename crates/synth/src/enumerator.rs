@@ -1,0 +1,308 @@
+//! Bottom-up term enumeration with observational equivalence.
+
+use crate::config::{GrammarRestriction, SynthesisConfig};
+use std::collections::HashMap;
+use tracelearn_expr::{IntTerm, VarRef};
+use tracelearn_trace::{StepPair, VarId};
+
+/// Enumerates integer terms over the current-state variables in order of
+/// syntactic size, pruning terms that are observationally equivalent on the
+/// example set (the standard bottom-up synthesis-from-examples search).
+///
+/// The enumerator is "fastsynth-like": it needs no user grammar and draws its
+/// constants from the pool harvested from the trace plus a few small
+/// defaults. An optional [`GrammarRestriction`] narrows the search to a
+/// SyGuS-style linear fragment with user-chosen constants.
+#[derive(Debug, Clone)]
+pub struct TermEnumerator {
+    int_vars: Vec<VarId>,
+    constants: Vec<i64>,
+    max_size: usize,
+    max_candidates: usize,
+    linear_only: bool,
+}
+
+impl TermEnumerator {
+    /// Creates an enumerator over the given current-state integer variables
+    /// and constant pool.
+    pub fn new(int_vars: Vec<VarId>, constants: Vec<i64>, config: &SynthesisConfig) -> Self {
+        TermEnumerator {
+            int_vars,
+            constants,
+            max_size: config.max_term_size,
+            max_candidates: config.max_candidates,
+            linear_only: matches!(config.grammar, GrammarRestriction::LinearWithConstants(_)),
+        }
+    }
+
+    /// Finds the smallest term `t` over current-state variables such that
+    /// `t(example) == target(example)` for every example, or `None` when no
+    /// term within the size budget matches.
+    ///
+    /// `target` typically extracts the next-state value of the variable whose
+    /// update function is being synthesised.
+    pub fn find<F>(&self, examples: &[StepPair<'_>], target: F) -> Option<IntTerm>
+    where
+        F: Fn(&StepPair<'_>) -> Option<i64>,
+    {
+        self.find_impl(examples, target, false)
+    }
+
+    /// Like [`TermEnumerator::find`] but refuses solutions that are bare
+    /// constants, preferring terms that mention at least one variable.
+    ///
+    /// Used when synthesising from a single example, where a constant always
+    /// fits trivially but an update function such as `x + 1` is the intended
+    /// generalisation. Falls back to `None` when only constants fit.
+    pub fn find_with_variables<F>(&self, examples: &[StepPair<'_>], target: F) -> Option<IntTerm>
+    where
+        F: Fn(&StepPair<'_>) -> Option<i64>,
+    {
+        self.find_impl(examples, target, true)
+    }
+
+    fn find_impl<F>(&self, examples: &[StepPair<'_>], target: F, require_variable: bool) -> Option<IntTerm>
+    where
+        F: Fn(&StepPair<'_>) -> Option<i64>,
+    {
+        if examples.is_empty() {
+            return None;
+        }
+        let goal: Vec<Option<i64>> = examples.iter().map(|e| target(e)).collect();
+        if goal.iter().any(Option::is_none) {
+            return None;
+        }
+
+        // Terms grouped by size; signatures seen so far (observational equivalence).
+        let mut by_size: Vec<Vec<(IntTerm, Vec<Option<i64>>)>> = vec![Vec::new(); self.max_size + 1];
+        let mut seen: HashMap<Vec<Option<i64>>, ()> = HashMap::new();
+        let mut generated = 0usize;
+
+        // Size-1 terms: variables first (preferred over constants on ties),
+        // then constants.
+        let mut size_one: Vec<IntTerm> = self
+            .int_vars
+            .iter()
+            .map(|&v| IntTerm::var(VarRef::current(v)))
+            .collect();
+        size_one.extend(self.constants.iter().map(|&c| IntTerm::constant(c)));
+        for term in size_one {
+            if let Some(found) = self.consider(
+                term,
+                examples,
+                &goal,
+                require_variable,
+                &mut by_size,
+                &mut seen,
+                &mut generated,
+            ) {
+                return Some(found);
+            }
+        }
+
+        for size in 2..=self.max_size {
+            // Compose binary operators from smaller sub-terms.
+            for left_size in 1..size - 1 {
+                let right_size = size - 1 - left_size;
+                if right_size == 0 || right_size >= size {
+                    continue;
+                }
+                let left_terms: Vec<IntTerm> =
+                    by_size[left_size].iter().map(|(t, _)| t.clone()).collect();
+                let right_terms: Vec<IntTerm> =
+                    by_size[right_size].iter().map(|(t, _)| t.clone()).collect();
+                for left in &left_terms {
+                    for right in &right_terms {
+                        if generated > self.max_candidates {
+                            return None;
+                        }
+                        if self.linear_only && !self.is_linear_combination(left, right) {
+                            continue;
+                        }
+                        let add = left.clone() + right.clone();
+                        if let Some(found) = self.consider(
+                            add,
+                            examples,
+                            &goal,
+                            require_variable,
+                            &mut by_size,
+                            &mut seen,
+                            &mut generated,
+                        ) {
+                            return Some(found);
+                        }
+                        let sub = left.clone() - right.clone();
+                        if let Some(found) = self.consider(
+                            sub,
+                            examples,
+                            &goal,
+                            require_variable,
+                            &mut by_size,
+                            &mut seen,
+                            &mut generated,
+                        ) {
+                            return Some(found);
+                        }
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// In the SyGuS-style linear fragment, binary operators may only combine
+    /// a variable (or an already-linear term) with a constant, or two
+    /// variables.
+    fn is_linear_combination(&self, left: &IntTerm, right: &IntTerm) -> bool {
+        !matches!(
+            (left, right),
+            (IntTerm::Const(_), IntTerm::Const(_))
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn consider(
+        &self,
+        term: IntTerm,
+        examples: &[StepPair<'_>],
+        goal: &[Option<i64>],
+        require_variable: bool,
+        by_size: &mut [Vec<(IntTerm, Vec<Option<i64>>)>],
+        seen: &mut HashMap<Vec<Option<i64>>, ()>,
+        generated: &mut usize,
+    ) -> Option<IntTerm> {
+        *generated += 1;
+        let signature: Vec<Option<i64>> = examples.iter().map(|e| term.eval(e)).collect();
+        if signature == goal {
+            let mut refs = Vec::new();
+            term.var_refs(&mut refs);
+            if !(require_variable && refs.is_empty()) {
+                return Some(term.simplify());
+            }
+        }
+        if signature.iter().all(Option::is_none) {
+            return None;
+        }
+        if seen.contains_key(&signature) {
+            return None;
+        }
+        seen.insert(signature.clone(), ());
+        let size = term.size();
+        if size < by_size.len() {
+            by_size[size].push((term, signature));
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracelearn_trace::{Signature, Trace, Value};
+
+    fn trace_of(rows: &[(i64, i64)]) -> (Trace, VarId, VarId) {
+        let sig = Signature::builder().int("x").int("y").build();
+        let x = sig.var("x").unwrap();
+        let y = sig.var("y").unwrap();
+        let mut t = Trace::new(sig);
+        for &(a, b) in rows {
+            t.push_row([Value::Int(a), Value::Int(b)]).unwrap();
+        }
+        (t, x, y)
+    }
+
+    fn enumerator(t: &Trace, constants: Vec<i64>) -> TermEnumerator {
+        let config = SynthesisConfig::default();
+        let sig = t.signature();
+        let int_vars: Vec<VarId> = sig.var_ids().collect();
+        TermEnumerator::new(int_vars, constants, &config)
+    }
+
+    #[test]
+    fn synthesizes_increment() {
+        let (t, x, _) = trace_of(&[(1, 0), (2, 0), (3, 0), (4, 0)]);
+        let steps: Vec<_> = t.steps().collect();
+        let e = enumerator(&t, vec![0, 1, -1]);
+        let term = e.find(&steps, |s| s.next_value(x).as_int()).unwrap();
+        assert_eq!(term.render(t.signature(), t.symbols()), "(x + 1)");
+    }
+
+    #[test]
+    fn synthesizes_cross_variable_sum() {
+        // y' irrelevant; x' = x + y.
+        let (t, x, _) = trace_of(&[(1, 2), (3, 4), (7, 1), (8, 0)]);
+        let steps: Vec<_> = t.steps().collect();
+        let e = enumerator(&t, vec![0, 1, -1]);
+        let term = e.find(&steps, |s| s.next_value(x).as_int()).unwrap();
+        assert_eq!(term.render(t.signature(), t.symbols()), "(x + y)");
+    }
+
+    #[test]
+    fn prefers_variable_over_constant_on_tie() {
+        // x stays constant at 5: both `x` and `5` fit; the variable wins.
+        let (t, x, _) = trace_of(&[(5, 1), (5, 1), (5, 1)]);
+        let steps: Vec<_> = t.steps().collect();
+        let e = enumerator(&t, vec![5, 0, 1]);
+        let term = e.find(&steps, |s| s.next_value(x).as_int()).unwrap();
+        assert_eq!(term.render(t.signature(), t.symbols()), "x");
+    }
+
+    #[test]
+    fn synthesizes_doubling_as_x_plus_x() {
+        // The §VII example: 1, 2, 4, 8 should yield x + x, not a nested ite.
+        let (t, x, _) = trace_of(&[(1, 0), (2, 0), (4, 0), (8, 0)]);
+        let steps: Vec<_> = t.steps().collect();
+        let e = enumerator(&t, vec![0, 1, -1]);
+        let term = e.find(&steps, |s| s.next_value(x).as_int()).unwrap();
+        assert_eq!(term.render(t.signature(), t.symbols()), "(x + x)");
+    }
+
+    #[test]
+    fn constant_output_uses_constant() {
+        // x' is always 0 regardless of x: the reset behaviour of the serial port.
+        let (t, x, _) = trace_of(&[(3, 1), (0, 2), (7, 3), (0, 4)]);
+        let steps: Vec<_> = vec![t.steps().next().unwrap(), t.steps().nth(2).unwrap()];
+        let e = enumerator(&t, vec![0, 1]);
+        let term = e.find(&steps, |s| s.next_value(x).as_int()).unwrap();
+        assert_eq!(term.render(t.signature(), t.symbols()), "0");
+    }
+
+    #[test]
+    fn no_consistent_term_returns_none() {
+        // x' alternates in a way no size-limited term over x, y explains.
+        let (t, x, _) = trace_of(&[(1, 1), (5, 1), (1, 1), (17, 1), (1, 1)]);
+        let steps: Vec<_> = t.steps().collect();
+        let e = enumerator(&t, vec![0, 1]);
+        assert!(e.find(&steps, |s| s.next_value(x).as_int()).is_none());
+    }
+
+    #[test]
+    fn empty_examples_return_none() {
+        let (t, x, _) = trace_of(&[(1, 1)]);
+        let steps: Vec<_> = t.steps().collect();
+        assert!(steps.is_empty());
+        let e = enumerator(&t, vec![0]);
+        assert!(e.find(&steps, |s| s.next_value(x).as_int()).is_none());
+    }
+
+    #[test]
+    fn discovers_threshold_constants_from_pool() {
+        // x' = x - 128 on all examples; 128 must come from the constant pool.
+        let (t, x, _) = trace_of(&[(130, 0), (2, 0)]);
+        let steps: Vec<_> = t.steps().collect();
+        let e = enumerator(&t, vec![0, 1, 128]);
+        let term = e.find(&steps, |s| s.next_value(x).as_int()).unwrap();
+        assert_eq!(term.render(t.signature(), t.symbols()), "(x - 128)");
+    }
+
+    #[test]
+    fn linear_restriction_excludes_constant_folding_terms() {
+        let (t, x, _) = trace_of(&[(1, 0), (2, 0), (3, 0)]);
+        let steps: Vec<_> = t.steps().collect();
+        let config = SynthesisConfig::sygus(vec![1]);
+        let int_vars: Vec<VarId> = t.signature().var_ids().collect();
+        let e = TermEnumerator::new(int_vars, config.constant_pool(&Default::default()), &config);
+        let term = e.find(&steps, |s| s.next_value(x).as_int()).unwrap();
+        assert_eq!(term.render(t.signature(), t.symbols()), "(x + 1)");
+    }
+}

@@ -1,0 +1,222 @@
+//! Synthesis of separating guard predicates.
+//!
+//! When a window exhibits more than one behaviour for a variable (e.g. the
+//! counter turning around at its threshold, or the integrator entering
+//! saturation), the learner needs a guard over the *current* state that
+//! separates the two groups of steps. The guard synthesiser searches, in
+//! order of syntactic size, atoms `x ⋈ c`, conjunctions of two atoms and
+//! disjunctions of two conjunctions — the shapes appearing in the paper's
+//! figures, such as `(x ≥ 128)` or `(op = 5 ∧ ip = 1) ∨ (op = −5 ∧ ip = −1)`.
+
+use crate::config::SynthesisConfig;
+use std::collections::BTreeSet;
+use tracelearn_expr::{CmpOp, IntTerm, Predicate, VarRef};
+use tracelearn_trace::{StepPair, Value, VarId};
+
+/// Searches for a predicate over current-state integer variables that holds
+/// on every "positive" step and on no "negative" step.
+#[derive(Debug, Clone)]
+pub struct GuardSynthesizer {
+    int_vars: Vec<VarId>,
+    constants: Vec<i64>,
+}
+
+impl GuardSynthesizer {
+    /// Creates a guard synthesiser over the given current-state integer
+    /// variables. The constant pool is extended on each query with the
+    /// values actually observed in the examples, so thresholds such as 128
+    /// are found even if they are rare in the trace at large.
+    pub fn new(int_vars: Vec<VarId>, constants: Vec<i64>, _config: &SynthesisConfig) -> Self {
+        GuardSynthesizer { int_vars, constants }
+    }
+
+    /// Finds the smallest separating guard, or `None` when the search space
+    /// is exhausted (e.g. a positive and a negative step share their
+    /// current-state values).
+    pub fn separate(
+        &self,
+        positives: &[StepPair<'_>],
+        negatives: &[StepPair<'_>],
+    ) -> Option<Predicate> {
+        if positives.is_empty() {
+            return Some(Predicate::False);
+        }
+        if negatives.is_empty() {
+            return Some(Predicate::True);
+        }
+        let atoms = self.candidate_atoms(positives, negatives);
+
+        // 1. Single atoms.
+        for atom in &atoms {
+            if separates(atom, positives, negatives) {
+                return Some(atom.clone());
+            }
+        }
+        // 2. Conjunctions of two atoms.
+        let mut conjunctions = Vec::new();
+        for (i, a) in atoms.iter().enumerate() {
+            for b in &atoms[i + 1..] {
+                let conj = Predicate::and(vec![a.clone(), b.clone()]);
+                if separates(&conj, positives, negatives) {
+                    return Some(conj);
+                }
+                // Keep only conjunctions that at least reject all negatives;
+                // they are the useful building blocks for disjunctions.
+                if holds_on_none(&conj, negatives) && holds_on_some(&conj, positives) {
+                    conjunctions.push(conj);
+                }
+            }
+        }
+        // 3. Disjunctions of two negative-free conjunctions (or atoms).
+        let mut disjuncts: Vec<Predicate> = atoms
+            .iter()
+            .filter(|a| holds_on_none(a, negatives) && holds_on_some(a, positives))
+            .cloned()
+            .collect();
+        disjuncts.extend(conjunctions);
+        for (i, a) in disjuncts.iter().enumerate() {
+            for b in &disjuncts[i + 1..] {
+                let disj = Predicate::or(vec![a.clone(), b.clone()]);
+                if separates(&disj, positives, negatives) {
+                    return Some(disj);
+                }
+            }
+        }
+        None
+    }
+
+    /// Candidate atoms `x ⋈ c` for the observed variables and constants.
+    fn candidate_atoms(
+        &self,
+        positives: &[StepPair<'_>],
+        negatives: &[StepPair<'_>],
+    ) -> Vec<Predicate> {
+        let mut constants: BTreeSet<i64> = self.constants.iter().copied().collect();
+        for step in positives.iter().chain(negatives) {
+            for &var in &self.int_vars {
+                if let Value::Int(v) = step.current_value(var) {
+                    constants.insert(v);
+                }
+            }
+        }
+        let mut atoms = Vec::new();
+        // Equality and ordering atoms, preferring ≥ / ≤ / = which is what the
+        // paper's figures use.
+        for &var in &self.int_vars {
+            for &c in &constants {
+                for op in [CmpOp::Ge, CmpOp::Le, CmpOp::Eq, CmpOp::Gt, CmpOp::Lt] {
+                    atoms.push(Predicate::cmp(
+                        op,
+                        IntTerm::var(VarRef::current(var)),
+                        IntTerm::constant(c),
+                    ));
+                }
+            }
+        }
+        atoms
+    }
+}
+
+fn separates(guard: &Predicate, positives: &[StepPair<'_>], negatives: &[StepPair<'_>]) -> bool {
+    positives.iter().all(|s| guard.holds(s)) && negatives.iter().all(|s| !guard.holds(s))
+}
+
+fn holds_on_none(guard: &Predicate, steps: &[StepPair<'_>]) -> bool {
+    steps.iter().all(|s| !guard.holds(s))
+}
+
+fn holds_on_some(guard: &Predicate, steps: &[StepPair<'_>]) -> bool {
+    steps.iter().any(|s| guard.holds(s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracelearn_trace::{Signature, Trace};
+
+    fn trace_of(rows: &[(i64, i64)]) -> Trace {
+        let sig = Signature::builder().int("op").int("ip").build();
+        let mut t = Trace::new(sig);
+        for &(a, b) in rows {
+            t.push_row([Value::Int(a), Value::Int(b)]).unwrap();
+        }
+        t
+    }
+
+    fn synthesizer(t: &Trace) -> GuardSynthesizer {
+        GuardSynthesizer::new(
+            t.signature().var_ids().collect(),
+            vec![0, 1, -1],
+            &SynthesisConfig::default(),
+        )
+    }
+
+    #[test]
+    fn single_threshold_guard() {
+        // Positive: current op = 128; negative: current op = 127.
+        let t = trace_of(&[(127, 1), (128, 1), (127, 1)]);
+        let steps: Vec<_> = t.steps().collect();
+        let g = synthesizer(&t);
+        let guard = g.separate(&steps[1..2], &steps[0..1]).unwrap();
+        assert!(guard.holds(&steps[1]));
+        assert!(!guard.holds(&steps[0]));
+        let rendered = guard.render(t.signature(), t.symbols());
+        assert!(rendered.contains("128") || rendered.contains("127"), "{rendered}");
+    }
+
+    #[test]
+    fn trivial_cases() {
+        let t = trace_of(&[(1, 1), (2, 2)]);
+        let steps: Vec<_> = t.steps().collect();
+        let g = synthesizer(&t);
+        assert_eq!(g.separate(&steps, &[]), Some(Predicate::True));
+        assert_eq!(g.separate(&[], &steps), Some(Predicate::False));
+    }
+
+    #[test]
+    fn saturation_disjunction() {
+        // Positives: saturation points (op=5, ip=1) and (op=-5, ip=-1).
+        // Negatives: ordinary integration steps.
+        let t = trace_of(&[
+            (5, 1),   // positive
+            (-5, -1), // positive
+            (4, 1),   // negative
+            (-4, -1), // negative
+            (0, 1),   // negative
+            (0, 0),   // terminal observation
+        ]);
+        let steps: Vec<_> = t.steps().collect();
+        let positives = &steps[0..2];
+        let negatives = &steps[2..5];
+        let g = synthesizer(&t);
+        let guard = g.separate(positives, negatives).unwrap();
+        for p in positives {
+            assert!(guard.holds(p));
+        }
+        for n in negatives {
+            assert!(!guard.holds(n));
+        }
+    }
+
+    #[test]
+    fn inseparable_examples_return_none() {
+        // The positive and negative step have identical current states.
+        let t = trace_of(&[(3, 3), (1, 1), (3, 3), (2, 2)]);
+        let steps: Vec<_> = t.steps().collect();
+        let g = synthesizer(&t);
+        assert!(g.separate(&steps[0..1], &steps[2..3]).is_none());
+    }
+
+    #[test]
+    fn conjunction_guard_when_needed() {
+        // Positive: (op=5, ip=1). Negatives: (op=5, ip=0) and (op=4, ip=1).
+        // No single atom over op or ip separates them; a conjunction does.
+        let t = trace_of(&[(5, 1), (5, 0), (4, 1), (0, 0)]);
+        let steps: Vec<_> = t.steps().collect();
+        let g = synthesizer(&t);
+        let guard = g.separate(&steps[0..1], &steps[1..3]).unwrap();
+        assert!(guard.holds(&steps[0]));
+        assert!(!guard.holds(&steps[1]));
+        assert!(!guard.holds(&steps[2]));
+    }
+}

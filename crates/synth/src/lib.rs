@@ -1,0 +1,60 @@
+//! Synthesis of transition-predicate ingredients from trace examples.
+//!
+//! The paper derives transition predicates by *synthesis from examples*: the
+//! observations inside a sliding window provide input/output samples of a
+//! next-state function `next(x)`, and a program synthesiser produces the
+//! smallest expression consistent with them. The paper uses CVC4 (SyGuS) or
+//! fastsynth (CEGIS); this crate provides the equivalent engines built from
+//! scratch:
+//!
+//! * [`TermEnumerator`] — bottom-up enumeration of integer terms with
+//!   observational equivalence, the core "smallest consistent expression"
+//!   search (fastsynth-style: no user grammar, constants discovered
+//!   automatically);
+//! * [`Synthesizer`] — the facade used by the learner: uniform update
+//!   synthesis (`x' = f(X)`), conditional update synthesis
+//!   (`x' = ite(g, f₁, f₂)` for windows with mixed behaviour) and separating
+//!   guard synthesis;
+//! * [`CegisLoop`] — a counterexample-guided wrapper that synthesises from a
+//!   small sample and verifies against the full example set, used for long
+//!   windows in non-segmented mode;
+//! * [`GrammarRestriction`] — an optional SyGuS-style restriction of the term
+//!   grammar, used by the §VII engine comparison.
+//!
+//! # Example
+//!
+//! ```
+//! # use std::error::Error;
+//! # fn main() -> Result<(), Box<dyn Error>> {
+//! use tracelearn_synth::{Synthesizer, SynthesisConfig};
+//! use tracelearn_trace::{Signature, Trace, Value};
+//!
+//! // The counter trace 1, 2, 3, 4: the synthesiser discovers x' = x + 1.
+//! let sig = Signature::builder().int("x").build();
+//! let mut trace = Trace::new(sig.clone());
+//! for v in [1i64, 2, 3, 4] {
+//!     trace.push_row([Value::Int(v)])?;
+//! }
+//! let synth = Synthesizer::new(&trace, SynthesisConfig::default());
+//! let steps: Vec<_> = trace.steps().collect();
+//! let x = sig.var("x").unwrap();
+//! let term = synth.synthesize_update(x, &steps).expect("update exists");
+//! assert_eq!(term.render(&sig, trace.symbols()), "(x + 1)");
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cegis;
+mod config;
+mod enumerator;
+mod guard;
+mod synthesizer;
+
+pub use crate::cegis::{CegisLoop, CegisOutcome};
+pub use crate::config::{GrammarRestriction, SynthesisConfig};
+pub use crate::enumerator::TermEnumerator;
+pub use crate::guard::GuardSynthesizer;
+pub use crate::synthesizer::{ConditionalUpdate, Synthesizer};

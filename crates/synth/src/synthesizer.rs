@@ -1,0 +1,406 @@
+//! The synthesis facade used by the learner.
+
+use crate::cegis::{CegisLoop, CegisOutcome};
+use crate::config::SynthesisConfig;
+use crate::enumerator::TermEnumerator;
+use crate::guard::GuardSynthesizer;
+use tracelearn_expr::{IntTerm, Predicate};
+use tracelearn_trace::{Signature, StepPair, Trace, TraceStats, VarId, VarKind};
+
+/// A conditional update `x' = ite(guard, when_true, when_false)`, produced
+/// when a window exhibits two different behaviours for a variable — e.g. the
+/// counter turning at its threshold or the integrator hitting saturation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConditionalUpdate {
+    /// Guard over the current state selecting the `when_true` branch.
+    pub guard: Predicate,
+    /// Update applied when the guard holds.
+    pub when_true: IntTerm,
+    /// Update applied when the guard does not hold.
+    pub when_false: IntTerm,
+}
+
+impl ConditionalUpdate {
+    /// The conditional update as a single term.
+    pub fn to_term(&self) -> IntTerm {
+        IntTerm::ite(
+            self.guard.clone(),
+            self.when_true.clone(),
+            self.when_false.clone(),
+        )
+        .simplify()
+    }
+
+    /// The update predicate `var' = ite(guard, when_true, when_false)`.
+    pub fn to_predicate(&self, var: VarId) -> Predicate {
+        Predicate::update(var, self.to_term()).simplify()
+    }
+}
+
+/// Facade combining the enumerator, the guard synthesiser and the CEGIS loop.
+///
+/// One `Synthesizer` is built per trace: it harvests the integer constants
+/// appearing in the trace so that thresholds such as `128` or `±5` are
+/// available to the search, mirroring fastsynth's automatic constant
+/// discovery.
+#[derive(Debug, Clone)]
+pub struct Synthesizer {
+    signature: Signature,
+    int_vars: Vec<VarId>,
+    enumerator: TermEnumerator,
+    guards: GuardSynthesizer,
+    config: SynthesisConfig,
+}
+
+impl Synthesizer {
+    /// Number of examples above which update synthesis switches from direct
+    /// enumeration to the CEGIS loop.
+    const CEGIS_THRESHOLD: usize = 32;
+
+    /// Creates a synthesiser for the given trace.
+    ///
+    /// Two separate constant pools are harvested from the trace:
+    ///
+    /// * update synthesis sees small constants and the *deltas* observed
+    ///   between consecutive values (so it discovers `x + 1`, `x − 1`,
+    ///   `0` — but not accidental affine reflections through a threshold);
+    /// * guard synthesis sees every value observed in the trace, which is
+    ///   where thresholds such as `128` or `±5` live.
+    pub fn new(trace: &Trace, config: SynthesisConfig) -> Self {
+        let signature = trace.signature().clone();
+        let int_vars: Vec<VarId> = signature
+            .iter()
+            .filter(|(_, v)| v.kind() == VarKind::Int)
+            .map(|(id, _)| id)
+            .collect();
+        let harvested = TraceStats::integer_constants(trace);
+        let guard_constants = config.constant_pool(&harvested);
+        let update_constants = match &config.grammar {
+            crate::GrammarRestriction::LinearWithConstants(allowed) => allowed.clone(),
+            crate::GrammarRestriction::Free => {
+                let mut pool: std::collections::BTreeSet<i64> =
+                    config.extra_constants.iter().copied().collect();
+                pool.extend([0, 1, -1]);
+                for step in trace.steps() {
+                    for &var in &int_vars {
+                        if let (Some(current), Some(next)) = (
+                            step.current_value(var).as_int(),
+                            step.next_value(var).as_int(),
+                        ) {
+                            let delta = next - current;
+                            if delta.abs() <= 256 {
+                                pool.insert(delta);
+                            }
+                        }
+                    }
+                }
+                pool.into_iter().collect()
+            }
+        };
+        let enumerator = TermEnumerator::new(int_vars.clone(), update_constants, &config);
+        let guards = GuardSynthesizer::new(int_vars.clone(), guard_constants, &config);
+        Synthesizer {
+            signature,
+            int_vars,
+            enumerator,
+            guards,
+            config,
+        }
+    }
+
+    /// The trace signature this synthesiser was built for.
+    pub fn signature(&self) -> &Signature {
+        &self.signature
+    }
+
+    /// The integer variables considered by update synthesis.
+    pub fn int_vars(&self) -> &[VarId] {
+        &self.int_vars
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SynthesisConfig {
+        &self.config
+    }
+
+    /// The underlying term enumerator.
+    pub fn enumerator(&self) -> &TermEnumerator {
+        &self.enumerator
+    }
+
+    /// The underlying guard synthesiser.
+    pub fn guards(&self) -> &GuardSynthesizer {
+        &self.guards
+    }
+
+    /// Synthesises the smallest uniform update `var' = t(X)` valid on every
+    /// step, or `None` when no such term exists within the budget.
+    ///
+    /// Large example sets are handled with the CEGIS loop; small ones (the
+    /// common case for sliding windows) call the enumerator directly.
+    pub fn synthesize_update(&self, var: VarId, steps: &[StepPair<'_>]) -> Option<IntTerm> {
+        let target = |s: &StepPair<'_>| s.next_value(var).as_int();
+        if steps.len() > Self::CEGIS_THRESHOLD {
+            let cegis = CegisLoop::new(
+                self.config.cegis_initial_samples,
+                self.config.cegis_max_iterations,
+            );
+            match cegis.run(&self.enumerator, steps, target) {
+                CegisOutcome::Synthesized { term, .. } => Some(term),
+                _ => None,
+            }
+        } else {
+            self.enumerator.find(steps, target)
+        }
+    }
+
+    /// Computes the *dominant* update terms of a variable over a sample of
+    /// steps: for each sampled step the smallest explaining terms are
+    /// collected, then every collected term is scored by how many sampled
+    /// steps it explains. The result is sorted by coverage (descending) and
+    /// size (ascending) and truncated to a handful of terms.
+    ///
+    /// The learner uses these as preferred labels: a window whose behaviour
+    /// is explained by a globally dominant update (`op' = op + ip`) should be
+    /// labelled with it rather than with an incidental smaller term
+    /// (`op' = 2`) that happens to fit locally.
+    pub fn dominant_updates(
+        &self,
+        var: VarId,
+        sample: &[StepPair<'_>],
+    ) -> Vec<(IntTerm, usize)> {
+        let target = |s: &StepPair<'_>| s.next_value(var).as_int();
+        let stride = (sample.len() / 256).max(1);
+        let mut terms: Vec<IntTerm> = Vec::new();
+        for step in sample.iter().step_by(stride) {
+            let singleton = std::slice::from_ref(step);
+            for candidate in [
+                self.enumerator.find_with_variables(singleton, target),
+                self.enumerator.find(singleton, target),
+            ]
+            .into_iter()
+            .flatten()
+            {
+                if !terms.contains(&candidate) {
+                    terms.push(candidate);
+                }
+            }
+        }
+        let mut scored: Vec<(IntTerm, usize)> = terms
+            .into_iter()
+            .map(|term| {
+                let coverage = sample
+                    .iter()
+                    .filter(|s| term.eval(s) == target(s))
+                    .count();
+                (term, coverage)
+            })
+            .collect();
+        scored.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.size().cmp(&b.0.size())));
+        scored.truncate(8);
+        scored
+    }
+
+    /// Synthesises a conditional update for a window whose steps exhibit two
+    /// behaviours for `var`.
+    ///
+    /// The algorithm mirrors how a CEGIS engine handles such windows: find a
+    /// term covering as many steps as possible, synthesise a second term for
+    /// the uncovered steps, then search for a guard over the current state
+    /// separating the two groups.
+    pub fn synthesize_conditional_update(
+        &self,
+        var: VarId,
+        steps: &[StepPair<'_>],
+    ) -> Option<ConditionalUpdate> {
+        self.synthesize_conditional_update_with_hints(var, steps, &[])
+    }
+
+    /// Like [`Synthesizer::synthesize_conditional_update`], but preferring
+    /// the given hint terms (typically the [`Synthesizer::dominant_updates`]
+    /// of the variable) when choosing per-step explanations, so that the two
+    /// branches of the conditional reuse the labels seen elsewhere in the
+    /// trace.
+    pub fn synthesize_conditional_update_with_hints(
+        &self,
+        var: VarId,
+        steps: &[StepPair<'_>],
+        hints: &[IntTerm],
+    ) -> Option<ConditionalUpdate> {
+        if steps.len() < 2 {
+            return None;
+        }
+        let target = |s: &StepPair<'_>| s.next_value(var).as_int();
+
+        // Per-step candidate terms: a hint that explains the step, otherwise
+        // the smallest term mentioning a variable, otherwise any term.
+        let per_step: Vec<Option<IntTerm>> = steps
+            .iter()
+            .map(|s| {
+                hints
+                    .iter()
+                    .find(|hint| hint.eval(s) == target(s))
+                    .cloned()
+                    .or_else(|| {
+                        self.enumerator
+                            .find_with_variables(std::slice::from_ref(s), target)
+                    })
+                    .or_else(|| self.enumerator.find(std::slice::from_ref(s), target))
+            })
+            .collect();
+
+        // Choose the candidate covering the most steps (ties: smaller term).
+        let mut best: Option<(IntTerm, Vec<bool>, usize)> = None;
+        for candidate in per_step.iter().flatten() {
+            let coverage: Vec<bool> = steps
+                .iter()
+                .map(|s| candidate.eval(s) == target(s))
+                .collect();
+            let count = coverage.iter().filter(|&&c| c).count();
+            let better = match &best {
+                None => true,
+                Some((current, _, current_count)) => {
+                    count > *current_count
+                        || (count == *current_count && candidate.size() < current.size())
+                }
+            };
+            if better {
+                best = Some((candidate.clone(), coverage, count));
+            }
+        }
+        let (when_false, coverage, covered) = best?;
+        if covered == steps.len() {
+            // The window was uniform after all; no conditional needed.
+            return None;
+        }
+
+        let uncovered: Vec<StepPair<'_>> = steps
+            .iter()
+            .zip(&coverage)
+            .filter(|(_, &c)| !c)
+            .map(|(s, _)| *s)
+            .collect();
+        let covered_steps: Vec<StepPair<'_>> = steps
+            .iter()
+            .zip(&coverage)
+            .filter(|(_, &c)| c)
+            .map(|(s, _)| *s)
+            .collect();
+        let when_true = hints
+            .iter()
+            .find(|hint| uncovered.iter().all(|s| hint.eval(s) == target(s)))
+            .cloned()
+            .or_else(|| self.enumerator.find_with_variables(&uncovered, target))
+            .or_else(|| self.enumerator.find(&uncovered, target))?;
+        let guard = self.guards.separate(&uncovered, &covered_steps)?;
+        Some(ConditionalUpdate {
+            guard,
+            when_true,
+            when_false,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracelearn_trace::{Trace, Value};
+
+    fn counter_trace(threshold: i64, cycles: usize) -> Trace {
+        let sig = Signature::builder().int("x").build();
+        let mut t = Trace::new(sig);
+        for _ in 0..cycles {
+            for v in 1..=threshold {
+                t.push_row([Value::Int(v)]).unwrap();
+            }
+            for v in (2..threshold).rev() {
+                t.push_row([Value::Int(v)]).unwrap();
+            }
+        }
+        t.push_row([Value::Int(1)]).unwrap();
+        t
+    }
+
+    #[test]
+    fn uniform_update_on_rising_window() {
+        let t = counter_trace(10, 1);
+        let synth = Synthesizer::new(&t, SynthesisConfig::default());
+        let x = t.signature().var("x").unwrap();
+        let steps: Vec<_> = t.steps().take(2).collect();
+        let term = synth.synthesize_update(x, &steps).unwrap();
+        assert_eq!(term.render(t.signature(), t.symbols()), "(x + 1)");
+    }
+
+    #[test]
+    fn cegis_kicks_in_on_long_windows() {
+        let sig = Signature::builder().int("x").build();
+        let mut t = Trace::new(sig);
+        for i in 0..200 {
+            t.push_row([Value::Int(i)]).unwrap();
+        }
+        let synth = Synthesizer::new(&t, SynthesisConfig::default());
+        let x = t.signature().var("x").unwrap();
+        let steps: Vec<_> = t.steps().collect();
+        assert!(steps.len() > 32);
+        let term = synth.synthesize_update(x, &steps).unwrap();
+        assert_eq!(term.render(t.signature(), t.symbols()), "(x + 1)");
+    }
+
+    #[test]
+    fn conditional_update_at_the_threshold() {
+        let t = counter_trace(128, 1);
+        let synth = Synthesizer::new(&t, SynthesisConfig::default());
+        let x = t.signature().var("x").unwrap();
+        // The window containing the turn: observations 127, 128, 127.
+        let steps: Vec<_> = t.steps().collect();
+        let window = &steps[126..128];
+        assert!(synth.synthesize_update(x, window).is_none());
+        let conditional = synth.synthesize_conditional_update(x, window).unwrap();
+        // The conditional update must reproduce both steps.
+        let term = conditional.to_term();
+        for step in window {
+            assert_eq!(term.eval(step), step.next_value(x).as_int());
+        }
+        // And its guard must mention the threshold region.
+        let rendered = conditional.to_predicate(x).render(t.signature(), t.symbols());
+        assert!(rendered.contains("127") || rendered.contains("128"), "{rendered}");
+    }
+
+    #[test]
+    fn conditional_on_uniform_window_is_none() {
+        let t = counter_trace(10, 1);
+        let synth = Synthesizer::new(&t, SynthesisConfig::default());
+        let x = t.signature().var("x").unwrap();
+        let steps: Vec<_> = t.steps().take(2).collect();
+        assert!(synth.synthesize_conditional_update(x, &steps).is_none());
+    }
+
+    #[test]
+    fn integrator_cross_variable_update() {
+        let sig = Signature::builder().int("ip").int("op").build();
+        let mut t = Trace::new(sig);
+        // op accumulates ip; ip chosen so no saturation occurs.
+        let ips = [1i64, 1, -1, 1, 0, -1, -1, 1];
+        let mut op = 0i64;
+        for &ip in &ips {
+            t.push_row([Value::Int(ip), Value::Int(op)]).unwrap();
+            op += ip;
+        }
+        t.push_row([Value::Int(0), Value::Int(op)]).unwrap();
+        let synth = Synthesizer::new(&t, SynthesisConfig::default());
+        let op_var = t.signature().var("op").unwrap();
+        let steps: Vec<_> = t.steps().collect();
+        let term = synth.synthesize_update(op_var, &steps).unwrap();
+        let rendered = term.render(t.signature(), t.symbols());
+        assert!(rendered == "(op + ip)" || rendered == "(ip + op)", "{rendered}");
+    }
+
+    #[test]
+    fn accessors_expose_configuration() {
+        let t = counter_trace(4, 1);
+        let synth = Synthesizer::new(&t, SynthesisConfig::default());
+        assert_eq!(synth.int_vars().len(), 1);
+        assert_eq!(synth.signature().arity(), 1);
+        assert_eq!(synth.config().max_term_size, 3);
+    }
+}

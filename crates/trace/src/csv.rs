@@ -1,0 +1,199 @@
+//! Minimal textual (CSV-like) serialisation of traces.
+//!
+//! The format is a header line `name:kind,name:kind,…` followed by one line
+//! per observation with comma-separated values. Integers are written as
+//! decimal numbers, booleans as `true`/`false`, events by name. This is the
+//! interchange format used by the example binaries and keeps recorded traces
+//! human-readable, mirroring how the paper's traces were produced with print
+//! statements.
+
+use crate::error::TraceError;
+use crate::signature::{Signature, VarKind, Variable};
+use crate::trace::{RowEntry, Trace};
+use crate::value::Value;
+
+/// Serialises a trace to the textual format.
+///
+/// # Example
+///
+/// ```
+/// # use std::error::Error;
+/// # fn main() -> Result<(), Box<dyn Error>> {
+/// use tracelearn_trace::{parse_csv, to_csv, Signature, Trace, Value};
+///
+/// let sig = Signature::builder().int("x").build();
+/// let mut trace = Trace::new(sig);
+/// trace.push_row([Value::Int(5)])?;
+/// let text = to_csv(&trace);
+/// let back = parse_csv(&text)?;
+/// assert_eq!(back.len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn to_csv(trace: &Trace) -> String {
+    let mut out = String::new();
+    let header: Vec<String> = trace
+        .signature()
+        .iter()
+        .map(|(_, v)| format!("{}:{}", v.name(), v.kind()))
+        .collect();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for t in 0..trace.len() {
+        let obs = trace.get(t).expect("index in range");
+        let row: Vec<String> = obs
+            .values()
+            .iter()
+            .map(|v| match v {
+                Value::Sym(s) => trace.symbols().name(*s).unwrap_or("<unknown>").to_owned(),
+                other => other.to_string(),
+            })
+            .collect();
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a trace from the textual format.
+///
+/// # Errors
+///
+/// Returns [`TraceError::Parse`] with the offending line number for malformed
+/// headers or rows, and propagates signature/valuation errors.
+pub fn parse_csv(text: &str) -> Result<Trace, TraceError> {
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines.next().ok_or(TraceError::EmptyTrace)?;
+    let mut vars = Vec::new();
+    for field in header.split(',') {
+        let field = field.trim();
+        if field.is_empty() {
+            continue;
+        }
+        let (name, kind) = field.split_once(':').ok_or_else(|| TraceError::Parse {
+            line: 1,
+            message: format!("header field `{field}` is missing `:kind`"),
+        })?;
+        let kind = match kind.trim() {
+            "int" => VarKind::Int,
+            "bool" => VarKind::Bool,
+            "event" => VarKind::Event,
+            other => {
+                return Err(TraceError::Parse {
+                    line: 1,
+                    message: format!("unknown variable kind `{other}`"),
+                })
+            }
+        };
+        vars.push(Variable::new(name.trim(), kind));
+    }
+    let signature = Signature::from_variables(vars)?;
+    let mut trace = Trace::new(signature.clone());
+    for (index, line) in lines {
+        let line_no = index + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+        if fields.len() != signature.arity() {
+            return Err(TraceError::Parse {
+                line: line_no,
+                message: format!(
+                    "expected {} fields, found {}",
+                    signature.arity(),
+                    fields.len()
+                ),
+            });
+        }
+        let mut row = Vec::with_capacity(fields.len());
+        for (id, var) in signature.iter() {
+            let field = fields[id.index()];
+            let entry = match var.kind() {
+                VarKind::Int => RowEntry::Value(Value::Int(field.parse().map_err(|_| {
+                    TraceError::Parse {
+                        line: line_no,
+                        message: format!("`{field}` is not an integer"),
+                    }
+                })?)),
+                VarKind::Bool => RowEntry::Value(Value::Bool(field.parse().map_err(|_| {
+                    TraceError::Parse {
+                        line: line_no,
+                        message: format!("`{field}` is not a boolean"),
+                    }
+                })?)),
+                VarKind::Event => RowEntry::Event(field),
+            };
+            row.push(entry);
+        }
+        trace.push_named_row(row)?;
+    }
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signature::Signature;
+
+    #[test]
+    fn round_trip_mixed_trace() {
+        let sig = Signature::builder().event("op").int("len").boolean("ok").build();
+        let mut t = Trace::new(sig);
+        t.push_named_row(vec![
+            RowEntry::Event("read"),
+            RowEntry::Value(Value::Int(3)),
+            RowEntry::Value(Value::Bool(true)),
+        ])
+        .unwrap();
+        t.push_named_row(vec![
+            RowEntry::Event("write"),
+            RowEntry::Value(Value::Int(4)),
+            RowEntry::Value(Value::Bool(false)),
+        ])
+        .unwrap();
+        let text = to_csv(&t);
+        let back = parse_csv(&text).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.event_sequence("op").unwrap(), vec!["read", "write"]);
+        assert_eq!(back.get(1).unwrap().values()[1], Value::Int(4));
+    }
+
+    #[test]
+    fn parse_rejects_bad_header() {
+        assert!(matches!(
+            parse_csv("x\n1\n"),
+            Err(TraceError::Parse { line: 1, .. })
+        ));
+        assert!(matches!(
+            parse_csv("x:float\n1\n"),
+            Err(TraceError::Parse { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn parse_rejects_bad_rows() {
+        assert!(matches!(
+            parse_csv("x:int\nnot_an_int\n"),
+            Err(TraceError::Parse { line: 2, .. })
+        ));
+        assert!(matches!(
+            parse_csv("x:int,y:int\n1\n"),
+            Err(TraceError::Parse { line: 2, .. })
+        ));
+        assert!(matches!(
+            parse_csv("b:bool\nmaybe\n"),
+            Err(TraceError::Parse { line: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn parse_rejects_empty_input() {
+        assert!(matches!(parse_csv(""), Err(TraceError::EmptyTrace)));
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let trace = parse_csv("x:int\n1\n\n2\n").unwrap();
+        assert_eq!(trace.len(), 2);
+    }
+}

@@ -1,0 +1,110 @@
+//! Error type for trace construction and parsing.
+
+use crate::signature::VarKind;
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while building, validating or parsing traces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TraceError {
+    /// Two variables in a signature share a name.
+    DuplicateVariable(String),
+    /// A valuation has the wrong number of values for its signature.
+    ArityMismatch {
+        /// Arity expected by the signature.
+        expected: usize,
+        /// Arity actually supplied.
+        got: usize,
+    },
+    /// A value has the wrong kind for its variable.
+    KindMismatch {
+        /// Name of the offending variable.
+        variable: String,
+        /// Kind required by the signature.
+        expected: VarKind,
+    },
+    /// A variable referenced by name does not exist in the signature.
+    UnknownVariable(String),
+    /// A textual trace could not be parsed.
+    Parse {
+        /// One-based line number of the offending record.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// An operation that requires a non-empty trace was given an empty one.
+    EmptyTrace,
+    /// A window length was zero or larger than permitted for the operation.
+    InvalidWindow {
+        /// The requested window length.
+        window: usize,
+        /// The length of the sequence being windowed.
+        len: usize,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::DuplicateVariable(name) => {
+                write!(f, "duplicate variable `{name}` in signature")
+            }
+            TraceError::ArityMismatch { expected, got } => {
+                write!(f, "valuation has {got} values but the signature has {expected} variables")
+            }
+            TraceError::KindMismatch { variable, expected } => {
+                write!(f, "value for variable `{variable}` is not of kind {expected}")
+            }
+            TraceError::UnknownVariable(name) => write!(f, "unknown variable `{name}`"),
+            TraceError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
+            TraceError::EmptyTrace => write!(f, "operation requires a non-empty trace"),
+            TraceError::InvalidWindow { window, len } => {
+                write!(f, "invalid window length {window} for sequence of length {len}")
+            }
+        }
+    }
+}
+
+impl Error for TraceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let cases: Vec<(TraceError, &str)> = vec![
+            (
+                TraceError::DuplicateVariable("x".into()),
+                "duplicate variable `x` in signature",
+            ),
+            (
+                TraceError::ArityMismatch { expected: 2, got: 3 },
+                "valuation has 3 values but the signature has 2 variables",
+            ),
+            (
+                TraceError::UnknownVariable("y".into()),
+                "unknown variable `y`",
+            ),
+            (TraceError::EmptyTrace, "operation requires a non-empty trace"),
+        ];
+        for (err, expected) in cases {
+            assert_eq!(err.to_string(), expected);
+        }
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn assert_error<E: Error>() {}
+        assert_error::<TraceError>();
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TraceError>();
+    }
+}

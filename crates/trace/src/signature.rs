@@ -1,0 +1,282 @@
+//! Trace signatures: the ordered set of observed variables.
+
+use crate::error::TraceError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of a variable within a [`Signature`].
+///
+/// # Example
+///
+/// ```
+/// use tracelearn_trace::Signature;
+///
+/// let sig = Signature::builder().int("x").event("op").build();
+/// let x = sig.var("x").unwrap();
+/// assert_eq!(sig.variable(x).name(), "x");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct VarId(u32);
+
+impl VarId {
+    /// Creates a variable id from a raw index.
+    pub fn new(index: u32) -> Self {
+        VarId(index)
+    }
+
+    /// The position of the variable within its signature.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// The kind (domain) of an observed variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum VarKind {
+    /// Signed integer valued.
+    Int,
+    /// Boolean valued.
+    Bool,
+    /// Symbolic-event valued (interned strings).
+    Event,
+}
+
+impl fmt::Display for VarKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VarKind::Int => write!(f, "int"),
+            VarKind::Bool => write!(f, "bool"),
+            VarKind::Event => write!(f, "event"),
+        }
+    }
+}
+
+/// A single observed variable: a name plus its domain kind.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Variable {
+    name: String,
+    kind: VarKind,
+}
+
+impl Variable {
+    /// Creates a variable description.
+    pub fn new(name: impl Into<String>, kind: VarKind) -> Self {
+        Variable {
+            name: name.into(),
+            kind,
+        }
+    }
+
+    /// The variable's name as used in traces and predicates.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The variable's domain kind.
+    pub fn kind(&self) -> VarKind {
+        self.kind
+    }
+}
+
+/// The ordered list of variables observed by a trace.
+///
+/// A signature fixes the width and column meaning of every
+/// [`Valuation`](crate::Valuation) in a [`Trace`](crate::Trace).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct Signature {
+    vars: Vec<Variable>,
+}
+
+impl Signature {
+    /// Starts building a signature.
+    pub fn builder() -> SignatureBuilder {
+        SignatureBuilder::default()
+    }
+
+    /// Creates a signature from an explicit variable list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::DuplicateVariable`] when two variables share a
+    /// name.
+    pub fn from_variables(vars: Vec<Variable>) -> Result<Self, TraceError> {
+        for (i, v) in vars.iter().enumerate() {
+            if vars[..i].iter().any(|u| u.name() == v.name()) {
+                return Err(TraceError::DuplicateVariable(v.name().to_owned()));
+            }
+        }
+        Ok(Signature { vars })
+    }
+
+    /// Number of variables.
+    pub fn arity(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Whether the signature has no variables.
+    pub fn is_empty(&self) -> bool {
+        self.vars.is_empty()
+    }
+
+    /// Looks up a variable id by name.
+    pub fn var(&self, name: &str) -> Option<VarId> {
+        self.vars
+            .iter()
+            .position(|v| v.name() == name)
+            .map(|i| VarId(i as u32))
+    }
+
+    /// The variable description behind an id.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` does not belong to this signature.
+    pub fn variable(&self, id: VarId) -> &Variable {
+        &self.vars[id.index()]
+    }
+
+    /// Iterates over `(id, variable)` pairs in declaration order.
+    pub fn iter(&self) -> impl Iterator<Item = (VarId, &Variable)> {
+        self.vars
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (VarId(i as u32), v))
+    }
+
+    /// All variable ids in declaration order.
+    pub fn var_ids(&self) -> impl Iterator<Item = VarId> + '_ {
+        (0..self.vars.len()).map(|i| VarId(i as u32))
+    }
+}
+
+impl fmt::Display for Signature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.vars.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}: {}", v.name(), v.kind())?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Builder for [`Signature`] values.
+///
+/// # Example
+///
+/// ```
+/// use tracelearn_trace::{Signature, VarKind};
+///
+/// let sig = Signature::builder()
+///     .int("queue_len")
+///     .event("op")
+///     .boolean("reset")
+///     .build();
+/// assert_eq!(sig.arity(), 3);
+/// assert_eq!(sig.variable(sig.var("op").unwrap()).kind(), VarKind::Event);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct SignatureBuilder {
+    vars: Vec<Variable>,
+}
+
+impl SignatureBuilder {
+    /// Adds an integer variable.
+    pub fn int(mut self, name: impl Into<String>) -> Self {
+        self.vars.push(Variable::new(name, VarKind::Int));
+        self
+    }
+
+    /// Adds a boolean variable.
+    pub fn boolean(mut self, name: impl Into<String>) -> Self {
+        self.vars.push(Variable::new(name, VarKind::Bool));
+        self
+    }
+
+    /// Adds a symbolic-event variable.
+    pub fn event(mut self, name: impl Into<String>) -> Self {
+        self.vars.push(Variable::new(name, VarKind::Event));
+        self
+    }
+
+    /// Adds an arbitrary variable.
+    pub fn variable(mut self, var: Variable) -> Self {
+        self.vars.push(var);
+        self
+    }
+
+    /// Finalises the signature.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two variables share a name; use
+    /// [`Signature::from_variables`] for a fallible version.
+    pub fn build(self) -> Signature {
+        Signature::from_variables(self.vars).expect("duplicate variable name in signature")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_adds_all_kinds() {
+        let sig = Signature::builder()
+            .int("x")
+            .boolean("b")
+            .event("e")
+            .build();
+        assert_eq!(sig.arity(), 3);
+        assert_eq!(sig.variable(VarId::new(0)).kind(), VarKind::Int);
+        assert_eq!(sig.variable(VarId::new(1)).kind(), VarKind::Bool);
+        assert_eq!(sig.variable(VarId::new(2)).kind(), VarKind::Event);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let err = Signature::from_variables(vec![
+            Variable::new("x", VarKind::Int),
+            Variable::new("x", VarKind::Bool),
+        ])
+        .unwrap_err();
+        assert!(matches!(err, TraceError::DuplicateVariable(n) if n == "x"));
+    }
+
+    #[test]
+    fn var_lookup_by_name() {
+        let sig = Signature::builder().int("a").int("b").build();
+        assert_eq!(sig.var("b"), Some(VarId::new(1)));
+        assert_eq!(sig.var("c"), None);
+    }
+
+    #[test]
+    fn iter_and_var_ids_are_ordered() {
+        let sig = Signature::builder().int("a").int("b").build();
+        let names: Vec<_> = sig.iter().map(|(_, v)| v.name().to_owned()).collect();
+        assert_eq!(names, vec!["a", "b"]);
+        let ids: Vec<_> = sig.var_ids().collect();
+        assert_eq!(ids, vec![VarId::new(0), VarId::new(1)]);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let sig = Signature::builder().int("x").event("op").build();
+        assert_eq!(sig.to_string(), "(x: int, op: event)");
+    }
+
+    #[test]
+    fn empty_signature() {
+        let sig = Signature::default();
+        assert!(sig.is_empty());
+        assert_eq!(sig.arity(), 0);
+    }
+}

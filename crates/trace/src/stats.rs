@@ -1,0 +1,227 @@
+//! Summary statistics over traces, used for reporting and for harvesting
+//! synthesis constants.
+
+use crate::signature::{VarId, VarKind};
+use crate::trace::Trace;
+use crate::value::Value;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Per-variable statistics of a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VarStats {
+    /// Variable name.
+    pub name: String,
+    /// Variable kind.
+    pub kind: VarKind,
+    /// Number of distinct values observed.
+    pub distinct: usize,
+    /// Minimum integer value (integers only).
+    pub min: Option<i64>,
+    /// Maximum integer value (integers only).
+    pub max: Option<i64>,
+    /// Whether the variable ever changes value along the trace.
+    pub changes: bool,
+}
+
+/// Whole-trace statistics.
+///
+/// # Example
+///
+/// ```
+/// # use std::error::Error;
+/// # fn main() -> Result<(), Box<dyn Error>> {
+/// use tracelearn_trace::{Signature, Trace, TraceStats, Value};
+///
+/// let sig = Signature::builder().int("x").build();
+/// let mut trace = Trace::new(sig);
+/// for v in [1i64, 2, 3, 2, 1] {
+///     trace.push_row([Value::Int(v)])?;
+/// }
+/// let stats = TraceStats::of(&trace);
+/// assert_eq!(stats.len, 5);
+/// assert_eq!(stats.variables[0].max, Some(3));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Number of observations.
+    pub len: usize,
+    /// Number of distinct observations (valuations).
+    pub distinct_observations: usize,
+    /// Number of distinct consecutive-observation pairs (alphabet symbols).
+    pub distinct_steps: usize,
+    /// Per-variable statistics, in signature order.
+    pub variables: Vec<VarStats>,
+}
+
+impl TraceStats {
+    /// Computes statistics for a trace.
+    pub fn of(trace: &Trace) -> Self {
+        let mut distinct_observations = BTreeSet::new();
+        for obs in trace.observations() {
+            distinct_observations.insert(format!("{obs}"));
+        }
+        let mut distinct_steps = BTreeSet::new();
+        for step in trace.steps() {
+            distinct_steps.insert(format!("{}|{}", step.current, step.next));
+        }
+        let variables = trace
+            .signature()
+            .iter()
+            .map(|(id, var)| Self::var_stats(trace, id, var.name(), var.kind()))
+            .collect();
+        TraceStats {
+            len: trace.len(),
+            distinct_observations: distinct_observations.len(),
+            distinct_steps: distinct_steps.len(),
+            variables,
+        }
+    }
+
+    fn var_stats(trace: &Trace, id: VarId, name: &str, kind: VarKind) -> VarStats {
+        let mut distinct = BTreeSet::new();
+        let mut min = None;
+        let mut max = None;
+        let mut changes = false;
+        let mut previous: Option<Value> = None;
+        for obs in trace.observations() {
+            let v = obs.get(id);
+            distinct.insert(format!("{v}"));
+            if let Value::Int(i) = v {
+                min = Some(min.map_or(i, |m: i64| m.min(i)));
+                max = Some(max.map_or(i, |m: i64| m.max(i)));
+            }
+            if let Some(prev) = previous {
+                if prev != v {
+                    changes = true;
+                }
+            }
+            previous = Some(v);
+        }
+        VarStats {
+            name: name.to_owned(),
+            kind,
+            distinct: distinct.len(),
+            min,
+            max,
+            changes,
+        }
+    }
+
+    /// Harvests the set of integer constants that appear anywhere in the
+    /// trace, a useful seed for constant discovery in synthesis (for example
+    /// the counter threshold 128 or the integrator saturation bounds ±5).
+    pub fn integer_constants(trace: &Trace) -> BTreeSet<i64> {
+        let mut constants = BTreeSet::new();
+        for obs in trace.observations() {
+            for v in obs.values() {
+                if let Value::Int(i) = v {
+                    constants.insert(*i);
+                }
+            }
+        }
+        constants
+    }
+}
+
+impl fmt::Display for TraceStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} observations, {} distinct, {} distinct steps",
+            self.len, self.distinct_observations, self.distinct_steps
+        )?;
+        for v in &self.variables {
+            write!(f, "  {} ({}): {} distinct", v.name, v.kind, v.distinct)?;
+            if let (Some(min), Some(max)) = (v.min, v.max) {
+                write!(f, ", range [{min}, {max}]")?;
+            }
+            writeln!(f, "{}", if v.changes { "" } else { ", constant" })?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signature::Signature;
+    use crate::trace::RowEntry;
+
+    fn counter_trace() -> Trace {
+        let sig = Signature::builder().int("x").build();
+        let mut t = Trace::new(sig);
+        for v in [1i64, 2, 3, 2, 1, 2, 3] {
+            t.push_row([Value::Int(v)]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn stats_len_and_distinct() {
+        let stats = TraceStats::of(&counter_trace());
+        assert_eq!(stats.len, 7);
+        assert_eq!(stats.distinct_observations, 3);
+        assert!(stats.distinct_steps >= 3);
+    }
+
+    #[test]
+    fn var_stats_range_and_change() {
+        let stats = TraceStats::of(&counter_trace());
+        let x = &stats.variables[0];
+        assert_eq!(x.min, Some(1));
+        assert_eq!(x.max, Some(3));
+        assert!(x.changes);
+        assert_eq!(x.distinct, 3);
+    }
+
+    #[test]
+    fn constant_variable_detected() {
+        let sig = Signature::builder().int("x").int("c").build();
+        let mut t = Trace::new(sig);
+        for v in [1i64, 2, 3] {
+            t.push_row([Value::Int(v), Value::Int(42)]).unwrap();
+        }
+        let stats = TraceStats::of(&t);
+        assert!(!stats.variables[1].changes);
+        assert_eq!(stats.variables[1].distinct, 1);
+    }
+
+    #[test]
+    fn integer_constants_harvested() {
+        let constants = TraceStats::integer_constants(&counter_trace());
+        assert!(constants.contains(&1));
+        assert!(constants.contains(&3));
+        assert_eq!(constants.len(), 3);
+    }
+
+    #[test]
+    fn event_variables_have_no_range() {
+        let sig = Signature::builder().event("op").build();
+        let mut t = Trace::new(sig);
+        t.push_named_row(vec![RowEntry::Event("a")]).unwrap();
+        t.push_named_row(vec![RowEntry::Event("b")]).unwrap();
+        let stats = TraceStats::of(&t);
+        assert_eq!(stats.variables[0].min, None);
+        assert_eq!(stats.variables[0].distinct, 2);
+    }
+
+    #[test]
+    fn display_contains_summary() {
+        let s = TraceStats::of(&counter_trace()).to_string();
+        assert!(s.contains("7 observations"));
+        assert!(s.contains("range [1, 3]"));
+    }
+
+    #[test]
+    fn empty_trace_stats() {
+        let sig = Signature::builder().int("x").build();
+        let stats = TraceStats::of(&Trace::new(sig));
+        assert_eq!(stats.len, 0);
+        assert_eq!(stats.distinct_steps, 0);
+        assert_eq!(stats.variables[0].min, None);
+        assert!(!stats.variables[0].changes);
+    }
+}

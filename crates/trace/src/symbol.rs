@@ -1,0 +1,178 @@
+//! Interning of symbolic event names.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A compact identifier for an interned symbolic event name.
+///
+/// # Example
+///
+/// ```
+/// use tracelearn_trace::SymbolTable;
+///
+/// let mut table = SymbolTable::new();
+/// let a = table.intern("sched_waking");
+/// let b = table.intern("sched_waking");
+/// assert_eq!(a, b);
+/// assert_eq!(table.name(a), Some("sched_waking"));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SymbolId(u32);
+
+impl SymbolId {
+    /// Creates a symbol id from a raw index.
+    pub fn new(index: u32) -> Self {
+        SymbolId(index)
+    }
+
+    /// The raw index of this symbol in its owning [`SymbolTable`].
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for SymbolId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sym{}", self.0)
+    }
+}
+
+/// A bidirectional map between symbolic event names and [`SymbolId`]s.
+///
+/// Every [`Trace`](crate::Trace) owns one table so that symbolic values are
+/// cheap `Copy` ids while printing and parsing stay human readable.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SymbolTable {
+    names: Vec<String>,
+    #[serde(skip)]
+    index: HashMap<String, SymbolId>,
+}
+
+impl SymbolTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning the existing id when already present.
+    pub fn intern(&mut self, name: &str) -> SymbolId {
+        if let Some(&id) = self.index.get(name) {
+            return id;
+        }
+        let id = SymbolId(u32::try_from(self.names.len()).expect("too many symbols"));
+        self.names.push(name.to_owned());
+        self.index.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Looks up an already-interned name without inserting it.
+    pub fn lookup(&self, name: &str) -> Option<SymbolId> {
+        // The index may be empty after deserialisation; fall back to a scan.
+        if let Some(&id) = self.index.get(name) {
+            return Some(id);
+        }
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| SymbolId(i as u32))
+    }
+
+    /// The name behind a symbol id, if it belongs to this table.
+    pub fn name(&self, id: SymbolId) -> Option<&str> {
+        self.names.get(id.0 as usize).map(String::as_str)
+    }
+
+    /// Number of interned symbols.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over `(id, name)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (SymbolId, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (SymbolId(i as u32), n.as_str()))
+    }
+
+    /// Rebuilds the name→id index; needed after deserialisation.
+    pub fn rebuild_index(&mut self) {
+        self.index = self
+            .names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), SymbolId(i as u32)))
+            .collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("read");
+        let b = t.intern("read");
+        assert_eq!(a, b);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn intern_assigns_sequential_ids() {
+        let mut t = SymbolTable::new();
+        assert_eq!(t.intern("a").index(), 0);
+        assert_eq!(t.intern("b").index(), 1);
+        assert_eq!(t.intern("c").index(), 2);
+    }
+
+    #[test]
+    fn lookup_and_name_round_trip() {
+        let mut t = SymbolTable::new();
+        let id = t.intern("write");
+        assert_eq!(t.lookup("write"), Some(id));
+        assert_eq!(t.lookup("missing"), None);
+        assert_eq!(t.name(id), Some("write"));
+        assert_eq!(t.name(SymbolId::new(99)), None);
+    }
+
+    #[test]
+    fn iter_preserves_order() {
+        let mut t = SymbolTable::new();
+        t.intern("x");
+        t.intern("y");
+        let collected: Vec<_> = t.iter().map(|(_, n)| n.to_owned()).collect();
+        assert_eq!(collected, vec!["x", "y"]);
+    }
+
+    #[test]
+    fn rebuild_index_restores_lookup() {
+        let mut t = SymbolTable::new();
+        t.intern("a");
+        t.intern("b");
+        let mut clone = SymbolTable {
+            names: t.names.clone(),
+            index: HashMap::new(),
+        };
+        // Even without the index, lookup falls back to scanning.
+        assert_eq!(clone.lookup("b"), Some(SymbolId::new(1)));
+        clone.rebuild_index();
+        assert_eq!(clone.lookup("a"), Some(SymbolId::new(0)));
+    }
+
+    #[test]
+    fn is_empty_and_len() {
+        let mut t = SymbolTable::new();
+        assert!(t.is_empty());
+        t.intern("e");
+        assert!(!t.is_empty());
+        assert_eq!(t.len(), 1);
+    }
+}

@@ -1,0 +1,456 @@
+//! The trace container and its iterators.
+
+use crate::error::TraceError;
+use crate::signature::{Signature, VarId, VarKind};
+use crate::symbol::{SymbolId, SymbolTable};
+use crate::valuation::Valuation;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A pair of consecutive observations: the alphabet symbol `a_i` of the
+/// paper's formal model, giving values to `X` (current) and `X'` (next).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepPair<'a> {
+    /// Valuation of the unprimed variables `X`.
+    pub current: &'a Valuation,
+    /// Valuation of the primed variables `X'`.
+    pub next: &'a Valuation,
+}
+
+impl<'a> StepPair<'a> {
+    /// Value of `x` in the current state.
+    pub fn current_value(&self, var: VarId) -> Value {
+        self.current.get(var)
+    }
+
+    /// Value of `x'` in the next state.
+    pub fn next_value(&self, var: VarId) -> Value {
+        self.next.get(var)
+    }
+}
+
+/// A finite execution trace: a signature, a symbol table for event names and
+/// a sequence of observations.
+///
+/// # Example
+///
+/// ```
+/// # use std::error::Error;
+/// # fn main() -> Result<(), Box<dyn Error>> {
+/// use tracelearn_trace::{Signature, Trace, Value};
+///
+/// let sig = Signature::builder().int("x").build();
+/// let mut trace = Trace::new(sig);
+/// trace.push_row([Value::Int(0)])?;
+/// trace.push_row([Value::Int(1)])?;
+/// let step = trace.steps().next().unwrap();
+/// assert_eq!(step.current.values()[0], Value::Int(0));
+/// assert_eq!(step.next.values()[0], Value::Int(1));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    signature: Signature,
+    symbols: SymbolTable,
+    observations: Vec<Valuation>,
+}
+
+impl Trace {
+    /// Creates an empty trace over the given signature.
+    pub fn new(signature: Signature) -> Self {
+        Trace {
+            signature,
+            symbols: SymbolTable::new(),
+            observations: Vec::new(),
+        }
+    }
+
+    /// The trace's signature.
+    pub fn signature(&self) -> &Signature {
+        &self.signature
+    }
+
+    /// The trace's symbol table (event-name interner).
+    pub fn symbols(&self) -> &SymbolTable {
+        &self.symbols
+    }
+
+    /// Mutable access to the symbol table, e.g. to pre-intern event names.
+    pub fn symbols_mut(&mut self) -> &mut SymbolTable {
+        &mut self.symbols
+    }
+
+    /// Interns an event name and returns its id.
+    pub fn intern(&mut self, name: &str) -> SymbolId {
+        self.symbols.intern(name)
+    }
+
+    /// Number of observations in the trace (`n` in the paper).
+    pub fn len(&self) -> usize {
+        self.observations.len()
+    }
+
+    /// Whether the trace has no observations.
+    pub fn is_empty(&self) -> bool {
+        self.observations.is_empty()
+    }
+
+    /// The observation at time step `t` (zero-based).
+    pub fn get(&self, t: usize) -> Option<&Valuation> {
+        self.observations.get(t)
+    }
+
+    /// All observations in order.
+    pub fn observations(&self) -> &[Valuation] {
+        &self.observations
+    }
+
+    /// Appends a pre-validated valuation.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the valuation's arity does not match the
+    /// signature. Kind errors are the caller's responsibility when using
+    /// [`Valuation::from_values`]; use [`Trace::push_row`] for full checking.
+    pub fn push(&mut self, valuation: Valuation) -> Result<(), TraceError> {
+        if valuation.arity() != self.signature.arity() {
+            return Err(TraceError::ArityMismatch {
+                expected: self.signature.arity(),
+                got: valuation.arity(),
+            });
+        }
+        self.observations.push(valuation);
+        Ok(())
+    }
+
+    /// Appends an observation given as a row of values, validating kinds.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same errors as [`Valuation::new`].
+    pub fn push_row<I>(&mut self, row: I) -> Result<(), TraceError>
+    where
+        I: IntoIterator<Item = Value>,
+    {
+        let valuation = Valuation::new(&self.signature, row.into_iter().collect())?;
+        self.observations.push(valuation);
+        Ok(())
+    }
+
+    /// Appends an observation where event variables are given by name and
+    /// interned on the fly.
+    ///
+    /// The row is given as `(value-or-event)` entries in signature order;
+    /// events are strings, others are [`Value`]s.
+    ///
+    /// # Errors
+    ///
+    /// Returns kind/arity errors as for [`Valuation::new`].
+    pub fn push_named_row(&mut self, row: Vec<RowEntry<'_>>) -> Result<(), TraceError> {
+        if row.len() != self.signature.arity() {
+            return Err(TraceError::ArityMismatch {
+                expected: self.signature.arity(),
+                got: row.len(),
+            });
+        }
+        let mut values = Vec::with_capacity(row.len());
+        for entry in row {
+            match entry {
+                RowEntry::Value(v) => values.push(v),
+                RowEntry::Event(name) => values.push(Value::Sym(self.symbols.intern(name))),
+            }
+        }
+        let valuation = Valuation::new(&self.signature, values)?;
+        self.observations.push(valuation);
+        Ok(())
+    }
+
+    /// Iterates over consecutive observation pairs (the automaton alphabet).
+    pub fn steps(&self) -> Steps<'_> {
+        Steps {
+            observations: &self.observations,
+            index: 0,
+        }
+    }
+
+    /// Iterates over sliding windows of `w` observations, the paper's trace
+    /// segments `σ_i = v_i, …, v_{i+w-1}`.
+    ///
+    /// Returns an empty iterator when `w == 0` or `w > len`.
+    pub fn windows(&self, w: usize) -> Windows<'_> {
+        Windows {
+            observations: &self.observations,
+            w,
+            index: 0,
+        }
+    }
+
+    /// Truncates the trace to at most `len` observations.
+    pub fn truncate(&mut self, len: usize) {
+        self.observations.truncate(len);
+    }
+
+    /// Returns a copy of this trace restricted to its first `len`
+    /// observations (sharing the same signature and symbol table).
+    pub fn prefix(&self, len: usize) -> Trace {
+        Trace {
+            signature: self.signature.clone(),
+            symbols: self.symbols.clone(),
+            observations: self.observations[..len.min(self.observations.len())].to_vec(),
+        }
+    }
+
+    /// Projects the trace onto a single event variable, returning the event
+    /// names in order. Useful for feeding state-merge baselines that operate
+    /// over plain event sequences.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::UnknownVariable`] for a missing variable and
+    /// [`TraceError::KindMismatch`] when the variable is not event-valued.
+    pub fn event_sequence(&self, var_name: &str) -> Result<Vec<String>, TraceError> {
+        let id = self
+            .signature
+            .var(var_name)
+            .ok_or_else(|| TraceError::UnknownVariable(var_name.to_owned()))?;
+        if self.signature.variable(id).kind() != VarKind::Event {
+            return Err(TraceError::KindMismatch {
+                variable: var_name.to_owned(),
+                expected: VarKind::Event,
+            });
+        }
+        Ok(self
+            .observations
+            .iter()
+            .map(|obs| {
+                let sym = obs.get(id).as_sym().expect("validated event value");
+                self.symbols
+                    .name(sym)
+                    .unwrap_or("<unknown>")
+                    .to_owned()
+            })
+            .collect())
+    }
+
+    /// Renders a single observation using symbol names where possible.
+    pub fn render_observation(&self, t: usize) -> Option<String> {
+        let obs = self.observations.get(t)?;
+        let mut parts = Vec::new();
+        for (id, var) in self.signature.iter() {
+            let value = obs.get(id);
+            let rendered = match value {
+                Value::Sym(s) => self.symbols.name(s).unwrap_or("<unknown>").to_owned(),
+                other => other.to_string(),
+            };
+            parts.push(format!("{}={}", var.name(), rendered));
+        }
+        Some(parts.join(", "))
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "trace over {} ({} observations)", self.signature, self.len())?;
+        for t in 0..self.len().min(20) {
+            writeln!(f, "  [{t}] {}", self.render_observation(t).unwrap_or_default())?;
+        }
+        if self.len() > 20 {
+            writeln!(f, "  … ({} more)", self.len() - 20)?;
+        }
+        Ok(())
+    }
+}
+
+/// An entry of a named row: either a plain value or an event name to intern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RowEntry<'a> {
+    /// A plain value.
+    Value(Value),
+    /// An event name that will be interned into the trace's symbol table.
+    Event(&'a str),
+}
+
+/// Iterator over consecutive observation pairs of a trace.
+#[derive(Debug, Clone)]
+pub struct Steps<'a> {
+    observations: &'a [Valuation],
+    index: usize,
+}
+
+impl<'a> Iterator for Steps<'a> {
+    type Item = StepPair<'a>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.index + 1 >= self.observations.len() {
+            return None;
+        }
+        let pair = StepPair {
+            current: &self.observations[self.index],
+            next: &self.observations[self.index + 1],
+        };
+        self.index += 1;
+        Some(pair)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self.observations.len().saturating_sub(self.index + 1);
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for Steps<'_> {}
+
+/// Iterator over sliding windows of observations.
+#[derive(Debug, Clone)]
+pub struct Windows<'a> {
+    observations: &'a [Valuation],
+    w: usize,
+    index: usize,
+}
+
+impl<'a> Iterator for Windows<'a> {
+    type Item = &'a [Valuation];
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.w == 0 || self.index + self.w > self.observations.len() {
+            return None;
+        }
+        let window = &self.observations[self.index..self.index + self.w];
+        self.index += 1;
+        Some(window)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        if self.w == 0 || self.w > self.observations.len() {
+            return (0, Some(0));
+        }
+        let remaining = self.observations.len() + 1 - self.w - self.index.min(self.observations.len() + 1 - self.w);
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for Windows<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signature::Signature;
+
+    fn int_trace(values: &[i64]) -> Trace {
+        let sig = Signature::builder().int("x").build();
+        let mut t = Trace::new(sig);
+        for &v in values {
+            t.push_row([Value::Int(v)]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn push_and_len() {
+        let t = int_trace(&[1, 2, 3]);
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+        assert_eq!(t.get(1).unwrap().values()[0], Value::Int(2));
+        assert_eq!(t.get(7), None);
+    }
+
+    #[test]
+    fn push_rejects_wrong_arity() {
+        let sig = Signature::builder().int("x").int("y").build();
+        let mut t = Trace::new(sig);
+        let err = t.push(Valuation::from_values(vec![Value::Int(1)])).unwrap_err();
+        assert!(matches!(err, TraceError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn steps_iterates_consecutive_pairs() {
+        let t = int_trace(&[1, 2, 3, 4]);
+        let steps: Vec<_> = t.steps().collect();
+        assert_eq!(steps.len(), 3);
+        assert_eq!(steps[0].current.values()[0], Value::Int(1));
+        assert_eq!(steps[0].next.values()[0], Value::Int(2));
+        assert_eq!(steps[2].current.values()[0], Value::Int(3));
+        assert_eq!(steps[2].next.values()[0], Value::Int(4));
+    }
+
+    #[test]
+    fn steps_on_short_trace_is_empty() {
+        assert_eq!(int_trace(&[1]).steps().count(), 0);
+        assert_eq!(int_trace(&[]).steps().count(), 0);
+    }
+
+    #[test]
+    fn windows_cover_all_positions() {
+        let t = int_trace(&[1, 2, 3, 4, 5]);
+        let windows: Vec<_> = t.windows(3).collect();
+        assert_eq!(windows.len(), 3); // n + 1 - w
+        assert_eq!(windows[0].len(), 3);
+        assert_eq!(windows[2][0].values()[0], Value::Int(3));
+    }
+
+    #[test]
+    fn windows_degenerate_cases() {
+        let t = int_trace(&[1, 2, 3]);
+        assert_eq!(t.windows(0).count(), 0);
+        assert_eq!(t.windows(4).count(), 0);
+        assert_eq!(t.windows(3).count(), 1);
+    }
+
+    #[test]
+    fn named_rows_intern_events() {
+        let sig = Signature::builder().event("op").int("len").build();
+        let mut t = Trace::new(sig);
+        t.push_named_row(vec![RowEntry::Event("read"), RowEntry::Value(Value::Int(3))])
+            .unwrap();
+        t.push_named_row(vec![RowEntry::Event("write"), RowEntry::Value(Value::Int(4))])
+            .unwrap();
+        t.push_named_row(vec![RowEntry::Event("read"), RowEntry::Value(Value::Int(2))])
+            .unwrap();
+        assert_eq!(t.symbols().len(), 2);
+        let events = t.event_sequence("op").unwrap();
+        assert_eq!(events, vec!["read", "write", "read"]);
+    }
+
+    #[test]
+    fn event_sequence_errors() {
+        let t = int_trace(&[1]);
+        assert!(matches!(
+            t.event_sequence("nope"),
+            Err(TraceError::UnknownVariable(_))
+        ));
+        assert!(matches!(
+            t.event_sequence("x"),
+            Err(TraceError::KindMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn prefix_and_truncate() {
+        let mut t = int_trace(&[1, 2, 3, 4]);
+        let p = t.prefix(2);
+        assert_eq!(p.len(), 2);
+        assert_eq!(t.len(), 4);
+        t.truncate(1);
+        assert_eq!(t.len(), 1);
+        // Prefix longer than the trace is the whole trace.
+        assert_eq!(t.prefix(10).len(), 1);
+    }
+
+    #[test]
+    fn render_observation_uses_symbol_names() {
+        let sig = Signature::builder().event("op").build();
+        let mut t = Trace::new(sig);
+        t.push_named_row(vec![RowEntry::Event("reset")]).unwrap();
+        assert_eq!(t.render_observation(0).unwrap(), "op=reset");
+        assert_eq!(t.render_observation(5), None);
+    }
+
+    #[test]
+    fn display_mentions_length() {
+        let t = int_trace(&[1, 2]);
+        let s = t.to_string();
+        assert!(s.contains("2 observations"));
+    }
+}

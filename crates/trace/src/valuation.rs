@@ -1,0 +1,182 @@
+//! Valuations: one observation of every variable in a signature.
+
+use crate::error::TraceError;
+use crate::signature::{Signature, VarId, VarKind};
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One observation: a value for every variable of a [`Signature`], in
+/// declaration order.
+///
+/// A valuation is the paper's `v_t : X → D`. Consecutive valuations form a
+/// [`StepPair`](crate::StepPair), the alphabet symbol of the learned
+/// automaton.
+///
+/// # Example
+///
+/// ```
+/// use tracelearn_trace::{Signature, Valuation, Value};
+///
+/// let sig = Signature::builder().int("x").int("y").build();
+/// let v = Valuation::new(&sig, vec![Value::Int(1), Value::Int(2)]).unwrap();
+/// assert_eq!(v.get(sig.var("y").unwrap()), Value::Int(2));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Valuation {
+    values: Vec<Value>,
+}
+
+impl Valuation {
+    /// Creates a valuation, checking arity and kinds against the signature.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::ArityMismatch`] when the number of values does
+    /// not match the signature, and [`TraceError::KindMismatch`] when a value
+    /// has the wrong kind for its variable.
+    pub fn new(signature: &Signature, values: Vec<Value>) -> Result<Self, TraceError> {
+        if values.len() != signature.arity() {
+            return Err(TraceError::ArityMismatch {
+                expected: signature.arity(),
+                got: values.len(),
+            });
+        }
+        for (id, var) in signature.iter() {
+            let v = values[id.index()];
+            let ok = matches!(
+                (var.kind(), v),
+                (VarKind::Int, Value::Int(_))
+                    | (VarKind::Bool, Value::Bool(_))
+                    | (VarKind::Event, Value::Sym(_))
+            );
+            if !ok {
+                return Err(TraceError::KindMismatch {
+                    variable: var.name().to_owned(),
+                    expected: var.kind(),
+                });
+            }
+        }
+        Ok(Valuation { values })
+    }
+
+    /// Creates a valuation without checking it against a signature.
+    ///
+    /// Useful for internal construction where the caller guarantees
+    /// consistency (e.g. trace generators).
+    pub fn from_values(values: Vec<Value>) -> Self {
+        Valuation { values }
+    }
+
+    /// The value of variable `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` is out of range for this valuation.
+    pub fn get(&self, id: VarId) -> Value {
+        self.values[id.index()]
+    }
+
+    /// The value of variable `id`, or `None` when out of range.
+    pub fn try_get(&self, id: VarId) -> Option<Value> {
+        self.values.get(id.index()).copied()
+    }
+
+    /// Number of values (the arity of the owning signature).
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether this valuation holds no values.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The raw values in declaration order.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Iterates over `(VarId, Value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (VarId, Value)> + '_ {
+        self.values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (VarId::new(i as u32), v))
+    }
+}
+
+impl fmt::Display for Valuation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbol::SymbolId;
+
+    fn sig() -> Signature {
+        Signature::builder().int("x").boolean("b").event("e").build()
+    }
+
+    #[test]
+    fn new_checks_arity() {
+        let err = Valuation::new(&sig(), vec![Value::Int(1)]).unwrap_err();
+        assert!(matches!(
+            err,
+            TraceError::ArityMismatch { expected: 3, got: 1 }
+        ));
+    }
+
+    #[test]
+    fn new_checks_kinds() {
+        let err = Valuation::new(
+            &sig(),
+            vec![Value::Bool(true), Value::Bool(true), Value::Sym(SymbolId::new(0))],
+        )
+        .unwrap_err();
+        assert!(matches!(err, TraceError::KindMismatch { variable, .. } if variable == "x"));
+    }
+
+    #[test]
+    fn accessors() {
+        let v = Valuation::new(
+            &sig(),
+            vec![Value::Int(7), Value::Bool(false), Value::Sym(SymbolId::new(2))],
+        )
+        .unwrap();
+        assert_eq!(v.arity(), 3);
+        assert_eq!(v.get(VarId::new(0)), Value::Int(7));
+        assert_eq!(v.try_get(VarId::new(9)), None);
+        assert_eq!(v.values().len(), 3);
+        assert!(!v.is_empty());
+    }
+
+    #[test]
+    fn iter_yields_pairs_in_order() {
+        let v = Valuation::from_values(vec![Value::Int(1), Value::Int(2)]);
+        let pairs: Vec<_> = v.iter().collect();
+        assert_eq!(
+            pairs,
+            vec![
+                (VarId::new(0), Value::Int(1)),
+                (VarId::new(1), Value::Int(2))
+            ]
+        );
+    }
+
+    #[test]
+    fn display_is_bracketed() {
+        let v = Valuation::from_values(vec![Value::Int(1), Value::Bool(true)]);
+        assert_eq!(v.to_string(), "⟨1, true⟩");
+    }
+}

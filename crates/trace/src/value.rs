@@ -1,0 +1,180 @@
+//! Scalar values observed in a trace.
+
+use crate::symbol::SymbolId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A single observed value: an integer, a boolean or an interned symbolic
+/// event (e.g. a trace-event name such as `sched_waking`).
+///
+/// `Value` is `Copy`; symbolic values only carry the interned id, the
+/// human-readable name lives in the owning trace's
+/// [`SymbolTable`](crate::SymbolTable).
+///
+/// # Example
+///
+/// ```
+/// use tracelearn_trace::Value;
+///
+/// let v = Value::Int(41) .checked_add(1).unwrap();
+/// assert_eq!(v, Value::Int(42));
+/// assert!(Value::Bool(true).as_bool().unwrap());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Value {
+    /// A signed integer value.
+    Int(i64),
+    /// A boolean value.
+    Bool(bool),
+    /// An interned symbolic event.
+    Sym(SymbolId),
+}
+
+impl Value {
+    /// Returns the integer payload, or `None` for non-integer values.
+    pub fn as_int(self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(i),
+            _ => None,
+        }
+    }
+
+    /// Returns the boolean payload, or `None` for non-boolean values.
+    pub fn as_bool(self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Returns the symbolic payload, or `None` for non-symbolic values.
+    pub fn as_sym(self) -> Option<SymbolId> {
+        match self {
+            Value::Sym(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` when both values have the same kind (int/bool/sym).
+    pub fn same_kind(self, other: Value) -> bool {
+        matches!(
+            (self, other),
+            (Value::Int(_), Value::Int(_))
+                | (Value::Bool(_), Value::Bool(_))
+                | (Value::Sym(_), Value::Sym(_))
+        )
+    }
+
+    /// Adds an integer to an integer value, returning `None` on overflow or
+    /// kind mismatch.
+    pub fn checked_add(self, delta: i64) -> Option<Value> {
+        match self {
+            Value::Int(i) => i.checked_add(delta).map(Value::Int),
+            _ => None,
+        }
+    }
+
+    /// A coarse numeric projection used by statistics and classifiers:
+    /// integers map to themselves, booleans to 0/1, symbols to their id.
+    pub fn numeric(self) -> i64 {
+        match self {
+            Value::Int(i) => i,
+            Value::Bool(b) => i64::from(b),
+            Value::Sym(s) => i64::from(s.index()),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<SymbolId> for Value {
+    fn from(v: SymbolId) -> Self {
+        Value::Sym(v)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Sym(s) => write!(f, "#{}", s.index()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_accessors() {
+        assert_eq!(Value::Int(7).as_int(), Some(7));
+        assert_eq!(Value::Bool(true).as_int(), None);
+        assert_eq!(Value::Sym(SymbolId::new(3)).as_int(), None);
+    }
+
+    #[test]
+    fn bool_accessors() {
+        assert_eq!(Value::Bool(false).as_bool(), Some(false));
+        assert_eq!(Value::Int(1).as_bool(), None);
+    }
+
+    #[test]
+    fn sym_accessors() {
+        let s = SymbolId::new(5);
+        assert_eq!(Value::Sym(s).as_sym(), Some(s));
+        assert_eq!(Value::Int(5).as_sym(), None);
+    }
+
+    #[test]
+    fn same_kind_distinguishes_kinds() {
+        assert!(Value::Int(1).same_kind(Value::Int(2)));
+        assert!(!Value::Int(1).same_kind(Value::Bool(true)));
+        assert!(!Value::Bool(true).same_kind(Value::Sym(SymbolId::new(0))));
+    }
+
+    #[test]
+    fn checked_add_overflow_is_none() {
+        assert_eq!(Value::Int(i64::MAX).checked_add(1), None);
+        assert_eq!(Value::Int(1).checked_add(1), Some(Value::Int(2)));
+        assert_eq!(Value::Bool(true).checked_add(1), None);
+    }
+
+    #[test]
+    fn numeric_projection() {
+        assert_eq!(Value::Int(-4).numeric(), -4);
+        assert_eq!(Value::Bool(true).numeric(), 1);
+        assert_eq!(Value::Sym(SymbolId::new(9)).numeric(), 9);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Int(3).to_string(), "3");
+        assert_eq!(Value::Bool(true).to_string(), "true");
+        assert_eq!(Value::Sym(SymbolId::new(2)).to_string(), "#2");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(3i64), Value::Int(3));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from(SymbolId::new(1)), Value::Sym(SymbolId::new(1)));
+    }
+
+    #[test]
+    fn ordering_is_total_within_kind() {
+        assert!(Value::Int(1) < Value::Int(2));
+        assert!(Value::Bool(false) < Value::Bool(true));
+    }
+}

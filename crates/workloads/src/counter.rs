@@ -1,0 +1,99 @@
+//! The threshold counter benchmark (paper Fig. 5).
+//!
+//! A program counts from 1 up to a threshold `T` and back down to 1,
+//! repeatedly. The trace observes the counter value. The expected learned
+//! model has four states with transition predicates `x' = x + 1`,
+//! `x' = x − 1` and guards at the threshold and the floor.
+
+use tracelearn_trace::{Signature, Trace, Value};
+
+/// Configuration of the counter workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterConfig {
+    /// The upper threshold `T` (128 in the paper).
+    pub threshold: i64,
+    /// Number of observations to emit.
+    pub length: usize,
+}
+
+impl Default for CounterConfig {
+    fn default() -> Self {
+        CounterConfig {
+            threshold: 128,
+            length: 447,
+        }
+    }
+}
+
+/// Generates the counter trace.
+///
+/// # Panics
+///
+/// Panics if the threshold is smaller than 2.
+pub fn generate(config: &CounterConfig) -> Trace {
+    assert!(config.threshold >= 2, "threshold must be at least 2");
+    let signature = Signature::builder().int("x").build();
+    let mut trace = Trace::new(signature);
+    let mut value = 1i64;
+    let mut direction = 1i64;
+    for _ in 0..config.length {
+        trace
+            .push_row([Value::Int(value)])
+            .expect("counter rows match the signature");
+        if value >= config.threshold {
+            direction = -1;
+        } else if value <= 1 {
+            direction = 1;
+        }
+        value += direction;
+    }
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_parameters() {
+        let config = CounterConfig::default();
+        assert_eq!(config.threshold, 128);
+        assert_eq!(config.length, 447);
+        assert_eq!(generate(&config).len(), 447);
+    }
+
+    #[test]
+    fn values_stay_in_range_and_oscillate() {
+        let trace = generate(&CounterConfig { threshold: 8, length: 100 });
+        let x = trace.signature().var("x").unwrap();
+        let mut seen_max = false;
+        let mut seen_min_after_max = false;
+        for t in 0..trace.len() {
+            let v = trace.get(t).unwrap().get(x).as_int().unwrap();
+            assert!((1..=8).contains(&v));
+            if v == 8 {
+                seen_max = true;
+            }
+            if seen_max && v == 1 {
+                seen_min_after_max = true;
+            }
+        }
+        assert!(seen_max && seen_min_after_max);
+    }
+
+    #[test]
+    fn steps_change_by_exactly_one() {
+        let trace = generate(&CounterConfig { threshold: 16, length: 200 });
+        let x = trace.signature().var("x").unwrap();
+        for step in trace.steps() {
+            let delta = step.next_value(x).as_int().unwrap() - step.current_value(x).as_int().unwrap();
+            assert_eq!(delta.abs(), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn tiny_threshold_is_rejected() {
+        generate(&CounterConfig { threshold: 1, length: 10 });
+    }
+}

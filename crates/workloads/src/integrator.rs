@@ -1,0 +1,150 @@
+//! The anti-windup integrator benchmark (paper Fig. 4).
+//!
+//! A control loop accumulates an input `ip ∈ {−1, 0, 1}` into an output `op`
+//! that saturates at `±saturation`; an occasional reset drives the output
+//! back to zero. The trace observes `(ip, op, rst)` at each step, where
+//! `rst` flags observations produced by a reset (the paper's Fig. 4 likewise
+//! has an explicit `reset` edge). The expected learned model is small (three
+//! states in the paper) with predicates `op' = op + ip`, `op' = op` at
+//! saturation and `op' = 0` at reset.
+
+use crate::Prng;
+use tracelearn_trace::{Signature, Trace, Value};
+
+/// Configuration of the integrator workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IntegratorConfig {
+    /// Number of observations to emit.
+    pub length: usize,
+    /// Saturation bound (5 in the paper, i.e. output clamped to [−5, 5]).
+    pub saturation: i64,
+    /// On average one reset is issued every `reset_period` steps.
+    pub reset_period: usize,
+    /// Seed for the input sequence.
+    pub seed: u64,
+}
+
+impl Default for IntegratorConfig {
+    fn default() -> Self {
+        IntegratorConfig {
+            length: 32768,
+            saturation: 5,
+            reset_period: 512,
+            seed: 0xDAC2020,
+        }
+    }
+}
+
+/// Generates the integrator trace.
+///
+/// # Panics
+///
+/// Panics if the saturation bound is not positive or the reset period is zero.
+pub fn generate(config: &IntegratorConfig) -> Trace {
+    assert!(config.saturation > 0, "saturation bound must be positive");
+    assert!(config.reset_period > 0, "reset period must be non-zero");
+    let signature = Signature::builder().int("ip").int("op").boolean("rst").build();
+    let mut trace = Trace::new(signature);
+    let mut rng = Prng::new(config.seed);
+    let mut op = 0i64;
+    let mut rst = false;
+    for _ in 0..config.length {
+        // Input biased towards pushing into saturation so that the saturation
+        // behaviour is well represented in the trace, as in the paper's runs.
+        let ip = *rng.pick(&[1, 1, 1, 0, -1, -1, -1, 1, -1, 1]);
+        trace
+            .push_row([Value::Int(ip), Value::Int(op), Value::Bool(rst)])
+            .expect("integrator rows match the signature");
+        // Compute the next output from the current observation.
+        rst = rng.chance(1, config.reset_period as u64);
+        if rst {
+            op = 0;
+        } else {
+            op = (op + ip).clamp(-config.saturation, config.saturation);
+        }
+    }
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(length: usize) -> IntegratorConfig {
+        IntegratorConfig {
+            length,
+            saturation: 5,
+            reset_period: 64,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn output_respects_saturation() {
+        let trace = generate(&config(2000));
+        let op = trace.signature().var("op").unwrap();
+        for t in 0..trace.len() {
+            let v = trace.get(t).unwrap().get(op).as_int().unwrap();
+            assert!((-5..=5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn integration_law_holds() {
+        let cfg = config(2000);
+        let trace = generate(&cfg);
+        let ip = trace.signature().var("ip").unwrap();
+        let op = trace.signature().var("op").unwrap();
+        let rst = trace.signature().var("rst").unwrap();
+        for (t, step) in trace.steps().enumerate() {
+            let current_ip = step.current_value(ip).as_int().unwrap();
+            let current_op = step.current_value(op).as_int().unwrap();
+            let next_op = step.next_value(op).as_int().unwrap();
+            if step.next_value(rst).as_bool().unwrap() {
+                assert_eq!(next_op, 0, "reset step {t}");
+            } else {
+                assert_eq!(next_op, (current_op + current_ip).clamp(-5, 5), "step {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn saturation_and_reset_are_exercised() {
+        let trace = generate(&config(4000));
+        let op = trace.signature().var("op").unwrap();
+        let rst = trace.signature().var("rst").unwrap();
+        let values: Vec<i64> = (0..trace.len())
+            .map(|t| trace.get(t).unwrap().get(op).as_int().unwrap())
+            .collect();
+        assert!(values.contains(&5));
+        assert!(values.contains(&-5));
+        let resets = (0..trace.len())
+            .filter(|&t| trace.get(t).unwrap().get(rst).as_bool().unwrap())
+            .count();
+        assert!(resets > 0, "no reset occurred");
+    }
+
+    #[test]
+    fn inputs_are_restricted() {
+        let trace = generate(&config(500));
+        let ip = trace.signature().var("ip").unwrap();
+        for t in 0..trace.len() {
+            let v = trace.get(t).unwrap().get(ip).as_int().unwrap();
+            assert!([-1, 0, 1].contains(&v));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "saturation")]
+    fn invalid_saturation_rejected() {
+        generate(&IntegratorConfig {
+            saturation: 0,
+            ..config(10)
+        });
+    }
+
+    #[test]
+    fn paper_default_length() {
+        assert_eq!(IntegratorConfig::default().length, 32768);
+    }
+}

@@ -1,0 +1,266 @@
+//! Simulated benchmark systems that generate execution traces.
+//!
+//! The paper evaluates its learner on six systems: four traced on a QEMU x86
+//! virtual platform (USB xHCI slot management, USB attach ring traffic, a
+//! serial I/O port, the PREEMPT_RT Linux scheduler) and two artificial ones
+//! (a threshold counter and an anti-windup integrator). Neither QEMU nor an
+//! RT-Linux kernel is available here, so this crate provides discrete-event
+//! simulators that emit traces over the same event vocabularies and with the
+//! same control structure; the learner only ever sees the trace, so this
+//! preserves the code path the paper exercises (see DESIGN.md for the full
+//! substitution argument).
+//!
+//! Every generator is deterministic for a given seed, so experiments are
+//! reproducible.
+//!
+//! # Example
+//!
+//! ```
+//! use tracelearn_workloads::{counter, Workload};
+//!
+//! let trace = counter::generate(&counter::CounterConfig { threshold: 8, length: 40 });
+//! assert_eq!(trace.len(), 40);
+//!
+//! // The catalogue of paper benchmarks with their Table I/II parameters.
+//! let usb = Workload::UsbSlot;
+//! assert_eq!(usb.paper_trace_length(), 39);
+//! assert_eq!(usb.paper_model_states(), 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod counter;
+pub mod integrator;
+pub mod rtlinux;
+pub mod serial;
+pub mod usb_attach;
+pub mod usb_slot;
+
+use tracelearn_trace::Trace;
+
+/// The six benchmark systems of the paper's evaluation (Tables I and II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Workload {
+    /// USB xHCI slot state machine (Fig. 1).
+    UsbSlot,
+    /// USB storage-device attach: command/event ring traffic (Fig. 3).
+    UsbAttach,
+    /// Threshold counter (Fig. 5).
+    Counter,
+    /// QEMU serial I/O port queue (Fig. 2).
+    SerialPort,
+    /// RT-Linux thread scheduling (Fig. 6).
+    LinuxKernel,
+    /// Anti-windup integrator (Fig. 4).
+    Integrator,
+}
+
+impl Workload {
+    /// All benchmarks in the order used by the paper's tables.
+    pub fn all() -> [Workload; 6] {
+        [
+            Workload::UsbSlot,
+            Workload::UsbAttach,
+            Workload::Counter,
+            Workload::SerialPort,
+            Workload::LinuxKernel,
+            Workload::Integrator,
+        ]
+    }
+
+    /// The name used in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Workload::UsbSlot => "USB Slot",
+            Workload::UsbAttach => "USB Attach",
+            Workload::Counter => "Counter",
+            Workload::SerialPort => "Serial I/O Port",
+            Workload::LinuxKernel => "Linux Kernel",
+            Workload::Integrator => "Integrator",
+        }
+    }
+
+    /// Trace length reported in Table I/II of the paper.
+    pub fn paper_trace_length(self) -> usize {
+        match self {
+            Workload::UsbSlot => 39,
+            Workload::UsbAttach => 259,
+            Workload::Counter => 447,
+            Workload::SerialPort => 2076,
+            Workload::LinuxKernel => 20165,
+            Workload::Integrator => 32768,
+        }
+    }
+
+    /// Number of model states reported by the paper for the learned model
+    /// (Table II, "Model Learning" column).
+    pub fn paper_model_states(self) -> usize {
+        match self {
+            Workload::UsbSlot => 4,
+            Workload::UsbAttach => 7,
+            Workload::Counter => 4,
+            Workload::SerialPort => 6,
+            Workload::LinuxKernel => 8,
+            Workload::Integrator => 3,
+        }
+    }
+
+    /// Number of states of the state-merge baseline model reported in
+    /// Table II (`None` when the baseline produced no model).
+    pub fn paper_state_merge_states(self) -> Option<usize> {
+        match self {
+            Workload::UsbSlot => Some(6),
+            Workload::UsbAttach => Some(91),
+            Workload::Counter => Some(377),
+            Workload::SerialPort => Some(28),
+            Workload::LinuxKernel | Workload::Integrator => None,
+        }
+    }
+
+    /// Generates a trace of (approximately) `length` observations with the
+    /// default seed for this benchmark.
+    pub fn generate(self, length: usize) -> Trace {
+        self.generate_seeded(length, 0xDAC2020)
+    }
+
+    /// Generates a trace of (approximately) `length` observations using an
+    /// explicit seed for the workload's stochastic choices.
+    pub fn generate_seeded(self, length: usize, seed: u64) -> Trace {
+        match self {
+            Workload::UsbSlot => usb_slot::generate(&usb_slot::UsbSlotConfig { length, seed }),
+            Workload::UsbAttach => {
+                usb_attach::generate(&usb_attach::UsbAttachConfig { length, seed })
+            }
+            Workload::Counter => counter::generate(&counter::CounterConfig {
+                threshold: 128,
+                length,
+            }),
+            Workload::SerialPort => serial::generate(&serial::SerialConfig {
+                length,
+                capacity: 16,
+                seed,
+            }),
+            Workload::LinuxKernel => rtlinux::generate(&rtlinux::RtLinuxConfig { length, seed }),
+            Workload::Integrator => integrator::generate(&integrator::IntegratorConfig {
+                length,
+                saturation: 5,
+                reset_period: 512,
+                seed,
+            }),
+        }
+    }
+
+    /// Generates the benchmark at the trace length used in the paper.
+    pub fn generate_paper_scale(self) -> Trace {
+        self.generate(self.paper_trace_length())
+    }
+}
+
+/// A small deterministic pseudo-random number generator (xorshift*) used by
+/// the workload simulators.
+///
+/// Using a local generator instead of `rand` for the inner loops keeps the
+/// simulators' output stable across `rand` versions, which matters because
+/// integration tests assert on learned model sizes.
+#[derive(Debug, Clone)]
+pub struct Prng {
+    state: u64,
+}
+
+impl Prng {
+    /// Creates a generator from a seed (zero is remapped to a fixed odd value).
+    pub fn new(seed: u64) -> Self {
+        Prng {
+            state: if seed == 0 { 0x9E3779B97F4A7C15 } else { seed },
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// Uniform value in `0..bound` (bound must be non-zero).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+
+    /// Bernoulli draw with probability `numerator / denominator`.
+    pub fn chance(&mut self, numerator: u64, denominator: u64) -> bool {
+        self.below(denominator) < numerator
+    }
+
+    /// Picks one element of a non-empty slice.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.below(items.len() as u64) as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalogue_is_complete_and_matches_paper_numbers() {
+        assert_eq!(Workload::all().len(), 6);
+        let total: usize = Workload::all().iter().map(|w| w.paper_trace_length()).sum();
+        assert_eq!(total, 39 + 259 + 447 + 2076 + 20165 + 32768);
+        assert_eq!(Workload::Integrator.paper_model_states(), 3);
+        assert_eq!(Workload::LinuxKernel.paper_state_merge_states(), None);
+        assert_eq!(Workload::UsbAttach.paper_state_merge_states(), Some(91));
+        assert_eq!(Workload::Counter.name(), "Counter");
+    }
+
+    #[test]
+    fn generate_produces_requested_length() {
+        for workload in Workload::all() {
+            let trace = workload.generate(100);
+            assert!(
+                (90..=110).contains(&trace.len()),
+                "{}: unexpected length {}",
+                workload.name(),
+                trace.len()
+            );
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        for workload in Workload::all() {
+            let a = workload.generate_seeded(64, 7);
+            let b = workload.generate_seeded(64, 7);
+            assert_eq!(a, b, "{} not deterministic", workload.name());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ_for_stochastic_workloads() {
+        let a = Workload::SerialPort.generate_seeded(200, 1);
+        let b = Workload::SerialPort.generate_seeded(200, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn prng_is_deterministic_and_bounded() {
+        let mut a = Prng::new(42);
+        let mut b = Prng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut rng = Prng::new(1);
+        for _ in 0..1000 {
+            assert!(rng.below(7) < 7);
+        }
+        let items = [1, 2, 3];
+        assert!(items.contains(rng.pick(&items)));
+        // Zero seed does not get stuck.
+        let mut zero = Prng::new(0);
+        assert_ne!(zero.next_u64(), zero.next_u64());
+    }
+}

@@ -1,0 +1,161 @@
+//! The RT-Linux thread-scheduling benchmark (paper Fig. 6).
+//!
+//! The paper traces scheduler-related events of a single thread on a
+//! single-core PREEMPT_RT kernel using ftrace, following de Oliveira's
+//! thread model, with the pi_stress suite as load plus an extra kernel
+//! module to reach corner cases. This module simulates the life cycle of
+//! such a thread — running, voluntarily sleeping, being woken, being
+//! preempted, having need_resched set — and emits the same eight-event
+//! alphabet.
+
+use crate::Prng;
+use tracelearn_trace::{RowEntry, Signature, Trace};
+
+/// Configuration of the RT-Linux scheduling workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RtLinuxConfig {
+    /// Number of scheduler events to emit.
+    pub length: usize,
+    /// Seed controlling the mix of sleep, wake and preemption episodes.
+    pub seed: u64,
+}
+
+impl Default for RtLinuxConfig {
+    fn default() -> Self {
+        RtLinuxConfig {
+            length: 20165,
+            seed: 0xDAC2020,
+        }
+    }
+}
+
+/// The scheduler events recorded in the trace, as named in the paper's Fig. 6.
+pub const EVENTS: [&str; 8] = [
+    "sched_entry",
+    "set_state_sleepable",
+    "set_state_runnable",
+    "sched_switch_suspend",
+    "sched_waking",
+    "sched_switch_in",
+    "set_need_resched",
+    "sched_switch_preempt",
+];
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ThreadState {
+    /// The thread is executing on the CPU.
+    Running,
+    /// The thread marked itself sleepable but has not yet switched out.
+    Sleepable,
+    /// The thread is off the CPU waiting for a wake-up.
+    Suspended,
+    /// The thread has been woken and waits to be switched in.
+    WokenWaiting,
+    /// need_resched was set while the thread is running.
+    NeedResched,
+    /// The thread was preempted and waits to be switched back in.
+    Preempted,
+}
+
+/// Generates the scheduler-event trace with a single event variable `sched`.
+pub fn generate(config: &RtLinuxConfig) -> Trace {
+    let signature = Signature::builder().event("sched").build();
+    let mut trace = Trace::new(signature);
+    let mut rng = Prng::new(config.seed);
+    let mut state = ThreadState::Suspended;
+    let emit = |trace: &mut Trace, event: &str| {
+        trace
+            .push_named_row(vec![RowEntry::Event(event)])
+            .expect("rtlinux rows match the signature");
+    };
+    while trace.len() < config.length {
+        let (event, next) = match state {
+            ThreadState::Suspended => ("sched_waking", ThreadState::WokenWaiting),
+            ThreadState::WokenWaiting => ("sched_switch_in", ThreadState::Running),
+            ThreadState::Running => {
+                // Scheduler entry points happen regularly while running; the
+                // thread then either blocks voluntarily or is preempted.
+                if rng.chance(1, 3) {
+                    ("sched_entry", ThreadState::Running)
+                } else if rng.chance(3, 5) {
+                    ("set_state_sleepable", ThreadState::Sleepable)
+                } else {
+                    ("set_need_resched", ThreadState::NeedResched)
+                }
+            }
+            ThreadState::Sleepable => {
+                if rng.chance(1, 5) {
+                    // Corner case covered by the paper's extra kernel module:
+                    // the condition becomes true before the switch, the thread
+                    // flips back to runnable without suspending.
+                    ("set_state_runnable", ThreadState::Running)
+                } else {
+                    ("sched_switch_suspend", ThreadState::Suspended)
+                }
+            }
+            ThreadState::NeedResched => ("sched_switch_preempt", ThreadState::Preempted),
+            ThreadState::Preempted => ("sched_switch_in", ThreadState::Running),
+        };
+        state = next;
+        emit(&mut trace, event);
+    }
+    trace.truncate(config.length);
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_length_by_default() {
+        assert_eq!(RtLinuxConfig::default().length, 20165);
+        assert_eq!(generate(&RtLinuxConfig { length: 512, seed: 1 }).len(), 512);
+    }
+
+    #[test]
+    fn only_ftrace_events_appear() {
+        let trace = generate(&RtLinuxConfig { length: 2000, seed: 2 });
+        for event in trace.event_sequence("sched").unwrap() {
+            assert!(EVENTS.contains(&event.as_str()), "unexpected event {event}");
+        }
+    }
+
+    #[test]
+    fn scheduling_protocol_is_respected() {
+        let trace = generate(&RtLinuxConfig { length: 4000, seed: 3 });
+        let events = trace.event_sequence("sched").unwrap();
+        for pair in events.windows(2) {
+            match pair[0].as_str() {
+                // A suspend is always followed by a wake-up (single thread of interest).
+                "sched_switch_suspend" => assert_eq!(pair[1], "sched_waking"),
+                "sched_waking" => assert_eq!(pair[1], "sched_switch_in"),
+                "set_need_resched" => assert_eq!(pair[1], "sched_switch_preempt"),
+                "sched_switch_preempt" => assert_eq!(pair[1], "sched_switch_in"),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn corner_case_runnable_without_suspend_occurs() {
+        let trace = generate(&RtLinuxConfig { length: 4000, seed: 4 });
+        let events = trace.event_sequence("sched").unwrap();
+        let mut found = false;
+        for pair in events.windows(2) {
+            if pair[0] == "set_state_sleepable" && pair[1] == "set_state_runnable" {
+                found = true;
+            }
+        }
+        assert!(found, "corner case never exercised");
+    }
+
+    #[test]
+    fn all_eight_events_occur() {
+        let trace = generate(&RtLinuxConfig { length: 4000, seed: 5 });
+        let events = trace.event_sequence("sched").unwrap();
+        for required in EVENTS {
+            assert!(events.iter().any(|e| e == required), "missing {required}");
+        }
+    }
+}

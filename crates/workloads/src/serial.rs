@@ -1,0 +1,138 @@
+//! The QEMU serial I/O port benchmark (paper Fig. 2).
+//!
+//! The trace records read, write and reset operations on the serial port's
+//! receive queue together with the queue length after each operation. Reads
+//! and writes change the length by one, resets empty the queue; frequent
+//! resets keep the queue far from capacity, as observed in the paper.
+
+use crate::Prng;
+use tracelearn_trace::{RowEntry, Signature, Trace, Value};
+
+/// Configuration of the serial-port workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SerialConfig {
+    /// Number of observations to emit.
+    pub length: usize,
+    /// Queue capacity (never reached under the default workload mix).
+    pub capacity: i64,
+    /// Seed for the operation mix.
+    pub seed: u64,
+}
+
+impl Default for SerialConfig {
+    fn default() -> Self {
+        SerialConfig {
+            length: 2076,
+            capacity: 16,
+            seed: 0xDAC2020,
+        }
+    }
+}
+
+/// The operations recorded in the trace.
+pub const OPS: [&str; 3] = ["write", "read", "reset"];
+
+/// Generates the serial-port trace with variables `(op, x)` where `x` is the
+/// queue length after the operation.
+///
+/// # Panics
+///
+/// Panics if the capacity is not positive.
+pub fn generate(config: &SerialConfig) -> Trace {
+    assert!(config.capacity > 0, "capacity must be positive");
+    let signature = Signature::builder().event("op").int("x").build();
+    let mut trace = Trace::new(signature);
+    let mut rng = Prng::new(config.seed);
+    let mut len = 0i64;
+    // Start from a reset so the first observation is well defined.
+    let mut op = "reset";
+    for _ in 0..config.length {
+        trace
+            .push_named_row(vec![RowEntry::Event(op), RowEntry::Value(Value::Int(len))])
+            .expect("serial rows match the signature");
+        // Choose the next operation: writes are more likely when the queue is
+        // short, reads when it is long, resets are frequent (quick read-writes
+        // and frequent resets kept the paper's queue from filling up).
+        op = if rng.chance(1, 8) {
+            "reset"
+        } else if len == 0 {
+            "write"
+        } else if len >= config.capacity - 2 {
+            "read"
+        } else if rng.chance(1, 2) {
+            "write"
+        } else {
+            "read"
+        };
+        len = match op {
+            "write" => (len + 1).min(config.capacity),
+            "read" => (len - 1).max(0),
+            _ => 0,
+        };
+    }
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> SerialConfig {
+        SerialConfig {
+            length: 1000,
+            capacity: 16,
+            seed: 3,
+        }
+    }
+
+    #[test]
+    fn queue_length_consistent_with_operations() {
+        let trace = generate(&small());
+        let op = trace.signature().var("op").unwrap();
+        let x = trace.signature().var("x").unwrap();
+        for step in trace.steps() {
+            let current = step.current_value(x).as_int().unwrap();
+            let next = step.next_value(x).as_int().unwrap();
+            let sym = step.next_value(op).as_sym().unwrap();
+            match trace.symbols().name(sym).unwrap() {
+                "write" => assert_eq!(next, (current + 1).min(16)),
+                "read" => assert_eq!(next, (current - 1).max(0)),
+                "reset" => assert_eq!(next, 0),
+                other => panic!("unexpected op {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn queue_never_reaches_capacity() {
+        let trace = generate(&small());
+        let x = trace.signature().var("x").unwrap();
+        for t in 0..trace.len() {
+            let v = trace.get(t).unwrap().get(x).as_int().unwrap();
+            assert!((0..16).contains(&v), "length {v} out of range at {t}");
+        }
+    }
+
+    #[test]
+    fn all_three_operations_occur() {
+        let trace = generate(&small());
+        let events = trace.event_sequence("op").unwrap();
+        for op in OPS {
+            assert!(events.iter().any(|e| e == op), "missing {op}");
+        }
+    }
+
+    #[test]
+    fn default_matches_paper_length() {
+        assert_eq!(SerialConfig::default().length, 2076);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        generate(&SerialConfig {
+            capacity: 0,
+            ..small()
+        });
+    }
+}

@@ -1,0 +1,157 @@
+//! The USB storage-device attach benchmark (paper Fig. 3).
+//!
+//! When a USB storage device is attached to the virtual platform, the xHCI
+//! driver and controller exchange work items through the command ring and
+//! report completions through the event ring. The paper records the ring
+//! fetch and ring write operations together with the TRB (transfer request
+//! block) types they carry; the learned model is a seven-state cycle through
+//! command fetch, transfer stages and completion/event notifications.
+//!
+//! This module simulates that exchange: commands are queued on the command
+//! ring, fetched by the controller, executed as a sequence of transfer TRBs
+//! (setup / data / status for control transfers, normal for bulk transfers)
+//! and acknowledged through completion and port/command event writes.
+
+use crate::Prng;
+use tracelearn_trace::{RowEntry, Signature, Trace};
+
+/// Configuration of the USB attach workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UsbAttachConfig {
+    /// Number of interface events to emit.
+    pub length: usize,
+    /// Seed for the workload mix (which commands are issued, how many bulk
+    /// transfers each performs).
+    pub seed: u64,
+}
+
+impl Default for UsbAttachConfig {
+    fn default() -> Self {
+        UsbAttachConfig {
+            length: 259,
+            seed: 0xDAC2020,
+        }
+    }
+}
+
+/// The interface events recorded in the trace, as named in the paper's Fig. 3.
+pub const EVENTS: [&str; 14] = [
+    "xhci_write",
+    "xhci_ring_fetch",
+    "CrAD",
+    "CrCE",
+    "CrES",
+    "TRSetup",
+    "TRData",
+    "TRStatus",
+    "TRNormal",
+    "TRBReserved",
+    "CCSuccess",
+    "ErTransfer",
+    "ErCC",
+    "ErPSC",
+];
+
+/// Generates the ring-traffic trace with a single event variable `ev`.
+pub fn generate(config: &UsbAttachConfig) -> Trace {
+    let signature = Signature::builder().event("ev").build();
+    let mut trace = Trace::new(signature);
+    let mut rng = Prng::new(config.seed);
+    let emit = |trace: &mut Trace, event: &str| {
+        trace
+            .push_named_row(vec![RowEntry::Event(event)])
+            .expect("attach rows match the signature");
+    };
+
+    while trace.len() < config.length {
+        // 1. The driver writes a command onto the command ring.
+        emit(&mut trace, "xhci_write");
+        let command = *rng.pick(&["CrAD", "CrCE", "CrES", "CrAD", "CrCE"]);
+        emit(&mut trace, command);
+        // 2. The controller fetches the command from the ring.
+        emit(&mut trace, "xhci_ring_fetch");
+        // 3. The command is executed as a sequence of transfer TRBs.
+        match command {
+            "CrAD" => {
+                // Address-device style control transfer: setup / data / status.
+                emit(&mut trace, "TRSetup");
+                if rng.chance(2, 3) {
+                    emit(&mut trace, "TRData");
+                }
+                emit(&mut trace, "TRStatus");
+            }
+            "CrCE" => {
+                // Configure-endpoint followed by a burst of bulk transfers.
+                let bulk = 1 + rng.below(3);
+                for _ in 0..bulk {
+                    emit(&mut trace, "xhci_ring_fetch");
+                    emit(&mut trace, "TRNormal");
+                }
+            }
+            _ => {
+                // Evaluate-context style commands carry a reserved TRB.
+                emit(&mut trace, "TRBReserved");
+            }
+        }
+        // 4. Completion code and event-ring notifications.
+        emit(&mut trace, "CCSuccess");
+        emit(&mut trace, "xhci_write");
+        let notification = *rng.pick(&["ErTransfer", "ErCC", "ErPSC", "ErTransfer", "ErCC"]);
+        emit(&mut trace, notification);
+    }
+    trace.truncate(config.length);
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_length_by_default() {
+        assert_eq!(generate(&UsbAttachConfig::default()).len(), 259);
+    }
+
+    #[test]
+    fn only_known_events_appear() {
+        let trace = generate(&UsbAttachConfig { length: 1000, seed: 5 });
+        for event in trace.event_sequence("ev").unwrap() {
+            assert!(EVENTS.contains(&event.as_str()), "unexpected event {event}");
+        }
+    }
+
+    #[test]
+    fn commands_follow_writes_and_fetch_follows_commands() {
+        let trace = generate(&UsbAttachConfig { length: 1000, seed: 6 });
+        let events = trace.event_sequence("ev").unwrap();
+        for pair in events.windows(2) {
+            if ["CrAD", "CrCE", "CrES"].contains(&pair[0].as_str()) {
+                assert_eq!(pair[1], "xhci_ring_fetch", "command not fetched: {pair:?}");
+            }
+            if pair[0] == "TRSetup" {
+                assert!(["TRData", "TRStatus"].contains(&pair[1].as_str()));
+            }
+        }
+    }
+
+    #[test]
+    fn completions_precede_event_ring_writes() {
+        let trace = generate(&UsbAttachConfig { length: 1000, seed: 7 });
+        let events = trace.event_sequence("ev").unwrap();
+        for window in events.windows(3) {
+            if window[0] == "CCSuccess" {
+                assert_eq!(window[1], "xhci_write");
+                assert!(window[2].starts_with("Er"));
+            }
+        }
+    }
+
+    #[test]
+    fn transfer_and_notification_variety() {
+        let trace = generate(&UsbAttachConfig { length: 2000, seed: 8 });
+        let events = trace.event_sequence("ev").unwrap();
+        for required in ["TRNormal", "TRSetup", "ErPSC", "TRBReserved"] {
+            assert!(events.iter().any(|e| e == required), "missing {required}");
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! The USB xHCI slot state machine benchmark (paper Fig. 1).
+//!
+//! The xHCI specification defines slot-level commands issued by the host
+//! controller driver when a USB device is attached, configured, reset and
+//! detached. The paper traces QEMU's implementation while an application
+//! accesses a virtual USB storage device; the trace is the sequence of slot
+//! commands. This module simulates the same command protocol: a ground-truth
+//! four-state slot state machine (Disabled → Enabled → Addressed →
+//! Configured) driven by an attach/use/reset/detach workload.
+
+use crate::Prng;
+use tracelearn_trace::{RowEntry, Signature, Trace};
+
+/// Configuration of the USB slot workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UsbSlotConfig {
+    /// Number of command events to emit.
+    pub length: usize,
+    /// Seed for workload choices (how long the device stays configured,
+    /// whether it is reset, …).
+    pub seed: u64,
+}
+
+impl Default for UsbSlotConfig {
+    fn default() -> Self {
+        UsbSlotConfig {
+            length: 39,
+            seed: 0xDAC2020,
+        }
+    }
+}
+
+/// Slot commands as named in the Intel datasheet diagram reproduced in the
+/// paper's Fig. 1.
+pub const COMMANDS: [&str; 6] = [
+    "CR_ENABLE_SLOT",
+    "CR_ADDR_DEV",
+    "CR_CONFIG_END",
+    "CR_STOP_END",
+    "CR_RESET_DEVICE",
+    "CR_DISABLE_SLOT",
+];
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SlotState {
+    Disabled,
+    Enabled,
+    Addressed,
+    Configured,
+}
+
+/// Generates the slot-command trace with a single event variable `cmd`.
+///
+/// The workload mimics an application repeatedly attaching, using, resetting
+/// and detaching a storage device: each session walks the slot through
+/// Enabled → Addressed → Configured, performs a few stop/configure cycles,
+/// sometimes resets the device, and finally disables the slot again — so even
+/// a short trace (the paper uses 39 commands) exercises the full datasheet
+/// cycle of Fig. 1a.
+pub fn generate(config: &UsbSlotConfig) -> Trace {
+    let signature = Signature::builder().event("cmd").build();
+    let mut trace = Trace::new(signature);
+    let mut rng = Prng::new(config.seed);
+    let mut state = SlotState::Disabled;
+    let emit = |trace: &mut Trace, state: &mut SlotState, command: &str| {
+        *state = match (*state, command) {
+            (SlotState::Disabled, "CR_ENABLE_SLOT") => SlotState::Enabled,
+            (SlotState::Enabled, "CR_ADDR_DEV") => SlotState::Addressed,
+            (SlotState::Addressed, "CR_CONFIG_END") => SlotState::Configured,
+            (SlotState::Configured, "CR_RESET_DEVICE") => SlotState::Addressed,
+            (SlotState::Configured, "CR_DISABLE_SLOT") => SlotState::Disabled,
+            (SlotState::Configured, _) => SlotState::Configured,
+            (current, _) => current,
+        };
+        trace
+            .push_named_row(vec![RowEntry::Event(command)])
+            .expect("slot rows match the signature");
+    };
+    while trace.len() < config.length {
+        debug_assert_eq!(state, SlotState::Disabled);
+        // Attach and configure the device.
+        emit(&mut trace, &mut state, "CR_ENABLE_SLOT");
+        emit(&mut trace, &mut state, "CR_ADDR_DEV");
+        emit(&mut trace, &mut state, "CR_CONFIG_END");
+        // Use it: a few stop/configure cycles.
+        for _ in 0..1 + rng.below(2) {
+            emit(&mut trace, &mut state, "CR_STOP_END");
+            emit(&mut trace, &mut state, "CR_CONFIG_END");
+        }
+        // Occasionally reset the device and reconfigure.
+        if rng.chance(1, 2) {
+            emit(&mut trace, &mut state, "CR_RESET_DEVICE");
+            emit(&mut trace, &mut state, "CR_CONFIG_END");
+            emit(&mut trace, &mut state, "CR_STOP_END");
+            emit(&mut trace, &mut state, "CR_CONFIG_END");
+        }
+        // Detach.
+        emit(&mut trace, &mut state, "CR_DISABLE_SLOT");
+    }
+    trace.truncate(config.length);
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_length_by_default() {
+        assert_eq!(generate(&UsbSlotConfig::default()).len(), 39);
+    }
+
+    #[test]
+    fn only_datasheet_commands_appear() {
+        let trace = generate(&UsbSlotConfig { length: 500, seed: 1 });
+        for event in trace.event_sequence("cmd").unwrap() {
+            assert!(COMMANDS.contains(&event.as_str()), "unexpected command {event}");
+        }
+    }
+
+    #[test]
+    fn protocol_order_is_respected() {
+        // ENABLE is always followed by ADDR_DEV, ADDR_DEV by CONFIG_END, and
+        // DISABLE by ENABLE — the datasheet ordering.
+        let trace = generate(&UsbSlotConfig { length: 500, seed: 2 });
+        let events = trace.event_sequence("cmd").unwrap();
+        for pair in events.windows(2) {
+            match pair[0].as_str() {
+                "CR_ENABLE_SLOT" => assert_eq!(pair[1], "CR_ADDR_DEV"),
+                "CR_ADDR_DEV" => assert_eq!(pair[1], "CR_CONFIG_END"),
+                "CR_DISABLE_SLOT" => assert_eq!(pair[1], "CR_ENABLE_SLOT"),
+                "CR_RESET_DEVICE" => assert_eq!(pair[1], "CR_CONFIG_END"),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn trace_starts_with_enable() {
+        let events = generate(&UsbSlotConfig::default()).event_sequence("cmd").unwrap();
+        assert_eq!(events[0], "CR_ENABLE_SLOT");
+    }
+
+    #[test]
+    fn reset_and_disable_occur_on_long_runs() {
+        let trace = generate(&UsbSlotConfig { length: 500, seed: 3 });
+        let events = trace.event_sequence("cmd").unwrap();
+        assert!(events.iter().any(|e| e == "CR_RESET_DEVICE"));
+        assert!(events.iter().any(|e| e == "CR_DISABLE_SLOT"));
+    }
+}

@@ -1,0 +1,70 @@
+//! Quickstart: record a trace of your own system and learn a model from it.
+//!
+//! This example builds a trace by hand — exactly what you would get from
+//! instrumenting a program with print statements and parsing the log — and
+//! learns a concise automaton from it. Run with:
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use std::error::Error;
+use tracelearn::prelude::*;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // The system under observation: a little elevator that travels between
+    // floor 0 and floor 3, opening its doors at every stop. We observe two
+    // variables: the floor (an integer) and the door action (an event).
+    let signature = Signature::builder().event("door").int("floor").build();
+    let mut trace = Trace::new(signature);
+
+    let mut floor = 0i64;
+    let mut direction = 1i64;
+    for step in 0..200 {
+        let action = if step % 5 == 4 {
+            "open"
+        } else if direction > 0 {
+            "up"
+        } else {
+            "down"
+        };
+        trace.push_named_row(vec![
+            tracelearn::trace::RowEntry::Event(action),
+            tracelearn::trace::RowEntry::Value(Value::Int(floor)),
+        ])?;
+        match action {
+            "up" => floor += 1,
+            "down" => floor -= 1,
+            _ => {}
+        }
+        if floor >= 3 {
+            direction = -1;
+        } else if floor <= 0 {
+            direction = 1;
+        }
+    }
+
+    // Learn a model with the paper's default parameters (w = 3, l = 2).
+    let learner = Learner::new(LearnerConfig::default());
+    let model = learner.learn(&trace)?;
+
+    println!(
+        "learned a {}-state model with {} transitions from {} observations",
+        model.num_states(),
+        model.num_transitions(),
+        trace.len()
+    );
+    println!("\ntransition predicates:");
+    for predicate in model.predicate_strings() {
+        println!("  {predicate}");
+    }
+    println!("\nGraphviz (render with `dot -Tpdf`):\n");
+    println!("{}", model.to_dot("elevator"));
+
+    let stats = model.stats();
+    println!(
+        "stats: {} windows handed to the solver, {} SAT queries, {:?} total",
+        stats.solver_windows, stats.sat_queries, stats.total_time
+    );
+    Ok(())
+}

@@ -1,0 +1,58 @@
+//! `tracelearn` — learning concise automaton models from long execution
+//! traces.
+//!
+//! This is the umbrella crate of the workspace reproducing *Learning Concise
+//! Models from Long Execution Traces* (Jeppu, Melham, Kroening, O'Leary —
+//! DAC 2020). It re-exports the public API of the member crates so that a
+//! downstream user only needs a single dependency:
+//!
+//! * [`trace`] — the execution-trace data model;
+//! * [`expr`] — the transition-predicate language;
+//! * [`synth`] — synthesis of update functions and guards from examples;
+//! * [`sat`] — the CDCL SAT solver used for model construction;
+//! * [`automaton`] — labelled NFAs, path analyses and Graphviz export;
+//! * [`learn`] — the learner itself (predicate generation, segmentation,
+//!   SAT-based construction, compliance refinement);
+//! * [`statemerge`] — the kTails/EDSM baseline;
+//! * [`workloads`] — simulators of the paper's six benchmark systems.
+//!
+//! # Quickstart
+//!
+//! ```
+//! # use std::error::Error;
+//! # fn main() -> Result<(), Box<dyn Error>> {
+//! use tracelearn::learn::{Learner, LearnerConfig};
+//! use tracelearn::workloads::counter;
+//!
+//! // Record (here: simulate) an execution trace …
+//! let trace = counter::generate(&counter::CounterConfig { threshold: 8, length: 100 });
+//!
+//! // … and learn a concise model from it.
+//! let model = Learner::new(LearnerConfig::default()).learn(&trace)?;
+//! println!("{}", model.to_dot("counter"));
+//! assert!(model.num_states() <= 4);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use tracelearn_automaton as automaton;
+pub use tracelearn_core as learn;
+pub use tracelearn_expr as expr;
+pub use tracelearn_sat as sat;
+pub use tracelearn_statemerge as statemerge;
+pub use tracelearn_synth as synth;
+pub use tracelearn_trace as trace;
+pub use tracelearn_workloads as workloads;
+
+/// The most commonly used items, for glob import in examples and tests.
+pub mod prelude {
+    pub use tracelearn_automaton::{Nfa, StateId};
+    pub use tracelearn_core::{LearnError, LearnedModel, Learner, LearnerConfig};
+    pub use tracelearn_statemerge::{MergeAlgorithm, StateMergeConfig, StateMergeLearner};
+    pub use tracelearn_synth::{SynthesisConfig, Synthesizer};
+    pub use tracelearn_trace::{Signature, Trace, Value};
+    pub use tracelearn_workloads::Workload;
+}

@@ -1,0 +1,102 @@
+//! Integration tests for the segmentation mechanism (paper §V): segmented
+//! and full-trace runs agree on the learned model, and segmentation is what
+//! keeps the encoding small on long traces.
+
+use std::time::Duration;
+use tracelearn::prelude::*;
+
+fn configs(segmented: bool) -> LearnerConfig {
+    let mut config = LearnerConfig::default();
+    config.segmented = segmented;
+    config
+}
+
+#[test]
+fn segmented_and_full_trace_learn_equivalent_models() {
+    for workload in [Workload::Counter, Workload::UsbSlot, Workload::SerialPort] {
+        let trace = workload.generate(200);
+        let segmented = Learner::new(configs(true)).learn(&trace).unwrap();
+        let full = Learner::new(configs(false)).learn(&trace).unwrap();
+        assert_eq!(
+            segmented.num_states(),
+            full.num_states(),
+            "{}: state counts must agree",
+            workload.name()
+        );
+        assert_eq!(
+            segmented.alphabet().len(),
+            full.alphabet().len(),
+            "{}: alphabets must agree",
+            workload.name()
+        );
+    }
+}
+
+#[test]
+fn segmentation_shrinks_the_solver_input_dramatically() {
+    let trace = Workload::Integrator.generate(4096);
+    let config = configs(true).with_input_variable("ip");
+    let model = Learner::new(config).learn(&trace).unwrap();
+    let stats = model.stats();
+    // Thousands of windows collapse to a few dozen unique ones.
+    assert!(stats.predicate_count > 3000);
+    assert!(
+        stats.solver_windows * 10 < stats.predicate_count,
+        "only {} of {} windows should remain after deduplication",
+        stats.solver_windows,
+        stats.predicate_count
+    );
+}
+
+#[test]
+fn full_trace_mode_hits_budgets_on_long_traces() {
+    // With a tiny clause budget the non-segmented encoding of a long trace is
+    // rejected up front — this is the "timeout" behaviour of Table I.
+    let trace = Workload::LinuxKernel.generate(4096);
+    let mut config = configs(false);
+    config.max_clauses = 100_000;
+    match Learner::new(config).learn(&trace) {
+        Err(LearnError::BudgetExhausted { .. }) => {}
+        other => panic!("expected budget exhaustion, got {other:?}"),
+    }
+    // The segmented run under the same budget succeeds.
+    let mut config = configs(true);
+    config.max_clauses = 100_000;
+    let model = Learner::new(config).learn(&trace).unwrap();
+    assert!(model.num_states() <= 10);
+}
+
+#[test]
+fn wall_clock_budget_is_respected() {
+    let trace = Workload::LinuxKernel.generate(2048);
+    let config = configs(false).with_time_budget(Duration::from_millis(1));
+    match Learner::new(config).learn(&trace) {
+        Err(LearnError::BudgetExhausted { resource }) => {
+            assert!(resource.contains("wall-clock") || resource.contains("budget"));
+        }
+        other => panic!("expected budget exhaustion, got {other:?}"),
+    }
+}
+
+#[test]
+fn window_length_one_is_rejected_and_longer_windows_work() {
+    // Long enough to oscillate around the threshold several times.
+    let trace = Workload::Counter.generate(600);
+    let mut config = configs(true);
+    config.window = 1;
+    assert!(matches!(
+        Learner::new(config).learn(&trace),
+        Err(LearnError::WindowTooSmall { .. })
+    ));
+
+    // w = 4 still learns a concise counter model (longer windows see more
+    // context and may introduce a few extra turning-point labels).
+    let mut config = configs(true);
+    config.window = 4;
+    let model = Learner::new(config).learn(&trace).unwrap();
+    assert!(
+        (3..=8).contains(&model.num_states()),
+        "unexpected size {}",
+        model.num_states()
+    );
+}

@@ -1,0 +1,78 @@
+//! Integration tests for the trace interchange path: a trace recorded by one
+//! tool (or exported to text) can be re-parsed and learned from without any
+//! change to the result.
+
+use tracelearn::prelude::*;
+use tracelearn::trace::{parse_csv, to_csv};
+
+#[test]
+fn csv_round_trip_preserves_the_learned_model() {
+    let trace = Workload::SerialPort.generate(400);
+    let text = to_csv(&trace);
+    let reparsed = parse_csv(&text).expect("round trip parses");
+    assert_eq!(reparsed.len(), trace.len());
+
+    let learner = Learner::new(LearnerConfig::default());
+    let original = learner.learn(&trace).unwrap();
+    let recovered = learner.learn(&reparsed).unwrap();
+    assert_eq!(original.num_states(), recovered.num_states());
+    assert_eq!(
+        original.predicate_strings().len(),
+        recovered.predicate_strings().len()
+    );
+}
+
+#[test]
+fn csv_round_trip_preserves_event_names_and_values() {
+    let trace = Workload::LinuxKernel.generate(500);
+    let text = to_csv(&trace);
+    let reparsed = parse_csv(&text).expect("round trip parses");
+    assert_eq!(
+        trace.event_sequence("sched").unwrap(),
+        reparsed.event_sequence("sched").unwrap()
+    );
+}
+
+#[test]
+fn hand_written_csv_can_be_learned_from() {
+    let mut text = String::from("op:event,x:int\n");
+    let mut level = 0i64;
+    for i in 0..240 {
+        let op = if i % 6 == 5 {
+            level = 0;
+            "reset"
+        } else if i % 2 == 0 {
+            level += 1;
+            "write"
+        } else {
+            level -= 1;
+            "read"
+        };
+        text.push_str(&format!("{op},{level}\n"));
+    }
+    let trace = parse_csv(&text).expect("valid text trace");
+    let model = Learner::new(LearnerConfig::default()).learn(&trace).unwrap();
+    assert!(model.num_states() <= 8);
+    assert!(model
+        .predicate_strings()
+        .iter()
+        .any(|p| p.contains("write")));
+}
+
+#[test]
+fn dot_export_is_well_formed_for_every_benchmark() {
+    for workload in Workload::all() {
+        let trace = workload.generate(200);
+        let mut config = LearnerConfig::default();
+        if workload == Workload::Integrator {
+            config = config.with_input_variable("ip");
+        }
+        let model = Learner::new(config).learn(&trace).unwrap();
+        let dot = model.to_dot("model");
+        assert!(dot.starts_with("digraph model {"), "{}", workload.name());
+        assert!(dot.trim_end().ends_with('}'), "{}", workload.name());
+        // One edge line per transition.
+        let edges = dot.matches("->").count();
+        assert!(edges >= model.num_transitions(), "{}", workload.name());
+    }
+}

@@ -120,7 +120,10 @@ where
 
     /// All transitions leaving `state`.
     pub fn outgoing(&self, state: StateId) -> Vec<&Transition<L>> {
-        self.transitions.iter().filter(|t| t.from == state).collect()
+        self.transitions
+            .iter()
+            .filter(|t| t.from == state)
+            .collect()
     }
 
     /// The set of distinct labels used on transitions.

@@ -35,9 +35,17 @@ fn bench_usb_slot_paper_scale(c: &mut Criterion) {
     let trace = Workload::UsbSlot.generate_paper_scale();
     let learner = Learner::new(learner_config_for(Workload::UsbSlot));
     c.bench_function("end_to_end/usb_slot_paper_scale", |b| {
-        b.iter(|| learner.learn(std::hint::black_box(&trace)).expect("learnable"))
+        b.iter(|| {
+            learner
+                .learn(std::hint::black_box(&trace))
+                .expect("learnable")
+        })
     });
 }
 
-criterion_group!(benches, bench_learning_per_workload, bench_usb_slot_paper_scale);
+criterion_group!(
+    benches,
+    bench_learning_per_workload,
+    bench_usb_slot_paper_scale
+);
 criterion_main!(benches);

@@ -17,10 +17,10 @@ fn pigeonhole_cnf(pigeons: usize) -> Cnf {
     for pigeon in &vars {
         cnf.at_least_one(&pigeon.iter().map(|&v| Lit::positive(v)).collect::<Vec<_>>());
     }
-    for hole in 0..holes {
-        for a in 0..pigeons {
-            for b in (a + 1)..pigeons {
-                cnf.add_clause([Lit::negative(vars[a][hole]), Lit::negative(vars[b][hole])]);
+    for a in 0..pigeons {
+        for b in (a + 1)..pigeons {
+            for (&va, &vb) in vars[a].iter().zip(&vars[b]) {
+                cnf.add_clause([Lit::negative(va), Lit::negative(vb)]);
             }
         }
     }
@@ -41,19 +41,26 @@ fn bench_pigeonhole(c: &mut Criterion) {
 /// Solving the automaton-existence encoding for the counter's unique windows
 /// at increasing state counts — the inner loop of model construction.
 fn bench_automaton_encoding(c: &mut Criterion) {
-    let trace = counter::generate(&counter::CounterConfig { threshold: 64, length: 512 });
+    let trace = counter::generate(&counter::CounterConfig {
+        threshold: 64,
+        length: 512,
+    });
     let extractor = PredicateExtractor::new(&trace, 3, SynthesisConfig::default(), &[]).unwrap();
     let (sequence, _) = extractor.extract();
     let windows = unique_windows(&sequence, 3);
     let mut group = c.benchmark_group("sat/automaton_encoding");
     for states in [2usize, 4, 6] {
         let encoder = AutomatonEncoder::new(windows.clone(), states);
-        group.bench_with_input(BenchmarkId::from_parameter(states), &encoder, |b, encoder| {
-            b.iter(|| {
-                let encoding = encoder.encode();
-                Solver::from_cnf(&encoding.cnf).solve()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(states),
+            &encoder,
+            |b, encoder| {
+                b.iter(|| {
+                    let encoding = encoder.encode();
+                    Solver::from_cnf(&encoding.cnf).solve()
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -16,11 +16,17 @@ fn bench_segmented_vs_full(c: &mut Criterion) {
         let segmented = Learner::new(table1_config_for(Workload::Integrator, true, 2));
         let full = Learner::new(table1_config_for(Workload::Integrator, false, 2));
         group.bench_with_input(BenchmarkId::new("segmented", length), &trace, |b, trace| {
-            b.iter(|| segmented.learn(std::hint::black_box(trace)).expect("learnable"))
+            b.iter(|| {
+                segmented
+                    .learn(std::hint::black_box(trace))
+                    .expect("learnable")
+            })
         });
-        group.bench_with_input(BenchmarkId::new("full_trace", length), &trace, |b, trace| {
-            b.iter(|| full.learn(std::hint::black_box(trace)).expect("learnable"))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("full_trace", length),
+            &trace,
+            |b, trace| b.iter(|| full.learn(std::hint::black_box(trace)).expect("learnable")),
+        );
     }
     group.finish();
 }

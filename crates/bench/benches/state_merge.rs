@@ -44,5 +44,10 @@ fn bench_pta_construction(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_ktails_by_length, bench_edsm_serial, bench_pta_construction);
+criterion_group!(
+    benches,
+    bench_ktails_by_length,
+    bench_edsm_serial,
+    bench_pta_construction
+);
 criterion_main!(benches);

@@ -6,7 +6,10 @@ use tracelearn_workloads::{counter, integrator};
 
 /// Uniform update synthesis on a small counter window (the common case).
 fn bench_uniform_update(c: &mut Criterion) {
-    let trace = counter::generate(&counter::CounterConfig { threshold: 128, length: 447 });
+    let trace = counter::generate(&counter::CounterConfig {
+        threshold: 128,
+        length: 447,
+    });
     let synth = Synthesizer::new(&trace, SynthesisConfig::default());
     let x = trace.signature().var("x").unwrap();
     let steps: Vec<_> = trace.steps().take(2).collect();
@@ -17,7 +20,10 @@ fn bench_uniform_update(c: &mut Criterion) {
 
 /// Conditional update synthesis at the counter's threshold window.
 fn bench_conditional_update(c: &mut Criterion) {
-    let trace = counter::generate(&counter::CounterConfig { threshold: 128, length: 447 });
+    let trace = counter::generate(&counter::CounterConfig {
+        threshold: 128,
+        length: 447,
+    });
     let synth = Synthesizer::new(&trace, SynthesisConfig::default());
     let x = trace.signature().var("x").unwrap();
     let steps: Vec<_> = trace.steps().collect();
@@ -33,8 +39,10 @@ fn bench_cegis_long_windows(c: &mut Criterion) {
     let mut group = c.benchmark_group("synthesis/cegis_full_trace");
     for exponent in [8u32, 10, 12] {
         let length = 1usize << exponent;
-        let trace =
-            counter::generate(&counter::CounterConfig { threshold: 1 << (exponent - 1), length });
+        let trace = counter::generate(&counter::CounterConfig {
+            threshold: 1 << (exponent - 1),
+            length,
+        });
         let synth = Synthesizer::new(&trace, SynthesisConfig::default());
         let x = trace.signature().var("x").unwrap();
         let steps: Vec<_> = trace.steps().take(length / 2).collect();

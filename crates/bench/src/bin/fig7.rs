@@ -25,10 +25,7 @@ fn main() {
     while let Some(argument) = arguments.next() {
         match argument.as_str() {
             "--max-exponent" => {
-                max_exponent = arguments
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or(15);
+                max_exponent = arguments.next().and_then(|s| s.parse().ok()).unwrap_or(15);
             }
             "--budget" => {
                 let seconds: u64 = arguments.next().and_then(|s| s.parse().ok()).unwrap_or(120);
@@ -56,8 +53,9 @@ fn main() {
         let length = 1usize << exponent;
         let trace = Workload::Integrator.generate(length);
         let segmented = {
-            let learner =
-                Learner::new(table1_config_for(Workload::Integrator, true, 2).with_time_budget(budget));
+            let learner = Learner::new(
+                table1_config_for(Workload::Integrator, true, 2).with_time_budget(budget),
+            );
             timed_learn(&learner, &trace).0
         };
         let non_segmented = {

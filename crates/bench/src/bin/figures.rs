@@ -18,7 +18,7 @@ use std::process::ExitCode;
 use std::time::Duration;
 use tracelearn_bench::{learner_config_for, timed_learn};
 use tracelearn_core::Learner;
-use tracelearn_statemerge::{StateMergeConfig, StateMergeLearner, trace_to_events};
+use tracelearn_statemerge::{trace_to_events, StateMergeConfig, StateMergeLearner};
 use tracelearn_workloads::Workload;
 
 struct Options {
@@ -90,12 +90,14 @@ fn main() -> ExitCode {
         };
         let length = trace_length(workload, options.full);
         let trace = workload.generate(length);
-        let learner = Learner::new(
-            learner_config_for(workload).with_time_budget(Duration::from_secs(600)),
-        );
+        let learner =
+            Learner::new(learner_config_for(workload).with_time_budget(Duration::from_secs(600)));
         let (run, model) = timed_learn(&learner, &trace);
         println!("== {title} ==");
-        println!("trace length: {length} observations  (paper: {})", workload.paper_trace_length());
+        println!(
+            "trace length: {length} observations  (paper: {})",
+            workload.paper_trace_length()
+        );
         match model {
             Some(model) => {
                 println!(
@@ -132,8 +134,8 @@ fn print_serial_state_merge(full: bool, dot: bool) {
     let workload = Workload::SerialPort;
     let length = trace_length(workload, full);
     let trace = workload.generate(length);
-    let model = StateMergeLearner::new(StateMergeConfig::default())
-        .learn(&[trace_to_events(&trace)]);
+    let model =
+        StateMergeLearner::new(StateMergeConfig::default()).learn(&[trace_to_events(&trace)]);
     println!("== Fig. 2a — serial I/O port, state-merge baseline ==");
     println!("trace length: {length} observations");
     println!(

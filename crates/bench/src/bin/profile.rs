@@ -34,10 +34,18 @@ fn main() {
     println!("generate:          {:>8.2?}", start.elapsed());
 
     let start = Instant::now();
-    let extractor =
-        PredicateExtractor::new(&trace, config.window, config.synthesis.clone(), &config.input_variables)
-            .expect("extractable");
-    println!("input detection:   {:>8.2?}  (inputs: {:?})", start.elapsed(), extractor.input_variables());
+    let extractor = PredicateExtractor::new(
+        &trace,
+        config.window,
+        config.synthesis.clone(),
+        &config.input_variables,
+    )
+    .expect("extractable");
+    println!(
+        "input detection:   {:>8.2?}  (inputs: {:?})",
+        start.elapsed(),
+        extractor.input_variables()
+    );
 
     let start = Instant::now();
     let (sequence, alphabet) = extractor.extract();
@@ -50,9 +58,16 @@ fn main() {
 
     let start = Instant::now();
     let windows = unique_windows(&sequence, config.window);
-    println!("segmentation:      {:>8.2?}  ({} unique windows)", start.elapsed(), windows.len());
+    println!(
+        "segmentation:      {:>8.2?}  ({} unique windows)",
+        start.elapsed(),
+        windows.len()
+    );
     for (id, _) in alphabet.iter() {
-        println!("  label {id}: {}", alphabet.render(id, trace.signature(), trace.symbols()));
+        println!(
+            "  label {id}: {}",
+            alphabet.render(id, trace.signature(), trace.symbols())
+        );
     }
 
     for k in [2usize, 3, 4] {

@@ -28,10 +28,7 @@ fn main() {
         match argument.as_str() {
             "--full" => full = true,
             "--budget" => {
-                let seconds: u64 = arguments
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or(300);
+                let seconds: u64 = arguments.next().and_then(|s| s.parse().ok()).unwrap_or(300);
                 budget = Duration::from_secs(seconds);
             }
             other => eprintln!("ignoring unknown argument `{other}`"),

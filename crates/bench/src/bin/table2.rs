@@ -29,10 +29,7 @@ fn main() {
         match argument.as_str() {
             "--full" => full = true,
             "--budget" => {
-                let seconds: u64 = arguments
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or(120);
+                let seconds: u64 = arguments.next().and_then(|s| s.parse().ok()).unwrap_or(120);
                 budget = Duration::from_secs(seconds);
             }
             other => eprintln!("ignoring unknown argument `{other}`"),
@@ -66,9 +63,8 @@ fn main() {
         let trace = workload.generate(length);
 
         let state_merge = timed_state_merge(StateMergeConfig::default(), &trace, budget);
-        let learner = Learner::new(
-            learner_config_for(workload).with_time_budget(Duration::from_secs(1800)),
-        );
+        let learner =
+            Learner::new(learner_config_for(workload).with_time_budget(Duration::from_secs(1800)));
         let (learning, _) = timed_learn(&learner, &trace);
 
         let paper_sm = workload

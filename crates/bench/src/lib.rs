@@ -86,11 +86,7 @@ pub fn timed_learn(learner: &Learner, trace: &Trace) -> (TimedRun, Option<Learne
 /// Runs the state-merge baseline with a wall-clock budget, reporting timing
 /// and model size (`no model` when the budget is exceeded, matching how MINT
 /// failed on the paper's two long traces).
-pub fn timed_state_merge(
-    config: StateMergeConfig,
-    trace: &Trace,
-    budget: Duration,
-) -> TimedRun {
+pub fn timed_state_merge(config: StateMergeConfig, trace: &Trace, budget: Duration) -> TimedRun {
     let events = trace_to_events(trace);
     let start = Instant::now();
     // The PTA for very long traces is huge; guard with a size heuristic so the
@@ -125,7 +121,11 @@ pub fn learner_config_for(workload: Workload) -> LearnerConfig {
 /// The learner configuration for the Table I timing comparison: like the
 /// paper, the search starts at the known final state count so that segmented
 /// and full-trace runs solve the same final instance.
-pub fn table1_config_for(workload: Workload, segmented: bool, final_states: usize) -> LearnerConfig {
+pub fn table1_config_for(
+    workload: Workload,
+    segmented: bool,
+    final_states: usize,
+) -> LearnerConfig {
     let mut config = learner_config_for(workload).with_initial_states(final_states);
     config.segmented = segmented;
     config
@@ -147,7 +147,10 @@ mod tests {
 
     #[test]
     fn timed_learn_reports_states() {
-        let trace = counter::generate(&counter::CounterConfig { threshold: 6, length: 50 });
+        let trace = counter::generate(&counter::CounterConfig {
+            threshold: 6,
+            length: 50,
+        });
         let learner = Learner::new(LearnerConfig::default());
         let (run, model) = timed_learn(&learner, &trace);
         assert!(model.is_some());
@@ -159,19 +162,21 @@ mod tests {
 
     #[test]
     fn timed_state_merge_reports_states() {
-        let trace = counter::generate(&counter::CounterConfig { threshold: 6, length: 50 });
-        let run = timed_state_merge(
-            StateMergeConfig::default(),
-            &trace,
-            Duration::from_secs(10),
-        );
+        let trace = counter::generate(&counter::CounterConfig {
+            threshold: 6,
+            length: 50,
+        });
+        let run = timed_state_merge(StateMergeConfig::default(), &trace, Duration::from_secs(10));
         assert_eq!(run.status, "ok");
         assert!(run.states.unwrap() > 0);
     }
 
     #[test]
     fn state_merge_budget_guard_trips_on_huge_traces() {
-        let trace = counter::generate(&counter::CounterConfig { threshold: 100, length: 30_000 });
+        let trace = counter::generate(&counter::CounterConfig {
+            threshold: 100,
+            length: 30_000,
+        });
         let run = timed_state_merge(
             StateMergeConfig::default(),
             &trace,

@@ -78,12 +78,7 @@ impl AutomatonEncoder {
     pub fn estimated_clauses(&self) -> usize {
         let n = self.num_states;
         let slots: usize = self.windows.iter().map(|w| w.len()).sum();
-        let alphabet: usize = self
-            .windows
-            .iter()
-            .flatten()
-            .collect::<BTreeSet<_>>()
-            .len();
+        let alphabet: usize = self.windows.iter().flatten().collect::<BTreeSet<_>>().len();
         let states_per_slot = n * n / 2 + 1; // exactly-one
         let linkage = slots * n * n;
         let succ = n * alphabet * (n * n / 2 + 1);
@@ -304,7 +299,12 @@ mod tests {
         // Windows: a b  and  a c — from the same source state, `a` must go to
         // two different places unless the sources differ. With 1 state the
         // instance is UNSAT; with 2 states it becomes satisfiable.
-        let windows = vec![vec![p[0], p[1]], vec![p[0], p[2]], vec![p[1], p[0]], vec![p[2], p[2]]];
+        let windows = vec![
+            vec![p[0], p[1]],
+            vec![p[0], p[2]],
+            vec![p[1], p[0]],
+            vec![p[2], p[2]],
+        ];
         // b from the state reached by a, and c from that same state, force a split.
         let encoder = AutomatonEncoder::new(windows.clone(), 1);
         // With one state: a→s0 always, then b and c both leave s0 — that is
@@ -317,7 +317,10 @@ mod tests {
         // forbidding [b, a] (which occurs as a window) is UNSAT at any size.
         let mut conflicted = AutomatonEncoder::new(windows, 2);
         conflicted.forbid_sequence(vec![p[1], p[0]]);
-        assert!(solve(&conflicted).is_none(), "forbidding an embedded window is contradictory");
+        assert!(
+            solve(&conflicted).is_none(),
+            "forbidding an embedded window is contradictory"
+        );
     }
 
     #[test]

@@ -38,15 +38,24 @@ pub enum LearnError {
 impl fmt::Display for LearnError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            LearnError::TraceTooShort { trace_length, window } => write!(
+            LearnError::TraceTooShort {
+                trace_length,
+                window,
+            } => write!(
                 f,
                 "trace of {trace_length} observations is shorter than the window length {window}"
             ),
             LearnError::WindowTooSmall { window } => {
-                write!(f, "window length {window} is too small; at least 2 is required")
+                write!(
+                    f,
+                    "window length {window} is too small; at least 2 is required"
+                )
             }
             LearnError::NoAutomaton { max_states } => {
-                write!(f, "no automaton with at most {max_states} states satisfies the trace")
+                write!(
+                    f,
+                    "no automaton with at most {max_states} states satisfies the trace"
+                )
             }
             LearnError::BudgetExhausted { resource } => {
                 write!(f, "learning budget exhausted: {resource}")
@@ -63,14 +72,23 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(LearnError::TraceTooShort { trace_length: 2, window: 3 }
+        assert!(LearnError::TraceTooShort {
+            trace_length: 2,
+            window: 3
+        }
+        .to_string()
+        .contains("shorter than the window"));
+        assert!(LearnError::WindowTooSmall { window: 1 }
             .to_string()
-            .contains("shorter than the window"));
-        assert!(LearnError::WindowTooSmall { window: 1 }.to_string().contains("at least 2"));
-        assert!(LearnError::NoAutomaton { max_states: 8 }.to_string().contains("8 states"));
-        assert!(LearnError::BudgetExhausted { resource: "clauses".into() }
+            .contains("at least 2"));
+        assert!(LearnError::NoAutomaton { max_states: 8 }
             .to_string()
-            .contains("clauses"));
+            .contains("8 states"));
+        assert!(LearnError::BudgetExhausted {
+            resource: "clauses".into()
+        }
+        .to_string()
+        .contains("clauses"));
     }
 
     #[test]

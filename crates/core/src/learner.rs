@@ -286,11 +286,8 @@ impl Learner {
                     }
                     SatResult::Sat(model) => {
                         let candidate = encoding.decode(&windows, &model);
-                        let violations = invalid_sequences(
-                            &candidate,
-                            &sequence,
-                            config.compliance_length,
-                        );
+                        let violations =
+                            invalid_sequences(&candidate, &sequence, config.compliance_length);
                         if violations.is_empty() {
                             stats.states = num_states;
                             stats.refinements += refinements_here;
@@ -355,18 +352,31 @@ mod tests {
     use tracelearn_workloads::{counter, usb_slot};
 
     fn small_counter() -> Trace {
-        counter::generate(&counter::CounterConfig { threshold: 8, length: 80 })
+        counter::generate(&counter::CounterConfig {
+            threshold: 8,
+            length: 80,
+        })
     }
 
     #[test]
     fn learns_a_small_counter_model() {
         let model = learn_with_defaults(&small_counter()).unwrap();
         assert!(model.num_states() >= 2);
-        assert!(model.num_states() <= 5, "too many states: {}", model.num_states());
+        assert!(
+            model.num_states() <= 5,
+            "too many states: {}",
+            model.num_states()
+        );
         assert!(model.automaton().is_deterministic());
         let predicates = model.predicate_strings();
-        assert!(predicates.iter().any(|p| p.contains("x + 1")), "{predicates:?}");
-        assert!(predicates.iter().any(|p| p.contains("x - 1")), "{predicates:?}");
+        assert!(
+            predicates.iter().any(|p| p.contains("x + 1")),
+            "{predicates:?}"
+        );
+        assert!(
+            predicates.iter().any(|p| p.contains("x - 1")),
+            "{predicates:?}"
+        );
         let stats = model.stats();
         assert_eq!(stats.trace_length, 80);
         assert!(stats.sat_queries >= 1);
@@ -385,27 +395,42 @@ mod tests {
     #[test]
     fn compliance_holds_on_the_returned_model() {
         let model = learn_with_defaults(&small_counter()).unwrap();
-        let violations =
-            invalid_sequences(model.automaton(), model.predicate_sequence(), 2);
+        let violations = invalid_sequences(model.automaton(), model.predicate_sequence(), 2);
         assert!(violations.is_empty());
     }
 
     #[test]
     fn segmented_and_full_trace_agree_on_small_inputs() {
-        let trace = counter::generate(&counter::CounterConfig { threshold: 6, length: 40 });
-        let segmented = Learner::new(LearnerConfig::default()).learn(&trace).unwrap();
-        let full = Learner::new(LearnerConfig::non_segmented()).learn(&trace).unwrap();
+        let trace = counter::generate(&counter::CounterConfig {
+            threshold: 6,
+            length: 40,
+        });
+        let segmented = Learner::new(LearnerConfig::default())
+            .learn(&trace)
+            .unwrap();
+        let full = Learner::new(LearnerConfig::non_segmented())
+            .learn(&trace)
+            .unwrap();
         assert_eq!(segmented.num_states(), full.num_states());
     }
 
     #[test]
     fn usb_slot_model_is_concise() {
-        let trace = usb_slot::generate(&usb_slot::UsbSlotConfig { length: 39, seed: 0xDAC2020 });
+        let trace = usb_slot::generate(&usb_slot::UsbSlotConfig {
+            length: 39,
+            seed: 0xDAC2020,
+        });
         let model = learn_with_defaults(&trace).unwrap();
         assert!(model.num_states() <= 6, "{} states", model.num_states());
         let predicates = model.predicate_strings();
-        assert!(predicates.iter().any(|p| p.contains("CR_ADDR_DEV")), "{predicates:?}");
-        assert!(predicates.iter().any(|p| p.contains("CR_CONFIG_END")), "{predicates:?}");
+        assert!(
+            predicates.iter().any(|p| p.contains("CR_ADDR_DEV")),
+            "{predicates:?}"
+        );
+        assert!(
+            predicates.iter().any(|p| p.contains("CR_CONFIG_END")),
+            "{predicates:?}"
+        );
     }
 
     #[test]

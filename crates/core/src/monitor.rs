@@ -14,7 +14,7 @@
 //!   paper's RT-Linux coverage observation.
 
 use crate::learner::{LearnedModel, LearnerConfig};
-use crate::predicates::{PredicateExtractor};
+use crate::predicates::PredicateExtractor;
 use crate::LearnError;
 use std::collections::BTreeSet;
 use tracelearn_trace::{unique_windows, Trace};
@@ -121,7 +121,14 @@ impl<'m> Monitor<'m> {
             .model
             .alphabet()
             .iter()
-            .map(|(id, _)| (self.model.alphabet().render(id, fresh.signature(), fresh.symbols()), id))
+            .map(|(id, _)| {
+                (
+                    self.model
+                        .alphabet()
+                        .render(id, fresh.signature(), fresh.symbols()),
+                    id,
+                )
+            })
             .collect();
 
         let mut deviations = Vec::new();
@@ -191,17 +198,32 @@ mod tests {
 
     #[test]
     fn fresh_trace_of_same_system_is_clean() {
-        let train = serial::generate(&serial::SerialConfig { length: 800, capacity: 16, seed: 1 });
+        let train = serial::generate(&serial::SerialConfig {
+            length: 800,
+            capacity: 16,
+            seed: 1,
+        });
         let model = learner().learn(&train).unwrap();
         let monitor = Monitor::new(&model, LearnerConfig::default());
-        let fresh = serial::generate(&serial::SerialConfig { length: 400, capacity: 16, seed: 2 });
+        let fresh = serial::generate(&serial::SerialConfig {
+            length: 400,
+            capacity: 16,
+            seed: 2,
+        });
         let report = monitor.check(&fresh).unwrap();
-        assert!(report.conformance() > 0.9, "conformance {}", report.conformance());
+        assert!(
+            report.conformance() > 0.9,
+            "conformance {}",
+            report.conformance()
+        );
     }
 
     #[test]
     fn deviating_system_is_flagged() {
-        let train = counter::generate(&counter::CounterConfig { threshold: 8, length: 200 });
+        let train = counter::generate(&counter::CounterConfig {
+            threshold: 8,
+            length: 200,
+        });
         let model = learner().learn(&train).unwrap();
         let monitor = Monitor::new(&model, LearnerConfig::default());
 
@@ -233,7 +255,10 @@ mod tests {
 
     #[test]
     fn reordered_protocol_is_a_no_path_deviation() {
-        let train = rtlinux::generate(&rtlinux::RtLinuxConfig { length: 2000, seed: 3 });
+        let train = rtlinux::generate(&rtlinux::RtLinuxConfig {
+            length: 2000,
+            seed: 3,
+        });
         let model = learner().learn(&train).unwrap();
         let monitor = Monitor::new(&model, LearnerConfig::default());
 
@@ -257,13 +282,19 @@ mod tests {
         }
         let report = monitor.check(&weird).unwrap();
         assert!(!report.is_clean());
-        assert!(report.deviations.iter().any(|d| d.kind == DeviationKind::NoPath));
+        assert!(report
+            .deviations
+            .iter()
+            .any(|d| d.kind == DeviationKind::NoPath));
     }
 
     #[test]
     fn coverage_gap_reports_missing_behaviour() {
         // Full load vs a load that never preempts.
-        let full = rtlinux::generate(&rtlinux::RtLinuxConfig { length: 3000, seed: 5 });
+        let full = rtlinux::generate(&rtlinux::RtLinuxConfig {
+            length: 3000,
+            seed: 5,
+        });
         let full_model = learner().learn(&full).unwrap();
 
         let sig = Signature::builder().event("sched").build();

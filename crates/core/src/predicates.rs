@@ -298,10 +298,7 @@ impl<'a> PredicateExtractor<'a> {
         // Last resort: describe just the base step exactly; gives up
         // generality but never silently drops observed behaviour.
         let next = base.next_value(var).as_int()?;
-        Some(
-            Predicate::update(var, IntTerm::constant(next))
-                .simplify(),
-        )
+        Some(Predicate::update(var, IntTerm::constant(next)).simplify())
     }
 }
 
@@ -316,6 +313,11 @@ impl<'a> PredicateExtractor<'a> {
 /// direction, the queue length driven by the next operation) are predictable
 /// under this key and are therefore kept.
 pub fn detect_input_variables(trace: &Trace) -> Vec<VarId> {
+    /// The context key a next value must be reproducible under: previous
+    /// observation, current observation, and the next values of all
+    /// event/boolean variables.
+    type ObservationContext = (Vec<Value>, Vec<Value>, Vec<Value>);
+
     let signature = trace.signature();
     let int_vars: Vec<VarId> = signature
         .iter()
@@ -330,7 +332,7 @@ pub fn detect_input_variables(trace: &Trace) -> Vec<VarId> {
     let observations = trace.observations();
     let mut inputs = Vec::new();
     for &var in &int_vars {
-        let mut first_seen: HashMap<(Vec<Value>, Vec<Value>, Vec<Value>), i64> = HashMap::new();
+        let mut first_seen: HashMap<ObservationContext, i64> = HashMap::new();
         let mut conflicts = 0usize;
         let mut total = 0usize;
         for t in 1..observations.len().saturating_sub(1) {
@@ -381,7 +383,10 @@ mod tests {
 
     #[test]
     fn counter_predicates_include_increment_and_decrement() {
-        let trace = counter::generate(&counter::CounterConfig { threshold: 16, length: 100 });
+        let trace = counter::generate(&counter::CounterConfig {
+            threshold: 16,
+            length: 100,
+        });
         let extractor =
             PredicateExtractor::new(&trace, 3, SynthesisConfig::default(), &[]).unwrap();
         let (sequence, alphabet) = extractor.extract();
@@ -434,10 +439,15 @@ mod tests {
             .map(|(id, _)| alphabet.render(id, trace.signature(), trace.symbols()))
             .collect();
         assert!(
-            rendered.iter().any(|p| p.contains("op + ip") || p.contains("ip + op")),
+            rendered
+                .iter()
+                .any(|p| p.contains("op + ip") || p.contains("ip + op")),
             "{rendered:?}"
         );
-        assert!(rendered.iter().any(|p| p.contains("op' = 0")), "{rendered:?}");
+        assert!(
+            rendered.iter().any(|p| p.contains("op' = 0")),
+            "{rendered:?}"
+        );
         // No predicate constrains the free input ip' directly.
         assert!(rendered.iter().all(|p| !p.contains("ip'")), "{rendered:?}");
     }
@@ -457,15 +467,21 @@ mod tests {
             .map(|(id, _)| alphabet.render(id, trace.signature(), trace.symbols()))
             .collect();
         assert!(
-            rendered.iter().any(|p| p.contains("write") && p.contains("x + 1")),
+            rendered
+                .iter()
+                .any(|p| p.contains("write") && p.contains("x + 1")),
             "{rendered:?}"
         );
         assert!(
-            rendered.iter().any(|p| p.contains("read") && p.contains("x - 1")),
+            rendered
+                .iter()
+                .any(|p| p.contains("read") && p.contains("x - 1")),
             "{rendered:?}"
         );
         assert!(
-            rendered.iter().any(|p| p.contains("reset") && p.contains("x' = 0")),
+            rendered
+                .iter()
+                .any(|p| p.contains("reset") && p.contains("x' = 0")),
             "{rendered:?}"
         );
     }
@@ -477,13 +493,9 @@ mod tests {
         for v in [1i64, 2, 3, 4, 5, 6] {
             trace.push_row([Value::Int(v)]).unwrap();
         }
-        let extractor = PredicateExtractor::new(
-            &trace,
-            3,
-            SynthesisConfig::default(),
-            &["x".to_owned()],
-        )
-        .unwrap();
+        let extractor =
+            PredicateExtractor::new(&trace, 3, SynthesisConfig::default(), &["x".to_owned()])
+                .unwrap();
         assert_eq!(extractor.input_variables().len(), 1);
         let (_, alphabet) = extractor.extract();
         // With its only variable declared an input, every window degenerates
@@ -493,7 +505,10 @@ mod tests {
 
     #[test]
     fn constructor_validates_window_and_length() {
-        let trace = counter::generate(&counter::CounterConfig { threshold: 4, length: 2 });
+        let trace = counter::generate(&counter::CounterConfig {
+            threshold: 4,
+            length: 2,
+        });
         assert!(matches!(
             PredicateExtractor::new(&trace, 1, SynthesisConfig::default(), &[]),
             Err(LearnError::WindowTooSmall { .. })
@@ -506,7 +521,10 @@ mod tests {
 
     #[test]
     fn identical_windows_share_predicate_ids() {
-        let trace = counter::generate(&counter::CounterConfig { threshold: 8, length: 60 });
+        let trace = counter::generate(&counter::CounterConfig {
+            threshold: 8,
+            length: 60,
+        });
         let extractor =
             PredicateExtractor::new(&trace, 3, SynthesisConfig::default(), &[]).unwrap();
         let (sequence, alphabet) = extractor.extract();

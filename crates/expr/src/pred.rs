@@ -48,7 +48,14 @@ impl CmpOp {
 
     /// All comparison operators, in a canonical order.
     pub fn all() -> [CmpOp; 6] {
-        [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge]
+        [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ]
     }
 }
 
@@ -98,17 +105,29 @@ pub enum Predicate {
 impl Predicate {
     /// The predicate `lhs = rhs`.
     pub fn eq(lhs: IntTerm, rhs: IntTerm) -> Self {
-        Predicate::Cmp { op: CmpOp::Eq, lhs, rhs }
+        Predicate::Cmp {
+            op: CmpOp::Eq,
+            lhs,
+            rhs,
+        }
     }
 
     /// The predicate `lhs ≥ rhs`.
     pub fn ge(lhs: IntTerm, rhs: IntTerm) -> Self {
-        Predicate::Cmp { op: CmpOp::Ge, lhs, rhs }
+        Predicate::Cmp {
+            op: CmpOp::Ge,
+            lhs,
+            rhs,
+        }
     }
 
     /// The predicate `lhs ≤ rhs`.
     pub fn le(lhs: IntTerm, rhs: IntTerm) -> Self {
-        Predicate::Cmp { op: CmpOp::Le, lhs, rhs }
+        Predicate::Cmp {
+            op: CmpOp::Le,
+            lhs,
+            rhs,
+        }
     }
 
     /// A comparison predicate with an arbitrary operator.
@@ -130,7 +149,7 @@ impl Predicate {
     /// Conjunction, flattening trivial cases.
     pub fn and(mut parts: Vec<Predicate>) -> Self {
         parts.retain(|p| *p != Predicate::True);
-        if parts.iter().any(|p| *p == Predicate::False) {
+        if parts.contains(&Predicate::False) {
             return Predicate::False;
         }
         match parts.len() {
@@ -143,7 +162,7 @@ impl Predicate {
     /// Disjunction, flattening trivial cases.
     pub fn or(mut parts: Vec<Predicate>) -> Self {
         parts.retain(|p| *p != Predicate::False);
-        if parts.iter().any(|p| *p == Predicate::True) {
+        if parts.contains(&Predicate::True) {
             return Predicate::True;
         }
         match parts.len() {
@@ -301,9 +320,18 @@ mod tests {
         let read = t.symbols().lookup("read").unwrap();
         let write = t.symbols().lookup("write").unwrap();
         let step = t.steps().next().unwrap();
-        assert_eq!(Predicate::event_is(VarRef::current(ev), read).eval(&step), Some(true));
-        assert_eq!(Predicate::event_is(VarRef::next(ev), write).eval(&step), Some(true));
-        assert_eq!(Predicate::event_is(VarRef::current(ev), write).eval(&step), Some(false));
+        assert_eq!(
+            Predicate::event_is(VarRef::current(ev), read).eval(&step),
+            Some(true)
+        );
+        assert_eq!(
+            Predicate::event_is(VarRef::next(ev), write).eval(&step),
+            Some(true)
+        );
+        assert_eq!(
+            Predicate::event_is(VarRef::current(ev), write).eval(&step),
+            Some(false)
+        );
     }
 
     #[test]
@@ -315,11 +343,19 @@ mod tests {
         t.push_row([Value::Bool(false)]).unwrap();
         let step = t.steps().next().unwrap();
         assert_eq!(
-            Predicate::BoolVar { var: VarRef::current(b), negated: false }.eval(&step),
+            Predicate::BoolVar {
+                var: VarRef::current(b),
+                negated: false
+            }
+            .eval(&step),
             Some(true)
         );
         assert_eq!(
-            Predicate::BoolVar { var: VarRef::next(b), negated: true }.eval(&step),
+            Predicate::BoolVar {
+                var: VarRef::next(b),
+                negated: true
+            }
+            .eval(&step),
             Some(true)
         );
     }
@@ -337,8 +373,14 @@ mod tests {
         // Simplifications.
         assert_eq!(Predicate::and(vec![]), Predicate::True);
         assert_eq!(Predicate::or(vec![]), Predicate::False);
-        assert_eq!(Predicate::and(vec![Predicate::False, a.clone()]), Predicate::False);
-        assert_eq!(Predicate::or(vec![Predicate::True, a.clone()]), Predicate::True);
+        assert_eq!(
+            Predicate::and(vec![Predicate::False, a.clone()]),
+            Predicate::False
+        );
+        assert_eq!(
+            Predicate::or(vec![Predicate::True, a.clone()]),
+            Predicate::True
+        );
         assert_eq!(Predicate::and(vec![a.clone()]), a.clone());
         assert_eq!(a.clone().negate().negate(), a);
     }

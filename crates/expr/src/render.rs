@@ -106,7 +106,12 @@ mod tests {
     use tracelearn_trace::Signature;
 
     fn sig() -> Signature {
-        Signature::builder().int("op").int("ip").event("ev").boolean("b").build()
+        Signature::builder()
+            .int("op")
+            .int("ip")
+            .event("ev")
+            .boolean("b")
+            .build()
     }
 
     #[test]
@@ -154,7 +159,11 @@ mod tests {
             "ev' = read"
         );
         assert_eq!(
-            Predicate::BoolVar { var: VarRef::current(b), negated: true }.render(&s, &symbols),
+            Predicate::BoolVar {
+                var: VarRef::current(b),
+                negated: true
+            }
+            .render(&s, &symbols),
             "¬b"
         );
     }

@@ -80,7 +80,11 @@ impl Predicate {
             Predicate::Cmp { op, lhs, rhs } => {
                 let (lhs, rhs) = (lhs.simplify(), rhs.simplify());
                 if let (IntTerm::Const(a), IntTerm::Const(b)) = (&lhs, &rhs) {
-                    return if op.apply(*a, *b) { Predicate::True } else { Predicate::False };
+                    return if op.apply(*a, *b) {
+                        Predicate::True
+                    } else {
+                        Predicate::False
+                    };
                 }
                 Predicate::Cmp { op: *op, lhs, rhs }
             }
@@ -160,7 +164,10 @@ mod tests {
         assert_eq!((IntTerm::constant(0) + cur_x()).simplify(), cur_x());
         assert_eq!((cur_x() - IntTerm::constant(0)).simplify(), cur_x());
         assert_eq!(IntTerm::Scale(1, Box::new(cur_x())).simplify(), cur_x());
-        assert_eq!(IntTerm::Scale(0, Box::new(cur_x())).simplify(), IntTerm::Const(0));
+        assert_eq!(
+            IntTerm::Scale(0, Box::new(cur_x())).simplify(),
+            IntTerm::Const(0)
+        );
     }
 
     #[test]
@@ -208,7 +215,10 @@ mod tests {
     #[test]
     fn not_simplification() {
         let atom = Predicate::ge(cur_x(), IntTerm::constant(3));
-        assert_eq!(Predicate::Not(Box::new(Predicate::True)).simplify(), Predicate::False);
+        assert_eq!(
+            Predicate::Not(Box::new(Predicate::True)).simplify(),
+            Predicate::False
+        );
         assert_eq!(
             Predicate::Not(Box::new(Predicate::Not(Box::new(atom.clone())))).simplify(),
             atom
@@ -234,9 +244,8 @@ mod tests {
     }
 
     fn pred_strategy() -> impl Strategy<Value = Predicate> {
-        let atom = (term_strategy(), term_strategy(), 0usize..6).prop_map(|(a, b, op)| {
-            Predicate::cmp(CmpOp::all()[op], a, b)
-        });
+        let atom = (term_strategy(), term_strategy(), 0usize..6)
+            .prop_map(|(a, b, op)| Predicate::cmp(CmpOp::all()[op], a, b));
         atom.prop_recursive(3, 24, 3, |inner| {
             prop_oneof![
                 proptest::collection::vec(inner.clone(), 1..3).prop_map(Predicate::And),

@@ -219,8 +219,10 @@ mod tests {
     fn kind_mismatch_yields_none() {
         let sig = Signature::builder().event("op").build();
         let mut t = Trace::new(sig.clone());
-        t.push_named_row(vec![tracelearn_trace::RowEntry::Event("a")]).unwrap();
-        t.push_named_row(vec![tracelearn_trace::RowEntry::Event("b")]).unwrap();
+        t.push_named_row(vec![tracelearn_trace::RowEntry::Event("a")])
+            .unwrap();
+        t.push_named_row(vec![tracelearn_trace::RowEntry::Event("b")])
+            .unwrap();
         let step = t.steps().next().unwrap();
         let term = IntTerm::var(VarRef::current(sig.var("op").unwrap()));
         assert_eq!(term.eval(&step), None);

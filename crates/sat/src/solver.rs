@@ -204,9 +204,7 @@ impl Solver {
         match clause.len() {
             0 => self.ok = false,
             1 => {
-                if !self.enqueue(clause[0], None) {
-                    self.ok = false;
-                } else if self.propagate().is_some() {
+                if !self.enqueue(clause[0], None) || self.propagate().is_some() {
                     self.ok = false;
                 }
             }
@@ -255,7 +253,7 @@ impl Solver {
             let mut kept = Vec::with_capacity(watch_list.len());
             let mut conflict = None;
             let mut iter = watch_list.drain(..);
-            while let Some(watch) = iter.next() {
+            for watch in iter.by_ref() {
                 if self.lit_value(watch.blocker) == Some(true) {
                     kept.push(watch);
                     continue;
@@ -775,7 +773,10 @@ mod tests {
     #[test]
     fn agrees_with_brute_force_on_fixed_formulas() {
         let formulas: Vec<(usize, Vec<Vec<Lit>>)> = vec![
-            (3, vec![vec![lit(0, true)], vec![lit(1, true), lit(2, false)]]),
+            (
+                3,
+                vec![vec![lit(0, true)], vec![lit(1, true), lit(2, false)]],
+            ),
             (
                 3,
                 vec![

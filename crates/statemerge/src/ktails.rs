@@ -92,7 +92,9 @@ mod tests {
     #[test]
     fn training_sequences_remain_accepted() {
         let sequences = vec![
-            seq(&["enable", "addr", "config", "stop", "config", "stop", "disable"]),
+            seq(&[
+                "enable", "addr", "config", "stop", "config", "stop", "disable",
+            ]),
             seq(&["enable", "addr", "config", "disable"]),
         ];
         let pta = Pta::from_sequences(&sequences);
@@ -139,7 +141,7 @@ mod tests {
                 k in 0usize..4
             ) {
                 let sequence: Vec<String> = events.iter().map(|e| format!("e{e}")).collect();
-                let pta = Pta::from_sequences(&[sequence.clone()]);
+                let pta = Pta::from_sequences(std::slice::from_ref(&sequence));
                 let model = k_tails(&pta, k);
                 prop_assert!(model.accepts(&sequence));
                 prop_assert!(model.num_states() <= pta.automaton().num_states());

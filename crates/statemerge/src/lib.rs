@@ -137,12 +137,18 @@ mod tests {
 
     #[test]
     fn learner_accepts_training_sequences() {
-        let sequences = vec![seq(&["a", "b", "c", "a", "b", "c"]), seq(&["a", "b", "a", "b"])];
+        let sequences = vec![
+            seq(&["a", "b", "c", "a", "b", "c"]),
+            seq(&["a", "b", "a", "b"]),
+        ];
         for algorithm in [MergeAlgorithm::KTails, MergeAlgorithm::Edsm] {
             let learner = StateMergeLearner::new(StateMergeConfig { algorithm, k: 2 });
             let model = learner.learn(&sequences);
             for sequence in &sequences {
-                assert!(model.accepts(sequence), "{algorithm:?} rejects a training sequence");
+                assert!(
+                    model.accepts(sequence),
+                    "{algorithm:?} rejects a training sequence"
+                );
             }
         }
     }
@@ -171,7 +177,9 @@ mod tests {
     fn trace_to_events_uses_plain_names_for_event_traces() {
         let sig = Signature::builder().event("cmd").build();
         let mut trace = Trace::new(sig);
-        trace.push_named_row(vec![RowEntry::Event("enable")]).unwrap();
+        trace
+            .push_named_row(vec![RowEntry::Event("enable")])
+            .unwrap();
         trace.push_named_row(vec![RowEntry::Event("addr")]).unwrap();
         assert_eq!(trace_to_events(&trace), vec!["enable", "addr"]);
     }

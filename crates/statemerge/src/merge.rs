@@ -70,11 +70,18 @@ impl MergeAutomaton {
                 continue;
             }
             // Keep the initial state's representative stable when possible.
-            let (keep, absorb) = if y == self.find(self.initial) { (y, x) } else { (x, y) };
+            let (keep, absorb) = if y == self.find(self.initial) {
+                (y, x)
+            } else {
+                (x, y)
+            };
             self.parent[absorb] = keep;
             let absorbed = std::mem::take(&mut self.outgoing[absorb]);
             for (label, targets) in absorbed {
-                self.outgoing[keep].entry(label).or_default().extend(targets);
+                self.outgoing[keep]
+                    .entry(label)
+                    .or_default()
+                    .extend(targets);
             }
             // Fold: any label with two distinct target representatives forces
             // those targets to merge as well.

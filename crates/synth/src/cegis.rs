@@ -73,7 +73,10 @@ impl CegisLoop {
         // that phase changes (e.g. saturation) are likely to be represented.
         let mut working: Vec<StepPair<'_>> = Vec::new();
         let stride = (examples.len() / self.initial_samples).max(1);
-        for i in (0..examples.len()).step_by(stride).take(self.initial_samples) {
+        for i in (0..examples.len())
+            .step_by(stride)
+            .take(self.initial_samples)
+        {
             working.push(examples[i]);
         }
 
@@ -82,9 +85,7 @@ impl CegisLoop {
                 return CegisOutcome::NoSolution;
             };
             // Verify against the full example set.
-            let counterexample = examples
-                .iter()
-                .find(|e| candidate.eval(e) != target(e));
+            let counterexample = examples.iter().find(|e| candidate.eval(e) != target(e));
             match counterexample {
                 None => {
                     return CegisOutcome::Synthesized {

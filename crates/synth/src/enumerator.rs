@@ -5,6 +5,10 @@ use std::collections::HashMap;
 use tracelearn_expr::{IntTerm, VarRef};
 use tracelearn_trace::{StepPair, VarId};
 
+/// Candidate terms of one syntactic size, each paired with its evaluation
+/// signature on the example set (for observational-equivalence pruning).
+type SizedTerms = Vec<(IntTerm, Vec<Option<i64>>)>;
+
 /// Enumerates integer terms over the current-state variables in order of
 /// syntactic size, pruning terms that are observationally equivalent on the
 /// example set (the standard bottom-up synthesis-from-examples search).
@@ -61,20 +65,25 @@ impl TermEnumerator {
         self.find_impl(examples, target, true)
     }
 
-    fn find_impl<F>(&self, examples: &[StepPair<'_>], target: F, require_variable: bool) -> Option<IntTerm>
+    fn find_impl<F>(
+        &self,
+        examples: &[StepPair<'_>],
+        target: F,
+        require_variable: bool,
+    ) -> Option<IntTerm>
     where
         F: Fn(&StepPair<'_>) -> Option<i64>,
     {
         if examples.is_empty() {
             return None;
         }
-        let goal: Vec<Option<i64>> = examples.iter().map(|e| target(e)).collect();
+        let goal: Vec<Option<i64>> = examples.iter().map(target).collect();
         if goal.iter().any(Option::is_none) {
             return None;
         }
 
         // Terms grouped by size; signatures seen so far (observational equivalence).
-        let mut by_size: Vec<Vec<(IntTerm, Vec<Option<i64>>)>> = vec![Vec::new(); self.max_size + 1];
+        let mut by_size: Vec<SizedTerms> = vec![Vec::new(); self.max_size + 1];
         let mut seen: HashMap<Vec<Option<i64>>, ()> = HashMap::new();
         let mut generated = 0usize;
 
@@ -154,10 +163,7 @@ impl TermEnumerator {
     /// a variable (or an already-linear term) with a constant, or two
     /// variables.
     fn is_linear_combination(&self, left: &IntTerm, right: &IntTerm) -> bool {
-        !matches!(
-            (left, right),
-            (IntTerm::Const(_), IntTerm::Const(_))
-        )
+        !matches!((left, right), (IntTerm::Const(_), IntTerm::Const(_)))
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -167,7 +173,7 @@ impl TermEnumerator {
         examples: &[StepPair<'_>],
         goal: &[Option<i64>],
         require_variable: bool,
-        by_size: &mut [Vec<(IntTerm, Vec<Option<i64>>)>],
+        by_size: &mut [SizedTerms],
         seen: &mut HashMap<Vec<Option<i64>>, ()>,
         generated: &mut usize,
     ) -> Option<IntTerm> {

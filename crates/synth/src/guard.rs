@@ -27,7 +27,10 @@ impl GuardSynthesizer {
     /// values actually observed in the examples, so thresholds such as 128
     /// are found even if they are rare in the trace at large.
     pub fn new(int_vars: Vec<VarId>, constants: Vec<i64>, _config: &SynthesisConfig) -> Self {
-        GuardSynthesizer { int_vars, constants }
+        GuardSynthesizer {
+            int_vars,
+            constants,
+        }
     }
 
     /// Finds the smallest separating guard, or `None` when the search space
@@ -161,7 +164,10 @@ mod tests {
         assert!(guard.holds(&steps[1]));
         assert!(!guard.holds(&steps[0]));
         let rendered = guard.render(t.signature(), t.symbols());
-        assert!(rendered.contains("128") || rendered.contains("127"), "{rendered}");
+        assert!(
+            rendered.contains("128") || rendered.contains("127"),
+            "{rendered}"
+        );
     }
 
     #[test]

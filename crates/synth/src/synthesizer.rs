@@ -164,11 +164,7 @@ impl Synthesizer {
     /// is explained by a globally dominant update (`op' = op + ip`) should be
     /// labelled with it rather than with an incidental smaller term
     /// (`op' = 2`) that happens to fit locally.
-    pub fn dominant_updates(
-        &self,
-        var: VarId,
-        sample: &[StepPair<'_>],
-    ) -> Vec<(IntTerm, usize)> {
+    pub fn dominant_updates(&self, var: VarId, sample: &[StepPair<'_>]) -> Vec<(IntTerm, usize)> {
         let target = |s: &StepPair<'_>| s.next_value(var).as_int();
         let stride = (sample.len() / 256).max(1);
         let mut terms: Vec<IntTerm> = Vec::new();
@@ -189,10 +185,7 @@ impl Synthesizer {
         let mut scored: Vec<(IntTerm, usize)> = terms
             .into_iter()
             .map(|term| {
-                let coverage = sample
-                    .iter()
-                    .filter(|s| term.eval(s) == target(s))
-                    .count();
+                let coverage = sample.iter().filter(|s| term.eval(s) == target(s)).count();
                 (term, coverage)
             })
             .collect();
@@ -362,8 +355,13 @@ mod tests {
             assert_eq!(term.eval(step), step.next_value(x).as_int());
         }
         // And its guard must mention the threshold region.
-        let rendered = conditional.to_predicate(x).render(t.signature(), t.symbols());
-        assert!(rendered.contains("127") || rendered.contains("128"), "{rendered}");
+        let rendered = conditional
+            .to_predicate(x)
+            .render(t.signature(), t.symbols());
+        assert!(
+            rendered.contains("127") || rendered.contains("128"),
+            "{rendered}"
+        );
     }
 
     #[test]
@@ -392,7 +390,10 @@ mod tests {
         let steps: Vec<_> = t.steps().collect();
         let term = synth.synthesize_update(op_var, &steps).unwrap();
         let rendered = term.render(t.signature(), t.symbols());
-        assert!(rendered == "(op + ip)" || rendered == "(ip + op)", "{rendered}");
+        assert!(
+            rendered == "(op + ip)" || rendered == "(ip + op)",
+            "{rendered}"
+        );
     }
 
     #[test]

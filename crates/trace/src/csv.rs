@@ -137,7 +137,11 @@ mod tests {
 
     #[test]
     fn round_trip_mixed_trace() {
-        let sig = Signature::builder().event("op").int("len").boolean("ok").build();
+        let sig = Signature::builder()
+            .event("op")
+            .int("len")
+            .boolean("ok")
+            .build();
         let mut t = Trace::new(sig);
         t.push_named_row(vec![
             RowEntry::Event("read"),

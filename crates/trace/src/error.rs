@@ -51,10 +51,16 @@ impl fmt::Display for TraceError {
                 write!(f, "duplicate variable `{name}` in signature")
             }
             TraceError::ArityMismatch { expected, got } => {
-                write!(f, "valuation has {got} values but the signature has {expected} variables")
+                write!(
+                    f,
+                    "valuation has {got} values but the signature has {expected} variables"
+                )
             }
             TraceError::KindMismatch { variable, expected } => {
-                write!(f, "value for variable `{variable}` is not of kind {expected}")
+                write!(
+                    f,
+                    "value for variable `{variable}` is not of kind {expected}"
+                )
             }
             TraceError::UnknownVariable(name) => write!(f, "unknown variable `{name}`"),
             TraceError::Parse { line, message } => {
@@ -62,7 +68,10 @@ impl fmt::Display for TraceError {
             }
             TraceError::EmptyTrace => write!(f, "operation requires a non-empty trace"),
             TraceError::InvalidWindow { window, len } => {
-                write!(f, "invalid window length {window} for sequence of length {len}")
+                write!(
+                    f,
+                    "invalid window length {window} for sequence of length {len}"
+                )
             }
         }
     }
@@ -82,14 +91,20 @@ mod tests {
                 "duplicate variable `x` in signature",
             ),
             (
-                TraceError::ArityMismatch { expected: 2, got: 3 },
+                TraceError::ArityMismatch {
+                    expected: 2,
+                    got: 3,
+                },
                 "valuation has 3 values but the signature has 2 variables",
             ),
             (
                 TraceError::UnknownVariable("y".into()),
                 "unknown variable `y`",
             ),
-            (TraceError::EmptyTrace, "operation requires a non-empty trace"),
+            (
+                TraceError::EmptyTrace,
+                "operation requires a non-empty trace",
+            ),
         ];
         for (err, expected) in cases {
             assert_eq!(err.to_string(), expected);

@@ -226,10 +226,7 @@ impl Trace {
             .iter()
             .map(|obs| {
                 let sym = obs.get(id).as_sym().expect("validated event value");
-                self.symbols
-                    .name(sym)
-                    .unwrap_or("<unknown>")
-                    .to_owned()
+                self.symbols.name(sym).unwrap_or("<unknown>").to_owned()
             })
             .collect())
     }
@@ -252,9 +249,18 @@ impl Trace {
 
 impl fmt::Display for Trace {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "trace over {} ({} observations)", self.signature, self.len())?;
+        writeln!(
+            f,
+            "trace over {} ({} observations)",
+            self.signature,
+            self.len()
+        )?;
         for t in 0..self.len().min(20) {
-            writeln!(f, "  [{t}] {}", self.render_observation(t).unwrap_or_default())?;
+            writeln!(
+                f,
+                "  [{t}] {}",
+                self.render_observation(t).unwrap_or_default()
+            )?;
         }
         if self.len() > 20 {
             writeln!(f, "  … ({} more)", self.len() - 20)?;
@@ -326,7 +332,9 @@ impl<'a> Iterator for Windows<'a> {
         if self.w == 0 || self.w > self.observations.len() {
             return (0, Some(0));
         }
-        let remaining = self.observations.len() + 1 - self.w - self.index.min(self.observations.len() + 1 - self.w);
+        let remaining = self.observations.len() + 1
+            - self.w
+            - self.index.min(self.observations.len() + 1 - self.w);
         (remaining, Some(remaining))
     }
 }
@@ -360,7 +368,9 @@ mod tests {
     fn push_rejects_wrong_arity() {
         let sig = Signature::builder().int("x").int("y").build();
         let mut t = Trace::new(sig);
-        let err = t.push(Valuation::from_values(vec![Value::Int(1)])).unwrap_err();
+        let err = t
+            .push(Valuation::from_values(vec![Value::Int(1)]))
+            .unwrap_err();
         assert!(matches!(err, TraceError::ArityMismatch { .. }));
     }
 
@@ -402,12 +412,21 @@ mod tests {
     fn named_rows_intern_events() {
         let sig = Signature::builder().event("op").int("len").build();
         let mut t = Trace::new(sig);
-        t.push_named_row(vec![RowEntry::Event("read"), RowEntry::Value(Value::Int(3))])
-            .unwrap();
-        t.push_named_row(vec![RowEntry::Event("write"), RowEntry::Value(Value::Int(4))])
-            .unwrap();
-        t.push_named_row(vec![RowEntry::Event("read"), RowEntry::Value(Value::Int(2))])
-            .unwrap();
+        t.push_named_row(vec![
+            RowEntry::Event("read"),
+            RowEntry::Value(Value::Int(3)),
+        ])
+        .unwrap();
+        t.push_named_row(vec![
+            RowEntry::Event("write"),
+            RowEntry::Value(Value::Int(4)),
+        ])
+        .unwrap();
+        t.push_named_row(vec![
+            RowEntry::Event("read"),
+            RowEntry::Value(Value::Int(2)),
+        ])
+        .unwrap();
         assert_eq!(t.symbols().len(), 2);
         let events = t.event_sequence("op").unwrap();
         assert_eq!(events, vec!["read", "write", "read"]);

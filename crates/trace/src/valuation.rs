@@ -125,7 +125,11 @@ mod tests {
     use crate::symbol::SymbolId;
 
     fn sig() -> Signature {
-        Signature::builder().int("x").boolean("b").event("e").build()
+        Signature::builder()
+            .int("x")
+            .boolean("b")
+            .event("e")
+            .build()
     }
 
     #[test]
@@ -133,7 +137,10 @@ mod tests {
         let err = Valuation::new(&sig(), vec![Value::Int(1)]).unwrap_err();
         assert!(matches!(
             err,
-            TraceError::ArityMismatch { expected: 3, got: 1 }
+            TraceError::ArityMismatch {
+                expected: 3,
+                got: 1
+            }
         ));
     }
 
@@ -141,7 +148,11 @@ mod tests {
     fn new_checks_kinds() {
         let err = Valuation::new(
             &sig(),
-            vec![Value::Bool(true), Value::Bool(true), Value::Sym(SymbolId::new(0))],
+            vec![
+                Value::Bool(true),
+                Value::Bool(true),
+                Value::Sym(SymbolId::new(0)),
+            ],
         )
         .unwrap_err();
         assert!(matches!(err, TraceError::KindMismatch { variable, .. } if variable == "x"));
@@ -151,7 +162,11 @@ mod tests {
     fn accessors() {
         let v = Valuation::new(
             &sig(),
-            vec![Value::Int(7), Value::Bool(false), Value::Sym(SymbolId::new(2))],
+            vec![
+                Value::Int(7),
+                Value::Bool(false),
+                Value::Sym(SymbolId::new(2)),
+            ],
         )
         .unwrap();
         assert_eq!(v.arity(), 3);

@@ -64,7 +64,10 @@ mod tests {
 
     #[test]
     fn values_stay_in_range_and_oscillate() {
-        let trace = generate(&CounterConfig { threshold: 8, length: 100 });
+        let trace = generate(&CounterConfig {
+            threshold: 8,
+            length: 100,
+        });
         let x = trace.signature().var("x").unwrap();
         let mut seen_max = false;
         let mut seen_min_after_max = false;
@@ -83,10 +86,14 @@ mod tests {
 
     #[test]
     fn steps_change_by_exactly_one() {
-        let trace = generate(&CounterConfig { threshold: 16, length: 200 });
+        let trace = generate(&CounterConfig {
+            threshold: 16,
+            length: 200,
+        });
         let x = trace.signature().var("x").unwrap();
         for step in trace.steps() {
-            let delta = step.next_value(x).as_int().unwrap() - step.current_value(x).as_int().unwrap();
+            let delta =
+                step.next_value(x).as_int().unwrap() - step.current_value(x).as_int().unwrap();
             assert_eq!(delta.abs(), 1);
         }
     }
@@ -94,6 +101,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "threshold")]
     fn tiny_threshold_is_rejected() {
-        generate(&CounterConfig { threshold: 1, length: 10 });
+        generate(&CounterConfig {
+            threshold: 1,
+            length: 10,
+        });
     }
 }

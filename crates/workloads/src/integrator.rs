@@ -43,7 +43,11 @@ impl Default for IntegratorConfig {
 pub fn generate(config: &IntegratorConfig) -> Trace {
     assert!(config.saturation > 0, "saturation bound must be positive");
     assert!(config.reset_period > 0, "reset period must be non-zero");
-    let signature = Signature::builder().int("ip").int("op").boolean("rst").build();
+    let signature = Signature::builder()
+        .int("ip")
+        .int("op")
+        .boolean("rst")
+        .build();
     let mut trace = Trace::new(signature);
     let mut rng = Prng::new(config.seed);
     let mut op = 0i64;

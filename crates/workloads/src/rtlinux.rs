@@ -110,12 +110,22 @@ mod tests {
     #[test]
     fn paper_length_by_default() {
         assert_eq!(RtLinuxConfig::default().length, 20165);
-        assert_eq!(generate(&RtLinuxConfig { length: 512, seed: 1 }).len(), 512);
+        assert_eq!(
+            generate(&RtLinuxConfig {
+                length: 512,
+                seed: 1
+            })
+            .len(),
+            512
+        );
     }
 
     #[test]
     fn only_ftrace_events_appear() {
-        let trace = generate(&RtLinuxConfig { length: 2000, seed: 2 });
+        let trace = generate(&RtLinuxConfig {
+            length: 2000,
+            seed: 2,
+        });
         for event in trace.event_sequence("sched").unwrap() {
             assert!(EVENTS.contains(&event.as_str()), "unexpected event {event}");
         }
@@ -123,7 +133,10 @@ mod tests {
 
     #[test]
     fn scheduling_protocol_is_respected() {
-        let trace = generate(&RtLinuxConfig { length: 4000, seed: 3 });
+        let trace = generate(&RtLinuxConfig {
+            length: 4000,
+            seed: 3,
+        });
         let events = trace.event_sequence("sched").unwrap();
         for pair in events.windows(2) {
             match pair[0].as_str() {
@@ -139,7 +152,10 @@ mod tests {
 
     #[test]
     fn corner_case_runnable_without_suspend_occurs() {
-        let trace = generate(&RtLinuxConfig { length: 4000, seed: 4 });
+        let trace = generate(&RtLinuxConfig {
+            length: 4000,
+            seed: 4,
+        });
         let events = trace.event_sequence("sched").unwrap();
         let mut found = false;
         for pair in events.windows(2) {
@@ -152,7 +168,10 @@ mod tests {
 
     #[test]
     fn all_eight_events_occur() {
-        let trace = generate(&RtLinuxConfig { length: 4000, seed: 5 });
+        let trace = generate(&RtLinuxConfig {
+            length: 4000,
+            seed: 5,
+        });
         let events = trace.event_sequence("sched").unwrap();
         for required in EVENTS {
             assert!(events.iter().any(|e| e == required), "missing {required}");

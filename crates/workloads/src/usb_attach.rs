@@ -114,7 +114,10 @@ mod tests {
 
     #[test]
     fn only_known_events_appear() {
-        let trace = generate(&UsbAttachConfig { length: 1000, seed: 5 });
+        let trace = generate(&UsbAttachConfig {
+            length: 1000,
+            seed: 5,
+        });
         for event in trace.event_sequence("ev").unwrap() {
             assert!(EVENTS.contains(&event.as_str()), "unexpected event {event}");
         }
@@ -122,7 +125,10 @@ mod tests {
 
     #[test]
     fn commands_follow_writes_and_fetch_follows_commands() {
-        let trace = generate(&UsbAttachConfig { length: 1000, seed: 6 });
+        let trace = generate(&UsbAttachConfig {
+            length: 1000,
+            seed: 6,
+        });
         let events = trace.event_sequence("ev").unwrap();
         for pair in events.windows(2) {
             if ["CrAD", "CrCE", "CrES"].contains(&pair[0].as_str()) {
@@ -136,7 +142,10 @@ mod tests {
 
     #[test]
     fn completions_precede_event_ring_writes() {
-        let trace = generate(&UsbAttachConfig { length: 1000, seed: 7 });
+        let trace = generate(&UsbAttachConfig {
+            length: 1000,
+            seed: 7,
+        });
         let events = trace.event_sequence("ev").unwrap();
         for window in events.windows(3) {
             if window[0] == "CCSuccess" {
@@ -148,7 +157,10 @@ mod tests {
 
     #[test]
     fn transfer_and_notification_variety() {
-        let trace = generate(&UsbAttachConfig { length: 2000, seed: 8 });
+        let trace = generate(&UsbAttachConfig {
+            length: 2000,
+            seed: 8,
+        });
         let events = trace.event_sequence("ev").unwrap();
         for required in ["TRNormal", "TRSetup", "ErPSC", "TRBReserved"] {
             assert!(events.iter().any(|e| e == required), "missing {required}");

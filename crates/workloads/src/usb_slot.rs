@@ -112,9 +112,15 @@ mod tests {
 
     #[test]
     fn only_datasheet_commands_appear() {
-        let trace = generate(&UsbSlotConfig { length: 500, seed: 1 });
+        let trace = generate(&UsbSlotConfig {
+            length: 500,
+            seed: 1,
+        });
         for event in trace.event_sequence("cmd").unwrap() {
-            assert!(COMMANDS.contains(&event.as_str()), "unexpected command {event}");
+            assert!(
+                COMMANDS.contains(&event.as_str()),
+                "unexpected command {event}"
+            );
         }
     }
 
@@ -122,7 +128,10 @@ mod tests {
     fn protocol_order_is_respected() {
         // ENABLE is always followed by ADDR_DEV, ADDR_DEV by CONFIG_END, and
         // DISABLE by ENABLE — the datasheet ordering.
-        let trace = generate(&UsbSlotConfig { length: 500, seed: 2 });
+        let trace = generate(&UsbSlotConfig {
+            length: 500,
+            seed: 2,
+        });
         let events = trace.event_sequence("cmd").unwrap();
         for pair in events.windows(2) {
             match pair[0].as_str() {
@@ -137,13 +146,18 @@ mod tests {
 
     #[test]
     fn trace_starts_with_enable() {
-        let events = generate(&UsbSlotConfig::default()).event_sequence("cmd").unwrap();
+        let events = generate(&UsbSlotConfig::default())
+            .event_sequence("cmd")
+            .unwrap();
         assert_eq!(events[0], "CR_ENABLE_SLOT");
     }
 
     #[test]
     fn reset_and_disable_occur_on_long_runs() {
-        let trace = generate(&UsbSlotConfig { length: 500, seed: 3 });
+        let trace = generate(&UsbSlotConfig {
+            length: 500,
+            seed: 3,
+        });
         let events = trace.event_sequence("cmd").unwrap();
         assert!(events.iter().any(|e| e == "CR_RESET_DEVICE"));
         assert!(events.iter().any(|e| e == "CR_DISABLE_SLOT"));

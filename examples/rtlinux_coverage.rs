@@ -40,7 +40,9 @@ fn plain_load_trace(length: usize, seed: u64) -> Trace {
             _ => ("sched_switch_in", "running"),
         };
         state = next;
-        trace.push_named_row(vec![RowEntry::Event(event)]).expect("row matches signature");
+        trace
+            .push_named_row(vec![RowEntry::Event(event)])
+            .expect("row matches signature");
     }
     trace
 }
@@ -53,7 +55,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     let plain_model = learner.learn(&plain)?;
 
     // 2. Model under the full load (with the corner-case module), as in Fig. 6.
-    let full = rtlinux::generate(&rtlinux::RtLinuxConfig { length: 4096, seed: 7 });
+    let full = rtlinux::generate(&rtlinux::RtLinuxConfig {
+        length: 4096,
+        seed: 7,
+    });
     let full_model = learner.learn(&full)?;
 
     println!(

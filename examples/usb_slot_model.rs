@@ -32,7 +32,10 @@ fn datasheet_model() -> Nfa<&'static str> {
 fn main() -> Result<(), Box<dyn Error>> {
     // A longer run than the paper's 39 events so that reset and disable are
     // exercised too; see `figures -- usb-slot` for the exact paper scale.
-    let trace = usb_slot::generate(&usb_slot::UsbSlotConfig { length: 400, seed: 1 });
+    let trace = usb_slot::generate(&usb_slot::UsbSlotConfig {
+        length: 400,
+        seed: 1,
+    });
     let model = Learner::new(LearnerConfig::default()).learn(&trace)?;
 
     println!(
@@ -43,7 +46,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     );
     println!("\nlearned transitions:");
     for transition in model.rendered_automaton().transitions() {
-        println!("  {} --[{}]--> {}", transition.from, transition.label, transition.to);
+        println!(
+            "  {} --[{}]--> {}",
+            transition.from, transition.label, transition.to
+        );
     }
 
     // Check the learned model against the datasheet: every command sequence

@@ -8,7 +8,9 @@ use tracelearn::statemerge::trace_to_events;
 fn learner_is_much_more_concise_than_ktails_on_numeric_traces() {
     // The paper's counter row: 377 states for state merge vs 4 for learning.
     let trace = Workload::Counter.generate(447);
-    let learned = Learner::new(LearnerConfig::default()).learn(&trace).unwrap();
+    let learned = Learner::new(LearnerConfig::default())
+        .learn(&trace)
+        .unwrap();
     let merged = StateMergeLearner::new(StateMergeConfig {
         algorithm: MergeAlgorithm::KTails,
         k: 2,
@@ -30,9 +32,11 @@ fn both_approaches_conform_to_the_trace_they_saw() {
     let merged = StateMergeLearner::default().learn(std::slice::from_ref(&events));
     assert!(merged.accepts(&events));
 
-    let learned = Learner::new(LearnerConfig::default()).learn(&trace).unwrap();
+    let learned = Learner::new(LearnerConfig::default())
+        .learn(&trace)
+        .unwrap();
     // The learned model embeds every unique predicate window.
-    for window in tracelearn::trace::unique_windows(&learned.predicate_sequence().to_vec(), 3) {
+    for window in tracelearn::trace::unique_windows(learned.predicate_sequence(), 3) {
         assert!(learned.automaton().accepts_from_any_state(&window));
     }
 }
@@ -41,11 +45,16 @@ fn both_approaches_conform_to_the_trace_they_saw() {
 fn edsm_and_ktails_produce_conforming_but_larger_models_on_event_traces() {
     let trace = Workload::UsbAttach.generate(259);
     let events = trace_to_events(&trace);
-    let learned = Learner::new(LearnerConfig::default()).learn(&trace).unwrap();
+    let learned = Learner::new(LearnerConfig::default())
+        .learn(&trace)
+        .unwrap();
     for algorithm in [MergeAlgorithm::KTails, MergeAlgorithm::Edsm] {
         let merged = StateMergeLearner::new(StateMergeConfig { algorithm, k: 2 })
             .learn(std::slice::from_ref(&events));
-        assert!(merged.accepts(&events), "{algorithm:?} must accept its training trace");
+        assert!(
+            merged.accepts(&events),
+            "{algorithm:?} must accept its training trace"
+        );
     }
     // kTails (the paper's Table II baseline) produces a much larger model
     // than the learner; blue-fringe EDSM with only positive data can instead
@@ -73,7 +82,9 @@ fn state_merge_labels_are_raw_observations_while_learner_labels_are_predicates()
         .iter()
         .any(|label| label.contains("op=") && label.contains("x=")));
 
-    let learned = Learner::new(LearnerConfig::default()).learn(&trace).unwrap();
+    let learned = Learner::new(LearnerConfig::default())
+        .learn(&trace)
+        .unwrap();
     // Learner labels are symbolic predicates over X ∪ X'.
     assert!(learned
         .predicate_strings()

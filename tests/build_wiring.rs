@@ -1,0 +1,73 @@
+//! Smoke tests for the workspace build wiring: the umbrella crate's
+//! re-exports must resolve to the member crates, and a minimal end-to-end
+//! learn must work through the public API alone.
+
+use tracelearn::prelude::*;
+
+/// Every name exported through `tracelearn::prelude` resolves and refers to
+/// usable items. Compilation of these bindings is most of the test; the
+/// assertions pin down a few invariants cheap enough for a smoke test.
+#[test]
+fn prelude_reexports_resolve() {
+    // trace
+    let signature = Signature::builder().int("x").build();
+    let trace = Trace::new(signature);
+    assert_eq!(trace.len(), 0);
+    let _value: Value = Value::Int(42);
+
+    // automaton
+    let nfa: Nfa<u8> = Nfa::new(1, StateId::new(0));
+    assert_eq!(nfa.num_states(), 1);
+
+    // learn (tracelearn-core)
+    let _config: LearnerConfig = LearnerConfig::default();
+    let _error: Option<LearnError> = None;
+    let _model: Option<LearnedModel> = None;
+
+    // statemerge
+    let _merge_config: StateMergeConfig = StateMergeConfig::default();
+    let _algorithm: Option<MergeAlgorithm> = None;
+
+    // synth
+    let _synth_config: SynthesisConfig = SynthesisConfig::default();
+
+    // workloads
+    assert!(!Workload::all().is_empty());
+}
+
+/// The module-level re-exports (`tracelearn::trace`, `::learn`, …) expose
+/// the member crates' items under their documented paths.
+#[test]
+fn module_reexports_resolve() {
+    let ws = tracelearn::trace::windows_of(&[1, 2, 3], 2);
+    assert_eq!(ws.len(), 2);
+
+    let trace =
+        tracelearn::workloads::counter::generate(&tracelearn::workloads::counter::CounterConfig {
+            threshold: 4,
+            length: 20,
+        });
+    let csv = tracelearn::trace::to_csv(&trace);
+    let parsed = tracelearn::trace::parse_csv(&csv).expect("round-trip through CSV");
+    assert_eq!(parsed.len(), trace.len());
+}
+
+/// A minimal end-to-end learn on the counter workload completes and stays
+/// within a small state bound — the umbrella quickstart, as a hard test.
+#[test]
+fn end_to_end_learn_on_counter_is_concise() {
+    let trace =
+        tracelearn::workloads::counter::generate(&tracelearn::workloads::counter::CounterConfig {
+            threshold: 8,
+            length: 100,
+        });
+    let model = Learner::new(LearnerConfig::default())
+        .learn(&trace)
+        .expect("counter workload is learnable");
+    assert!(
+        model.num_states() <= 4,
+        "counter model must stay concise, got {} states",
+        model.num_states()
+    );
+    assert!(!model.to_dot("counter").is_empty());
+}

@@ -33,7 +33,7 @@ fn learn_and_check(workload: Workload, length: usize) -> tracelearn::learn::Lear
         "{}: compliance must hold on the returned model",
         workload.name()
     );
-    for window in unique_windows(&model.predicate_sequence().to_vec(), 3) {
+    for window in unique_windows(model.predicate_sequence(), 3) {
         assert!(
             model.automaton().accepts_from_any_state(&window),
             "{}: every unique window must be embedded",
@@ -55,7 +55,10 @@ fn usb_slot_model_matches_paper_size() {
         model.num_states()
     );
     let predicates = model.predicate_strings();
-    assert!(predicates.iter().any(|p| p.contains("CR_CONFIG_END")), "{predicates:?}");
+    assert!(
+        predicates.iter().any(|p| p.contains("CR_CONFIG_END")),
+        "{predicates:?}"
+    );
 }
 
 #[test]
@@ -67,8 +70,14 @@ fn usb_attach_model_is_concise() {
         model.num_states()
     );
     let predicates = model.predicate_strings();
-    assert!(predicates.iter().any(|p| p.contains("xhci_ring_fetch")), "{predicates:?}");
-    assert!(predicates.iter().any(|p| p.contains("CCSuccess")), "{predicates:?}");
+    assert!(
+        predicates.iter().any(|p| p.contains("xhci_ring_fetch")),
+        "{predicates:?}"
+    );
+    assert!(
+        predicates.iter().any(|p| p.contains("CCSuccess")),
+        "{predicates:?}"
+    );
 }
 
 #[test]
@@ -76,11 +85,19 @@ fn counter_model_has_four_states_and_threshold_predicates() {
     let model = learn_and_check(Workload::Counter, 447);
     assert_eq!(model.num_states(), 4, "paper reports 4 states");
     let predicates = model.predicate_strings();
-    assert!(predicates.iter().any(|p| p.contains("x + 1")), "{predicates:?}");
-    assert!(predicates.iter().any(|p| p.contains("x - 1")), "{predicates:?}");
+    assert!(
+        predicates.iter().any(|p| p.contains("x + 1")),
+        "{predicates:?}"
+    );
+    assert!(
+        predicates.iter().any(|p| p.contains("x - 1")),
+        "{predicates:?}"
+    );
     // The threshold constant 128 is discovered by synthesis.
     assert!(
-        predicates.iter().any(|p| p.contains("127") || p.contains("128")),
+        predicates
+            .iter()
+            .any(|p| p.contains("127") || p.contains("128")),
         "{predicates:?}"
     );
 }
@@ -95,11 +112,15 @@ fn serial_port_model_is_concise_and_pairs_ops_with_updates() {
     );
     let predicates = model.predicate_strings();
     assert!(
-        predicates.iter().any(|p| p.contains("write") && p.contains("x + 1")),
+        predicates
+            .iter()
+            .any(|p| p.contains("write") && p.contains("x + 1")),
         "{predicates:?}"
     );
     assert!(
-        predicates.iter().any(|p| p.contains("reset") && p.contains("x' = 0")),
+        predicates
+            .iter()
+            .any(|p| p.contains("reset") && p.contains("x' = 0")),
         "{predicates:?}"
     );
 }
@@ -114,7 +135,10 @@ fn rtlinux_model_covers_the_scheduler_alphabet() {
     );
     let predicates = model.predicate_strings();
     for event in ["sched_waking", "sched_switch_in", "set_state_sleepable"] {
-        assert!(predicates.iter().any(|p| p.contains(event)), "missing {event}: {predicates:?}");
+        assert!(
+            predicates.iter().any(|p| p.contains(event)),
+            "missing {event}: {predicates:?}"
+        );
     }
 }
 
@@ -128,17 +152,29 @@ fn integrator_model_is_tiny_and_has_the_integration_predicate() {
     );
     let predicates = model.predicate_strings();
     assert!(
-        predicates.iter().any(|p| p.contains("op + ip") || p.contains("ip + op")),
+        predicates
+            .iter()
+            .any(|p| p.contains("op + ip") || p.contains("ip + op")),
         "{predicates:?}"
     );
-    assert!(predicates.iter().any(|p| p.contains("op' = 0")), "{predicates:?}");
+    assert!(
+        predicates.iter().any(|p| p.contains("op' = 0")),
+        "{predicates:?}"
+    );
     // The free input is never constrained.
-    assert!(predicates.iter().all(|p| !p.contains("ip'")), "{predicates:?}");
+    assert!(
+        predicates.iter().all(|p| !p.contains("ip'")),
+        "{predicates:?}"
+    );
 }
 
 #[test]
 fn learned_models_are_far_smaller_than_the_trace() {
-    for workload in [Workload::Counter, Workload::SerialPort, Workload::LinuxKernel] {
+    for workload in [
+        Workload::Counter,
+        Workload::SerialPort,
+        Workload::LinuxKernel,
+    ] {
         let length = 1024;
         let model = learn_and_check(workload, length);
         assert!(

@@ -6,9 +6,10 @@ use std::time::Duration;
 use tracelearn::prelude::*;
 
 fn configs(segmented: bool) -> LearnerConfig {
-    let mut config = LearnerConfig::default();
-    config.segmented = segmented;
-    config
+    LearnerConfig {
+        segmented,
+        ..LearnerConfig::default()
+    }
 }
 
 #[test]

@@ -51,7 +51,9 @@ fn hand_written_csv_can_be_learned_from() {
         text.push_str(&format!("{op},{level}\n"));
     }
     let trace = parse_csv(&text).expect("valid text trace");
-    let model = Learner::new(LearnerConfig::default()).learn(&trace).unwrap();
+    let model = Learner::new(LearnerConfig::default())
+        .learn(&trace)
+        .unwrap();
     assert!(model.num_states() <= 8);
     assert!(model
         .predicate_strings()

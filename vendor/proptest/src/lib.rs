@@ -1,0 +1,394 @@
+//! Offline API stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to a cargo registry, so the workspace
+//! vendors a minimal property-testing engine that is source-compatible with
+//! the subset of the real `proptest` API used by the test suites:
+//!
+//! * [`Strategy`] with `prop_map`, `prop_flat_map`, `prop_recursive`, `boxed`;
+//! * integer-range, tuple, [`Just`], [`Union`] and [`collection::vec`]
+//!   strategies plus [`bool::ANY`];
+//! * the [`proptest!`], [`prop_oneof!`], [`prop_assert!`],
+//!   [`prop_assert_eq!`] and [`prop_assert_ne!`] macros.
+//!
+//! Differences from the real crate: inputs are generated from a fixed
+//! deterministic seed (derived from the test's module path and name, so runs
+//! are reproducible), there is **no shrinking** of failing cases, and
+//! assertion failures panic immediately. The number of cases per property
+//! defaults to 64 and can be overridden with the `PROPTEST_CASES`
+//! environment variable. Swapping in the real `proptest` is a manifest-only
+//! change — see `vendor/README.md`.
+
+#![forbid(unsafe_code)]
+
+use std::rc::Rc;
+
+use test_runner::TestRng;
+
+pub mod test_runner {
+    //! The deterministic random source driving input generation.
+
+    /// A small, fast, deterministic RNG (splitmix64).
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Creates an RNG whose stream is fully determined by `seed`.
+        pub fn from_seed(seed: u64) -> Self {
+            TestRng {
+                state: seed ^ 0x9E37_79B9_7F4A_7C15,
+            }
+        }
+
+        /// Returns the next 64 uniformly distributed bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Returns a uniform index in `0..n`. Panics when `n == 0`.
+        pub fn index(&mut self, n: usize) -> usize {
+            assert!(n > 0, "cannot sample an index from an empty range");
+            (self.next_u64() % n as u64) as usize
+        }
+    }
+}
+
+/// Number of inputs generated per property (`PROPTEST_CASES`, default 64,
+/// clamped to at least 1 so properties can never silently become no-ops).
+pub fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+        .max(1)
+}
+
+/// Derives a stable per-test seed from the test's fully qualified name
+/// (FNV-1a), so distinct properties explore distinct input streams.
+pub fn seed_from_name(name: &str) -> u64 {
+    let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+    for byte in name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// A generator of random values of type `Self::Value`.
+///
+/// Unlike the real proptest `Strategy`, this stand-in has no value tree and
+/// no shrinking: a strategy is just a seeded sampler.
+pub trait Strategy {
+    /// The type of values this strategy generates.
+    type Value;
+
+    /// Samples one value from the strategy.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Returns a strategy producing `f(v)` for generated values `v`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { strat: self, f }
+    }
+
+    /// Returns a strategy that samples an intermediate value and then
+    /// samples from the strategy `f` builds from it.
+    fn prop_flat_map<R, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        R: Strategy,
+        F: Fn(Self::Value) -> R,
+    {
+        FlatMap { strat: self, f }
+    }
+
+    /// Erases the strategy's concrete type behind a cloneable handle.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            sample: Rc::new(move |rng| self.generate(rng)),
+        }
+    }
+
+    /// Builds recursive values: `self` is the leaf case and `recurse` wraps
+    /// an inner strategy into the compound case. Recursion is capped at
+    /// `depth` levels; the sampler picks leaf or compound uniformly at each
+    /// level, so the remaining two size parameters of the real API are
+    /// accepted but unused.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let leaf = self.boxed();
+        let mut cur = leaf.clone();
+        for _ in 0..depth {
+            let expanded = recurse(cur).boxed();
+            cur = Union::new(vec![leaf.clone(), expanded]).boxed();
+        }
+        cur
+    }
+}
+
+/// A type-erased, cloneable strategy handle (`Strategy::boxed`).
+pub struct BoxedStrategy<V> {
+    sample: Rc<dyn Fn(&mut TestRng) -> V>,
+}
+
+impl<V> Clone for BoxedStrategy<V> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            sample: Rc::clone(&self.sample),
+        }
+    }
+}
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (self.sample)(rng)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    strat: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.strat.generate(rng))
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    strat: S,
+    f: F,
+}
+
+impl<S, R, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    R: Strategy,
+    F: Fn(S::Value) -> R,
+{
+    type Value = R::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> R::Value {
+        (self.f)(self.strat.generate(rng)).generate(rng)
+    }
+}
+
+/// A strategy that always yields a clone of a fixed value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between several strategies (`prop_oneof!`).
+pub struct Union<V> {
+    arms: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Union<V> {
+    /// Creates a union over the given arms. Panics when `arms` is empty.
+    pub fn new(arms: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! requires at least one arm");
+        Union { arms }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let arm = rng.index(self.arms.len());
+        self.arms[arm].generate(rng)
+    }
+}
+
+macro_rules! int_range_strategies {
+    ($($t:ty),+) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128) - (self.start as i128);
+                let offset = (rng.next_u64() as i128).rem_euclid(span);
+                ((self.start as i128) + offset) as $t
+            }
+        }
+
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start() <= self.end(), "empty range strategy");
+                let span = (*self.end() as i128) - (*self.start() as i128) + 1;
+                let offset = (rng.next_u64() as i128).rem_euclid(span);
+                ((*self.start() as i128) + offset) as $t
+            }
+        }
+    )+};
+}
+
+int_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategies {
+    ($(($($S:ident $idx:tt),+))+) => {$(
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategies! {
+    (A 0)
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+    (A 0, B 1, C 2, D 3, E 4)
+    (A 0, B 1, C 2, D 3, E 4, F 5)
+}
+
+pub mod bool {
+    //! Strategies for `bool` values.
+
+    /// The strategy type of [`ANY`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    /// Uniformly random booleans (`proptest::bool::ANY`).
+    pub const ANY: Any = Any;
+
+    impl crate::Strategy for Any {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut crate::test_runner::TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod collection {
+    //! Strategies for collections.
+
+    use crate::{test_runner::TestRng, Strategy};
+
+    /// The strategy type returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: core::ops::Range<usize>,
+    }
+
+    /// Generates `Vec`s whose length is uniform in `size` and whose elements
+    /// are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: core::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(
+            size.start < size.end,
+            "empty size range for collection::vec"
+        );
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.size.end - self.size.start;
+            let len = self.size.start + rng.index(span);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Declares property tests. Each function runs [`cases()`] times with fresh
+/// inputs drawn from the strategies to the right of each `in`.
+#[macro_export]
+macro_rules! proptest {
+    ($( $(#[$attr:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block )*) => {$(
+        $(#[$attr])*
+        fn $name() {
+            let __strategies = ($($strat,)+);
+            let mut __rng = $crate::test_runner::TestRng::from_seed($crate::seed_from_name(
+                concat!(module_path!(), "::", stringify!($name)),
+            ));
+            for __case in 0..$crate::cases() {
+                let ($($arg,)+) = $crate::Strategy::generate(&__strategies, &mut __rng);
+                $body
+            }
+        }
+    )*};
+}
+
+/// Uniform choice between the listed strategies (all must yield one type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+/// Property-test assertion; panics on failure (no shrinking in this stub).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Property-test equality assertion; panics on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Property-test inequality assertion; panics on failure.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+pub mod prelude {
+    //! The glob-import surface: `use proptest::prelude::*;`.
+
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, BoxedStrategy, Just,
+        Strategy, Union,
+    };
+}

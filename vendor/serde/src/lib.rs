@@ -1,0 +1,18 @@
+//! Offline API stand-in for the `serde` crate.
+//!
+//! The build environment has no access to a cargo registry, so the workspace
+//! vendors a minimal substitute: the two marker traits plus re-exports of
+//! the no-op derives from the sibling `serde_derive` stub. Nothing in the
+//! workspace serializes data yet; the annotations on the trace/expr types
+//! record intent so that swapping in the real `serde` is a manifest-only
+//! change — see `vendor/README.md`.
+
+#![forbid(unsafe_code)]
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+pub use serde_derive::{Deserialize, Serialize};

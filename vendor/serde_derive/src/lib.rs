@@ -1,0 +1,22 @@
+//! Offline no-op stand-in for the `serde_derive` proc-macro crate.
+//!
+//! The build environment has no access to a cargo registry, so the workspace
+//! vendors a minimal substitute. The derives accept the `#[serde(...)]`
+//! helper attribute (so annotations like `#[serde(skip)]` parse) and expand
+//! to nothing: no code in this workspace consumes `Serialize`/`Deserialize`
+//! impls yet. Swapping in the real `serde`/`serde_derive` is a
+//! manifest-only change — see `vendor/README.md`.
+
+use proc_macro::TokenStream;
+
+/// No-op replacement for `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op replacement for `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -24,11 +24,21 @@ use tracelearn_automaton::{Nfa, StateId};
 use tracelearn_sat::{Cnf, Lit, Model, Var};
 
 /// Builder for the automaton-existence CNF.
+///
+/// The encoder supports an *incremental* protocol in addition to the one-shot
+/// [`AutomatonEncoder::encode`]: build the base constraint system once per
+/// state count with [`AutomatonEncoder::encode_base`], then after each
+/// [`AutomatonEncoder::forbid_sequence`] batch pull only the new
+/// path-exclusion clauses with [`AutomatonEncoder::delta_clauses`] and feed
+/// them to an already-running solver.
 #[derive(Debug, Clone)]
 pub struct AutomatonEncoder {
     windows: Vec<Vec<PredId>>,
     num_states: usize,
     forbidden: Vec<Vec<PredId>>,
+    /// How many entries of `forbidden` the last `encode_base` /
+    /// `delta_clauses` call already turned into clauses.
+    encoded_forbidden: usize,
 }
 
 /// The variable layout of an encoded instance, needed to decode a model.
@@ -40,6 +50,8 @@ pub struct Encoding {
     slot_vars: Vec<Vec<Vec<Var>>>,
     /// `succ_vars[(s, p, t)]`: the automaton has the transition `s --p--> t`.
     succ_vars: HashMap<(usize, PredId, usize), Var>,
+    /// The predicates occurring in the windows.
+    alphabet: BTreeSet<PredId>,
     num_states: usize,
 }
 
@@ -56,7 +68,26 @@ impl AutomatonEncoder {
             windows,
             num_states,
             forbidden: Vec::new(),
+            encoded_forbidden: 0,
         }
+    }
+
+    /// Retargets the encoder to a different state count, keeping the windows
+    /// and every registered forbidden sequence (path exclusions discovered at
+    /// one state count remain valid at every other: they are properties of
+    /// the predicate sequence, not of a particular automaton size).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_states` is zero.
+    pub fn set_num_states(&mut self, num_states: usize) {
+        assert!(num_states > 0, "at least one state is required");
+        self.num_states = num_states;
+    }
+
+    /// The windows this encoder constrains.
+    pub fn windows(&self) -> &[Vec<PredId>] {
+        &self.windows
     }
 
     /// Adds an invalid transition sequence that must not be a path of the
@@ -91,8 +122,48 @@ impl AutomatonEncoder {
         (slots + self.windows.len()) * states_per_slot + linkage + succ + symmetry + forbidden
     }
 
-    /// Builds the CNF instance.
+    /// Builds the CNF instance (base constraints plus every forbidden
+    /// sequence registered so far). Does not affect the incremental cursor
+    /// used by [`AutomatonEncoder::delta_clauses`].
     pub fn encode(&self) -> Encoding {
+        self.build()
+    }
+
+    /// Builds the CNF instance and marks every currently registered
+    /// forbidden sequence as encoded, so a subsequent
+    /// [`AutomatonEncoder::delta_clauses`] call yields only the exclusions
+    /// added after this point. Call once per candidate state count.
+    pub fn encode_base(&mut self) -> Encoding {
+        let encoding = self.build();
+        self.encoded_forbidden = self.forbidden.len();
+        encoding
+    }
+
+    /// Returns the path-exclusion clauses for the forbidden sequences added
+    /// since the last [`AutomatonEncoder::encode_base`] /
+    /// [`AutomatonEncoder::delta_clauses`] call, phrased over `encoding`'s
+    /// variables. Feeding them to the solver that loaded `encoding` brings it
+    /// up to date without rebuilding the formula.
+    pub fn delta_clauses(&mut self, encoding: &Encoding) -> Vec<Vec<Lit>> {
+        assert_eq!(
+            encoding.num_states, self.num_states,
+            "encoding was built for a different state count"
+        );
+        let mut clauses = Vec::new();
+        for sequence in &self.forbidden[self.encoded_forbidden..] {
+            push_exclusion_clauses(
+                sequence,
+                &encoding.alphabet,
+                &encoding.succ_vars,
+                self.num_states,
+                &mut clauses,
+            );
+        }
+        self.encoded_forbidden = self.forbidden.len();
+        clauses
+    }
+
+    fn build(&self) -> Encoding {
         let n = self.num_states;
         let mut cnf = Cnf::new();
 
@@ -181,44 +252,62 @@ impl AutomatonEncoder {
         }
 
         // Forbidden paths from the compliance check.
+        let mut exclusions = Vec::new();
         for sequence in &self.forbidden {
-            if sequence.iter().any(|p| !alphabet.contains(p)) {
-                // A sequence mentioning a predicate outside the alphabet can
-                // never be a path built from window slots.
-                continue;
-            }
-            let mut states = vec![0usize; sequence.len() + 1];
-            loop {
-                let lits: Vec<Lit> = sequence
-                    .iter()
-                    .enumerate()
-                    .map(|(k, &p)| Lit::positive(succ_vars[&(states[k], p, states[k + 1])]))
-                    .collect();
-                cnf.forbid_all(&lits);
-                // Advance the state tuple (odometer).
-                let mut position = 0;
-                loop {
-                    if position == states.len() {
-                        break;
-                    }
-                    states[position] += 1;
-                    if states[position] < n {
-                        break;
-                    }
-                    states[position] = 0;
-                    position += 1;
-                }
-                if position == states.len() {
-                    break;
-                }
-            }
+            push_exclusion_clauses(sequence, &alphabet, &succ_vars, n, &mut exclusions);
+        }
+        for clause in exclusions {
+            cnf.add_clause(clause);
         }
 
         Encoding {
             cnf,
             slot_vars,
             succ_vars,
+            alphabet,
             num_states: n,
+        }
+    }
+}
+
+/// Appends the clauses forbidding `sequence` as a path: for every state tuple
+/// `(s₀, …, s_k)`, not all of the transitions `s_i --p_i--> s_{i+1}` may be
+/// present.
+fn push_exclusion_clauses(
+    sequence: &[PredId],
+    alphabet: &BTreeSet<PredId>,
+    succ_vars: &HashMap<(usize, PredId, usize), Var>,
+    n: usize,
+    out: &mut Vec<Vec<Lit>>,
+) {
+    if sequence.iter().any(|p| !alphabet.contains(p)) {
+        // A sequence mentioning a predicate outside the alphabet can never be
+        // a path built from window slots.
+        return;
+    }
+    let mut states = vec![0usize; sequence.len() + 1];
+    loop {
+        let clause: Vec<Lit> = sequence
+            .iter()
+            .enumerate()
+            .map(|(k, &p)| Lit::negative(succ_vars[&(states[k], p, states[k + 1])]))
+            .collect();
+        out.push(clause);
+        // Advance the state tuple (odometer).
+        let mut position = 0;
+        loop {
+            if position == states.len() {
+                break;
+            }
+            states[position] += 1;
+            if states[position] < n {
+                break;
+            }
+            states[position] = 0;
+            position += 1;
+        }
+        if position == states.len() {
+            break;
         }
     }
 }
@@ -394,5 +483,73 @@ mod tests {
     #[should_panic(expected = "at least one window")]
     fn empty_windows_panic() {
         let _ = AutomatonEncoder::new(vec![], 2);
+    }
+
+    #[test]
+    fn delta_clauses_cover_only_new_forbidden_sequences() {
+        let mut alphabet = PredicateAlphabet::new();
+        let p = ids(&mut alphabet, 3);
+        let windows = vec![vec![p[0], p[1]], vec![p[1], p[2]]];
+        let mut encoder = AutomatonEncoder::new(windows, 2);
+        encoder.forbid_sequence(vec![p[2], p[0]]);
+        let encoding = encoder.encode_base();
+        // Already-encoded sequences do not reappear in the delta.
+        assert!(encoder.delta_clauses(&encoding).is_empty());
+        encoder.forbid_sequence(vec![p[2], p[2]]);
+        let delta = encoder.delta_clauses(&encoding);
+        // One exclusion clause per state tuple: n^(len+1) = 2^3.
+        assert_eq!(delta.len(), 8);
+        // The cursor advanced: pulling again yields nothing.
+        assert!(encoder.delta_clauses(&encoding).is_empty());
+        // Sequences outside the window alphabet contribute no clauses.
+        let mut extra = PredicateAlphabet::new();
+        let foreign = ids(&mut extra, 5);
+        encoder.forbid_sequence(vec![foreign[4]]);
+        assert!(encoder.delta_clauses(&encoding).is_empty());
+    }
+
+    #[test]
+    fn incremental_deltas_agree_with_from_scratch_encoding() {
+        let mut alphabet = PredicateAlphabet::new();
+        let p = ids(&mut alphabet, 3);
+        let windows = vec![vec![p[0], p[1]], vec![p[1], p[2]]];
+
+        // Incremental: base encoding + one solver, deltas fed as they come.
+        let mut encoder = AutomatonEncoder::new(windows.clone(), 2);
+        let encoding = encoder.encode_base();
+        let mut solver = Solver::from_cnf(&encoding.cnf);
+        assert!(solver.solve().is_sat());
+        encoder.forbid_sequence(vec![p[2], p[0]]);
+        encoder.forbid_sequence(vec![p[2], p[2]]);
+        for clause in encoder.delta_clauses(&encoding) {
+            solver.add_clause(clause);
+        }
+        let incremental = solver.solve();
+
+        // From scratch on the same constraint set.
+        let reference = Solver::from_cnf(&encoder.encode().cnf).solve();
+        assert_eq!(incremental.is_sat(), reference.is_sat());
+        // And forbidding an embedded window drives both to UNSAT.
+        encoder.forbid_sequence(vec![p[0], p[1]]);
+        for clause in encoder.delta_clauses(&encoding) {
+            solver.add_clause(clause);
+        }
+        assert!(solver.solve().is_unsat());
+        assert!(Solver::from_cnf(&encoder.encode().cnf).solve().is_unsat());
+    }
+
+    #[test]
+    fn set_num_states_retargets_and_keeps_forbidden_sequences() {
+        let mut alphabet = PredicateAlphabet::new();
+        let p = ids(&mut alphabet, 2);
+        let mut encoder = AutomatonEncoder::new(vec![vec![p[0], p[1]]], 4);
+        encoder.forbid_sequence(vec![p[0], p[1]]);
+        assert!(solve(&encoder).is_none(), "embedded window forbidden");
+        encoder.set_num_states(2);
+        assert_eq!(encoder.num_forbidden(), 1);
+        assert!(
+            solve(&encoder).is_none(),
+            "forbidden sequences survive retargeting"
+        );
     }
 }

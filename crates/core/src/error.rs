@@ -33,6 +33,13 @@ pub enum LearnError {
         /// Description of the budget that was exhausted.
         resource: String,
     },
+    /// The learner configuration is internally inconsistent (for example a
+    /// zero window length, a zero compliance path length, or an initial
+    /// state count above the maximum).
+    InvalidConfig {
+        /// Description of the inconsistency.
+        reason: String,
+    },
 }
 
 impl fmt::Display for LearnError {
@@ -59,6 +66,9 @@ impl fmt::Display for LearnError {
             }
             LearnError::BudgetExhausted { resource } => {
                 write!(f, "learning budget exhausted: {resource}")
+            }
+            LearnError::InvalidConfig { reason } => {
+                write!(f, "invalid learner configuration: {reason}")
             }
         }
     }
@@ -89,6 +99,11 @@ mod tests {
         }
         .to_string()
         .contains("clauses"));
+        assert!(LearnError::InvalidConfig {
+            reason: "window must be at least 1".into()
+        }
+        .to_string()
+        .contains("window"));
     }
 
     #[test]

@@ -117,6 +117,12 @@ pub struct LearnStats {
     pub solver_windows: usize,
     /// Number of SAT queries issued.
     pub sat_queries: usize,
+    /// Number of solvers constructed: with the incremental refinement loop
+    /// this is exactly one per candidate state count tried.
+    pub solvers_constructed: usize,
+    /// Learnt clauses carried into repeat queries on a reused solver, summed
+    /// over all queries after the first at each state count.
+    pub reused_learnt_clauses: u64,
     /// Number of compliance-refinement rounds performed.
     pub refinements: usize,
     /// Number of states of the learned automaton.
@@ -220,6 +226,7 @@ impl Learner {
     pub fn learn(&self, trace: &Trace) -> Result<LearnedModel, LearnError> {
         let start = Instant::now();
         let config = &self.config;
+        self.validate_config()?;
 
         // Phase 1: predicate synthesis.
         let extractor = PredicateExtractor::new(
@@ -253,9 +260,25 @@ impl Learner {
             synthesis_time,
             ..LearnStats::default()
         };
+        let limits = Limits {
+            max_conflicts: config.max_conflicts,
+            max_propagations: None,
+        };
 
+        // The windows move into the encoder once; forbidden sequences found
+        // by the compliance check are properties of the predicate sequence,
+        // so they are carried across state counts instead of rediscovered.
+        let mut encoder = AutomatonEncoder::new(windows, config.initial_states);
         for num_states in config.initial_states..=config.max_states {
-            let mut encoder = AutomatonEncoder::new(windows.clone(), num_states);
+            self.check_time(start)?;
+            encoder.set_num_states(num_states);
+            // One solver per candidate state count: the base encoding is
+            // built once, and each refinement round only feeds the solver the
+            // delta clauses for the newly forbidden sequences, keeping every
+            // learnt clause alive across rounds.
+            let encoding = encoder.encode_base();
+            let mut solver = Solver::from_cnf(&encoding.cnf);
+            stats.solvers_constructed += 1;
             let mut refinements_here = 0usize;
             loop {
                 self.check_time(start)?;
@@ -268,13 +291,10 @@ impl Learner {
                         ),
                     });
                 }
-                let encoding = encoder.encode();
-                let mut solver = Solver::from_cnf(&encoding.cnf);
+                if refinements_here > 0 {
+                    stats.reused_learnt_clauses += solver.num_learnts() as u64;
+                }
                 stats.sat_queries += 1;
-                let limits = Limits {
-                    max_conflicts: config.max_conflicts,
-                    max_propagations: None,
-                };
                 match solver.solve_with_limits(limits) {
                     SatResult::Unsat => break, // try more states
                     SatResult::Unknown => {
@@ -285,7 +305,7 @@ impl Learner {
                         })
                     }
                     SatResult::Sat(model) => {
-                        let candidate = encoding.decode(&windows, &model);
+                        let candidate = encoding.decode(encoder.windows(), &model);
                         let violations =
                             invalid_sequences(&candidate, &sequence, config.compliance_length);
                         if violations.is_empty() {
@@ -314,6 +334,9 @@ impl Learner {
                         for violation in violations {
                             encoder.forbid_sequence(violation);
                         }
+                        for clause in encoder.delta_clauses(&encoding) {
+                            solver.add_clause(clause);
+                        }
                     }
                 }
             }
@@ -322,6 +345,34 @@ impl Learner {
         Err(LearnError::NoAutomaton {
             max_states: config.max_states,
         })
+    }
+
+    fn validate_config(&self) -> Result<(), LearnError> {
+        let config = &self.config;
+        if config.window < 1 {
+            return Err(LearnError::InvalidConfig {
+                reason: "window length must be at least 1".to_owned(),
+            });
+        }
+        if config.compliance_length < 1 {
+            return Err(LearnError::InvalidConfig {
+                reason: "compliance path length must be at least 1".to_owned(),
+            });
+        }
+        if config.initial_states < 1 {
+            return Err(LearnError::InvalidConfig {
+                reason: "the search must start from at least 1 state".to_owned(),
+            });
+        }
+        if config.initial_states > config.max_states {
+            return Err(LearnError::InvalidConfig {
+                reason: format!(
+                    "initial state count {} exceeds the maximum {}",
+                    config.initial_states, config.max_states
+                ),
+            });
+        }
+        Ok(())
     }
 
     fn check_time(&self, start: Instant) -> Result<(), LearnError> {
@@ -431,6 +482,120 @@ mod tests {
             predicates.iter().any(|p| p.contains("CR_CONFIG_END")),
             "{predicates:?}"
         );
+    }
+
+    /// The seed's Phase-3 loop: a fresh encoding and a fresh solver for every
+    /// refinement round. Used as the reference the incremental loop must
+    /// agree with.
+    fn from_scratch_states(trace: &Trace, config: &LearnerConfig) -> usize {
+        let extractor = PredicateExtractor::new(
+            trace,
+            config.window,
+            config.synthesis.clone(),
+            &config.input_variables,
+        )
+        .unwrap();
+        let (sequence, _) = extractor.extract();
+        let windows = unique_windows(&sequence, config.window);
+        for num_states in config.initial_states..=config.max_states {
+            let mut encoder = AutomatonEncoder::new(windows.clone(), num_states);
+            loop {
+                let encoding = encoder.encode();
+                match Solver::from_cnf(&encoding.cnf).solve() {
+                    SatResult::Unsat => break,
+                    SatResult::Unknown => unreachable!("no limits were set"),
+                    SatResult::Sat(model) => {
+                        let candidate = encoding.decode(&windows, &model);
+                        let violations =
+                            invalid_sequences(&candidate, &sequence, config.compliance_length);
+                        if violations.is_empty() {
+                            return num_states;
+                        }
+                        for violation in violations {
+                            encoder.forbid_sequence(violation);
+                        }
+                    }
+                }
+            }
+        }
+        panic!("no automaton within the state bound");
+    }
+
+    #[test]
+    fn incremental_loop_agrees_with_from_scratch_refinement() {
+        for trace in [
+            small_counter(),
+            usb_slot::generate(&usb_slot::UsbSlotConfig {
+                length: 39,
+                seed: 0xDAC2020,
+            }),
+        ] {
+            let config = LearnerConfig::default();
+            let incremental = Learner::new(config.clone()).learn(&trace).unwrap();
+            let reference = from_scratch_states(&trace, &config);
+            assert_eq!(
+                incremental.num_states(),
+                reference,
+                "incremental refinement must find the same minimal state count"
+            );
+        }
+    }
+
+    #[test]
+    fn one_solver_per_candidate_state_count() {
+        let model = learn_with_defaults(&small_counter()).unwrap();
+        let stats = model.stats();
+        // The search starts at `initial_states` (2 by default) and constructs
+        // exactly one solver per candidate count up to the final one.
+        assert_eq!(
+            stats.solvers_constructed,
+            stats.states - LearnerConfig::default().initial_states + 1
+        );
+        assert!(stats.sat_queries >= stats.solvers_constructed);
+    }
+
+    #[test]
+    fn zero_window_is_an_invalid_config_not_a_panic() {
+        let config = LearnerConfig {
+            window: 0,
+            ..LearnerConfig::default()
+        };
+        match Learner::new(config).learn(&small_counter()) {
+            Err(LearnError::InvalidConfig { reason }) => assert!(reason.contains("window")),
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected_upfront() {
+        let trace = small_counter();
+        let zero_compliance = LearnerConfig {
+            compliance_length: 0,
+            ..LearnerConfig::default()
+        };
+        assert!(matches!(
+            Learner::new(zero_compliance).learn(&trace),
+            Err(LearnError::InvalidConfig { .. })
+        ));
+        let zero_initial = LearnerConfig {
+            initial_states: 0,
+            ..LearnerConfig::default()
+        };
+        assert!(matches!(
+            Learner::new(zero_initial).learn(&trace),
+            Err(LearnError::InvalidConfig { .. })
+        ));
+        let inverted_bounds = LearnerConfig {
+            initial_states: 8,
+            max_states: 4,
+            ..LearnerConfig::default()
+        };
+        match Learner::new(inverted_bounds).learn(&trace) {
+            Err(LearnError::InvalidConfig { reason }) => {
+                assert!(reason.contains('8') && reason.contains('4'), "{reason}");
+            }
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
     }
 
     #[test]

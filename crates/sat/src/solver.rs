@@ -4,19 +4,33 @@
 //! two-watched-literal unit propagation, first-UIP conflict analysis with
 //! clause learning and non-chronological backjumping, activity-ordered
 //! (VSIDS) decision making with phase saving, and Luby-sequence restarts.
+//!
+//! The solver is *incremental*: clauses and variables may be added between
+//! solve calls ([`Solver::add_clause`], [`Solver::new_var`]), learnt clauses
+//! are kept across calls (subject to activity-based database reduction), and
+//! [`Solver::solve_with_assumptions`] decides the formula under a set of
+//! temporary unit assumptions without permanently binding them. Resource
+//! [`Limits`] are accounted *per call*: each solve call gets its own fresh
+//! conflict and propagation budget, regardless of how much work earlier calls
+//! on the same solver performed.
 
 use crate::cnf::Cnf;
 use crate::lit::{Lit, Var};
 use crate::model::Model;
 
 /// Resource limits for a single [`Solver::solve_with_limits`] call.
+///
+/// Budgets are measured against the work performed by *that call alone*: a
+/// reused solver does not inherit the consumption of earlier calls.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Limits {
     /// Maximum number of conflicts before giving up with
     /// [`SatResult::Unknown`]. `None` means unlimited.
     pub max_conflicts: Option<u64>,
     /// Maximum number of unit propagations before giving up. `None` means
-    /// unlimited.
+    /// unlimited. The budget is checked *inside* the propagation loop (every
+    /// 1024 propagated literals), so a single runaway propagation pass cannot
+    /// overshoot it by more than that granularity.
     pub max_propagations: Option<u64>,
 }
 
@@ -33,6 +47,14 @@ impl Limits {
             max_propagations: None,
         }
     }
+
+    /// Limits the number of unit propagations.
+    pub fn propagations(max_propagations: u64) -> Self {
+        Limits {
+            max_conflicts: None,
+            max_propagations: Some(max_propagations),
+        }
+    }
 }
 
 /// Outcome of a solve call.
@@ -40,7 +62,9 @@ impl Limits {
 pub enum SatResult {
     /// The formula is satisfiable; a witnessing assignment is attached.
     Sat(Model),
-    /// The formula is unsatisfiable.
+    /// The formula is unsatisfiable. For
+    /// [`Solver::solve_with_assumptions`] this means unsatisfiable *under
+    /// the assumptions*; [`Solver::failed_assumptions`] names the culprits.
     Unsat,
     /// The resource budget was exhausted before an answer was found.
     Unknown,
@@ -79,11 +103,35 @@ pub struct SolverStats {
     pub learnt_clauses: u64,
     /// Number of restarts performed.
     pub restarts: u64,
+    /// Number of solve calls issued against this solver.
+    pub solve_calls: u64,
+    /// Number of learnt-clause database reductions performed.
+    pub db_reductions: u64,
+    /// Number of learnt clauses evicted by database reductions.
+    pub removed_learnts: u64,
+}
+
+impl SolverStats {
+    /// Field-wise difference `self - earlier`, used for per-call accounting.
+    fn since(&self, earlier: &SolverStats) -> SolverStats {
+        SolverStats {
+            decisions: self.decisions - earlier.decisions,
+            conflicts: self.conflicts - earlier.conflicts,
+            propagations: self.propagations - earlier.propagations,
+            learnt_clauses: self.learnt_clauses - earlier.learnt_clauses,
+            restarts: self.restarts - earlier.restarts,
+            solve_calls: self.solve_calls - earlier.solve_calls,
+            db_reductions: self.db_reductions - earlier.db_reductions,
+            removed_learnts: self.removed_learnts - earlier.removed_learnts,
+        }
+    }
 }
 
 #[derive(Debug, Clone)]
 struct Clause {
     lits: Vec<Lit>,
+    learnt: bool,
+    activity: f64,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -106,11 +154,22 @@ pub struct Solver {
     qhead: usize,
     activity: Vec<f64>,
     var_inc: f64,
+    cla_inc: f64,
     phase: Vec<bool>,
     heap: VarHeap,
     seen: Vec<bool>,
     ok: bool,
     stats: SolverStats,
+    last_call: SolverStats,
+    /// Learnt clauses currently attached to the database.
+    live_learnts: usize,
+    /// Reduce the learnt database when `live_learnts` reaches this; `0` means
+    /// "pick automatically on the first solve call".
+    learnt_limit: usize,
+    /// Absolute propagation count at which the current call must give up.
+    prop_limit: Option<u64>,
+    prop_budget_hit: bool,
+    failed: Vec<Lit>,
 }
 
 impl Solver {
@@ -133,11 +192,18 @@ impl Solver {
             qhead: 0,
             activity: vec![0.0; num_vars],
             var_inc: 1.0,
+            cla_inc: 1.0,
             phase: vec![false; num_vars],
             heap,
             seen: vec![false; num_vars],
             ok: true,
             stats: SolverStats::default(),
+            last_call: SolverStats::default(),
+            live_learnts: 0,
+            learnt_limit: 0,
+            prop_limit: None,
+            prop_budget_hit: false,
+            failed: Vec::new(),
         }
     }
 
@@ -150,14 +216,58 @@ impl Solver {
         solver
     }
 
-    /// Statistics accumulated so far.
+    /// Statistics accumulated over the solver's whole lifetime.
     pub fn stats(&self) -> SolverStats {
         self.stats
+    }
+
+    /// Statistics of the most recent solve call only (per-call counters).
+    pub fn last_call_stats(&self) -> SolverStats {
+        self.last_call
     }
 
     /// Number of variables known to the solver.
     pub fn num_vars(&self) -> usize {
         self.num_vars
+    }
+
+    /// Number of learnt clauses currently in the database — the clauses a
+    /// subsequent solve call on this solver will reuse.
+    pub fn num_learnts(&self) -> usize {
+        self.live_learnts
+    }
+
+    /// Allocates a fresh variable and returns it. The variable participates
+    /// in decisions and may appear in clauses added afterwards.
+    pub fn new_var(&mut self) -> Var {
+        let v = self.num_vars;
+        self.num_vars += 1;
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.assign.push(None);
+        self.level.push(0);
+        self.reason.push(None);
+        self.activity.push(0.0);
+        self.phase.push(false);
+        self.seen.push(false);
+        self.heap.grow();
+        self.heap.insert(v, &self.activity);
+        Var::new(u32::try_from(v).expect("variable count fits in u32"))
+    }
+
+    /// Sets the learnt-database size at which the next reduction triggers.
+    /// The limit then grows geometrically (×1.5) after every reduction.
+    pub fn set_learnt_limit(&mut self, limit: usize) {
+        self.learnt_limit = limit.max(1);
+    }
+
+    /// The subset of the assumptions passed to the last
+    /// [`Solver::solve_with_assumptions`] call that was used to derive its
+    /// `Unsat` answer (the "final conflict clause" in assumption terms).
+    /// Empty when the formula is unsatisfiable regardless of assumptions, or
+    /// when the last call did not end in assumption failure.
+    pub fn failed_assumptions(&self) -> &[Lit] {
+        &self.failed
     }
 
     fn lit_value(&self, lit: Lit) -> Option<bool> {
@@ -168,9 +278,9 @@ impl Solver {
         self.trail_lim.len() as u32
     }
 
-    /// Adds a clause. Must be called before [`Solver::solve`]; clauses added
-    /// after a solve call are still handled correctly because solving always
-    /// restarts from decision level zero.
+    /// Adds a clause. Clauses may be added between solve calls; solving
+    /// always restarts from decision level zero, so late additions are
+    /// handled correctly.
     ///
     /// # Panics
     ///
@@ -209,12 +319,12 @@ impl Solver {
                 }
             }
             _ => {
-                self.attach(clause);
+                self.attach(clause, false);
             }
         }
     }
 
-    fn attach(&mut self, lits: Vec<Lit>) -> usize {
+    fn attach(&mut self, lits: Vec<Lit>, learnt: bool) -> usize {
         let idx = self.clauses.len();
         self.watches[(!lits[0]).code()].push(Watch {
             clause: idx,
@@ -224,7 +334,14 @@ impl Solver {
             clause: idx,
             blocker: lits[0],
         });
-        self.clauses.push(Clause { lits });
+        if learnt {
+            self.live_learnts += 1;
+        }
+        self.clauses.push(Clause {
+            lits,
+            learnt,
+            activity: 0.0,
+        });
         idx
     }
 
@@ -245,6 +362,17 @@ impl Solver {
 
     fn propagate(&mut self) -> Option<usize> {
         while self.qhead < self.trail.len() {
+            // Enforce the propagation budget *inside* the loop (with 1024-step
+            // granularity) so a single long propagation pass cannot blow past
+            // it: the solve loop only regains control between conflicts.
+            if self.stats.propagations & 1023 == 0 {
+                if let Some(limit) = self.prop_limit {
+                    if self.stats.propagations >= limit {
+                        self.prop_budget_hit = true;
+                        return None;
+                    }
+                }
+            }
             let p = self.trail[self.qhead];
             self.qhead += 1;
             self.stats.propagations += 1;
@@ -333,6 +461,21 @@ impl Solver {
         self.heap.update(var, &self.activity);
     }
 
+    fn bump_clause(&mut self, idx: usize) {
+        if !self.clauses[idx].learnt {
+            return;
+        }
+        self.clauses[idx].activity += self.cla_inc;
+        if self.clauses[idx].activity > 1e20 {
+            for clause in &mut self.clauses {
+                if clause.learnt {
+                    clause.activity *= 1e-20;
+                }
+            }
+            self.cla_inc *= 1e-20;
+        }
+    }
+
     fn analyze(&mut self, mut conflict: usize) -> (Vec<Lit>, u32) {
         let mut learnt: Vec<Lit> = vec![Lit::positive(Var::new(0))]; // placeholder for the asserting literal
         let mut counter = 0usize;
@@ -341,6 +484,7 @@ impl Solver {
         let current = self.current_level();
 
         loop {
+            self.bump_clause(conflict);
             let clause_lits = self.clauses[conflict].lits.clone();
             let skip = usize::from(p.is_some());
             for &q in clause_lits.iter().skip(skip) {
@@ -395,6 +539,39 @@ impl Solver {
         (learnt, backtrack_level)
     }
 
+    /// Computes the subset of assumptions responsible for forcing the
+    /// assumption `p` false (MiniSat's `analyzeFinal`). The returned literals
+    /// are in the caller's polarity: the set cannot be jointly assumed.
+    fn analyze_final(&mut self, p: Lit) -> Vec<Lit> {
+        let mut out = vec![p];
+        if self.current_level() == 0 {
+            return out;
+        }
+        self.seen[p.var().index()] = true;
+        for i in (self.trail_lim[0]..self.trail.len()).rev() {
+            let lit = self.trail[i];
+            let v = lit.var().index();
+            if !self.seen[v] {
+                continue;
+            }
+            match self.reason[v] {
+                // Decisions above level 0 are exactly the assumptions.
+                None => out.push(lit),
+                Some(clause_idx) => {
+                    let lits = self.clauses[clause_idx].lits.clone();
+                    for &l in lits.iter().skip(1) {
+                        if self.level[l.var().index()] > 0 {
+                            self.seen[l.var().index()] = true;
+                        }
+                    }
+                }
+            }
+            self.seen[v] = false;
+        }
+        self.seen[p.var().index()] = false;
+        out
+    }
+
     fn backjump(&mut self, target_level: u32) {
         if self.current_level() <= target_level {
             return;
@@ -426,14 +603,122 @@ impl Solver {
         false
     }
 
+    /// Halves the learnt-clause database, evicting the clauses with the
+    /// lowest activity. Must be called at decision level 0. Reason clauses of
+    /// top-level assignments and binary clauses are never evicted.
+    fn reduce_db(&mut self) {
+        debug_assert_eq!(self.current_level(), 0, "reduce_db runs at level 0");
+        let mut locked = vec![false; self.clauses.len()];
+        for v in 0..self.num_vars {
+            if self.assign[v].is_some() {
+                if let Some(clause_idx) = self.reason[v] {
+                    locked[clause_idx] = true;
+                }
+            }
+        }
+        let mut candidates: Vec<usize> = (0..self.clauses.len())
+            .filter(|&i| self.clauses[i].learnt && !locked[i] && self.clauses[i].lits.len() > 2)
+            .collect();
+        candidates.sort_by(|&a, &b| {
+            self.clauses[a]
+                .activity
+                .partial_cmp(&self.clauses[b].activity)
+                .expect("clause activities are finite")
+        });
+        candidates.truncate(candidates.len() / 2);
+        if candidates.is_empty() {
+            // Nothing evictable: raise the limit so the check is not retried
+            // on every restart.
+            self.learnt_limit += self.learnt_limit / 2 + 1;
+            return;
+        }
+        let mut removed = vec![false; self.clauses.len()];
+        for &i in &candidates {
+            removed[i] = true;
+        }
+
+        // Compact the clause database and remap every stored index.
+        let mut remap = vec![usize::MAX; self.clauses.len()];
+        let mut kept = Vec::with_capacity(self.clauses.len() - candidates.len());
+        for (i, clause) in std::mem::take(&mut self.clauses).into_iter().enumerate() {
+            if !removed[i] {
+                remap[i] = kept.len();
+                kept.push(clause);
+            }
+        }
+        self.clauses = kept;
+        for clause_idx in self.reason.iter_mut().flatten() {
+            debug_assert_ne!(remap[*clause_idx], usize::MAX, "reason clause kept");
+            *clause_idx = remap[*clause_idx];
+        }
+        // Rebuild the watch lists: positions 0 and 1 are the watched literals
+        // by invariant, so this reproduces the pre-reduction watch state.
+        for list in &mut self.watches {
+            list.clear();
+        }
+        for (i, clause) in self.clauses.iter().enumerate() {
+            self.watches[(!clause.lits[0]).code()].push(Watch {
+                clause: i,
+                blocker: clause.lits[1],
+            });
+            self.watches[(!clause.lits[1]).code()].push(Watch {
+                clause: i,
+                blocker: clause.lits[0],
+            });
+        }
+        self.live_learnts -= candidates.len();
+        self.stats.db_reductions += 1;
+        self.stats.removed_learnts += candidates.len() as u64;
+        // Geometric schedule: allow the database to grow 1.5× larger before
+        // the next reduction.
+        self.learnt_limit += self.learnt_limit / 2;
+    }
+
     /// Solves the formula to completion.
     pub fn solve(&mut self) -> SatResult {
         self.solve_with_limits(Limits::unlimited())
     }
 
     /// Solves the formula, giving up with [`SatResult::Unknown`] when the
-    /// budget in `limits` is exhausted.
+    /// per-call budget in `limits` is exhausted.
     pub fn solve_with_limits(&mut self, limits: Limits) -> SatResult {
+        self.solve_with_assumptions(&[], limits)
+    }
+
+    /// Solves the formula under temporary unit `assumptions`.
+    ///
+    /// Assumptions act as forced first decisions: a `Sat` answer satisfies
+    /// all of them, while `Unsat` means the formula has no model in which
+    /// every assumption holds. In the latter case
+    /// [`Solver::failed_assumptions`] returns the subset of assumptions the
+    /// refutation actually used. Assumptions do not persist: the solver can
+    /// be reused afterwards with different (or no) assumptions, and learnt
+    /// clauses derived under assumptions remain valid because conflict
+    /// analysis never resolves on decision literals.
+    pub fn solve_with_assumptions(&mut self, assumptions: &[Lit], limits: Limits) -> SatResult {
+        let entry = self.stats;
+        self.stats.solve_calls += 1;
+        self.failed.clear();
+        for lit in assumptions {
+            assert!(
+                lit.var().index() < self.num_vars,
+                "assumption literal out of range"
+            );
+        }
+        if self.learnt_limit == 0 {
+            self.learnt_limit = (self.clauses.len() / 3).max(2000);
+        }
+        self.prop_limit = limits
+            .max_propagations
+            .map(|max| entry.propagations.saturating_add(max));
+        self.prop_budget_hit = false;
+        let result = self.search(assumptions, limits, &entry);
+        self.prop_limit = None;
+        self.last_call = self.stats.since(&entry);
+        result
+    }
+
+    fn search(&mut self, assumptions: &[Lit], limits: Limits, entry: &SolverStats) -> SatResult {
         if !self.ok {
             return SatResult::Unsat;
         }
@@ -442,19 +727,19 @@ impl Solver {
             self.ok = false;
             return SatResult::Unsat;
         }
+        if self.prop_budget_hit {
+            return self.give_up_on_propagations();
+        }
+        if self.live_learnts >= self.learnt_limit {
+            self.reduce_db();
+        }
 
         let mut conflicts_since_restart = 0u64;
         let mut restart_limit = 100u64 * luby(self.stats.restarts + 1);
 
         loop {
             if let Some(max) = limits.max_conflicts {
-                if self.stats.conflicts >= max {
-                    self.backjump(0);
-                    return SatResult::Unknown;
-                }
-            }
-            if let Some(max) = limits.max_propagations {
-                if self.stats.propagations >= max {
+                if self.stats.conflicts - entry.conflicts >= max {
                     self.backjump(0);
                     return SatResult::Unknown;
                 }
@@ -474,18 +759,49 @@ impl Solver {
                     debug_assert!(enqueued);
                 } else {
                     let asserting = learnt[0];
-                    let idx = self.attach(learnt);
+                    let idx = self.attach(learnt, true);
                     self.stats.learnt_clauses += 1;
                     let enqueued = self.enqueue(asserting, Some(idx));
                     debug_assert!(enqueued);
                 }
                 self.var_inc /= 0.95;
+                self.cla_inc /= 0.999;
             } else {
+                if self.prop_budget_hit {
+                    return self.give_up_on_propagations();
+                }
                 if conflicts_since_restart >= restart_limit {
                     self.stats.restarts += 1;
                     conflicts_since_restart = 0;
                     restart_limit = 100 * luby(self.stats.restarts + 1);
                     self.backjump(0);
+                    if self.live_learnts >= self.learnt_limit {
+                        self.reduce_db();
+                    }
+                    continue;
+                }
+                // Establish the next assumption as a pseudo-decision: level
+                // `i + 1` always belongs to `assumptions[i]`.
+                let next = self.current_level() as usize;
+                if next < assumptions.len() {
+                    let p = assumptions[next];
+                    match self.lit_value(p) {
+                        Some(true) => {
+                            // Already implied: open an empty level for it so
+                            // the level↔assumption correspondence holds.
+                            self.trail_lim.push(self.trail.len());
+                        }
+                        Some(false) => {
+                            self.failed = self.analyze_final(p);
+                            self.backjump(0);
+                            return SatResult::Unsat;
+                        }
+                        None => {
+                            self.trail_lim.push(self.trail.len());
+                            let enqueued = self.enqueue(p, None);
+                            debug_assert!(enqueued);
+                        }
+                    }
                     continue;
                 }
                 if !self.decide() {
@@ -501,6 +817,15 @@ impl Solver {
                 }
             }
         }
+    }
+
+    /// Abandons the current call after the propagation budget was hit inside
+    /// [`Solver::propagate`]. The propagation queue may be partially drained,
+    /// so the next call re-propagates the top-level trail from scratch.
+    fn give_up_on_propagations(&mut self) -> SatResult {
+        self.backjump(0);
+        self.qhead = 0;
+        SatResult::Unknown
     }
 }
 
@@ -542,6 +867,11 @@ impl VarHeap {
             heap: Vec::with_capacity(num_vars),
             position: vec![None; num_vars],
         }
+    }
+
+    /// Makes room for one more variable (see [`Solver::new_var`]).
+    fn grow(&mut self) {
+        self.position.push(None);
     }
 
     fn contains(&self, var: usize) -> bool {
@@ -651,6 +981,22 @@ mod tests {
         solver.solve()
     }
 
+    fn pigeonhole_clauses(pigeons: usize, holes: usize) -> (usize, Vec<Vec<Lit>>) {
+        let var = |pigeon: usize, hole: usize| lit(pigeon * holes + hole, true);
+        let mut clauses = Vec::new();
+        for p in 0..pigeons {
+            clauses.push((0..holes).map(|h| var(p, h)).collect::<Vec<_>>());
+        }
+        for h in 0..holes {
+            for a in 0..pigeons {
+                for b in (a + 1)..pigeons {
+                    clauses.push(vec![!var(a, h), !var(b, h)]);
+                }
+            }
+        }
+        (pigeons * holes, clauses)
+    }
+
     #[test]
     fn empty_formula_is_sat() {
         assert!(solve_clauses(3, &[]).is_sat());
@@ -676,20 +1022,8 @@ mod tests {
 
     #[test]
     fn pigeonhole_three_into_two_is_unsat() {
-        // Pigeon i in hole j: variable 2*i + j for i in 0..3, j in 0..2.
-        let var = |pigeon: usize, hole: usize| lit(2 * pigeon + hole, true);
-        let mut clauses = Vec::new();
-        for pigeon in 0..3 {
-            clauses.push(vec![var(pigeon, 0), var(pigeon, 1)]);
-        }
-        for hole in 0..2 {
-            for a in 0..3 {
-                for b in (a + 1)..3 {
-                    clauses.push(vec![!var(a, hole), !var(b, hole)]);
-                }
-            }
-        }
-        assert!(solve_clauses(6, &clauses).is_unsat());
+        let (num_vars, clauses) = pigeonhole_clauses(3, 2);
+        assert!(solve_clauses(num_vars, &clauses).is_unsat());
     }
 
     #[test]
@@ -734,33 +1068,201 @@ mod tests {
     #[test]
     fn limits_return_unknown() {
         // A hard pigeonhole instance with a tiny conflict budget.
-        let pigeons = 6usize;
-        let holes = 5usize;
-        let var = |pigeon: usize, hole: usize| lit(pigeon * holes + hole, true);
-        let mut clauses = Vec::new();
-        for p in 0..pigeons {
-            clauses.push((0..holes).map(|h| var(p, h)).collect::<Vec<_>>());
-        }
-        for h in 0..holes {
-            for a in 0..pigeons {
-                for b in (a + 1)..pigeons {
-                    clauses.push(vec![!var(a, h), !var(b, h)]);
-                }
-            }
-        }
-        let mut solver = Solver::new(pigeons * holes);
+        let (num_vars, clauses) = pigeonhole_clauses(6, 5);
+        let mut solver = Solver::new(num_vars);
         for clause in &clauses {
             solver.add_clause(clause.iter().copied());
         }
         let result = solver.solve_with_limits(Limits::conflicts(3));
         assert_eq!(result, SatResult::Unknown);
         // And without limits the instance is UNSAT.
-        let mut solver = Solver::new(pigeons * holes);
+        let mut solver = Solver::new(num_vars);
         for clause in &clauses {
             solver.add_clause(clause.iter().copied());
         }
         assert!(solver.solve().is_unsat());
         assert!(solver.stats().conflicts > 0);
+    }
+
+    /// Regression test for cumulative-budget accounting: a second call on a
+    /// reused solver must get its own conflict budget instead of being
+    /// charged for the lifetime total.
+    #[test]
+    fn limits_are_per_call_on_a_reused_solver() {
+        // Pigeonhole 6-into-5 with a relaxation literal r added to every
+        // capacity clause: under the assumption ¬r the instance is the hard
+        // UNSAT pigeonhole (burning many conflicts), without assumptions it
+        // is trivially SAT by setting r.
+        let (pigeons, holes) = (6usize, 5usize);
+        let var = |pigeon: usize, hole: usize| lit(pigeon * holes + hole, true);
+        let relax = lit(pigeons * holes, true);
+        let mut solver = Solver::new(pigeons * holes + 1);
+        for p in 0..pigeons {
+            solver.add_clause((0..holes).map(|h| var(p, h)));
+        }
+        for h in 0..holes {
+            for a in 0..pigeons {
+                for b in (a + 1)..pigeons {
+                    solver.add_clause([!var(a, h), !var(b, h), relax]);
+                }
+            }
+        }
+        let first = solver.solve_with_assumptions(&[!relax], Limits::unlimited());
+        assert!(first.is_unsat());
+        let lifetime_conflicts = solver.stats().conflicts;
+        assert!(
+            lifetime_conflicts >= 1,
+            "the refutation must cost conflicts"
+        );
+
+        // Second call with a conflict budget no larger than the lifetime
+        // total: under the old cumulative accounting this returned Unknown
+        // immediately even though the call itself did no work yet.
+        let result = solver.solve_with_limits(Limits::conflicts(lifetime_conflicts));
+        assert!(
+            result.is_sat(),
+            "second call spuriously hit a budget it never consumed: {result:?}"
+        );
+        assert_eq!(solver.last_call_stats().solve_calls, 1);
+        assert!(solver.last_call_stats().conflicts <= lifetime_conflicts);
+    }
+
+    #[test]
+    fn propagation_budget_is_enforced_inside_propagate() {
+        // A long implication chain: one decision triggers ~n propagations in
+        // a single propagate() pass.
+        let n = 8192;
+        let mut solver = Solver::new(n);
+        // x_{i+1} → x_i: the first decision (¬x0, phases default to false)
+        // collapses the whole chain in one propagate() pass.
+        for i in 0..(n - 1) {
+            solver.add_clause([lit(i, true), lit(i + 1, false)]);
+        }
+        let result = solver.solve_with_limits(Limits::propagations(2048));
+        assert_eq!(
+            result,
+            SatResult::Unknown,
+            "a single propagation pass must respect the budget"
+        );
+        // The overshoot is bounded by the 1024-step check granularity.
+        assert!(solver.last_call_stats().propagations <= 2048 + 1024);
+        // The same solver still answers correctly without limits.
+        assert!(solver.solve().is_sat());
+    }
+
+    #[test]
+    fn new_var_grows_a_live_solver() {
+        let mut solver = Solver::new(1);
+        solver.add_clause([lit(0, true)]);
+        assert!(solver.solve().is_sat());
+        let v = solver.new_var();
+        assert_eq!(solver.num_vars(), 2);
+        solver.add_clause([Lit::negative(v)]);
+        match solver.solve() {
+            SatResult::Sat(model) => {
+                assert!(model.value(Var::new(0)));
+                assert!(!model.value(v));
+            }
+            other => panic!("expected SAT, got {other:?}"),
+        }
+        solver.add_clause([Lit::positive(v)]);
+        assert!(solver.solve().is_unsat());
+    }
+
+    #[test]
+    fn assumptions_are_temporary() {
+        // (a ∨ b) with assumption ¬a forces b; without assumptions a is free.
+        let mut solver = Solver::new(2);
+        solver.add_clause([lit(0, true), lit(1, true)]);
+        match solver.solve_with_assumptions(&[lit(0, false)], Limits::unlimited()) {
+            SatResult::Sat(model) => {
+                assert!(!model.value(Var::new(0)));
+                assert!(model.value(Var::new(1)));
+            }
+            other => panic!("expected SAT, got {other:?}"),
+        }
+        // The assumption must not have been burned in.
+        match solver.solve_with_assumptions(&[lit(0, true), lit(1, false)], Limits::unlimited()) {
+            SatResult::Sat(model) => {
+                assert!(model.value(Var::new(0)));
+                assert!(!model.value(Var::new(1)));
+            }
+            other => panic!("expected SAT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn failed_assumptions_name_the_culprits() {
+        // a → b, b → c; assuming a and ¬c is contradictory, assuming d is not.
+        let mut solver = Solver::new(4);
+        solver.add_clause([lit(0, false), lit(1, true)]);
+        solver.add_clause([lit(1, false), lit(2, true)]);
+        let assumptions = [lit(3, true), lit(0, true), lit(2, false)];
+        let result = solver.solve_with_assumptions(&assumptions, Limits::unlimited());
+        assert!(result.is_unsat());
+        let failed = solver.failed_assumptions().to_vec();
+        assert!(!failed.is_empty());
+        // Every reported literal is one of the assumptions…
+        for l in &failed {
+            assert!(assumptions.contains(l), "{l} is not an assumption");
+        }
+        // …and the irrelevant assumption d is not blamed.
+        assert!(!failed.contains(&lit(3, true)));
+        // The sub-formula remains satisfiable without assumptions.
+        assert!(solver.solve().is_sat());
+    }
+
+    #[test]
+    fn unsat_without_assumptions_reports_no_failed_set() {
+        let mut solver = Solver::new(1);
+        solver.add_clause([lit(0, true)]);
+        solver.add_clause([lit(0, false)]);
+        let result = solver.solve_with_assumptions(&[], Limits::unlimited());
+        assert!(result.is_unsat());
+        assert!(solver.failed_assumptions().is_empty());
+    }
+
+    #[test]
+    fn assumption_false_at_top_level_fails_alone() {
+        let mut solver = Solver::new(2);
+        solver.add_clause([lit(0, false)]);
+        let result =
+            solver.solve_with_assumptions(&[lit(1, true), lit(0, true)], Limits::unlimited());
+        assert!(result.is_unsat());
+        assert_eq!(solver.failed_assumptions(), &[lit(0, true)]);
+    }
+
+    #[test]
+    fn learnt_database_reduction_keeps_answers_correct() {
+        let (num_vars, clauses) = pigeonhole_clauses(8, 7);
+        let mut solver = Solver::new(num_vars);
+        for clause in &clauses {
+            solver.add_clause(clause.iter().copied());
+        }
+        solver.set_learnt_limit(50);
+        assert!(solver.solve().is_unsat());
+        let stats = solver.stats();
+        assert!(stats.db_reductions > 0, "no reduction triggered: {stats:?}");
+        assert!(stats.removed_learnts > 0);
+    }
+
+    #[test]
+    fn incremental_solving_reuses_learnt_clauses() {
+        let (num_vars, clauses) = pigeonhole_clauses(7, 7);
+        let mut solver = Solver::new(num_vars);
+        for clause in &clauses {
+            solver.add_clause(clause.iter().copied());
+        }
+        assert!(solver.solve().is_sat());
+        let learnts = solver.num_learnts();
+        // Strengthen the formula and solve again on the same solver.
+        solver.add_clause([lit(0, false)]);
+        assert!(solver.solve().is_sat());
+        assert!(
+            solver.num_learnts() >= learnts,
+            "learnt clauses must be carried across calls"
+        );
+        assert_eq!(solver.stats().solve_calls, 2);
     }
 
     #[test]
@@ -823,6 +1325,61 @@ mod tests {
                     SatResult::Unsat => prop_assert!(!expected),
                     SatResult::Unknown => prop_assert!(false, "no limits were set"),
                 }
+            }
+
+            /// Incremental solving (solve, add clauses, solve again on the
+            /// same solver) agrees with a from-scratch solver on the combined
+            /// formula — learnt-clause reuse must not change answers.
+            #[test]
+            fn incremental_agrees_with_from_scratch(
+                base in proptest::collection::vec(clause_strategy(8), 0..25),
+                extra in proptest::collection::vec(clause_strategy(8), 0..25)
+            ) {
+                let mut incremental = Solver::new(8);
+                for clause in &base {
+                    incremental.add_clause(clause.iter().copied());
+                }
+                let first = incremental.solve();
+                prop_assert_eq!(first.is_sat(), brute_force_sat(8, &base));
+                for clause in &extra {
+                    incremental.add_clause(clause.iter().copied());
+                }
+                let second = incremental.solve();
+
+                let mut combined: Vec<Vec<Lit>> = base.clone();
+                combined.extend(extra.iter().cloned());
+                let expected = brute_force_sat(8, &combined);
+                match second {
+                    SatResult::Sat(model) => {
+                        prop_assert!(expected);
+                        prop_assert!(model.satisfies(&combined));
+                    }
+                    SatResult::Unsat => prop_assert!(!expected),
+                    SatResult::Unknown => prop_assert!(false, "no limits were set"),
+                }
+            }
+
+            /// Solving under assumptions agrees with burning the assumptions
+            /// in as unit clauses on a fresh solver.
+            #[test]
+            fn assumptions_agree_with_unit_clauses(
+                clauses in proptest::collection::vec(clause_strategy(6), 0..20),
+                assumed in proptest::collection::vec(
+                    (0..6usize, proptest::bool::ANY).prop_map(|(v, s)| lit(v, s)), 0..3)
+            ) {
+                let mut solver = Solver::new(6);
+                for clause in &clauses {
+                    solver.add_clause(clause.iter().copied());
+                }
+                let under_assumptions = solver
+                    .solve_with_assumptions(&assumed, Limits::unlimited())
+                    .is_sat();
+
+                let mut burned: Vec<Vec<Lit>> = clauses.clone();
+                for &a in &assumed {
+                    burned.push(vec![a]);
+                }
+                prop_assert_eq!(under_assumptions, brute_force_sat(6, &burned));
             }
         }
     }

@@ -140,6 +140,14 @@ fn rtlinux_model_covers_the_scheduler_alphabet() {
             "missing {event}: {predicates:?}"
         );
     }
+    // The incremental refinement loop constructs exactly one solver per
+    // candidate state count (the default search starts at 2 states).
+    let stats = model.stats();
+    assert_eq!(
+        stats.solvers_constructed,
+        stats.states - 1,
+        "expected one solver per candidate state count: {stats:?}"
+    );
 }
 
 #[test]
@@ -196,6 +204,8 @@ fn stats_are_populated() {
     assert!(stats.alphabet_size >= 3);
     assert!(stats.solver_windows < stats.predicate_count);
     assert!(stats.sat_queries >= 1);
+    assert!(stats.solvers_constructed >= 1);
+    assert!(stats.sat_queries >= stats.solvers_constructed);
     assert_eq!(stats.states, model.num_states());
     assert!(stats.total_time >= stats.solver_time);
 }

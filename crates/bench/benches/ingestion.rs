@@ -1,0 +1,53 @@
+//! Criterion benchmarks of trace ingestion: in-memory parse-then-learn vs
+//! streamed `learn_streamed` on a multi-million-row rtlinux trace.
+//!
+//! The row count defaults to 2,000,000 and can be overridden with the
+//! `TRACELEARN_INGEST_ROWS` environment variable (CI smoke-runs use a small
+//! value). The CSV is produced by the workloads' streaming emitter, so the
+//! input itself is generated without materialising a trace.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tracelearn_core::{Learner, LearnerConfig};
+use tracelearn_trace::{parse_csv, StreamingCsvReader};
+use tracelearn_workloads::Workload;
+
+fn rows() -> usize {
+    std::env::var("TRACELEARN_INGEST_ROWS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2_000_000)
+}
+
+fn bench_ingestion(c: &mut Criterion) {
+    let rows = rows();
+    let mut csv = Vec::new();
+    Workload::LinuxKernel
+        .write_csv(rows, 0xDAC2020, &mut csv)
+        .expect("writing to a Vec cannot fail");
+    let text = String::from_utf8(csv).expect("CSV is UTF-8");
+    let learner = Learner::new(LearnerConfig::default().with_stream_chunk(65_536));
+
+    let mut group = c.benchmark_group("ingestion/rtlinux");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::new("in_memory", rows), &text, |b, text| {
+        b.iter(|| {
+            let trace = parse_csv(std::hint::black_box(text)).expect("parseable");
+            learner.learn(&trace).expect("learnable")
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("streamed", rows), &text, |b, text| {
+        b.iter(|| {
+            let reader = StreamingCsvReader::new(std::hint::black_box(text).as_bytes())
+                .expect("parseable header");
+            learner.learn_streamed(reader).expect("learnable")
+        })
+    });
+    // Parse-only: isolates tokenizer + valuation construction cost.
+    group.bench_with_input(BenchmarkId::new("parse_only", rows), &text, |b, text| {
+        b.iter(|| parse_csv(std::hint::black_box(text)).expect("parseable"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ingestion);
+criterion_main!(benches);

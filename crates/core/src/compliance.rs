@@ -44,20 +44,66 @@ pub fn invalid_sequences(
     predicate_sequence: &[PredId],
     l: usize,
 ) -> Vec<Vec<PredId>> {
-    let allowed: HashSet<Vec<PredId>> = subsequences(predicate_sequence, l);
-    let mut invalid: Vec<Vec<PredId>> = candidate
-        .label_paths(l)
-        .paths
-        .into_iter()
-        .filter(|path| !allowed.contains(path))
-        .collect();
-    invalid.sort();
-    invalid
+    ComplianceChecker::new(std::slice::from_ref(&predicate_sequence.to_vec()), l).invalid(candidate)
 }
 
 /// Whether the candidate passes the compliance check.
 pub fn is_compliant(candidate: &Nfa<PredId>, predicate_sequence: &[PredId], l: usize) -> bool {
     invalid_sequences(candidate, predicate_sequence, l).is_empty()
+}
+
+/// The compliance oracle with its allowed-subsequence set precomputed.
+///
+/// The set of valid length-`l` subsequences is a property of the predicate
+/// sequence(s) alone — it never changes across refinement rounds or state
+/// counts — so the learner builds it **once** per run instead of rescanning
+/// the (possibly multi-million-element) sequence on every round. For
+/// multi-trace learning the set is the union over all traces: a behaviour is
+/// valid when *some* recorded run exhibits it, and no subsequence spanning
+/// two traces is ever admitted.
+#[derive(Debug, Clone)]
+pub struct ComplianceChecker {
+    allowed: HashSet<Vec<PredId>>,
+    l: usize,
+}
+
+impl ComplianceChecker {
+    /// Builds the checker from one predicate sequence per trace.
+    pub fn new(predicate_sequences: &[Vec<PredId>], l: usize) -> Self {
+        let mut allowed: HashSet<Vec<PredId>> = HashSet::new();
+        for sequence in predicate_sequences {
+            allowed.extend(subsequences(sequence, l));
+        }
+        ComplianceChecker { allowed, l }
+    }
+
+    /// The compliance path length `l`.
+    pub fn compliance_length(&self) -> usize {
+        self.l
+    }
+
+    /// Number of distinct valid length-`l` subsequences.
+    pub fn allowed_count(&self) -> usize {
+        self.allowed.len()
+    }
+
+    /// The invalid transition sequences of `candidate`, sorted so that
+    /// refinement is deterministic.
+    pub fn invalid(&self, candidate: &Nfa<PredId>) -> Vec<Vec<PredId>> {
+        let mut invalid: Vec<Vec<PredId>> = candidate
+            .label_paths(self.l)
+            .paths
+            .into_iter()
+            .filter(|path| !self.allowed.contains(path))
+            .collect();
+        invalid.sort();
+        invalid
+    }
+
+    /// Whether the candidate passes the compliance check.
+    pub fn is_compliant(&self, candidate: &Nfa<PredId>) -> bool {
+        self.invalid(candidate).is_empty()
+    }
 }
 
 #[cfg(test)]
@@ -103,6 +149,35 @@ mod tests {
         let invalid = invalid_sequences(&nfa, &sequence, 2);
         assert_eq!(invalid, vec![vec![p[0], p[0]], vec![p[1], p[1]]]);
         assert!(!is_compliant(&nfa, &sequence, 2));
+    }
+
+    #[test]
+    fn checker_unions_sequences_without_bridging_boundaries() {
+        let (_, p) = alphabet_of(3);
+        // Trace 1 exhibits [p0 p1], trace 2 exhibits [p1 p2]; the boundary
+        // pair [p1 p1] (last of trace 1, first of trace 2) is NOT valid.
+        let checker = ComplianceChecker::new(&[vec![p[0], p[1]], vec![p[1], p[2]]], 2);
+        assert_eq!(checker.compliance_length(), 2);
+        assert_eq!(checker.allowed_count(), 2);
+        let mut nfa = Nfa::new(2, StateId::new(0));
+        nfa.add_transition(StateId::new(0), p[0], StateId::new(1));
+        nfa.add_transition(StateId::new(1), p[1], StateId::new(1));
+        nfa.add_transition(StateId::new(1), p[2], StateId::new(0));
+        // [p1 p1] is a path of the candidate but no single trace backs it.
+        let invalid = checker.invalid(&nfa);
+        assert!(invalid.contains(&vec![p[1], p[1]]));
+        assert!(!checker.is_compliant(&nfa));
+    }
+
+    #[test]
+    fn checker_agrees_with_free_function() {
+        let (_, p) = alphabet_of(2);
+        let sequence = vec![p[0], p[1], p[0], p[1]];
+        let mut nfa = Nfa::new(1, StateId::new(0));
+        nfa.add_transition(StateId::new(0), p[0], StateId::new(0));
+        nfa.add_transition(StateId::new(0), p[1], StateId::new(0));
+        let checker = ComplianceChecker::new(std::slice::from_ref(&sequence), 2);
+        assert_eq!(checker.invalid(&nfa), invalid_sequences(&nfa, &sequence, 2));
     }
 
     #[test]

@@ -40,6 +40,9 @@ pub enum LearnError {
         /// Description of the inconsistency.
         reason: String,
     },
+    /// Ingesting or assembling the input trace(s) failed — parse errors and
+    /// I/O failures from the streaming path, or an empty trace set.
+    Trace(tracelearn_trace::TraceError),
 }
 
 impl fmt::Display for LearnError {
@@ -70,11 +73,25 @@ impl fmt::Display for LearnError {
             LearnError::InvalidConfig { reason } => {
                 write!(f, "invalid learner configuration: {reason}")
             }
+            LearnError::Trace(err) => write!(f, "trace ingestion failed: {err}"),
         }
     }
 }
 
-impl Error for LearnError {}
+impl Error for LearnError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            LearnError::Trace(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<tracelearn_trace::TraceError> for LearnError {
+    fn from(err: tracelearn_trace::TraceError) -> Self {
+        LearnError::Trace(err)
+    }
+}
 
 #[cfg(test)]
 mod tests {

@@ -1,14 +1,35 @@
-//! The end-to-end learner: Algorithm 1 of the paper.
+//! The end-to-end learner: Algorithm 1 of the paper, over one trace, many
+//! traces, or a stream.
+//!
+//! Three entry points share one pipeline:
+//!
+//! * [`Learner::learn`] — the paper's single in-memory trace;
+//! * [`Learner::learn_many`] — a [`TraceSet`] of recorded runs: predicate
+//!   windows are extracted *per trace* (never spanning a trace boundary) and
+//!   merged into one SAT instance over a shared alphabet;
+//! * [`Learner::learn_streamed`] — a [`StreamingCsvReader`]: observations
+//!   are consumed in bounded chunks, so only the chunk, the unique-window
+//!   set (small, by the paper's key insight) and the predicate-id sequence
+//!   stay resident — the raw trace never does.
 
-use crate::compliance::invalid_sequences;
+use crate::compliance::ComplianceChecker;
 use crate::encoding::AutomatonEncoder;
 use crate::error::LearnError;
-use crate::predicates::{PredId, PredicateAlphabet, PredicateExtractor};
+use crate::predicates::{PredId, PredicateAlphabet, PredicateExtractor, WindowAbstractor};
+use std::io::BufRead;
 use std::time::{Duration, Instant};
 use tracelearn_automaton::Nfa;
 use tracelearn_sat::{Limits, SatResult, Solver};
 use tracelearn_synth::SynthesisConfig;
-use tracelearn_trace::{unique_windows, Signature, SymbolTable, Trace};
+use tracelearn_trace::{
+    Signature, StreamingCsvReader, SymbolTable, Trace, TraceError, TraceSet, Valuation,
+    WindowCollector,
+};
+
+/// Smallest calibration prefix for streamed learning: enough observations to
+/// harvest synthesis constants, detect input variables and score dominant
+/// updates even when the caller configures a tiny chunk size.
+const MIN_STREAM_CALIBRATION: usize = 4096;
 
 /// Configuration of the learner (the tunable parameters of Algorithm 1).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -43,6 +64,11 @@ pub struct LearnerConfig {
     /// Names of variables to treat as unconstrained inputs (no update atoms),
     /// in addition to the automatically detected ones.
     pub input_variables: Vec<String>,
+    /// Number of observations [`Learner::learn_streamed`] reads per chunk —
+    /// the bound on the resident raw-observation count (plus a `w − 1`
+    /// overlap carry, and at least [`MIN_STREAM_CALIBRATION`] during the
+    /// initial calibration read).
+    pub stream_chunk: usize,
 }
 
 impl Default for LearnerConfig {
@@ -59,6 +85,7 @@ impl Default for LearnerConfig {
             time_budget: None,
             synthesis: SynthesisConfig::default(),
             input_variables: Vec::new(),
+            stream_chunk: 65_536,
         }
     }
 }
@@ -101,20 +128,35 @@ impl LearnerConfig {
         self.input_variables.push(name.into());
         self
     }
+
+    /// Sets the streamed-ingestion chunk size (observations per read).
+    pub fn with_stream_chunk(mut self, observations: usize) -> Self {
+        self.stream_chunk = observations;
+        self
+    }
 }
 
 /// Statistics of a learning run, reported alongside the model.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct LearnStats {
-    /// Number of observations in the input trace.
+    /// Total number of observations across all input traces.
     pub trace_length: usize,
-    /// Length of the predicate sequence `P`.
+    /// Length of the predicate sequence `P`, summed over traces.
     pub predicate_count: usize,
     /// Number of distinct predicates (alphabet size).
     pub alphabet_size: usize,
     /// Number of windows handed to the solver (after deduplication when
     /// segmentation is on).
     pub solver_windows: usize,
+    /// Number of input traces (shards).
+    pub shards: usize,
+    /// Unique windows *newly contributed* by each shard, in input order:
+    /// shard `i`'s count excludes windows already seen in shards `0..i`.
+    pub shard_windows: Vec<usize>,
+    /// Largest number of raw observations resident at once. Equals
+    /// `trace_length` for the in-memory paths; bounded by the chunk size
+    /// (plus calibration/overlap) for [`Learner::learn_streamed`].
+    pub peak_resident_observations: usize,
     /// Number of SAT queries issued.
     pub sat_queries: usize,
     /// Number of solvers constructed: with the incremental refinement loop
@@ -142,7 +184,9 @@ pub struct LearnedModel {
     alphabet: PredicateAlphabet,
     signature: Signature,
     symbols: SymbolTable,
-    predicate_sequence: Vec<PredId>,
+    /// One predicate sequence per input trace (a single entry for
+    /// [`Learner::learn`] and [`Learner::learn_streamed`]).
+    sequences: Vec<Vec<PredId>>,
     stats: LearnStats,
 }
 
@@ -157,14 +201,19 @@ impl LearnedModel {
         &self.alphabet
     }
 
-    /// The predicate sequence `P` the model was learned from.
+    /// The predicate sequence `P` of the first (or only) input trace.
     pub fn predicate_sequence(&self) -> &[PredId] {
-        &self.predicate_sequence
+        &self.sequences[0]
+    }
+
+    /// The predicate sequences of all input traces, in input order.
+    pub fn predicate_sequences(&self) -> &[Vec<PredId>] {
+        &self.sequences
     }
 
     /// Statistics of the learning run.
     pub fn stats(&self) -> LearnStats {
-        self.stats
+        self.stats.clone()
     }
 
     /// Number of states of the learned model.
@@ -225,8 +274,8 @@ impl Learner {
     /// "timeout" rows of the paper's Table I).
     pub fn learn(&self, trace: &Trace) -> Result<LearnedModel, LearnError> {
         let start = Instant::now();
-        let config = &self.config;
         self.validate_config()?;
+        let config = &self.config;
 
         // Phase 1: predicate synthesis.
         let extractor = PredicateExtractor::new(
@@ -238,32 +287,252 @@ impl Learner {
         let (sequence, alphabet) = extractor.extract();
         let synthesis_time = start.elapsed();
 
-        // Phase 2: segmentation of the predicate sequence.
-        let windows: Vec<Vec<PredId>> = if config.segmented {
-            if sequence.len() < config.window {
-                vec![sequence.clone()]
-            } else {
-                unique_windows(&sequence, config.window)
-            }
-        } else {
-            vec![sequence.clone()]
-        };
-        debug_assert!(!windows.is_empty());
-
-        // Phase 3: SAT-based search for the smallest compliant automaton.
-        let solver_start = Instant::now();
-        let mut stats = LearnStats {
+        // Phases 2 + 3.
+        let sequences = vec![sequence];
+        let (windows, shard_windows) = self.segment(&sequences);
+        let stats = LearnStats {
             trace_length: trace.len(),
-            predicate_count: sequence.len(),
+            predicate_count: sequences.iter().map(Vec::len).sum(),
             alphabet_size: alphabet.len(),
             solver_windows: windows.len(),
+            shards: 1,
+            shard_windows,
+            peak_resident_observations: trace.len(),
             synthesis_time,
             ..LearnStats::default()
         };
+        self.solve_phase(
+            windows,
+            sequences,
+            alphabet,
+            trace.signature().clone(),
+            trace.symbols().clone(),
+            stats,
+            start,
+        )
+    }
+
+    /// Learns one automaton from many traces of the same system.
+    ///
+    /// Predicate windows are extracted per trace — no window ever spans a
+    /// trace boundary — and merged (deduplicated) before the SAT search; the
+    /// compliance oracle likewise admits a length-`l` behaviour when *some*
+    /// input trace exhibits it. One [`WindowAbstractor`] — calibrated over
+    /// every run, with observation pairs never straddling a boundary (see
+    /// [`WindowAbstractor::from_calibration_set`]) — serves all shards with
+    /// a single predicate cache, which, together with the set's shared
+    /// symbol table, guarantees that identical window content in different
+    /// shards maps to the identical predicate id.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Learner::learn`]; an empty set reports
+    /// [`LearnError::Trace`] with [`TraceError::EmptyTrace`], and every
+    /// shard must individually satisfy the window-length requirement.
+    pub fn learn_many(&self, set: &TraceSet) -> Result<LearnedModel, LearnError> {
+        let start = Instant::now();
+        self.validate_config()?;
+        let config = &self.config;
+        if set.is_empty() {
+            return Err(LearnError::Trace(TraceError::EmptyTrace));
+        }
+        let w = config.window;
+
+        // Phase 1: one abstractor for all shards — calibrated over every
+        // run, but never pairing observations across a trace boundary — with
+        // one shared cache and alphabet, so identical window content in
+        // different shards is guaranteed the same predicate id. Windows
+        // themselves are taken per shard below; none spans a boundary.
+        let mut abstractor = WindowAbstractor::from_calibration_set(
+            set,
+            w,
+            config.synthesis.clone(),
+            &config.input_variables,
+        )?;
+        let mut alphabet = PredicateAlphabet::new();
+        let mut sequences = Vec::with_capacity(set.num_traces());
+        for shard in set.iter() {
+            let mut sequence = Vec::with_capacity(shard.len() + 1 - w);
+            for start in 0..=shard.len() - w {
+                sequence.push(abstractor.predicate_id(&shard[start..start + w], &mut alphabet));
+            }
+            sequences.push(sequence);
+        }
+        let synthesis_time = start.elapsed();
+
+        let (windows, shard_windows) = self.segment(&sequences);
+        let stats = LearnStats {
+            trace_length: set.total_observations(),
+            predicate_count: sequences.iter().map(Vec::len).sum(),
+            alphabet_size: alphabet.len(),
+            solver_windows: windows.len(),
+            shards: set.num_traces(),
+            shard_windows,
+            peak_resident_observations: set.total_observations(),
+            synthesis_time,
+            ..LearnStats::default()
+        };
+        self.solve_phase(
+            windows,
+            sequences,
+            alphabet,
+            set.signature().clone(),
+            set.symbols().clone(),
+            stats,
+            start,
+        )
+    }
+
+    /// Learns an automaton from a CSV stream without materialising the
+    /// trace.
+    ///
+    /// Observations are consumed in chunks of
+    /// [`stream_chunk`](LearnerConfig::stream_chunk); the resident state is
+    /// the current chunk (plus a `w − 1` overlap carry), the memoised
+    /// distinct observation windows, the predicate-id sequence (4 bytes per
+    /// observation) and the unique predicate windows — for a repetitive
+    /// multi-million-row trace this is orders of magnitude below the trace
+    /// itself.
+    ///
+    /// The predicate abstraction is *calibrated* on the stream's first
+    /// `max(stream_chunk, 4096)` observations (constant harvesting, input
+    /// detection, dominant updates). For traces whose variables are all
+    /// events/booleans the result is identical to [`Learner::learn`] on the
+    /// materialised trace; integer-updating variables match whenever the
+    /// calibration prefix exhibits the trace's integer behaviour.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Learner::learn`], plus [`LearnError::Trace`] for parse/I/O
+    /// failures of the stream.
+    pub fn learn_streamed<R: BufRead>(
+        &self,
+        mut reader: StreamingCsvReader<R>,
+    ) -> Result<LearnedModel, LearnError> {
+        let start = Instant::now();
+        self.validate_config()?;
+        let config = &self.config;
+        let w = config.window;
+        let chunk_size = config.stream_chunk.max(w);
+        let calibration_target = chunk_size.max(MIN_STREAM_CALIBRATION);
+
+        // Calibration: read a bounded prefix and fit the abstraction on it.
+        let mut buffer: Vec<Valuation> = Vec::with_capacity(calibration_target);
+        let mut scratch: Vec<Valuation> = Vec::new();
+        while buffer.len() < calibration_target {
+            let want = (calibration_target - buffer.len()).min(chunk_size);
+            if reader.read_chunk(want, &mut scratch)? == 0 {
+                break;
+            }
+            buffer.append(&mut scratch);
+        }
+        if buffer.len() < w {
+            return Err(LearnError::TraceTooShort {
+                trace_length: buffer.len(),
+                window: w,
+            });
+        }
+        let calibration = Trace::from_parts(
+            reader.signature().clone(),
+            reader.symbols().clone(),
+            buffer.clone(),
+        )?;
+        let mut abstractor = WindowAbstractor::from_calibration(
+            &calibration,
+            w,
+            config.synthesis.clone(),
+            &config.input_variables,
+        )?;
+        drop(calibration);
+
+        // Stream: abstract every window, retaining only a w − 1 overlap.
+        let mut alphabet = PredicateAlphabet::new();
+        let mut sequence: Vec<PredId> = Vec::new();
+        let mut total_observations = buffer.len();
+        let mut peak_resident = buffer.len();
+        loop {
+            self.check_time(start)?;
+            for s in 0..=buffer.len() - w {
+                sequence.push(abstractor.predicate_id(&buffer[s..s + w], &mut alphabet));
+            }
+            buffer.drain(..buffer.len() - (w - 1));
+            if reader.read_chunk(chunk_size, &mut scratch)? == 0 {
+                break;
+            }
+            total_observations += scratch.len();
+            buffer.append(&mut scratch);
+            peak_resident = peak_resident.max(buffer.len());
+        }
+        let (signature, symbols) = reader.into_parts();
+        // Ingestion and abstraction are interleaved on this path, so the
+        // whole pre-solver phase counts as synthesis time.
+        let synthesis_time = start.elapsed();
+
+        let sequences = vec![sequence];
+        let (windows, shard_windows) = self.segment(&sequences);
+        let stats = LearnStats {
+            trace_length: total_observations,
+            predicate_count: sequences.iter().map(Vec::len).sum(),
+            alphabet_size: alphabet.len(),
+            solver_windows: windows.len(),
+            shards: 1,
+            shard_windows,
+            peak_resident_observations: peak_resident,
+            synthesis_time,
+            ..LearnStats::default()
+        };
+        self.solve_phase(
+            windows, sequences, alphabet, signature, symbols, stats, start,
+        )
+    }
+
+    /// Phase 2: segments the per-trace predicate sequences into the unique
+    /// windows handed to the solver, never bridging trace boundaries.
+    ///
+    /// Returns the merged unique windows plus, per shard, the number of
+    /// unique windows that shard newly contributed.
+    fn segment(&self, sequences: &[Vec<PredId>]) -> (Vec<Vec<PredId>>, Vec<usize>) {
+        let config = &self.config;
+        let mut collector = WindowCollector::new(config.window);
+        let mut shard_windows = Vec::with_capacity(sequences.len());
+        for sequence in sequences {
+            let before = collector.unique_count();
+            if !config.segmented || sequence.len() < config.window {
+                // Full-trace mode, or a shard too short to window: the whole
+                // sequence stands in for a single segment.
+                collector.push_segment(sequence.clone());
+            } else {
+                collector.extend(sequence.iter().copied());
+                collector.end_trace();
+            }
+            shard_windows.push(collector.unique_count() - before);
+        }
+        (collector.into_unique(), shard_windows)
+    }
+
+    /// Phase 3: SAT-based search for the smallest compliant automaton.
+    #[allow(clippy::too_many_arguments)]
+    fn solve_phase(
+        &self,
+        windows: Vec<Vec<PredId>>,
+        sequences: Vec<Vec<PredId>>,
+        alphabet: PredicateAlphabet,
+        signature: Signature,
+        symbols: SymbolTable,
+        mut stats: LearnStats,
+        start: Instant,
+    ) -> Result<LearnedModel, LearnError> {
+        let config = &self.config;
+        debug_assert!(!windows.is_empty());
+        let solver_start = Instant::now();
         let limits = Limits {
             max_conflicts: config.max_conflicts,
             max_propagations: None,
         };
+        // The valid-subsequence set is a property of the input alone: build
+        // the compliance oracle once instead of rescanning the (possibly
+        // multi-million-element) sequences every refinement round.
+        let checker = ComplianceChecker::new(&sequences, config.compliance_length);
 
         // The windows move into the encoder once; forbidden sequences found
         // by the compliance check are properties of the predicate sequence,
@@ -306,8 +575,7 @@ impl Learner {
                     }
                     SatResult::Sat(model) => {
                         let candidate = encoding.decode(encoder.windows(), &model);
-                        let violations =
-                            invalid_sequences(&candidate, &sequence, config.compliance_length);
+                        let violations = checker.invalid(&candidate);
                         if violations.is_empty() {
                             stats.states = num_states;
                             stats.refinements += refinements_here;
@@ -316,9 +584,9 @@ impl Learner {
                             return Ok(LearnedModel {
                                 automaton: candidate,
                                 alphabet,
-                                signature: trace.signature().clone(),
-                                symbols: trace.symbols().clone(),
-                                predicate_sequence: sequence,
+                                signature,
+                                symbols,
+                                sequences,
                                 stats,
                             });
                         }
@@ -372,6 +640,11 @@ impl Learner {
                 ),
             });
         }
+        if config.stream_chunk < 1 {
+            return Err(LearnError::InvalidConfig {
+                reason: "stream chunk must be at least 1 observation".to_owned(),
+            });
+        }
         Ok(())
     }
 
@@ -399,7 +672,8 @@ pub fn learn_with_defaults(trace: &Trace) -> Result<LearnedModel, LearnError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tracelearn_trace::Value;
+    use crate::compliance::invalid_sequences;
+    use tracelearn_trace::{parse_csv, to_csv, unique_windows, Value};
     use tracelearn_workloads::{counter, usb_slot};
 
     fn small_counter() -> Trace {
@@ -432,6 +706,10 @@ mod tests {
         assert_eq!(stats.trace_length, 80);
         assert!(stats.sat_queries >= 1);
         assert!(stats.alphabet_size >= 3);
+        assert_eq!(stats.shards, 1);
+        assert_eq!(stats.shard_windows.len(), 1);
+        assert_eq!(stats.shard_windows[0], stats.solver_windows);
+        assert_eq!(stats.peak_resident_observations, 80);
     }
 
     #[test]
@@ -596,6 +874,16 @@ mod tests {
             }
             other => panic!("expected InvalidConfig, got {other:?}"),
         }
+        let zero_chunk = LearnerConfig {
+            stream_chunk: 0,
+            ..LearnerConfig::default()
+        };
+        match Learner::new(zero_chunk).learn(&trace) {
+            Err(LearnError::InvalidConfig { reason }) => {
+                assert!(reason.contains("stream chunk"), "{reason}");
+            }
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
     }
 
     #[test]
@@ -625,11 +913,13 @@ mod tests {
             .with_window(4)
             .with_compliance_length(3)
             .with_initial_states(0)
-            .with_input_variable("ip");
+            .with_input_variable("ip")
+            .with_stream_chunk(1024);
         assert_eq!(config.window, 4);
         assert_eq!(config.compliance_length, 3);
         assert_eq!(config.initial_states, 1);
         assert_eq!(config.input_variables, vec!["ip".to_owned()]);
+        assert_eq!(config.stream_chunk, 1024);
     }
 
     #[test]
@@ -638,5 +928,96 @@ mod tests {
         let dot = model.to_dot("counter");
         assert!(dot.contains("digraph counter"));
         assert!(dot.contains("x + 1"));
+    }
+
+    #[test]
+    fn learn_many_on_one_trace_matches_learn() {
+        let trace = small_counter();
+        let set = TraceSet::from_traces([&trace]).unwrap();
+        let learner = Learner::new(LearnerConfig::default());
+        let single = learner.learn(&trace).unwrap();
+        let many = learner.learn_many(&set).unwrap();
+        assert_eq!(single.num_states(), many.num_states());
+        assert_eq!(single.num_transitions(), many.num_transitions());
+        assert_eq!(single.stats().solver_windows, many.stats().solver_windows);
+        assert_eq!(many.stats().shards, 1);
+    }
+
+    #[test]
+    fn learn_many_merges_duplicate_shards_without_phantom_windows() {
+        let trace = small_counter();
+        let set = TraceSet::from_traces([&trace, &trace]).unwrap();
+        let learner = Learner::new(LearnerConfig::default());
+        let single = learner.learn(&trace).unwrap();
+        let many = learner.learn_many(&set).unwrap();
+        // The second identical shard contributes no new windows…
+        let stats = many.stats();
+        assert_eq!(stats.shards, 2);
+        assert_eq!(stats.shard_windows.len(), 2);
+        assert_eq!(stats.shard_windows[1], 0);
+        assert_eq!(stats.solver_windows, single.stats().solver_windows);
+        // …and the learned model is the same.
+        assert_eq!(many.num_states(), single.num_states());
+        assert_eq!(stats.trace_length, 160);
+        assert_eq!(many.predicate_sequences().len(), 2);
+    }
+
+    #[test]
+    fn learn_many_rejects_an_empty_set() {
+        let set = TraceSet::new(tracelearn_trace::Signature::builder().int("x").build());
+        assert!(matches!(
+            Learner::new(LearnerConfig::default()).learn_many(&set),
+            Err(LearnError::Trace(TraceError::EmptyTrace))
+        ));
+    }
+
+    #[test]
+    fn learn_streamed_matches_in_memory_on_a_counter_csv() {
+        // The whole trace fits in the calibration prefix, so the streamed
+        // abstraction is calibrated on exactly the data `learn` sees and the
+        // two paths must agree bit for bit.
+        let trace = counter::generate(&counter::CounterConfig {
+            threshold: 8,
+            length: 200,
+        });
+        let csv = to_csv(&trace).unwrap();
+        let learner = Learner::new(LearnerConfig::default().with_stream_chunk(64));
+        let in_memory = learner.learn(&parse_csv(&csv).unwrap()).unwrap();
+        let reader = StreamingCsvReader::new(csv.as_bytes()).unwrap();
+        let streamed = learner.learn_streamed(reader).unwrap();
+        assert_eq!(streamed.num_states(), in_memory.num_states());
+        assert_eq!(streamed.num_transitions(), in_memory.num_transitions());
+        assert_eq!(
+            streamed.predicate_sequence(),
+            in_memory.predicate_sequence()
+        );
+        assert_eq!(
+            streamed.stats().solver_windows,
+            in_memory.stats().solver_windows
+        );
+        assert_eq!(streamed.stats().trace_length, 200);
+    }
+
+    #[test]
+    fn learn_streamed_rejects_a_too_short_stream() {
+        let csv = "x:int\n1\n2\n";
+        let reader = StreamingCsvReader::new(csv.as_bytes()).unwrap();
+        match Learner::new(LearnerConfig::default()).learn_streamed(reader) {
+            Err(LearnError::TraceTooShort {
+                trace_length: 2,
+                window: 3,
+            }) => {}
+            other => panic!("expected TraceTooShort, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn learn_streamed_surfaces_parse_errors() {
+        let csv = "x:int\n1\n2\n3\n4\nnot_a_number\n";
+        let reader = StreamingCsvReader::new(csv.as_bytes()).unwrap();
+        match Learner::new(LearnerConfig::default()).learn_streamed(reader) {
+            Err(LearnError::Trace(TraceError::Parse { line: 6, .. })) => {}
+            other => panic!("expected a line-6 parse error, got {other:?}"),
+        }
     }
 }

@@ -58,6 +58,7 @@ pub mod predicates;
 mod error;
 mod learner;
 
+pub use crate::compliance::ComplianceChecker;
 pub use crate::error::LearnError;
 pub use crate::learner::{learn_with_defaults, LearnStats, LearnedModel, Learner, LearnerConfig};
-pub use crate::predicates::{PredId, PredicateAlphabet, PredicateExtractor};
+pub use crate::predicates::{PredId, PredicateAlphabet, PredicateExtractor, WindowAbstractor};

@@ -24,7 +24,9 @@ use std::collections::HashMap;
 use std::fmt;
 use tracelearn_expr::{IntTerm, Predicate, VarRef};
 use tracelearn_synth::{SynthesisConfig, Synthesizer};
-use tracelearn_trace::{Signature, StepPair, SymbolTable, Trace, Valuation, Value, VarId, VarKind};
+use tracelearn_trace::{
+    Signature, StepPair, SymbolTable, Trace, TraceSet, Valuation, Value, VarId, VarKind,
+};
 
 /// Identifier of an interned predicate in a [`PredicateAlphabet`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -100,10 +102,18 @@ impl PredicateAlphabet {
     }
 }
 
-/// Extracts the predicate sequence `P` of a trace.
+/// The per-window predicate abstraction, decoupled from any one trace.
+///
+/// An abstractor is *calibrated* on a trace (or a bounded calibration prefix
+/// when streaming): calibration harvests the synthesis constant pools,
+/// detects input-like variables and scores each integer variable's dominant
+/// update terms. After calibration, [`predicate_id`](Self::predicate_id)
+/// maps any observation window — from the calibration trace, another shard,
+/// or a live stream — to an interned predicate, memoising per distinct
+/// window content so repeating windows are synthesised once.
 #[derive(Debug)]
-pub struct PredicateExtractor<'a> {
-    trace: &'a Trace,
+pub struct WindowAbstractor {
+    signature: Signature,
     synthesizer: Synthesizer,
     window: usize,
     input_variables: Vec<VarId>,
@@ -112,10 +122,14 @@ pub struct PredicateExtractor<'a> {
     /// that e.g. every ordinary integrator step is labelled `op' = op + ip`
     /// rather than with an incidental value-specific term.
     dominant_updates: HashMap<VarId, Vec<(IntTerm, usize)>>,
+    /// Memoisation per distinct window content: long traces repeat the same
+    /// windows over and over, so each distinct window is synthesised once.
+    cache: HashMap<Vec<Valuation>, PredId>,
 }
 
-impl<'a> PredicateExtractor<'a> {
-    /// Creates an extractor with the given sliding-window length.
+impl WindowAbstractor {
+    /// Calibrates an abstractor on `trace` with the given sliding-window
+    /// length.
     ///
     /// `declared_inputs` names variables that should never receive an update
     /// atom (free inputs); further input-like variables are detected
@@ -126,8 +140,8 @@ impl<'a> PredicateExtractor<'a> {
     /// Returns [`LearnError::WindowTooSmall`] when `window < 2` and
     /// [`LearnError::TraceTooShort`] when the trace has fewer observations
     /// than the window.
-    pub fn new(
-        trace: &'a Trace,
+    pub fn from_calibration(
+        trace: &Trace,
         window: usize,
         synthesis: SynthesisConfig,
         declared_inputs: &[String],
@@ -150,8 +164,8 @@ impl<'a> PredicateExtractor<'a> {
             }
         }
         let synthesizer = Synthesizer::new(trace, synthesis);
-        // Sample steps across the whole trace to identify each variable's
-        // dominant update terms.
+        // Sample steps across the whole calibration trace to identify each
+        // variable's dominant update terms.
         let sample: Vec<StepPair<'_>> = {
             let stride = (trace.len() / 2048).max(1);
             trace.steps().step_by(stride).collect()
@@ -162,13 +176,99 @@ impl<'a> PredicateExtractor<'a> {
                 dominant_updates.insert(id, synthesizer.dominant_updates(id, &sample));
             }
         }
-        Ok(PredicateExtractor {
-            trace,
+        Ok(WindowAbstractor {
+            signature: trace.signature().clone(),
             synthesizer,
             window,
             input_variables,
             dominant_updates,
+            cache: HashMap::new(),
         })
+    }
+
+    /// Calibrates an abstractor on every trace of a [`TraceSet`].
+    ///
+    /// Input detection and dominant-update sampling aggregate evidence
+    /// across the shards **without ever pairing observations from two
+    /// different traces** — a discontinuity between runs must not read as
+    /// unpredictability or as a phantom update step. Only the synthesis
+    /// constant pools are harvested over a transient concatenation (dropped
+    /// before this returns); a boundary step can contribute at most one
+    /// spurious candidate constant per boundary, which widens the search
+    /// pool but can never make a predicate mis-describe a step.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LearnError::WindowTooSmall`] when `window < 2` and
+    /// [`LearnError::TraceTooShort`] when any shard has fewer observations
+    /// than the window.
+    pub fn from_calibration_set(
+        set: &TraceSet,
+        window: usize,
+        synthesis: SynthesisConfig,
+        declared_inputs: &[String],
+    ) -> Result<Self, LearnError> {
+        if window < 2 {
+            return Err(LearnError::WindowTooSmall { window });
+        }
+        let shards: Vec<&[Valuation]> = set.iter().collect();
+        for shard in &shards {
+            if shard.len() < window {
+                return Err(LearnError::TraceTooShort {
+                    trace_length: shard.len(),
+                    window,
+                });
+            }
+        }
+        let signature = set.signature();
+        let mut input_variables = detect_input_variables_sharded(signature, &shards);
+        for name in declared_inputs {
+            if let Some(id) = signature.var(name) {
+                if !input_variables.contains(&id) {
+                    input_variables.push(id);
+                }
+            }
+        }
+        let synthesizer = {
+            let mut all = Vec::with_capacity(set.total_observations());
+            for shard in &shards {
+                all.extend_from_slice(shard);
+            }
+            let concatenated = Trace::from_parts(signature.clone(), set.symbols().clone(), all)
+                .expect("trace-set observations match the shared signature");
+            Synthesizer::new(&concatenated, synthesis)
+        };
+        // Sample steps across all shards, never across a boundary.
+        let total: usize = shards.iter().map(|s| s.len()).sum();
+        let stride = (total / 2048).max(1);
+        let sample: Vec<StepPair<'_>> = shards
+            .iter()
+            .flat_map(|shard| {
+                shard.windows(2).step_by(stride).map(|pair| StepPair {
+                    current: &pair[0],
+                    next: &pair[1],
+                })
+            })
+            .collect();
+        let mut dominant_updates = HashMap::new();
+        for (id, var) in signature.iter() {
+            if var.kind() == VarKind::Int && !input_variables.contains(&id) {
+                dominant_updates.insert(id, synthesizer.dominant_updates(id, &sample));
+            }
+        }
+        Ok(WindowAbstractor {
+            signature: signature.clone(),
+            synthesizer,
+            window,
+            input_variables,
+            dominant_updates,
+            cache: HashMap::new(),
+        })
+    }
+
+    /// The sliding-window length the abstractor was calibrated for.
+    pub fn window(&self) -> usize {
+        self.window
     }
 
     /// The variables treated as unconstrained inputs.
@@ -176,31 +276,30 @@ impl<'a> PredicateExtractor<'a> {
         &self.input_variables
     }
 
-    /// Produces the predicate sequence `P` (one predicate per window
-    /// position) and the predicate alphabet.
-    pub fn extract(&self) -> (Vec<PredId>, PredicateAlphabet) {
-        let mut alphabet = PredicateAlphabet::new();
-        let mut sequence = Vec::new();
-        // Memoise per distinct window content: long traces repeat the same
-        // windows over and over, so each distinct window is synthesised once.
-        let mut cache: HashMap<Vec<Valuation>, PredId> = HashMap::new();
-        let observations = self.trace.observations();
-        let num_windows = observations.len() + 1 - self.window;
-        for start in 0..num_windows {
-            let window = &observations[start..start + self.window];
-            let key: Vec<Valuation> = window.to_vec();
-            let id = match cache.get(&key) {
-                Some(&id) => id,
-                None => {
-                    let predicate = self.window_predicate(window);
-                    let id = alphabet.intern(predicate);
-                    cache.insert(key, id);
-                    id
-                }
-            };
-            sequence.push(id);
+    /// Number of distinct window contents abstracted so far.
+    pub fn distinct_windows(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Maps one observation window to its predicate id, interning into
+    /// `alphabet` and memoising per distinct window content.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `window` is shorter than two observations (no step).
+    pub fn predicate_id(
+        &mut self,
+        window: &[Valuation],
+        alphabet: &mut PredicateAlphabet,
+    ) -> PredId {
+        assert!(window.len() >= 2, "a window needs at least one step");
+        if let Some(&id) = self.cache.get(window) {
+            return id;
         }
-        (sequence, alphabet)
+        let predicate = self.window_predicate(window);
+        let id = alphabet.intern(predicate);
+        self.cache.insert(window.to_vec(), id);
+        id
     }
 
     /// The predicate describing the first step of `window`, generalised over
@@ -214,7 +313,7 @@ impl<'a> PredicateExtractor<'a> {
             })
             .collect();
         let base = steps[0];
-        let signature = self.trace.signature();
+        let signature = &self.signature;
 
         // Context: steps agreeing with the base step on every event/bool
         // variable's next value.
@@ -302,6 +401,62 @@ impl<'a> PredicateExtractor<'a> {
     }
 }
 
+/// Extracts the predicate sequence `P` of a trace: a [`WindowAbstractor`]
+/// calibrated on the trace plus the loop mapping each of its windows.
+#[derive(Debug)]
+pub struct PredicateExtractor<'a> {
+    trace: &'a Trace,
+    abstractor: WindowAbstractor,
+}
+
+impl<'a> PredicateExtractor<'a> {
+    /// Creates an extractor with the given sliding-window length.
+    ///
+    /// # Errors
+    ///
+    /// See [`WindowAbstractor::from_calibration`].
+    pub fn new(
+        trace: &'a Trace,
+        window: usize,
+        synthesis: SynthesisConfig,
+        declared_inputs: &[String],
+    ) -> Result<Self, LearnError> {
+        let abstractor =
+            WindowAbstractor::from_calibration(trace, window, synthesis, declared_inputs)?;
+        Ok(PredicateExtractor { trace, abstractor })
+    }
+
+    /// The variables treated as unconstrained inputs.
+    pub fn input_variables(&self) -> &[VarId] {
+        self.abstractor.input_variables()
+    }
+
+    /// Produces the predicate sequence `P` (one predicate per window
+    /// position) and the predicate alphabet.
+    pub fn extract(mut self) -> (Vec<PredId>, PredicateAlphabet) {
+        let mut alphabet = PredicateAlphabet::new();
+        let sequence = self.extract_into(&mut alphabet);
+        (sequence, alphabet)
+    }
+
+    /// Like [`PredicateExtractor::extract`], but interning into a caller
+    /// supplied alphabet — the multi-trace path shares one alphabet across
+    /// every shard so that identical behaviour gets identical ids.
+    pub fn extract_into(&mut self, alphabet: &mut PredicateAlphabet) -> Vec<PredId> {
+        let observations = self.trace.observations();
+        let window = self.abstractor.window();
+        let num_windows = observations.len() + 1 - window;
+        let mut sequence = Vec::with_capacity(num_windows);
+        for start in 0..num_windows {
+            sequence.push(
+                self.abstractor
+                    .predicate_id(&observations[start..start + window], alphabet),
+            );
+        }
+        sequence
+    }
+}
+
 /// Detects variables that behave like free inputs — their next value is not
 /// predictable even from the recent history of the trace — such as the
 /// integrator's `ip`. Such variables get no update atom.
@@ -313,12 +468,22 @@ impl<'a> PredicateExtractor<'a> {
 /// direction, the queue length driven by the next operation) are predictable
 /// under this key and are therefore kept.
 pub fn detect_input_variables(trace: &Trace) -> Vec<VarId> {
+    detect_input_variables_sharded(trace.signature(), &[trace.observations()])
+}
+
+/// Multi-trace form of [`detect_input_variables`]: evidence is aggregated
+/// across the shards, but the three-observation context windows never span a
+/// shard boundary, so a discontinuity between two runs is not mistaken for
+/// unpredictability.
+pub fn detect_input_variables_sharded(
+    signature: &Signature,
+    shards: &[&[Valuation]],
+) -> Vec<VarId> {
     /// The context key a next value must be reproducible under: previous
     /// observation, current observation, and the next values of all
     /// event/boolean variables.
     type ObservationContext = (Vec<Value>, Vec<Value>, Vec<Value>);
 
-    let signature = trace.signature();
     let int_vars: Vec<VarId> = signature
         .iter()
         .filter(|(_, v)| v.kind() == VarKind::Int)
@@ -329,29 +494,30 @@ pub fn detect_input_variables(trace: &Trace) -> Vec<VarId> {
         .filter(|(_, v)| v.kind() != VarKind::Int)
         .map(|(id, _)| id)
         .collect();
-    let observations = trace.observations();
     let mut inputs = Vec::new();
     for &var in &int_vars {
         let mut first_seen: HashMap<ObservationContext, i64> = HashMap::new();
         let mut conflicts = 0usize;
         let mut total = 0usize;
-        for t in 1..observations.len().saturating_sub(1) {
-            let next_obs = &observations[t + 1];
-            let Some(next) = next_obs.try_get(var).and_then(Value::as_int) else {
-                continue;
-            };
-            let key = (
-                observations[t - 1].values().to_vec(),
-                observations[t].values().to_vec(),
-                discrete_vars.iter().map(|&d| next_obs.get(d)).collect(),
-            );
-            total += 1;
-            match first_seen.get(&key) {
-                None => {
-                    first_seen.insert(key, next);
+        for observations in shards {
+            for t in 1..observations.len().saturating_sub(1) {
+                let next_obs = &observations[t + 1];
+                let Some(next) = next_obs.try_get(var).and_then(Value::as_int) else {
+                    continue;
+                };
+                let key = (
+                    observations[t - 1].values().to_vec(),
+                    observations[t].values().to_vec(),
+                    discrete_vars.iter().map(|&d| next_obs.get(d)).collect(),
+                );
+                total += 1;
+                match first_seen.get(&key) {
+                    None => {
+                        first_seen.insert(key, next);
+                    }
+                    Some(&seen) if seen != next => conflicts += 1,
+                    Some(_) => {}
                 }
-                Some(&seen) if seen != next => conflicts += 1,
-                Some(_) => {}
             }
         }
         if total > 0 && conflicts * 5 > total {
@@ -484,6 +650,33 @@ mod tests {
                 .any(|p| p.contains("reset") && p.contains("x' = 0")),
             "{rendered:?}"
         );
+    }
+
+    #[test]
+    fn sharded_input_detection_ignores_run_boundaries() {
+        // 50 short runs of a variable that is fully deterministic *within*
+        // each run but starts at a run-specific value. Pairing observations
+        // across run boundaries would read those jumps as unpredictability.
+        let sig = Signature::builder().int("x").build();
+        let mut runs = Vec::new();
+        for r in 0..50i64 {
+            let mut t = Trace::new(sig.clone());
+            for v in [r * 100, 7, 8] {
+                t.push_row([Value::Int(v)]).unwrap();
+            }
+            runs.push(t);
+        }
+        let set = tracelearn_trace::TraceSet::from_traces(runs.iter()).unwrap();
+        let shards: Vec<&[Valuation]> = set.iter().collect();
+        assert!(
+            detect_input_variables_sharded(set.signature(), &shards).is_empty(),
+            "boundary jumps must not make a deterministic variable an input"
+        );
+        // The naive concatenation, by contrast, sees a conflict at every
+        // boundary (same [7, 8] context, run-specific successor) and
+        // misclassifies the variable — exactly what sharding prevents.
+        let concatenated: Vec<Valuation> = shards.concat();
+        assert!(!detect_input_variables_sharded(set.signature(), &[&concatenated]).is_empty());
     }
 
     #[test]

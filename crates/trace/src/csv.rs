@@ -1,4 +1,4 @@
-//! Minimal textual (CSV-like) serialisation of traces.
+//! Textual (CSV) serialisation of traces.
 //!
 //! The format is a header line `name:kind,name:kind,…` followed by one line
 //! per observation with comma-separated values. Integers are written as
@@ -6,74 +6,279 @@
 //! interchange format used by the example binaries and keeps recorded traces
 //! human-readable, mirroring how the paper's traces were produced with print
 //! statements.
+//!
+//! # Quoting rules
+//!
+//! Every valid trace round-trips losslessly, including event names that
+//! contain CSV metacharacters:
+//!
+//! * a field is written quoted (`"…"`) when it is empty or contains a comma,
+//!   a double quote, a newline, a carriage return, or leading/trailing
+//!   whitespace;
+//! * inside a quoted field, a double quote is escaped by doubling it (`""`);
+//! * quoted fields may span multiple lines (an embedded newline is kept
+//!   verbatim);
+//! * unquoted fields are trimmed of surrounding whitespace when parsed;
+//!   quoted fields are taken verbatim;
+//! * header fields are `name:kind` (split at the *last* colon, so variable
+//!   names may themselves contain colons) and must be non-empty; after the
+//!   field itself is unquoted/trimmed, the name is taken verbatim, so quoted
+//!   names with significant edge whitespace round-trip.
+//!
+//! One tokenizer implements these rules for both the in-memory functions
+//! here and the [`StreamingCsvReader`](crate::StreamingCsvReader) /
+//! [`CsvWriter`] streaming APIs, so the two paths can never disagree.
 
 use crate::error::TraceError;
 use crate::signature::{Signature, VarKind, Variable};
+use crate::stream::StreamingCsvReader;
+use crate::symbol::SymbolTable;
 use crate::trace::{RowEntry, Trace};
+use crate::valuation::Valuation;
 use crate::value::Value;
+use std::borrow::Cow;
+use std::io::Write;
 
-/// Serialises a trace to the textual format.
-///
-/// # Example
-///
-/// ```
-/// # use std::error::Error;
-/// # fn main() -> Result<(), Box<dyn Error>> {
-/// use tracelearn_trace::{parse_csv, to_csv, Signature, Trace, Value};
-///
-/// let sig = Signature::builder().int("x").build();
-/// let mut trace = Trace::new(sig);
-/// trace.push_row([Value::Int(5)])?;
-/// let text = to_csv(&trace);
-/// let back = parse_csv(&text)?;
-/// assert_eq!(back.len(), 1);
-/// # Ok(())
-/// # }
-/// ```
-pub fn to_csv(trace: &Trace) -> String {
-    let mut out = String::new();
-    let header: Vec<String> = trace
-        .signature()
-        .iter()
-        .map(|(_, v)| format!("{}:{}", v.name(), v.kind()))
-        .collect();
-    out.push_str(&header.join(","));
-    out.push('\n');
-    for t in 0..trace.len() {
-        let obs = trace.get(t).expect("index in range");
-        let row: Vec<String> = obs
-            .values()
-            .iter()
-            .map(|v| match v {
-                Value::Sym(s) => trace.symbols().name(*s).unwrap_or("<unknown>").to_owned(),
-                other => other.to_string(),
-            })
-            .collect();
-        out.push_str(&row.join(","));
-        out.push('\n');
-    }
-    out
+/// Whether `field` must be quoted to survive a round-trip.
+pub(crate) fn needs_quoting(field: &str) -> bool {
+    field.is_empty() || field != field.trim() || field.contains(['"', ',', '\n', '\r'])
 }
 
-/// Parses a trace from the textual format.
-///
-/// # Errors
-///
-/// Returns [`TraceError::Parse`] with the offending line number for malformed
-/// headers or rows, and propagates signature/valuation errors.
-pub fn parse_csv(text: &str) -> Result<Trace, TraceError> {
-    let mut lines = text.lines().enumerate();
-    let (_, header) = lines.next().ok_or(TraceError::EmptyTrace)?;
-    let mut vars = Vec::new();
-    for field in header.split(',') {
-        let field = field.trim();
-        if field.is_empty() {
-            continue;
+/// Appends `field` to `out`, quoting and escaping it when necessary.
+pub(crate) fn push_field(out: &mut String, field: &str) {
+    if needs_quoting(field) {
+        out.push('"');
+        for c in field.chars() {
+            if c == '"' {
+                out.push('"');
+            }
+            out.push(c);
         }
-        let (name, kind) = field.split_once(':').ok_or_else(|| TraceError::Parse {
+        out.push('"');
+    } else {
+        out.push_str(field);
+    }
+}
+
+/// Whether `record` is a complete CSV record: no field that *opened* with a
+/// quote is still unclosed (such a field contains an embedded newline and
+/// the record continues on the next line). A quote appearing mid-way through
+/// an unquoted field is a literal character — matching [`split_record`] —
+/// and must not make following rows look like part of this record.
+pub(crate) fn record_is_complete(record: &str) -> bool {
+    enum State {
+        /// At the start of a field (possibly after skippable whitespace).
+        FieldStart,
+        /// Inside an unquoted field (quotes here are literal).
+        Unquoted,
+        /// Inside a quoted field.
+        Quoted,
+        /// Just saw a `"` inside a quoted field: either the closing quote or
+        /// the first half of an escaped `""`.
+        QuoteInQuoted,
+        /// Past a closed quoted field, waiting for the separator.
+        AfterQuote,
+    }
+    let mut state = State::FieldStart;
+    for &b in record.as_bytes() {
+        state = match state {
+            State::FieldStart => match b {
+                b' ' | b'\t' | b',' => State::FieldStart,
+                b'"' => State::Quoted,
+                _ => State::Unquoted,
+            },
+            State::Unquoted => match b {
+                b',' => State::FieldStart,
+                _ => State::Unquoted,
+            },
+            State::Quoted => match b {
+                b'"' => State::QuoteInQuoted,
+                _ => State::Quoted,
+            },
+            State::QuoteInQuoted => match b {
+                b'"' => State::Quoted, // escaped quote, still inside
+                b',' => State::FieldStart,
+                _ => State::AfterQuote,
+            },
+            State::AfterQuote => match b {
+                b',' => State::FieldStart,
+                _ => State::AfterQuote,
+            },
+        };
+    }
+    // Only an open quoted field continues onto the next line; ending on
+    // `QuoteInQuoted` means the field's closing quote was the last byte.
+    !matches!(state, State::Quoted)
+}
+
+/// Splits one complete CSV record into its fields.
+///
+/// Unquoted fields are trimmed; quoted fields are unescaped and taken
+/// verbatim. Borrows from `record` whenever no unescaping is needed.
+pub(crate) fn split_record<'a>(
+    record: &'a str,
+    line: usize,
+) -> Result<Vec<Cow<'a, str>>, TraceError> {
+    let bytes = record.as_bytes();
+    let n = bytes.len();
+    let mut fields = Vec::new();
+    let mut i = 0usize;
+    loop {
+        // Find the start of the field, skipping blanks before a quote.
+        let mut j = i;
+        while j < n && (bytes[j] == b' ' || bytes[j] == b'\t') {
+            j += 1;
+        }
+        if j < n && bytes[j] == b'"' {
+            // Quoted field: scan to the closing quote. Records containing an
+            // escaped quote (`""`) take the character-level slow path.
+            let content_start = j + 1;
+            let mut k = content_start;
+            let closing;
+            loop {
+                if k >= n {
+                    return Err(TraceError::Parse {
+                        line,
+                        message: "unterminated quoted field".to_owned(),
+                    });
+                }
+                if bytes[k] == b'"' {
+                    if k + 1 < n && bytes[k + 1] == b'"' {
+                        return split_record_slow(record, line);
+                    }
+                    closing = k;
+                    break;
+                }
+                k += 1;
+            }
+            let value = Cow::Borrowed(&record[content_start..closing]);
+            // After the closing quote only whitespace may precede the comma.
+            let mut m = closing + 1;
+            while m < n && (bytes[m] == b' ' || bytes[m] == b'\t') {
+                m += 1;
+            }
+            if m < n && bytes[m] != b',' {
+                return Err(TraceError::Parse {
+                    line,
+                    message: "unexpected characters after closing quote".to_owned(),
+                });
+            }
+            fields.push(value);
+            if m < n {
+                i = m + 1;
+            } else {
+                break;
+            }
+        } else {
+            // Unquoted field: up to the next comma, trimmed.
+            let mut k = i;
+            while k < n && bytes[k] != b',' {
+                k += 1;
+            }
+            fields.push(Cow::Borrowed(record[i..k].trim()));
+            if k < n {
+                i = k + 1;
+            } else {
+                break;
+            }
+        }
+    }
+    Ok(fields)
+}
+
+/// Character-by-character fallback for records whose quoted fields contain
+/// escaped quotes (`""`). Rare, so clarity beats zero-copy here.
+fn split_record_slow(record: &str, line: usize) -> Result<Vec<Cow<'_, str>>, TraceError> {
+    let mut fields = Vec::new();
+    let mut chars = record.chars().peekable();
+    loop {
+        // Skip whitespace before a potential opening quote.
+        let mut pending = String::new();
+        while matches!(chars.peek(), Some(' ' | '\t')) {
+            pending.push(chars.next().expect("peeked"));
+        }
+        if chars.peek() == Some(&'"') {
+            chars.next();
+            let mut value = String::new();
+            loop {
+                match chars.next() {
+                    Some('"') => {
+                        if chars.peek() == Some(&'"') {
+                            chars.next();
+                            value.push('"');
+                        } else {
+                            break;
+                        }
+                    }
+                    Some(c) => value.push(c),
+                    None => {
+                        return Err(TraceError::Parse {
+                            line,
+                            message: "unterminated quoted field".to_owned(),
+                        })
+                    }
+                }
+            }
+            while matches!(chars.peek(), Some(' ' | '\t')) {
+                chars.next();
+            }
+            match chars.next() {
+                Some(',') => fields.push(Cow::Owned(value)),
+                None => {
+                    fields.push(Cow::Owned(value));
+                    break;
+                }
+                Some(_) => {
+                    return Err(TraceError::Parse {
+                        line,
+                        message: "unexpected characters after closing quote".to_owned(),
+                    })
+                }
+            }
+        } else {
+            // Unquoted field (the skipped whitespace belongs to it, then it
+            // is trimmed anyway).
+            let mut value = pending;
+            let mut ended = false;
+            for c in chars.by_ref() {
+                if c == ',' {
+                    ended = true;
+                    break;
+                }
+                value.push(c);
+            }
+            fields.push(Cow::Owned(value.trim().to_owned()));
+            if !ended {
+                break;
+            }
+        }
+    }
+    Ok(fields)
+}
+
+/// Parses the header record into a signature.
+pub(crate) fn parse_header(record: &str) -> Result<Signature, TraceError> {
+    let mut vars = Vec::new();
+    for field in split_record(record, 1)? {
+        if field.trim().is_empty() {
+            return Err(TraceError::Parse {
+                line: 1,
+                message: "empty header field (a column is missing its `name:kind`)".to_owned(),
+            });
+        }
+        let (name, kind) = field.rsplit_once(':').ok_or_else(|| TraceError::Parse {
             line: 1,
             message: format!("header field `{field}` is missing `:kind`"),
         })?;
+        // The name is kept verbatim (the tokenizer already trimmed unquoted
+        // fields): trimming here would destroy quoted names with significant
+        // edge whitespace and break round-tripping.
+        if name.is_empty() {
+            return Err(TraceError::Parse {
+                line: 1,
+                message: format!("header field `{field}` has an empty variable name"),
+            });
+        }
         let kind = match kind.trim() {
             "int" => VarKind::Int,
             "bool" => VarKind::Bool,
@@ -85,55 +290,221 @@ pub fn parse_csv(text: &str) -> Result<Trace, TraceError> {
                 })
             }
         };
-        vars.push(Variable::new(name.trim(), kind));
+        vars.push(Variable::new(name, kind));
     }
-    let signature = Signature::from_variables(vars)?;
-    let mut trace = Trace::new(signature.clone());
-    for (index, line) in lines {
-        let line_no = index + 1;
-        if line.trim().is_empty() {
-            continue;
+    Signature::from_variables(vars)
+}
+
+/// Formats the header record for a signature, with quoting.
+pub(crate) fn header_record(signature: &Signature) -> String {
+    let mut out = String::new();
+    for (i, (_, var)) in signature.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
         }
-        let fields: Vec<&str> = line.split(',').map(str::trim).collect();
-        if fields.len() != signature.arity() {
-            return Err(TraceError::Parse {
-                line: line_no,
-                message: format!(
-                    "expected {} fields, found {}",
-                    signature.arity(),
-                    fields.len()
-                ),
+        push_field(&mut out, &format!("{}:{}", var.name(), var.kind()));
+    }
+    out
+}
+
+/// A streaming CSV emitter over any [`Write`] sink.
+///
+/// The header is written on construction; rows are appended one at a time
+/// without buffering the whole trace, which is how multi-million-row
+/// workload traces are exported without materialising them.
+///
+/// # Example
+///
+/// ```
+/// # use std::error::Error;
+/// # fn main() -> Result<(), Box<dyn Error>> {
+/// use tracelearn_trace::{CsvWriter, RowEntry, Signature, Value};
+///
+/// let sig = Signature::builder().event("op").int("x").build();
+/// let mut out = Vec::new();
+/// let mut writer = CsvWriter::new(&mut out, &sig)?;
+/// writer.write_entries(&[RowEntry::Event("read,write"), RowEntry::Value(Value::Int(3))])?;
+/// writer.finish()?;
+/// assert_eq!(String::from_utf8(out)?, "op:event,x:int\n\"read,write\",3\n");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct CsvWriter<W: Write> {
+    out: W,
+    arity: usize,
+    /// Per-row scratch buffer, reused across rows.
+    buf: String,
+}
+
+impl<W: Write> CsvWriter<W> {
+    /// Creates a writer and emits the header for `signature`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Io`] when the sink fails.
+    pub fn new(mut out: W, signature: &Signature) -> Result<Self, TraceError> {
+        let mut header = header_record(signature);
+        header.push('\n');
+        out.write_all(header.as_bytes())?;
+        Ok(CsvWriter {
+            out,
+            arity: signature.arity(),
+            buf: String::new(),
+        })
+    }
+
+    /// Writes one observation given as named-row entries (events by name).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::ArityMismatch`] for a wrong-width row,
+    /// [`TraceError::UnresolvedSymbol`] for a [`Value::Sym`] entry (a bare
+    /// symbol id has no name without a table — pass events as
+    /// [`RowEntry::Event`]), and [`TraceError::Io`] when the sink fails.
+    pub fn write_entries(&mut self, row: &[RowEntry<'_>]) -> Result<(), TraceError> {
+        if row.len() != self.arity {
+            return Err(TraceError::ArityMismatch {
+                expected: self.arity,
+                got: row.len(),
             });
         }
-        let mut row = Vec::with_capacity(fields.len());
-        for (id, var) in signature.iter() {
-            let field = fields[id.index()];
-            let entry = match var.kind() {
-                VarKind::Int => RowEntry::Value(Value::Int(field.parse().map_err(|_| {
-                    TraceError::Parse {
-                        line: line_no,
-                        message: format!("`{field}` is not an integer"),
-                    }
-                })?)),
-                VarKind::Bool => RowEntry::Value(Value::Bool(field.parse().map_err(|_| {
-                    TraceError::Parse {
-                        line: line_no,
-                        message: format!("`{field}` is not a boolean"),
-                    }
-                })?)),
-                VarKind::Event => RowEntry::Event(field),
-            };
-            row.push(entry);
+        self.buf.clear();
+        for (i, entry) in row.iter().enumerate() {
+            if i > 0 {
+                self.buf.push(',');
+            }
+            match entry {
+                RowEntry::Event(name) => push_field(&mut self.buf, name),
+                RowEntry::Value(Value::Sym(s)) => {
+                    return Err(TraceError::UnresolvedSymbol { symbol: s.index() })
+                }
+                RowEntry::Value(v) => {
+                    use std::fmt::Write as _;
+                    write!(self.buf, "{v}").expect("writing to a String cannot fail");
+                }
+            }
         }
-        trace.push_named_row(row)?;
+        self.buf.push('\n');
+        self.out.write_all(self.buf.as_bytes())?;
+        Ok(())
     }
-    Ok(trace)
+
+    /// Writes one observation, resolving symbolic values through `symbols`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::UnresolvedSymbol`] when a [`Value::Sym`] id is
+    /// not present in `symbols`, plus the errors of
+    /// [`CsvWriter::write_entries`].
+    pub fn write_valuation(
+        &mut self,
+        symbols: &SymbolTable,
+        observation: &Valuation,
+    ) -> Result<(), TraceError> {
+        if observation.arity() != self.arity {
+            return Err(TraceError::ArityMismatch {
+                expected: self.arity,
+                got: observation.arity(),
+            });
+        }
+        self.buf.clear();
+        for (i, &value) in observation.values().iter().enumerate() {
+            if i > 0 {
+                self.buf.push(',');
+            }
+            match value {
+                Value::Sym(s) => {
+                    let name = symbols
+                        .name(s)
+                        .ok_or(TraceError::UnresolvedSymbol { symbol: s.index() })?;
+                    push_field(&mut self.buf, name);
+                }
+                other => {
+                    use std::fmt::Write as _;
+                    write!(self.buf, "{other}").expect("writing to a String cannot fail");
+                }
+            }
+        }
+        self.buf.push('\n');
+        self.out.write_all(self.buf.as_bytes())?;
+        Ok(())
+    }
+
+    /// Flushes the sink and returns it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Io`] when flushing fails.
+    pub fn finish(mut self) -> Result<W, TraceError> {
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+/// Writes a whole trace to a [`Write`] sink in the textual format.
+///
+/// # Errors
+///
+/// Returns [`TraceError::UnresolvedSymbol`] when an observation holds a
+/// symbol id missing from the trace's own symbol table (such a value cannot
+/// be serialised faithfully) and [`TraceError::Io`] when the sink fails.
+pub fn write_csv<W: Write>(trace: &Trace, out: W) -> Result<W, TraceError> {
+    let mut writer = CsvWriter::new(out, trace.signature())?;
+    for observation in trace.observations() {
+        writer.write_valuation(trace.symbols(), observation)?;
+    }
+    writer.finish()
+}
+
+/// Serialises a trace to the textual format.
+///
+/// # Errors
+///
+/// Returns [`TraceError::UnresolvedSymbol`] when an observation holds a
+/// symbol id missing from the trace's symbol table; rendering such a value
+/// as a placeholder would silently round-trip into a fabricated event name.
+///
+/// # Example
+///
+/// ```
+/// # use std::error::Error;
+/// # fn main() -> Result<(), Box<dyn Error>> {
+/// use tracelearn_trace::{parse_csv, to_csv, Signature, Trace, Value};
+///
+/// let sig = Signature::builder().int("x").build();
+/// let mut trace = Trace::new(sig);
+/// trace.push_row([Value::Int(5)])?;
+/// let text = to_csv(&trace)?;
+/// let back = parse_csv(&text)?;
+/// assert_eq!(back.len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn to_csv(trace: &Trace) -> Result<String, TraceError> {
+    let out = write_csv(trace, Vec::new())?;
+    Ok(String::from_utf8(out).expect("CSV output is valid UTF-8"))
+}
+
+/// Parses a trace from the textual format.
+///
+/// This is the in-memory convenience wrapper around
+/// [`StreamingCsvReader`](crate::StreamingCsvReader); both share one
+/// tokenizer and accept exactly the same inputs.
+///
+/// # Errors
+///
+/// Returns [`TraceError::Parse`] with the offending line number for malformed
+/// headers or rows, and propagates signature/valuation errors.
+pub fn parse_csv(text: &str) -> Result<Trace, TraceError> {
+    StreamingCsvReader::new(text.as_bytes())?.read_trace()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::signature::Signature;
+    use proptest::prelude::*;
 
     #[test]
     fn round_trip_mixed_trace() {
@@ -155,11 +526,82 @@ mod tests {
             RowEntry::Value(Value::Bool(false)),
         ])
         .unwrap();
-        let text = to_csv(&t);
+        let text = to_csv(&t).unwrap();
         let back = parse_csv(&text).unwrap();
         assert_eq!(back.len(), 2);
         assert_eq!(back.event_sequence("op").unwrap(), vec!["read", "write"]);
         assert_eq!(back.get(1).unwrap().values()[1], Value::Int(4));
+    }
+
+    #[test]
+    fn adversarial_event_names_round_trip() {
+        let sig = Signature::builder().event("op").int("x").build();
+        let mut t = Trace::new(sig);
+        let names = [
+            "plain",
+            "with,comma",
+            "with\"quote",
+            "\"fully quoted\"",
+            " leading",
+            "trailing ",
+            "inner space",
+            "",
+            "comma,and\"both",
+            "multi\nline",
+            "a,\"b\",c",
+            "\t tabbed \t",
+        ];
+        for (i, name) in names.iter().enumerate() {
+            t.push_named_row(vec![
+                RowEntry::Event(name),
+                RowEntry::Value(Value::Int(i as i64)),
+            ])
+            .unwrap();
+        }
+        let text = to_csv(&t).unwrap();
+        let back = parse_csv(&text).unwrap();
+        assert_eq!(back, t);
+        assert_eq!(back.event_sequence("op").unwrap(), names.to_vec());
+    }
+
+    #[test]
+    fn adversarial_variable_names_round_trip() {
+        let sig = Signature::builder()
+            .int("plain")
+            .int("with,comma")
+            .event("quo\"ted")
+            .int("name:with:colons")
+            .int(" edge whitespace ")
+            .build();
+        let mut t = Trace::new(sig);
+        t.push_named_row(vec![
+            RowEntry::Value(Value::Int(1)),
+            RowEntry::Value(Value::Int(2)),
+            RowEntry::Event("e"),
+            RowEntry::Value(Value::Int(3)),
+            RowEntry::Value(Value::Int(4)),
+        ])
+        .unwrap();
+        let text = to_csv(&t).unwrap();
+        let back = parse_csv(&text).unwrap();
+        assert_eq!(back.signature(), t.signature());
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn unresolvable_symbol_is_an_error_not_a_placeholder() {
+        let sig = Signature::builder().event("op").build();
+        let mut t = Trace::new(sig);
+        // A valuation built against a foreign symbol table: id 5 was never
+        // interned in this trace.
+        t.push(Valuation::from_values(vec![Value::Sym(
+            crate::symbol::SymbolId::new(5),
+        )]))
+        .unwrap();
+        match to_csv(&t) {
+            Err(TraceError::UnresolvedSymbol { symbol: 5 }) => {}
+            other => panic!("expected UnresolvedSymbol, got {other:?}"),
+        }
     }
 
     #[test]
@@ -170,6 +612,27 @@ mod tests {
         ));
         assert!(matches!(
             parse_csv("x:float\n1\n"),
+            Err(TraceError::Parse { line: 1, .. })
+        ));
+        assert!(matches!(
+            parse_csv(":int\n1\n"),
+            Err(TraceError::Parse { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn parse_rejects_empty_header_fields() {
+        // `x:int,,y:int` must not silently become a two-column signature.
+        let err = parse_csv("x:int,,y:int\n1,2\n").unwrap_err();
+        match err {
+            TraceError::Parse { line: 1, message } => {
+                assert!(message.contains("empty header field"), "{message}")
+            }
+            other => panic!("expected Parse on line 1, got {other:?}"),
+        }
+        // A trailing comma is an empty field too.
+        assert!(matches!(
+            parse_csv("x:int,\n1\n"),
             Err(TraceError::Parse { line: 1, .. })
         ));
     }
@@ -191,6 +654,18 @@ mod tests {
     }
 
     #[test]
+    fn parse_rejects_malformed_quoting() {
+        assert!(matches!(
+            parse_csv("op:event\n\"unterminated\n"),
+            Err(TraceError::Parse { .. })
+        ));
+        assert!(matches!(
+            parse_csv("op:event\n\"closed\"garbage\n"),
+            Err(TraceError::Parse { line: 2, .. })
+        ));
+    }
+
+    #[test]
     fn parse_rejects_empty_input() {
         assert!(matches!(parse_csv(""), Err(TraceError::EmptyTrace)));
     }
@@ -199,5 +674,153 @@ mod tests {
     fn blank_lines_are_skipped() {
         let trace = parse_csv("x:int\n1\n\n2\n").unwrap();
         assert_eq!(trace.len(), 2);
+    }
+
+    #[test]
+    fn quoted_fields_preserve_whitespace_and_unquoted_are_trimmed() {
+        let trace = parse_csv("op:event\n  spaced  \n\"  spaced  \"\n").unwrap();
+        assert_eq!(
+            trace.event_sequence("op").unwrap(),
+            vec!["spaced", "  spaced  "]
+        );
+    }
+
+    #[test]
+    fn embedded_newlines_in_quoted_fields() {
+        let trace = parse_csv("op:event,x:int\n\"line1\nline2\",7\n").unwrap();
+        assert_eq!(trace.len(), 1);
+        assert_eq!(trace.event_sequence("op").unwrap(), vec!["line1\nline2"]);
+        // Line numbers account for the record spanning two lines.
+        let err = parse_csv("op:event,x:int\n\"a\nb\",7\nbad_row\n").unwrap_err();
+        assert!(matches!(err, TraceError::Parse { line: 4, .. }), "{err:?}");
+    }
+
+    #[test]
+    fn tokenizer_splits_escaped_quotes() {
+        let fields = split_record("\"a\"\"b\",plain,\"c,d\"", 1).unwrap();
+        let fields: Vec<&str> = fields.iter().map(|f| f.as_ref()).collect();
+        assert_eq!(fields, vec!["a\"b", "plain", "c,d"]);
+    }
+
+    #[test]
+    fn stray_quote_mid_field_does_not_swallow_following_rows() {
+        // A quote in the middle of an unquoted field is a literal character;
+        // it must not open a quoted region that joins the remaining rows
+        // into one record.
+        let trace = parse_csv("op:event\nrow\"1\nrow2\nrow3\n").unwrap();
+        assert_eq!(trace.len(), 3);
+        assert_eq!(
+            trace.event_sequence("op").unwrap(),
+            vec!["row\"1", "row2", "row3"]
+        );
+    }
+
+    #[test]
+    fn record_completeness_follows_field_structure() {
+        // Complete records: closed quotes, stray literal quotes, escapes.
+        for complete in [
+            "plain,row",
+            "ab\"cd",          // stray quote mid-field is literal
+            "\"closed\"",      // quoted field, closed
+            "\"a\"\"b\"",      // escaped quote inside quoted field
+            "\"\"",            // empty quoted field
+            "\"x\",y,\"z\"",   // mixed
+            "a\"b\"c,d\"",     // all literal: field did not start with a quote
+            " \"padded\" ,ok", // whitespace around a quoted field
+        ] {
+            assert!(record_is_complete(complete), "{complete:?}");
+        }
+        // Incomplete: a field that opened with a quote is still unclosed.
+        for incomplete in ["\"open", "a,\"open", "\"a\"\"", "x, \"y"] {
+            assert!(!record_is_complete(incomplete), "{incomplete:?}");
+        }
+    }
+
+    /// Pool of adversarial event names the property tests draw from.
+    const NAME_POOL: [&str; 10] = [
+        "ev",
+        "a,b",
+        "q\"q",
+        " pad ",
+        "",
+        "x\ny",
+        "\"\"",
+        ",",
+        "tab\there",
+        "mixed, \"all\" of\nit ",
+    ];
+
+    fn arbitrary_trace() -> impl Strategy<Value = Trace> {
+        let rows = proptest::collection::vec(
+            (
+                0usize..NAME_POOL.len(),
+                -1_000_000_000i64..1_000_000_000,
+                proptest::bool::ANY,
+            ),
+            0..24,
+        );
+        rows.prop_map(|rows| {
+            let sig = Signature::builder()
+                .event("op")
+                .int("x")
+                .boolean("flag")
+                .build();
+            let mut t = Trace::new(sig);
+            for (name, x, flag) in rows {
+                t.push_named_row(vec![
+                    RowEntry::Event(NAME_POOL[name]),
+                    RowEntry::Value(Value::Int(x)),
+                    RowEntry::Value(Value::Bool(flag)),
+                ])
+                .unwrap();
+            }
+            t
+        })
+    }
+
+    proptest! {
+        /// `parse_csv(to_csv(t))` is the identity for arbitrary traces,
+        /// including adversarial event names.
+        #[test]
+        fn csv_round_trip_is_identity(trace in arbitrary_trace()) {
+            let text = to_csv(&trace).unwrap();
+            let back = parse_csv(&text).unwrap();
+            prop_assert_eq!(back, trace);
+        }
+
+        /// `record_is_complete` and the tokenizer agree on *arbitrary*
+        /// records (not just writer-produced ones): a record is incomplete
+        /// exactly when the tokenizer reports an unterminated quoted field.
+        /// Guards the two implementations of the field grammar against
+        /// drifting apart, which would silently mis-join records in the
+        /// streaming reader.
+        #[test]
+        fn completeness_matches_tokenizer(parts in proptest::collection::vec(0usize..6, 0..24)) {
+            const ALPHABET: [&str; 6] = ["a", "\"", ",", " ", "\t", "b"];
+            let record: String = parts.iter().map(|&i| ALPHABET[i]).collect();
+            let unterminated = matches!(
+                split_record(&record, 1),
+                Err(TraceError::Parse { ref message, .. }) if message.contains("unterminated")
+            );
+            prop_assert_eq!(!record_is_complete(&record), unterminated, "record: {:?}", record);
+        }
+
+        /// Field-level escaping round-trips through the tokenizer for
+        /// arbitrary byte soup drawn from the adversarial alphabet.
+        #[test]
+        fn field_escaping_round_trips(parts in proptest::collection::vec(0usize..NAME_POOL.len(), 1..6)) {
+            let fields: Vec<&str> = parts.iter().map(|&i| NAME_POOL[i]).collect();
+            let mut record = String::new();
+            for (i, f) in fields.iter().enumerate() {
+                if i > 0 {
+                    record.push(',');
+                }
+                push_field(&mut record, f);
+            }
+            prop_assert!(record_is_complete(&record));
+            let parsed = split_record(&record, 1).unwrap();
+            let parsed: Vec<&str> = parsed.iter().map(|f| f.as_ref()).collect();
+            prop_assert_eq!(parsed, fields);
+        }
     }
 }

@@ -42,6 +42,27 @@ pub enum TraceError {
         /// The length of the sequence being windowed.
         len: usize,
     },
+    /// An I/O error occurred while streaming a trace. Only the message is
+    /// kept so the error type stays `Clone`/`Eq`.
+    Io {
+        /// Display form of the underlying `std::io::Error`.
+        message: String,
+    },
+    /// A symbolic value refers to an id that the owning trace's symbol table
+    /// cannot resolve — typically a valuation was built against a different
+    /// table. Serialising such a value would corrupt the trace (the id would
+    /// silently round-trip into a fabricated event name).
+    UnresolvedSymbol {
+        /// Raw index of the unresolvable symbol id.
+        symbol: u32,
+    },
+    /// A trace was added to a container whose traces must share a signature.
+    SignatureMismatch {
+        /// Display form of the container's signature.
+        expected: String,
+        /// Display form of the offending trace's signature.
+        got: String,
+    },
 }
 
 impl fmt::Display for TraceError {
@@ -73,6 +94,27 @@ impl fmt::Display for TraceError {
                     "invalid window length {window} for sequence of length {len}"
                 )
             }
+            TraceError::Io { message } => write!(f, "trace I/O error: {message}"),
+            TraceError::UnresolvedSymbol { symbol } => {
+                write!(
+                    f,
+                    "symbol id {symbol} cannot be resolved against the trace's symbol table"
+                )
+            }
+            TraceError::SignatureMismatch { expected, got } => {
+                write!(
+                    f,
+                    "trace signature {got} does not match the container signature {expected}"
+                )
+            }
+        }
+    }
+}
+
+impl From<std::io::Error> for TraceError {
+    fn from(err: std::io::Error) -> Self {
+        TraceError::Io {
+            message: err.to_string(),
         }
     }
 }
@@ -104,6 +146,16 @@ mod tests {
             (
                 TraceError::EmptyTrace,
                 "operation requires a non-empty trace",
+            ),
+            (
+                TraceError::Io {
+                    message: "broken pipe".into(),
+                },
+                "trace I/O error: broken pipe",
+            ),
+            (
+                TraceError::UnresolvedSymbol { symbol: 7 },
+                "symbol id 7 cannot be resolved against the trace's symbol table",
             ),
         ];
         for (err, expected) in cases {

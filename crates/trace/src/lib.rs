@@ -31,22 +31,28 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod collector;
 mod csv;
 mod error;
 mod signature;
 mod stats;
+mod stream;
 mod symbol;
 mod trace;
+mod traceset;
 mod valuation;
 mod value;
 mod window;
 
-pub use crate::csv::{parse_csv, to_csv};
+pub use crate::collector::WindowCollector;
+pub use crate::csv::{parse_csv, to_csv, write_csv, CsvWriter};
 pub use crate::error::TraceError;
 pub use crate::signature::{Signature, SignatureBuilder, VarId, VarKind, Variable};
 pub use crate::stats::{TraceStats, VarStats};
+pub use crate::stream::StreamingCsvReader;
 pub use crate::symbol::{SymbolId, SymbolTable};
 pub use crate::trace::{RowEntry, StepPair, Steps, Trace, Windows};
+pub use crate::traceset::TraceSet;
 pub use crate::valuation::Valuation;
 pub use crate::value::Value;
 pub use crate::window::{subsequences, unique_windows, windows_of};

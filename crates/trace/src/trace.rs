@@ -67,6 +67,46 @@ impl Trace {
         }
     }
 
+    /// Assembles a trace from a signature, a symbol table and pre-built
+    /// observations — the constructor used by streaming ingestion and
+    /// multi-trace containers, which manage their own symbol interning.
+    ///
+    /// Only arity is validated here (kind validation happens where the
+    /// valuations are built); a debug assertion re-checks kinds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::ArityMismatch`] when any observation's width
+    /// does not match the signature.
+    pub fn from_parts(
+        signature: Signature,
+        symbols: SymbolTable,
+        observations: Vec<Valuation>,
+    ) -> Result<Self, TraceError> {
+        for observation in &observations {
+            if observation.arity() != signature.arity() {
+                return Err(TraceError::ArityMismatch {
+                    expected: signature.arity(),
+                    got: observation.arity(),
+                });
+            }
+            debug_assert!(
+                signature.iter().all(|(id, var)| matches!(
+                    (var.kind(), observation.get(id)),
+                    (VarKind::Int, Value::Int(_))
+                        | (VarKind::Bool, Value::Bool(_))
+                        | (VarKind::Event, Value::Sym(_))
+                )),
+                "observation kinds must match the signature"
+            );
+        }
+        Ok(Trace {
+            signature,
+            symbols,
+            observations,
+        })
+    }
+
     /// The trace's signature.
     pub fn signature(&self) -> &Signature {
         &self.signature
@@ -208,8 +248,11 @@ impl Trace {
     ///
     /// # Errors
     ///
-    /// Returns [`TraceError::UnknownVariable`] for a missing variable and
-    /// [`TraceError::KindMismatch`] when the variable is not event-valued.
+    /// Returns [`TraceError::UnknownVariable`] for a missing variable,
+    /// [`TraceError::KindMismatch`] when the variable is not event-valued,
+    /// and [`TraceError::UnresolvedSymbol`] when an observation holds a
+    /// symbol id this trace's table cannot resolve — rendering a placeholder
+    /// would silently fabricate an event name.
     pub fn event_sequence(&self, var_name: &str) -> Result<Vec<String>, TraceError> {
         let id = self
             .signature
@@ -221,17 +264,26 @@ impl Trace {
                 expected: VarKind::Event,
             });
         }
-        Ok(self
-            .observations
+        self.observations
             .iter()
             .map(|obs| {
                 let sym = obs.get(id).as_sym().expect("validated event value");
-                self.symbols.name(sym).unwrap_or("<unknown>").to_owned()
+                self.symbols
+                    .name(sym)
+                    .map(str::to_owned)
+                    .ok_or(TraceError::UnresolvedSymbol {
+                        symbol: sym.index(),
+                    })
             })
-            .collect())
+            .collect()
     }
 
     /// Renders a single observation using symbol names where possible.
+    ///
+    /// This is a display helper only: unresolvable symbols render as
+    /// `<unknown>` here, but are a hard error on the serialisation paths
+    /// ([`to_csv`](crate::to_csv), [`Trace::event_sequence`]) where the
+    /// placeholder would otherwise round-trip into a real event name.
     pub fn render_observation(&self, t: usize) -> Option<String> {
         let obs = self.observations.get(t)?;
         let mut parts = Vec::new();
@@ -443,6 +495,39 @@ mod tests {
             t.event_sequence("x"),
             Err(TraceError::KindMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn event_sequence_rejects_unresolvable_symbols() {
+        let sig = Signature::builder().event("op").build();
+        let mut t = Trace::new(sig);
+        t.push(Valuation::from_values(vec![Value::Sym(
+            crate::symbol::SymbolId::new(9),
+        )]))
+        .unwrap();
+        assert!(matches!(
+            t.event_sequence("op"),
+            Err(TraceError::UnresolvedSymbol { symbol: 9 })
+        ));
+    }
+
+    #[test]
+    fn from_parts_validates_arity() {
+        let sig = Signature::builder().int("x").int("y").build();
+        let good = Trace::from_parts(
+            sig.clone(),
+            SymbolTable::new(),
+            vec![Valuation::from_values(vec![Value::Int(1), Value::Int(2)])],
+        )
+        .unwrap();
+        assert_eq!(good.len(), 1);
+        let err = Trace::from_parts(
+            sig,
+            SymbolTable::new(),
+            vec![Valuation::from_values(vec![Value::Int(1)])],
+        )
+        .unwrap_err();
+        assert!(matches!(err, TraceError::ArityMismatch { .. }));
     }
 
     #[test]

@@ -1,0 +1,285 @@
+//! A container of many traces sharing one signature and symbol table.
+//!
+//! The paper learns one model per system, but a system is usually observed
+//! through *many* recorded runs. [`TraceSet`] holds those runs over a single
+//! [`Signature`] and a single shared [`SymbolTable`], remapping event ids on
+//! insertion so that identical event names agree across traces — the
+//! precondition for merging their predicate windows into one SAT instance
+//! without phantom windows spanning trace boundaries.
+
+use crate::error::TraceError;
+use crate::signature::Signature;
+use crate::stream::StreamingCsvReader;
+use crate::symbol::SymbolTable;
+use crate::trace::Trace;
+use crate::valuation::Valuation;
+use crate::value::Value;
+use std::io::BufRead;
+
+/// Many traces over one shared signature and symbol table.
+///
+/// # Example
+///
+/// ```
+/// # use std::error::Error;
+/// # fn main() -> Result<(), Box<dyn Error>> {
+/// use tracelearn_trace::{RowEntry, Signature, Trace, TraceSet};
+///
+/// let sig = Signature::builder().event("op").build();
+/// let mut run1 = Trace::new(sig.clone());
+/// run1.push_named_row(vec![RowEntry::Event("read")])?;
+/// let mut run2 = Trace::new(sig.clone());
+/// run2.push_named_row(vec![RowEntry::Event("write")])?;
+/// run2.push_named_row(vec![RowEntry::Event("read")])?;
+///
+/// let mut set = TraceSet::new(sig);
+/// set.push_trace(&run1)?;
+/// set.push_trace(&run2)?;
+/// assert_eq!(set.num_traces(), 2);
+/// assert_eq!(set.total_observations(), 3);
+/// // "read" has one id across both runs.
+/// assert_eq!(set.symbols().len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceSet {
+    signature: Signature,
+    symbols: SymbolTable,
+    traces: Vec<Vec<Valuation>>,
+}
+
+impl TraceSet {
+    /// Creates an empty set over the given signature.
+    pub fn new(signature: Signature) -> Self {
+        TraceSet {
+            signature,
+            symbols: SymbolTable::new(),
+            traces: Vec::new(),
+        }
+    }
+
+    /// Builds a set from traces; the first trace fixes the signature.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::EmptyTrace`] for an empty iterator and the
+    /// errors of [`TraceSet::push_trace`] otherwise.
+    pub fn from_traces<'a, I>(traces: I) -> Result<Self, TraceError>
+    where
+        I: IntoIterator<Item = &'a Trace>,
+    {
+        let mut iter = traces.into_iter();
+        let first = iter.next().ok_or(TraceError::EmptyTrace)?;
+        let mut set = TraceSet::new(first.signature().clone());
+        set.push_trace(first)?;
+        for trace in iter {
+            set.push_trace(trace)?;
+        }
+        Ok(set)
+    }
+
+    /// The shared signature.
+    pub fn signature(&self) -> &Signature {
+        &self.signature
+    }
+
+    /// The shared symbol table (event names across all traces).
+    pub fn symbols(&self) -> &SymbolTable {
+        &self.symbols
+    }
+
+    /// Number of traces in the set.
+    pub fn num_traces(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// Whether the set holds no traces.
+    pub fn is_empty(&self) -> bool {
+        self.traces.is_empty()
+    }
+
+    /// Total number of observations across all traces.
+    pub fn total_observations(&self) -> usize {
+        self.traces.iter().map(Vec::len).sum()
+    }
+
+    /// The observations of trace `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of range.
+    pub fn observations(&self, index: usize) -> &[Valuation] {
+        &self.traces[index]
+    }
+
+    /// Iterates over the traces' observation sequences.
+    pub fn iter(&self) -> impl Iterator<Item = &[Valuation]> {
+        self.traces.iter().map(Vec::as_slice)
+    }
+
+    /// Adds a trace, remapping its symbol ids into the shared table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::SignatureMismatch`] when the trace's signature
+    /// differs from the set's and [`TraceError::UnresolvedSymbol`] when the
+    /// trace holds a symbol id its own table cannot resolve.
+    pub fn push_trace(&mut self, trace: &Trace) -> Result<(), TraceError> {
+        if trace.signature() != &self.signature {
+            return Err(TraceError::SignatureMismatch {
+                expected: self.signature.to_string(),
+                got: trace.signature().to_string(),
+            });
+        }
+        let mut observations = Vec::with_capacity(trace.len());
+        for observation in trace.observations() {
+            observations.push(self.remap(trace.symbols(), observation)?);
+        }
+        self.traces.push(observations);
+        Ok(())
+    }
+
+    /// Rebuilds one observation with its symbol ids translated from
+    /// `source` into the shared table (by name, interning as needed).
+    fn remap(
+        &mut self,
+        source: &SymbolTable,
+        observation: &Valuation,
+    ) -> Result<Valuation, TraceError> {
+        let values: Result<Vec<Value>, TraceError> = observation
+            .values()
+            .iter()
+            .map(|&value| match value {
+                Value::Sym(old) => {
+                    let name = source.name(old).ok_or(TraceError::UnresolvedSymbol {
+                        symbol: old.index(),
+                    })?;
+                    Ok(Value::Sym(self.symbols.intern(name)))
+                }
+                other => Ok(other),
+            })
+            .collect();
+        Ok(Valuation::from_values(values?))
+    }
+
+    /// Ingests one CSV stream as a new trace, sharing the set's symbol
+    /// table. The stream's signature must match the set's.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::SignatureMismatch`] on a header mismatch and
+    /// propagates the reader's parse/I/O errors.
+    pub fn push_reader<R: BufRead>(
+        &mut self,
+        mut reader: StreamingCsvReader<R>,
+    ) -> Result<usize, TraceError> {
+        if reader.signature() != &self.signature {
+            return Err(TraceError::SignatureMismatch {
+                expected: self.signature.to_string(),
+                got: reader.signature().to_string(),
+            });
+        }
+        let mut observations = Vec::new();
+        while let Some(observation) = reader.next_observation()? {
+            // Remap through names: the reader interned into its own table.
+            observations.push(self.remap(reader.symbols(), &observation)?);
+        }
+        let count = observations.len();
+        self.traces.push(observations);
+        Ok(count)
+    }
+
+    /// Materialises trace `index` as a standalone [`Trace`] carrying the
+    /// shared signature and symbol table (cloned).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of range.
+    pub fn to_trace(&self, index: usize) -> Trace {
+        Trace::from_parts(
+            self.signature.clone(),
+            self.symbols.clone(),
+            self.traces[index].clone(),
+        )
+        .expect("stored observations match the shared signature")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csv::to_csv;
+    use crate::trace::RowEntry;
+
+    fn event_trace(events: &[&str]) -> Trace {
+        let sig = Signature::builder().event("op").build();
+        let mut t = Trace::new(sig);
+        for e in events {
+            t.push_named_row(vec![RowEntry::Event(e)]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn symbol_ids_are_unified_across_traces() {
+        let a = event_trace(&["x", "y"]);
+        let b = event_trace(&["y", "x", "z"]);
+        // In trace `b`, "y" has id 0; in the set it must share `a`'s id 1.
+        let set = TraceSet::from_traces([&a, &b]).unwrap();
+        assert_eq!(set.symbols().len(), 3);
+        let y = set.symbols().lookup("y").unwrap();
+        assert_eq!(set.observations(0)[1].values()[0], Value::Sym(y));
+        assert_eq!(set.observations(1)[0].values()[0], Value::Sym(y));
+    }
+
+    #[test]
+    fn signature_mismatch_is_rejected() {
+        let a = event_trace(&["x"]);
+        let other = Trace::new(Signature::builder().int("n").build());
+        let mut set = TraceSet::new(a.signature().clone());
+        set.push_trace(&a).unwrap();
+        assert!(matches!(
+            set.push_trace(&other),
+            Err(TraceError::SignatureMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_iterator_is_rejected() {
+        assert!(matches!(
+            TraceSet::from_traces(std::iter::empty::<&Trace>()),
+            Err(TraceError::EmptyTrace)
+        ));
+    }
+
+    #[test]
+    fn to_trace_round_trips_through_shared_table() {
+        let a = event_trace(&["read", "write"]);
+        let b = event_trace(&["write", "reset"]);
+        let set = TraceSet::from_traces([&a, &b]).unwrap();
+        let b_again = set.to_trace(1);
+        assert_eq!(
+            b_again.event_sequence("op").unwrap(),
+            vec!["write", "reset"]
+        );
+        assert_eq!(set.total_observations(), 4);
+        assert_eq!(set.iter().count(), 2);
+    }
+
+    #[test]
+    fn push_reader_shares_the_symbol_table() {
+        let a = event_trace(&["read", "write"]);
+        let b = event_trace(&["write", "read"]);
+        let csv = to_csv(&b).unwrap();
+        let mut set = TraceSet::new(a.signature().clone());
+        set.push_trace(&a).unwrap();
+        let count = set
+            .push_reader(StreamingCsvReader::new(csv.as_bytes()).unwrap())
+            .unwrap();
+        assert_eq!(count, 2);
+        assert_eq!(set.symbols().len(), 2);
+        let read = set.symbols().lookup("read").unwrap();
+        assert_eq!(set.observations(1)[1].values()[0], Value::Sym(read));
+    }
+}

@@ -5,7 +5,8 @@
 //! model has four states with transition predicates `x' = x + 1`,
 //! `x' = x − 1` and guards at the threshold and the floor.
 
-use tracelearn_trace::{Signature, Trace, Value};
+use crate::sink::{CsvSink, TraceSink};
+use tracelearn_trace::{RowEntry, Signature, Trace, TraceError, Value};
 
 /// Configuration of the counter workload.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -25,21 +26,26 @@ impl Default for CounterConfig {
     }
 }
 
-/// Generates the counter trace.
+/// The counter trace's signature: a single integer variable `x`.
+fn signature() -> Signature {
+    Signature::builder().int("x").build()
+}
+
+/// Emits the counter trace into any [`TraceSink`].
+///
+/// # Errors
+///
+/// Propagates the sink's errors (I/O for CSV destinations).
 ///
 /// # Panics
 ///
 /// Panics if the threshold is smaller than 2.
-pub fn generate(config: &CounterConfig) -> Trace {
+pub fn emit<S: TraceSink>(config: &CounterConfig, sink: &mut S) -> Result<(), TraceError> {
     assert!(config.threshold >= 2, "threshold must be at least 2");
-    let signature = Signature::builder().int("x").build();
-    let mut trace = Trace::new(signature);
     let mut value = 1i64;
     let mut direction = 1i64;
     for _ in 0..config.length {
-        trace
-            .push_row([Value::Int(value)])
-            .expect("counter rows match the signature");
+        sink.push_row(&[RowEntry::Value(Value::Int(value))])?;
         if value >= config.threshold {
             direction = -1;
         } else if value <= 1 {
@@ -47,7 +53,29 @@ pub fn generate(config: &CounterConfig) -> Trace {
         }
         value += direction;
     }
+    Ok(())
+}
+
+/// Generates the counter trace.
+///
+/// # Panics
+///
+/// Panics if the threshold is smaller than 2.
+pub fn generate(config: &CounterConfig) -> Trace {
+    let mut trace = Trace::new(signature());
+    emit(config, &mut trace).expect("in-memory sinks are infallible");
     trace
+}
+
+/// Streams the counter trace to `out` in CSV form without materialising it.
+///
+/// # Errors
+///
+/// Returns [`TraceError::Io`] when the destination fails.
+pub fn write_csv<W: std::io::Write>(config: &CounterConfig, out: W) -> Result<(), TraceError> {
+    let mut sink = CsvSink::new(out, &signature())?;
+    emit(config, &mut sink)?;
+    sink.finish()
 }
 
 #[cfg(test)]

@@ -8,8 +8,9 @@
 //! states in the paper) with predicates `op' = op + ip`, `op' = op` at
 //! saturation and `op' = 0` at reset.
 
+use crate::sink::{CsvSink, TraceSink};
 use crate::Prng;
-use tracelearn_trace::{Signature, Trace, Value};
+use tracelearn_trace::{RowEntry, Signature, Trace, TraceError, Value};
 
 /// Configuration of the integrator workload.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,20 +36,27 @@ impl Default for IntegratorConfig {
     }
 }
 
-/// Generates the integrator trace.
+/// The integrator trace's signature: `(ip, op, rst)`.
+fn signature() -> Signature {
+    Signature::builder()
+        .int("ip")
+        .int("op")
+        .boolean("rst")
+        .build()
+}
+
+/// Emits the integrator trace into any [`TraceSink`].
+///
+/// # Errors
+///
+/// Propagates the sink's errors (I/O for CSV destinations).
 ///
 /// # Panics
 ///
 /// Panics if the saturation bound is not positive or the reset period is zero.
-pub fn generate(config: &IntegratorConfig) -> Trace {
+pub fn emit<S: TraceSink>(config: &IntegratorConfig, sink: &mut S) -> Result<(), TraceError> {
     assert!(config.saturation > 0, "saturation bound must be positive");
     assert!(config.reset_period > 0, "reset period must be non-zero");
-    let signature = Signature::builder()
-        .int("ip")
-        .int("op")
-        .boolean("rst")
-        .build();
-    let mut trace = Trace::new(signature);
     let mut rng = Prng::new(config.seed);
     let mut op = 0i64;
     let mut rst = false;
@@ -56,9 +64,11 @@ pub fn generate(config: &IntegratorConfig) -> Trace {
         // Input biased towards pushing into saturation so that the saturation
         // behaviour is well represented in the trace, as in the paper's runs.
         let ip = *rng.pick(&[1, 1, 1, 0, -1, -1, -1, 1, -1, 1]);
-        trace
-            .push_row([Value::Int(ip), Value::Int(op), Value::Bool(rst)])
-            .expect("integrator rows match the signature");
+        sink.push_row(&[
+            RowEntry::Value(Value::Int(ip)),
+            RowEntry::Value(Value::Int(op)),
+            RowEntry::Value(Value::Bool(rst)),
+        ])?;
         // Compute the next output from the current observation.
         rst = rng.chance(1, config.reset_period as u64);
         if rst {
@@ -67,7 +77,30 @@ pub fn generate(config: &IntegratorConfig) -> Trace {
             op = (op + ip).clamp(-config.saturation, config.saturation);
         }
     }
+    Ok(())
+}
+
+/// Generates the integrator trace.
+///
+/// # Panics
+///
+/// Panics if the saturation bound is not positive or the reset period is zero.
+pub fn generate(config: &IntegratorConfig) -> Trace {
+    let mut trace = Trace::new(signature());
+    emit(config, &mut trace).expect("in-memory sinks are infallible");
     trace
+}
+
+/// Streams the integrator trace to `out` in CSV form without materialising
+/// it.
+///
+/// # Errors
+///
+/// Returns [`TraceError::Io`] when the destination fails.
+pub fn write_csv<W: std::io::Write>(config: &IntegratorConfig, out: W) -> Result<(), TraceError> {
+    let mut sink = CsvSink::new(out, &signature())?;
+    emit(config, &mut sink)?;
+    sink.finish()
 }
 
 #[cfg(test)]

@@ -34,10 +34,12 @@ pub mod counter;
 pub mod integrator;
 pub mod rtlinux;
 pub mod serial;
+mod sink;
 pub mod usb_attach;
 pub mod usb_slot;
 
-use tracelearn_trace::Trace;
+pub use crate::sink::{CsvSink, TraceSink};
+use tracelearn_trace::{Trace, TraceError};
 
 /// The six benchmark systems of the paper's evaluation (Tables I and II).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -155,6 +157,59 @@ impl Workload {
     pub fn generate_paper_scale(self) -> Trace {
         self.generate(self.paper_trace_length())
     }
+
+    /// Streams a trace of (approximately) `length` observations to `out` in
+    /// the CSV interchange format **without materialising it** — rows go
+    /// straight from the simulator to the sink, so arbitrarily long traces
+    /// cost constant memory. Uses the same defaults as
+    /// [`Workload::generate_seeded`], so parsing the output reproduces that
+    /// trace exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Io`] when the destination fails.
+    pub fn write_csv<W: std::io::Write>(
+        self,
+        length: usize,
+        seed: u64,
+        out: W,
+    ) -> Result<(), TraceError> {
+        match self {
+            Workload::UsbSlot => {
+                usb_slot::write_csv(&usb_slot::UsbSlotConfig { length, seed }, out)
+            }
+            Workload::UsbAttach => {
+                usb_attach::write_csv(&usb_attach::UsbAttachConfig { length, seed }, out)
+            }
+            Workload::Counter => counter::write_csv(
+                &counter::CounterConfig {
+                    threshold: 128,
+                    length,
+                },
+                out,
+            ),
+            Workload::SerialPort => serial::write_csv(
+                &serial::SerialConfig {
+                    length,
+                    capacity: 16,
+                    seed,
+                },
+                out,
+            ),
+            Workload::LinuxKernel => {
+                rtlinux::write_csv(&rtlinux::RtLinuxConfig { length, seed }, out)
+            }
+            Workload::Integrator => integrator::write_csv(
+                &integrator::IntegratorConfig {
+                    length,
+                    saturation: 5,
+                    reset_period: 512,
+                    seed,
+                },
+                out,
+            ),
+        }
+    }
 }
 
 /// A small deterministic pseudo-random number generator (xorshift*) used by
@@ -236,6 +291,20 @@ mod tests {
             let a = workload.generate_seeded(64, 7);
             let b = workload.generate_seeded(64, 7);
             assert_eq!(a, b, "{} not deterministic", workload.name());
+        }
+    }
+
+    #[test]
+    fn streamed_csv_reproduces_the_generated_trace() {
+        // The CSV emitter and the in-memory generator run the same
+        // simulation loop; parsing the stream must reproduce the trace
+        // exactly for every workload.
+        for workload in Workload::all() {
+            let mut out = Vec::new();
+            workload.write_csv(100, 7, &mut out).unwrap();
+            let parsed = tracelearn_trace::parse_csv(&String::from_utf8(out).unwrap()).unwrap();
+            let generated = workload.generate_seeded(100, 7);
+            assert_eq!(parsed, generated, "{} CSV diverges", workload.name());
         }
     }
 

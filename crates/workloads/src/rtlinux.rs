@@ -8,8 +8,9 @@
 //! preempted, having need_resched set — and emits the same eight-event
 //! alphabet.
 
+use crate::sink::{CsvSink, TraceSink};
 use crate::Prng;
-use tracelearn_trace::{RowEntry, Signature, Trace};
+use tracelearn_trace::{RowEntry, Signature, Trace, TraceError};
 
 /// Configuration of the RT-Linux scheduling workload.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -57,18 +58,20 @@ enum ThreadState {
     Preempted,
 }
 
-/// Generates the scheduler-event trace with a single event variable `sched`.
-pub fn generate(config: &RtLinuxConfig) -> Trace {
-    let signature = Signature::builder().event("sched").build();
-    let mut trace = Trace::new(signature);
+/// The scheduler trace's signature: a single event variable `sched`.
+fn signature() -> Signature {
+    Signature::builder().event("sched").build()
+}
+
+/// Emits the scheduler-event trace into any [`TraceSink`].
+///
+/// # Errors
+///
+/// Propagates the sink's errors (I/O for CSV destinations).
+pub fn emit<S: TraceSink>(config: &RtLinuxConfig, sink: &mut S) -> Result<(), TraceError> {
     let mut rng = Prng::new(config.seed);
     let mut state = ThreadState::Suspended;
-    let emit = |trace: &mut Trace, event: &str| {
-        trace
-            .push_named_row(vec![RowEntry::Event(event)])
-            .expect("rtlinux rows match the signature");
-    };
-    while trace.len() < config.length {
+    while sink.rows() < config.length {
         let (event, next) = match state {
             ThreadState::Suspended => ("sched_waking", ThreadState::WokenWaiting),
             ThreadState::WokenWaiting => ("sched_switch_in", ThreadState::Running),
@@ -97,10 +100,29 @@ pub fn generate(config: &RtLinuxConfig) -> Trace {
             ThreadState::Preempted => ("sched_switch_in", ThreadState::Running),
         };
         state = next;
-        emit(&mut trace, event);
+        sink.push_row(&[RowEntry::Event(event)])?;
     }
-    trace.truncate(config.length);
+    Ok(())
+}
+
+/// Generates the scheduler-event trace with a single event variable `sched`.
+pub fn generate(config: &RtLinuxConfig) -> Trace {
+    let mut trace = Trace::new(signature());
+    emit(config, &mut trace).expect("in-memory sinks are infallible");
     trace
+}
+
+/// Streams the scheduler-event trace to `out` in CSV form without
+/// materialising it — the input generator for the multi-million-row
+/// ingestion benchmarks.
+///
+/// # Errors
+///
+/// Returns [`TraceError::Io`] when the destination fails.
+pub fn write_csv<W: std::io::Write>(config: &RtLinuxConfig, out: W) -> Result<(), TraceError> {
+    let mut sink = CsvSink::new(out, &signature())?;
+    emit(config, &mut sink)?;
+    sink.finish()
 }
 
 #[cfg(test)]

@@ -5,8 +5,9 @@
 //! and writes change the length by one, resets empty the queue; frequent
 //! resets keep the queue far from capacity, as observed in the paper.
 
+use crate::sink::{CsvSink, TraceSink};
 use crate::Prng;
-use tracelearn_trace::{RowEntry, Signature, Trace, Value};
+use tracelearn_trace::{RowEntry, Signature, Trace, TraceError, Value};
 
 /// Configuration of the serial-port workload.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,24 +33,28 @@ impl Default for SerialConfig {
 /// The operations recorded in the trace.
 pub const OPS: [&str; 3] = ["write", "read", "reset"];
 
-/// Generates the serial-port trace with variables `(op, x)` where `x` is the
-/// queue length after the operation.
+/// The serial-port trace's signature: `(op, x)`.
+fn signature() -> Signature {
+    Signature::builder().event("op").int("x").build()
+}
+
+/// Emits the serial-port trace into any [`TraceSink`].
+///
+/// # Errors
+///
+/// Propagates the sink's errors (I/O for CSV destinations).
 ///
 /// # Panics
 ///
 /// Panics if the capacity is not positive.
-pub fn generate(config: &SerialConfig) -> Trace {
+pub fn emit<S: TraceSink>(config: &SerialConfig, sink: &mut S) -> Result<(), TraceError> {
     assert!(config.capacity > 0, "capacity must be positive");
-    let signature = Signature::builder().event("op").int("x").build();
-    let mut trace = Trace::new(signature);
     let mut rng = Prng::new(config.seed);
     let mut len = 0i64;
     // Start from a reset so the first observation is well defined.
     let mut op = "reset";
     for _ in 0..config.length {
-        trace
-            .push_named_row(vec![RowEntry::Event(op), RowEntry::Value(Value::Int(len))])
-            .expect("serial rows match the signature");
+        sink.push_row(&[RowEntry::Event(op), RowEntry::Value(Value::Int(len))])?;
         // Choose the next operation: writes are more likely when the queue is
         // short, reads when it is long, resets are frequent (quick read-writes
         // and frequent resets kept the paper's queue from filling up).
@@ -70,7 +75,31 @@ pub fn generate(config: &SerialConfig) -> Trace {
             _ => 0,
         };
     }
+    Ok(())
+}
+
+/// Generates the serial-port trace with variables `(op, x)` where `x` is the
+/// queue length after the operation.
+///
+/// # Panics
+///
+/// Panics if the capacity is not positive.
+pub fn generate(config: &SerialConfig) -> Trace {
+    let mut trace = Trace::new(signature());
+    emit(config, &mut trace).expect("in-memory sinks are infallible");
     trace
+}
+
+/// Streams the serial-port trace to `out` in CSV form without materialising
+/// it.
+///
+/// # Errors
+///
+/// Returns [`TraceError::Io`] when the destination fails.
+pub fn write_csv<W: std::io::Write>(config: &SerialConfig, out: W) -> Result<(), TraceError> {
+    let mut sink = CsvSink::new(out, &signature())?;
+    emit(config, &mut sink)?;
+    sink.finish()
 }
 
 #[cfg(test)]

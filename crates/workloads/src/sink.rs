@@ -1,0 +1,162 @@
+//! Where generated observations go: an in-memory trace or a CSV stream.
+//!
+//! Every workload generator emits its rows through the [`TraceSink`] trait,
+//! so the same simulation loop can build an in-memory [`Trace`]
+//! (`generate`) or stream rows straight to disk (`write_csv`) without ever
+//! materialising the trace — which is how the multi-million-row ingestion
+//! benchmarks produce their input.
+
+use tracelearn_trace::{CsvWriter, RowEntry, Signature, Trace, TraceError};
+
+/// A destination for generated observations.
+pub trait TraceSink {
+    /// Number of observations accepted so far.
+    fn rows(&self) -> usize;
+
+    /// Accepts one observation given as named-row entries in signature
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the destination's validation or I/O errors.
+    fn push_row(&mut self, row: &[RowEntry<'_>]) -> Result<(), TraceError>;
+}
+
+impl TraceSink for Trace {
+    fn rows(&self) -> usize {
+        self.len()
+    }
+
+    fn push_row(&mut self, row: &[RowEntry<'_>]) -> Result<(), TraceError> {
+        self.push_named_row(row.to_vec())
+    }
+}
+
+/// A sink that streams rows to a [`std::io::Write`] destination in the CSV
+/// interchange format, buffered internally.
+///
+/// # Example
+///
+/// ```
+/// # use std::error::Error;
+/// # fn main() -> Result<(), Box<dyn Error>> {
+/// use tracelearn_workloads::rtlinux::{self, RtLinuxConfig};
+///
+/// let mut out = Vec::new();
+/// rtlinux::write_csv(&RtLinuxConfig { length: 3, seed: 1 }, &mut out)?;
+/// let text = String::from_utf8(out)?;
+/// assert!(text.starts_with("sched:event\n"));
+/// assert_eq!(text.lines().count(), 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct CsvSink<W: std::io::Write> {
+    writer: CsvWriter<std::io::BufWriter<W>>,
+    rows: usize,
+}
+
+impl<W: std::io::Write> CsvSink<W> {
+    /// Creates a sink, writing the header for `signature`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Io`] when the destination fails.
+    pub fn new(out: W, signature: &Signature) -> Result<Self, TraceError> {
+        Ok(CsvSink {
+            writer: CsvWriter::new(std::io::BufWriter::new(out), signature)?,
+            rows: 0,
+        })
+    }
+
+    /// Flushes the destination.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Io`] when flushing fails.
+    pub fn finish(self) -> Result<(), TraceError> {
+        self.writer.finish().map(|_| ())
+    }
+}
+
+impl<W: std::io::Write> TraceSink for CsvSink<W> {
+    fn rows(&self) -> usize {
+        self.rows
+    }
+
+    fn push_row(&mut self, row: &[RowEntry<'_>]) -> Result<(), TraceError> {
+        self.writer.write_entries(row)?;
+        self.rows += 1;
+        Ok(())
+    }
+}
+
+/// Caps a sink at `limit` rows, silently discarding the excess — the
+/// streaming equivalent of generating whole sessions and truncating, which
+/// is what the session-structured generators (USB slot/attach) do.
+pub(crate) struct Capped<'a, S> {
+    inner: &'a mut S,
+    limit: usize,
+}
+
+impl<'a, S: TraceSink> Capped<'a, S> {
+    pub(crate) fn new(inner: &'a mut S, limit: usize) -> Self {
+        Capped { inner, limit }
+    }
+}
+
+impl<S: TraceSink> TraceSink for Capped<'_, S> {
+    fn rows(&self) -> usize {
+        self.inner.rows()
+    }
+
+    fn push_row(&mut self, row: &[RowEntry<'_>]) -> Result<(), TraceError> {
+        if self.inner.rows() < self.limit {
+            self.inner.push_row(row)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracelearn_trace::{parse_csv, Value};
+
+    #[test]
+    fn trace_sink_counts_rows() {
+        let sig = Signature::builder().int("x").build();
+        let mut trace = Trace::new(sig);
+        assert_eq!(TraceSink::rows(&trace), 0);
+        TraceSink::push_row(&mut trace, &[RowEntry::Value(Value::Int(1))]).unwrap();
+        assert_eq!(TraceSink::rows(&trace), 1);
+    }
+
+    #[test]
+    fn csv_sink_produces_parseable_output() {
+        let sig = Signature::builder().event("op").int("x").build();
+        let mut out = Vec::new();
+        let mut sink = CsvSink::new(&mut out, &sig).unwrap();
+        sink.push_row(&[RowEntry::Event("a,b"), RowEntry::Value(Value::Int(1))])
+            .unwrap();
+        sink.push_row(&[RowEntry::Event("c"), RowEntry::Value(Value::Int(2))])
+            .unwrap();
+        assert_eq!(sink.rows(), 2);
+        sink.finish().unwrap();
+        let trace = parse_csv(&String::from_utf8(out).unwrap()).unwrap();
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace.event_sequence("op").unwrap(), vec!["a,b", "c"]);
+    }
+
+    #[test]
+    fn capped_sink_discards_beyond_the_limit() {
+        let sig = Signature::builder().int("x").build();
+        let mut trace = Trace::new(sig);
+        let mut capped = Capped::new(&mut trace, 2);
+        for i in 0..5 {
+            capped.push_row(&[RowEntry::Value(Value::Int(i))]).unwrap();
+        }
+        assert_eq!(capped.rows(), 2);
+        assert_eq!(trace.len(), 2);
+    }
+}

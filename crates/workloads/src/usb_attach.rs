@@ -12,8 +12,9 @@
 //! (setup / data / status for control transfers, normal for bulk transfers)
 //! and acknowledged through completion and port/command event writes.
 
+use crate::sink::{Capped, CsvSink, TraceSink};
 use crate::Prng;
-use tracelearn_trace::{RowEntry, Signature, Trace};
+use tracelearn_trace::{RowEntry, Signature, Trace, TraceError};
 
 /// Configuration of the USB attach workload.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -52,55 +53,78 @@ pub const EVENTS: [&str; 14] = [
     "ErPSC",
 ];
 
-/// Generates the ring-traffic trace with a single event variable `ev`.
-pub fn generate(config: &UsbAttachConfig) -> Trace {
-    let signature = Signature::builder().event("ev").build();
-    let mut trace = Trace::new(signature);
-    let mut rng = Prng::new(config.seed);
-    let emit = |trace: &mut Trace, event: &str| {
-        trace
-            .push_named_row(vec![RowEntry::Event(event)])
-            .expect("attach rows match the signature");
-    };
+/// The ring-traffic trace's signature: a single event variable `ev`.
+fn signature() -> Signature {
+    Signature::builder().event("ev").build()
+}
 
-    while trace.len() < config.length {
+/// Emits the ring-traffic trace into any [`TraceSink`]. Whole
+/// command/completion sessions are simulated and the output is capped at
+/// `config.length` rows, matching the paper's fixed trace lengths.
+///
+/// # Errors
+///
+/// Propagates the sink's errors (I/O for CSV destinations).
+pub fn emit<S: TraceSink>(config: &UsbAttachConfig, sink: &mut S) -> Result<(), TraceError> {
+    let mut sink = Capped::new(sink, config.length);
+    let mut rng = Prng::new(config.seed);
+
+    while sink.rows() < config.length {
         // 1. The driver writes a command onto the command ring.
-        emit(&mut trace, "xhci_write");
+        sink.push_row(&[RowEntry::Event("xhci_write")])?;
         let command = *rng.pick(&["CrAD", "CrCE", "CrES", "CrAD", "CrCE"]);
-        emit(&mut trace, command);
+        sink.push_row(&[RowEntry::Event(command)])?;
         // 2. The controller fetches the command from the ring.
-        emit(&mut trace, "xhci_ring_fetch");
+        sink.push_row(&[RowEntry::Event("xhci_ring_fetch")])?;
         // 3. The command is executed as a sequence of transfer TRBs.
         match command {
             "CrAD" => {
                 // Address-device style control transfer: setup / data / status.
-                emit(&mut trace, "TRSetup");
+                sink.push_row(&[RowEntry::Event("TRSetup")])?;
                 if rng.chance(2, 3) {
-                    emit(&mut trace, "TRData");
+                    sink.push_row(&[RowEntry::Event("TRData")])?;
                 }
-                emit(&mut trace, "TRStatus");
+                sink.push_row(&[RowEntry::Event("TRStatus")])?;
             }
             "CrCE" => {
                 // Configure-endpoint followed by a burst of bulk transfers.
                 let bulk = 1 + rng.below(3);
                 for _ in 0..bulk {
-                    emit(&mut trace, "xhci_ring_fetch");
-                    emit(&mut trace, "TRNormal");
+                    sink.push_row(&[RowEntry::Event("xhci_ring_fetch")])?;
+                    sink.push_row(&[RowEntry::Event("TRNormal")])?;
                 }
             }
             _ => {
                 // Evaluate-context style commands carry a reserved TRB.
-                emit(&mut trace, "TRBReserved");
+                sink.push_row(&[RowEntry::Event("TRBReserved")])?;
             }
         }
         // 4. Completion code and event-ring notifications.
-        emit(&mut trace, "CCSuccess");
-        emit(&mut trace, "xhci_write");
+        sink.push_row(&[RowEntry::Event("CCSuccess")])?;
+        sink.push_row(&[RowEntry::Event("xhci_write")])?;
         let notification = *rng.pick(&["ErTransfer", "ErCC", "ErPSC", "ErTransfer", "ErCC"]);
-        emit(&mut trace, notification);
+        sink.push_row(&[RowEntry::Event(notification)])?;
     }
-    trace.truncate(config.length);
+    Ok(())
+}
+
+/// Generates the ring-traffic trace with a single event variable `ev`.
+pub fn generate(config: &UsbAttachConfig) -> Trace {
+    let mut trace = Trace::new(signature());
+    emit(config, &mut trace).expect("in-memory sinks are infallible");
     trace
+}
+
+/// Streams the ring-traffic trace to `out` in CSV form without
+/// materialising it.
+///
+/// # Errors
+///
+/// Returns [`TraceError::Io`] when the destination fails.
+pub fn write_csv<W: std::io::Write>(config: &UsbAttachConfig, out: W) -> Result<(), TraceError> {
+    let mut sink = CsvSink::new(out, &signature())?;
+    emit(config, &mut sink)?;
+    sink.finish()
 }
 
 #[cfg(test)]

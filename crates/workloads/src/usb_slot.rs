@@ -8,8 +8,9 @@
 //! four-state slot state machine (Disabled → Enabled → Addressed →
 //! Configured) driven by an attach/use/reset/detach workload.
 
+use crate::sink::{Capped, CsvSink, TraceSink};
 use crate::Prng;
-use tracelearn_trace::{RowEntry, Signature, Trace};
+use tracelearn_trace::{RowEntry, Signature, Trace, TraceError};
 
 /// Configuration of the USB slot workload.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -58,11 +59,28 @@ enum SlotState {
 /// a short trace (the paper uses 39 commands) exercises the full datasheet
 /// cycle of Fig. 1a.
 pub fn generate(config: &UsbSlotConfig) -> Trace {
-    let signature = Signature::builder().event("cmd").build();
-    let mut trace = Trace::new(signature);
+    let mut trace = Trace::new(signature());
+    emit(config, &mut trace).expect("in-memory sinks are infallible");
+    trace
+}
+
+/// The slot trace's signature: a single event variable `cmd`.
+fn signature() -> Signature {
+    Signature::builder().event("cmd").build()
+}
+
+/// Emits the slot-command trace into any [`TraceSink`]. Whole sessions are
+/// simulated and the output is capped at `config.length` rows, matching the
+/// paper's fixed trace lengths.
+///
+/// # Errors
+///
+/// Propagates the sink's errors (I/O for CSV destinations).
+pub fn emit<S: TraceSink>(config: &UsbSlotConfig, sink: &mut S) -> Result<(), TraceError> {
+    let mut sink = Capped::new(sink, config.length);
     let mut rng = Prng::new(config.seed);
     let mut state = SlotState::Disabled;
-    let emit = |trace: &mut Trace, state: &mut SlotState, command: &str| {
+    let push = |sink: &mut Capped<'_, S>, state: &mut SlotState, command: &str| {
         *state = match (*state, command) {
             (SlotState::Disabled, "CR_ENABLE_SLOT") => SlotState::Enabled,
             (SlotState::Enabled, "CR_ADDR_DEV") => SlotState::Addressed,
@@ -72,33 +90,42 @@ pub fn generate(config: &UsbSlotConfig) -> Trace {
             (SlotState::Configured, _) => SlotState::Configured,
             (current, _) => current,
         };
-        trace
-            .push_named_row(vec![RowEntry::Event(command)])
-            .expect("slot rows match the signature");
+        sink.push_row(&[RowEntry::Event(command)])
     };
-    while trace.len() < config.length {
+    while sink.rows() < config.length {
         debug_assert_eq!(state, SlotState::Disabled);
         // Attach and configure the device.
-        emit(&mut trace, &mut state, "CR_ENABLE_SLOT");
-        emit(&mut trace, &mut state, "CR_ADDR_DEV");
-        emit(&mut trace, &mut state, "CR_CONFIG_END");
+        push(&mut sink, &mut state, "CR_ENABLE_SLOT")?;
+        push(&mut sink, &mut state, "CR_ADDR_DEV")?;
+        push(&mut sink, &mut state, "CR_CONFIG_END")?;
         // Use it: a few stop/configure cycles.
         for _ in 0..1 + rng.below(2) {
-            emit(&mut trace, &mut state, "CR_STOP_END");
-            emit(&mut trace, &mut state, "CR_CONFIG_END");
+            push(&mut sink, &mut state, "CR_STOP_END")?;
+            push(&mut sink, &mut state, "CR_CONFIG_END")?;
         }
         // Occasionally reset the device and reconfigure.
         if rng.chance(1, 2) {
-            emit(&mut trace, &mut state, "CR_RESET_DEVICE");
-            emit(&mut trace, &mut state, "CR_CONFIG_END");
-            emit(&mut trace, &mut state, "CR_STOP_END");
-            emit(&mut trace, &mut state, "CR_CONFIG_END");
+            push(&mut sink, &mut state, "CR_RESET_DEVICE")?;
+            push(&mut sink, &mut state, "CR_CONFIG_END")?;
+            push(&mut sink, &mut state, "CR_STOP_END")?;
+            push(&mut sink, &mut state, "CR_CONFIG_END")?;
         }
         // Detach.
-        emit(&mut trace, &mut state, "CR_DISABLE_SLOT");
+        push(&mut sink, &mut state, "CR_DISABLE_SLOT")?;
     }
-    trace.truncate(config.length);
-    trace
+    Ok(())
+}
+
+/// Streams the slot-command trace to `out` in CSV form without
+/// materialising it.
+///
+/// # Errors
+///
+/// Returns [`TraceError::Io`] when the destination fails.
+pub fn write_csv<W: std::io::Write>(config: &UsbSlotConfig, out: W) -> Result<(), TraceError> {
+    let mut sink = CsvSink::new(out, &signature())?;
+    emit(config, &mut sink)?;
+    sink.finish()
 }
 
 #[cfg(test)]

@@ -1,0 +1,81 @@
+//! Streaming ingestion: learn a model from a CSV trace that is never
+//! materialised in memory.
+//!
+//! The example emits an rtlinux scheduler trace straight to disk through the
+//! streaming CSV writer, then learns from it twice — once via the classic
+//! in-memory path and once via `Learner::learn_streamed`, which keeps only a
+//! bounded chunk of observations resident — and shows that both produce the
+//! same automaton. Run with:
+//!
+//! ```text
+//! cargo run --release --example streaming -- [rows]
+//! ```
+
+use std::error::Error;
+use std::io::BufReader;
+use tracelearn::learn::{Learner, LearnerConfig};
+use tracelearn::prelude::*;
+use tracelearn::trace::{parse_csv, StreamingCsvReader};
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let rows: usize = std::env::args()
+        .nth(1)
+        .map(|arg| arg.parse())
+        .transpose()?
+        .unwrap_or(200_000);
+    let chunk = 16_384usize;
+
+    // 1. Record the trace straight to disk: the simulator streams rows into
+    //    the CSV writer, so this works for arbitrarily long traces.
+    let dir = std::env::temp_dir().join("tracelearn-streaming-example");
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("rtlinux-{rows}.csv"));
+    Workload::LinuxKernel.write_csv(rows, 0xDAC2020, std::fs::File::create(&path)?)?;
+    let bytes = std::fs::metadata(&path)?.len();
+    println!(
+        "wrote {rows} scheduler events ({bytes} bytes) to {}",
+        path.display()
+    );
+
+    let learner = Learner::new(LearnerConfig::default().with_stream_chunk(chunk));
+
+    // 2. Streamed learning: observations flow through in bounded chunks.
+    let reader = StreamingCsvReader::new(BufReader::new(std::fs::File::open(&path)?))?;
+    let streamed = learner.learn_streamed(reader)?;
+    let stats = streamed.stats();
+    println!(
+        "\nstreamed:  {} states, {} transitions",
+        streamed.num_states(),
+        streamed.num_transitions()
+    );
+    println!(
+        "  {} observations ingested, peak resident {} (chunk {chunk})",
+        stats.trace_length, stats.peak_resident_observations
+    );
+    println!(
+        "  {} predicate windows collapsed to {} unique solver windows",
+        stats.predicate_count, stats.solver_windows
+    );
+    println!(
+        "  synthesis {:?}, solver {:?}, total {:?}",
+        stats.synthesis_time, stats.solver_time, stats.total_time
+    );
+
+    // 3. Reference: the classic in-memory path over the same file.
+    let text = std::fs::read_to_string(&path)?;
+    let in_memory = learner.learn(&parse_csv(&text)?)?;
+    println!(
+        "\nin-memory: {} states, {} transitions (resident {} observations)",
+        in_memory.num_states(),
+        in_memory.num_transitions(),
+        in_memory.stats().peak_resident_observations
+    );
+
+    assert_eq!(streamed.num_states(), in_memory.num_states());
+    assert_eq!(streamed.num_transitions(), in_memory.num_transitions());
+    println!("\nboth paths agree ✓");
+
+    println!("\nlearned scheduler model:\n{}", streamed.to_dot("rtlinux"));
+    std::fs::remove_file(&path).ok();
+    Ok(())
+}

@@ -53,6 +53,6 @@ pub mod prelude {
     pub use tracelearn_core::{LearnError, LearnedModel, Learner, LearnerConfig};
     pub use tracelearn_statemerge::{MergeAlgorithm, StateMergeConfig, StateMergeLearner};
     pub use tracelearn_synth::{SynthesisConfig, Synthesizer};
-    pub use tracelearn_trace::{Signature, Trace, Value};
+    pub use tracelearn_trace::{Signature, StreamingCsvReader, Trace, TraceSet, Value};
     pub use tracelearn_workloads::Workload;
 }

@@ -47,7 +47,7 @@ fn module_reexports_resolve() {
             threshold: 4,
             length: 20,
         });
-    let csv = tracelearn::trace::to_csv(&trace);
+    let csv = tracelearn::trace::to_csv(&trace).expect("serialisable trace");
     let parsed = tracelearn::trace::parse_csv(&csv).expect("round-trip through CSV");
     assert_eq!(parsed.len(), trace.len());
 }

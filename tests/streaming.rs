@@ -1,0 +1,210 @@
+//! Integration tests for the streaming ingestion + sharded segmentation
+//! pipeline: streamed learning agrees with the in-memory path, multi-trace
+//! learning never fabricates windows across trace boundaries, and the
+//! resident observation count stays bounded by the chunk size.
+
+use tracelearn::learn::Learner;
+use tracelearn::prelude::*;
+use tracelearn::trace::{
+    parse_csv, to_csv, unique_windows, StreamingCsvReader, TraceSet, WindowCollector,
+};
+
+/// Streamed ingestion of a workload CSV produces exactly the windows of the
+/// in-memory `unique_windows`, chunk size notwithstanding.
+#[test]
+fn streamed_observation_windows_equal_in_memory_unique_windows() {
+    for workload in [Workload::LinuxKernel, Workload::SerialPort] {
+        let trace = workload.generate(3000);
+        let csv = to_csv(&trace).unwrap();
+        for (w, chunk) in [(3usize, 64usize), (2, 7), (4, 1000)] {
+            let mut reader = StreamingCsvReader::new(csv.as_bytes()).unwrap();
+            let mut collector = WindowCollector::new(w);
+            let mut scratch = Vec::new();
+            loop {
+                if reader.read_chunk(chunk, &mut scratch).unwrap() == 0 {
+                    break;
+                }
+                collector.extend(scratch.drain(..));
+            }
+            // Reference: batch unique windows over the materialised trace.
+            let reference = unique_windows(trace.observations(), w);
+            assert_eq!(
+                collector.into_unique(),
+                reference,
+                "{} w={w} chunk={chunk}",
+                workload.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn learn_streamed_matches_learn_on_event_workloads() {
+    // Event-only signatures: the streamed path is exactly equivalent to the
+    // in-memory path regardless of trace length vs calibration size.
+    for workload in [Workload::LinuxKernel, Workload::UsbAttach] {
+        let trace = workload.generate(20_000);
+        let csv = to_csv(&trace).unwrap();
+        let learner = Learner::new(LearnerConfig::default().with_stream_chunk(4096));
+        let in_memory = learner.learn(&trace).unwrap();
+        let reader = StreamingCsvReader::new(csv.as_bytes()).unwrap();
+        let streamed = learner.learn_streamed(reader).unwrap();
+        assert_eq!(
+            streamed.num_states(),
+            in_memory.num_states(),
+            "{}",
+            workload.name()
+        );
+        assert_eq!(
+            streamed.num_transitions(),
+            in_memory.num_transitions(),
+            "{}",
+            workload.name()
+        );
+        assert_eq!(
+            streamed.predicate_sequence(),
+            in_memory.predicate_sequence(),
+            "{}",
+            workload.name()
+        );
+        assert_eq!(
+            streamed.stats().solver_windows,
+            in_memory.stats().solver_windows
+        );
+    }
+}
+
+#[test]
+fn streamed_peak_residency_is_bounded_by_the_chunk_size() {
+    let trace = Workload::LinuxKernel.generate(60_000);
+    let csv = to_csv(&trace).unwrap();
+    let chunk = 8192;
+    let learner = Learner::new(LearnerConfig::default().with_stream_chunk(chunk));
+    let reader = StreamingCsvReader::new(csv.as_bytes()).unwrap();
+    let model = learner.learn_streamed(reader).unwrap();
+    let stats = model.stats();
+    assert_eq!(stats.trace_length, 60_000);
+    assert!(
+        stats.peak_resident_observations <= chunk + learner.config().window,
+        "peak residency {} exceeds chunk bound {}",
+        stats.peak_resident_observations,
+        chunk + learner.config().window
+    );
+}
+
+#[test]
+fn learn_many_agrees_with_single_trace_learning_on_split_runs() {
+    // Two independently generated runs of the same system: the merged model
+    // must embed every window of both, and the learner must not invent a
+    // phantom window bridging run 1's tail and run 2's head.
+    let run1 = Workload::LinuxKernel.generate_seeded(2000, 11);
+    let run2 = Workload::LinuxKernel.generate_seeded(2000, 22);
+    let set = TraceSet::from_traces([&run1, &run2]).unwrap();
+    let learner = Learner::new(LearnerConfig::default());
+    let merged = learner.learn_many(&set).unwrap();
+    let stats = merged.stats();
+    assert_eq!(stats.shards, 2);
+    assert_eq!(stats.trace_length, 4000);
+    assert_eq!(stats.shard_windows.len(), 2);
+    assert_eq!(
+        stats.shard_windows.iter().sum::<usize>(),
+        stats.solver_windows
+    );
+
+    // Window sets: merged solver windows == union of per-run windows; in
+    // particular no window spans the run boundary.
+    let sequences = merged.predicate_sequences();
+    assert_eq!(sequences.len(), 2);
+    let mut union = unique_windows(&sequences[0], 3);
+    for w in unique_windows(&sequences[1], 3) {
+        if !union.contains(&w) {
+            union.push(w);
+        }
+    }
+    assert_eq!(stats.solver_windows, union.len());
+    for window in &union {
+        assert!(merged.automaton().accepts_from_any_state(window));
+    }
+
+    // Each run alone is learnable, and the merged model is no larger than
+    // necessary: it still matches the per-run state count for this system.
+    let single = learner.learn(&run1).unwrap();
+    assert_eq!(merged.num_states(), single.num_states());
+}
+
+#[test]
+fn learn_many_differs_from_learning_the_concatenation() {
+    // Concatenating two traces fabricates windows at the seam. Construct a
+    // pair where the seam window is genuinely new: run 1 ends in `a`, run 2
+    // starts with `b`, and `a b` never occurs inside either run.
+    let sig = Signature::builder().event("op").build();
+    let mk = |events: &[&str]| {
+        let mut t = Trace::new(sig.clone());
+        for e in events {
+            t.push_named_row(vec![tracelearn::trace::RowEntry::Event(e)])
+                .unwrap();
+        }
+        t
+    };
+    let run1 = mk(&["a", "c", "a", "c", "a"]);
+    let run2 = mk(&["b", "c", "b", "c", "b"]);
+    let concatenated = mk(&["a", "c", "a", "c", "a", "b", "c", "b", "c", "b"]);
+
+    let learner = Learner::new(LearnerConfig::default());
+    let set = TraceSet::from_traces([&run1, &run2]).unwrap();
+    let sharded = learner.learn_many(&set).unwrap();
+    let seamed = learner.learn(&concatenated).unwrap();
+    // The sharded run sees strictly fewer windows than the concatenation,
+    // which manufactures `… a b …` windows at the seam.
+    assert!(
+        sharded.stats().solver_windows < seamed.stats().solver_windows,
+        "sharded {} vs seamed {}",
+        sharded.stats().solver_windows,
+        seamed.stats().solver_windows
+    );
+}
+
+/// The acceptance-scale run: a multi-million-row rtlinux trace is emitted
+/// through the streaming CSV writer, then learned both ways; state count and
+/// transition count must agree and residency must stay bounded. Ignored in
+/// debug builds (it is CPU-bound there); CI runs it in release.
+#[cfg_attr(
+    debug_assertions,
+    ignore = "run in release builds (CI: cargo test --release)"
+)]
+#[test]
+fn two_million_row_stream_learns_the_in_memory_model() {
+    use std::io::BufReader;
+
+    let rows = 2_000_000usize;
+    let dir = std::env::temp_dir().join("tracelearn-streaming-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("rtlinux-{rows}.csv"));
+    let file = std::fs::File::create(&path).unwrap();
+    Workload::LinuxKernel
+        .write_csv(rows, 0xDAC2020, file)
+        .unwrap();
+
+    let chunk = 65_536;
+    let learner = Learner::new(LearnerConfig::default().with_stream_chunk(chunk));
+
+    // Streamed: bounded residency.
+    let reader =
+        StreamingCsvReader::new(BufReader::new(std::fs::File::open(&path).unwrap())).unwrap();
+    let streamed = learner.learn_streamed(reader).unwrap();
+    let stats = streamed.stats();
+    assert_eq!(stats.trace_length, rows);
+    assert!(stats.peak_resident_observations <= chunk + learner.config().window);
+
+    // In-memory reference over the same bytes.
+    let text = std::fs::read_to_string(&path).unwrap();
+    let in_memory = learner.learn(&parse_csv(&text).unwrap()).unwrap();
+
+    assert_eq!(streamed.num_states(), in_memory.num_states());
+    assert_eq!(streamed.num_transitions(), in_memory.num_transitions());
+    assert_eq!(
+        streamed.stats().solver_windows,
+        in_memory.stats().solver_windows
+    );
+    std::fs::remove_file(&path).ok();
+}

@@ -1,14 +1,14 @@
 //! Integration tests for the trace interchange path: a trace recorded by one
 //! tool (or exported to text) can be re-parsed and learned from without any
-//! change to the result.
+//! change to the result, including traces with adversarial event names.
 
 use tracelearn::prelude::*;
-use tracelearn::trace::{parse_csv, to_csv};
+use tracelearn::trace::{parse_csv, to_csv, RowEntry, StreamingCsvReader};
 
 #[test]
 fn csv_round_trip_preserves_the_learned_model() {
     let trace = Workload::SerialPort.generate(400);
-    let text = to_csv(&trace);
+    let text = to_csv(&trace).expect("serialisable trace");
     let reparsed = parse_csv(&text).expect("round trip parses");
     assert_eq!(reparsed.len(), trace.len());
 
@@ -25,11 +25,55 @@ fn csv_round_trip_preserves_the_learned_model() {
 #[test]
 fn csv_round_trip_preserves_event_names_and_values() {
     let trace = Workload::LinuxKernel.generate(500);
-    let text = to_csv(&trace);
+    let text = to_csv(&trace).expect("serialisable trace");
     let reparsed = parse_csv(&text).expect("round trip parses");
     assert_eq!(
         trace.event_sequence("sched").unwrap(),
         reparsed.event_sequence("sched").unwrap()
+    );
+}
+
+#[test]
+fn csv_round_trip_is_identity_for_adversarial_event_names() {
+    // Event names containing every CSV metacharacter: commas, quotes,
+    // leading/trailing whitespace, newlines — and combinations.
+    let signature = Signature::builder().event("op").int("x").build();
+    let mut trace = Trace::new(signature);
+    let names = [
+        "plain",
+        "a,b",
+        "say \"hi\"",
+        " leading",
+        "trailing\t",
+        "two\nlines",
+        "",
+        ",\",\n\"",
+    ];
+    for (i, name) in names.iter().enumerate() {
+        trace
+            .push_named_row(vec![
+                RowEntry::Event(name),
+                RowEntry::Value(Value::Int(i as i64)),
+            ])
+            .unwrap();
+    }
+    let text = to_csv(&trace).expect("serialisable trace");
+    let back = parse_csv(&text).expect("round trip parses");
+    assert_eq!(back, trace);
+    // The streaming reader shares the tokenizer and must agree exactly.
+    let streamed = StreamingCsvReader::new(text.as_bytes())
+        .unwrap()
+        .read_trace()
+        .unwrap();
+    assert_eq!(streamed, trace);
+}
+
+#[test]
+fn empty_header_fields_are_rejected_loudly() {
+    let err = parse_csv("x:int,,y:int\n1,2\n").unwrap_err();
+    assert!(
+        err.to_string().contains("empty header field"),
+        "misleading error: {err}"
     );
 }
 

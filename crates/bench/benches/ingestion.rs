@@ -4,9 +4,13 @@
 //! The row count defaults to 2,000,000 and can be overridden with the
 //! `TRACELEARN_INGEST_ROWS` environment variable (CI smoke-runs use a small
 //! value). The CSV is produced by the workloads' streaming emitter, so the
-//! input itself is generated without materialising a trace.
+//! input itself is generated without materialising a trace. With
+//! `--json <path>` or `TRACELEARN_BENCH_JSON=<path>` the measured wall
+//! times are written as machine-readable JSON.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
+use tracelearn_bench::report::{write_if_requested, BenchRecord};
 use tracelearn_core::{Learner, LearnerConfig};
 use tracelearn_trace::{parse_csv, StreamingCsvReader};
 use tracelearn_workloads::Workload;
@@ -47,6 +51,41 @@ fn bench_ingestion(c: &mut Criterion) {
         b.iter(|| parse_csv(std::hint::black_box(text)).expect("parseable"))
     });
     group.finish();
+
+    // One timed run per variant for the JSON trajectory — only when an
+    // output path was actually requested; plain bench runs skip the extra
+    // passes entirely.
+    if tracelearn_bench::report::requested_path().is_none() {
+        return;
+    }
+    let mut records = Vec::new();
+    let start = Instant::now();
+    let trace = parse_csv(&text).expect("parseable");
+    let in_memory = learner.learn(&trace).expect("learnable");
+    records.push(
+        BenchRecord::new("in_memory", start.elapsed())
+            .with_extra("rows", rows)
+            .with_extra("states", in_memory.num_states()),
+    );
+    drop(trace);
+    let start = Instant::now();
+    let reader = StreamingCsvReader::new(text.as_bytes()).expect("parseable header");
+    let streamed = learner.learn_streamed(reader).expect("learnable");
+    let stats = streamed.stats();
+    records.push(
+        BenchRecord::new("streamed", start.elapsed())
+            .with_extra("rows", rows)
+            .with_extra("states", streamed.num_states())
+            .with_extra(
+                "peak_resident_observations",
+                stats.peak_resident_observations,
+            )
+            .with_extra("ingest_ns", stats.ingest_time.as_nanos()),
+    );
+    let start = Instant::now();
+    let _ = parse_csv(&text).expect("parseable");
+    records.push(BenchRecord::new("parse_only", start.elapsed()).with_extra("rows", rows));
+    write_if_requested("ingestion", &records);
 }
 
 criterion_group!(benches, bench_ingestion);

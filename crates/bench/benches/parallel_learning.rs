@@ -1,0 +1,109 @@
+//! Parallel learning pipeline: `learn_many` on a multi-shard rtlinux
+//! workload, sequential vs 2 vs 4 worker threads.
+//!
+//! The workload is `TRACELEARN_PARALLEL_SHARDS` (default 6) independently
+//! seeded rtlinux runs of `TRACELEARN_PARALLEL_ROWS` (default 30,000)
+//! observations each, learned as one [`TraceSet`]. Thread counts only change
+//! wall-clock: the bench asserts every configuration learns the identical
+//! model. With `--json <path>` (or `TRACELEARN_BENCH_JSON=<path>`) the
+//! measured wall times and the speedup over the sequential run are written
+//! as machine-readable JSON — the `BENCH_parallel_learning.json` perf
+//! trajectory. Speedups are bounded by the host's core count
+//! (`host_parallelism` in the JSON names it).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
+use tracelearn_bench::report::{write_if_requested, BenchRecord};
+use tracelearn_core::{Learner, LearnerConfig};
+use tracelearn_trace::{Trace, TraceSet};
+use tracelearn_workloads::Workload;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn shards() -> usize {
+    env_usize("TRACELEARN_PARALLEL_SHARDS", 6)
+}
+
+fn rows_per_shard() -> usize {
+    env_usize("TRACELEARN_PARALLEL_ROWS", 30_000)
+}
+
+fn build_set() -> TraceSet {
+    let traces: Vec<Trace> = (0..shards())
+        .map(|i| Workload::LinuxKernel.generate_seeded(rows_per_shard(), 0xDAC2020 + i as u64))
+        .collect();
+    TraceSet::from_traces(traces.iter()).expect("rtlinux shards share a signature")
+}
+
+fn learner(threads: usize) -> Learner {
+    Learner::new(LearnerConfig::default().with_num_threads(threads))
+}
+
+fn bench_parallel_learning(c: &mut Criterion) {
+    let set = build_set();
+    let mut group = c.benchmark_group("parallel_learning/rtlinux");
+    group.sample_size(10);
+    for &threads in &THREAD_COUNTS {
+        let learner = learner(threads);
+        group.bench_with_input(
+            BenchmarkId::new("learn_many", format!("threads={threads}")),
+            &set,
+            |b, set| {
+                b.iter(|| {
+                    learner
+                        .learn_many(std::hint::black_box(set))
+                        .expect("learnable")
+                })
+            },
+        );
+    }
+    group.finish();
+
+    // One timed run per configuration for the JSON trajectory, with the
+    // determinism guarantee checked on the way: every thread count must
+    // learn the bit-identical model. Skipped entirely when no JSON output
+    // was requested (the determinism suite covers the guarantee in CI).
+    if tracelearn_bench::report::requested_path().is_none() {
+        return;
+    }
+    let reference = learner(1).learn_many(&set).expect("learnable");
+    let mut records = Vec::new();
+    let mut baseline_ns = 0u128;
+    for &threads in &THREAD_COUNTS {
+        let start = Instant::now();
+        let model = learner(threads).learn_many(&set).expect("learnable");
+        let wall = start.elapsed();
+        assert_eq!(
+            model.automaton(),
+            reference.automaton(),
+            "threads={threads} must learn the identical model"
+        );
+        if threads == 1 {
+            baseline_ns = wall.as_nanos();
+        }
+        let stats = model.stats();
+        records.push(
+            BenchRecord::new(format!("learn_many/threads={threads}"), wall)
+                .with_extra("shards", shards())
+                .with_extra("rows_per_shard", rows_per_shard())
+                .with_extra("states", model.num_states())
+                .with_extra("speculative_solves", stats.speculative_solves)
+                .with_extra("cancelled_solves", stats.cancelled_solves)
+                .with_extra(
+                    "speedup_vs_1_thread",
+                    format!("{:.3}", baseline_ns as f64 / wall.as_nanos().max(1) as f64),
+                ),
+        );
+    }
+    write_if_requested("parallel_learning", &records);
+}
+
+criterion_group!(benches, bench_parallel_learning);
+criterion_main!(benches);

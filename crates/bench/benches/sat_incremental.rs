@@ -1,17 +1,25 @@
-//! From-scratch vs incremental SAT refinement (the learner's Phase-3 loop).
+//! From-scratch vs incremental vs batched SAT refinement (the learner's
+//! Phase-3 loop).
 //!
-//! Both variants run the full compliance-refinement search for the smallest
+//! All variants run the full compliance-refinement search for the smallest
 //! automaton on a workload's unique windows. The from-scratch variant
 //! rebuilds the CNF and a brand-new solver for every refinement round (the
 //! seed behaviour); the incremental variant builds one base encoding and one
 //! solver per candidate state count and feeds it only the delta clauses of
-//! newly forbidden sequences, reusing learnt clauses across rounds.
+//! newly forbidden sequences, reusing learnt clauses across rounds; the
+//! batched variant keeps ONE solver alive across state counts, gating each
+//! count's clauses behind an assumption literal so learnt clauses flow
+//! across counts too (`SolverStrategy::BatchedAssumptions` at the SAT
+//! layer). With `--json <path>` or `TRACELEARN_BENCH_JSON=<path>` the
+//! measured wall times are written as machine-readable JSON.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
+use tracelearn_bench::report::{write_if_requested, BenchRecord};
 use tracelearn_core::compliance::invalid_sequences;
 use tracelearn_core::encoding::AutomatonEncoder;
 use tracelearn_core::{PredId, PredicateExtractor};
-use tracelearn_sat::{SatResult, Solver};
+use tracelearn_sat::{Limits, Lit, Model, SatResult, Solver, Var};
 use tracelearn_synth::SynthesisConfig;
 use tracelearn_trace::unique_windows;
 use tracelearn_workloads::Workload;
@@ -96,6 +104,82 @@ fn refine_incremental(input: &Prepared) -> usize {
     panic!("no automaton within the state bound");
 }
 
+/// The cross-state-count batched loop: one solver for the entire search,
+/// each count's clauses behind a fresh activation literal enabled via
+/// `solve_with_assumptions`, so learnt clauses survive across counts.
+fn refine_batched(input: &Prepared) -> usize {
+    let mut encoder = AutomatonEncoder::new(input.windows.clone(), 2);
+    let mut solver = Solver::new(0);
+    for num_states in 2..=MAX_STATES {
+        encoder.set_num_states(num_states);
+        let encoding = encoder.encode_base();
+        let base = solver.num_vars();
+        for _ in 0..encoding.cnf.num_vars() {
+            solver.new_var();
+        }
+        let gate = solver.new_var();
+        let offset = |lit: Lit| {
+            let var = Var::new(u32::try_from(lit.var().index() + base).expect("var fits in u32"));
+            if lit.is_positive() {
+                Lit::positive(var)
+            } else {
+                Lit::negative(var)
+            }
+        };
+        for clause in encoding.cnf.clauses() {
+            solver.add_clause(
+                clause
+                    .iter()
+                    .map(|&lit| offset(lit))
+                    .chain(std::iter::once(Lit::negative(gate))),
+            );
+        }
+        loop {
+            match solver.solve_with_assumptions(&[Lit::positive(gate)], Limits::unlimited()) {
+                SatResult::Unsat => break,
+                SatResult::Unknown => unreachable!("no limits were set"),
+                SatResult::Sat(model) => {
+                    let local = Model::new(
+                        (0..encoding.cnf.num_vars())
+                            .map(|v| {
+                                model.value(Var::new(
+                                    u32::try_from(base + v).expect("var fits in u32"),
+                                ))
+                            })
+                            .collect(),
+                    );
+                    let candidate = encoding.decode(encoder.windows(), &local);
+                    let violations =
+                        invalid_sequences(&candidate, &input.sequence, COMPLIANCE_LENGTH);
+                    if violations.is_empty() {
+                        return num_states;
+                    }
+                    for violation in violations {
+                        encoder.forbid_sequence(violation);
+                    }
+                    for clause in encoder.delta_clauses(&encoding) {
+                        solver.add_clause(
+                            clause
+                                .into_iter()
+                                .map(offset)
+                                .chain(std::iter::once(Lit::negative(gate))),
+                        );
+                    }
+                }
+            }
+        }
+    }
+    panic!("no automaton within the state bound");
+}
+
+type Refiner = fn(&Prepared) -> usize;
+
+const STRATEGIES: [(&str, Refiner); 3] = [
+    ("from_scratch", refine_from_scratch),
+    ("incremental", refine_incremental),
+    ("batched_assumptions", refine_batched),
+];
+
 fn bench_refinement(c: &mut Criterion) {
     let inputs = [
         prepare(Workload::LinuxKernel, 1024, "rtlinux"),
@@ -103,20 +187,35 @@ fn bench_refinement(c: &mut Criterion) {
     ];
     let mut group = c.benchmark_group("sat/refinement");
     for input in &inputs {
-        group.bench_with_input(
-            BenchmarkId::new("from_scratch", input.name),
-            input,
-            |b, input| b.iter(|| refine_from_scratch(std::hint::black_box(input))),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("incremental", input.name),
-            input,
-            |b, input| b.iter(|| refine_incremental(std::hint::black_box(input))),
-        );
-        // Both strategies must agree on the minimal state count.
+        for (strategy, refine) in STRATEGIES {
+            group.bench_with_input(BenchmarkId::new(strategy, input.name), input, |b, input| {
+                b.iter(|| refine(std::hint::black_box(input)))
+            });
+        }
+        // All strategies must agree on the minimal state count.
         assert_eq!(refine_from_scratch(input), refine_incremental(input));
+        assert_eq!(refine_incremental(input), refine_batched(input));
     }
     group.finish();
+
+    // One timed run per strategy per input for the JSON trajectory — only
+    // when an output path was actually requested.
+    if tracelearn_bench::report::requested_path().is_none() {
+        return;
+    }
+    let mut records = Vec::new();
+    for input in &inputs {
+        for (strategy, refine) in STRATEGIES {
+            let start = Instant::now();
+            let states = refine(input);
+            records.push(
+                BenchRecord::new(format!("{strategy}/{}", input.name), start.elapsed())
+                    .with_extra("states", states)
+                    .with_extra("windows", input.windows.len()),
+            );
+        }
+    }
+    write_if_requested("sat_incremental", &records);
 }
 
 criterion_group!(benches, bench_refinement);

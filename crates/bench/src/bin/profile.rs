@@ -2,21 +2,79 @@
 //! ablation/diagnostic aid (not a paper artefact).
 //!
 //! ```text
-//! profile <workload> <length>
+//! profile <workload> <length> [--threads N] [--shards S]
 //! ```
+//!
+//! Prints a per-phase wall-time breakdown (ingest / abstract / segment /
+//! SAT) for the streamed and in-memory pipelines — so the next perf target
+//! can be picked from data, not anecdote — plus the k-tails baseline for
+//! context. `--threads N` sets the learner's worker-thread count (0 = the
+//! machine's available parallelism); `--shards S` splits the workload into
+//! `S` independently seeded runs learned as one `TraceSet` through the
+//! parallel shard-extraction path.
 
 use std::env;
 use std::time::Instant;
 use tracelearn_bench::learner_config_for;
-use tracelearn_core::{Learner, PredicateExtractor};
-use tracelearn_trace::unique_windows;
+use tracelearn_core::{LearnStats, Learner, PredicateExtractor};
+use tracelearn_trace::{unique_windows, StreamingCsvReader, Trace, TraceSet};
 use tracelearn_workloads::Workload;
 
+fn print_phases(label: &str, stats: &LearnStats) {
+    println!("{label} phase breakdown:");
+    println!("  ingest:          {:>10.2?}", stats.ingest_time);
+    println!(
+        "  abstract:        {:>10.2?}  ({} predicates, alphabet {})",
+        stats.synthesis_time, stats.predicate_count, stats.alphabet_size
+    );
+    println!(
+        "  segment:         {:>10.2?}  ({} unique windows)",
+        stats.segmentation_time, stats.solver_windows
+    );
+    println!(
+        "  sat:             {:>10.2?}  ({} queries, {} solvers, {} refinements, {} speculative, {} cancelled)",
+        stats.solver_time,
+        stats.sat_queries,
+        stats.solvers_constructed,
+        stats.refinements,
+        stats.speculative_solves,
+        stats.cancelled_solves
+    );
+    println!(
+        "  total:           {:>10.2?}  ({} states, {} threads)",
+        stats.total_time, stats.states, stats.threads_used
+    );
+}
+
 fn main() {
+    let mut positional: Vec<String> = Vec::new();
+    let mut threads = 0usize;
+    let mut shards = 1usize;
     let mut arguments = env::args().skip(1);
-    let name = arguments.next().unwrap_or_else(|| "integrator".to_owned());
-    let length: usize = arguments
-        .next()
+    while let Some(argument) = arguments.next() {
+        match argument.as_str() {
+            "--threads" => {
+                threads = arguments
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--threads takes a number");
+            }
+            "--shards" => {
+                shards = arguments
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&s| s > 0)
+                    .expect("--shards takes a positive number");
+            }
+            _ => positional.push(argument),
+        }
+    }
+    let name = positional
+        .first()
+        .cloned()
+        .unwrap_or_else(|| "integrator".to_owned());
+    let length: usize = positional
+        .get(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(1024);
     let workload = match name.as_str() {
@@ -27,11 +85,17 @@ fn main() {
         "rtlinux" => Workload::LinuxKernel,
         _ => Workload::Integrator,
     };
-    let config = learner_config_for(workload);
+    let config = learner_config_for(workload).with_num_threads(threads);
+    let learner = Learner::new(config.clone());
+    println!(
+        "== {} · {length} observations · {} worker thread(s) ==",
+        workload.name(),
+        learner.effective_threads()
+    );
 
     let start = Instant::now();
     let trace = workload.generate(length);
-    println!("generate:          {:>8.2?}", start.elapsed());
+    println!("generate:          {:>10.2?}", start.elapsed());
 
     let start = Instant::now();
     let extractor = PredicateExtractor::new(
@@ -42,7 +106,7 @@ fn main() {
     )
     .expect("extractable");
     println!(
-        "input detection:   {:>8.2?}  (inputs: {:?})",
+        "input detection:   {:>10.2?}  (inputs: {:?})",
         start.elapsed(),
         extractor.input_variables()
     );
@@ -50,7 +114,7 @@ fn main() {
     let start = Instant::now();
     let (sequence, alphabet) = extractor.extract();
     println!(
-        "extraction:        {:>8.2?}  ({} predicates, alphabet {})",
+        "extraction:        {:>10.2?}  ({} predicates, alphabet {})",
         start.elapsed(),
         sequence.len(),
         alphabet.len()
@@ -59,7 +123,7 @@ fn main() {
     let start = Instant::now();
     let windows = unique_windows(&sequence, config.window);
     println!(
-        "segmentation:      {:>8.2?}  ({} unique windows)",
+        "segmentation:      {:>10.2?}  ({} unique windows)",
         start.elapsed(),
         windows.len()
     );
@@ -81,26 +145,37 @@ fn main() {
         )
         .learn(&[events]);
         println!(
-            "ktails k={k}:         {:>8.2?}  ({} states)",
+            "ktails k={k}:         {:>10.2?}  ({} states)",
             start.elapsed(),
             model.num_states()
         );
     }
 
-    let start = Instant::now();
-    match Learner::new(config).learn(&trace) {
-        Ok(model) => {
-            let stats = model.stats();
-            println!(
-                "full learn:        {:>8.2?}  ({} states, {} SAT queries, {} refinements, synth {:.2?}, solver {:.2?})",
-                start.elapsed(),
-                model.num_states(),
-                stats.sat_queries,
-                stats.refinements,
-                stats.synthesis_time,
-                stats.solver_time
-            );
+    // Streamed pipeline: includes the ingest phase the in-memory run lacks.
+    let mut csv = Vec::new();
+    workload
+        .write_csv(length, 0xDAC2020, &mut csv)
+        .expect("writing to a Vec cannot fail");
+    let reader = StreamingCsvReader::new(csv.as_slice()).expect("parseable header");
+    match learner.learn_streamed(reader) {
+        Ok(model) => print_phases("streamed learn", &model.stats()),
+        Err(error) => println!("streamed learn failed: {error}"),
+    }
+
+    // In-memory pipeline, optionally sharded across independent runs.
+    if shards > 1 {
+        let traces: Vec<Trace> = (0..shards)
+            .map(|i| workload.generate_seeded(length, 0xDAC2020 + i as u64))
+            .collect();
+        let set = TraceSet::from_traces(traces.iter()).expect("shards share a signature");
+        match learner.learn_many(&set) {
+            Ok(model) => print_phases(&format!("learn_many ({shards} shards)"), &model.stats()),
+            Err(error) => println!("learn_many failed: {error}"),
         }
-        Err(error) => println!("full learn failed: {error}"),
+    } else {
+        match learner.learn(&trace) {
+            Ok(model) => print_phases("full learn", &model.stats()),
+            Err(error) => println!("full learn failed: {error}"),
+        }
     }
 }

@@ -15,6 +15,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod report;
+
 use std::time::{Duration, Instant};
 use tracelearn_core::{LearnError, LearnedModel, Learner, LearnerConfig};
 use tracelearn_statemerge::{trace_to_events, StateMergeConfig, StateMergeLearner};

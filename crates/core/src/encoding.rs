@@ -103,6 +103,13 @@ impl AutomatonEncoder {
         self.forbidden.len()
     }
 
+    /// The forbidden sequences registered so far, in registration order. The
+    /// portfolio search reads the suffix discovered by one state count's
+    /// refinement to carry it into the next count's entry set.
+    pub fn forbidden_sequences(&self) -> &[Vec<PredId>] {
+        &self.forbidden
+    }
+
     /// A cheap upper bound on the number of clauses the encoding will
     /// produce, used to enforce the learner's size budget before building
     /// the formula.

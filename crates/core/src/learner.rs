@@ -11,25 +11,82 @@
 //!   are consumed in bounded chunks, so only the chunk, the unique-window
 //!   set (small, by the paper's key insight) and the predicate-id sequence
 //!   stay resident — the raw trace never does.
+//!
+//! # Parallelism
+//!
+//! The pipeline is parallel end-to-end, controlled by
+//! [`LearnerConfig::num_threads`] and built on `std::thread::scope` only:
+//!
+//! * **Extraction** — [`Learner::learn_many`] fans per-shard predicate
+//!   abstraction and windowing out across a worker pool; workers intern into
+//!   shard-local alphabets and the results are merged deterministically in
+//!   input order, so the learned model is *byte-identical* to a sequential
+//!   run. [`Learner::learn_streamed`] likewise abstracts its distinct
+//!   observation windows across the pool.
+//! * **Solving** — the sequential `initial_states..=max_states` search is
+//!   replaced by a speculative portfolio: while state count `k` is being
+//!   decided, workers construct and solve `k+1..` on their own incremental
+//!   solvers. Results are adopted only when the speculated entry state (the
+//!   forbidden-sequence set) matches what a sequential run would have seen,
+//!   which keeps the accepted model bit-identical to `num_threads = 1` and
+//!   the accepted state count minimal; an atomic cancellation flag (checked
+//!   inside the solver's propagation loop) aborts moot speculation promptly.
 
 use crate::compliance::ComplianceChecker;
-use crate::encoding::AutomatonEncoder;
+use crate::encoding::{AutomatonEncoder, Encoding};
 use crate::error::LearnError;
 use crate::predicates::{PredId, PredicateAlphabet, PredicateExtractor, WindowAbstractor};
+use std::collections::HashMap;
 use std::io::BufRead;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 use tracelearn_automaton::Nfa;
-use tracelearn_sat::{Limits, SatResult, Solver};
+use tracelearn_expr::Predicate;
+use tracelearn_sat::{Limits, Lit, Model, SatResult, Solver, Var};
 use tracelearn_synth::SynthesisConfig;
 use tracelearn_trace::{
     Signature, StreamingCsvReader, SymbolTable, Trace, TraceError, TraceSet, Valuation,
     WindowCollector,
 };
 
-/// Smallest calibration prefix for streamed learning: enough observations to
+/// Smallest calibration sample for streamed learning: enough observations to
 /// harvest synthesis constants, detect input variables and score dominant
-/// updates even when the caller configures a tiny chunk size.
+/// updates even when the caller configures a tiny chunk or sample size.
 const MIN_STREAM_CALIBRATION: usize = 4096;
+
+/// Observations per reservoir block (at least the window length): the
+/// streamed calibration reservoir samples the stream in contiguous blocks so
+/// that observation *pairs and triples* — what calibration actually consumes
+/// — survive sampling intact.
+const RESERVOIR_BLOCK: usize = 32;
+
+/// Fixed seed of the calibration reservoir's PRNG: sampling is deterministic
+/// so repeated runs over the same stream learn the same model.
+const RESERVOIR_SEED: u64 = 0xDAC2020;
+
+/// Strategy of the Phase-3 SAT search over candidate state counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SolverStrategy {
+    /// One incremental solver per candidate state count (the default): the
+    /// base encoding is built once per count and refinement rounds feed only
+    /// delta clauses, so learnt clauses survive across rounds. With
+    /// [`LearnerConfig::num_threads`] `> 1` the counts are explored by the
+    /// speculative portfolio (see the module docs); with one thread the
+    /// counts are tried in ascending order exactly as before.
+    #[default]
+    PerCount,
+    /// One solver for the *entire* search: each state count's clauses are
+    /// loaded behind a fresh activation literal and enabled via
+    /// `solve_with_assumptions`, so learnt clauses flow across state counts
+    /// as well as refinement rounds. This is the ROADMAP's cross-state-count
+    /// batching; it is inherently sequential (one solver), so it is mutually
+    /// exclusive with the portfolio and `num_threads` only affects
+    /// extraction. The returned state count is still the minimum satisfiable
+    /// one, but the witness automaton may differ from the per-count
+    /// strategies' (any compliant minimal model is a valid answer).
+    BatchedAssumptions,
+}
 
 /// Configuration of the learner (the tunable parameters of Algorithm 1).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -65,10 +122,27 @@ pub struct LearnerConfig {
     /// in addition to the automatically detected ones.
     pub input_variables: Vec<String>,
     /// Number of observations [`Learner::learn_streamed`] reads per chunk —
-    /// the bound on the resident raw-observation count (plus a `w − 1`
-    /// overlap carry, and at least [`MIN_STREAM_CALIBRATION`] during the
-    /// initial calibration read).
+    /// the bound on the resident raw-observation count of the streaming
+    /// sweep (plus a `w − 1` overlap carry and the calibration reservoir,
+    /// see [`calibration_sample`](LearnerConfig::calibration_sample)).
     pub stream_chunk: usize,
+    /// Worker threads for shard extraction and the speculative state-count
+    /// portfolio. `0` (the default) means "use the machine's available
+    /// parallelism"; `1` disables threading and preserves the exact
+    /// sequential pipeline. Learned models are byte-identical across thread
+    /// counts (only the thread/speculation counters and wall times in
+    /// [`LearnStats`] differ), so this is purely a wall-clock knob.
+    pub num_threads: usize,
+    /// Strategy of the Phase-3 SAT search (see [`SolverStrategy`]).
+    pub solver_strategy: SolverStrategy,
+    /// Upper bound on the observations [`Learner::learn_streamed`] retains
+    /// for calibration. The calibration reservoir samples contiguous blocks
+    /// uniformly over the **whole** stream (not just a prefix), so
+    /// integer-heavy traces whose behaviour changes late still calibrate
+    /// correctly; streams that fit entirely within the sample are calibrated
+    /// exactly like the in-memory path. The effective bound is at least
+    /// `max(stream_chunk, 4096)`.
+    pub calibration_sample: usize,
 }
 
 impl Default for LearnerConfig {
@@ -86,6 +160,9 @@ impl Default for LearnerConfig {
             synthesis: SynthesisConfig::default(),
             input_variables: Vec::new(),
             stream_chunk: 65_536,
+            num_threads: 0,
+            solver_strategy: SolverStrategy::PerCount,
+            calibration_sample: 65_536,
         }
     }
 }
@@ -134,6 +211,24 @@ impl LearnerConfig {
         self.stream_chunk = observations;
         self
     }
+
+    /// Sets the worker-thread count (`0` = available parallelism).
+    pub fn with_num_threads(mut self, threads: usize) -> Self {
+        self.num_threads = threads;
+        self
+    }
+
+    /// Sets the Phase-3 solver strategy.
+    pub fn with_solver_strategy(mut self, strategy: SolverStrategy) -> Self {
+        self.solver_strategy = strategy;
+        self
+    }
+
+    /// Sets the streamed-calibration sample bound (observations).
+    pub fn with_calibration_sample(mut self, observations: usize) -> Self {
+        self.calibration_sample = observations;
+        self
+    }
 }
 
 /// Statistics of a learning run, reported alongside the model.
@@ -154,13 +249,19 @@ pub struct LearnStats {
     /// shard `i`'s count excludes windows already seen in shards `0..i`.
     pub shard_windows: Vec<usize>,
     /// Largest number of raw observations resident at once. Equals
-    /// `trace_length` for the in-memory paths; bounded by the chunk size
-    /// (plus calibration/overlap) for [`Learner::learn_streamed`].
+    /// `trace_length` for the in-memory paths; for
+    /// [`Learner::learn_streamed`] it counts the rolling chunk buffer, the
+    /// calibration reservoir and the interned distinct observation windows
+    /// (small by the paper's key insight).
     pub peak_resident_observations: usize,
-    /// Number of SAT queries issued.
+    /// Number of SAT queries issued on the *adopted* search path (queries by
+    /// speculative workers whose results were discarded are counted in
+    /// [`speculative_solves`](LearnStats::speculative_solves) instead, so
+    /// this field is identical across thread counts).
     pub sat_queries: usize,
-    /// Number of solvers constructed: with the incremental refinement loop
-    /// this is exactly one per candidate state count tried.
+    /// Number of solvers constructed on the adopted search path: with the
+    /// per-count strategies exactly one per candidate state count tried,
+    /// with [`SolverStrategy::BatchedAssumptions`] exactly one per run.
     pub solvers_constructed: usize,
     /// Learnt clauses carried into repeat queries on a reused solver, summed
     /// over all queries after the first at each state count.
@@ -169,8 +270,27 @@ pub struct LearnStats {
     pub refinements: usize,
     /// Number of states of the learned automaton.
     pub states: usize,
-    /// Wall-clock time spent generating predicates.
+    /// Worker threads available to this run (`1` = sequential pipeline).
+    pub threads_used: usize,
+    /// SAT queries issued by speculative portfolio workers (state counts
+    /// explored ahead of the decision point), whether or not their results
+    /// were adopted. Zero for sequential and batched runs.
+    pub speculative_solves: usize,
+    /// Speculative workers aborted by the cancellation flag — a smaller
+    /// state count was accepted first, or newly forbidden sequences
+    /// invalidated the speculation wave.
+    pub cancelled_solves: usize,
+    /// Wall-clock time spent ingesting the raw stream
+    /// ([`Learner::learn_streamed`] only; the in-memory paths report zero).
+    pub ingest_time: Duration,
+    /// Wall-clock time spent generating predicates (calibration plus window
+    /// abstraction).
     pub synthesis_time: Duration,
+    /// Wall-clock time spent merging predicate sequences into the unique
+    /// solver windows. For parallel extraction the per-shard windowing
+    /// overlaps extraction inside the workers; this field times the
+    /// deterministic merge.
+    pub segmentation_time: Duration,
     /// Wall-clock time spent in the solver and the compliance loop.
     pub solver_time: Duration,
     /// Total wall-clock time.
@@ -246,6 +366,164 @@ impl LearnedModel {
     }
 }
 
+/// Outcome of the complete refinement loop at one candidate state count.
+#[derive(Debug)]
+enum CountVerdict {
+    /// A compliant automaton with this many states exists.
+    Compliant(Nfa<PredId>),
+    /// No automaton with this many states satisfies the constraints;
+    /// `discovered` carries the forbidden sequences this count's refinement
+    /// found (to be inherited by larger counts, in discovery order).
+    Unsat { discovered: Vec<Vec<PredId>> },
+    /// A resource budget ran out (or the configuration was rejected).
+    Failed(LearnError),
+    /// The cancellation flag aborted the worker before it finished.
+    Cancelled,
+}
+
+/// One state count's refinement result plus its work counters.
+#[derive(Debug)]
+struct CountOutcome {
+    sat_queries: usize,
+    refinements: usize,
+    reused_learnt_clauses: u64,
+    verdict: CountVerdict,
+}
+
+/// Shared coordination state of one speculative portfolio worker.
+struct SpeculationSlot {
+    /// Raised to abort the worker: its count became moot (a smaller count
+    /// was accepted, the run failed) or its speculation went stale (it
+    /// started solving before a broadcast it needed).
+    cancel: Arc<AtomicBool>,
+    /// The forbidden-board length the worker had incorporated when it issued
+    /// its first solve call (`usize::MAX` until then). The adjudicator
+    /// compares this against the board length a sequential run would have
+    /// seen to decide whether the speculated result can be adopted.
+    synced: Arc<AtomicUsize>,
+}
+
+impl SpeculationSlot {
+    fn new() -> Self {
+        SpeculationSlot {
+            cancel: Arc::new(AtomicBool::new(false)),
+            synced: Arc::new(AtomicUsize::new(usize::MAX)),
+        }
+    }
+}
+
+/// A speculative worker's result: the count outcome plus the entry state it
+/// was computed against.
+struct SpeculativeOutcome {
+    entry_len: usize,
+    outcome: CountOutcome,
+}
+
+/// Deterministic block-level reservoir sample over a valuation stream.
+///
+/// The stream is split into consecutive blocks of `block_len` observations
+/// and up to `capacity` blocks are retained, each block surviving with equal
+/// probability (Algorithm R at block granularity, driven by a fixed-seed
+/// PRNG). Sampling whole blocks — rather than single observations — keeps
+/// the observation *pairs and triples* that calibration consumes intact.
+/// Blocks that will not be retained are never materialised.
+struct BlockReservoir {
+    block_len: usize,
+    capacity: usize,
+    kept: Vec<(usize, Vec<Valuation>)>,
+    current: Vec<Valuation>,
+    /// Destination of the block being filled: `None` while undecided (block
+    /// empty), `Some(None)` = skip, `Some(Some(slot))` = keep.
+    destination: Option<Option<usize>>,
+    fill: usize,
+    seen_blocks: usize,
+    rng: u64,
+}
+
+impl BlockReservoir {
+    fn new(block_len: usize, capacity: usize) -> Self {
+        BlockReservoir {
+            block_len: block_len.max(1),
+            capacity: capacity.max(1),
+            kept: Vec::new(),
+            current: Vec::new(),
+            destination: None,
+            fill: 0,
+            seen_blocks: 0,
+            rng: RESERVOIR_SEED,
+        }
+    }
+
+    /// SplitMix64: deterministic, seedable, and plenty uniform for sampling.
+    fn next_rand(&mut self) -> u64 {
+        self.rng = self.rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn push(&mut self, observation: &Valuation) {
+        if self.destination.is_none() {
+            // Decide this block's fate up front so skipped blocks cost no
+            // clones: block `j` survives with probability `capacity / (j+1)`.
+            let j = self.seen_blocks;
+            self.destination = Some(if self.kept.len() < self.capacity {
+                Some(self.kept.len())
+            } else {
+                let r = usize::try_from(self.next_rand() % (j as u64 + 1))
+                    .expect("slot index fits in usize");
+                (r < self.capacity).then_some(r)
+            });
+        }
+        if matches!(self.destination, Some(Some(_))) {
+            self.current.push(observation.clone());
+        }
+        self.fill += 1;
+        if self.fill == self.block_len {
+            self.commit();
+        }
+    }
+
+    fn commit(&mut self) {
+        let j = self.seen_blocks;
+        self.seen_blocks += 1;
+        self.fill = 0;
+        if let Some(Some(slot)) = self.destination.take() {
+            let block = std::mem::take(&mut self.current);
+            if slot == self.kept.len() {
+                self.kept.push((j, block));
+            } else {
+                self.kept[slot] = (j, block);
+            }
+        }
+    }
+
+    /// Observations currently resident in the reservoir.
+    fn resident_observations(&self) -> usize {
+        self.kept.iter().map(|(_, b)| b.len()).sum::<usize>() + self.current.len()
+    }
+
+    /// Finishes the stream, returning the sampled blocks in stream order and
+    /// whether they are the *complete* stream (every block retained — the
+    /// blocks then reassemble into the exact input).
+    fn finish(mut self) -> (Vec<Vec<Valuation>>, bool) {
+        if self.fill > 0 {
+            self.commit();
+        }
+        let complete = self.kept.len() == self.seen_blocks;
+        self.kept.sort_by_key(|(index, _)| *index);
+        (
+            self.kept.into_iter().map(|(_, block)| block).collect(),
+            complete,
+        )
+    }
+}
+
+/// How many windows an abstraction worker processes between wall-clock
+/// budget checks.
+const ABSTRACTION_CHECK_INTERVAL: usize = 64;
+
 /// The model learner (Algorithm 1 of the paper).
 #[derive(Debug, Clone, Default)]
 pub struct Learner {
@@ -263,6 +541,18 @@ impl Learner {
         &self.config
     }
 
+    /// The worker-thread count this learner will actually use
+    /// ([`LearnerConfig::num_threads`], with `0` resolved to the machine's
+    /// available parallelism).
+    pub fn effective_threads(&self) -> usize {
+        match self.config.num_threads {
+            0 => std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+            n => n,
+        }
+    }
+
     /// Learns an automaton from a trace.
     ///
     /// # Errors
@@ -276,6 +566,7 @@ impl Learner {
         let start = Instant::now();
         self.validate_config()?;
         let config = &self.config;
+        let threads = self.effective_threads();
 
         // Phase 1: predicate synthesis.
         let extractor = PredicateExtractor::new(
@@ -289,6 +580,7 @@ impl Learner {
 
         // Phases 2 + 3.
         let sequences = vec![sequence];
+        let segmentation_start = Instant::now();
         let (windows, shard_windows) = self.segment(&sequences);
         let stats = LearnStats {
             trace_length: trace.len(),
@@ -298,7 +590,9 @@ impl Learner {
             shards: 1,
             shard_windows,
             peak_resident_observations: trace.len(),
+            threads_used: threads,
             synthesis_time,
+            segmentation_time: segmentation_start.elapsed(),
             ..LearnStats::default()
         };
         self.solve_phase(
@@ -319,10 +613,14 @@ impl Learner {
     /// compliance oracle likewise admits a length-`l` behaviour when *some*
     /// input trace exhibits it. One [`WindowAbstractor`] — calibrated over
     /// every run, with observation pairs never straddling a boundary (see
-    /// [`WindowAbstractor::from_calibration_set`]) — serves all shards with
-    /// a single predicate cache, which, together with the set's shared
-    /// symbol table, guarantees that identical window content in different
-    /// shards maps to the identical predicate id.
+    /// [`WindowAbstractor::from_calibration_set`]) — serves all shards, and
+    /// with the set's shared symbol table guarantees that identical window
+    /// content in different shards maps to the identical predicate id.
+    ///
+    /// With [`LearnerConfig::num_threads`] `> 1` the per-shard abstraction
+    /// and windowing fan out across a scoped worker pool; workers intern
+    /// into shard-local alphabets and the shard results are merged in input
+    /// order, which makes the result *byte-identical* to a sequential run.
     ///
     /// # Errors
     ///
@@ -337,30 +635,46 @@ impl Learner {
             return Err(LearnError::Trace(TraceError::EmptyTrace));
         }
         let w = config.window;
+        let threads = self.effective_threads();
+        let extraction_threads = threads.min(set.num_traces());
 
         // Phase 1: one abstractor for all shards — calibrated over every
-        // run, but never pairing observations across a trace boundary — with
-        // one shared cache and alphabet, so identical window content in
-        // different shards is guaranteed the same predicate id. Windows
-        // themselves are taken per shard below; none spans a boundary.
+        // run, but never pairing observations across a trace boundary — so
+        // identical window content in different shards is guaranteed the
+        // same predicate. Windows themselves are taken per shard; none spans
+        // a boundary.
         let mut abstractor = WindowAbstractor::from_calibration_set(
             set,
             w,
             config.synthesis.clone(),
             &config.input_variables,
         )?;
-        let mut alphabet = PredicateAlphabet::new();
-        let mut sequences = Vec::with_capacity(set.num_traces());
-        for shard in set.iter() {
-            let mut sequence = Vec::with_capacity(shard.len() + 1 - w);
-            for start in 0..=shard.len() - w {
-                sequence.push(abstractor.predicate_id(&shard[start..start + w], &mut alphabet));
-            }
-            sequences.push(sequence);
-        }
-        let synthesis_time = start.elapsed();
+        let (sequences, alphabet, windows, shard_windows, synthesis_time, segmentation_time) =
+            if extraction_threads > 1 {
+                self.extract_and_segment_parallel(&abstractor, set, extraction_threads, start)
+            } else {
+                let mut alphabet = PredicateAlphabet::new();
+                let mut sequences = Vec::with_capacity(set.num_traces());
+                for shard in set.iter() {
+                    let mut sequence = Vec::with_capacity(shard.len() + 1 - w);
+                    for s in 0..=shard.len() - w {
+                        sequence.push(abstractor.predicate_id(&shard[s..s + w], &mut alphabet));
+                    }
+                    sequences.push(sequence);
+                }
+                let synthesis_time = start.elapsed();
+                let segmentation_start = Instant::now();
+                let (windows, shard_windows) = self.segment(&sequences);
+                (
+                    sequences,
+                    alphabet,
+                    windows,
+                    shard_windows,
+                    synthesis_time,
+                    segmentation_start.elapsed(),
+                )
+            };
 
-        let (windows, shard_windows) = self.segment(&sequences);
         let stats = LearnStats {
             trace_length: set.total_observations(),
             predicate_count: sequences.iter().map(Vec::len).sum(),
@@ -369,7 +683,9 @@ impl Learner {
             shards: set.num_traces(),
             shard_windows,
             peak_resident_observations: set.total_observations(),
+            threads_used: threads,
             synthesis_time,
+            segmentation_time,
             ..LearnStats::default()
         };
         self.solve_phase(
@@ -383,23 +699,154 @@ impl Learner {
         )
     }
 
+    /// Fans per-shard predicate abstraction and windowing out across a
+    /// scoped worker pool, then merges the shard results deterministically
+    /// in input order. Workers share the calibrated abstractor read-only and
+    /// intern into shard-local alphabets; the merge interns each shard's
+    /// predicates into the global alphabet in first-occurrence order and
+    /// translates the shard window collectors through the same mapping, so
+    /// every output — sequences, alphabet, unique windows, per-shard window
+    /// counts — is identical to the sequential path's.
+    #[allow(clippy::type_complexity)]
+    fn extract_and_segment_parallel(
+        &self,
+        abstractor: &WindowAbstractor,
+        set: &TraceSet,
+        threads: usize,
+        start: Instant,
+    ) -> (
+        Vec<Vec<PredId>>,
+        PredicateAlphabet,
+        Vec<Vec<PredId>>,
+        Vec<usize>,
+        Duration,
+        Duration,
+    ) {
+        struct ShardExtraction {
+            sequence: Vec<PredId>,
+            alphabet: PredicateAlphabet,
+            collector: WindowCollector<PredId>,
+        }
+        let w = self.config.window;
+        let segmented = self.config.segmented;
+        let shards: Vec<&[Valuation]> = set.iter().collect();
+        let next = AtomicUsize::new(0);
+        let parts: Vec<Vec<(usize, ShardExtraction)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let shards = &shards;
+                    let next = &next;
+                    scope.spawn(move || {
+                        let mut out = Vec::new();
+                        loop {
+                            let index = next.fetch_add(1, Ordering::Relaxed);
+                            if index >= shards.len() {
+                                break;
+                            }
+                            let shard = shards[index];
+                            let mut alphabet = PredicateAlphabet::new();
+                            let mut cache: HashMap<&[Valuation], PredId> = HashMap::new();
+                            let mut sequence = Vec::with_capacity(shard.len() + 1 - w);
+                            for s in 0..=shard.len() - w {
+                                let window = &shard[s..s + w];
+                                let id = match cache.get(window) {
+                                    Some(&id) => id,
+                                    None => {
+                                        let id =
+                                            alphabet.intern(abstractor.compute_predicate(window));
+                                        cache.insert(window, id);
+                                        id
+                                    }
+                                };
+                                sequence.push(id);
+                            }
+                            let mut collector = WindowCollector::new(w);
+                            if !segmented || sequence.len() < w {
+                                collector.push_segment(sequence.clone());
+                            } else {
+                                collector.extend(sequence.iter().copied());
+                                collector.end_trace();
+                            }
+                            out.push((
+                                index,
+                                ShardExtraction {
+                                    sequence,
+                                    alphabet,
+                                    collector,
+                                },
+                            ));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| handle.join().expect("extraction worker panicked"))
+                .collect()
+        });
+        let synthesis_time = start.elapsed();
+
+        let segmentation_start = Instant::now();
+        let mut ordered: Vec<Option<ShardExtraction>> = Vec::with_capacity(shards.len());
+        ordered.resize_with(shards.len(), || None);
+        for (index, extraction) in parts.into_iter().flatten() {
+            ordered[index] = Some(extraction);
+        }
+        let mut alphabet = PredicateAlphabet::new();
+        let mut sequences = Vec::with_capacity(shards.len());
+        let mut collector = WindowCollector::new(w);
+        let mut shard_windows = Vec::with_capacity(shards.len());
+        for extraction in ordered {
+            let extraction = extraction.expect("every shard extracted");
+            let mut map: Vec<Option<PredId>> = vec![None; extraction.alphabet.len()];
+            let sequence: Vec<PredId> = extraction
+                .sequence
+                .iter()
+                .map(|local| match map[local.index()] {
+                    Some(id) => id,
+                    None => {
+                        let id = alphabet.intern(extraction.alphabet.predicate(*local).clone());
+                        map[local.index()] = Some(id);
+                        id
+                    }
+                })
+                .collect();
+            shard_windows.push(collector.merge_mapped(extraction.collector, |local| {
+                map[local.index()].expect("window predicates occur in the shard sequence")
+            }));
+            sequences.push(sequence);
+        }
+        (
+            sequences,
+            alphabet,
+            collector.into_unique(),
+            shard_windows,
+            synthesis_time,
+            segmentation_start.elapsed(),
+        )
+    }
+
     /// Learns an automaton from a CSV stream without materialising the
     /// trace.
     ///
-    /// Observations are consumed in chunks of
-    /// [`stream_chunk`](LearnerConfig::stream_chunk); the resident state is
-    /// the current chunk (plus a `w − 1` overlap carry), the memoised
-    /// distinct observation windows, the predicate-id sequence (4 bytes per
-    /// observation) and the unique predicate windows — for a repetitive
-    /// multi-million-row trace this is orders of magnitude below the trace
-    /// itself.
+    /// The stream is swept exactly once, in chunks of
+    /// [`stream_chunk`](LearnerConfig::stream_chunk): distinct observation
+    /// windows are interned on the fly (small, by the paper's key insight),
+    /// the per-observation window-id sequence is recorded (4 bytes each),
+    /// and a block reservoir samples up to
+    /// [`calibration_sample`](LearnerConfig::calibration_sample)
+    /// observations **uniformly over the whole stream** for calibration
+    /// (constant harvesting, input detection, dominant updates) — so late
+    /// behaviour changes are represented, unlike a prefix sample. After the
+    /// sweep, each distinct window is abstracted once (fanned out across the
+    /// worker pool) and interned in first-occurrence order.
     ///
-    /// The predicate abstraction is *calibrated* on the stream's first
-    /// `max(stream_chunk, 4096)` observations (constant harvesting, input
-    /// detection, dominant updates). For traces whose variables are all
-    /// events/booleans the result is identical to [`Learner::learn`] on the
-    /// materialised trace; integer-updating variables match whenever the
-    /// calibration prefix exhibits the trace's integer behaviour.
+    /// Streams that fit entirely within the calibration sample are
+    /// calibrated on the exact input, making the result identical to
+    /// [`Learner::learn`] on the materialised trace; larger integer-heavy
+    /// streams match whenever the sampled blocks exhibit the trace's integer
+    /// behaviour (event/boolean-only traces always match).
     ///
     /// # Errors
     ///
@@ -414,61 +861,126 @@ impl Learner {
         let config = &self.config;
         let w = config.window;
         let chunk_size = config.stream_chunk.max(w);
-        let calibration_target = chunk_size.max(MIN_STREAM_CALIBRATION);
+        let threads = self.effective_threads();
 
-        // Calibration: read a bounded prefix and fit the abstraction on it.
-        let mut buffer: Vec<Valuation> = Vec::with_capacity(calibration_target);
+        // Pass 1: one streaming sweep — intern distinct observation windows,
+        // record the window-id sequence, and reservoir-sample calibration
+        // blocks uniformly over the whole stream.
+        let block_len = w.max(RESERVOIR_BLOCK);
+        let capacity_observations = config
+            .calibration_sample
+            .max(chunk_size)
+            .max(MIN_STREAM_CALIBRATION);
+        let capacity_blocks = capacity_observations.div_ceil(block_len);
+        let mut reservoir = BlockReservoir::new(block_len, capacity_blocks);
+        let mut window_ids: HashMap<Vec<Valuation>, u32> = HashMap::new();
+        let mut wid_sequence: Vec<u32> = Vec::new();
+        let mut buffer: Vec<Valuation> = Vec::new();
         let mut scratch: Vec<Valuation> = Vec::new();
-        while buffer.len() < calibration_target {
-            let want = (calibration_target - buffer.len()).min(chunk_size);
-            if reader.read_chunk(want, &mut scratch)? == 0 {
-                break;
-            }
-            buffer.append(&mut scratch);
-        }
-        if buffer.len() < w {
-            return Err(LearnError::TraceTooShort {
-                trace_length: buffer.len(),
-                window: w,
-            });
-        }
-        let calibration = Trace::from_parts(
-            reader.signature().clone(),
-            reader.symbols().clone(),
-            buffer.clone(),
-        )?;
-        let mut abstractor = WindowAbstractor::from_calibration(
-            &calibration,
-            w,
-            config.synthesis.clone(),
-            &config.input_variables,
-        )?;
-        drop(calibration);
-
-        // Stream: abstract every window, retaining only a w − 1 overlap.
-        let mut alphabet = PredicateAlphabet::new();
-        let mut sequence: Vec<PredId> = Vec::new();
-        let mut total_observations = buffer.len();
-        let mut peak_resident = buffer.len();
+        let mut total_observations = 0usize;
+        let mut peak_resident = 0usize;
         loop {
             self.check_time(start)?;
-            for s in 0..=buffer.len() - w {
-                sequence.push(abstractor.predicate_id(&buffer[s..s + w], &mut alphabet));
-            }
-            buffer.drain(..buffer.len() - (w - 1));
             if reader.read_chunk(chunk_size, &mut scratch)? == 0 {
                 break;
             }
             total_observations += scratch.len();
+            for observation in &scratch {
+                reservoir.push(observation);
+            }
             buffer.append(&mut scratch);
-            peak_resident = peak_resident.max(buffer.len());
+            if buffer.len() >= w {
+                for s in 0..=buffer.len() - w {
+                    let window = &buffer[s..s + w];
+                    let id = match window_ids.get(window) {
+                        Some(&id) => id,
+                        None => {
+                            let id = u32::try_from(window_ids.len())
+                                .expect("distinct windows fit in u32");
+                            window_ids.insert(window.to_vec(), id);
+                            id
+                        }
+                    };
+                    wid_sequence.push(id);
+                }
+                // The resident raw observations, measured at the chunk's
+                // high-water mark: the rolling buffer, the calibration
+                // reservoir, and the interned distinct windows.
+                peak_resident = peak_resident
+                    .max(buffer.len() + reservoir.resident_observations() + window_ids.len() * w);
+                buffer.drain(..buffer.len() - (w - 1));
+            } else {
+                peak_resident = peak_resident
+                    .max(buffer.len() + reservoir.resident_observations() + window_ids.len() * w);
+            }
         }
+        if total_observations < w {
+            return Err(LearnError::TraceTooShort {
+                trace_length: total_observations,
+                window: w,
+            });
+        }
+        // Recover the distinct windows in first-occurrence (id) order; the
+        // map owned the only copy of each window's content.
+        let mut window_contents: Vec<Vec<Valuation>> = vec![Vec::new(); window_ids.len()];
+        for (content, id) in window_ids {
+            window_contents[id as usize] = content;
+        }
+        drop(buffer);
+        let ingest_time = start.elapsed();
+
+        // Calibration: a reservoir that retained every block reassembles
+        // into the exact stream (identical to in-memory calibration);
+        // otherwise each sampled block calibrates as its own shard so that
+        // no observation pair straddles a sampling gap.
+        self.check_time(start)?;
         let (signature, symbols) = reader.into_parts();
-        // Ingestion and abstraction are interleaved on this path, so the
-        // whole pre-solver phase counts as synthesis time.
-        let synthesis_time = start.elapsed();
+        let (blocks, complete) = reservoir.finish();
+        let abstractor = if complete {
+            let all: Vec<Valuation> = blocks.into_iter().flatten().collect();
+            let calibration = Trace::from_parts(signature.clone(), symbols.clone(), all)?;
+            WindowAbstractor::from_calibration(
+                &calibration,
+                w,
+                config.synthesis.clone(),
+                &config.input_variables,
+            )?
+        } else {
+            let shards: Vec<&[Valuation]> = blocks
+                .iter()
+                .map(Vec::as_slice)
+                .filter(|block| block.len() >= w)
+                .collect();
+            WindowAbstractor::from_calibration_shards(
+                &signature,
+                &symbols,
+                &shards,
+                w,
+                config.synthesis.clone(),
+                &config.input_variables,
+            )?
+        };
+
+        // Abstraction: each distinct window is synthesised once — fanned out
+        // across the worker pool — and interned in first-occurrence order,
+        // so predicate ids are identical to a sequential in-memory run.
+        let mut alphabet = PredicateAlphabet::new();
+        let predicates =
+            self.abstract_distinct_windows(&abstractor, &window_contents, threads, start)?;
+        drop(window_contents);
+        let wid_to_pred: Vec<PredId> = predicates
+            .into_iter()
+            .map(|predicate| alphabet.intern(predicate))
+            .collect();
+        let sequence: Vec<PredId> = wid_sequence
+            .iter()
+            .map(|&wid| wid_to_pred[wid as usize])
+            .collect();
+        drop(wid_sequence);
+        let synthesis_time = start.elapsed().saturating_sub(ingest_time);
 
         let sequences = vec![sequence];
+        let segmentation_start = Instant::now();
         let (windows, shard_windows) = self.segment(&sequences);
         let stats = LearnStats {
             trace_length: total_observations,
@@ -478,12 +990,95 @@ impl Learner {
             shards: 1,
             shard_windows,
             peak_resident_observations: peak_resident,
+            threads_used: threads,
+            ingest_time,
             synthesis_time,
+            segmentation_time: segmentation_start.elapsed(),
             ..LearnStats::default()
         };
         self.solve_phase(
             windows, sequences, alphabet, signature, symbols, stats, start,
         )
+    }
+
+    /// Computes the predicate of every distinct observation window, fanning
+    /// the synthesis out across `threads` scoped workers. Results are
+    /// positional, so the caller interns them in first-occurrence order and
+    /// obtains ids identical to a sequential run. The wall-clock budget is
+    /// checked every [`ABSTRACTION_CHECK_INTERVAL`] windows on every worker,
+    /// so a stream with many expensive distinct windows cannot silently run
+    /// past [`LearnerConfig::time_budget`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LearnError::BudgetExhausted`] when the wall-clock budget
+    /// runs out mid-abstraction.
+    fn abstract_distinct_windows(
+        &self,
+        abstractor: &WindowAbstractor,
+        contents: &[Vec<Valuation>],
+        threads: usize,
+        start: Instant,
+    ) -> Result<Vec<Predicate>, LearnError> {
+        let workers = threads.min(contents.len());
+        if workers <= 1 {
+            let mut out = Vec::with_capacity(contents.len());
+            for (index, content) in contents.iter().enumerate() {
+                if index % ABSTRACTION_CHECK_INTERVAL == 0 {
+                    self.check_time(start)?;
+                }
+                out.push(abstractor.compute_predicate(content));
+            }
+            return Ok(out);
+        }
+        let next = AtomicUsize::new(0);
+        let exhausted: Mutex<Option<LearnError>> = Mutex::new(None);
+        let parts: Vec<Vec<(usize, Predicate)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let next = &next;
+                    let exhausted = &exhausted;
+                    scope.spawn(move || {
+                        let mut out = Vec::new();
+                        let mut since_check = 0usize;
+                        loop {
+                            let index = next.fetch_add(1, Ordering::Relaxed);
+                            if index >= contents.len() {
+                                break;
+                            }
+                            since_check += 1;
+                            if since_check >= ABSTRACTION_CHECK_INTERVAL {
+                                since_check = 0;
+                                if let Err(error) = self.check_time(start) {
+                                    *exhausted.lock().expect("budget flag poisoned") = Some(error);
+                                    // Park the dispenser at the end so the
+                                    // other workers drain out promptly too.
+                                    next.store(contents.len(), Ordering::Relaxed);
+                                    break;
+                                }
+                            }
+                            out.push((index, abstractor.compute_predicate(&contents[index])));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| handle.join().expect("abstraction worker panicked"))
+                .collect()
+        });
+        if let Some(error) = exhausted.lock().expect("budget flag poisoned").take() {
+            return Err(error);
+        }
+        let mut result: Vec<Option<Predicate>> = vec![None; contents.len()];
+        for (index, predicate) in parts.into_iter().flatten() {
+            result[index] = Some(predicate);
+        }
+        Ok(result
+            .into_iter()
+            .map(|predicate| predicate.expect("every distinct window abstracted"))
+            .collect())
     }
 
     /// Phase 2: segments the per-trace predicate sequences into the unique
@@ -510,7 +1105,9 @@ impl Learner {
         (collector.into_unique(), shard_windows)
     }
 
-    /// Phase 3: SAT-based search for the smallest compliant automaton.
+    /// Phase 3: SAT-based search for the smallest compliant automaton,
+    /// dispatched to the configured [`SolverStrategy`] (and, with more than
+    /// one thread, the speculative portfolio).
     #[allow(clippy::too_many_arguments)]
     fn solve_phase(
         &self,
@@ -533,23 +1130,491 @@ impl Learner {
         // the compliance oracle once instead of rescanning the (possibly
         // multi-million-element) sequences every refinement round.
         let checker = ComplianceChecker::new(&sequences, config.compliance_length);
+        let threads = stats.threads_used.max(1);
+        let (num_states, automaton) = match config.solver_strategy {
+            SolverStrategy::BatchedAssumptions => {
+                self.search_batched(&windows, &checker, limits, start, &mut stats)?
+            }
+            SolverStrategy::PerCount if threads > 1 => {
+                self.search_portfolio(&windows, &checker, limits, start, &mut stats, threads)?
+            }
+            SolverStrategy::PerCount => {
+                self.search_sequential(&windows, &checker, limits, start, &mut stats)?
+            }
+        };
+        stats.states = num_states;
+        stats.solver_time = solver_start.elapsed();
+        stats.total_time = start.elapsed();
+        Ok(LearnedModel {
+            automaton,
+            alphabet,
+            signature,
+            symbols,
+            sequences,
+            stats,
+        })
+    }
 
-        // The windows move into the encoder once; forbidden sequences found
-        // by the compliance check are properties of the predicate sequence,
-        // so they are carried across state counts instead of rediscovered.
-        let mut encoder = AutomatonEncoder::new(windows, config.initial_states);
+    /// Runs the complete compliance-refinement loop at one candidate state
+    /// count: one incremental solver, base encoding once, delta clauses per
+    /// round. `entry_forbidden` seeds the encoder with the sequences
+    /// discovered at earlier counts (they are properties of the predicate
+    /// sequence, valid at every count); the sequences *this* count discovers
+    /// are returned with the [`CountVerdict::Unsat`] verdict so the caller
+    /// can carry them forward in discovery order. Given the same entry set,
+    /// this function is fully deterministic — the invariant the speculative
+    /// portfolio's adoption rule relies on.
+    #[allow(clippy::too_many_arguments)]
+    fn solve_count(
+        &self,
+        windows: &[Vec<PredId>],
+        entry_forbidden: &[Vec<PredId>],
+        num_states: usize,
+        checker: &ComplianceChecker,
+        limits: Limits,
+        start: Instant,
+        cancel: Option<&Arc<AtomicBool>>,
+    ) -> CountOutcome {
+        let mut encoder = AutomatonEncoder::new(windows.to_vec(), num_states);
+        for sequence in entry_forbidden {
+            encoder.forbid_sequence(sequence.clone());
+        }
+        self.solve_count_with_encoder(&mut encoder, num_states, checker, limits, start, cancel)
+    }
+
+    /// Like [`Learner::solve_count`], but reusing a caller-owned encoder
+    /// that already holds the windows and every previously discovered
+    /// forbidden sequence. The sequential search retains one encoder across
+    /// all candidate counts this way — no per-count window clone, no
+    /// re-registration of the forbidden history — exactly as the PR 2
+    /// incremental loop did; retargeting via `set_num_states` builds the
+    /// identical CNF a freshly seeded encoder would.
+    fn solve_count_with_encoder(
+        &self,
+        encoder: &mut AutomatonEncoder,
+        num_states: usize,
+        checker: &ComplianceChecker,
+        limits: Limits,
+        start: Instant,
+        cancel: Option<&Arc<AtomicBool>>,
+    ) -> CountOutcome {
+        let mut outcome = CountOutcome {
+            sat_queries: 0,
+            refinements: 0,
+            reused_learnt_clauses: 0,
+            verdict: CountVerdict::Cancelled,
+        };
+        if let Err(error) = self.check_time(start) {
+            outcome.verdict = CountVerdict::Failed(error);
+            return outcome;
+        }
+        encoder.set_num_states(num_states);
+        let entry_count = encoder.num_forbidden();
+        let encoding = encoder.encode_base();
+        let mut solver = Solver::from_cnf(&encoding.cnf);
+        if let Some(flag) = cancel {
+            solver.set_interrupt(Arc::clone(flag));
+        }
+        self.refine_at_count(
+            encoder,
+            &encoding,
+            &mut solver,
+            entry_count,
+            num_states,
+            checker,
+            limits,
+            start,
+            cancel,
+            &mut outcome,
+        );
+        outcome
+    }
+
+    /// Speculative-portfolio worker for one state count: like
+    /// [`Learner::solve_count`], but the entry forbidden set comes from the
+    /// shared board, and broadcasts that land **before the first solve call**
+    /// are incorporated as delta clauses — producing the exact solver state a
+    /// sequential run would have built, which is what lets the adjudicator
+    /// adopt the result verbatim. Broadcasts after the first solve are
+    /// deliberately ignored (a sequential run would not have seen them
+    /// mid-count either); such workers report the entry they actually used
+    /// and the adjudicator reruns the count if it went stale.
+    #[allow(clippy::too_many_arguments)]
+    fn speculate_count(
+        &self,
+        windows: &[Vec<PredId>],
+        board: &Mutex<Vec<Vec<PredId>>>,
+        num_states: usize,
+        checker: &ComplianceChecker,
+        limits: Limits,
+        start: Instant,
+        slot: &SpeculationSlot,
+    ) -> SpeculativeOutcome {
+        let mut outcome = CountOutcome {
+            sat_queries: 0,
+            refinements: 0,
+            reused_learnt_clauses: 0,
+            verdict: CountVerdict::Cancelled,
+        };
+        let snapshot: Vec<Vec<PredId>> = board.lock().expect("forbidden board poisoned").clone();
+        if let Err(error) = self.check_time(start) {
+            outcome.verdict = CountVerdict::Failed(error);
+            return SpeculativeOutcome {
+                entry_len: snapshot.len(),
+                outcome,
+            };
+        }
+        let mut encoder = AutomatonEncoder::new(windows.to_vec(), num_states);
+        for sequence in &snapshot {
+            encoder.forbid_sequence(sequence.clone());
+        }
+        let encoding = encoder.encode_base();
+        let mut solver = Solver::from_cnf(&encoding.cnf);
+        solver.set_interrupt(Arc::clone(&slot.cancel));
+        // Sync with the board one final time, atomically with publishing the
+        // entry length: exclusion clauses sit at the tail of the base CNF, so
+        // base(snapshot) + broadcast deltas feeds the solver the identical
+        // clause sequence as base(snapshot ++ broadcasts) — the speculated
+        // solver is bit-for-bit the sequential one for this entry state.
+        // Only the suffix copy and the publish happen under the lock; the
+        // (potentially large) exclusion-clause expansion runs after release
+        // so the board never serialises the wave. A broadcast landing after
+        // this point still invalidates the worker through the adjudicator's
+        // `synced < expected_len` check.
+        let (broadcast, entry_len) = {
+            let sequences = board.lock().expect("forbidden board poisoned");
+            slot.synced.store(sequences.len(), Ordering::SeqCst);
+            (sequences[snapshot.len()..].to_vec(), sequences.len())
+        };
+        drop(snapshot);
+        for sequence in broadcast {
+            encoder.forbid_sequence(sequence);
+        }
+        for clause in encoder.delta_clauses(&encoding) {
+            solver.add_clause(clause);
+        }
+        let entry_count = encoder.num_forbidden();
+        self.refine_at_count(
+            &mut encoder,
+            &encoding,
+            &mut solver,
+            entry_count,
+            num_states,
+            checker,
+            limits,
+            start,
+            Some(&slot.cancel),
+            &mut outcome,
+        );
+        SpeculativeOutcome { entry_len, outcome }
+    }
+
+    /// The refinement loop of one state count, shared by the sequential,
+    /// speculative and rerun paths so that all of them behave identically.
+    #[allow(clippy::too_many_arguments)]
+    fn refine_at_count(
+        &self,
+        encoder: &mut AutomatonEncoder,
+        encoding: &Encoding,
+        solver: &mut Solver,
+        entry_count: usize,
+        num_states: usize,
+        checker: &ComplianceChecker,
+        limits: Limits,
+        start: Instant,
+        cancel: Option<&Arc<AtomicBool>>,
+        outcome: &mut CountOutcome,
+    ) {
+        let config = &self.config;
+        let cancelled = || cancel.is_some_and(|flag| flag.load(Ordering::Relaxed));
+        let mut refinements_here = 0usize;
+        let verdict = loop {
+            if cancelled() {
+                break CountVerdict::Cancelled;
+            }
+            if let Err(error) = self.check_time(start) {
+                break CountVerdict::Failed(error);
+            }
+            if encoder.estimated_clauses() > config.max_clauses {
+                break CountVerdict::Failed(LearnError::BudgetExhausted {
+                    resource: format!(
+                        "encoding with {} states exceeds the clause budget ({} estimated)",
+                        num_states,
+                        encoder.estimated_clauses()
+                    ),
+                });
+            }
+            if refinements_here > 0 {
+                outcome.reused_learnt_clauses += solver.num_learnts() as u64;
+            }
+            outcome.sat_queries += 1;
+            match solver.solve_with_limits(limits) {
+                SatResult::Unsat => {
+                    break CountVerdict::Unsat {
+                        discovered: encoder.forbidden_sequences()[entry_count..].to_vec(),
+                    }
+                }
+                SatResult::Unknown => {
+                    if cancelled() {
+                        break CountVerdict::Cancelled;
+                    }
+                    break CountVerdict::Failed(LearnError::BudgetExhausted {
+                        resource: format!("SAT conflict budget exhausted with {num_states} states"),
+                    });
+                }
+                SatResult::Sat(model) => {
+                    let candidate = encoding.decode(encoder.windows(), &model);
+                    let violations = checker.invalid(&candidate);
+                    if violations.is_empty() {
+                        break CountVerdict::Compliant(candidate);
+                    }
+                    refinements_here += 1;
+                    if refinements_here > config.max_refinements {
+                        break CountVerdict::Failed(LearnError::BudgetExhausted {
+                            resource: format!(
+                                "more than {} refinement rounds with {num_states} states",
+                                config.max_refinements
+                            ),
+                        });
+                    }
+                    for violation in violations {
+                        encoder.forbid_sequence(violation);
+                    }
+                    for clause in encoder.delta_clauses(encoding) {
+                        solver.add_clause(clause);
+                    }
+                }
+            }
+        };
+        outcome.refinements = refinements_here;
+        outcome.verdict = verdict;
+    }
+
+    /// The sequential state-count search: counts in ascending order, one
+    /// incremental solver each, forbidden sequences carried forward inside
+    /// a single retained encoder (the windows move into it once, as in the
+    /// PR 2 loop — no per-count cloning).
+    fn search_sequential(
+        &self,
+        windows: &[Vec<PredId>],
+        checker: &ComplianceChecker,
+        limits: Limits,
+        start: Instant,
+        stats: &mut LearnStats,
+    ) -> Result<(usize, Nfa<PredId>), LearnError> {
+        let config = &self.config;
+        let mut encoder = AutomatonEncoder::new(windows.to_vec(), config.initial_states);
+        for num_states in config.initial_states..=config.max_states {
+            let outcome = self.solve_count_with_encoder(
+                &mut encoder,
+                num_states,
+                checker,
+                limits,
+                start,
+                None,
+            );
+            stats.sat_queries += outcome.sat_queries;
+            stats.refinements += outcome.refinements;
+            stats.reused_learnt_clauses += outcome.reused_learnt_clauses;
+            stats.solvers_constructed += 1;
+            match outcome.verdict {
+                CountVerdict::Compliant(automaton) => return Ok((num_states, automaton)),
+                // The discoveries already live in the retained encoder and
+                // carry into the next count's base encoding.
+                CountVerdict::Unsat { .. } => {}
+                CountVerdict::Failed(error) => return Err(error),
+                CountVerdict::Cancelled => unreachable!("no cancellation without a portfolio"),
+            }
+        }
+        Err(LearnError::NoAutomaton {
+            max_states: config.max_states,
+        })
+    }
+
+    /// The speculative state-count portfolio: while the smallest undecided
+    /// count is being adjudicated, workers construct and solve the next
+    /// counts concurrently, each on its own incremental solver seeded from
+    /// the shared forbidden-sequence board. Counts are adjudicated in
+    /// ascending order:
+    ///
+    /// * a compliant count is accepted (it is the smallest — every smaller
+    ///   count was refuted first) and the cancellation flags abort the
+    ///   remaining speculation;
+    /// * a refuted count's newly discovered forbidden sequences are
+    ///   **broadcast** through the board: in-flight workers that have not
+    ///   issued their first solve call yet pick them up as delta clauses and
+    ///   stay adoptable, while workers already solving on the stale prefix
+    ///   are cancelled promptly (the flag is checked inside the solver's
+    ///   propagation loop);
+    /// * a speculated result is adopted only when its entry state matches
+    ///   what a sequential run would have used; otherwise the count is
+    ///   recomputed on the adjudicating thread with the up-to-date board.
+    ///
+    /// Adoption-only-on-matching-entry is what makes the portfolio return a
+    /// model bit-identical to the sequential search — and the accepted count
+    /// minimal — while still overlapping the expensive UNSAT refutations of
+    /// neighbouring counts.
+    fn search_portfolio(
+        &self,
+        windows: &[Vec<PredId>],
+        checker: &ComplianceChecker,
+        limits: Limits,
+        start: Instant,
+        stats: &mut LearnStats,
+        threads: usize,
+    ) -> Result<(usize, Nfa<PredId>), LearnError> {
+        let config = &self.config;
+        let board: Mutex<Vec<Vec<PredId>>> = Mutex::new(Vec::new());
+        let mut next_count = config.initial_states;
+        while next_count <= config.max_states {
+            let wave_end = (next_count + threads - 1).min(config.max_states);
+            let slots: Vec<SpeculationSlot> = (next_count..=wave_end)
+                .map(|_| SpeculationSlot::new())
+                .collect();
+            let decision = std::thread::scope(|scope| {
+                let handles: Vec<_> = (next_count..=wave_end)
+                    .zip(&slots)
+                    .map(|(num_states, slot)| {
+                        let board = &board;
+                        scope.spawn(move || {
+                            self.speculate_count(
+                                windows, board, num_states, checker, limits, start, slot,
+                            )
+                        })
+                    })
+                    .collect();
+                let mut expected_len = board.lock().expect("forbidden board poisoned").len();
+                let mut decision: Option<Result<(usize, Nfa<PredId>), LearnError>> = None;
+                for (offset, handle) in handles.into_iter().enumerate() {
+                    let num_states = next_count + offset;
+                    let speculative = handle.join().expect("portfolio worker panicked");
+                    if decision.is_some() {
+                        // Already decided: this worker's result — delivered
+                        // or cancelled — is discarded speculation.
+                        stats.speculative_solves += speculative.outcome.sat_queries;
+                        if matches!(speculative.outcome.verdict, CountVerdict::Cancelled) {
+                            stats.cancelled_solves += 1;
+                        }
+                        continue;
+                    }
+                    let valid = speculative.entry_len == expected_len
+                        && !matches!(speculative.outcome.verdict, CountVerdict::Cancelled);
+                    let adopted = if valid {
+                        if offset > 0 {
+                            stats.speculative_solves += speculative.outcome.sat_queries;
+                        }
+                        speculative.outcome
+                    } else {
+                        // Stale speculation: the worker solved against an
+                        // outdated entry set. Recompute the count here with
+                        // the current board so the adopted trajectory stays
+                        // exactly sequential.
+                        stats.speculative_solves += speculative.outcome.sat_queries;
+                        if matches!(speculative.outcome.verdict, CountVerdict::Cancelled) {
+                            stats.cancelled_solves += 1;
+                        }
+                        let entry = board.lock().expect("forbidden board poisoned").clone();
+                        self.solve_count(windows, &entry, num_states, checker, limits, start, None)
+                    };
+                    stats.sat_queries += adopted.sat_queries;
+                    stats.refinements += adopted.refinements;
+                    stats.reused_learnt_clauses += adopted.reused_learnt_clauses;
+                    stats.solvers_constructed += 1;
+                    match adopted.verdict {
+                        CountVerdict::Compliant(automaton) => {
+                            for slot in &slots {
+                                slot.cancel.store(true, Ordering::Relaxed);
+                            }
+                            decision = Some(Ok((num_states, automaton)));
+                        }
+                        CountVerdict::Unsat { discovered } => {
+                            if !discovered.is_empty() {
+                                // Broadcast the discoveries. Workers that
+                                // sync after this append stay adoptable;
+                                // workers already solving on the old prefix
+                                // can never be adopted — cancel them now.
+                                let mut sequences = board.lock().expect("forbidden board poisoned");
+                                sequences.extend(discovered);
+                                expected_len = sequences.len();
+                                for slot in &slots[offset + 1..] {
+                                    let synced = slot.synced.load(Ordering::SeqCst);
+                                    if synced != usize::MAX && synced < expected_len {
+                                        slot.cancel.store(true, Ordering::Relaxed);
+                                    }
+                                }
+                            }
+                        }
+                        CountVerdict::Failed(error) => {
+                            for slot in &slots {
+                                slot.cancel.store(true, Ordering::Relaxed);
+                            }
+                            decision = Some(Err(error));
+                        }
+                        CountVerdict::Cancelled => {
+                            unreachable!("adopted and recomputed counts are never cancelled")
+                        }
+                    }
+                }
+                decision
+            });
+            match decision {
+                Some(result) => return result,
+                None => next_count = wave_end + 1,
+            }
+        }
+        Err(LearnError::NoAutomaton {
+            max_states: config.max_states,
+        })
+    }
+
+    /// The cross-state-count batched search
+    /// ([`SolverStrategy::BatchedAssumptions`]): one solver for the whole
+    /// run. Each candidate count's clauses are loaded behind a fresh
+    /// activation literal and enabled via `solve_with_assumptions`, so a
+    /// smaller count's clauses become inert (not contradictory) once the
+    /// search moves on, while every learnt clause remains live across
+    /// counts as well as refinement rounds.
+    fn search_batched(
+        &self,
+        windows: &[Vec<PredId>],
+        checker: &ComplianceChecker,
+        limits: Limits,
+        start: Instant,
+        stats: &mut LearnStats,
+    ) -> Result<(usize, Nfa<PredId>), LearnError> {
+        let config = &self.config;
+        let mut encoder = AutomatonEncoder::new(windows.to_vec(), config.initial_states);
+        let mut solver = Solver::new(0);
+        stats.solvers_constructed += 1;
         for num_states in config.initial_states..=config.max_states {
             self.check_time(start)?;
             encoder.set_num_states(num_states);
-            // One solver per candidate state count: the base encoding is
-            // built once, and each refinement round only feeds the solver the
-            // delta clauses for the newly forbidden sequences, keeping every
-            // learnt clause alive across rounds.
             let encoding = encoder.encode_base();
-            let mut solver = Solver::from_cnf(&encoding.cnf);
-            stats.solvers_constructed += 1;
+            let base = solver.num_vars();
+            for _ in 0..encoding.cnf.num_vars() {
+                solver.new_var();
+            }
+            let gate = solver.new_var();
+            let offset = |lit: Lit| {
+                let var = Var::new(
+                    u32::try_from(lit.var().index() + base).expect("variable count fits in u32"),
+                );
+                if lit.is_positive() {
+                    Lit::positive(var)
+                } else {
+                    Lit::negative(var)
+                }
+            };
+            for clause in encoding.cnf.clauses() {
+                solver.add_clause(
+                    clause
+                        .iter()
+                        .map(|&lit| offset(lit))
+                        .chain(std::iter::once(Lit::negative(gate))),
+                );
+            }
             let mut refinements_here = 0usize;
-            loop {
+            let accepted = loop {
                 self.check_time(start)?;
                 if encoder.estimated_clauses() > config.max_clauses {
                     return Err(LearnError::BudgetExhausted {
@@ -564,8 +1629,8 @@ impl Learner {
                     stats.reused_learnt_clauses += solver.num_learnts() as u64;
                 }
                 stats.sat_queries += 1;
-                match solver.solve_with_limits(limits) {
-                    SatResult::Unsat => break, // try more states
+                match solver.solve_with_assumptions(&[Lit::positive(gate)], limits) {
+                    SatResult::Unsat => break None,
                     SatResult::Unknown => {
                         return Err(LearnError::BudgetExhausted {
                             resource: format!(
@@ -574,21 +1639,22 @@ impl Learner {
                         })
                     }
                     SatResult::Sat(model) => {
-                        let candidate = encoding.decode(encoder.windows(), &model);
+                        // Re-base the count's variable block so the encoding
+                        // can decode the model it was built for.
+                        let local = Model::new(
+                            (0..encoding.cnf.num_vars())
+                                .map(|v| {
+                                    model.value(Var::new(
+                                        u32::try_from(base + v)
+                                            .expect("variable count fits in u32"),
+                                    ))
+                                })
+                                .collect(),
+                        );
+                        let candidate = encoding.decode(encoder.windows(), &local);
                         let violations = checker.invalid(&candidate);
                         if violations.is_empty() {
-                            stats.states = num_states;
-                            stats.refinements += refinements_here;
-                            stats.solver_time = solver_start.elapsed();
-                            stats.total_time = start.elapsed();
-                            return Ok(LearnedModel {
-                                automaton: candidate,
-                                alphabet,
-                                signature,
-                                symbols,
-                                sequences,
-                                stats,
-                            });
+                            break Some(candidate);
                         }
                         refinements_here += 1;
                         if refinements_here > config.max_refinements {
@@ -603,12 +1669,20 @@ impl Learner {
                             encoder.forbid_sequence(violation);
                         }
                         for clause in encoder.delta_clauses(&encoding) {
-                            solver.add_clause(clause);
+                            solver.add_clause(
+                                clause
+                                    .into_iter()
+                                    .map(offset)
+                                    .chain(std::iter::once(Lit::negative(gate))),
+                            );
                         }
                     }
                 }
-            }
+            };
             stats.refinements += refinements_here;
+            if let Some(automaton) = accepted {
+                return Ok((num_states, automaton));
+            }
         }
         Err(LearnError::NoAutomaton {
             max_states: config.max_states,
@@ -643,6 +1717,11 @@ impl Learner {
         if config.stream_chunk < 1 {
             return Err(LearnError::InvalidConfig {
                 reason: "stream chunk must be at least 1 observation".to_owned(),
+            });
+        }
+        if config.calibration_sample < 1 {
+            return Err(LearnError::InvalidConfig {
+                reason: "calibration sample must be at least 1 observation".to_owned(),
             });
         }
         Ok(())
@@ -710,6 +1789,7 @@ mod tests {
         assert_eq!(stats.shard_windows.len(), 1);
         assert_eq!(stats.shard_windows[0], stats.solver_windows);
         assert_eq!(stats.peak_resident_observations, 80);
+        assert!(stats.threads_used >= 1);
     }
 
     #[test]
@@ -824,12 +1904,98 @@ mod tests {
         let model = learn_with_defaults(&small_counter()).unwrap();
         let stats = model.stats();
         // The search starts at `initial_states` (2 by default) and constructs
-        // exactly one solver per candidate count up to the final one.
+        // exactly one solver per candidate count up to the final one — the
+        // portfolio's adoption rule preserves this accounting.
         assert_eq!(
             stats.solvers_constructed,
             stats.states - LearnerConfig::default().initial_states + 1
         );
         assert!(stats.sat_queries >= stats.solvers_constructed);
+    }
+
+    #[test]
+    fn portfolio_learns_the_sequential_model_bit_for_bit() {
+        let trace = small_counter();
+        let sequential = Learner::new(LearnerConfig::default().with_num_threads(1))
+            .learn(&trace)
+            .unwrap();
+        for threads in [2, 4] {
+            let parallel = Learner::new(LearnerConfig::default().with_num_threads(threads))
+                .learn(&trace)
+                .unwrap();
+            assert_eq!(parallel.automaton(), sequential.automaton());
+            assert_eq!(
+                parallel.predicate_sequence(),
+                sequential.predicate_sequence()
+            );
+            let (p, s) = (parallel.stats(), sequential.stats());
+            assert_eq!(p.states, s.states);
+            assert_eq!(p.sat_queries, s.sat_queries);
+            assert_eq!(p.refinements, s.refinements);
+            assert_eq!(p.solvers_constructed, s.solvers_constructed);
+            assert_eq!(p.threads_used, threads);
+        }
+    }
+
+    #[test]
+    fn parallel_learn_many_matches_sequential_exactly() {
+        let a = counter::generate(&counter::CounterConfig {
+            threshold: 8,
+            length: 80,
+        });
+        let b = counter::generate(&counter::CounterConfig {
+            threshold: 6,
+            length: 60,
+        });
+        let c = counter::generate(&counter::CounterConfig {
+            threshold: 8,
+            length: 40,
+        });
+        let set = TraceSet::from_traces([&a, &b, &c]).unwrap();
+        let sequential = Learner::new(LearnerConfig::default().with_num_threads(1))
+            .learn_many(&set)
+            .unwrap();
+        let parallel = Learner::new(LearnerConfig::default().with_num_threads(3))
+            .learn_many(&set)
+            .unwrap();
+        assert_eq!(parallel.automaton(), sequential.automaton());
+        assert_eq!(
+            parallel.predicate_sequences(),
+            sequential.predicate_sequences()
+        );
+        assert_eq!(parallel.alphabet(), sequential.alphabet());
+        let (p, s) = (parallel.stats(), sequential.stats());
+        assert_eq!(p.shard_windows, s.shard_windows);
+        assert_eq!(p.solver_windows, s.solver_windows);
+        assert_eq!(p.alphabet_size, s.alphabet_size);
+        assert_eq!(p.sat_queries, s.sat_queries);
+    }
+
+    #[test]
+    fn batched_assumptions_finds_the_same_minimal_state_count() {
+        for trace in [
+            small_counter(),
+            usb_slot::generate(&usb_slot::UsbSlotConfig {
+                length: 39,
+                seed: 0xDAC2020,
+            }),
+        ] {
+            let per_count = Learner::new(LearnerConfig::default())
+                .learn(&trace)
+                .unwrap();
+            let batched = Learner::new(
+                LearnerConfig::default().with_solver_strategy(SolverStrategy::BatchedAssumptions),
+            )
+            .learn(&trace)
+            .unwrap();
+            assert_eq!(batched.num_states(), per_count.num_states());
+            // One solver serves the entire search.
+            assert_eq!(batched.stats().solvers_constructed, 1);
+            // The model is compliant like any other.
+            let violations =
+                invalid_sequences(batched.automaton(), batched.predicate_sequence(), 2);
+            assert!(violations.is_empty());
+        }
     }
 
     #[test]
@@ -884,6 +2050,16 @@ mod tests {
             }
             other => panic!("expected InvalidConfig, got {other:?}"),
         }
+        let zero_sample = LearnerConfig {
+            calibration_sample: 0,
+            ..LearnerConfig::default()
+        };
+        match Learner::new(zero_sample).learn(&trace) {
+            Err(LearnError::InvalidConfig { reason }) => {
+                assert!(reason.contains("calibration sample"), "{reason}");
+            }
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
     }
 
     #[test]
@@ -914,12 +2090,20 @@ mod tests {
             .with_compliance_length(3)
             .with_initial_states(0)
             .with_input_variable("ip")
-            .with_stream_chunk(1024);
+            .with_stream_chunk(1024)
+            .with_num_threads(5)
+            .with_solver_strategy(SolverStrategy::BatchedAssumptions)
+            .with_calibration_sample(2048);
         assert_eq!(config.window, 4);
         assert_eq!(config.compliance_length, 3);
         assert_eq!(config.initial_states, 1);
         assert_eq!(config.input_variables, vec!["ip".to_owned()]);
         assert_eq!(config.stream_chunk, 1024);
+        assert_eq!(config.num_threads, 5);
+        assert_eq!(config.solver_strategy, SolverStrategy::BatchedAssumptions);
+        assert_eq!(config.calibration_sample, 2048);
+        assert_eq!(Learner::new(config).effective_threads(), 5);
+        assert!(Learner::new(LearnerConfig::default()).effective_threads() >= 1);
     }
 
     #[test]
@@ -973,7 +2157,7 @@ mod tests {
 
     #[test]
     fn learn_streamed_matches_in_memory_on_a_counter_csv() {
-        // The whole trace fits in the calibration prefix, so the streamed
+        // The whole trace fits in the calibration reservoir, so the streamed
         // abstraction is calibrated on exactly the data `learn` sees and the
         // two paths must agree bit for bit.
         let trace = counter::generate(&counter::CounterConfig {
@@ -1019,5 +2203,98 @@ mod tests {
             Err(LearnError::Trace(TraceError::Parse { line: 6, .. })) => {}
             other => panic!("expected a line-6 parse error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn block_reservoir_keeps_small_streams_completely() {
+        let sig = Signature::builder().int("x").build();
+        let mut trace = Trace::new(sig);
+        for v in 0..100i64 {
+            trace.push_row([Value::Int(v)]).unwrap();
+        }
+        let mut reservoir = BlockReservoir::new(8, 64);
+        for observation in trace.observations() {
+            reservoir.push(observation);
+        }
+        let (blocks, complete) = reservoir.finish();
+        assert!(complete);
+        let reassembled: Vec<Valuation> = blocks.into_iter().flatten().collect();
+        assert_eq!(reassembled, trace.observations().to_vec());
+    }
+
+    #[test]
+    fn block_reservoir_samples_uniformly_over_large_streams() {
+        let sig = Signature::builder().int("x").build();
+        let mut trace = Trace::new(sig);
+        for v in 0..10_000i64 {
+            trace.push_row([Value::Int(v)]).unwrap();
+        }
+        let mut reservoir = BlockReservoir::new(10, 50);
+        for observation in trace.observations() {
+            reservoir.push(observation);
+        }
+        assert!(reservoir.resident_observations() <= 500);
+        let (blocks, complete) = reservoir.finish();
+        assert!(!complete);
+        assert_eq!(blocks.len(), 50);
+        // The sample must reach well past the old prefix-style cutoff: at
+        // least a third of the blocks come from the second half.
+        let late = blocks
+            .iter()
+            .filter(|block| {
+                block[0]
+                    .get(tracelearn_trace::VarId::new(0))
+                    .as_int()
+                    .unwrap()
+                    >= 5000
+            })
+            .count();
+        assert!(late >= 17, "only {late} of 50 blocks from the second half");
+        // Blocks stay in stream order and contiguous internally.
+        for block in &blocks {
+            for pair in block.windows(2) {
+                let a = pair[0]
+                    .get(tracelearn_trace::VarId::new(0))
+                    .as_int()
+                    .unwrap();
+                let b = pair[1]
+                    .get(tracelearn_trace::VarId::new(0))
+                    .as_int()
+                    .unwrap();
+                assert_eq!(b, a + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn reservoir_calibration_sees_late_behaviour_changes() {
+        // A variable that increments for the first 6000 observations and
+        // decrements afterwards. A prefix-only calibration (the old streamed
+        // behaviour) never sees the decrement; the reservoir does, and with
+        // a sample bound covering the stream the streamed model is exactly
+        // the in-memory one.
+        let sig = Signature::builder().int("x").build();
+        let mut trace = Trace::new(sig);
+        let mut x = 0i64;
+        for t in 0..9000 {
+            trace.push_row([Value::Int(x)]).unwrap();
+            if t < 6000 {
+                x += 1;
+            } else {
+                x -= 1;
+            }
+        }
+        let csv = to_csv(&trace).unwrap();
+        let learner = Learner::new(LearnerConfig::default().with_stream_chunk(512));
+        let in_memory = learner.learn(&trace).unwrap();
+        let reader = StreamingCsvReader::new(csv.as_bytes()).unwrap();
+        let streamed = learner.learn_streamed(reader).unwrap();
+        assert_eq!(
+            streamed.predicate_sequence(),
+            in_memory.predicate_sequence()
+        );
+        assert_eq!(streamed.num_states(), in_memory.num_states());
+        let strings = streamed.predicate_strings();
+        assert!(strings.iter().any(|p| p.contains("x - 1")), "{strings:?}");
     }
 }

@@ -60,5 +60,7 @@ mod learner;
 
 pub use crate::compliance::ComplianceChecker;
 pub use crate::error::LearnError;
-pub use crate::learner::{learn_with_defaults, LearnStats, LearnedModel, Learner, LearnerConfig};
+pub use crate::learner::{
+    learn_with_defaults, LearnStats, LearnedModel, Learner, LearnerConfig, SolverStrategy,
+};
 pub use crate::predicates::{PredId, PredicateAlphabet, PredicateExtractor, WindowAbstractor};

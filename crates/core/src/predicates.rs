@@ -208,11 +208,38 @@ impl WindowAbstractor {
         synthesis: SynthesisConfig,
         declared_inputs: &[String],
     ) -> Result<Self, LearnError> {
+        let shards: Vec<&[Valuation]> = set.iter().collect();
+        Self::from_calibration_shards(
+            set.signature(),
+            set.symbols(),
+            &shards,
+            window,
+            synthesis,
+            declared_inputs,
+        )
+    }
+
+    /// Calibrates an abstractor on raw observation shards sharing one
+    /// signature and symbol table — the [`TraceSet`]-free core of
+    /// [`from_calibration_set`](Self::from_calibration_set), used by the
+    /// streamed learner to calibrate on reservoir-sampled stream segments
+    /// without materialising a trace set.
+    ///
+    /// # Errors
+    ///
+    /// As for [`from_calibration_set`](Self::from_calibration_set).
+    pub fn from_calibration_shards(
+        signature: &Signature,
+        symbols: &SymbolTable,
+        shards: &[&[Valuation]],
+        window: usize,
+        synthesis: SynthesisConfig,
+        declared_inputs: &[String],
+    ) -> Result<Self, LearnError> {
         if window < 2 {
             return Err(LearnError::WindowTooSmall { window });
         }
-        let shards: Vec<&[Valuation]> = set.iter().collect();
-        for shard in &shards {
+        for shard in shards {
             if shard.len() < window {
                 return Err(LearnError::TraceTooShort {
                     trace_length: shard.len(),
@@ -220,8 +247,7 @@ impl WindowAbstractor {
                 });
             }
         }
-        let signature = set.signature();
-        let mut input_variables = detect_input_variables_sharded(signature, &shards);
+        let mut input_variables = detect_input_variables_sharded(signature, shards);
         for name in declared_inputs {
             if let Some(id) = signature.var(name) {
                 if !input_variables.contains(&id) {
@@ -230,12 +256,12 @@ impl WindowAbstractor {
             }
         }
         let synthesizer = {
-            let mut all = Vec::with_capacity(set.total_observations());
-            for shard in &shards {
+            let mut all = Vec::with_capacity(shards.iter().map(|s| s.len()).sum());
+            for shard in shards {
                 all.extend_from_slice(shard);
             }
-            let concatenated = Trace::from_parts(signature.clone(), set.symbols().clone(), all)
-                .expect("trace-set observations match the shared signature");
+            let concatenated = Trace::from_parts(signature.clone(), symbols.clone(), all)
+                .expect("shard observations match the shared signature");
             Synthesizer::new(&concatenated, synthesis)
         };
         // Sample steps across all shards, never across a boundary.
@@ -300,6 +326,19 @@ impl WindowAbstractor {
         let id = alphabet.intern(predicate);
         self.cache.insert(window.to_vec(), id);
         id
+    }
+
+    /// Computes the predicate describing one observation window without
+    /// touching the memo cache or any alphabet — the read-only entry point
+    /// shared by the parallel extraction workers, which keep their own local
+    /// caches and defer interning to the deterministic merge step.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `window` is shorter than two observations (no step).
+    pub fn compute_predicate(&self, window: &[Valuation]) -> Predicate {
+        assert!(window.len() >= 2, "a window needs at least one step");
+        self.window_predicate(window)
     }
 
     /// The predicate describing the first step of `window`, generalised over

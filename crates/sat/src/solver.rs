@@ -17,6 +17,8 @@
 use crate::cnf::Cnf;
 use crate::lit::{Lit, Var};
 use crate::model::Model;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 /// Resource limits for a single [`Solver::solve_with_limits`] call.
 ///
@@ -170,6 +172,9 @@ pub struct Solver {
     prop_limit: Option<u64>,
     prop_budget_hit: bool,
     failed: Vec<Lit>,
+    /// Cooperative interrupt: when the flag is raised by another thread the
+    /// current solve call abandons its work with [`SatResult::Unknown`].
+    interrupt: Option<Arc<AtomicBool>>,
 }
 
 impl Solver {
@@ -204,6 +209,7 @@ impl Solver {
             prop_limit: None,
             prop_budget_hit: false,
             failed: Vec::new(),
+            interrupt: None,
         }
     }
 
@@ -259,6 +265,32 @@ impl Solver {
     /// The limit then grows geometrically (×1.5) after every reduction.
     pub fn set_learnt_limit(&mut self, limit: usize) {
         self.learnt_limit = limit.max(1);
+    }
+
+    /// Installs a cooperative interrupt flag, shared with other threads.
+    ///
+    /// The flag is polled inside [`Solver::propagate`] (with the same
+    /// 1024-propagation granularity as the propagation budget) and once per
+    /// conflict-loop iteration, so raising it from another thread makes an
+    /// in-flight solve call give up with [`SatResult::Unknown`] promptly —
+    /// this is what lets the learner's speculative portfolio cancel workers
+    /// whose state count has become moot. The solver itself never clears the
+    /// flag; an interrupted solver remains usable and answers correctly once
+    /// the flag is lowered (or [cleared](Solver::clear_interrupt)).
+    pub fn set_interrupt(&mut self, flag: Arc<AtomicBool>) {
+        self.interrupt = Some(flag);
+    }
+
+    /// Removes an installed interrupt flag.
+    pub fn clear_interrupt(&mut self) {
+        self.interrupt = None;
+    }
+
+    /// Whether an installed interrupt flag is currently raised.
+    pub fn is_interrupted(&self) -> bool {
+        self.interrupt
+            .as_ref()
+            .is_some_and(|flag| flag.load(Ordering::Relaxed))
     }
 
     /// The subset of the assumptions passed to the last
@@ -362,15 +394,20 @@ impl Solver {
 
     fn propagate(&mut self) -> Option<usize> {
         while self.qhead < self.trail.len() {
-            // Enforce the propagation budget *inside* the loop (with 1024-step
-            // granularity) so a single long propagation pass cannot blow past
-            // it: the solve loop only regains control between conflicts.
+            // Enforce the propagation budget and poll the interrupt flag
+            // *inside* the loop (with 1024-step granularity) so a single long
+            // propagation pass cannot blow past either: the solve loop only
+            // regains control between conflicts.
             if self.stats.propagations & 1023 == 0 {
                 if let Some(limit) = self.prop_limit {
                     if self.stats.propagations >= limit {
                         self.prop_budget_hit = true;
                         return None;
                     }
+                }
+                if self.is_interrupted() {
+                    self.prop_budget_hit = true;
+                    return None;
                 }
             }
             let p = self.trail[self.qhead];
@@ -743,6 +780,10 @@ impl Solver {
                     self.backjump(0);
                     return SatResult::Unknown;
                 }
+            }
+            if self.is_interrupted() {
+                self.backjump(0);
+                return SatResult::Unknown;
             }
 
             if let Some(conflict) = self.propagate() {
@@ -1263,6 +1304,56 @@ mod tests {
             "learnt clauses must be carried across calls"
         );
         assert_eq!(solver.stats().solve_calls, 2);
+    }
+
+    #[test]
+    fn interrupt_raised_before_solving_returns_unknown() {
+        let (num_vars, clauses) = pigeonhole_clauses(6, 5);
+        let mut solver = Solver::new(num_vars);
+        for clause in &clauses {
+            solver.add_clause(clause.iter().copied());
+        }
+        let flag = Arc::new(AtomicBool::new(true));
+        solver.set_interrupt(Arc::clone(&flag));
+        assert!(solver.is_interrupted());
+        assert_eq!(solver.solve(), SatResult::Unknown);
+        // Lowering the flag restores full functionality on the same solver.
+        flag.store(false, Ordering::Relaxed);
+        assert!(!solver.is_interrupted());
+        assert!(solver.solve().is_unsat());
+    }
+
+    #[test]
+    fn interrupt_from_another_thread_stops_a_long_solve_promptly() {
+        // Pigeonhole 10-into-9 takes far longer than the test budget; the
+        // interrupt must cut the solve short from a concurrent thread.
+        let (num_vars, clauses) = pigeonhole_clauses(10, 9);
+        let mut solver = Solver::new(num_vars);
+        for clause in &clauses {
+            solver.add_clause(clause.iter().copied());
+        }
+        let flag = Arc::new(AtomicBool::new(false));
+        solver.set_interrupt(Arc::clone(&flag));
+        let result = std::thread::scope(|scope| {
+            scope.spawn(|| {
+                std::thread::sleep(std::time::Duration::from_millis(50));
+                flag.store(true, Ordering::Relaxed);
+            });
+            let start = std::time::Instant::now();
+            let result = solver.solve();
+            assert!(
+                start.elapsed() < std::time::Duration::from_secs(20),
+                "interrupt was not honoured promptly"
+            );
+            result
+        });
+        assert_eq!(result, SatResult::Unknown);
+        // The interrupted solver answers a small query once cleared.
+        solver.clear_interrupt();
+        assert!(!solver.is_interrupted());
+        let mut small = Solver::new(1);
+        small.add_clause([lit(0, true)]);
+        assert!(small.solve().is_sat());
     }
 
     #[test]

@@ -126,6 +126,57 @@ impl<T: Clone + Eq + Hash> WindowCollector<T> {
             self.unique.push(segment);
         }
     }
+
+    /// Merges another collector's accumulated windows into `self`,
+    /// deduplicating against the windows already seen and preserving
+    /// first-occurrence order (all of `self`'s windows, then `other`'s new
+    /// ones in `other`'s order). Totals are summed; `other`'s unfinished
+    /// carry, if any, is discarded — callers should
+    /// [`end_trace`](WindowCollector::end_trace) before merging.
+    ///
+    /// Returns the number of unique windows `other` newly contributed.
+    ///
+    /// This is the deterministic fan-in of the parallel extraction pipeline:
+    /// each worker collects one shard's windows independently, and the
+    /// shard collectors are merged in input order, which reproduces the
+    /// sequential single-collector result exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the window lengths differ.
+    pub fn merge(&mut self, other: WindowCollector<T>) -> usize {
+        self.merge_mapped(other, |item| item.clone())
+    }
+
+    /// Like [`merge`](WindowCollector::merge), but translating every window
+    /// item through `f` first — used by the parallel extraction pipeline to
+    /// map shard-local predicate ids onto globally interned ones. `f` must be
+    /// injective for the deduplication to match a sequential run.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the window lengths differ.
+    pub fn merge_mapped<U, F>(&mut self, other: WindowCollector<U>, mut f: F) -> usize
+    where
+        U: Clone + Eq + Hash,
+        F: FnMut(&U) -> T,
+    {
+        assert_eq!(
+            self.w, other.w,
+            "cannot merge collectors with different window lengths"
+        );
+        let before = self.unique.len();
+        for window in other.unique {
+            let mapped: Vec<T> = window.iter().map(&mut f).collect();
+            if !self.seen.contains(&mapped) {
+                self.seen.insert(mapped.clone());
+                self.unique.push(mapped);
+            }
+        }
+        self.total_windows += other.total_windows;
+        self.total_items += other.total_items;
+        self.unique.len() - before
+    }
 }
 
 #[cfg(test)]
@@ -182,6 +233,51 @@ mod tests {
     #[should_panic(expected = "window length")]
     fn zero_window_panics() {
         let _ = WindowCollector::<u8>::new(0);
+    }
+
+    #[test]
+    fn merge_reproduces_a_sequential_collector() {
+        let shard_a = [1u8, 2, 3, 1, 2];
+        let shard_b = [2u8, 3, 4, 1, 2];
+        // Sequential reference: one collector over both shards.
+        let mut sequential = WindowCollector::new(2);
+        sequential.extend(shard_a.iter().copied());
+        sequential.end_trace();
+        sequential.extend(shard_b.iter().copied());
+        sequential.end_trace();
+        // Parallel shape: one collector per shard, merged in input order.
+        let mut merged = WindowCollector::new(2);
+        for shard in [&shard_a[..], &shard_b[..]] {
+            let mut local = WindowCollector::new(2);
+            local.extend(shard.iter().copied());
+            local.end_trace();
+            merged.merge(local);
+        }
+        assert_eq!(merged.unique(), sequential.unique());
+        assert_eq!(merged.total_windows(), sequential.total_windows());
+        assert_eq!(merged.total_items(), sequential.total_items());
+    }
+
+    #[test]
+    fn merge_reports_new_contributions_and_maps_items() {
+        let mut global = WindowCollector::new(2);
+        global.extend([10u16, 20, 30]);
+        global.end_trace();
+        // A shard collected over local ids 0..3, mapped by ×10: [10,20] is a
+        // duplicate, [20,40] is new.
+        let mut local = WindowCollector::new(2);
+        local.extend([1u8, 2, 4]);
+        local.end_trace();
+        let contributed = global.merge_mapped(local, |&id| u16::from(id) * 10);
+        assert_eq!(contributed, 1);
+        assert_eq!(global.unique(), &[vec![10, 20], vec![20, 30], vec![20, 40]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "different window lengths")]
+    fn merging_mismatched_window_lengths_panics() {
+        let mut a = WindowCollector::<u8>::new(2);
+        a.merge(WindowCollector::new(3));
     }
 
     proptest! {

@@ -1,7 +1,8 @@
 //! Integration tests for the streaming ingestion + sharded segmentation
 //! pipeline: streamed learning agrees with the in-memory path, multi-trace
 //! learning never fabricates windows across trace boundaries, and the
-//! resident observation count stays bounded by the chunk size.
+//! resident observation count stays bounded by the chunk size plus the
+//! calibration reservoir.
 
 use tracelearn::learn::Learner;
 use tracelearn::prelude::*;
@@ -74,8 +75,17 @@ fn learn_streamed_matches_learn_on_event_workloads() {
     }
 }
 
+/// The configuration-derived residency bound of `learn_streamed`: the
+/// rolling chunk buffer (plus window carry) and the calibration reservoir
+/// (plus block-rounding slack).
+fn residency_bound(learner: &Learner) -> usize {
+    let config = learner.config();
+    let chunk = config.stream_chunk.max(config.window);
+    chunk + config.window + config.calibration_sample.max(chunk).max(4096) + 256
+}
+
 #[test]
-fn streamed_peak_residency_is_bounded_by_the_chunk_size() {
+fn streamed_peak_residency_is_bounded_by_chunk_plus_calibration() {
     let trace = Workload::LinuxKernel.generate(60_000);
     let csv = to_csv(&trace).unwrap();
     let chunk = 8192;
@@ -85,11 +95,26 @@ fn streamed_peak_residency_is_bounded_by_the_chunk_size() {
     let stats = model.stats();
     assert_eq!(stats.trace_length, 60_000);
     assert!(
-        stats.peak_resident_observations <= chunk + learner.config().window,
-        "peak residency {} exceeds chunk bound {}",
+        stats.peak_resident_observations <= residency_bound(&learner),
+        "peak residency {} exceeds the configured bound {}",
         stats.peak_resident_observations,
-        chunk + learner.config().window
+        residency_bound(&learner)
     );
+    // And a small calibration sample keeps the total close to the chunk.
+    let learner = Learner::new(
+        LearnerConfig::default()
+            .with_stream_chunk(chunk)
+            .with_calibration_sample(1),
+    );
+    let reader = StreamingCsvReader::new(csv.as_bytes()).unwrap();
+    let stats = learner.learn_streamed(reader).unwrap().stats();
+    assert!(
+        stats.peak_resident_observations <= residency_bound(&learner),
+        "peak residency {} exceeds the configured bound {}",
+        stats.peak_resident_observations,
+        residency_bound(&learner)
+    );
+    assert!(residency_bound(&learner) <= 2 * chunk + 4096 + 512);
 }
 
 #[test]
@@ -194,7 +219,9 @@ fn two_million_row_stream_learns_the_in_memory_model() {
     let streamed = learner.learn_streamed(reader).unwrap();
     let stats = streamed.stats();
     assert_eq!(stats.trace_length, rows);
-    assert!(stats.peak_resident_observations <= chunk + learner.config().window);
+    assert!(stats.peak_resident_observations <= residency_bound(&learner));
+    // Far below the trace itself: the 2M rows never sit in memory at once.
+    assert!(stats.peak_resident_observations <= rows / 10);
 
     // In-memory reference over the same bytes.
     let text = std::fs::read_to_string(&path).unwrap();

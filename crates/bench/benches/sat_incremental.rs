@@ -7,11 +7,13 @@
 //! seed behaviour); the incremental variant builds one base encoding and one
 //! solver per candidate state count and feeds it only the delta clauses of
 //! newly forbidden sequences, reusing learnt clauses across rounds; the
-//! batched variant keeps ONE solver alive across state counts, gating each
-//! count's clauses behind an assumption literal so learnt clauses flow
-//! across counts too (`SolverStrategy::BatchedAssumptions` at the SAT
-//! layer). With `--json <path>` or `TRACELEARN_BENCH_JSON=<path>` the
-//! measured wall times are written as machine-readable JSON.
+//! batched variant keeps ONE solver alive across state counts, loading each
+//! count's clauses hard over a fresh variable block and hard-deleting the
+//! whole block from the clause arena when the count is refuted
+//! (`SolverStrategy::BatchedAssumptions` at the learner layer,
+//! `Solver::remove_vars_from` at the SAT layer). With `--json <path>` or
+//! `TRACELEARN_BENCH_JSON=<path>` the measured wall times are written as
+//! machine-readable JSON.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Instant;
@@ -19,7 +21,7 @@ use tracelearn_bench::report::{write_if_requested, BenchRecord};
 use tracelearn_core::compliance::invalid_sequences;
 use tracelearn_core::encoding::AutomatonEncoder;
 use tracelearn_core::{PredId, PredicateExtractor};
-use tracelearn_sat::{Limits, Lit, Model, SatResult, Solver, Var};
+use tracelearn_sat::{Lit, Model, SatResult, Solver, Var};
 use tracelearn_synth::SynthesisConfig;
 use tracelearn_trace::unique_windows;
 use tracelearn_workloads::Workload;
@@ -105,8 +107,9 @@ fn refine_incremental(input: &Prepared) -> usize {
 }
 
 /// The cross-state-count batched loop: one solver for the entire search,
-/// each count's clauses behind a fresh activation literal enabled via
-/// `solve_with_assumptions`, so learnt clauses survive across counts.
+/// each count's clauses loaded hard over a fresh variable block and the
+/// whole block hard-deleted from the clause arena when the count is refuted
+/// (`Solver::remove_vars_from`).
 fn refine_batched(input: &Prepared) -> usize {
     let mut encoder = AutomatonEncoder::new(input.windows.clone(), 2);
     let mut solver = Solver::new(0);
@@ -117,7 +120,6 @@ fn refine_batched(input: &Prepared) -> usize {
         for _ in 0..encoding.cnf.num_vars() {
             solver.new_var();
         }
-        let gate = solver.new_var();
         let offset = |lit: Lit| {
             let var = Var::new(u32::try_from(lit.var().index() + base).expect("var fits in u32"));
             if lit.is_positive() {
@@ -127,15 +129,10 @@ fn refine_batched(input: &Prepared) -> usize {
             }
         };
         for clause in encoding.cnf.clauses() {
-            solver.add_clause(
-                clause
-                    .iter()
-                    .map(|&lit| offset(lit))
-                    .chain(std::iter::once(Lit::negative(gate))),
-            );
+            solver.add_clause(clause.iter().map(|&lit| offset(lit)));
         }
         loop {
-            match solver.solve_with_assumptions(&[Lit::positive(gate)], Limits::unlimited()) {
+            match solver.solve() {
                 SatResult::Unsat => break,
                 SatResult::Unknown => unreachable!("no limits were set"),
                 SatResult::Sat(model) => {
@@ -158,16 +155,15 @@ fn refine_batched(input: &Prepared) -> usize {
                         encoder.forbid_sequence(violation);
                     }
                     for clause in encoder.delta_clauses(&encoding) {
-                        solver.add_clause(
-                            clause
-                                .into_iter()
-                                .map(offset)
-                                .chain(std::iter::once(Lit::negative(gate))),
-                        );
+                        solver.add_clause(clause.into_iter().map(offset));
                     }
                 }
             }
         }
+        // Retire the refuted count: hard-delete its whole variable block —
+        // original clauses, learnt clauses and top-level facts — and clear
+        // the refutation it caused (mirrors the learner's batched strategy).
+        solver.remove_vars_from(Var::new(u32::try_from(base).expect("var fits in u32")));
     }
     panic!("no automaton within the state bound");
 }

@@ -1,0 +1,156 @@
+//! Bench-regression smoke gate: compares a fresh `--json` bench run against
+//! a committed `BENCH_*.json` baseline and fails when a gated result
+//! regressed past the tolerance.
+//!
+//! ```text
+//! bench_gate <committed.json> <fresh.json> [--tolerance FACTOR] [--prefix P]
+//! ```
+//!
+//! Only results whose name starts with the gated prefix (default
+//! `incremental/`) fail the gate; everything else is reported for context.
+//! The default tolerance factor is `1.5` — a result must be more than 50 %
+//! slower than the committed number to fail — deliberately loose so noisy
+//! CI hosts don't flake, while a genuine perf regression (the kind that
+//! doubles a solver phase) still trips it. Exit status: `0` pass, `1` a
+//! gated result regressed, `2` usage or I/O error.
+
+use std::process::ExitCode;
+use tracelearn_bench::report::parse_results;
+
+struct Options {
+    committed: String,
+    fresh: String,
+    tolerance: f64,
+    prefix: String,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut positional: Vec<String> = Vec::new();
+    let mut tolerance = 1.5f64;
+    let mut prefix = "incremental/".to_owned();
+    let mut arguments = std::env::args().skip(1);
+    while let Some(argument) = arguments.next() {
+        match argument.as_str() {
+            "--tolerance" => {
+                tolerance = arguments
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&t| t >= 1.0)
+                    .ok_or("--tolerance takes a factor >= 1.0")?;
+            }
+            "--prefix" => {
+                prefix = arguments.next().ok_or("--prefix takes a name prefix")?;
+            }
+            _ => positional.push(argument),
+        }
+    }
+    let [committed, fresh] = positional.try_into().map_err(|extra: Vec<String>| {
+        format!(
+            "expected exactly two paths (committed, fresh), got {}",
+            extra.len()
+        )
+    })?;
+    Ok(Options {
+        committed,
+        fresh,
+        tolerance,
+        prefix,
+    })
+}
+
+fn main() -> ExitCode {
+    let options = match parse_args() {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!(
+                "usage: bench_gate <committed.json> <fresh.json> [--tolerance FACTOR] [--prefix P]"
+            );
+            eprintln!("error: {message}");
+            return ExitCode::from(2);
+        }
+    };
+    let read = |path: &str| -> Result<Vec<(String, u128)>, ExitCode> {
+        match std::fs::read_to_string(path) {
+            Ok(text) => {
+                let results = parse_results(&text);
+                if results.is_empty() {
+                    eprintln!("error: no results found in {path}");
+                    Err(ExitCode::from(2))
+                } else {
+                    Ok(results)
+                }
+            }
+            Err(error) => {
+                eprintln!("error: cannot read {path}: {error}");
+                Err(ExitCode::from(2))
+            }
+        }
+    };
+    let committed = match read(&options.committed) {
+        Ok(results) => results,
+        Err(code) => return code,
+    };
+    let fresh = match read(&options.fresh) {
+        Ok(results) => results,
+        Err(code) => return code,
+    };
+
+    let mut regressed = false;
+    let mut gated_compared = 0usize;
+    println!(
+        "{:<40} {:>14} {:>14} {:>8}  verdict",
+        "result", "committed_ns", "fresh_ns", "ratio"
+    );
+    for (name, committed_ns) in &committed {
+        let Some((_, fresh_ns)) = fresh.iter().find(|(fresh_name, _)| fresh_name == name) else {
+            // A gated baseline result the fresh run no longer produces is a
+            // gate failure, not a footnote — otherwise renaming (or losing)
+            // a bench silently drops its regression coverage.
+            let verdict = if name.starts_with(&options.prefix) {
+                regressed = true;
+                "MISSING from fresh run"
+            } else {
+                "missing from fresh run"
+            };
+            println!(
+                "{name:<40} {committed_ns:>14} {:>14} {:>8}  {verdict}",
+                "-", "-"
+            );
+            continue;
+        };
+        let ratio = *fresh_ns as f64 / (*committed_ns).max(1) as f64;
+        let gated = name.starts_with(&options.prefix);
+        gated_compared += usize::from(gated);
+        let verdict = if !gated {
+            "info"
+        } else if ratio > options.tolerance {
+            regressed = true;
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        println!("{name:<40} {committed_ns:>14} {fresh_ns:>14} {ratio:>8.3}  {verdict}");
+    }
+    if gated_compared == 0 {
+        eprintln!(
+            "error: no result matching the gated prefix `{}` in both runs",
+            options.prefix
+        );
+        return ExitCode::from(2);
+    }
+    if regressed {
+        eprintln!(
+            "bench gate FAILED: a `{}` result regressed more than {:.0}% (or went missing) vs {}",
+            options.prefix,
+            (options.tolerance - 1.0) * 100.0,
+            options.committed
+        );
+        ExitCode::from(1)
+    } else {
+        println!(
+            "bench gate passed: {gated_compared} gated result(s) within {:.0}% of the baseline",
+            (options.tolerance - 1.0) * 100.0
+        );
+        ExitCode::SUCCESS
+    }
+}

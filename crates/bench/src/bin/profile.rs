@@ -2,7 +2,7 @@
 //! ablation/diagnostic aid (not a paper artefact).
 //!
 //! ```text
-//! profile <workload> <length> [--threads N] [--shards S]
+//! profile <workload> <length> [--threads N] [--shards S] [--sat-stats]
 //! ```
 //!
 //! Prints a per-phase wall-time breakdown (ingest / abstract / segment /
@@ -11,7 +11,9 @@
 //! context. `--threads N` sets the learner's worker-thread count (0 = the
 //! machine's available parallelism); `--shards S` splits the workload into
 //! `S` independently seeded runs learned as one `TraceSet` through the
-//! parallel shard-extraction path.
+//! parallel shard-extraction path; `--sat-stats` adds the solver-quality
+//! counters (learnt-clause LBD histogram and conflict-clause-minimization
+//! totals) to each phase breakdown.
 
 use std::env;
 use std::time::Instant;
@@ -19,6 +21,36 @@ use tracelearn_bench::learner_config_for;
 use tracelearn_core::{LearnStats, Learner, PredicateExtractor};
 use tracelearn_trace::{unique_windows, StreamingCsvReader, Trace, TraceSet};
 use tracelearn_workloads::Workload;
+
+/// Prints the solver-quality counters: the learnt-clause LBD ("glue")
+/// histogram and the literals removed by conflict-clause minimization,
+/// aggregated over the adopted search path's solvers.
+fn print_sat_stats(stats: &LearnStats) {
+    let total: u64 = stats.lbd_histogram.iter().sum();
+    println!("  sat quality:     {total} learnt clauses analysed");
+    for (bucket, &count) in stats.lbd_histogram.iter().enumerate() {
+        let label = if bucket + 1 == stats.lbd_histogram.len() {
+            format!("glue >= {}", bucket + 1)
+        } else {
+            format!("glue  = {}", bucket + 1)
+        };
+        let share = if total > 0 {
+            count as f64 * 100.0 / total as f64
+        } else {
+            0.0
+        };
+        println!("    {label}: {count:>8}  ({share:>5.1}%)");
+    }
+    println!(
+        "    minimized literals: {} (avg {:.2} per learnt clause)",
+        stats.minimized_literals,
+        if total > 0 {
+            stats.minimized_literals as f64 / total as f64
+        } else {
+            0.0
+        }
+    );
+}
 
 fn print_phases(label: &str, stats: &LearnStats) {
     println!("{label} phase breakdown:");
@@ -50,9 +82,11 @@ fn main() {
     let mut positional: Vec<String> = Vec::new();
     let mut threads = 0usize;
     let mut shards = 1usize;
+    let mut sat_stats = false;
     let mut arguments = env::args().skip(1);
     while let Some(argument) = arguments.next() {
         match argument.as_str() {
+            "--sat-stats" => sat_stats = true,
             "--threads" => {
                 threads = arguments
                     .next()
@@ -158,7 +192,12 @@ fn main() {
         .expect("writing to a Vec cannot fail");
     let reader = StreamingCsvReader::new(csv.as_slice()).expect("parseable header");
     match learner.learn_streamed(reader) {
-        Ok(model) => print_phases("streamed learn", &model.stats()),
+        Ok(model) => {
+            print_phases("streamed learn", &model.stats());
+            if sat_stats {
+                print_sat_stats(&model.stats());
+            }
+        }
         Err(error) => println!("streamed learn failed: {error}"),
     }
 
@@ -169,12 +208,22 @@ fn main() {
             .collect();
         let set = TraceSet::from_traces(traces.iter()).expect("shards share a signature");
         match learner.learn_many(&set) {
-            Ok(model) => print_phases(&format!("learn_many ({shards} shards)"), &model.stats()),
+            Ok(model) => {
+                print_phases(&format!("learn_many ({shards} shards)"), &model.stats());
+                if sat_stats {
+                    print_sat_stats(&model.stats());
+                }
+            }
             Err(error) => println!("learn_many failed: {error}"),
         }
     } else {
         match learner.learn(&trace) {
-            Ok(model) => print_phases("full learn", &model.stats()),
+            Ok(model) => {
+                print_phases("full learn", &model.stats());
+                if sat_stats {
+                    print_sat_stats(&model.stats());
+                }
+            }
             Err(error) => println!("full learn failed: {error}"),
         }
     }

@@ -129,6 +129,38 @@ pub fn render(bench: &str, records: &[BenchRecord]) -> String {
     out
 }
 
+/// Extracts the `(name, wall_ns)` pairs from a bench JSON document written
+/// by [`render`]. The reader is deliberately matched to the writer's
+/// line-oriented output (one result object per line) rather than being a
+/// general JSON parser — the workspace's vendored `serde` stub has no
+/// deserializer, and these documents are only ever produced by [`render`].
+pub fn parse_results(text: &str) -> Vec<(String, u128)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let Some(name_at) = line.find("\"name\": \"") else {
+            continue;
+        };
+        let rest = &line[name_at + 9..];
+        let Some(name_end) = rest.find('"') else {
+            continue;
+        };
+        // Names containing escapes are not produced by our benches; skip
+        // them rather than mis-parse.
+        let name = &rest[..name_end];
+        let Some(wall_at) = line.find("\"wall_ns\": ") else {
+            continue;
+        };
+        let digits: String = line[wall_at + 11..]
+            .chars()
+            .take_while(char::is_ascii_digit)
+            .collect();
+        if let Ok(wall_ns) = digits.parse::<u128>() {
+            out.push((name.to_owned(), wall_ns));
+        }
+    }
+    out
+}
+
 /// Quotes and escapes a JSON string.
 fn json_string(text: &str) -> String {
     let mut out = String::with_capacity(text.len() + 2);
@@ -189,6 +221,24 @@ mod tests {
         assert_eq!(json_value("2.5"), "2.5");
         assert_eq!(json_value("rtlinux"), "\"rtlinux\"");
         assert_eq!(json_value("NaN"), "\"NaN\"");
+    }
+
+    #[test]
+    fn parse_results_round_trips_render() {
+        let records = vec![
+            BenchRecord::new("incremental/usb_attach", Duration::from_millis(121))
+                .with_extra("states", 8),
+            BenchRecord::new("from_scratch/rtlinux", Duration::from_millis(12)),
+        ];
+        let text = render("sat_incremental", &records);
+        let parsed = parse_results(&text);
+        assert_eq!(
+            parsed,
+            vec![
+                ("incremental/usb_attach".to_owned(), 121_000_000u128),
+                ("from_scratch/rtlinux".to_owned(), 12_000_000u128),
+            ]
+        );
     }
 
     #[test]

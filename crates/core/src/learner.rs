@@ -77,14 +77,18 @@ pub enum SolverStrategy {
     #[default]
     PerCount,
     /// One solver for the *entire* search: each state count's clauses are
-    /// loaded behind a fresh activation literal and enabled via
-    /// `solve_with_assumptions`, so learnt clauses flow across state counts
-    /// as well as refinement rounds. This is the ROADMAP's cross-state-count
-    /// batching; it is inherently sequential (one solver), so it is mutually
-    /// exclusive with the portfolio and `num_threads` only affects
-    /// extraction. The returned state count is still the minimum satisfiable
-    /// one, but the witness automaton may differ from the per-count
-    /// strategies' (any compliant minimal model is a valid answer).
+    /// loaded hard over a fresh variable block, and a refuted count's block
+    /// is hard-deleted from the solver's clause arena and watch lists
+    /// ([`tracelearn_sat::Solver::remove_vars_from`]) before the next count
+    /// loads. This is the ROADMAP's cross-state-count batching; it is
+    /// inherently sequential (one solver), so it is mutually exclusive with
+    /// the portfolio and `num_threads` only affects extraction. The returned
+    /// state count is still the minimum satisfiable one, but the witness
+    /// automaton may differ from the per-count strategies' (any compliant
+    /// minimal model is a valid answer). The name survives from the original
+    /// activation-literal implementation, whose per-clause gate literal
+    /// defeated the solver's binary-clause fast path (the 2.2× regression
+    /// recorded in the committed bench trajectory).
     BatchedAssumptions,
 }
 
@@ -266,6 +270,13 @@ pub struct LearnStats {
     /// Learnt clauses carried into repeat queries on a reused solver, summed
     /// over all queries after the first at each state count.
     pub reused_learnt_clauses: u64,
+    /// Literals the solver's conflict-clause minimization removed from learnt
+    /// clauses before attachment, summed over the adopted search path.
+    pub minimized_literals: u64,
+    /// Histogram of learnt-clause LBD ("glue") values over the adopted search
+    /// path: bucket `i` counts clauses learnt with glue `i + 1`; the last
+    /// bucket aggregates glue ≥ [`tracelearn_sat::LBD_BUCKETS`].
+    pub lbd_histogram: [u64; tracelearn_sat::LBD_BUCKETS],
     /// Number of compliance-refinement rounds performed.
     pub refinements: usize,
     /// Number of states of the learned automaton.
@@ -295,6 +306,20 @@ pub struct LearnStats {
     pub solver_time: Duration,
     /// Total wall-clock time.
     pub total_time: Duration,
+}
+
+impl LearnStats {
+    /// Folds one solver's minimization and glue counters into the run totals.
+    fn absorb_solver_counters(
+        &mut self,
+        minimized_literals: u64,
+        lbd_histogram: &[u64; tracelearn_sat::LBD_BUCKETS],
+    ) {
+        self.minimized_literals += minimized_literals;
+        for (total, &bucket) in self.lbd_histogram.iter_mut().zip(lbd_histogram) {
+            *total += bucket;
+        }
+    }
 }
 
 /// The result of a successful learning run.
@@ -387,6 +412,8 @@ struct CountOutcome {
     sat_queries: usize,
     refinements: usize,
     reused_learnt_clauses: u64,
+    minimized_literals: u64,
+    lbd_histogram: [u64; tracelearn_sat::LBD_BUCKETS],
     verdict: CountVerdict,
 }
 
@@ -1202,6 +1229,8 @@ impl Learner {
             sat_queries: 0,
             refinements: 0,
             reused_learnt_clauses: 0,
+            minimized_literals: 0,
+            lbd_histogram: [0; tracelearn_sat::LBD_BUCKETS],
             verdict: CountVerdict::Cancelled,
         };
         if let Err(error) = self.check_time(start) {
@@ -1254,6 +1283,8 @@ impl Learner {
             sat_queries: 0,
             refinements: 0,
             reused_learnt_clauses: 0,
+            minimized_literals: 0,
+            lbd_histogram: [0; tracelearn_sat::LBD_BUCKETS],
             verdict: CountVerdict::Cancelled,
         };
         let snapshot: Vec<Vec<PredId>> = board.lock().expect("forbidden board poisoned").clone();
@@ -1387,6 +1418,9 @@ impl Learner {
             }
         };
         outcome.refinements = refinements_here;
+        let solver_stats = solver.stats();
+        outcome.minimized_literals = solver_stats.minimized_literals;
+        outcome.lbd_histogram = solver_stats.lbd_histogram;
         outcome.verdict = verdict;
     }
 
@@ -1416,6 +1450,7 @@ impl Learner {
             stats.sat_queries += outcome.sat_queries;
             stats.refinements += outcome.refinements;
             stats.reused_learnt_clauses += outcome.reused_learnt_clauses;
+            stats.absorb_solver_counters(outcome.minimized_literals, &outcome.lbd_histogram);
             stats.solvers_constructed += 1;
             match outcome.verdict {
                 CountVerdict::Compliant(automaton) => return Ok((num_states, automaton)),
@@ -1519,6 +1554,8 @@ impl Learner {
                     stats.sat_queries += adopted.sat_queries;
                     stats.refinements += adopted.refinements;
                     stats.reused_learnt_clauses += adopted.reused_learnt_clauses;
+                    stats
+                        .absorb_solver_counters(adopted.minimized_literals, &adopted.lbd_histogram);
                     stats.solvers_constructed += 1;
                     match adopted.verdict {
                         CountVerdict::Compliant(automaton) => {
@@ -1569,11 +1606,17 @@ impl Learner {
 
     /// The cross-state-count batched search
     /// ([`SolverStrategy::BatchedAssumptions`]): one solver for the whole
-    /// run. Each candidate count's clauses are loaded behind a fresh
-    /// activation literal and enabled via `solve_with_assumptions`, so a
-    /// smaller count's clauses become inert (not contradictory) once the
-    /// search moves on, while every learnt clause remains live across
-    /// counts as well as refinement rounds.
+    /// run. Each candidate count's clauses are loaded as *hard* clauses over
+    /// a fresh variable block; when the count is refuted the entire block is
+    /// hard-deleted from the solver's clause arena and watch lists
+    /// ([`Solver::remove_vars_from`]) and the unsatisfiable verdict it
+    /// caused is cleared. Earlier revisions gated each block behind an
+    /// activation literal instead — that literal turned every binary clause
+    /// of the encoding into a ternary one, defeating the solver's
+    /// binary-clause specialization and taxing the whole search (the 2.2×
+    /// regression recorded in `BENCH_sat_incremental.json`); since the
+    /// per-count blocks share no variables, nothing ever flowed across
+    /// counts to justify the tax.
     fn search_batched(
         &self,
         windows: &[Vec<PredId>],
@@ -1594,7 +1637,6 @@ impl Learner {
             for _ in 0..encoding.cnf.num_vars() {
                 solver.new_var();
             }
-            let gate = solver.new_var();
             let offset = |lit: Lit| {
                 let var = Var::new(
                     u32::try_from(lit.var().index() + base).expect("variable count fits in u32"),
@@ -1606,12 +1648,7 @@ impl Learner {
                 }
             };
             for clause in encoding.cnf.clauses() {
-                solver.add_clause(
-                    clause
-                        .iter()
-                        .map(|&lit| offset(lit))
-                        .chain(std::iter::once(Lit::negative(gate))),
-                );
+                solver.add_clause(clause.iter().map(|&lit| offset(lit)));
             }
             let mut refinements_here = 0usize;
             let accepted = loop {
@@ -1629,7 +1666,7 @@ impl Learner {
                     stats.reused_learnt_clauses += solver.num_learnts() as u64;
                 }
                 stats.sat_queries += 1;
-                match solver.solve_with_assumptions(&[Lit::positive(gate)], limits) {
+                match solver.solve_with_limits(limits) {
                     SatResult::Unsat => break None,
                     SatResult::Unknown => {
                         return Err(LearnError::BudgetExhausted {
@@ -1669,20 +1706,28 @@ impl Learner {
                             encoder.forbid_sequence(violation);
                         }
                         for clause in encoder.delta_clauses(&encoding) {
-                            solver.add_clause(
-                                clause
-                                    .into_iter()
-                                    .map(offset)
-                                    .chain(std::iter::once(Lit::negative(gate))),
-                            );
+                            solver.add_clause(clause.into_iter().map(offset));
                         }
                     }
                 }
             };
             stats.refinements += refinements_here;
             if let Some(automaton) = accepted {
+                let solver_stats = solver.stats();
+                stats.absorb_solver_counters(
+                    solver_stats.minimized_literals,
+                    &solver_stats.lbd_histogram,
+                );
                 return Ok((num_states, automaton));
             }
+            // Retire the refuted count before moving on: hard-delete its
+            // entire variable block — original clauses, learnt clauses, and
+            // top-level facts — and clear the refutation verdict it caused.
+            // The blocks share no variables, so the solver is left exactly
+            // as if the count had never been loaded.
+            solver.remove_vars_from(Var::new(
+                u32::try_from(base).expect("variable count fits in u32"),
+            ));
         }
         Err(LearnError::NoAutomaton {
             max_states: config.max_states,

@@ -68,4 +68,4 @@ pub use crate::cnf::Cnf;
 pub use crate::dimacs::{from_dimacs, to_dimacs, ParseDimacsError};
 pub use crate::lit::{Lit, Var};
 pub use crate::model::Model;
-pub use crate::solver::{Limits, SatResult, Solver, SolverStats};
+pub use crate::solver::{Limits, SatResult, Solver, SolverStats, LBD_BUCKETS};

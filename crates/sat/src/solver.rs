@@ -5,9 +5,31 @@
 //! clause learning and non-chronological backjumping, activity-ordered
 //! (VSIDS) decision making with phase saving, and Luby-sequence restarts.
 //!
+//! # Memory layout
+//!
+//! Clauses live in a flat `u32` *arena* ([`ClauseArena`]): each clause is a
+//! three-word header (length + flags, activity, LBD) followed by its literal
+//! codes, all in one contiguous buffer. Clause references are arena offsets,
+//! so propagation walks a single allocation instead of chasing a
+//! `Vec<Vec<Lit>>` of boxed clauses. Binary clauses are specialised straight
+//! into the watch lists — the watch entry itself carries the other literal —
+//! and never touch the arena, which removes a dependent load from the
+//! binary-propagation fast path. Watch lists are flat `Vec<Watch>` compacted
+//! in place while propagating (two-pointer sweep), not rebuilt per literal.
+//!
+//! # Search quality
+//!
+//! Learnt clauses are shrunk by recursive conflict-clause minimization
+//! (MiniSat's `litRedundant`) before attachment, and each one is tagged with
+//! its LBD ("glue" — the number of distinct decision levels among its
+//! literals). Database reduction is LBD-first: clauses with glue ≤ 2 are
+//! never evicted, the rest are ranked by (glue, activity) and the worst half
+//! is dropped on a geometric schedule. [`SolverStats`] exposes the LBD
+//! histogram and the minimized-literal count.
+//!
 //! The solver is *incremental*: clauses and variables may be added between
 //! solve calls ([`Solver::add_clause`], [`Solver::new_var`]), learnt clauses
-//! are kept across calls (subject to activity-based database reduction), and
+//! are kept across calls (subject to database reduction), and
 //! [`Solver::solve_with_assumptions`] decides the formula under a set of
 //! temporary unit assumptions without permanently binding them. Resource
 //! [`Limits`] are accounted *per call*: each solve call gets its own fresh
@@ -92,6 +114,11 @@ impl SatResult {
     }
 }
 
+/// Number of buckets of the learnt-clause LBD histogram in [`SolverStats`]:
+/// bucket `i` counts learnt clauses with glue `i + 1`; the last bucket
+/// aggregates everything at or above [`SolverStats::LBD_BUCKETS`].
+pub const LBD_BUCKETS: usize = 8;
+
 /// Counters describing the work performed by the solver.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SolverStats {
@@ -111,11 +138,25 @@ pub struct SolverStats {
     pub db_reductions: u64,
     /// Number of learnt clauses evicted by database reductions.
     pub removed_learnts: u64,
+    /// Literals removed from learnt clauses by conflict-clause minimization
+    /// before attachment.
+    pub minimized_literals: u64,
+    /// Histogram of learnt-clause LBD ("glue") values: bucket `i` counts the
+    /// learnt clauses whose glue was `i + 1` at learn time; the final bucket
+    /// aggregates glue ≥ [`LBD_BUCKETS`].
+    pub lbd_histogram: [u64; LBD_BUCKETS],
 }
 
 impl SolverStats {
+    /// Number of buckets of [`SolverStats::lbd_histogram`].
+    pub const LBD_BUCKETS: usize = LBD_BUCKETS;
+
     /// Field-wise difference `self - earlier`, used for per-call accounting.
     fn since(&self, earlier: &SolverStats) -> SolverStats {
+        let mut lbd_histogram = [0u64; LBD_BUCKETS];
+        for (i, slot) in lbd_histogram.iter_mut().enumerate() {
+            *slot = self.lbd_histogram[i] - earlier.lbd_histogram[i];
+        }
         SolverStats {
             decisions: self.decisions - earlier.decisions,
             conflicts: self.conflicts - earlier.conflicts,
@@ -125,32 +166,146 @@ impl SolverStats {
             solve_calls: self.solve_calls - earlier.solve_calls,
             db_reductions: self.db_reductions - earlier.db_reductions,
             removed_learnts: self.removed_learnts - earlier.removed_learnts,
+            minimized_literals: self.minimized_literals - earlier.minimized_literals,
+            lbd_histogram,
         }
+    }
+
+    /// Records one learnt clause's glue in the histogram.
+    fn record_lbd(&mut self, lbd: u32) {
+        let bucket = (lbd.max(1) as usize - 1).min(LBD_BUCKETS - 1);
+        self.lbd_histogram[bucket] += 1;
     }
 }
 
-#[derive(Debug, Clone)]
-struct Clause {
-    lits: Vec<Lit>,
-    learnt: bool,
-    activity: f64,
+/// Words of clause metadata preceding the literals in the arena:
+/// `[len | flags]`, `activity` (f32 bits), `lbd`.
+const HEADER_WORDS: usize = 3;
+
+/// Watch-entry tag: the entry is a specialised binary clause (the clause is
+/// `[blocker, ¬watched]` and lives only in the two watch lists, not in the
+/// arena).
+const WATCH_BINARY: u32 = 1 << 31;
+/// Watch-entry tag qualifying [`WATCH_BINARY`]: the binary clause is learnt.
+const WATCH_BINARY_LEARNT: u32 = 1 << 30;
+
+/// The flat clause store: every non-binary clause is a [`HEADER_WORDS`]-word
+/// header followed by its literal codes, packed into one contiguous `u32`
+/// buffer. A clause reference is the offset of its header.
+#[derive(Debug, Clone, Default)]
+struct ClauseArena {
+    data: Vec<u32>,
 }
 
+impl ClauseArena {
+    /// Appends a clause and returns its reference.
+    fn alloc(&mut self, lits: &[Lit], learnt: bool) -> u32 {
+        debug_assert!(lits.len() >= 3, "binary clauses live in the watch lists");
+        // References must stay clear of the WATCH_BINARY/WATCH_BINARY_LEARNT
+        // tag bits, or a large arena would have its clauses misread as
+        // specialised binaries — fail hard instead of corrupting.
+        assert!(
+            self.data.len() < (1 << 30),
+            "clause arena exceeds 2^30 words"
+        );
+        let cref = u32::try_from(self.data.len()).expect("arena offset fits in u32");
+        let len = u32::try_from(lits.len()).expect("clause length fits in u32");
+        self.data.push((len << 2) | u32::from(learnt));
+        self.data.push(0f32.to_bits());
+        self.data.push(0); // LBD, set by the learner of the clause
+        self.data.extend(
+            lits.iter()
+                .map(|l| u32::try_from(l.code()).expect("literal code fits in u32")),
+        );
+        cref
+    }
+
+    fn len(&self, cref: u32) -> usize {
+        (self.data[cref as usize] >> 2) as usize
+    }
+
+    fn is_learnt(&self, cref: u32) -> bool {
+        self.data[cref as usize] & 1 != 0
+    }
+
+    fn is_marked(&self, cref: u32) -> bool {
+        self.data[cref as usize] & 2 != 0
+    }
+
+    fn mark(&mut self, cref: u32) {
+        self.data[cref as usize] |= 2;
+    }
+
+    fn lit(&self, cref: u32, k: usize) -> Lit {
+        Lit::from_code(self.data[cref as usize + HEADER_WORDS + k] as usize)
+    }
+
+    fn swap_lits(&mut self, cref: u32, a: usize, b: usize) {
+        let base = cref as usize + HEADER_WORDS;
+        self.data.swap(base + a, base + b);
+    }
+
+    fn activity(&self, cref: u32) -> f32 {
+        f32::from_bits(self.data[cref as usize + 1])
+    }
+
+    fn set_activity(&mut self, cref: u32, activity: f32) {
+        self.data[cref as usize + 1] = activity.to_bits();
+    }
+
+    fn lbd(&self, cref: u32) -> u32 {
+        self.data[cref as usize + 2]
+    }
+
+    fn set_lbd(&mut self, cref: u32, lbd: u32) {
+        self.data[cref as usize + 2] = lbd;
+    }
+}
+
+/// A watch-list entry. For arena clauses `cref` is the clause's offset and
+/// `blocker` a literal whose truth satisfies the clause without touching the
+/// arena. For specialised binary clauses (`cref & WATCH_BINARY != 0`) the
+/// entry *is* the clause: `[blocker, ¬watched]`.
 #[derive(Debug, Clone, Copy)]
 struct Watch {
-    clause: usize,
+    cref: u32,
     blocker: Lit,
+}
+
+/// Why a literal is on the trail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Reason {
+    /// A decision, an assumption, or a top-level fact.
+    None,
+    /// Propagated by the arena clause at this offset (the literal is at
+    /// position 0).
+    Clause(u32),
+    /// Propagated by a specialised binary clause `[lit, other]` where
+    /// `other` is false.
+    Binary(Lit),
+}
+
+/// A falsified clause, as found by propagation.
+#[derive(Debug, Clone, Copy)]
+enum Conflict {
+    Clause(u32),
+    Binary(Lit, Lit),
 }
 
 /// The CDCL solver. Construct it from a [`Cnf`] and call [`Solver::solve`].
 #[derive(Debug, Clone)]
 pub struct Solver {
     num_vars: usize,
-    clauses: Vec<Clause>,
+    arena: ClauseArena,
+    /// Arena references of the original (problem) clauses.
+    clauses: Vec<u32>,
+    /// Arena references of the learnt clauses (all of length ≥ 3; binary
+    /// learnts are specialised into the watch lists).
+    learnts: Vec<u32>,
     watches: Vec<Vec<Watch>>,
     assign: Vec<Option<bool>>,
     level: Vec<u32>,
-    reason: Vec<Option<usize>>,
+    reason: Vec<Reason>,
     trail: Vec<Lit>,
     trail_lim: Vec<usize>,
     qhead: usize,
@@ -158,12 +313,29 @@ pub struct Solver {
     var_inc: f64,
     cla_inc: f64,
     phase: Vec<bool>,
+    /// Whether the variable may be picked as a decision; retired variables
+    /// (see [`Solver::set_decision`]) are skipped by the VSIDS heap.
+    decision: Vec<bool>,
     heap: VarHeap,
     seen: Vec<bool>,
+    /// Scratch for conflict-clause minimization: literals whose `seen` flag
+    /// must be cleared when the current conflict analysis finishes.
+    to_clear: Vec<Lit>,
+    /// Scratch stack of `lit_redundant`.
+    min_stack: Vec<Lit>,
+    /// Per-level stamp used to compute LBD without clearing a set.
+    level_stamp: Vec<u64>,
+    stamp: u64,
     ok: bool,
+    /// When `ok` is false: a variable involved in the refutation's final
+    /// step, identifying (under [`Solver::remove_vars_from`]'s var-disjoint
+    /// contract) the clause block the refutation lives in. `None` means the
+    /// refutation is block-independent (an empty input clause).
+    unsat_witness: Option<usize>,
     stats: SolverStats,
     last_call: SolverStats,
-    /// Learnt clauses currently attached to the database.
+    /// Learnt clauses currently attached to the database (arena learnts plus
+    /// specialised binary learnts).
     live_learnts: usize,
     /// Reduce the learnt database when `live_learnts` reaches this; `0` means
     /// "pick automatically on the first solve call".
@@ -187,11 +359,13 @@ impl Solver {
         }
         Solver {
             num_vars,
+            arena: ClauseArena::default(),
             clauses: Vec::new(),
+            learnts: Vec::new(),
             watches: vec![Vec::new(); num_vars * 2],
             assign: vec![None; num_vars],
             level: vec![0; num_vars],
-            reason: vec![None; num_vars],
+            reason: vec![Reason::None; num_vars],
             trail: Vec::new(),
             trail_lim: Vec::new(),
             qhead: 0,
@@ -199,9 +373,15 @@ impl Solver {
             var_inc: 1.0,
             cla_inc: 1.0,
             phase: vec![false; num_vars],
+            decision: vec![true; num_vars],
             heap,
             seen: vec![false; num_vars],
+            to_clear: Vec::new(),
+            min_stack: Vec::new(),
+            level_stamp: vec![0; num_vars + 1],
+            stamp: 0,
             ok: true,
+            unsat_witness: None,
             stats: SolverStats::default(),
             last_call: SolverStats::default(),
             live_learnts: 0,
@@ -252,13 +432,37 @@ impl Solver {
         self.watches.push(Vec::new());
         self.assign.push(None);
         self.level.push(0);
-        self.reason.push(None);
+        self.reason.push(Reason::None);
         self.activity.push(0.0);
         self.phase.push(false);
+        self.decision.push(true);
         self.seen.push(false);
+        self.level_stamp.push(0);
         self.heap.grow();
         self.heap.insert(v, &self.activity);
         Var::new(u32::try_from(v).expect("variable count fits in u32"))
+    }
+
+    /// Sets whether `var` may be picked as a decision variable. Retiring a
+    /// variable (`decision = false`) removes it from the VSIDS heap until it
+    /// is re-enabled.
+    ///
+    /// # Caller contract
+    ///
+    /// A retired variable is never assigned by the search unless unit
+    /// propagation forces it, and an unassigned variable defaults to `false`
+    /// in a `Sat` model. A clause with **two or more** unassigned retired
+    /// literals therefore escapes propagation entirely and may be violated
+    /// by the reported model. Only retire a variable whose clauses have been
+    /// deleted (see [`Solver::remove_vars_from`], which maintains this
+    /// invariant itself) or whose value is genuinely unconstrained.
+    pub fn set_decision(&mut self, var: Var, decision: bool) {
+        let v = var.index();
+        assert!(v < self.num_vars, "variable out of range");
+        self.decision[v] = decision;
+        if decision && self.assign[v].is_none() {
+            self.heap.insert(v, &self.activity);
+        }
     }
 
     /// Sets the learnt-database size at which the next reduction triggers.
@@ -339,45 +543,68 @@ impl Solver {
             }
         }
         // Remove literals already false at top level; drop satisfied clauses.
+        // A clause emptied this way is still attributable to its variables'
+        // block, so remember one before they go.
+        let witness = clause.first().map(|l| l.var().index());
         clause.retain(|&l| self.lit_value(l) != Some(false));
         if clause.iter().any(|&l| self.lit_value(l) == Some(true)) {
             return;
         }
         match clause.len() {
-            0 => self.ok = false,
+            0 => {
+                self.ok = false;
+                self.unsat_witness = witness;
+            }
             1 => {
-                if !self.enqueue(clause[0], None) || self.propagate().is_some() {
+                if !self.enqueue(clause[0], Reason::None) || self.propagate().is_some() {
                     self.ok = false;
+                    self.unsat_witness = Some(clause[0].var().index());
                 }
             }
+            2 => self.attach_binary(clause[0], clause[1], false),
             _ => {
-                self.attach(clause, false);
+                self.attach(&clause, false);
             }
         }
     }
 
-    fn attach(&mut self, lits: Vec<Lit>, learnt: bool) -> usize {
-        let idx = self.clauses.len();
+    /// Attaches a non-binary clause to the arena and the watch lists.
+    fn attach(&mut self, lits: &[Lit], learnt: bool) -> u32 {
+        let cref = self.arena.alloc(lits, learnt);
         self.watches[(!lits[0]).code()].push(Watch {
-            clause: idx,
+            cref,
             blocker: lits[1],
         });
         self.watches[(!lits[1]).code()].push(Watch {
-            clause: idx,
+            cref,
             blocker: lits[0],
         });
         if learnt {
             self.live_learnts += 1;
+            self.learnts.push(cref);
+        } else {
+            self.clauses.push(cref);
         }
-        self.clauses.push(Clause {
-            lits,
-            learnt,
-            activity: 0.0,
-        });
-        idx
+        cref
     }
 
-    fn enqueue(&mut self, lit: Lit, reason: Option<usize>) -> bool {
+    /// Attaches a binary clause `[a, b]` directly into the watch lists.
+    fn attach_binary(&mut self, a: Lit, b: Lit, learnt: bool) {
+        let tag = WATCH_BINARY | if learnt { WATCH_BINARY_LEARNT } else { 0 };
+        self.watches[(!a).code()].push(Watch {
+            cref: tag,
+            blocker: b,
+        });
+        self.watches[(!b).code()].push(Watch {
+            cref: tag,
+            blocker: a,
+        });
+        if learnt {
+            self.live_learnts += 1;
+        }
+    }
+
+    fn enqueue(&mut self, lit: Lit, reason: Reason) -> bool {
         match self.lit_value(lit) {
             Some(true) => true,
             Some(false) => false,
@@ -392,7 +619,7 @@ impl Solver {
         }
     }
 
-    fn propagate(&mut self) -> Option<usize> {
+    fn propagate(&mut self) -> Option<Conflict> {
         while self.qhead < self.trail.len() {
             // Enforce the propagation budget and poll the interrupt flag
             // *inside* the loop (with 1024-step granularity) so a single long
@@ -413,73 +640,97 @@ impl Solver {
             let p = self.trail[self.qhead];
             self.qhead += 1;
             self.stats.propagations += 1;
+            let false_lit = !p;
 
-            let mut watch_list = std::mem::take(&mut self.watches[p.code()]);
-            let mut kept = Vec::with_capacity(watch_list.len());
-            let mut conflict = None;
-            let mut iter = watch_list.drain(..);
-            for watch in iter.by_ref() {
-                if self.lit_value(watch.blocker) == Some(true) {
-                    kept.push(watch);
+            // Compact the watch list in place with a two-pointer sweep; the
+            // Vec is moved out for the duration (no allocation) because the
+            // loop also pushes onto *other* literals' lists.
+            let mut ws = std::mem::take(&mut self.watches[p.code()]);
+            let mut conflict: Option<Conflict> = None;
+            let n = ws.len();
+            let mut i = 0usize;
+            let mut j = 0usize;
+            'watches: while i < n {
+                let w = ws[i];
+                i += 1;
+                if w.cref & WATCH_BINARY != 0 {
+                    // Specialised binary clause [w.blocker, false_lit]: no
+                    // arena access, the watch entry never moves.
+                    ws[j] = w;
+                    j += 1;
+                    match self.lit_value(w.blocker) {
+                        Some(true) => {}
+                        Some(false) => {
+                            conflict = Some(Conflict::Binary(w.blocker, false_lit));
+                            break 'watches;
+                        }
+                        None => {
+                            let enqueued = self.enqueue(w.blocker, Reason::Binary(false_lit));
+                            debug_assert!(enqueued, "unit literal must be assignable");
+                        }
+                    }
                     continue;
                 }
-                let clause_idx = watch.clause;
-                let false_lit = !p;
-                // Ensure the falsified literal is at position 1.
-                {
-                    let clause = &mut self.clauses[clause_idx];
-                    if clause.lits[0] == false_lit {
-                        clause.lits.swap(0, 1);
-                    }
+                if self.lit_value(w.blocker) == Some(true) {
+                    ws[j] = w;
+                    j += 1;
+                    continue;
                 }
-                let first = self.clauses[clause_idx].lits[0];
-                if first != watch.blocker && self.lit_value(first) == Some(true) {
-                    kept.push(Watch {
-                        clause: clause_idx,
+                let cref = w.cref;
+                // Ensure the falsified literal is at position 1.
+                if self.arena.lit(cref, 0) == false_lit {
+                    self.arena.swap_lits(cref, 0, 1);
+                }
+                let first = self.arena.lit(cref, 0);
+                if first != w.blocker && self.lit_value(first) == Some(true) {
+                    ws[j] = Watch {
+                        cref,
                         blocker: first,
-                    });
+                    };
+                    j += 1;
                     continue;
                 }
                 // Look for a new literal to watch.
-                let mut moved = false;
-                {
-                    let len = self.clauses[clause_idx].lits.len();
-                    for k in 2..len {
-                        let candidate = self.clauses[clause_idx].lits[k];
-                        if self.lit_value(candidate) != Some(false) {
-                            self.clauses[clause_idx].lits.swap(1, k);
-                            self.watches[(!candidate).code()].push(Watch {
-                                clause: clause_idx,
-                                blocker: first,
-                            });
-                            moved = true;
-                            break;
-                        }
+                let len = self.arena.len(cref);
+                for k in 2..len {
+                    let candidate = self.arena.lit(cref, k);
+                    if self.lit_value(candidate) != Some(false) {
+                        self.arena.swap_lits(cref, 1, k);
+                        self.watches[(!candidate).code()].push(Watch {
+                            cref,
+                            blocker: first,
+                        });
+                        continue 'watches;
                     }
                 }
-                if moved {
-                    continue;
-                }
                 // Clause is unit or conflicting under the current assignment.
-                kept.push(Watch {
-                    clause: clause_idx,
+                ws[j] = Watch {
+                    cref,
                     blocker: first,
-                });
+                };
+                j += 1;
                 if self.lit_value(first) == Some(false) {
-                    conflict = Some(clause_idx);
-                    self.qhead = self.trail.len();
-                    break;
+                    conflict = Some(Conflict::Clause(cref));
+                    break 'watches;
                 }
-                let enqueued = self.enqueue(first, Some(clause_idx));
+                let enqueued = self.enqueue(first, Reason::Clause(cref));
                 debug_assert!(enqueued, "unit literal must be assignable");
             }
-            kept.extend(iter);
-            debug_assert!(self.watches[p.code()].is_empty() || conflict.is_none());
-            // New watches for other literals may have been appended while we
-            // iterated; keep them.
-            let appended = std::mem::take(&mut self.watches[p.code()]);
-            kept.extend(appended);
-            self.watches[p.code()] = kept;
+            if conflict.is_some() {
+                // Keep the watches not yet examined.
+                while i < n {
+                    ws[j] = ws[i];
+                    j += 1;
+                    i += 1;
+                }
+                self.qhead = self.trail.len();
+            }
+            ws.truncate(j);
+            debug_assert!(
+                self.watches[p.code()].is_empty(),
+                "no watch is ever added for the literal being propagated"
+            );
+            self.watches[p.code()] = ws;
             if conflict.is_some() {
                 return conflict;
             }
@@ -498,33 +749,75 @@ impl Solver {
         self.heap.update(var, &self.activity);
     }
 
-    fn bump_clause(&mut self, idx: usize) {
-        if !self.clauses[idx].learnt {
+    fn bump_clause(&mut self, cref: u32) {
+        if !self.arena.is_learnt(cref) {
             return;
         }
-        self.clauses[idx].activity += self.cla_inc;
-        if self.clauses[idx].activity > 1e20 {
-            for clause in &mut self.clauses {
-                if clause.learnt {
-                    clause.activity *= 1e-20;
-                }
+        let bumped = self.arena.activity(cref) + self.cla_inc as f32;
+        self.arena.set_activity(cref, bumped);
+        if bumped > 1e20 {
+            for i in 0..self.learnts.len() {
+                let c = self.learnts[i];
+                let rescaled = self.arena.activity(c) * 1e-20;
+                self.arena.set_activity(c, rescaled);
             }
             self.cla_inc *= 1e-20;
         }
     }
 
-    fn analyze(&mut self, mut conflict: usize) -> (Vec<Lit>, u32) {
+    /// Views `lit`'s reason as a clause with `lit` in first position, for
+    /// uniform literal iteration via [`Solver::conflict_len`] /
+    /// [`Solver::conflict_lit`]. `None` for decisions, assumptions and
+    /// top-level facts.
+    fn reason_cause(&self, lit: Lit, reason: Reason) -> Option<Conflict> {
+        match reason {
+            Reason::None => None,
+            Reason::Clause(cref) => Some(Conflict::Clause(cref)),
+            Reason::Binary(other) => Some(Conflict::Binary(lit, other)),
+        }
+    }
+
+    /// Number of literals in `cause`.
+    fn conflict_len(&self, cause: Conflict) -> usize {
+        match cause {
+            Conflict::Clause(cref) => self.arena.len(cref),
+            Conflict::Binary(..) => 2,
+        }
+    }
+
+    /// The `k`-th literal of `cause`.
+    fn conflict_lit(&self, cause: Conflict, k: usize) -> Lit {
+        match cause {
+            Conflict::Clause(cref) => self.arena.lit(cref, k),
+            Conflict::Binary(a, b) => {
+                if k == 0 {
+                    a
+                } else {
+                    b
+                }
+            }
+        }
+    }
+
+    /// First-UIP conflict analysis with recursive clause minimization.
+    /// Returns the learnt clause (asserting literal first, a highest-level
+    /// literal second), the backtrack level, and the clause's LBD.
+    fn analyze(&mut self, conflict: Conflict) -> (Vec<Lit>, u32, u32) {
         let mut learnt: Vec<Lit> = vec![Lit::positive(Var::new(0))]; // placeholder for the asserting literal
         let mut counter = 0usize;
         let mut p: Option<Lit> = None;
         let mut index = self.trail.len();
         let current = self.current_level();
+        let mut cause = conflict;
 
         loop {
-            self.bump_clause(conflict);
-            let clause_lits = self.clauses[conflict].lits.clone();
+            if let Conflict::Clause(cref) = cause {
+                self.bump_clause(cref);
+            }
             let skip = usize::from(p.is_some());
-            for &q in clause_lits.iter().skip(skip) {
+            let len = self.conflict_len(cause);
+            for k in skip..len {
+                let q = self.conflict_lit(cause, k);
                 let v = q.var().index();
                 if !self.seen[v] && self.level[v] > 0 {
                     self.seen[v] = true;
@@ -551,14 +844,38 @@ impl Solver {
             if counter == 0 {
                 break;
             }
-            conflict = self.reason[v].expect("non-UIP literal has a reason clause");
+            cause = self
+                .reason_cause(lit, self.reason[v])
+                .expect("non-UIP literal has a reason clause");
         }
         learnt[0] = !p.expect("analysis produced an asserting literal");
 
-        // Clear the seen flags of the remaining literals.
-        for &lit in &learnt {
-            self.seen[lit.var().index()] = false;
+        // Conflict-clause minimization: drop every literal whose reason
+        // clause resolves entirely into other learnt literals (and top-level
+        // facts) — MiniSat's recursive `litRedundant`. The `seen` flags of
+        // the learnt literals are still set here and serve as the "absorbed"
+        // marker; `to_clear` collects every extra flag raised on the way.
+        self.to_clear.clear();
+        self.to_clear.extend_from_slice(&learnt[1..]);
+        let mut kept = 1;
+        for i in 1..learnt.len() {
+            let l = learnt[i];
+            let redundant =
+                !matches!(self.reason[l.var().index()], Reason::None) && self.lit_redundant(l);
+            if !redundant {
+                learnt[kept] = l;
+                kept += 1;
+            }
         }
+        self.stats.minimized_literals += (learnt.len() - kept) as u64;
+        learnt.truncate(kept);
+
+        // Clear the seen flags of every literal visited.
+        let to_clear = std::mem::take(&mut self.to_clear);
+        for &l in &to_clear {
+            self.seen[l.var().index()] = false;
+        }
+        self.to_clear = to_clear;
 
         // Compute the backtrack level: the highest level among the non-asserting literals.
         let backtrack_level = if learnt.len() == 1 {
@@ -573,7 +890,55 @@ impl Solver {
             learnt.swap(1, max_idx);
             self.level[learnt[1].var().index()]
         };
-        (learnt, backtrack_level)
+
+        // LBD ("glue"): distinct decision levels among the learnt literals,
+        // counted with a per-level stamp instead of a cleared set.
+        self.stamp += 1;
+        let mut lbd = 0u32;
+        for &l in &learnt {
+            let lv = self.level[l.var().index()] as usize;
+            if self.level_stamp[lv] != self.stamp {
+                self.level_stamp[lv] = self.stamp;
+                lbd += 1;
+            }
+        }
+        (learnt, backtrack_level, lbd)
+    }
+
+    /// Whether `p`'s reason clause resolves entirely into literals already
+    /// absorbed by the learnt clause (marked `seen`) or top-level facts —
+    /// i.e. whether `p` is redundant in the learnt clause. Newly absorbed
+    /// literals are marked `seen` (memoised for the rest of this conflict)
+    /// and recorded in `to_clear`; on failure the marks this call added are
+    /// rolled back.
+    fn lit_redundant(&mut self, p: Lit) -> bool {
+        let top = self.to_clear.len();
+        self.min_stack.clear();
+        self.min_stack.push(p);
+        while let Some(q) = self.min_stack.pop() {
+            let cause = self
+                .reason_cause(q, self.reason[q.var().index()])
+                .expect("candidate literals have reason clauses");
+            for k in 1..self.conflict_len(cause) {
+                let l = self.conflict_lit(cause, k);
+                let v = l.var().index();
+                if !self.seen[v] && self.level[v] > 0 {
+                    if matches!(self.reason[v], Reason::None) {
+                        // Resolves into a decision/assumption: not redundant.
+                        // Roll back the marks this call made.
+                        for idx in top..self.to_clear.len() {
+                            self.seen[self.to_clear[idx].var().index()] = false;
+                        }
+                        self.to_clear.truncate(top);
+                        return false;
+                    }
+                    self.seen[v] = true;
+                    self.to_clear.push(l);
+                    self.min_stack.push(l);
+                }
+            }
+        }
+        true
     }
 
     /// Computes the subset of assumptions responsible for forcing the
@@ -591,12 +956,12 @@ impl Solver {
             if !self.seen[v] {
                 continue;
             }
-            match self.reason[v] {
+            match self.reason_cause(lit, self.reason[v]) {
                 // Decisions above level 0 are exactly the assumptions.
                 None => out.push(lit),
-                Some(clause_idx) => {
-                    let lits = self.clauses[clause_idx].lits.clone();
-                    for &l in lits.iter().skip(1) {
+                Some(cause) => {
+                    for k in 1..self.conflict_len(cause) {
+                        let l = self.conflict_lit(cause, k);
                         if self.level[l.var().index()] > 0 {
                             self.seen[l.var().index()] = true;
                         }
@@ -619,8 +984,10 @@ impl Solver {
             let v = lit.var().index();
             self.phase[v] = lit.is_positive();
             self.assign[v] = None;
-            self.reason[v] = None;
-            self.heap.insert(v, &self.activity);
+            self.reason[v] = Reason::None;
+            if self.decision[v] {
+                self.heap.insert(v, &self.activity);
+            }
         }
         self.trail_lim.truncate(target_level as usize);
         self.qhead = self.trail.len();
@@ -628,11 +995,11 @@ impl Solver {
 
     fn decide(&mut self) -> bool {
         while let Some(v) = self.heap.pop(&self.activity) {
-            if self.assign[v].is_none() {
+            if self.assign[v].is_none() && self.decision[v] {
                 self.stats.decisions += 1;
                 self.trail_lim.push(self.trail.len());
                 let lit = Lit::new(Var::new(v as u32), self.phase[v]);
-                let enqueued = self.enqueue(lit, None);
+                let enqueued = self.enqueue(lit, Reason::None);
                 debug_assert!(enqueued);
                 return true;
             }
@@ -640,27 +1007,40 @@ impl Solver {
         false
     }
 
-    /// Halves the learnt-clause database, evicting the clauses with the
-    /// lowest activity. Must be called at decision level 0. Reason clauses of
-    /// top-level assignments and binary clauses are never evicted.
+    /// Halves the learnt-clause database with the LBD-first policy: clauses
+    /// with glue ≤ 2 are never evicted, the rest are ranked worst-first by
+    /// (glue descending, activity ascending) and the worst half is dropped.
+    /// Must be called at decision level 0. Reason clauses of top-level
+    /// assignments and binary clauses are never evicted.
     fn reduce_db(&mut self) {
         debug_assert_eq!(self.current_level(), 0, "reduce_db runs at level 0");
-        let mut locked = vec![false; self.clauses.len()];
+        let mut locked: Vec<u32> = Vec::new();
         for v in 0..self.num_vars {
             if self.assign[v].is_some() {
-                if let Some(clause_idx) = self.reason[v] {
-                    locked[clause_idx] = true;
+                if let Reason::Clause(cref) = self.reason[v] {
+                    locked.push(cref);
                 }
             }
         }
-        let mut candidates: Vec<usize> = (0..self.clauses.len())
-            .filter(|&i| self.clauses[i].learnt && !locked[i] && self.clauses[i].lits.len() > 2)
+        locked.sort_unstable();
+        let mut candidates: Vec<u32> = self
+            .learnts
+            .iter()
+            .copied()
+            .filter(|&c| self.arena.lbd(c) > 2 && locked.binary_search(&c).is_err())
             .collect();
+        // Worst first: highest glue, then lowest activity.
         candidates.sort_by(|&a, &b| {
-            self.clauses[a]
-                .activity
-                .partial_cmp(&self.clauses[b].activity)
-                .expect("clause activities are finite")
+            self.arena
+                .lbd(b)
+                .cmp(&self.arena.lbd(a))
+                .then_with(|| {
+                    self.arena
+                        .activity(a)
+                        .partial_cmp(&self.arena.activity(b))
+                        .expect("clause activities are finite")
+                })
+                .then_with(|| b.cmp(&a))
         });
         candidates.truncate(candidates.len() / 2);
         if candidates.is_empty() {
@@ -669,46 +1049,251 @@ impl Solver {
             self.learnt_limit += self.learnt_limit / 2 + 1;
             return;
         }
-        let mut removed = vec![false; self.clauses.len()];
-        for &i in &candidates {
-            removed[i] = true;
+        for &cref in &candidates {
+            self.arena.mark(cref);
         }
-
-        // Compact the clause database and remap every stored index.
-        let mut remap = vec![usize::MAX; self.clauses.len()];
-        let mut kept = Vec::with_capacity(self.clauses.len() - candidates.len());
-        for (i, clause) in std::mem::take(&mut self.clauses).into_iter().enumerate() {
-            if !removed[i] {
-                remap[i] = kept.len();
-                kept.push(clause);
-            }
-        }
-        self.clauses = kept;
-        for clause_idx in self.reason.iter_mut().flatten() {
-            debug_assert_ne!(remap[*clause_idx], usize::MAX, "reason clause kept");
-            *clause_idx = remap[*clause_idx];
-        }
-        // Rebuild the watch lists: positions 0 and 1 are the watched literals
-        // by invariant, so this reproduces the pre-reduction watch state.
-        for list in &mut self.watches {
-            list.clear();
-        }
-        for (i, clause) in self.clauses.iter().enumerate() {
-            self.watches[(!clause.lits[0]).code()].push(Watch {
-                clause: i,
-                blocker: clause.lits[1],
-            });
-            self.watches[(!clause.lits[1]).code()].push(Watch {
-                clause: i,
-                blocker: clause.lits[0],
-            });
-        }
-        self.live_learnts -= candidates.len();
+        let removed = candidates.len();
+        self.remove_marked();
+        self.live_learnts -= removed;
         self.stats.db_reductions += 1;
-        self.stats.removed_learnts += candidates.len() as u64;
+        self.stats.removed_learnts += removed as u64;
         // Geometric schedule: allow the database to grow 1.5× larger before
         // the next reduction.
         self.learnt_limit += self.learnt_limit / 2;
+    }
+
+    /// Detaches every marked arena clause and compacts the arena, remapping
+    /// the clause references held by watch lists and reasons. Specialised
+    /// binary watches are untouched. Marked clauses must not be the reason
+    /// of any assigned variable.
+    fn remove_marked(&mut self) {
+        // Drop the watch entries of marked clauses.
+        {
+            let arena = &self.arena;
+            for list in &mut self.watches {
+                list.retain(|w| w.cref & WATCH_BINARY != 0 || !arena.is_marked(w.cref));
+            }
+        }
+        // Compact the arena, leaving a forwarding pointer (the activity word)
+        // at each surviving clause's old location.
+        let mut new_data = Vec::with_capacity(self.arena.data.len());
+        for list in [&mut self.clauses, &mut self.learnts] {
+            list.retain(|&c| !self.arena.is_marked(c));
+            for cref in list.iter_mut() {
+                let start = *cref as usize;
+                let total = HEADER_WORDS + self.arena.len(*cref);
+                let new_cref = u32::try_from(new_data.len()).expect("arena offset fits in u32");
+                new_data.extend_from_slice(&self.arena.data[start..start + total]);
+                self.arena.data[start + 1] = new_cref;
+                *cref = new_cref;
+            }
+        }
+        let old = std::mem::replace(&mut self.arena.data, new_data);
+        for list in &mut self.watches {
+            for w in &mut *list {
+                if w.cref & WATCH_BINARY == 0 {
+                    w.cref = old[w.cref as usize + 1];
+                }
+            }
+        }
+        for reason in &mut self.reason {
+            if let Reason::Clause(cref) = reason {
+                *cref = old[*cref as usize + 1];
+            }
+        }
+    }
+
+    /// Removes every clause — original or learnt — that mentions a variable
+    /// with index ≥ `first.index()`, retires those variables from the
+    /// decision heap, unwinds their top-level facts, and clears an
+    /// unsatisfiable verdict the removed clauses were responsible for.
+    ///
+    /// # Soundness contract
+    ///
+    /// The removed variables must be *var-disjoint* from the surviving
+    /// formula: every clause that ever mentioned one of them is being
+    /// removed here (true for the learner's per-count encoding blocks,
+    /// which share no variables). Under that guarantee every surviving
+    /// learnt clause and top-level fact was derived from surviving original
+    /// clauses alone, so dropping the block — and an `Unsat` verdict whose
+    /// recorded witness variable lies inside it — leaves the solver exactly
+    /// as if the block had never been added.
+    ///
+    /// This is what makes the learner's batched single-solver search viable:
+    /// a refuted state count's block is hard-deleted from the arena and the
+    /// watch lists on count advance, instead of being dragged along behind an
+    /// activation literal that taxes every later propagation.
+    pub fn remove_vars_from(&mut self, first: Var) {
+        let cut = first.index();
+        assert!(cut <= self.num_vars, "variable out of range");
+        self.backjump(0);
+        for v in cut..self.num_vars {
+            self.decision[v] = false;
+        }
+        // Unwind the top-level trail: facts over removed variables go (their
+        // derivations die with the block); facts over surviving variables
+        // were derived from surviving clauses alone and are kept. Top-level
+        // facts need no reasons (analysis never resolves level-0 literals).
+        for v in 0..self.num_vars {
+            if self.assign[v].is_some() {
+                self.reason[v] = Reason::None;
+            }
+        }
+        self.trail.retain(|lit| {
+            let v = lit.var().index();
+            if v >= cut {
+                self.assign[v] = None;
+                false
+            } else {
+                true
+            }
+        });
+        self.qhead = 0;
+        // Mark every arena clause mentioning a removed variable.
+        let mut removed_learnts = 0usize;
+        {
+            let arena = &mut self.arena;
+            for (is_learnt, list) in [(false, &self.clauses), (true, &self.learnts)] {
+                for &cref in list.iter() {
+                    let len = arena.len(cref);
+                    if (0..len).any(|k| arena.lit(cref, k).var().index() >= cut) {
+                        arena.mark(cref);
+                        removed_learnts += usize::from(is_learnt);
+                    }
+                }
+            }
+        }
+        // Drop specialised binary clauses mentioning a removed variable.
+        let mut removed_binary_learnt_entries = 0usize;
+        for (code, list) in self.watches.iter_mut().enumerate() {
+            let watched = Lit::from_code(code);
+            list.retain(|w| {
+                if w.cref & WATCH_BINARY == 0 {
+                    return true;
+                }
+                let retired = watched.var().index() >= cut || w.blocker.var().index() >= cut;
+                if retired && w.cref & WATCH_BINARY_LEARNT != 0 {
+                    removed_binary_learnt_entries += 1;
+                }
+                !retired
+            });
+        }
+        debug_assert_eq!(
+            removed_binary_learnt_entries % 2,
+            0,
+            "binary watches pair up"
+        );
+        self.live_learnts -= removed_learnts + removed_binary_learnt_entries / 2;
+        self.remove_marked();
+        // Rebuild the decision heap canonically (live unassigned decision
+        // variables in index order): pops of the removed block's variables
+        // scrambled the heap's zero-activity ordering, and variable blocks
+        // loaded afterwards would inherit that scramble — observably worse
+        // decision order than a fresh solver's, since the encoder lays out
+        // its most constraining variables first. The activity increments
+        // reset with it, so the next block's VSIDS dynamics start exactly
+        // like a fresh solver's instead of at the old block's scale.
+        for a in &mut self.activity {
+            *a = 0.0;
+        }
+        self.heap = VarHeap::new(self.num_vars);
+        for v in 0..self.num_vars {
+            if self.decision[v] && self.assign[v].is_none() {
+                self.heap.insert(v, &self.activity);
+            }
+        }
+        self.var_inc = 1.0;
+        self.cla_inc = 1.0;
+        // A refutation whose witness variable lived in the removed block is
+        // void now; one recorded as block-independent stays.
+        if !self.ok {
+            if let Some(witness) = self.unsat_witness {
+                if witness >= cut {
+                    self.ok = true;
+                    self.unsat_witness = None;
+                }
+            }
+        }
+    }
+
+    /// Removes every clause that is satisfied at the top level — including
+    /// specialised binary clauses — and compacts the arena. Top-level facts
+    /// lose their reason clauses first (conflict analysis never resolves
+    /// level-0 literals, so reasons of top-level assignments are dead
+    /// weight that would otherwise pin their clauses).
+    ///
+    /// This is what makes retiring a batched-assumptions activation literal
+    /// cheap: after `add_clause([¬gate])`, one `simplify` call hard-deletes
+    /// every clause the gate guarded from the arena and the watch lists, so
+    /// later propagation never wades through them again.
+    pub fn simplify(&mut self) {
+        if !self.ok {
+            return;
+        }
+        self.backjump(0);
+        if let Some(conflict) = self.propagate() {
+            self.ok = false;
+            self.unsat_witness = Some(self.conflict_lit(conflict, 0).var().index());
+            return;
+        }
+        for v in 0..self.num_vars {
+            if self.assign[v].is_some() {
+                self.reason[v] = Reason::None;
+            }
+        }
+        // Mark satisfied arena clauses.
+        let mut marked = 0usize;
+        let mut marked_learnts = 0usize;
+        {
+            let assign = &self.assign;
+            let arena = &mut self.arena;
+            let value = |lit: Lit| assign[lit.var().index()].map(|v| v == lit.is_positive());
+            for list in [&self.clauses, &self.learnts] {
+                for &cref in list.iter() {
+                    let len = arena.len(cref);
+                    if (0..len).any(|k| value(arena.lit(cref, k)) == Some(true)) {
+                        arena.mark(cref);
+                        marked += 1;
+                        marked_learnts += usize::from(arena.is_learnt(cref));
+                    }
+                }
+            }
+        }
+        // Drop satisfied specialised binary clauses: the entry in
+        // `watches[l]` stands for the clause `[blocker, ¬l]`.
+        let mut removed_binary_learnt_entries = 0usize;
+        let mut removed_binary_entries = 0usize;
+        {
+            let assign = &self.assign;
+            let value = |lit: Lit| assign[lit.var().index()].map(|v| v == lit.is_positive());
+            for (code, list) in self.watches.iter_mut().enumerate() {
+                let watched = Lit::from_code(code);
+                let other = !watched;
+                list.retain(|w| {
+                    if w.cref & WATCH_BINARY == 0 {
+                        return true;
+                    }
+                    let satisfied = value(w.blocker) == Some(true) || value(other) == Some(true);
+                    if satisfied {
+                        removed_binary_entries += 1;
+                        if w.cref & WATCH_BINARY_LEARNT != 0 {
+                            removed_binary_learnt_entries += 1;
+                        }
+                    }
+                    !satisfied
+                });
+            }
+        }
+        debug_assert_eq!(removed_binary_entries % 2, 0, "binary watches pair up");
+        debug_assert_eq!(
+            removed_binary_learnt_entries % 2,
+            0,
+            "binary watches pair up"
+        );
+        self.live_learnts -= marked_learnts + removed_binary_learnt_entries / 2;
+        if marked > 0 {
+            self.remove_marked();
+        }
     }
 
     /// Solves the formula to completion.
@@ -760,8 +1345,9 @@ impl Solver {
             return SatResult::Unsat;
         }
         self.backjump(0);
-        if self.propagate().is_some() {
+        if let Some(conflict) = self.propagate() {
             self.ok = false;
+            self.unsat_witness = Some(self.conflict_lit(conflict, 0).var().index());
             return SatResult::Unsat;
         }
         if self.prop_budget_hit {
@@ -771,8 +1357,12 @@ impl Solver {
             self.reduce_db();
         }
 
+        // The Luby restart schedule is per call (as in MiniSat): a reused
+        // solver starts each query with short restarts again instead of
+        // inheriting the long intervals its history grew into.
+        let mut call_restarts = 0u64;
         let mut conflicts_since_restart = 0u64;
-        let mut restart_limit = 100u64 * luby(self.stats.restarts + 1);
+        let mut restart_limit = 100u64 * luby(call_restarts + 1);
 
         loop {
             if let Some(max) = limits.max_conflicts {
@@ -791,19 +1381,31 @@ impl Solver {
                 conflicts_since_restart += 1;
                 if self.current_level() == 0 {
                     self.ok = false;
+                    self.unsat_witness = Some(self.conflict_lit(conflict, 0).var().index());
                     return SatResult::Unsat;
                 }
-                let (learnt, backtrack_level) = self.analyze(conflict);
+                let (learnt, backtrack_level, lbd) = self.analyze(conflict);
                 self.backjump(backtrack_level);
-                if learnt.len() == 1 {
-                    let enqueued = self.enqueue(learnt[0], None);
-                    debug_assert!(enqueued);
-                } else {
-                    let asserting = learnt[0];
-                    let idx = self.attach(learnt, true);
-                    self.stats.learnt_clauses += 1;
-                    let enqueued = self.enqueue(asserting, Some(idx));
-                    debug_assert!(enqueued);
+                self.stats.record_lbd(lbd);
+                match learnt.len() {
+                    1 => {
+                        let enqueued = self.enqueue(learnt[0], Reason::None);
+                        debug_assert!(enqueued);
+                    }
+                    2 => {
+                        self.attach_binary(learnt[0], learnt[1], true);
+                        self.stats.learnt_clauses += 1;
+                        let enqueued = self.enqueue(learnt[0], Reason::Binary(learnt[1]));
+                        debug_assert!(enqueued);
+                    }
+                    _ => {
+                        let asserting = learnt[0];
+                        let cref = self.attach(&learnt, true);
+                        self.arena.set_lbd(cref, lbd);
+                        self.stats.learnt_clauses += 1;
+                        let enqueued = self.enqueue(asserting, Reason::Clause(cref));
+                        debug_assert!(enqueued);
+                    }
                 }
                 self.var_inc /= 0.95;
                 self.cla_inc /= 0.999;
@@ -813,8 +1415,9 @@ impl Solver {
                 }
                 if conflicts_since_restart >= restart_limit {
                     self.stats.restarts += 1;
+                    call_restarts += 1;
                     conflicts_since_restart = 0;
-                    restart_limit = 100 * luby(self.stats.restarts + 1);
+                    restart_limit = 100 * luby(call_restarts + 1);
                     self.backjump(0);
                     if self.live_learnts >= self.learnt_limit {
                         self.reduce_db();
@@ -839,7 +1442,7 @@ impl Solver {
                         }
                         None => {
                             self.trail_lim.push(self.trail.len());
-                            let enqueued = self.enqueue(p, None);
+                            let enqueued = self.enqueue(p, Reason::None);
                             debug_assert!(enqueued);
                         }
                     }
@@ -1036,6 +1639,31 @@ mod tests {
             }
         }
         (pigeons * holes, clauses)
+    }
+
+    /// Snapshot of every learnt clause currently attached: arena learnts plus
+    /// the specialised binary learnts reconstructed from the watch lists.
+    fn learnt_clauses(solver: &Solver) -> Vec<Vec<Lit>> {
+        let mut out = Vec::new();
+        for &cref in &solver.learnts {
+            out.push(
+                (0..solver.arena.len(cref))
+                    .map(|k| solver.arena.lit(cref, k))
+                    .collect(),
+            );
+        }
+        for (code, list) in solver.watches.iter().enumerate() {
+            let watched = Lit::from_code(code);
+            for w in list {
+                if w.cref & WATCH_BINARY != 0 && w.cref & WATCH_BINARY_LEARNT != 0 {
+                    // Each binary clause has two entries; keep one canonically.
+                    if w.blocker.code() < (!watched).code() {
+                        out.push(vec![w.blocker, !watched]);
+                    }
+                }
+            }
+        }
+        out
     }
 
     #[test]
@@ -1389,6 +2017,216 @@ mod tests {
         }
     }
 
+    /// New in this PR — (a) of the solver test checklist: every learnt
+    /// clause surviving conflict-clause minimization must still be implied
+    /// by the original formula (asserting its negation yields UNSAT).
+    #[test]
+    fn minimized_learnt_clauses_are_implied_by_the_formula() {
+        let (num_vars, clauses) = pigeonhole_clauses(6, 5);
+        let mut solver = Solver::new(num_vars);
+        for clause in &clauses {
+            solver.add_clause(clause.iter().copied());
+        }
+        // Budget the refutation so a learnt database is left standing.
+        let _ = solver.solve_with_limits(Limits::conflicts(120));
+        let learnts = learnt_clauses(&solver);
+        assert!(!learnts.is_empty(), "the run must learn clauses");
+        assert!(
+            solver.stats().minimized_literals > 0,
+            "pigeonhole conflicts must trigger minimization"
+        );
+        for learnt in learnts.iter().take(60) {
+            let mut check = Solver::new(num_vars);
+            for clause in &clauses {
+                check.add_clause(clause.iter().copied());
+            }
+            for &l in learnt {
+                check.add_clause([!l]);
+            }
+            assert!(
+                check.solve().is_unsat(),
+                "learnt clause {learnt:?} is not implied"
+            );
+        }
+    }
+
+    /// New in this PR — (b): the arena layout survives `new_var` and
+    /// `add_clause` growth after solving (and after database reductions
+    /// compacted the arena).
+    #[test]
+    fn arena_survives_growth_after_solving_and_reduction() {
+        let (num_vars, clauses) = pigeonhole_clauses(7, 7);
+        let mut solver = Solver::new(num_vars);
+        for clause in &clauses {
+            solver.add_clause(clause.iter().copied());
+        }
+        solver.set_learnt_limit(20);
+        assert!(solver.solve().is_sat());
+        // Grow the formula: a fresh variable bridging old clauses.
+        let v = solver.new_var();
+        solver.add_clause([Lit::positive(v), lit(0, true), lit(1, true)]);
+        solver.add_clause([Lit::negative(v), lit(2, true)]);
+        assert!(solver.solve().is_sat());
+        // Force the pigeonhole to be re-derived after the growth.
+        solver.add_clause([lit(0, false)]);
+        assert!(solver.solve().is_sat());
+        // Arena bookkeeping is intact: every stored clause reads back with a
+        // sane length and in-range literals.
+        for &cref in solver.clauses.iter().chain(solver.learnts.iter()) {
+            let len = solver.arena.len(cref);
+            assert!(len >= 3, "arena clauses are at least ternary");
+            for k in 0..len {
+                assert!(solver.arena.lit(cref, k).var().index() < solver.num_vars());
+            }
+        }
+    }
+
+    /// New in this PR — (d): LBD-first reduction never evicts glue ≤ 2
+    /// clauses.
+    #[test]
+    fn lbd_first_reduction_protects_low_glue_clauses() {
+        let (num_vars, clauses) = pigeonhole_clauses(9, 8);
+        let mut solver = Solver::new(num_vars);
+        for clause in &clauses {
+            solver.add_clause(clause.iter().copied());
+        }
+        // Burn conflicts without finishing so a big database accumulates.
+        let _ = solver.solve_with_limits(Limits::conflicts(800));
+        let glue_low: Vec<Vec<Lit>> = solver
+            .learnts
+            .iter()
+            .filter(|&&c| solver.arena.lbd(c) <= 2)
+            .map(|&c| {
+                (0..solver.arena.len(c))
+                    .map(|k| solver.arena.lit(c, k))
+                    .collect()
+            })
+            .collect();
+        let before = solver.learnts.len();
+        solver.backjump(0);
+        solver.reduce_db();
+        assert!(
+            solver.learnts.len() < before,
+            "the reduction must evict something"
+        );
+        let survivors: std::collections::BTreeSet<Vec<Lit>> = solver
+            .learnts
+            .iter()
+            .map(|&c| {
+                let mut lits: Vec<Lit> = (0..solver.arena.len(c))
+                    .map(|k| solver.arena.lit(c, k))
+                    .collect();
+                lits.sort();
+                lits
+            })
+            .collect();
+        for clause in glue_low {
+            let mut sorted = clause.clone();
+            sorted.sort();
+            assert!(
+                survivors.contains(&sorted),
+                "glue ≤ 2 clause {clause:?} was evicted"
+            );
+        }
+        // The reduced solver still refutes the instance.
+        assert!(solver.solve().is_unsat());
+    }
+
+    #[test]
+    fn lbd_histogram_accounts_for_every_learnt_clause() {
+        let (num_vars, clauses) = pigeonhole_clauses(7, 6);
+        let mut solver = Solver::new(num_vars);
+        for clause in &clauses {
+            solver.add_clause(clause.iter().copied());
+        }
+        assert!(solver.solve().is_unsat());
+        let stats = solver.stats();
+        let histogram_total: u64 = stats.lbd_histogram.iter().sum();
+        // Every analyzed conflict records its glue (unit learnts included);
+        // only the terminal level-0 conflict returns without analysis.
+        assert!(histogram_total >= stats.learnt_clauses);
+        assert!(stats.conflicts - histogram_total <= 1);
+        assert!(stats.lbd_histogram[0] + stats.lbd_histogram[1] > 0);
+        assert_eq!(solver.last_call_stats().lbd_histogram, stats.lbd_histogram);
+    }
+
+    #[test]
+    fn simplify_hard_deletes_satisfied_clauses() {
+        let mut solver = Solver::new(4);
+        let gate = lit(3, true);
+        solver.add_clause([lit(0, true), lit(1, true), !gate]);
+        solver.add_clause([lit(1, false), lit(2, true), !gate]);
+        solver.add_clause([lit(0, false), !gate]); // specialised binary
+        assert_eq!(solver.clauses.len(), 2);
+        assert!(solver
+            .solve_with_assumptions(&[gate], Limits::unlimited())
+            .is_sat());
+        // Retire the gate: every clause it guarded becomes satisfied…
+        solver.add_clause([!gate]);
+        solver.simplify();
+        // …and is gone from the arena and the watch lists, not just inert.
+        assert!(solver.clauses.is_empty());
+        assert!(solver
+            .watches
+            .iter()
+            .all(|list| list.iter().all(|w| w.cref & WATCH_BINARY == 0)));
+        assert!(solver.solve().is_sat());
+    }
+
+    #[test]
+    fn simplify_keeps_answers_on_a_relaxed_pigeonhole() {
+        let (pigeons, holes) = (6usize, 5usize);
+        let var = |pigeon: usize, hole: usize| lit(pigeon * holes + hole, true);
+        let relax = lit(pigeons * holes, true);
+        let mut solver = Solver::new(pigeons * holes + 1);
+        for p in 0..pigeons {
+            solver.add_clause((0..holes).map(|h| var(p, h)));
+        }
+        for h in 0..holes {
+            for a in 0..pigeons {
+                for b in (a + 1)..pigeons {
+                    solver.add_clause([!var(a, h), !var(b, h), relax]);
+                }
+            }
+        }
+        assert!(solver
+            .solve_with_assumptions(&[!relax], Limits::unlimited())
+            .is_unsat());
+        // Burn the relaxation in: the capacity clauses all become satisfied.
+        solver.add_clause([relax]);
+        solver.simplify();
+        assert!(solver.solve().is_sat());
+        // The pigeon clauses must have survived the compaction.
+        solver.add_clause([!var(0, 0), !var(0, 1), !var(0, 2), !var(0, 3), !var(0, 4)]);
+        match solver.solve() {
+            SatResult::Sat(model) => {
+                assert!((0..holes).any(|h| {
+                    let l = var(1, h);
+                    model.value(l.var())
+                }));
+            }
+            other => panic!("expected SAT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn retired_decision_variables_stay_out_of_the_search() {
+        let mut solver = Solver::new(3);
+        solver.add_clause([lit(0, true), lit(1, true)]);
+        solver.set_decision(Var::new(2), false);
+        match solver.solve() {
+            SatResult::Sat(model) => assert!(!model.value(Var::new(2))),
+            other => panic!("expected SAT, got {other:?}"),
+        }
+        // Re-enabling restores the variable to the search.
+        solver.set_decision(Var::new(2), true);
+        solver.add_clause([lit(2, true)]);
+        match solver.solve() {
+            SatResult::Sat(model) => assert!(model.value(Var::new(2))),
+            other => panic!("expected SAT, got {other:?}"),
+        }
+    }
+
     mod proptests {
         use super::*;
         use proptest::prelude::*;
@@ -1435,6 +2273,40 @@ mod tests {
                 for clause in &extra {
                     incremental.add_clause(clause.iter().copied());
                 }
+                let second = incremental.solve();
+
+                let mut combined: Vec<Vec<Lit>> = base.clone();
+                combined.extend(extra.iter().cloned());
+                let expected = brute_force_sat(8, &combined);
+                match second {
+                    SatResult::Sat(model) => {
+                        prop_assert!(expected);
+                        prop_assert!(model.satisfies(&combined));
+                    }
+                    SatResult::Unsat => prop_assert!(!expected),
+                    SatResult::Unknown => prop_assert!(false, "no limits were set"),
+                }
+            }
+
+            /// Interposing `simplify` between incremental calls must not
+            /// change any answer: hard deletion of satisfied clauses and the
+            /// arena compaction it triggers are invisible to correctness.
+            #[test]
+            fn simplify_between_calls_preserves_answers(
+                base in proptest::collection::vec(clause_strategy(8), 0..25),
+                extra in proptest::collection::vec(clause_strategy(8), 0..25)
+            ) {
+                let mut incremental = Solver::new(8);
+                for clause in &base {
+                    incremental.add_clause(clause.iter().copied());
+                }
+                let first = incremental.solve();
+                prop_assert_eq!(first.is_sat(), brute_force_sat(8, &base));
+                incremental.simplify();
+                for clause in &extra {
+                    incremental.add_clause(clause.iter().copied());
+                }
+                incremental.simplify();
                 let second = incremental.solve();
 
                 let mut combined: Vec<Vec<Lit>> = base.clone();

@@ -44,6 +44,39 @@ pub(crate) fn needs_quoting(field: &str) -> bool {
     field.is_empty() || field != field.trim() || field.contains(['"', ',', '\n', '\r'])
 }
 
+/// Finds the first occurrence of `needle` in `haystack` with a SWAR
+/// word-at-a-time scan (the classic `memchr` bit trick: a byte of
+/// `word ^ broadcast` is zero exactly where the needle sits, and
+/// `(x - 0x01…) & !x & 0x80…` raises that byte's high bit).
+///
+/// This is the tokenizer's inner loop — the unquoted-field scan runs over
+/// every byte of every record — so the eight-at-a-time scan is worth having
+/// without reaching for the `memchr` crate.
+pub(crate) fn find_byte(haystack: &[u8], needle: u8) -> Option<usize> {
+    const LO: u64 = 0x0101_0101_0101_0101;
+    const HI: u64 = 0x8080_8080_8080_8080;
+    let broadcast = u64::from(needle) * LO;
+    let mut i = 0usize;
+    let n = haystack.len();
+    while i + 8 <= n {
+        let word = u64::from_le_bytes(
+            haystack[i..i + 8]
+                .try_into()
+                .expect("slice is exactly eight bytes"),
+        );
+        let x = word ^ broadcast;
+        let found = x.wrapping_sub(LO) & !x & HI;
+        if found != 0 {
+            return Some(i + (found.trailing_zeros() / 8) as usize);
+        }
+        i += 8;
+    }
+    haystack[i..]
+        .iter()
+        .position(|&b| b == needle)
+        .map(|offset| i + offset)
+}
+
 /// Appends `field` to `out`, quoting and escaping it when necessary.
 pub(crate) fn push_field(out: &mut String, field: &str) {
     if needs_quoting(field) {
@@ -78,6 +111,12 @@ pub(crate) fn record_is_complete(record: &str) -> bool {
         QuoteInQuoted,
         /// Past a closed quoted field, waiting for the separator.
         AfterQuote,
+    }
+    // Fast path: a record without any quote cannot have an open quoted
+    // field. This skips the state machine for the overwhelmingly common
+    // all-unquoted records.
+    if find_byte(record.as_bytes(), b'"').is_none() {
+        return true;
     }
     let mut state = State::FieldStart;
     for &b in record.as_bytes() {
@@ -133,23 +172,17 @@ pub(crate) fn split_record<'a>(
             // Quoted field: scan to the closing quote. Records containing an
             // escaped quote (`""`) take the character-level slow path.
             let content_start = j + 1;
-            let mut k = content_start;
-            let closing;
-            loop {
-                if k >= n {
+            let closing = match find_byte(&bytes[content_start..], b'"') {
+                None => {
                     return Err(TraceError::Parse {
                         line,
                         message: "unterminated quoted field".to_owned(),
-                    });
+                    })
                 }
-                if bytes[k] == b'"' {
-                    if k + 1 < n && bytes[k + 1] == b'"' {
-                        return split_record_slow(record, line);
-                    }
-                    closing = k;
-                    break;
-                }
-                k += 1;
+                Some(offset) => content_start + offset,
+            };
+            if closing + 1 < n && bytes[closing + 1] == b'"' {
+                return split_record_slow(record, line);
             }
             let value = Cow::Borrowed(&record[content_start..closing]);
             // After the closing quote only whitespace may precede the comma.
@@ -170,11 +203,10 @@ pub(crate) fn split_record<'a>(
                 break;
             }
         } else {
-            // Unquoted field: up to the next comma, trimmed.
-            let mut k = i;
-            while k < n && bytes[k] != b',' {
-                k += 1;
-            }
+            // Unquoted field: up to the next comma, trimmed. This scan runs
+            // over every byte of every unquoted record — the SWAR byte
+            // search is what keeps multi-million-row ingestion cheap.
+            let k = find_byte(&bytes[i..], b',').map_or(n, |offset| i + offset);
             fields.push(Cow::Borrowed(record[i..k].trim()));
             if k < n {
                 i = k + 1;
@@ -693,6 +725,39 @@ mod tests {
         // Line numbers account for the record spanning two lines.
         let err = parse_csv("op:event,x:int\n\"a\nb\",7\nbad_row\n").unwrap_err();
         assert!(matches!(err, TraceError::Parse { line: 4, .. }), "{err:?}");
+    }
+
+    #[test]
+    fn find_byte_agrees_with_naive_scan() {
+        let cases: &[(&[u8], u8)] = &[
+            (b"", b','),
+            (b"abc", b','),
+            (b",abc", b','),
+            (b"abc,", b','),
+            (b"abcdefgh,ijk", b','),
+            (b"abcdefg", b','),
+            (b"aaaaaaaaaaaaaaaa", b'a'),
+            (b"0123456789abcdef0123456789abcdef,", b','),
+            (b"no needle here at all and longer than a word", b'"'),
+            (b"quote\"right in the middle of the haystack!!", b'"'),
+        ];
+        for &(haystack, needle) in cases {
+            assert_eq!(
+                find_byte(haystack, needle),
+                haystack.iter().position(|&b| b == needle),
+                "haystack {haystack:?} needle {needle:?}"
+            );
+        }
+        // Every offset within a couple of words, so all alignment paths and
+        // the scalar tail are exercised.
+        for len in 0..24 {
+            for pos in 0..len {
+                let mut haystack = vec![b'x'; len];
+                haystack[pos] = b',';
+                assert_eq!(find_byte(&haystack, b','), Some(pos));
+            }
+            assert_eq!(find_byte(&vec![b'x'; len], b','), None);
+        }
     }
 
     #[test]

@@ -33,6 +33,8 @@
 mod analysis;
 mod dot;
 mod nfa;
+mod subset;
 
 pub use crate::analysis::PathEnumeration;
-pub use crate::nfa::{Nfa, StateId, Transition};
+pub use crate::nfa::{LabelId, Nfa, StateId, Transition};
+pub use crate::subset::SubsetTracker;

@@ -1,8 +1,10 @@
 //! The core NFA container.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 use std::hash::Hash;
+
+use crate::subset::SubsetTracker;
 
 /// Identifier of an automaton state (zero-based).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -27,6 +29,26 @@ impl fmt::Display for StateId {
     }
 }
 
+/// Identifier of an interned transition label (zero-based, first-use order).
+///
+/// Monitoring hot paths resolve a label once with [`Nfa::label_id`] and then
+/// use [`Nfa::successors_by_id`] / [`SubsetTracker::push_id`], skipping the
+/// hash lookup per step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LabelId(u32);
+
+impl LabelId {
+    /// Creates a label id from a zero-based index.
+    pub fn new(index: u32) -> Self {
+        LabelId(index)
+    }
+
+    /// The zero-based index of the label.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
 /// A single labelled transition.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Transition<L> {
@@ -43,12 +65,39 @@ pub struct Transition<L> {
 ///
 /// Labels are generic: the learner instantiates `L` with predicate ids, the
 /// state-merge baseline with event strings and tests with `&str` literals.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Besides the flat transition list the automaton maintains a label-indexed
+/// adjacency: labels are interned to dense [`LabelId`]s on insertion and each
+/// `(state, label)` pair keeps its successor list, so
+/// [`successors`](Nfa::successors) is an indexed slice lookup instead of an
+/// O(transitions) scan. This is what makes per-event monitoring cheap — see
+/// [`SubsetTracker`].
+#[derive(Debug, Clone)]
 pub struct Nfa<L> {
     num_states: usize,
     initial: StateId,
     transitions: Vec<Transition<L>>,
+    /// Interned labels in first-use order; index = `LabelId`.
+    labels: Vec<L>,
+    label_ids: HashMap<L, LabelId>,
+    /// Successor states per `(state, label)`, insertion order, no duplicates.
+    successor_lists: HashMap<(StateId, LabelId), Vec<StateId>>,
+    /// Indices into `transitions` of each state's outgoing transitions.
+    outgoing_lists: Vec<Vec<u32>>,
 }
+
+/// Automaton equality is semantic: same states, same initial state, same
+/// transitions in the same insertion order. The derived adjacency indexes are
+/// a function of those fields and deliberately excluded.
+impl<L: PartialEq> PartialEq for Nfa<L> {
+    fn eq(&self, other: &Self) -> bool {
+        self.num_states == other.num_states
+            && self.initial == other.initial
+            && self.transitions == other.transitions
+    }
+}
+
+impl<L: Eq> Eq for Nfa<L> {}
 
 impl<L> Nfa<L>
 where
@@ -67,6 +116,10 @@ where
             num_states,
             initial,
             transitions: Vec::new(),
+            labels: Vec::new(),
+            label_ids: HashMap::new(),
+            successor_lists: HashMap::new(),
+            outgoing_lists: vec![Vec::new(); num_states],
         }
     }
 
@@ -103,59 +156,83 @@ where
     pub fn add_transition(&mut self, from: StateId, label: L, to: StateId) {
         assert!(from.index() < self.num_states, "source state out of range");
         assert!(to.index() < self.num_states, "target state out of range");
-        let transition = Transition { from, label, to };
-        if !self.transitions.contains(&transition) {
-            self.transitions.push(transition);
-        }
-    }
-
-    /// The successor states of `state` under `label`.
-    pub fn successors(&self, state: StateId, label: &L) -> Vec<StateId> {
-        self.transitions
-            .iter()
-            .filter(|t| t.from == state && &t.label == label)
-            .map(|t| t.to)
-            .collect()
-    }
-
-    /// All transitions leaving `state`.
-    pub fn outgoing(&self, state: StateId) -> Vec<&Transition<L>> {
-        self.transitions
-            .iter()
-            .filter(|t| t.from == state)
-            .collect()
-    }
-
-    /// The set of distinct labels used on transitions.
-    pub fn labels(&self) -> Vec<L> {
-        let mut seen = Vec::new();
-        for t in &self.transitions {
-            if !seen.contains(&t.label) {
-                seen.push(t.label.clone());
+        let label_id = match self.label_ids.get(&label) {
+            Some(&id) => id,
+            None => {
+                let id = LabelId::new(self.labels.len() as u32);
+                self.labels.push(label.clone());
+                self.label_ids.insert(label.clone(), id);
+                id
             }
+        };
+        let successors = self.successor_lists.entry((from, label_id)).or_default();
+        if successors.contains(&to) {
+            return;
         }
-        seen
+        successors.push(to);
+        self.outgoing_lists[from.index()].push(self.transitions.len() as u32);
+        self.transitions.push(Transition { from, label, to });
+    }
+
+    /// The successor states of `state` under `label`, as an indexed slice
+    /// (empty when the pair has no transition or the label is unknown).
+    pub fn successors(&self, state: StateId, label: &L) -> &[StateId] {
+        match self.label_ids.get(label) {
+            Some(&id) => self.successors_by_id(state, id),
+            None => &[],
+        }
+    }
+
+    /// The successor states of `state` under an interned label id.
+    pub fn successors_by_id(&self, state: StateId, label_id: LabelId) -> &[StateId] {
+        self.successor_lists
+            .get(&(state, label_id))
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// The interned id of `label`, or `None` if no transition uses it.
+    pub fn label_id(&self, label: &L) -> Option<LabelId> {
+        self.label_ids.get(label).copied()
+    }
+
+    /// The label interned under `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn label(&self, id: LabelId) -> &L {
+        &self.labels[id.index()]
+    }
+
+    /// Number of distinct labels used on transitions.
+    pub fn num_labels(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// All transitions leaving `state`, in insertion order.
+    pub fn outgoing(&self, state: StateId) -> Vec<&Transition<L>> {
+        self.outgoing_lists[state.index()]
+            .iter()
+            .map(|&i| &self.transitions[i as usize])
+            .collect()
+    }
+
+    /// The set of distinct labels used on transitions, in first-use order.
+    pub fn labels(&self) -> Vec<L> {
+        self.labels.clone()
     }
 
     /// Runs the automaton on `word` from the initial state and returns the
     /// set of states reachable after consuming the whole word, or an empty
     /// set if the automaton gets stuck.
     pub fn run(&self, word: &[L]) -> BTreeSet<StateId> {
-        let mut current: BTreeSet<StateId> = BTreeSet::new();
-        current.insert(self.initial);
+        let mut tracker = SubsetTracker::from_initial(self);
         for label in word {
-            let mut next = BTreeSet::new();
-            for &state in &current {
-                for succ in self.successors(state, label) {
-                    next.insert(succ);
-                }
-            }
-            current = next;
-            if current.is_empty() {
+            if !tracker.push(label) {
                 break;
             }
         }
-        current
+        tracker.states().collect()
     }
 
     /// Whether the automaton accepts `word` (all states are accepting, so
@@ -168,20 +245,8 @@ where
     /// acceptance notion used when checking trace segments that start in the
     /// middle of an execution.
     pub fn accepts_from_any_state(&self, word: &[L]) -> bool {
-        let mut current: BTreeSet<StateId> = self.states().collect();
-        for label in word {
-            let mut next = BTreeSet::new();
-            for &state in &current {
-                for succ in self.successors(state, label) {
-                    next.insert(succ);
-                }
-            }
-            current = next;
-            if current.is_empty() {
-                return false;
-            }
-        }
-        true
+        let mut tracker = SubsetTracker::from_all_states(self);
+        word.iter().all(|label| tracker.push(label))
     }
 
     /// States reachable from the initial state through any transitions.
@@ -201,14 +266,7 @@ where
     /// Whether every (state, label) pair has at most one successor, the
     /// structural constraint the learner imposes on candidate models.
     pub fn is_deterministic(&self) -> bool {
-        for (i, a) in self.transitions.iter().enumerate() {
-            for b in &self.transitions[i + 1..] {
-                if a.from == b.from && a.label == b.label && a.to != b.to {
-                    return false;
-                }
-            }
-        }
-        true
+        self.successor_lists.values().all(|succ| succ.len() <= 1)
     }
 
     /// Applies a function to every label, producing a new automaton with the
@@ -255,6 +313,7 @@ mod tests {
         assert_eq!(nfa.initial(), s(0));
         assert_eq!(nfa.states().count(), 4);
         assert_eq!(nfa.labels().len(), 4);
+        assert_eq!(nfa.num_labels(), 4);
     }
 
     #[test]
@@ -283,8 +342,36 @@ mod tests {
         let nfa = counter_nfa();
         assert_eq!(nfa.successors(s(0), &"inc"), vec![s(0)]);
         assert_eq!(nfa.successors(s(0), &"dec"), vec![]);
+        assert_eq!(nfa.successors(s(0), &"unknown-label"), vec![]);
         assert_eq!(nfa.outgoing(s(0)).len(), 2);
         assert_eq!(nfa.outgoing(s(3)).len(), 1);
+    }
+
+    #[test]
+    fn label_interning_is_first_use_order() {
+        let nfa = counter_nfa();
+        assert_eq!(nfa.labels(), vec!["inc", "at_max", "dec", "at_min"]);
+        let inc = nfa.label_id(&"inc").unwrap();
+        assert_eq!(inc.index(), 0);
+        assert_eq!(*nfa.label(inc), "inc");
+        assert_eq!(nfa.label_id(&"missing"), None);
+        // Indexed lookup agrees with the by-value lookup.
+        assert_eq!(
+            nfa.successors_by_id(s(0), inc),
+            nfa.successors(s(0), &"inc")
+        );
+    }
+
+    #[test]
+    fn equality_ignores_derived_indexes() {
+        // Two automata with identical transition histories are equal even
+        // though their interning tables were built separately.
+        let a = counter_nfa();
+        let b = counter_nfa();
+        assert_eq!(a, b);
+        let mut c = counter_nfa();
+        c.add_transition(s(3), "dec", s(2));
+        assert_ne!(a, c);
     }
 
     #[test]

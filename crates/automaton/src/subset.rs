@@ -1,0 +1,294 @@
+//! Incremental subset tracking: the per-event core of online monitoring.
+//!
+//! Batch acceptance queries ([`Nfa::accepts_from_any_state`]) re-run a subset
+//! construction over the whole word each time. A long-running monitor instead
+//! keeps a [`SubsetTracker`]: the set of automaton states still reachable
+//! after the labels pushed so far, stored as a bitset and updated in
+//! O(|current states| × branching) per pushed label with zero allocation.
+//! When the set drains empty the word has hit a dead end — in the all-states-
+//! accepting semantics of the learned models, that is a rejection.
+//!
+//! # Example
+//!
+//! ```
+//! use tracelearn_automaton::{Nfa, StateId, SubsetTracker};
+//!
+//! let mut nfa = Nfa::new(2, StateId::new(0));
+//! nfa.add_transition(StateId::new(0), "a", StateId::new(1));
+//! nfa.add_transition(StateId::new(1), "b", StateId::new(0));
+//!
+//! let mut tracker = SubsetTracker::from_all_states(&nfa);
+//! assert!(tracker.push(&"a"));
+//! assert!(tracker.push(&"b"));
+//! assert!(!tracker.push(&"x")); // unknown label: dead end
+//! assert!(!tracker.is_alive());
+//!
+//! // Trackers are reusable: reset instead of reallocating.
+//! tracker.reset_to_all();
+//! assert!(tracker.push(&"b")); // possible from state 1
+//! ```
+
+use crate::nfa::{LabelId, Nfa, StateId};
+use std::hash::Hash;
+
+/// The set of states an [`Nfa`] can currently be in, maintained incrementally
+/// one pushed label at a time.
+///
+/// The tracker borrows the automaton and owns two fixed-size bit words
+/// buffers (current and scratch), so its resident memory is
+/// `2 × ⌈states / 64⌉ × 8` bytes regardless of how many labels are pushed —
+/// the O(states) bound the monitoring session builds on.
+#[derive(Debug, Clone)]
+pub struct SubsetTracker<'a, L> {
+    nfa: &'a Nfa<L>,
+    /// Bitset of currently reachable states.
+    current: Vec<u64>,
+    /// Scratch bitset for the next frontier (kept to avoid reallocation).
+    scratch: Vec<u64>,
+    alive: bool,
+}
+
+impl<'a, L> SubsetTracker<'a, L>
+where
+    L: Clone + Eq + Hash,
+{
+    /// Creates a tracker whose state set is *all* states of `nfa` — the
+    /// acceptance notion for words that start mid-execution
+    /// (cf. [`Nfa::accepts_from_any_state`]).
+    pub fn from_all_states(nfa: &'a Nfa<L>) -> Self {
+        let mut tracker = Self::unset(nfa);
+        tracker.reset_to_all();
+        tracker
+    }
+
+    /// Creates a tracker whose state set is the initial state of `nfa`
+    /// (cf. [`Nfa::run`]).
+    pub fn from_initial(nfa: &'a Nfa<L>) -> Self {
+        let mut tracker = Self::unset(nfa);
+        tracker.reset_to_initial();
+        tracker
+    }
+
+    fn unset(nfa: &'a Nfa<L>) -> Self {
+        let words = nfa.num_states().div_ceil(64);
+        SubsetTracker {
+            nfa,
+            current: vec![0; words],
+            scratch: vec![0; words],
+            alive: false,
+        }
+    }
+
+    /// Resets the state set to all states, reusing the buffers.
+    pub fn reset_to_all(&mut self) {
+        let num_states = self.nfa.num_states();
+        for (word_index, word) in self.current.iter_mut().enumerate() {
+            let low = word_index * 64;
+            let high = (low + 64).min(num_states);
+            *word = if high - low == 64 {
+                u64::MAX
+            } else {
+                (1u64 << (high - low)) - 1
+            };
+        }
+        self.alive = true;
+    }
+
+    /// Resets the state set to the initial state, reusing the buffers.
+    pub fn reset_to_initial(&mut self) {
+        self.current.iter_mut().for_each(|word| *word = 0);
+        let initial = self.nfa.initial().index();
+        self.current[initial / 64] |= 1u64 << (initial % 64);
+        self.alive = true;
+    }
+
+    /// Advances the set by one label: replaces it with the union of the
+    /// successors of its members under `label`. Returns whether any state is
+    /// still reachable. A label the automaton has never seen empties the set.
+    pub fn push(&mut self, label: &L) -> bool {
+        match self.nfa.label_id(label) {
+            Some(id) => self.push_id(id),
+            None => {
+                self.current.iter_mut().for_each(|word| *word = 0);
+                self.alive = false;
+                false
+            }
+        }
+    }
+
+    /// Advances the set by a pre-interned label id (see [`Nfa::label_id`]),
+    /// skipping the hash lookup of [`push`](SubsetTracker::push).
+    pub fn push_id(&mut self, label_id: LabelId) -> bool {
+        if !self.alive {
+            return false;
+        }
+        self.scratch.iter_mut().for_each(|word| *word = 0);
+        let mut any = false;
+        for (word_index, &word) in self.current.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let bit = bits.trailing_zeros();
+                bits &= bits - 1;
+                let state = StateId::new((word_index * 64) as u32 + bit);
+                for succ in self.nfa.successors_by_id(state, label_id) {
+                    let index = succ.index();
+                    self.scratch[index / 64] |= 1u64 << (index % 64);
+                    any = true;
+                }
+            }
+        }
+        std::mem::swap(&mut self.current, &mut self.scratch);
+        self.alive = any;
+        any
+    }
+
+    /// Whether at least one state is still reachable.
+    pub fn is_alive(&self) -> bool {
+        self.alive
+    }
+
+    /// Number of currently reachable states.
+    pub fn len(&self) -> usize {
+        self.current
+            .iter()
+            .map(|word| word.count_ones() as usize)
+            .sum()
+    }
+
+    /// Whether the reachable set is empty (the word hit a dead end).
+    pub fn is_empty(&self) -> bool {
+        !self.alive
+    }
+
+    /// Whether `state` is in the current reachable set.
+    pub fn contains(&self, state: StateId) -> bool {
+        let index = state.index();
+        index < self.nfa.num_states() && self.current[index / 64] & (1u64 << (index % 64)) != 0
+    }
+
+    /// The currently reachable states, in index order.
+    pub fn states(&self) -> impl Iterator<Item = StateId> + '_ {
+        self.current
+            .iter()
+            .enumerate()
+            .flat_map(|(word_index, &word)| {
+                (0..64u32)
+                    .filter(move |bit| word & (1u64 << bit) != 0)
+                    .map(move |bit| StateId::new((word_index * 64) as u32 + bit))
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(i: u32) -> StateId {
+        StateId::new(i)
+    }
+
+    fn counter_nfa() -> Nfa<&'static str> {
+        let mut nfa = Nfa::new(4, s(0));
+        nfa.add_transition(s(0), "inc", s(0));
+        nfa.add_transition(s(0), "at_max", s(1));
+        nfa.add_transition(s(1), "dec", s(2));
+        nfa.add_transition(s(2), "dec", s(2));
+        nfa.add_transition(s(2), "at_min", s(3));
+        nfa.add_transition(s(3), "inc", s(0));
+        nfa
+    }
+
+    #[test]
+    fn tracks_reachable_set_per_label() {
+        let nfa = counter_nfa();
+        let mut tracker = SubsetTracker::from_all_states(&nfa);
+        assert_eq!(tracker.len(), 4);
+        assert!(tracker.push(&"dec"));
+        // dec is possible from q2 (to q3) and q3 (to q3): {q3}.
+        assert_eq!(tracker.states().collect::<Vec<_>>(), vec![s(2)]);
+        assert!(tracker.push(&"at_min"));
+        assert!(tracker.contains(s(3)));
+        assert!(!tracker.contains(s(0)));
+        assert!(tracker.push(&"inc"));
+        assert_eq!(tracker.states().collect::<Vec<_>>(), vec![s(0)]);
+    }
+
+    #[test]
+    fn dead_end_and_reset() {
+        let nfa = counter_nfa();
+        let mut tracker = SubsetTracker::from_all_states(&nfa);
+        assert!(tracker.push(&"at_max"));
+        assert!(!tracker.push(&"at_max"));
+        assert!(tracker.is_empty());
+        assert_eq!(tracker.len(), 0);
+        // Further pushes stay dead without panicking.
+        assert!(!tracker.push(&"inc"));
+        tracker.reset_to_all();
+        assert!(tracker.is_alive());
+        assert_eq!(tracker.len(), 4);
+    }
+
+    #[test]
+    fn unknown_label_kills_the_set() {
+        let nfa = counter_nfa();
+        let mut tracker = SubsetTracker::from_all_states(&nfa);
+        assert!(!tracker.push(&"no-such-label"));
+        assert!(tracker.is_empty());
+    }
+
+    #[test]
+    fn from_initial_matches_run() {
+        let nfa = counter_nfa();
+        let word = ["inc", "at_max", "dec", "dec"];
+        let mut tracker = SubsetTracker::from_initial(&nfa);
+        for label in &word {
+            tracker.push(label);
+        }
+        assert_eq!(
+            tracker.states().collect::<std::collections::BTreeSet<_>>(),
+            nfa.run(&word)
+        );
+    }
+
+    #[test]
+    fn agrees_with_batch_acceptance() {
+        let nfa = counter_nfa();
+        let words: [&[&str]; 5] = [
+            &[],
+            &["dec", "at_min", "inc"],
+            &["at_max", "at_max"],
+            &["inc", "at_max", "dec"],
+            &["bogus"],
+        ];
+        for word in words {
+            let mut tracker = SubsetTracker::from_all_states(&nfa);
+            let incremental = word.iter().all(|l| tracker.push(l));
+            assert_eq!(
+                incremental,
+                nfa.accepts_from_any_state(word),
+                "disagreement on {word:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn wide_automata_span_multiple_bitset_words() {
+        // 130 states forces three 64-bit words; a chain a→a→… keeps exactly
+        // one bit alive and walks it across word boundaries.
+        let n = 130;
+        let mut nfa = Nfa::new(n, s(0));
+        for i in 0..(n - 1) as u32 {
+            nfa.add_transition(s(i), "step", s(i + 1));
+        }
+        let mut tracker = SubsetTracker::from_initial(&nfa);
+        for i in 1..n as u32 {
+            assert!(tracker.push(&"step"));
+            assert_eq!(tracker.states().collect::<Vec<_>>(), vec![s(i)]);
+        }
+        assert!(!tracker.push(&"step")); // fell off the end of the chain
+        let mut all = SubsetTracker::from_all_states(&nfa);
+        assert_eq!(all.len(), n);
+        assert!(all.push(&"step"));
+        assert_eq!(all.len(), n - 1); // every state but the last has a successor
+    }
+}

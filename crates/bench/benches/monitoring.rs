@@ -1,0 +1,195 @@
+//! Criterion benchmarks of runtime monitoring: the incremental
+//! `MonitorSession` serving path vs whole-trace batch `Monitor::check`, and
+//! vs the pre-refactor deployment model of re-running a batch check for
+//! every arriving event.
+//!
+//! The stream length defaults to 100,000 events and can be overridden with
+//! the `TRACELEARN_MONITOR_EVENTS` environment variable (CI smoke-runs use a
+//! small value). With `--json <path>` or `TRACELEARN_BENCH_JSON=<path>` the
+//! measured wall times — plus events/sec and p50/p99 verdict latency from a
+//! per-event histogram — are written as machine-readable JSON
+//! (`BENCH_monitoring.json` is the committed baseline, gated in CI by
+//! `bench_gate` on the `incremental/` records).
+//!
+//! The per-event baseline (`batch_per_event`) re-checks the trailing
+//! `2w - 1` observations as a fresh batch trace for every event — the
+//! *cheapest* possible "replay a batch check per event" deployment, since a
+//! real one would replay the whole growing prefix. Beating it is therefore a
+//! conservative lower bound on the incremental speedup.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
+use tracelearn_bench::learner_config_for;
+use tracelearn_bench::report::{write_if_requested, BenchRecord};
+use tracelearn_core::{LearnedModel, Learner, Monitor, DEFAULT_CALIBRATION_EVENTS};
+use tracelearn_serve::LatencyHistogram;
+use tracelearn_trace::Trace;
+use tracelearn_workloads::Workload;
+
+const TRAIN_LENGTH: usize = 2_000;
+
+fn events() -> usize {
+    std::env::var("TRACELEARN_MONITOR_EVENTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100_000)
+}
+
+fn learn(workload: Workload) -> LearnedModel {
+    let train = workload.generate(TRAIN_LENGTH);
+    Learner::new(learner_config_for(workload))
+        .learn(&train)
+        .expect("benchmark workloads are learnable")
+}
+
+/// Pushes the whole stream through one incremental session, recording
+/// per-event latency, and returns (events, deviations, histogram).
+fn run_incremental(monitor: &Monitor<'_>, fresh: &Trace) -> (usize, usize, LatencyHistogram) {
+    let mut session = monitor
+        .session_with_calibration(fresh.signature(), DEFAULT_CALIBRATION_EVENTS)
+        .expect("window fits");
+    let mut latency = LatencyHistogram::new();
+    for observation in fresh.observations() {
+        let start = Instant::now();
+        session
+            .push_event(observation, fresh.symbols())
+            .expect("push succeeds");
+        latency.record(start.elapsed());
+    }
+    let report = session.finish(fresh.symbols()).expect("finish succeeds");
+    (fresh.len(), report.deviations.len(), latency)
+}
+
+/// Re-runs a batch `check` on the trailing `2w - 1` observations for every
+/// event — the pre-refactor "replay per event" deployment model.
+fn run_batch_per_event(monitor: &Monitor<'_>, fresh: &Trace, window: usize) -> usize {
+    let tail = 2 * window - 1;
+    let mut deviations = 0usize;
+    for end in tail..=fresh.len() {
+        let mut sub = Trace::new(fresh.signature().clone());
+        for observation in &fresh.observations()[end - tail..end] {
+            sub.push(observation.clone()).expect("same signature");
+        }
+        deviations += monitor
+            .check(&sub)
+            .expect("check succeeds")
+            .deviations
+            .len();
+    }
+    deviations
+}
+
+fn bench_monitoring(c: &mut Criterion) {
+    let events = events();
+    let workload = Workload::Counter;
+    let model = learn(workload);
+    let config = learner_config_for(workload);
+    let window = config.window;
+    let monitor = Monitor::new(&model, config);
+    let fresh = workload.generate(events);
+
+    let mut group = c.benchmark_group("monitoring");
+    group.sample_size(10);
+    group.bench_with_input(
+        BenchmarkId::new("incremental/counter", events),
+        &fresh,
+        |b, fresh| b.iter(|| run_incremental(&monitor, std::hint::black_box(fresh))),
+    );
+    group.bench_with_input(
+        BenchmarkId::new("batch/counter", events),
+        &fresh,
+        |b, fresh| {
+            b.iter(|| {
+                monitor
+                    .check(std::hint::black_box(fresh))
+                    .expect("checkable")
+            })
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("batch_per_event/counter", events),
+        &fresh,
+        |b, fresh| b.iter(|| run_batch_per_event(&monitor, std::hint::black_box(fresh), window)),
+    );
+    group.finish();
+
+    // One timed run per variant for the JSON trajectory — only when an
+    // output path was actually requested.
+    if tracelearn_bench::report::requested_path().is_none() {
+        return;
+    }
+    let mut records = Vec::new();
+
+    let start = Instant::now();
+    let (pushed, deviations, latency) = run_incremental(&monitor, &fresh);
+    let incremental_wall = start.elapsed();
+    let incremental_per_event = incremental_wall.as_nanos() as f64 / pushed.max(1) as f64;
+
+    let start = Instant::now();
+    let batch_report = monitor.check(&fresh).expect("checkable");
+    let batch_wall = start.elapsed();
+
+    let start = Instant::now();
+    let per_event_deviations = run_batch_per_event(&monitor, &fresh, window);
+    let per_event_wall = start.elapsed();
+    let per_event_checks = fresh.len() + 1 - (2 * window - 1);
+    let per_event_ns = per_event_wall.as_nanos() as f64 / per_event_checks.max(1) as f64;
+
+    records.push(
+        BenchRecord::new("incremental/counter", incremental_wall)
+            .with_extra("events", pushed)
+            .with_extra("deviations", deviations)
+            .with_extra(
+                "events_per_sec",
+                format!(
+                    "{:.0}",
+                    pushed as f64 / incremental_wall.as_secs_f64().max(1e-9)
+                ),
+            )
+            .with_extra("per_event_ns", format!("{incremental_per_event:.1}"))
+            .with_extra("p50_us", format!("{:.3}", latency.p50_us()))
+            .with_extra("p99_us", format!("{:.3}", latency.p99_us()))
+            .with_extra(
+                "speedup_vs_batch_per_event",
+                format!("{:.1}", per_event_ns / incremental_per_event.max(1e-9)),
+            ),
+    );
+    records.push(
+        BenchRecord::new("batch/counter", batch_wall)
+            .with_extra("events", fresh.len())
+            .with_extra("deviations", batch_report.deviations.len()),
+    );
+    records.push(
+        BenchRecord::new("batch_per_event/counter", per_event_wall)
+            .with_extra("events", fresh.len())
+            .with_extra("checks", per_event_checks)
+            .with_extra("deviations", per_event_deviations)
+            .with_extra("per_event_ns", format!("{per_event_ns:.1}")),
+    );
+
+    // The event-valued rtlinux stream exercises the symbolic path; no
+    // per-event baseline here (sub-traces would need symbol remapping).
+    let workload = Workload::LinuxKernel;
+    let model = learn(workload);
+    let monitor = Monitor::new(&model, learner_config_for(workload));
+    let fresh = workload.generate(events);
+    let start = Instant::now();
+    let (pushed, deviations, latency) = run_incremental(&monitor, &fresh);
+    let wall = start.elapsed();
+    records.push(
+        BenchRecord::new("incremental/rtlinux", wall)
+            .with_extra("events", pushed)
+            .with_extra("deviations", deviations)
+            .with_extra(
+                "events_per_sec",
+                format!("{:.0}", pushed as f64 / wall.as_secs_f64().max(1e-9)),
+            )
+            .with_extra("p50_us", format!("{:.3}", latency.p50_us()))
+            .with_extra("p99_us", format!("{:.3}", latency.p99_us())),
+    );
+
+    write_if_requested("monitoring", &records);
+}
+
+criterion_group!(benches, bench_monitoring);
+criterion_main!(benches);

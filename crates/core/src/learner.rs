@@ -351,6 +351,18 @@ impl LearnedModel {
         &self.sequences[0]
     }
 
+    /// The signature of the traces the model was learned from. A fresh
+    /// stream monitored against this model must use the same signature.
+    pub fn signature(&self) -> &Signature {
+        &self.signature
+    }
+
+    /// The event names interned while learning, used to render the model's
+    /// own predicates canonically.
+    pub fn symbols(&self) -> &SymbolTable {
+        &self.symbols
+    }
+
     /// The predicate sequences of all input traces, in input order.
     pub fn predicate_sequences(&self) -> &[Vec<PredId>] {
         &self.sequences

@@ -63,4 +63,8 @@ pub use crate::error::LearnError;
 pub use crate::learner::{
     learn_with_defaults, LearnStats, LearnedModel, Learner, LearnerConfig, SolverStrategy,
 };
+pub use crate::monitor::{
+    Deviation, DeviationKind, Monitor, MonitorReport, MonitorSession, SessionFootprint, Verdict,
+    DEFAULT_CALIBRATION_EVENTS,
+};
 pub use crate::predicates::{PredId, PredicateAlphabet, PredicateExtractor, WindowAbstractor};

@@ -5,24 +5,44 @@
 //! monitors, and seeding model-based test generation. This module provides
 //! the first two as library features:
 //!
-//! * [`Monitor`] replays a fresh trace of the same system against a learned
-//!   model and reports every window it cannot explain — a deviation from the
-//!   learned behaviour (or a behaviour the original trace never exercised);
+//! * [`Monitor`] holds a learned model ready for checking fresh traces of
+//!   the same system. [`Monitor::check`] replays a whole trace at once;
+//!   [`Monitor::session`] opens an incremental [`MonitorSession`] that
+//!   consumes one observation at a time via
+//!   [`push_event`](MonitorSession::push_event) and keeps only
+//!   O(window × states) state resident plus the (small) set of distinct
+//!   predicates and windows seen — the serving-layer shape used by the
+//!   `tracelearn-serve` daemon;
 //! * [`coverage_gap`] compares two learned models of the same system (for
 //!   example, models learned under two different test loads) and reports the
 //!   transition labels present in one but missing from the other, the
 //!   paper's RT-Linux coverage observation.
+//!
+//! A deviation is a window the model cannot explain: either it contains a
+//! predicate the model has never seen ([`DeviationKind::UnknownPredicate`])
+//! or all predicates are known but no path of the model is labelled with the
+//! window ([`DeviationKind::NoPath`], decided incrementally by a
+//! [`SubsetTracker`]).
 
 use crate::learner::{LearnedModel, LearnerConfig};
-use crate::predicates::PredicateExtractor;
-use crate::LearnError;
-use std::collections::BTreeSet;
-use tracelearn_trace::{unique_windows, Trace};
+use crate::predicates::{PredicateAlphabet, WindowAbstractor};
+use crate::{LearnError, PredId};
+use std::collections::{BTreeSet, HashMap, HashSet};
+use tracelearn_automaton::SubsetTracker;
+use tracelearn_trace::{Signature, SymbolTable, Trace, Valuation};
+
+/// Default number of observations an incremental session buffers before
+/// calibrating its [`WindowAbstractor`] (constant pools, input detection,
+/// dominant updates). Streams whose signature has no integer variables are
+/// insensitive to the calibration prefix; for integer-valued streams a few
+/// thousand observations match what the streamed learner uses.
+pub const DEFAULT_CALIBRATION_EVENTS: usize = 4096;
 
 /// The verdict of replaying one window of a fresh trace against a model.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Deviation {
-    /// Position (window start index) in the fresh trace's predicate sequence.
+    /// Position (window start index) in the fresh trace's predicate
+    /// sequence, always the window's first occurrence.
     pub position: usize,
     /// The rendered predicates of the offending window.
     pub window: Vec<String>,
@@ -64,7 +84,50 @@ impl MonitorReport {
     }
 }
 
+/// The incremental result of pushing one event into a [`MonitorSession`].
+///
+/// While the session warms up (calibration buffering, or fewer observations
+/// than the window length) no window closes and the verdict is empty. Right
+/// after deferred calibration a single push replays the buffered prefix, so
+/// one verdict may close many windows at once.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Verdict {
+    /// Complete predicate windows that this event closed.
+    pub windows_closed: usize,
+    /// How many of those windows were first occurrences (and hence checked
+    /// against the model; repeats are deduplicated, the paper's key
+    /// scalability step).
+    pub novel_windows: usize,
+    /// Deviations discovered by this event, in position order.
+    pub deviations: Vec<Deviation>,
+}
+
+impl Verdict {
+    /// Whether this event surfaced no deviation.
+    pub fn is_clean(&self) -> bool {
+        self.deviations.is_empty()
+    }
+
+    /// Whether the session is still warming up: nothing was checked because
+    /// no window has closed yet.
+    pub fn is_warmup(&self) -> bool {
+        self.windows_closed == 0
+    }
+
+    fn absorb(&mut self, other: Verdict) {
+        self.windows_closed += other.windows_closed;
+        self.novel_windows += other.novel_windows;
+        self.deviations.extend(other.deviations);
+    }
+}
+
 /// A runtime monitor built from a learned model.
+///
+/// Construction renders the model's alphabet once with the model's own
+/// signature and symbol table, producing the canonical predicate-string →
+/// id map shared by every [`check`](Monitor::check) call and every
+/// [`MonitorSession`] — fresh traces intern their own predicate ids, so the
+/// rendered form is the only identity comparable across traces.
 ///
 /// # Example
 ///
@@ -82,6 +145,14 @@ impl MonitorReport {
 /// // A fresh trace of the same system conforms …
 /// let fresh = counter::generate(&counter::CounterConfig { threshold: 8, length: 90 });
 /// assert!(monitor.check(&fresh)?.is_clean());
+///
+/// // … and so does the same trace fed one event at a time.
+/// let mut session = monitor.session(fresh.signature())?;
+/// for observation in fresh.observations() {
+///     let verdict = session.push_event(observation, fresh.symbols())?;
+///     assert!(verdict.is_clean());
+/// }
+/// assert!(session.finish(fresh.symbols())?.is_clean());
 /// # Ok(())
 /// # }
 /// ```
@@ -89,6 +160,8 @@ impl MonitorReport {
 pub struct Monitor<'m> {
     model: &'m LearnedModel,
     config: LearnerConfig,
+    /// Canonical rendered predicate → model predicate id, computed once.
+    known: HashMap<String, PredId>,
 }
 
 impl<'m> Monitor<'m> {
@@ -96,80 +169,361 @@ impl<'m> Monitor<'m> {
     /// same window length and input variables as the one the model was
     /// learned with, so that fresh traces are abstracted identically.
     pub fn new(model: &'m LearnedModel, config: LearnerConfig) -> Self {
-        Monitor { model, config }
+        let known = model
+            .alphabet()
+            .iter()
+            .map(|(id, _)| {
+                (
+                    model
+                        .alphabet()
+                        .render(id, model.signature(), model.symbols()),
+                    id,
+                )
+            })
+            .collect();
+        Monitor {
+            model,
+            config,
+            known,
+        }
     }
 
-    /// Replays a fresh trace against the model.
+    /// The model this monitor checks against.
+    pub fn model(&self) -> &'m LearnedModel {
+        self.model
+    }
+
+    /// Replays a whole fresh trace against the model.
+    ///
+    /// This is a thin wrapper over a [`MonitorSession`] whose calibration is
+    /// deferred to [`finish`](MonitorSession::finish), so the abstractor is
+    /// calibrated on the full trace — exactly the batch behaviour.
     ///
     /// # Errors
     ///
     /// Returns the same input-validation errors as learning (trace shorter
     /// than the window, window too small).
     pub fn check(&self, fresh: &Trace) -> Result<MonitorReport, LearnError> {
-        let extractor = PredicateExtractor::new(
-            fresh,
-            self.config.window,
-            self.config.synthesis.clone(),
-            &self.config.input_variables,
-        )?;
-        let (sequence, alphabet) = extractor.extract();
-
-        // Map the fresh alphabet onto the model's alphabet via rendered form;
-        // predicates are hash-consed per trace, so ids are not comparable
-        // directly but the rendered predicate is canonical.
-        let known: std::collections::HashMap<String, crate::PredId> = self
-            .model
-            .alphabet()
-            .iter()
-            .map(|(id, _)| {
-                (
-                    self.model
-                        .alphabet()
-                        .render(id, fresh.signature(), fresh.symbols()),
-                    id,
-                )
-            })
-            .collect();
-
-        let mut deviations = Vec::new();
-        let windows = unique_windows(&sequence, self.config.window.min(sequence.len().max(1)));
-        let mut first_occurrence = std::collections::HashMap::new();
-        for (position, window) in sequence
-            .windows(self.config.window.min(sequence.len().max(1)))
-            .enumerate()
-        {
-            first_occurrence.entry(window.to_vec()).or_insert(position);
+        let mut session = self.session_with_calibration(fresh.signature(), usize::MAX)?;
+        for observation in fresh.observations() {
+            session.push_event(observation, fresh.symbols())?;
         }
-        for window in &windows {
-            let rendered: Vec<String> = window
-                .iter()
-                .map(|id| alphabet.render(*id, fresh.signature(), fresh.symbols()))
-                .collect();
-            let position = first_occurrence.get(window).copied().unwrap_or(0);
-            let mapped: Option<Vec<crate::PredId>> =
-                rendered.iter().map(|r| known.get(r).copied()).collect();
-            match mapped {
-                None => deviations.push(Deviation {
-                    position,
-                    window: rendered,
-                    kind: DeviationKind::UnknownPredicate,
-                }),
-                Some(labels) => {
-                    if !self.model.automaton().accepts_from_any_state(&labels) {
-                        deviations.push(Deviation {
-                            position,
-                            window: rendered,
-                            kind: DeviationKind::NoPath,
-                        });
-                    }
-                }
-            }
+        session.finish(fresh.symbols())
+    }
+
+    /// Opens an incremental monitoring session for a stream with the given
+    /// signature, calibrating after [`DEFAULT_CALIBRATION_EVENTS`]
+    /// observations (or at [`finish`](MonitorSession::finish) for shorter
+    /// streams).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LearnError::WindowTooSmall`] when the configured window is
+    /// shorter than two observations.
+    pub fn session(&self, signature: &Signature) -> Result<MonitorSession<'_>, LearnError> {
+        self.session_with_calibration(signature, DEFAULT_CALIBRATION_EVENTS)
+    }
+
+    /// Opens an incremental session that buffers `calibration_events`
+    /// observations before calibrating its abstractor. Use `usize::MAX` to
+    /// defer calibration to [`finish`](MonitorSession::finish) (the batch
+    /// behaviour of [`check`](Monitor::check)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LearnError::WindowTooSmall`] when the configured window is
+    /// shorter than two observations.
+    pub fn session_with_calibration(
+        &self,
+        signature: &Signature,
+        calibration_events: usize,
+    ) -> Result<MonitorSession<'_>, LearnError> {
+        let window = self.config.window;
+        if window < 2 {
+            return Err(LearnError::WindowTooSmall { window });
         }
-        deviations.sort_by_key(|d| d.position);
-        Ok(MonitorReport {
-            windows_checked: windows.len(),
-            deviations,
+        Ok(MonitorSession {
+            monitor: self,
+            signature: signature.clone(),
+            window,
+            calibration_events: calibration_events.max(window),
+            pending: Vec::new(),
+            abstractor: None,
+            alphabet: PredicateAlphabet::new(),
+            labels: Vec::new(),
+            rendered: Vec::new(),
+            recent: Vec::with_capacity(window),
+            pred_window: Vec::with_capacity(window),
+            seen: HashSet::new(),
+            tracker: SubsetTracker::from_all_states(self.model.automaton()),
+            events: 0,
+            positions: 0,
+            windows_checked: 0,
+            deviations: Vec::new(),
         })
+    }
+}
+
+/// Resident-memory accounting of a [`MonitorSession`].
+///
+/// Everything a session keeps beyond the O(window) observation buffer is a
+/// function of the *distinct* behaviours seen, not of the stream length —
+/// the release-mode long-stream test asserts these counters plateau.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionFootprint {
+    /// Observations pushed so far.
+    pub events: usize,
+    /// Observations currently buffered (calibration prefix + sliding
+    /// window); at most `max(calibration_events, window)`.
+    pub buffered_observations: usize,
+    /// Distinct observation-window contents memoised by the abstractor.
+    pub distinct_observation_windows: usize,
+    /// Distinct predicates interned from the stream.
+    pub distinct_predicates: usize,
+    /// Distinct predicate windows checked against the model.
+    pub distinct_windows: usize,
+    /// Deviations recorded so far.
+    pub deviations: usize,
+}
+
+/// An incremental monitoring session: feed one [`Valuation`] at a time with
+/// [`push_event`](MonitorSession::push_event), collect per-event
+/// [`Verdict`]s, and close with [`finish`](MonitorSession::finish) to get
+/// the same [`MonitorReport`] a batch [`Monitor::check`] of the full trace
+/// would produce.
+///
+/// Resident state is bounded: a `window`-length observation ring, a
+/// `window`-length predicate ring, one [`SubsetTracker`] (two bitset words
+/// per 64 automaton states) and per-*distinct* predicate/window memo tables.
+#[derive(Debug)]
+pub struct MonitorSession<'m> {
+    monitor: &'m Monitor<'m>,
+    signature: Signature,
+    window: usize,
+    /// Observations to buffer before calibrating the abstractor.
+    calibration_events: usize,
+    /// Buffered calibration prefix; emptied once calibrated.
+    pending: Vec<Valuation>,
+    abstractor: Option<WindowAbstractor>,
+    /// The stream's own hash-consed predicates.
+    alphabet: PredicateAlphabet,
+    /// Stream predicate id → model predicate id (`None` = unknown to the
+    /// model), indexed by `PredId::index`.
+    labels: Vec<Option<PredId>>,
+    /// Stream predicate id → rendered text, for deviation reports.
+    rendered: Vec<String>,
+    /// The last `window` observations (sliding).
+    recent: Vec<Valuation>,
+    /// The last `window` stream predicate ids (sliding).
+    pred_window: Vec<PredId>,
+    /// Distinct predicate windows already checked.
+    seen: HashSet<Vec<PredId>>,
+    tracker: SubsetTracker<'m, PredId>,
+    events: usize,
+    /// Predicate-sequence positions produced so far.
+    positions: usize,
+    windows_checked: usize,
+    deviations: Vec<Deviation>,
+}
+
+impl MonitorSession<'_> {
+    /// Pushes one observation into the session.
+    ///
+    /// `symbols` is the stream's symbol table (the [`Value::Sym`] ids inside
+    /// `observation` are relative to it); the table may grow between calls
+    /// as the stream interns new event names.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LearnError::TraceTooShort`] / [`LearnError::WindowTooSmall`]
+    /// if deferred calibration fails when triggered by this push.
+    ///
+    /// [`Value::Sym`]: tracelearn_trace::Value::Sym
+    pub fn push_event(
+        &mut self,
+        observation: &Valuation,
+        symbols: &SymbolTable,
+    ) -> Result<Verdict, LearnError> {
+        self.events += 1;
+        if self.abstractor.is_none() {
+            self.pending.push(observation.clone());
+            if self.pending.len() >= self.calibration_events {
+                return self.calibrate_and_replay(symbols);
+            }
+            return Ok(Verdict::default());
+        }
+        Ok(self.step(observation, symbols))
+    }
+
+    /// Closes the session: calibrates and replays if the stream ended before
+    /// the calibration target, checks the single short window of a stream
+    /// with fewer than `window` predicate positions (the batch path's
+    /// effective-window clamp, applied exactly once), and returns the final
+    /// report.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LearnError::TraceTooShort`] when the stream ended with
+    /// fewer observations than the window length.
+    pub fn finish(mut self, symbols: &SymbolTable) -> Result<MonitorReport, LearnError> {
+        if self.abstractor.is_none() {
+            self.calibrate_and_replay(symbols)?;
+        }
+        if self.positions > 0 && self.positions < self.window {
+            // The whole (short) predicate sequence forms the one window.
+            self.check_window(0);
+        }
+        Ok(self.report())
+    }
+
+    /// The report accumulated so far (without consuming the session) — what
+    /// the serving layer exposes as a stream summary snapshot.
+    pub fn report(&self) -> MonitorReport {
+        MonitorReport {
+            windows_checked: self.windows_checked,
+            deviations: self.deviations.clone(),
+        }
+    }
+
+    /// Observations pushed so far.
+    pub fn events(&self) -> usize {
+        self.events
+    }
+
+    /// Unique predicate windows checked so far.
+    pub fn windows_checked(&self) -> usize {
+        self.windows_checked
+    }
+
+    /// Resident-memory counters (see [`SessionFootprint`]).
+    pub fn footprint(&self) -> SessionFootprint {
+        SessionFootprint {
+            events: self.events,
+            buffered_observations: self.pending.len() + self.recent.len(),
+            distinct_observation_windows: self
+                .abstractor
+                .as_ref()
+                .map_or(0, WindowAbstractor::distinct_windows),
+            distinct_predicates: self.alphabet.len(),
+            distinct_windows: self.seen.len(),
+            deviations: self.deviations.len(),
+        }
+    }
+
+    /// Calibrates the abstractor on the buffered prefix and replays the
+    /// prefix through the incremental pipeline.
+    fn calibrate_and_replay(&mut self, symbols: &SymbolTable) -> Result<Verdict, LearnError> {
+        let pending = std::mem::take(&mut self.pending);
+        let abstractor = WindowAbstractor::from_calibration_shards(
+            &self.signature,
+            symbols,
+            &[&pending],
+            self.window,
+            self.monitor.config.synthesis.clone(),
+            &self.monitor.config.input_variables,
+        )?;
+        self.abstractor = Some(abstractor);
+        let mut verdict = Verdict::default();
+        for observation in &pending {
+            verdict.absorb(self.step_calibrated(observation, symbols));
+        }
+        Ok(verdict)
+    }
+
+    fn step(&mut self, observation: &Valuation, symbols: &SymbolTable) -> Verdict {
+        self.step_calibrated(observation, symbols)
+    }
+
+    /// One observation through the calibrated pipeline: slide the
+    /// observation window, abstract it to a predicate, slide the predicate
+    /// window, check it when complete.
+    fn step_calibrated(&mut self, observation: &Valuation, symbols: &SymbolTable) -> Verdict {
+        if self.recent.len() == self.window {
+            self.recent.rotate_left(1);
+            *self.recent.last_mut().expect("window >= 2") = observation.clone();
+        } else {
+            self.recent.push(observation.clone());
+        }
+        if self.recent.len() < self.window {
+            return Verdict::default();
+        }
+        let abstractor = self
+            .abstractor
+            .as_mut()
+            .expect("calibrated before stepping");
+        let pred = abstractor.predicate_id(&self.recent, &mut self.alphabet);
+        if pred.index() == self.labels.len() {
+            // First sighting of this stream predicate: render once and map
+            // it onto the model's alphabet via the canonical rendered form.
+            let text = self.alphabet.render(pred, &self.signature, symbols);
+            self.labels.push(self.monitor.known.get(&text).copied());
+            self.rendered.push(text);
+        }
+        self.positions += 1;
+        if self.pred_window.len() == self.window {
+            self.pred_window.rotate_left(1);
+            *self.pred_window.last_mut().expect("window >= 2") = pred;
+        } else {
+            self.pred_window.push(pred);
+        }
+        if self.pred_window.len() < self.window {
+            return Verdict::default();
+        }
+        // The window starting at this position just closed. Because windows
+        // are checked in stream order, a novel window's position *is* its
+        // first occurrence — no fallible lookup needed.
+        let position = self.positions - self.window;
+        self.check_window(position)
+    }
+
+    /// Checks the current predicate window (novel windows only; repeats are
+    /// deduplicated). Also used by [`finish`](Self::finish) for the single
+    /// short window of a stream with fewer than `window` positions.
+    fn check_window(&mut self, position: usize) -> Verdict {
+        if self.seen.contains(self.pred_window.as_slice()) {
+            return Verdict {
+                windows_closed: 1,
+                novel_windows: 0,
+                deviations: Vec::new(),
+            };
+        }
+        self.seen.insert(self.pred_window.clone());
+        self.windows_checked += 1;
+        let kind = if self
+            .pred_window
+            .iter()
+            .any(|p| self.labels[p.index()].is_none())
+        {
+            Some(DeviationKind::UnknownPredicate)
+        } else {
+            self.tracker.reset_to_all();
+            let dead = self.pred_window.iter().any(|p| {
+                let label = self.labels[p.index()].expect("all labels known");
+                !self.tracker.push(&label)
+            });
+            dead.then_some(DeviationKind::NoPath)
+        };
+        let deviations = match kind {
+            None => Vec::new(),
+            Some(kind) => {
+                let deviation = Deviation {
+                    position,
+                    window: self
+                        .pred_window
+                        .iter()
+                        .map(|p| self.rendered[p.index()].clone())
+                        .collect(),
+                    kind,
+                };
+                self.deviations.push(deviation.clone());
+                vec![deviation]
+            }
+        };
+        Verdict {
+            windows_closed: 1,
+            novel_windows: 1,
+            deviations,
+        }
     }
 }
 
@@ -251,6 +605,14 @@ mod tests {
             .deviations
             .iter()
             .any(|d| d.kind == DeviationKind::UnknownPredicate));
+        // Deviation positions are first occurrences, reported in stream
+        // order: strictly increasing, and the clean prefix (the counter
+        // behaves for 36 steps) keeps the first one away from position 0.
+        assert!(report.deviations[0].position > 0);
+        assert!(report
+            .deviations
+            .windows(2)
+            .all(|pair| pair[0].position < pair[1].position));
     }
 
     #[test]
@@ -286,6 +648,116 @@ mod tests {
             .deviations
             .iter()
             .any(|d| d.kind == DeviationKind::NoPath));
+    }
+
+    #[test]
+    fn session_push_event_matches_batch_check() {
+        // Event-valued streams are insensitive to the calibration prefix, so
+        // an eagerly calibrated session must agree with the batch replay
+        // byte for byte.
+        let train = rtlinux::generate(&rtlinux::RtLinuxConfig {
+            length: 2000,
+            seed: 3,
+        });
+        let model = learner().learn(&train).unwrap();
+        let monitor = Monitor::new(&model, LearnerConfig::default());
+        let fresh = rtlinux::generate(&rtlinux::RtLinuxConfig {
+            length: 700,
+            seed: 9,
+        });
+        let batch = monitor.check(&fresh).unwrap();
+        let mut session = monitor
+            .session_with_calibration(fresh.signature(), 64)
+            .unwrap();
+        let mut closed = 0;
+        for observation in fresh.observations() {
+            closed += session
+                .push_event(observation, fresh.symbols())
+                .unwrap()
+                .windows_closed;
+        }
+        // Every position of the predicate sequence closes exactly once.
+        assert_eq!(closed, fresh.len() - 2 * (monitor.config.window - 1));
+        let incremental = session.finish(fresh.symbols()).unwrap();
+        assert_eq!(batch, incremental);
+    }
+
+    #[test]
+    fn session_warms_up_then_reports_short_streams() {
+        let train = counter::generate(&counter::CounterConfig {
+            threshold: 8,
+            length: 200,
+        });
+        let model = learner().learn(&train).unwrap();
+        let monitor = Monitor::new(&model, LearnerConfig::default());
+
+        // Fewer observations than the window: every verdict is warmup and
+        // finish rejects the stream exactly like the batch path.
+        let mut short = monitor.session(model.signature()).unwrap();
+        let observation = counter::generate(&counter::CounterConfig {
+            threshold: 8,
+            length: 10,
+        });
+        for obs in observation.observations().iter().take(2) {
+            let verdict = short.push_event(obs, observation.symbols()).unwrap();
+            assert!(verdict.is_warmup() && verdict.is_clean());
+        }
+        assert!(matches!(
+            short.finish(observation.symbols()),
+            Err(LearnError::TraceTooShort { .. })
+        ));
+
+        // window <= stream < 2*window - 1: one short window, like batch.
+        let mut session = monitor.session(model.signature()).unwrap();
+        for obs in observation.observations().iter().take(4) {
+            session.push_event(obs, observation.symbols()).unwrap();
+        }
+        let report = session.finish(observation.symbols()).unwrap();
+        assert_eq!(report.windows_checked, 1);
+        let batch_short = {
+            let sig = observation.signature().clone();
+            let symbols = observation.symbols().clone();
+            let obs = observation.observations()[..4].to_vec();
+            let prefix = Trace::from_parts(sig, symbols, obs).unwrap();
+            monitor.check(&prefix).unwrap()
+        };
+        assert_eq!(report, batch_short);
+    }
+
+    #[test]
+    fn session_footprint_tracks_distinct_not_total() {
+        let train = counter::generate(&counter::CounterConfig {
+            threshold: 8,
+            length: 400,
+        });
+        let model = learner().learn(&train).unwrap();
+        let monitor = Monitor::new(&model, LearnerConfig::default());
+        let fresh = counter::generate(&counter::CounterConfig {
+            threshold: 8,
+            length: 3000,
+        });
+        let mut session = monitor
+            .session_with_calibration(fresh.signature(), 64)
+            .unwrap();
+        let mut midway = None;
+        for (i, observation) in fresh.observations().iter().enumerate() {
+            session.push_event(observation, fresh.symbols()).unwrap();
+            if i == 1000 {
+                midway = Some(session.footprint());
+            }
+        }
+        let end = session.footprint();
+        let midway = midway.unwrap();
+        assert_eq!(end.events, 3000);
+        // The periodic counter stops producing novelty: every distinct-count
+        // plateaus while events keep growing.
+        assert_eq!(midway.distinct_predicates, end.distinct_predicates);
+        assert_eq!(midway.distinct_windows, end.distinct_windows);
+        assert_eq!(
+            midway.distinct_observation_windows,
+            end.distinct_observation_windows
+        );
+        assert!(end.buffered_observations <= 64 + monitor.config.window);
     }
 
     #[test]

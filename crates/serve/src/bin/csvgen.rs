@@ -1,0 +1,62 @@
+//! `csvgen` — stream a benchmark workload to stdout as CSV.
+//!
+//! ```text
+//! csvgen <benchmark> <length> [seed]
+//! ```
+//!
+//! Rows go straight from the simulator to stdout without materialising the
+//! trace, so arbitrarily long workloads cost constant memory. Pairs with
+//! `served --pipe` for end-to-end smoke tests:
+//!
+//! ```text
+//! csvgen counter 2000 | served --model c=workload:counter:2000 --pipe c
+//! ```
+
+use std::io::{self, BufWriter, Write};
+use std::process::ExitCode;
+
+use tracelearn_serve::workload_by_name;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let usage = "usage: csvgen <benchmark> <length> [seed]";
+    let (benchmark, length, seed) = match args.as_slice() {
+        [benchmark, length] => (benchmark, length, None),
+        [benchmark, length, seed] => (benchmark, length, Some(seed)),
+        _ => {
+            eprintln!("{usage}");
+            return ExitCode::from(2);
+        }
+    };
+    let Some(workload) = workload_by_name(benchmark) else {
+        eprintln!(
+            "csvgen: unknown benchmark {benchmark:?} (try usb_slot, usb_attach, counter, \
+             serial_port, linux_kernel, integrator)"
+        );
+        return ExitCode::from(2);
+    };
+    let Ok(length) = length.parse::<usize>() else {
+        eprintln!("csvgen: bad length {length:?}\n{usage}");
+        return ExitCode::from(2);
+    };
+    let seed = match seed {
+        Some(seed) => match seed.parse::<u64>() {
+            Ok(seed) => seed,
+            Err(_) => {
+                eprintln!("csvgen: bad seed {seed:?}\n{usage}");
+                return ExitCode::from(2);
+            }
+        },
+        None => 0xDAC2020,
+    };
+    let mut stdout = BufWriter::new(io::stdout().lock());
+    if let Err(e) = workload.write_csv(length, seed, &mut stdout) {
+        eprintln!("csvgen: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = stdout.flush() {
+        eprintln!("csvgen: {e}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,142 @@
+//! `served` — the model-serving daemon.
+//!
+//! Loads a registry of learned models, then monitors event streams against
+//! them incrementally:
+//!
+//! ```text
+//! served --model NAME=SPEC [--model NAME=SPEC ...]
+//!        [--workers N] [--calibration N]
+//!        [--pipe MODEL | --socket PATH]
+//! ```
+//!
+//! Model specs are `name=workload:<benchmark>:<length>[:<seed>]` or
+//! `name=csv:<path>`. With `--pipe MODEL`, stdin is one raw CSV stream
+//! checked against that model. With `--socket PATH`, each Unix-socket
+//! connection is one raw CSV stream whose first line names the model. By
+//! default stdin speaks the multiplexed `open`/`data`/`close` protocol.
+//!
+//! Exits non-zero on startup errors or when any stream failed or deviated,
+//! so a clean run is scriptable: `served ... --pipe m < trace.csv && echo ok`.
+
+use std::io::{self, BufWriter, Write};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use tracelearn_serve::{
+    serve_commands, serve_csv_stream, serve_socket, ModelSpec, Registry, ServeOptions,
+};
+
+#[derive(Debug)]
+enum Mode {
+    Multiplexed,
+    Pipe(String),
+    Socket(PathBuf),
+}
+
+#[derive(Debug)]
+struct Args {
+    specs: Vec<ModelSpec>,
+    options: ServeOptions,
+    mode: Mode,
+}
+
+fn usage() -> &'static str {
+    "usage: served --model NAME=SPEC [--model NAME=SPEC ...]\n\
+     \x20             [--workers N] [--calibration N]\n\
+     \x20             [--pipe MODEL | --socket PATH]\n\
+     \n\
+     SPEC is workload:<benchmark>:<length>[:<seed>] or csv:<path>.\n\
+     Benchmarks: usb_slot usb_attach counter serial_port linux_kernel integrator.\n\
+     Default mode reads the multiplexed open/data/close protocol from stdin."
+}
+
+fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
+    let mut specs = Vec::new();
+    let mut options = ServeOptions::default();
+    let mut mode = Mode::Multiplexed;
+    while let Some(flag) = argv.next() {
+        let mut value = |flag: &str| argv.next().ok_or_else(|| format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--model" | "-m" => {
+                let spec = value("--model")?;
+                specs.push(ModelSpec::parse(&spec).map_err(|e| e.to_string())?);
+            }
+            "--workers" => {
+                options.workers = value("--workers")?
+                    .parse::<usize>()
+                    .map_err(|e| format!("bad --workers: {e}"))?
+                    .max(1);
+            }
+            "--calibration" => {
+                options.calibration_events = value("--calibration")?
+                    .parse::<usize>()
+                    .map_err(|e| format!("bad --calibration: {e}"))?;
+            }
+            "--pipe" => mode = Mode::Pipe(value("--pipe")?),
+            "--socket" => mode = Mode::Socket(PathBuf::from(value("--socket")?)),
+            "--help" | "-h" => return Err(usage().to_string()),
+            other => return Err(format!("unknown flag {other:?}\n\n{}", usage())),
+        }
+    }
+    if specs.is_empty() {
+        return Err(format!("at least one --model is required\n\n{}", usage()));
+    }
+    Ok(Args {
+        specs,
+        options,
+        mode,
+    })
+}
+
+fn run(args: &Args) -> Result<bool, String> {
+    let registry = Registry::load(&args.specs).map_err(|e| e.to_string())?;
+    let monitors = registry.monitors();
+    let stdin = io::stdin().lock();
+    let clean = match &args.mode {
+        Mode::Multiplexed => {
+            // `StdoutLock` is not `Send`; the owned handle locks per write.
+            let stdout = BufWriter::new(io::stdout());
+            let summary = serve_commands(&monitors, stdin, stdout, &args.options)
+                .map_err(|e| format!("serving failed: {e}"))?;
+            eprintln!(
+                "served: {} streams, {} events, {} deviations",
+                summary.streams, summary.events, summary.deviations
+            );
+            summary.deviations == 0
+        }
+        Mode::Pipe(model) => {
+            let monitor = monitors
+                .get(model)
+                .ok_or_else(|| format!("unknown model {model:?} for --pipe"))?;
+            let mut stdout = BufWriter::new(io::stdout().lock());
+            let outcome = serve_csv_stream(monitor, model, stdin, &mut stdout, &args.options)
+                .map_err(|e| format!("serving failed: {e}"))?;
+            stdout.flush().map_err(|e| format!("serving failed: {e}"))?;
+            !outcome.failed && outcome.deviations == 0
+        }
+        Mode::Socket(path) => {
+            let summary = serve_socket(path, &monitors, &args.options, None)
+                .map_err(|e| format!("serving failed: {e}"))?;
+            summary.deviations == 0
+        }
+    };
+    Ok(clean)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args(std::env::args().skip(1)) {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&args) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(message) => {
+            eprintln!("served: {message}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,696 @@
+//! The serving engine: many concurrent event streams, one worker pool.
+//!
+//! [`serve_commands`] drives the multiplexed protocol of [`crate::protocol`]:
+//! a dispatcher thread parses commands and shards them onto a fixed pool of
+//! scoped workers by hashing the stream name, so every stream is owned by
+//! exactly one worker and its events are checked in arrival order without any
+//! cross-worker locking. Workers hold one [`MonitorSession`] per open stream
+//! (bounded resident memory per stream) and funnel verdict lines through one
+//! shared writer.
+//!
+//! [`serve_csv_stream`] is the single-stream fast path — a raw CSV document
+//! with no command framing — used by the daemon's `--pipe` mode and by each
+//! Unix-socket connection of [`serve_socket`].
+
+use std::collections::hash_map::{DefaultHasher, Entry};
+use std::collections::{BTreeMap, HashMap};
+use std::hash::{Hash, Hasher};
+use std::io::{self, BufRead, BufReader, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::Path;
+use std::sync::{mpsc, Mutex};
+use std::thread;
+use std::time::Instant;
+
+use crate::latency::LatencyHistogram;
+use crate::protocol::{error_line, parse_command, summary_line, verdict_line, Command};
+use tracelearn_core::{Monitor, MonitorSession, DEFAULT_CALIBRATION_EVENTS};
+use tracelearn_trace::{CsvRecordDecoder, StreamingCsvReader};
+
+/// Tuning knobs for a serving run.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Number of pool workers for the multiplexed protocol (streams are
+    /// sharded over them by name; at least 1).
+    pub workers: usize,
+    /// Observations each session buffers before calibrating its abstractor.
+    pub calibration_events: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        let workers = thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(8);
+        ServeOptions {
+            workers,
+            calibration_events: DEFAULT_CALIBRATION_EVENTS,
+        }
+    }
+}
+
+/// What a serving run processed, summed over all streams.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Streams that were opened and reached their close (explicit or EOF).
+    pub streams: usize,
+    /// Events pushed through monitor sessions.
+    pub events: usize,
+    /// Deviations across all stream reports.
+    pub deviations: usize,
+}
+
+/// What one raw CSV stream produced.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamOutcome {
+    /// Events pushed through the session.
+    pub events: usize,
+    /// Deviations in the final report.
+    pub deviations: usize,
+    /// Whether the stream aborted before a summary could be emitted.
+    pub failed: bool,
+}
+
+#[derive(Debug, Default)]
+struct WorkerTotals {
+    streams: usize,
+    events: usize,
+    deviations: usize,
+}
+
+/// One open stream owned by a pool worker.
+struct StreamState<'m> {
+    monitor: &'m Monitor<'m>,
+    decoder: Option<CsvRecordDecoder>,
+    session: Option<MonitorSession<'m>>,
+    seq: u64,
+    events: usize,
+    latency: LatencyHistogram,
+    failed: bool,
+}
+
+impl<'m> StreamState<'m> {
+    fn new(monitor: &'m Monitor<'m>) -> Self {
+        StreamState {
+            monitor,
+            decoder: None,
+            session: None,
+            seq: 0,
+            events: 0,
+            latency: LatencyHistogram::new(),
+            failed: false,
+        }
+    }
+
+    /// Feeds one CSV record (the first is the header) into the stream.
+    fn data<W: Write>(
+        &mut self,
+        name: &str,
+        payload: &str,
+        options: &ServeOptions,
+        output: &Mutex<W>,
+    ) {
+        if self.failed {
+            return;
+        }
+        if self.decoder.is_none() {
+            match CsvRecordDecoder::from_header(payload) {
+                Ok(decoder) => {
+                    if decoder.signature() != self.monitor.model().signature() {
+                        emit(
+                            output,
+                            &error_line(name, "stream signature does not match the model"),
+                        );
+                        self.failed = true;
+                        return;
+                    }
+                    match self
+                        .monitor
+                        .session_with_calibration(decoder.signature(), options.calibration_events)
+                    {
+                        Ok(session) => {
+                            self.session = Some(session);
+                            self.decoder = Some(decoder);
+                        }
+                        Err(e) => {
+                            emit(output, &error_line(name, &e.to_string()));
+                            self.failed = true;
+                        }
+                    }
+                }
+                Err(e) => {
+                    emit(output, &error_line(name, &e.to_string()));
+                    self.failed = true;
+                }
+            }
+            return;
+        }
+        let decoder = self.decoder.as_mut().expect("decoder exists past header");
+        // The header was input line 1 of this stream.
+        let observation = match decoder.decode(payload, self.events + 2) {
+            Ok(observation) => observation,
+            Err(e) => {
+                emit(output, &error_line(name, &e.to_string()));
+                self.failed = true;
+                return;
+            }
+        };
+        let session = self.session.as_mut().expect("session exists past header");
+        let start = Instant::now();
+        match session.push_event(&observation, decoder.symbols()) {
+            Ok(verdict) => {
+                self.latency.record(start.elapsed());
+                self.events += 1;
+                self.seq += 1;
+                emit(output, &verdict_line(name, self.seq, &verdict));
+            }
+            Err(e) => {
+                emit(output, &error_line(name, &e.to_string()));
+                self.failed = true;
+            }
+        }
+    }
+
+    /// Finishes the stream: end-of-trace checks and the summary line.
+    fn close<W: Write>(self, name: &str, output: &Mutex<W>, totals: &mut WorkerTotals) {
+        totals.streams += 1;
+        totals.events += self.events;
+        if self.failed {
+            // The failure was already reported on its own error line.
+            return;
+        }
+        let (Some(session), Some(decoder)) = (self.session, self.decoder) else {
+            emit(
+                output,
+                &error_line(name, "closed before the CSV header arrived"),
+            );
+            return;
+        };
+        match session.finish(decoder.symbols()) {
+            Ok(report) => {
+                totals.deviations += report.deviations.len();
+                emit(
+                    output,
+                    &summary_line(name, self.events, &report, &self.latency),
+                );
+            }
+            Err(e) => emit(output, &error_line(name, &e.to_string())),
+        }
+    }
+}
+
+fn emit<W: Write>(output: &Mutex<W>, line: &str) {
+    let mut guard = output
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    // A reader that hung up is not the monitor's problem; keep serving.
+    let _ = writeln!(guard, "{line}");
+}
+
+fn worker_for(stream: &str, workers: usize) -> usize {
+    let mut hasher = DefaultHasher::new();
+    stream.hash(&mut hasher);
+    (hasher.finish() % workers as u64) as usize
+}
+
+fn run_worker<'m, W: Write>(
+    monitors: &BTreeMap<String, Monitor<'m>>,
+    commands: mpsc::Receiver<Command>,
+    options: &ServeOptions,
+    output: &Mutex<W>,
+) -> WorkerTotals {
+    let mut streams: HashMap<String, StreamState<'_>> = HashMap::new();
+    let mut totals = WorkerTotals::default();
+    for command in commands {
+        match command {
+            Command::Open { stream, model } => match streams.entry(stream) {
+                Entry::Occupied(occupied) => {
+                    emit(output, &error_line(occupied.key(), "stream already open"));
+                }
+                Entry::Vacant(vacant) => {
+                    if let Some(monitor) = monitors.get(&model) {
+                        vacant.insert(StreamState::new(monitor));
+                    } else {
+                        emit(
+                            output,
+                            &error_line(vacant.key(), &format!("unknown model {model:?}")),
+                        );
+                    }
+                }
+            },
+            Command::Data { stream, payload } => match streams.get_mut(&stream) {
+                Some(state) => state.data(&stream, &payload, options, output),
+                None => emit(output, &error_line(&stream, "data before open")),
+            },
+            Command::Close { stream } => match streams.remove(&stream) {
+                Some(state) => state.close(&stream, output, &mut totals),
+                None => emit(output, &error_line(&stream, "close before open")),
+            },
+        }
+    }
+    // End of input closes every remaining stream, in a stable order.
+    let mut remaining: Vec<(String, StreamState<'_>)> = streams.drain().collect();
+    remaining.sort_by(|a, b| a.0.cmp(&b.0));
+    for (name, state) in remaining {
+        state.close(&name, output, &mut totals);
+    }
+    totals
+}
+
+/// Serves the multiplexed `open`/`data`/`close` protocol from `input`,
+/// writing verdicts, summaries and errors to `output`.
+///
+/// Commands for the same stream are processed strictly in input order; the
+/// interleaving of *different* streams' output lines depends on worker
+/// scheduling (use one worker for fully deterministic output).
+///
+/// # Errors
+///
+/// Returns the underlying I/O error when reading `input` fails. Malformed
+/// commands and per-stream monitoring failures are reported as `error` lines
+/// instead.
+pub fn serve_commands<R: BufRead, W: Write + Send>(
+    monitors: &BTreeMap<String, Monitor<'_>>,
+    input: R,
+    output: W,
+    options: &ServeOptions,
+) -> io::Result<ServeSummary> {
+    let workers = options.workers.max(1);
+    let output = Mutex::new(output);
+    thread::scope(|scope| -> io::Result<ServeSummary> {
+        let mut senders = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (sender, receiver) = mpsc::channel::<Command>();
+            senders.push(sender);
+            let output = &output;
+            handles.push(scope.spawn(move || run_worker(monitors, receiver, options, output)));
+        }
+        for line in input.lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            match parse_command(&line) {
+                Ok(command) => {
+                    let worker = worker_for(command.stream(), workers);
+                    // A worker can only be gone if it panicked; join reports it.
+                    let _ = senders[worker].send(command);
+                }
+                Err(message) => emit(&output, &error_line("-", &message)),
+            }
+        }
+        drop(senders);
+        let mut summary = ServeSummary::default();
+        for handle in handles {
+            let totals = handle.join().expect("serve worker panicked");
+            summary.streams += totals.streams;
+            summary.events += totals.events;
+            summary.deviations += totals.deviations;
+        }
+        Ok(summary)
+    })
+}
+
+/// Serves one raw CSV document (header first, no command framing) against a
+/// single model, emitting the same verdict/summary/error lines as the
+/// multiplexed protocol.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error when writing `output` fails; trace and
+/// monitoring failures become `error` lines and a `failed` outcome.
+pub fn serve_csv_stream<R: BufRead, W: Write>(
+    monitor: &Monitor<'_>,
+    stream_name: &str,
+    input: R,
+    mut output: W,
+    options: &ServeOptions,
+) -> io::Result<StreamOutcome> {
+    let mut outcome = StreamOutcome::default();
+    let failed = |output: &mut W, message: &str, outcome: &mut StreamOutcome| {
+        outcome.failed = true;
+        writeln!(output, "{}", error_line(stream_name, message))
+    };
+    let mut reader = match StreamingCsvReader::new(input) {
+        Ok(reader) => reader,
+        Err(e) => {
+            failed(&mut output, &e.to_string(), &mut outcome)?;
+            return Ok(outcome);
+        }
+    };
+    if reader.signature() != monitor.model().signature() {
+        failed(
+            &mut output,
+            "stream signature does not match the model",
+            &mut outcome,
+        )?;
+        return Ok(outcome);
+    }
+    let mut session =
+        match monitor.session_with_calibration(reader.signature(), options.calibration_events) {
+            Ok(session) => session,
+            Err(e) => {
+                failed(&mut output, &e.to_string(), &mut outcome)?;
+                return Ok(outcome);
+            }
+        };
+    let mut latency = LatencyHistogram::new();
+    let mut seq = 0u64;
+    loop {
+        let observation = match reader.next_observation() {
+            Ok(Some(observation)) => observation,
+            Ok(None) => break,
+            Err(e) => {
+                failed(&mut output, &e.to_string(), &mut outcome)?;
+                return Ok(outcome);
+            }
+        };
+        let start = Instant::now();
+        match session.push_event(&observation, reader.symbols()) {
+            Ok(verdict) => {
+                latency.record(start.elapsed());
+                outcome.events += 1;
+                seq += 1;
+                writeln!(output, "{}", verdict_line(stream_name, seq, &verdict))?;
+            }
+            Err(e) => {
+                failed(&mut output, &e.to_string(), &mut outcome)?;
+                return Ok(outcome);
+            }
+        }
+    }
+    match session.finish(reader.symbols()) {
+        Ok(report) => {
+            outcome.deviations = report.deviations.len();
+            writeln!(
+                output,
+                "{}",
+                summary_line(stream_name, outcome.events, &report, &latency)
+            )?;
+        }
+        Err(e) => failed(&mut output, &e.to_string(), &mut outcome)?,
+    }
+    Ok(outcome)
+}
+
+/// Accepts Unix-socket connections on `path` and serves each as one raw CSV
+/// stream: the first line names the registry model, the rest is the CSV
+/// document. Connections are handled on scoped threads; `max_connections`
+/// bounds how many are accepted before returning (`None` serves forever).
+///
+/// # Errors
+///
+/// Returns binding/accept errors; per-connection failures are reported on
+/// that connection and counted as failed streams.
+pub fn serve_socket(
+    path: &Path,
+    monitors: &BTreeMap<String, Monitor<'_>>,
+    options: &ServeOptions,
+    max_connections: Option<usize>,
+) -> io::Result<ServeSummary> {
+    // A stale socket file from a previous run would make bind fail.
+    let _ = std::fs::remove_file(path);
+    let listener = UnixListener::bind(path)?;
+    thread::scope(|scope| -> io::Result<ServeSummary> {
+        let mut handles = Vec::new();
+        for (index, connection) in listener.incoming().enumerate() {
+            let connection = connection?;
+            handles
+                .push(scope.spawn(move || handle_connection(connection, index, monitors, options)));
+            if max_connections.is_some_and(|max| index + 1 >= max) {
+                break;
+            }
+        }
+        let mut summary = ServeSummary::default();
+        for handle in handles {
+            let outcome = handle.join().expect("connection handler panicked");
+            summary.streams += 1;
+            summary.events += outcome.events;
+            summary.deviations += outcome.deviations;
+        }
+        Ok(summary)
+    })
+}
+
+fn handle_connection(
+    connection: UnixStream,
+    index: usize,
+    monitors: &BTreeMap<String, Monitor<'_>>,
+    options: &ServeOptions,
+) -> StreamOutcome {
+    let stream_name = format!("conn{index}");
+    let aborted = StreamOutcome {
+        failed: true,
+        ..StreamOutcome::default()
+    };
+    let Ok(read_half) = connection.try_clone() else {
+        return aborted;
+    };
+    let mut writer = connection;
+    let mut reader = BufReader::new(read_half);
+    let mut first = String::new();
+    if reader.read_line(&mut first).is_err() {
+        return aborted;
+    }
+    let model = first.trim();
+    let Some(monitor) = monitors.get(model) else {
+        let _ = writeln!(
+            writer,
+            "{}",
+            error_line(&stream_name, &format!("unknown model {model:?}"))
+        );
+        return aborted;
+    };
+    serve_csv_stream(monitor, &stream_name, reader, &mut writer, options).unwrap_or(aborted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{ModelSpec, Registry};
+    use tracelearn_workloads::Workload;
+
+    fn counter_registry() -> Registry {
+        let specs = vec![ModelSpec::parse("counter=workload:counter:600").unwrap()];
+        Registry::load(&specs).unwrap()
+    }
+
+    fn counter_csv(length: usize) -> String {
+        let mut csv = Vec::new();
+        Workload::Counter
+            .write_csv(length, 0xDAC2020, &mut csv)
+            .unwrap();
+        String::from_utf8(csv).unwrap()
+    }
+
+    fn test_options(workers: usize) -> ServeOptions {
+        ServeOptions {
+            workers,
+            calibration_events: 64,
+        }
+    }
+
+    #[test]
+    fn multiplexed_streams_are_served_and_summarised() {
+        let registry = counter_registry();
+        let monitors = registry.monitors();
+        let csv = counter_csv(300);
+        let mut lines = csv.lines();
+        let header = lines.next().unwrap();
+        let records: Vec<&str> = lines.collect();
+
+        let mut input = String::new();
+        input.push_str("open a counter\nopen b counter\n");
+        input.push_str(&format!("data a {header}\ndata b {header}\n"));
+        for record in &records {
+            input.push_str(&format!("data a {record}\ndata b {record}\n"));
+        }
+        input.push_str("close a\n");
+        // Stream b is left open: end of input must close it.
+
+        let mut output = Vec::new();
+        let summary =
+            serve_commands(&monitors, input.as_bytes(), &mut output, &test_options(1)).unwrap();
+
+        assert_eq!(summary.streams, 2);
+        assert_eq!(summary.events, 2 * records.len());
+        assert_eq!(summary.deviations, 0);
+
+        let output = String::from_utf8(output).unwrap();
+        let verdicts = output.lines().filter(|l| l.starts_with("verdict ")).count();
+        assert_eq!(verdicts, 2 * records.len());
+        let summaries: Vec<&str> = output
+            .lines()
+            .filter(|l| l.starts_with("summary "))
+            .collect();
+        assert_eq!(summaries.len(), 2);
+        for line in summaries {
+            assert!(line.contains("deviations=0"), "unexpected summary: {line}");
+        }
+        assert!(!output.contains("error "), "unexpected error in: {output}");
+    }
+
+    #[test]
+    fn per_stream_order_survives_many_workers() {
+        let registry = counter_registry();
+        let monitors = registry.monitors();
+        let csv = counter_csv(300);
+        let mut lines = csv.lines();
+        let header = lines.next().unwrap();
+        let records: Vec<&str> = lines.collect();
+
+        let names = ["s0", "s1", "s2", "s3", "s4"];
+        let mut input = String::new();
+        for name in names {
+            input.push_str(&format!("open {name} counter\ndata {name} {header}\n"));
+        }
+        for record in &records {
+            for name in names {
+                input.push_str(&format!("data {name} {record}\n"));
+            }
+        }
+        for name in names {
+            input.push_str(&format!("close {name}\n"));
+        }
+
+        let mut output = Vec::new();
+        let summary =
+            serve_commands(&monitors, input.as_bytes(), &mut output, &test_options(4)).unwrap();
+        assert_eq!(summary.streams, names.len());
+        assert_eq!(summary.deviations, 0);
+
+        // Each stream's sequence numbers must appear in order even though
+        // workers interleave their writes.
+        let output = String::from_utf8(output).unwrap();
+        for name in names {
+            let prefix = format!("verdict {name} seq=");
+            let mut expected = 1u64;
+            for line in output.lines().filter(|l| l.starts_with(&prefix)) {
+                let seq: u64 = line[prefix.len()..]
+                    .split_whitespace()
+                    .next()
+                    .unwrap()
+                    .parse()
+                    .unwrap();
+                assert_eq!(seq, expected, "out-of-order verdict for {name}: {line}");
+                expected += 1;
+            }
+            assert_eq!(expected, records.len() as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn protocol_errors_are_reported_not_fatal() {
+        let registry = counter_registry();
+        let monitors = registry.monitors();
+        let input = "open s nosuchmodel\n\
+                     data ghost 1\n\
+                     close ghost\n\
+                     frobnicate s\n";
+        let mut output = Vec::new();
+        let summary =
+            serve_commands(&monitors, input.as_bytes(), &mut output, &test_options(1)).unwrap();
+        assert_eq!(summary, ServeSummary::default());
+        let output = String::from_utf8(output).unwrap();
+        assert!(output.contains("error s unknown model"));
+        assert!(output.contains("error ghost data before open"));
+        assert!(output.contains("error ghost close before open"));
+        assert!(output.contains("error - unknown verb"));
+    }
+
+    #[test]
+    fn csv_stream_of_the_same_system_is_clean() {
+        let registry = counter_registry();
+        let monitors = registry.monitors();
+        let monitor = &monitors["counter"];
+        let csv = counter_csv(300);
+        let mut output = Vec::new();
+        let outcome = serve_csv_stream(
+            monitor,
+            "pipe",
+            csv.as_bytes(),
+            &mut output,
+            &test_options(1),
+        )
+        .unwrap();
+        assert!(!outcome.failed);
+        assert_eq!(outcome.deviations, 0);
+        assert_eq!(outcome.events, 300);
+        let output = String::from_utf8(output).unwrap();
+        assert!(output.contains("summary pipe events=300"));
+        assert!(output.contains("deviations=0"));
+    }
+
+    #[test]
+    fn csv_stream_of_a_deviating_system_is_flagged() {
+        let registry = counter_registry();
+        let monitors = registry.monitors();
+        let monitor = &monitors["counter"];
+        // Same signature as the counter, but the value teleports: the model
+        // has no `x' = x - 30` behaviour.
+        let header = counter_csv(10).lines().next().unwrap().to_string();
+        let mut csv = header + "\n";
+        let mut value = 1i64;
+        for step in 0..200 {
+            csv.push_str(&format!("{value}\n"));
+            value += if step % 40 == 39 { -30 } else { 1 };
+        }
+        let mut output = Vec::new();
+        let outcome = serve_csv_stream(
+            monitor,
+            "dev",
+            csv.as_bytes(),
+            &mut output,
+            &test_options(1),
+        )
+        .unwrap();
+        assert!(!outcome.failed);
+        assert!(outcome.deviations > 0, "expected deviations: {outcome:?}");
+        let output = String::from_utf8(output).unwrap();
+        assert!(
+            output.contains("status=deviation"),
+            "no deviation in: {output}"
+        );
+    }
+
+    #[test]
+    fn socket_connections_serve_full_streams() {
+        let registry = counter_registry();
+        let monitors = registry.monitors();
+        let path =
+            std::env::temp_dir().join(format!("tracelearn-serve-test-{}.sock", std::process::id()));
+        let options = test_options(1);
+        let csv = counter_csv(300);
+
+        let summary = thread::scope(|scope| {
+            let server = scope.spawn(|| serve_socket(&path, &monitors, &options, Some(1)));
+            // Wait for the listener to bind.
+            let mut connection = None;
+            for _ in 0..200 {
+                match UnixStream::connect(&path) {
+                    Ok(c) => {
+                        connection = Some(c);
+                        break;
+                    }
+                    Err(_) => thread::sleep(std::time::Duration::from_millis(5)),
+                }
+            }
+            let mut connection = connection.expect("server never bound its socket");
+            connection.write_all(b"counter\n").unwrap();
+            connection.write_all(csv.as_bytes()).unwrap();
+            connection.shutdown(std::net::Shutdown::Write).unwrap();
+            let mut response = String::new();
+            use std::io::Read;
+            connection.read_to_string(&mut response).unwrap();
+            assert!(response.contains("summary conn0 events=300"), "{response}");
+            assert!(response.contains("deviations=0"), "{response}");
+            server.join().expect("server panicked").unwrap()
+        });
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(summary.streams, 1);
+        assert_eq!(summary.events, 300);
+        assert_eq!(summary.deviations, 0);
+    }
+}

@@ -1,0 +1,49 @@
+//! Error type for model loading and serving.
+
+use std::fmt;
+use tracelearn_core::LearnError;
+use tracelearn_trace::TraceError;
+
+/// Everything that can go wrong while loading models or serving streams.
+#[derive(Debug)]
+pub enum ServeError {
+    /// A malformed `name=source` model specification.
+    Spec(String),
+    /// Learning a registry model failed.
+    Learn(LearnError),
+    /// Reading or parsing a model's trace failed.
+    Trace(TraceError),
+    /// An I/O failure outside trace parsing.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Spec(message) => write!(f, "invalid model spec: {message}"),
+            ServeError::Learn(e) => write!(f, "learning failed: {e}"),
+            ServeError::Trace(e) => write!(f, "trace error: {e}"),
+            ServeError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<LearnError> for ServeError {
+    fn from(e: LearnError) -> Self {
+        ServeError::Learn(e)
+    }
+}
+
+impl From<TraceError> for ServeError {
+    fn from(e: TraceError) -> Self {
+        ServeError::Trace(e)
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}

@@ -1,0 +1,142 @@
+//! Constant-memory latency accounting for verdict emission.
+//!
+//! The serving contract of a runtime monitor is verdict *latency*, not batch
+//! throughput, so every stream tracks the distribution of its per-event
+//! check times. A fixed array of power-of-two buckets gives approximate
+//! quantiles (within 2× of the true value) at zero allocation per event —
+//! the same bounded-resident-memory discipline as the session itself.
+
+use std::time::Duration;
+
+/// Number of power-of-two nanosecond buckets: bucket `i` holds samples with
+/// `i` significant bits (bucket 0 = 0 ns, bucket 64 = the top of the u64
+/// range).
+const BUCKETS: usize = 65;
+
+/// A histogram of durations in power-of-two nanosecond buckets.
+///
+/// # Example
+///
+/// ```
+/// use std::time::Duration;
+/// use tracelearn_serve::LatencyHistogram;
+///
+/// let mut histogram = LatencyHistogram::new();
+/// for us in [1u64, 2, 3, 100] {
+///     histogram.record(Duration::from_micros(us));
+/// }
+/// assert_eq!(histogram.count(), 4);
+/// assert!(histogram.quantile_ns(0.5) >= 1_000);
+/// assert!(histogram.max_ns() >= 100_000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    max_ns: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            max_ns: 0,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram::default()
+    }
+
+    /// Records one duration.
+    pub fn record(&mut self, elapsed: Duration) {
+        let ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        let bucket = (64 - ns.leading_zeros()) as usize;
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The largest recorded duration in nanoseconds.
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns
+    }
+
+    /// An upper bound (within 2×) on the `q`-quantile in nanoseconds;
+    /// 0 when nothing was recorded.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for (bucket, &samples) in self.buckets.iter().enumerate() {
+            cumulative += samples;
+            if cumulative >= target {
+                let upper = if bucket >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << bucket) - 1
+                };
+                return upper.min(self.max_ns);
+            }
+        }
+        self.max_ns
+    }
+
+    /// The median, in microseconds (fractional).
+    pub fn p50_us(&self) -> f64 {
+        self.quantile_ns(0.5) as f64 / 1000.0
+    }
+
+    /// The 99th percentile, in microseconds (fractional).
+    pub fn p99_us(&self) -> f64 {
+        self.quantile_ns(0.99) as f64 / 1000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let histogram = LatencyHistogram::new();
+        assert_eq!(histogram.count(), 0);
+        assert_eq!(histogram.quantile_ns(0.5), 0);
+        assert_eq!(histogram.max_ns(), 0);
+    }
+
+    #[test]
+    fn quantiles_bound_the_samples() {
+        let mut histogram = LatencyHistogram::new();
+        for ns in [10u64, 20, 30, 40, 50, 60, 70, 80, 90, 10_000] {
+            histogram.record(Duration::from_nanos(ns));
+        }
+        let p50 = histogram.quantile_ns(0.5);
+        // Five of ten samples are <= 50ns; the bucket upper bound is 63.
+        assert!((50..=63).contains(&p50), "p50 = {p50}");
+        // The top quantile is capped at the true maximum, not the bucket top.
+        assert_eq!(histogram.quantile_ns(1.0), 10_000);
+        assert_eq!(histogram.max_ns(), 10_000);
+        assert!(histogram.p99_us() <= 10.0);
+    }
+
+    #[test]
+    fn zero_and_huge_durations_do_not_panic() {
+        let mut histogram = LatencyHistogram::new();
+        histogram.record(Duration::ZERO);
+        histogram.record(Duration::from_secs(u64::MAX / 1_000_000_000));
+        assert_eq!(histogram.count(), 2);
+        assert!(histogram.quantile_ns(0.0) <= histogram.quantile_ns(1.0));
+    }
+}

@@ -1,0 +1,41 @@
+//! Incremental model-serving for learned trace models.
+//!
+//! The rest of the workspace *learns* concise automata from long execution
+//! traces (the DAC 2020 pipeline); this crate *serves* them. A daemon loads a
+//! registry of learned models once, then monitors many concurrent event
+//! streams against them — one bounded-memory [`MonitorSession`] per stream —
+//! emitting a per-event verdict instead of replaying whole traces in batch.
+//!
+//! Three front doors, one engine:
+//!
+//! - [`serve_commands`]: the multiplexed newline protocol (`open`/`data`/
+//!   `close`) over one connection, sharded across a scoped worker pool.
+//! - [`serve_csv_stream`]: one raw CSV document against one model (the
+//!   daemon's `--pipe` mode).
+//! - [`serve_socket`]: a Unix socket accepting one raw CSV stream per
+//!   connection, first line naming the model.
+//!
+//! The `served` binary wires these to the command line:
+//!
+//! ```text
+//! served --model counter=workload:counter:2000 --pipe counter < events.csv
+//! ```
+//!
+//! [`MonitorSession`]: tracelearn_core::MonitorSession
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+mod error;
+mod latency;
+mod protocol;
+mod registry;
+
+pub use crate::engine::{
+    serve_commands, serve_csv_stream, serve_socket, ServeOptions, ServeSummary, StreamOutcome,
+};
+pub use crate::error::ServeError;
+pub use crate::latency::LatencyHistogram;
+pub use crate::protocol::{error_line, parse_command, summary_line, verdict_line, Command};
+pub use crate::registry::{learner_config_for, workload_by_name, ModelSource, ModelSpec, Registry};

@@ -1,0 +1,213 @@
+//! The newline-delimited control protocol spoken by the daemon.
+//!
+//! One multiplexed connection carries many logical event streams. Each input
+//! line is a command:
+//!
+//! ```text
+//! open <stream> <model>      # bind a new stream to a registry model
+//! data <stream> <payload>    # one CSV record (the first is the header)
+//! close <stream>             # finish the stream and emit its summary
+//! ```
+//!
+//! and each output line is a verdict, summary or error:
+//!
+//! ```text
+//! verdict <stream> seq=3 status=ok windows=1 novel=0
+//! verdict <stream> seq=9 status=deviation windows=1 novel=1 position=7 kind=no_path
+//! summary <stream> events=100 windows=96 deviations=1 conformance=0.989583 ...
+//! error <stream> <message>
+//! ```
+//!
+//! Stream names carry no whitespace, so the grammar needs no quoting; the
+//! `data` payload is the remainder of the line verbatim, which keeps quoted
+//! CSV fields intact.
+
+use crate::latency::LatencyHistogram;
+use tracelearn_core::{DeviationKind, MonitorReport, Verdict};
+
+/// A parsed input line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// Bind `stream` to the registry model named `model`.
+    Open {
+        /// The new stream's identifier.
+        stream: String,
+        /// Registry name of the model to monitor against.
+        model: String,
+    },
+    /// One CSV record for an open stream (the first record is the header).
+    Data {
+        /// The stream the record belongs to.
+        stream: String,
+        /// The raw CSV record, verbatim.
+        payload: String,
+    },
+    /// Finish a stream: run end-of-trace checks and emit the summary.
+    Close {
+        /// The stream to finish.
+        stream: String,
+    },
+}
+
+impl Command {
+    /// The stream this command addresses.
+    pub fn stream(&self) -> &str {
+        match self {
+            Command::Open { stream, .. }
+            | Command::Data { stream, .. }
+            | Command::Close { stream } => stream,
+        }
+    }
+}
+
+/// Parses one input line into a [`Command`].
+pub fn parse_command(line: &str) -> Result<Command, String> {
+    let line = line.trim_end_matches(['\r', '\n']);
+    let (verb, rest) = line
+        .split_once(char::is_whitespace)
+        .ok_or_else(|| format!("expected `<verb> <stream> ...`, got {line:?}"))?;
+    let rest = rest.trim_start();
+    match verb {
+        "open" => {
+            let (stream, model) = rest
+                .split_once(char::is_whitespace)
+                .ok_or_else(|| "open needs `<stream> <model>`".to_string())?;
+            let model = model.trim();
+            if stream.is_empty() || model.is_empty() || model.contains(char::is_whitespace) {
+                return Err("open needs `<stream> <model>`".to_string());
+            }
+            Ok(Command::Open {
+                stream: stream.to_string(),
+                model: model.to_string(),
+            })
+        }
+        "data" => {
+            let (stream, payload) = rest
+                .split_once(char::is_whitespace)
+                .ok_or_else(|| "data needs `<stream> <csv-record>`".to_string())?;
+            if stream.is_empty() {
+                return Err("data needs `<stream> <csv-record>`".to_string());
+            }
+            Ok(Command::Data {
+                stream: stream.to_string(),
+                payload: payload.to_string(),
+            })
+        }
+        "close" => {
+            let stream = rest.trim();
+            if stream.is_empty() || stream.contains(char::is_whitespace) {
+                return Err("close needs `<stream>`".to_string());
+            }
+            Ok(Command::Close {
+                stream: stream.to_string(),
+            })
+        }
+        other => Err(format!("unknown verb {other:?} (expected open/data/close)")),
+    }
+}
+
+/// Renders one per-event verdict line.
+pub fn verdict_line(stream: &str, seq: u64, verdict: &Verdict) -> String {
+    let status = if verdict.is_warmup() {
+        "warmup"
+    } else if verdict.is_clean() {
+        "ok"
+    } else {
+        "deviation"
+    };
+    let mut line = format!(
+        "verdict {stream} seq={seq} status={status} windows={} novel={}",
+        verdict.windows_closed, verdict.novel_windows
+    );
+    if let Some(deviation) = verdict.deviations.first() {
+        let kind = match deviation.kind {
+            DeviationKind::UnknownPredicate => "unknown_predicate",
+            DeviationKind::NoPath => "no_path",
+        };
+        line.push_str(&format!(" position={} kind={kind}", deviation.position));
+    }
+    line
+}
+
+/// Renders the end-of-stream summary line.
+pub fn summary_line(
+    stream: &str,
+    events: usize,
+    report: &MonitorReport,
+    latency: &LatencyHistogram,
+) -> String {
+    format!(
+        "summary {stream} events={events} windows={} deviations={} conformance={:.6} \
+         p50_us={:.3} p99_us={:.3} max_us={:.3}",
+        report.windows_checked,
+        report.deviations.len(),
+        report.conformance(),
+        latency.p50_us(),
+        latency.p99_us(),
+        latency.max_ns() as f64 / 1000.0,
+    )
+}
+
+/// Renders an error line. Unparseable commands use the placeholder stream `-`.
+pub fn error_line(stream: &str, message: &str) -> String {
+    let message = message.replace(['\r', '\n'], " ");
+    format!("error {stream} {message}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_three_verbs() {
+        assert_eq!(
+            parse_command("open s1 counter"),
+            Ok(Command::Open {
+                stream: "s1".into(),
+                model: "counter".into()
+            })
+        );
+        assert_eq!(
+            parse_command("data s1 tick,\"a,b\",3\n"),
+            Ok(Command::Data {
+                stream: "s1".into(),
+                payload: "tick,\"a,b\",3".into()
+            })
+        );
+        assert_eq!(
+            parse_command("close s1"),
+            Ok(Command::Close {
+                stream: "s1".into()
+            })
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_commands() {
+        assert!(parse_command("open s1").is_err());
+        assert!(parse_command("open  counter").is_err());
+        assert!(parse_command("data s1").is_err());
+        assert!(parse_command("close").is_err());
+        assert!(parse_command("close a b").is_err());
+        assert!(parse_command("flush s1").is_err());
+        assert!(parse_command("").is_err());
+    }
+
+    #[test]
+    fn data_payload_is_verbatim() {
+        let Ok(Command::Data { payload, .. }) = parse_command("data s1  leading,space ok ") else {
+            panic!("expected data command");
+        };
+        // Only the single separator after the stream name is consumed.
+        assert_eq!(payload, " leading,space ok ");
+    }
+
+    #[test]
+    fn verdict_lines_cover_all_statuses() {
+        let warmup = Verdict::default();
+        assert_eq!(
+            verdict_line("s", 1, &warmup),
+            "verdict s seq=1 status=warmup windows=0 novel=0"
+        );
+    }
+}

@@ -1,0 +1,263 @@
+//! The model registry: named learned models served to many streams.
+//!
+//! A daemon invocation declares its models up front as `name=source` specs
+//! (`--model slot=workload:usb_slot:2000`, `--model prod=csv:trace.csv`).
+//! [`Registry::load`] learns every model once at startup; per-stream
+//! [`Monitor`]s borrow the learned models for the daemon's lifetime, so
+//! serving never re-learns or clones a model.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+use crate::error::ServeError;
+use tracelearn_core::{LearnedModel, Learner, LearnerConfig, Monitor};
+use tracelearn_trace::parse_csv;
+use tracelearn_workloads::Workload;
+
+/// Where a registry model's calibration trace comes from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelSource {
+    /// Generate one of the six paper benchmarks.
+    Workload {
+        /// Which benchmark to simulate.
+        workload: Workload,
+        /// Trace length to generate.
+        length: usize,
+        /// Simulation seed.
+        seed: u64,
+    },
+    /// Read a CSV trace from disk.
+    Csv(PathBuf),
+}
+
+/// A parsed `name=source` model specification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelSpec {
+    /// Registry name the model is served under.
+    pub name: String,
+    /// Where its training trace comes from.
+    pub source: ModelSource,
+}
+
+impl ModelSpec {
+    /// Parses `name=workload:<benchmark>:<length>[:<seed>]` or
+    /// `name=csv:<path>`.
+    pub fn parse(spec: &str) -> Result<ModelSpec, ServeError> {
+        let (name, source) = spec
+            .split_once('=')
+            .ok_or_else(|| ServeError::Spec(format!("{spec:?} is missing `name=`")))?;
+        let name = name.trim();
+        if name.is_empty() || name.contains(char::is_whitespace) {
+            return Err(ServeError::Spec(format!(
+                "model name {name:?} must be non-empty and without whitespace"
+            )));
+        }
+        let source = match source.split_once(':') {
+            Some(("workload", rest)) => {
+                let mut parts = rest.split(':');
+                let benchmark = parts.next().unwrap_or_default();
+                let workload = workload_by_name(benchmark).ok_or_else(|| {
+                    ServeError::Spec(format!(
+                        "unknown workload {benchmark:?} (try usb_slot, usb_attach, counter, \
+                         serial_port, linux_kernel, integrator)"
+                    ))
+                })?;
+                let length = parts
+                    .next()
+                    .unwrap_or("2000")
+                    .parse::<usize>()
+                    .map_err(|e| ServeError::Spec(format!("bad workload length: {e}")))?;
+                let seed = match parts.next() {
+                    Some(seed) => seed
+                        .parse::<u64>()
+                        .map_err(|e| ServeError::Spec(format!("bad workload seed: {e}")))?,
+                    None => 0xDAC2020,
+                };
+                if let Some(extra) = parts.next() {
+                    return Err(ServeError::Spec(format!(
+                        "trailing workload field {extra:?}"
+                    )));
+                }
+                ModelSource::Workload {
+                    workload,
+                    length,
+                    seed,
+                }
+            }
+            Some(("csv", path)) if !path.is_empty() => ModelSource::Csv(PathBuf::from(path)),
+            _ => {
+                return Err(ServeError::Spec(format!(
+                    "source {source:?} must be `workload:<benchmark>:<length>[:<seed>]` \
+                     or `csv:<path>`"
+                )))
+            }
+        };
+        Ok(ModelSpec {
+            name: name.to_string(),
+            source,
+        })
+    }
+}
+
+/// Resolves a benchmark name, ignoring case, `_`, `-` and spaces.
+pub fn workload_by_name(name: &str) -> Option<Workload> {
+    let normalized: String = name
+        .chars()
+        .filter(|c| !matches!(c, '_' | '-' | ' '))
+        .map(|c| c.to_ascii_lowercase())
+        .collect();
+    match normalized.as_str() {
+        "usbslot" => Some(Workload::UsbSlot),
+        "usbattach" => Some(Workload::UsbAttach),
+        "counter" => Some(Workload::Counter),
+        "serialport" | "serial" => Some(Workload::SerialPort),
+        "linuxkernel" | "rtlinux" | "linux" => Some(Workload::LinuxKernel),
+        "integrator" => Some(Workload::Integrator),
+        _ => None,
+    }
+}
+
+/// The learner configuration the benchmark suite uses for a workload.
+///
+/// Matches `tracelearn-bench`: the integrator's `ip` variable is an input,
+/// everything else learns with defaults.
+pub fn learner_config_for(workload: Workload) -> LearnerConfig {
+    let config = LearnerConfig::default();
+    match workload {
+        Workload::Integrator => config.with_input_variable("ip"),
+        _ => config,
+    }
+}
+
+/// The daemon's set of learned models, keyed by registry name.
+#[derive(Debug)]
+pub struct Registry {
+    entries: BTreeMap<String, (LearnedModel, LearnerConfig)>,
+}
+
+impl Registry {
+    /// Learns every spec's model. Duplicate names are an error.
+    pub fn load(specs: &[ModelSpec]) -> Result<Registry, ServeError> {
+        let mut entries = BTreeMap::new();
+        for spec in specs {
+            let (trace, config) = match &spec.source {
+                ModelSource::Workload {
+                    workload,
+                    length,
+                    seed,
+                } => (
+                    workload.generate_seeded(*length, *seed),
+                    learner_config_for(*workload),
+                ),
+                ModelSource::Csv(path) => {
+                    let text = std::fs::read_to_string(path)?;
+                    (parse_csv(&text)?, LearnerConfig::default())
+                }
+            };
+            let model = Learner::new(config.clone()).learn(&trace)?;
+            if entries.insert(spec.name.clone(), (model, config)).is_some() {
+                return Err(ServeError::Spec(format!(
+                    "duplicate model name {:?}",
+                    spec.name
+                )));
+            }
+        }
+        Ok(Registry { entries })
+    }
+
+    /// Number of loaded models.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The loaded model names, sorted.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.entries.keys().map(String::as_str)
+    }
+
+    /// Builds one borrowing [`Monitor`] per model, keyed by registry name.
+    pub fn monitors(&self) -> BTreeMap<String, Monitor<'_>> {
+        self.entries
+            .iter()
+            .map(|(name, (model, config))| (name.clone(), Monitor::new(model, config.clone())))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_workload_and_csv_specs() {
+        let spec = ModelSpec::parse("slot=workload:usb_slot:500:7").unwrap();
+        assert_eq!(spec.name, "slot");
+        assert_eq!(
+            spec.source,
+            ModelSource::Workload {
+                workload: Workload::UsbSlot,
+                length: 500,
+                seed: 7,
+            }
+        );
+        let spec = ModelSpec::parse("prod=csv:/tmp/trace.csv").unwrap();
+        assert_eq!(
+            spec.source,
+            ModelSource::Csv(PathBuf::from("/tmp/trace.csv"))
+        );
+        // Length defaults, seed defaults.
+        let spec = ModelSpec::parse("c=workload:counter").unwrap();
+        assert_eq!(
+            spec.source,
+            ModelSource::Workload {
+                workload: Workload::Counter,
+                length: 2000,
+                seed: 0xDAC2020,
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        assert!(ModelSpec::parse("noequals").is_err());
+        assert!(ModelSpec::parse("=workload:counter:10").is_err());
+        assert!(ModelSpec::parse("a b=workload:counter:10").is_err());
+        assert!(ModelSpec::parse("m=workload:unknown:10").is_err());
+        assert!(ModelSpec::parse("m=workload:counter:ten").is_err());
+        assert!(ModelSpec::parse("m=workload:counter:10:1:extra").is_err());
+        assert!(ModelSpec::parse("m=csv:").is_err());
+        assert!(ModelSpec::parse("m=ftp:somewhere").is_err());
+    }
+
+    #[test]
+    fn workload_names_are_forgiving() {
+        assert_eq!(workload_by_name("USB-Slot"), Some(Workload::UsbSlot));
+        assert_eq!(workload_by_name("rtlinux"), Some(Workload::LinuxKernel));
+        assert_eq!(workload_by_name("Serial"), Some(Workload::SerialPort));
+        assert_eq!(workload_by_name("nope"), None);
+    }
+
+    #[test]
+    fn registry_learns_and_rejects_duplicates() {
+        let specs = vec![
+            ModelSpec::parse("c=workload:counter:600").unwrap(),
+            ModelSpec::parse("s=workload:usb_slot:600").unwrap(),
+        ];
+        let registry = Registry::load(&specs).unwrap();
+        assert_eq!(registry.len(), 2);
+        assert_eq!(registry.names().collect::<Vec<_>>(), vec!["c", "s"]);
+        let monitors = registry.monitors();
+        assert!(monitors.contains_key("c") && monitors.contains_key("s"));
+
+        let duplicated = vec![specs[0].clone(), specs[0].clone()];
+        assert!(matches!(
+            Registry::load(&duplicated),
+            Err(ServeError::Spec(_))
+        ));
+    }
+}

@@ -49,7 +49,7 @@ pub use crate::csv::{parse_csv, to_csv, write_csv, CsvWriter};
 pub use crate::error::TraceError;
 pub use crate::signature::{Signature, SignatureBuilder, VarId, VarKind, Variable};
 pub use crate::stats::{TraceStats, VarStats};
-pub use crate::stream::StreamingCsvReader;
+pub use crate::stream::{CsvRecordDecoder, StreamingCsvReader};
 pub use crate::symbol::{SymbolId, SymbolTable};
 pub use crate::trace::{RowEntry, StepPair, Steps, Trace, Windows};
 pub use crate::traceset::TraceSet;

@@ -38,6 +38,112 @@ use crate::valuation::Valuation;
 use crate::value::Value;
 use std::io::BufRead;
 
+/// A stateful decoder from complete CSV records to [`Valuation`]s.
+///
+/// This is the record-level core of [`StreamingCsvReader`], split out so
+/// that callers which receive records one at a time from somewhere other
+/// than a contiguous [`BufRead`] — the `tracelearn-serve` daemon multiplexes
+/// many streams over one connection — can decode them with the same
+/// tokenizer and the same growing [`SymbolTable`].
+///
+/// # Example
+///
+/// ```
+/// # use std::error::Error;
+/// # fn main() -> Result<(), Box<dyn Error>> {
+/// use tracelearn_trace::CsvRecordDecoder;
+///
+/// let mut decoder = CsvRecordDecoder::from_header("op:event,x:int")?;
+/// let observation = decoder.decode("read,1", 2)?;
+/// assert_eq!(observation.arity(), 2);
+/// assert_eq!(decoder.symbols().len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct CsvRecordDecoder {
+    signature: Signature,
+    symbols: SymbolTable,
+}
+
+impl CsvRecordDecoder {
+    /// Creates a decoder by parsing a CSV header record.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Parse`] for a malformed header (including empty
+    /// header fields).
+    pub fn from_header(header: &str) -> Result<Self, TraceError> {
+        Ok(CsvRecordDecoder {
+            signature: parse_header(header)?,
+            symbols: SymbolTable::new(),
+        })
+    }
+
+    /// Creates a decoder for a known signature (no header record needed).
+    pub fn new(signature: Signature) -> Self {
+        CsvRecordDecoder {
+            signature,
+            symbols: SymbolTable::new(),
+        }
+    }
+
+    /// The signature records are decoded against.
+    pub fn signature(&self) -> &Signature {
+        &self.signature
+    }
+
+    /// The event names interned so far.
+    pub fn symbols(&self) -> &SymbolTable {
+        &self.symbols
+    }
+
+    /// Consumes the decoder, returning the signature and the symbol table
+    /// accumulated while decoding.
+    pub fn into_parts(self) -> (Signature, SymbolTable) {
+        (self.signature, self.symbols)
+    }
+
+    /// Decodes one complete record into a [`Valuation`], interning event
+    /// names. `line` is the one-based input line number used in errors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Parse`] for the wrong field count, an
+    /// unterminated quote or a value that does not parse as its declared
+    /// kind.
+    pub fn decode(&mut self, record: &str, line: usize) -> Result<Valuation, TraceError> {
+        let fields = split_record(record, line)?;
+        if fields.len() != self.signature.arity() {
+            return Err(TraceError::Parse {
+                line,
+                message: format!(
+                    "expected {} fields, found {}",
+                    self.signature.arity(),
+                    fields.len()
+                ),
+            });
+        }
+        let mut values = Vec::with_capacity(fields.len());
+        for (id, var) in self.signature.iter() {
+            let field: &str = fields[id.index()].as_ref();
+            let value = match var.kind() {
+                VarKind::Int => Value::Int(field.parse().map_err(|_| TraceError::Parse {
+                    line,
+                    message: format!("`{field}` is not an integer"),
+                })?),
+                VarKind::Bool => Value::Bool(field.parse().map_err(|_| TraceError::Parse {
+                    line,
+                    message: format!("`{field}` is not a boolean"),
+                })?),
+                VarKind::Event => Value::Sym(self.symbols.intern(field)),
+            };
+            values.push(value);
+        }
+        Ok(Valuation::from_values(values))
+    }
+}
+
 /// An incremental CSV trace reader over any [`BufRead`] source.
 ///
 /// The header is parsed on construction; each call to
@@ -48,8 +154,7 @@ use std::io::BufRead;
 #[derive(Debug)]
 pub struct StreamingCsvReader<R> {
     reader: R,
-    signature: Signature,
-    symbols: SymbolTable,
+    decoder: CsvRecordDecoder,
     /// One-based number of the last input line consumed.
     line: usize,
     /// Scratch buffer holding the current (possibly multi-line) record.
@@ -68,8 +173,7 @@ impl<R: BufRead> StreamingCsvReader<R> {
     pub fn new(reader: R) -> Result<Self, TraceError> {
         let mut this = StreamingCsvReader {
             reader,
-            signature: Signature::default(),
-            symbols: SymbolTable::new(),
+            decoder: CsvRecordDecoder::new(Signature::default()),
             line: 0,
             record: String::new(),
             observations_read: 0,
@@ -77,18 +181,18 @@ impl<R: BufRead> StreamingCsvReader<R> {
         if !this.next_record()? {
             return Err(TraceError::EmptyTrace);
         }
-        this.signature = parse_header(&this.record)?;
+        this.decoder = CsvRecordDecoder::from_header(&this.record)?;
         Ok(this)
     }
 
     /// The signature parsed from the header.
     pub fn signature(&self) -> &Signature {
-        &self.signature
+        self.decoder.signature()
     }
 
     /// The event names interned so far.
     pub fn symbols(&self) -> &SymbolTable {
-        &self.symbols
+        self.decoder.symbols()
     }
 
     /// Number of observations yielded so far.
@@ -99,7 +203,7 @@ impl<R: BufRead> StreamingCsvReader<R> {
     /// Consumes the reader, returning the signature and the symbol table
     /// accumulated while reading.
     pub fn into_parts(self) -> (Signature, SymbolTable) {
-        (self.signature, self.symbols)
+        self.decoder.into_parts()
     }
 
     /// Reads the next non-blank record into `self.record`, joining lines
@@ -154,36 +258,9 @@ impl<R: BufRead> StreamingCsvReader<R> {
         if !self.next_record()? {
             return Ok(None);
         }
-        let line = self.line;
-        let fields = split_record(&self.record, line)?;
-        if fields.len() != self.signature.arity() {
-            return Err(TraceError::Parse {
-                line,
-                message: format!(
-                    "expected {} fields, found {}",
-                    self.signature.arity(),
-                    fields.len()
-                ),
-            });
-        }
-        let mut values = Vec::with_capacity(fields.len());
-        for (id, var) in self.signature.iter() {
-            let field: &str = fields[id.index()].as_ref();
-            let value = match var.kind() {
-                VarKind::Int => Value::Int(field.parse().map_err(|_| TraceError::Parse {
-                    line,
-                    message: format!("`{field}` is not an integer"),
-                })?),
-                VarKind::Bool => Value::Bool(field.parse().map_err(|_| TraceError::Parse {
-                    line,
-                    message: format!("`{field}` is not a boolean"),
-                })?),
-                VarKind::Event => Value::Sym(self.symbols.intern(field)),
-            };
-            values.push(value);
-        }
+        let observation = self.decoder.decode(&self.record, self.line)?;
         self.observations_read += 1;
-        Ok(Some(Valuation::from_values(values)))
+        Ok(Some(observation))
     }
 
     /// Reads up to `max_rows` observations into `out` (which is cleared
@@ -217,7 +294,8 @@ impl<R: BufRead> StreamingCsvReader<R> {
         while let Some(observation) = self.next_observation()? {
             observations.push(observation);
         }
-        Trace::from_parts(self.signature, self.symbols, observations)
+        let (signature, symbols) = self.decoder.into_parts();
+        Trace::from_parts(signature, symbols, observations)
     }
 }
 
@@ -320,6 +398,42 @@ mod tests {
             }
             other => panic!("expected a capped parse error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn record_decoder_decodes_and_interns() {
+        let mut decoder = CsvRecordDecoder::from_header("op:event,x:int").unwrap();
+        let a = decoder.decode("read,1", 2).unwrap();
+        let b = decoder.decode("write,2", 3).unwrap();
+        let c = decoder.decode("read,3", 4).unwrap();
+        assert_eq!(a.arity(), 2);
+        // "read" recurs and must reuse its id.
+        assert_eq!(decoder.symbols().len(), 2);
+        assert_eq!(a.values()[0], c.values()[0]);
+        assert_ne!(a.values()[0], b.values()[0]);
+        let (signature, symbols) = decoder.into_parts();
+        assert_eq!(signature.arity(), 2);
+        assert_eq!(symbols.lookup("write").map(|s| s.index()), Some(1));
+    }
+
+    #[test]
+    fn record_decoder_reports_malformed_records() {
+        let mut decoder = CsvRecordDecoder::from_header("op:event,x:int").unwrap();
+        match decoder.decode("read", 7) {
+            Err(TraceError::Parse { line: 7, message }) => {
+                assert!(message.contains("expected 2 fields"), "{message}")
+            }
+            other => panic!("expected a field-count error, got {other:?}"),
+        }
+        assert!(matches!(
+            decoder.decode("read,notanint", 8),
+            Err(TraceError::Parse { line: 8, .. })
+        ));
+        assert!(matches!(
+            decoder.decode("\"open,1", 9),
+            Err(TraceError::Parse { line: 9, .. })
+        ));
+        assert!(CsvRecordDecoder::from_header("op:notakind").is_err());
     }
 
     #[test]

@@ -14,7 +14,9 @@
 //! * [`learn`] — the learner itself (predicate generation, segmentation,
 //!   SAT-based construction, compliance refinement);
 //! * [`statemerge`] — the kTails/EDSM baseline;
-//! * [`workloads`] — simulators of the paper's six benchmark systems.
+//! * [`workloads`] — simulators of the paper's six benchmark systems;
+//! * [`serve`] — the incremental model-serving daemon (one bounded-memory
+//!   monitoring session per event stream).
 //!
 //! # Quickstart
 //!
@@ -42,6 +44,7 @@ pub use tracelearn_automaton as automaton;
 pub use tracelearn_core as learn;
 pub use tracelearn_expr as expr;
 pub use tracelearn_sat as sat;
+pub use tracelearn_serve as serve;
 pub use tracelearn_statemerge as statemerge;
 pub use tracelearn_synth as synth;
 pub use tracelearn_trace as trace;
@@ -50,7 +53,9 @@ pub use tracelearn_workloads as workloads;
 /// The most commonly used items, for glob import in examples and tests.
 pub mod prelude {
     pub use tracelearn_automaton::{Nfa, StateId};
-    pub use tracelearn_core::{LearnError, LearnedModel, Learner, LearnerConfig};
+    pub use tracelearn_core::{
+        LearnError, LearnedModel, Learner, LearnerConfig, Monitor, MonitorReport, MonitorSession,
+    };
     pub use tracelearn_statemerge::{MergeAlgorithm, StateMergeConfig, StateMergeLearner};
     pub use tracelearn_synth::{SynthesisConfig, Synthesizer};
     pub use tracelearn_trace::{Signature, StreamingCsvReader, Trace, TraceSet, Value};

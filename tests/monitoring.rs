@@ -1,0 +1,156 @@
+//! Integration tests of the incremental monitoring path: a stream fed one
+//! event at a time through `MonitorSession::push_event` must reach the same
+//! `MonitorReport` as the whole-trace batch `Monitor::check`, and a
+//! million-event stream must be served in bounded resident memory.
+
+use tracelearn::learn::{Monitor, MonitorReport, DEFAULT_CALIBRATION_EVENTS};
+use tracelearn::prelude::*;
+use tracelearn::trace::{RowEntry, StreamingCsvReader, Trace};
+use tracelearn::workloads::counter::{self, CounterConfig};
+
+use proptest::prelude::*;
+
+/// Feeds every observation of `fresh` through an incremental session with
+/// the given calibration budget and returns the finished report.
+fn incremental_report(
+    monitor: &Monitor<'_>,
+    fresh: &Trace,
+    calibration_events: usize,
+) -> MonitorReport {
+    let mut session = monitor
+        .session_with_calibration(fresh.signature(), calibration_events)
+        .expect("window fits");
+    for observation in fresh.observations() {
+        session
+            .push_event(observation, fresh.symbols())
+            .expect("push succeeds");
+    }
+    session.finish(fresh.symbols()).expect("finish succeeds")
+}
+
+/// On every benchmark workload, pushing the fresh stream event-by-event
+/// (daemon-default calibration budget) yields a report byte-identical to
+/// the batch `Monitor::check` of the same stream.
+#[test]
+fn six_workloads_incremental_equals_batch() {
+    for workload in Workload::all() {
+        let train = workload.generate(2_000);
+        let config = tracelearn_config_for(workload);
+        let model = Learner::new(config.clone())
+            .learn(&train)
+            .expect("workloads are learnable");
+        let monitor = Monitor::new(&model, config);
+        let fresh = workload.generate(5_000);
+
+        let batch = monitor.check(&fresh).expect("checkable");
+        let incremental = incremental_report(&monitor, &fresh, DEFAULT_CALIBRATION_EVENTS);
+        assert_eq!(batch, incremental, "{} diverged", workload.name());
+    }
+}
+
+/// The learner configuration matching the benchmark harness: the
+/// integrator's `ip` variable is a free input, the rest use defaults.
+fn tracelearn_config_for(workload: Workload) -> LearnerConfig {
+    match workload {
+        Workload::Integrator => LearnerConfig::default().with_input_variable("ip"),
+        _ => LearnerConfig::default(),
+    }
+}
+
+/// Builds an event-only trace over the alphabet {a, b, c} from indices.
+fn event_trace(ops: &[u8]) -> Trace {
+    let sig = Signature::builder().event("op").build();
+    let mut trace = Trace::new(sig);
+    for &op in ops {
+        let name = ["a", "b", "c"][op as usize % 3];
+        trace.push_named_row(vec![RowEntry::Event(name)]).unwrap();
+    }
+    trace
+}
+
+proptest! {
+    /// For arbitrary event-valued streams (where predicate abstraction is
+    /// calibration-insensitive), an aggressively small calibration budget
+    /// still reproduces the batch report exactly — deviations and all.
+    #[test]
+    fn random_event_streams_incremental_equals_batch(
+        ops in proptest::collection::vec(0u8..3, 3..120),
+    ) {
+        // A fixed cyclic training system; random streams deviate freely.
+        let train_ops: Vec<u8> = (0..60).map(|i| (i % 3) as u8).collect();
+        let train = event_trace(&train_ops);
+        let model = Learner::new(LearnerConfig::default())
+            .learn(&train)
+            .expect("cyclic event trace is learnable");
+        let monitor = Monitor::new(&model, LearnerConfig::default());
+
+        let fresh = event_trace(&ops);
+        let batch = monitor.check(&fresh).expect("checkable");
+        let incremental = incremental_report(&monitor, &fresh, 16);
+        prop_assert_eq!(batch, incremental);
+    }
+}
+
+/// The serving-scale run: a million-event counter stream is decoded from
+/// CSV and pushed through one session without ever materialising the trace.
+/// The session's resident footprint (distinct predicates, windows, pending
+/// buffer) must plateau — identical after 100k and after 1M events — and
+/// the stream must come out clean. Ignored in debug builds (it is CPU-bound
+/// there); CI runs it in release.
+#[cfg_attr(
+    debug_assertions,
+    ignore = "run in release builds (CI: cargo test --release)"
+)]
+#[test]
+fn million_event_stream_is_served_in_bounded_memory() {
+    let events = 1_000_000usize;
+    let config = CounterConfig {
+        threshold: 128,
+        length: events,
+    };
+    let mut csv = Vec::new();
+    counter::write_csv(&config, &mut csv).unwrap();
+
+    let train = counter::generate(&CounterConfig {
+        threshold: 128,
+        length: 2_000,
+    });
+    let model = Learner::new(LearnerConfig::default())
+        .learn(&train)
+        .unwrap();
+    let monitor = Monitor::new(&model, LearnerConfig::default());
+
+    let mut reader = StreamingCsvReader::new(csv.as_slice()).unwrap();
+    let mut session = monitor.session(reader.signature()).unwrap();
+    let mut early_footprint = None;
+    while let Some(observation) = reader.next_observation().unwrap() {
+        let verdict = session.push_event(&observation, reader.symbols()).unwrap();
+        assert!(verdict.is_clean(), "unexpected deviation: {verdict:?}");
+        if session.events() == 100_000 {
+            early_footprint = Some(session.footprint());
+        }
+    }
+    let early = early_footprint.expect("stream passed the 100k mark");
+    let late = session.footprint();
+    assert_eq!(late.events, events);
+
+    // Resident state plateaus: everything distinct was seen in the first
+    // 100k events; the remaining 900k add nothing.
+    assert_eq!(early.distinct_predicates, late.distinct_predicates);
+    assert_eq!(early.distinct_windows, late.distinct_windows);
+    assert_eq!(
+        early.distinct_observation_windows,
+        late.distinct_observation_windows
+    );
+    assert_eq!(early.deviations, late.deviations);
+    // The calibration buffer was drained and never regrows; only the
+    // window-sized sliding buffer stays resident.
+    assert_eq!(early.buffered_observations, late.buffered_observations);
+    assert!(
+        late.buffered_observations <= LearnerConfig::default().window,
+        "calibration buffer still resident: {late:?}"
+    );
+
+    let report = session.finish(reader.symbols()).unwrap();
+    assert!(report.is_clean());
+}

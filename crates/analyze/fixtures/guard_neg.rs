@@ -1,0 +1,23 @@
+//! Negative fixture: the guard dies before the blocking call — via a
+//! temporary, a scoped block, or an explicit drop.
+use std::sync::{mpsc, Mutex};
+
+pub fn snapshot_then_send(board: &Mutex<Vec<u32>>, tx: &mpsc::Sender<u32>) {
+    let snapshot = board.lock().unwrap().len() as u32;
+    tx.send(snapshot).ok();
+}
+
+pub fn scoped_then_send(board: &Mutex<Vec<u32>>, tx: &mpsc::Sender<u32>) {
+    let len = {
+        let guard = board.lock().unwrap();
+        guard.len() as u32
+    };
+    tx.send(len).ok();
+}
+
+pub fn dropped_then_send(board: &Mutex<Vec<u32>>, tx: &mpsc::Sender<u32>) {
+    let guard = board.lock().unwrap();
+    let len = guard.len() as u32;
+    drop(guard);
+    tx.send(len).ok();
+}

@@ -1,0 +1,7 @@
+//! Positive fixture: a lock guard held across a channel send.
+use std::sync::{mpsc, Mutex};
+
+pub fn publish(board: &Mutex<Vec<u32>>, tx: &mpsc::Sender<u32>) {
+    let guard = board.lock().unwrap();
+    tx.send(guard.len() as u32).ok();
+}

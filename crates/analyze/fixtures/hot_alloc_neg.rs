@@ -1,0 +1,19 @@
+//! Negative fixture: the hot function reuses storage; a cold sibling may
+//! allocate freely.
+pub struct Hot {
+    scratch: [u32; 4],
+    cursor: usize,
+}
+
+impl Hot {
+    pub fn step(&mut self, value: u32) {
+        self.cursor = (self.cursor + 1) % self.scratch.len();
+        if let Some(slot) = self.scratch.get_mut(self.cursor) {
+            *slot = value;
+        }
+    }
+
+    pub fn cold(&self) -> Vec<u32> {
+        self.scratch.to_vec()
+    }
+}

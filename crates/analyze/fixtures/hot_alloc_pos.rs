@@ -1,0 +1,12 @@
+//! Positive fixture: a manifest-listed hot function that allocates.
+pub struct Hot {
+    scratch: Vec<u32>,
+}
+
+impl Hot {
+    pub fn step(&mut self, values: &[u32]) {
+        let staged = vec![0u32; 4];
+        self.scratch = values.to_vec();
+        let _ = staged;
+    }
+}

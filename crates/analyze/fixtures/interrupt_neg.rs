@@ -1,0 +1,27 @@
+//! Negative fixture: every top-level loop checks the interrupt flag.
+use std::sync::atomic::{AtomicBool, Ordering};
+
+pub struct Worker {
+    budget: usize,
+    interrupted: AtomicBool,
+}
+
+impl Worker {
+    pub fn run(&mut self) {
+        while self.budget > 0 {
+            if self.is_interrupted() {
+                return;
+            }
+            self.budget -= 1;
+        }
+        loop {
+            if self.is_interrupted() {
+                break;
+            }
+        }
+    }
+
+    fn is_interrupted(&self) -> bool {
+        self.interrupted.load(Ordering::Relaxed)
+    }
+}

@@ -1,0 +1,20 @@
+//! Negative fixture: hash access that is order-insensitive or sorted.
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+pub fn sorted(map: &HashMap<u32, u32>) -> Vec<u32> {
+    let mut keys: Vec<u32> = map.keys().copied().collect();
+    keys.sort_unstable();
+    keys
+}
+
+pub fn reduction(map: &HashMap<u32, u32>) -> u32 {
+    map.values().sum()
+}
+
+pub fn membership(set: &HashSet<u32>, needle: u32) -> bool {
+    set.contains(&needle)
+}
+
+pub fn reordered(map: &HashMap<u32, u32>) -> BTreeMap<u32, u32> {
+    map.iter().map(|(k, v)| (*k, *v)).collect::<BTreeMap<_, _>>()
+}

@@ -1,0 +1,10 @@
+//! Positive fixture: hash iteration whose order reaches the output.
+use std::collections::HashMap;
+
+pub fn order_leaks(map: &HashMap<u32, u32>) -> Vec<u32> {
+    let mut out = Vec::new();
+    for (key, value) in map.iter() {
+        out.push(key + value);
+    }
+    out
+}

@@ -1,0 +1,19 @@
+//! Negative fixture: the same logic with per-stream error handling, plus
+//! a test module where panicking assertions are expected and fine.
+pub fn verdict(payload: &str, buckets: &[u64]) -> Option<u64> {
+    let first = payload.split(',').next()?;
+    let parsed: u64 = first.parse().ok()?;
+    buckets.get(parsed as usize).copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::verdict;
+
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let buckets = [1u64, 2, 3];
+        assert_eq!(verdict("1", &buckets).unwrap(), 2);
+        assert!(verdict("9", &buckets).is_none());
+    }
+}

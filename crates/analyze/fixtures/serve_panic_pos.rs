@@ -1,0 +1,9 @@
+//! Positive fixture: request-path code with every panicking construct.
+pub fn verdict(payload: &str, buckets: &[u64]) -> u64 {
+    let first = payload.split(',').next().unwrap();
+    let parsed: u64 = first.parse().expect("numeric field");
+    if parsed > 64 {
+        panic!("frame out of range");
+    }
+    buckets[parsed as usize]
+}

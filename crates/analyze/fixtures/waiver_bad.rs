@@ -1,0 +1,12 @@
+//! Waiver fixture: a waiver without a reason is rejected and does not
+//! suppress the finding under it.
+use std::collections::HashMap;
+
+pub fn order_leaks(map: &HashMap<u32, u32>) -> u32 {
+    let mut total = 0;
+    // tracelint: allow(nondet-iter)
+    for value in map.values() {
+        total ^= value;
+    }
+    total
+}

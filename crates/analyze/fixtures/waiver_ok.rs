@@ -1,0 +1,11 @@
+//! Waiver fixture: a real finding suppressed by a justified waiver.
+use std::collections::HashMap;
+
+pub fn scatter(map: HashMap<usize, u32>, out: &mut [u32]) {
+    // tracelint: allow(nondet-iter, every entry lands in the slot named by its key, so visit order cannot reach the output)
+    for (slot, value) in map.into_iter() {
+        if let Some(cell) = out.get_mut(slot) {
+            *cell = value;
+        }
+    }
+}

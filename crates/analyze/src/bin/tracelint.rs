@@ -1,0 +1,105 @@
+//! `tracelint` — run the workspace lint rules and report findings.
+//!
+//! ```text
+//! tracelint [--root DIR] [--config FILE] [--json [PATH]]
+//! ```
+//!
+//! Exits 0 when the tree is clean, 1 when there are findings, 2 on usage
+//! or I/O errors. `--json` writes a machine-readable findings report to
+//! stdout (or to PATH), for the CI artifact.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use tracelearn_analyze::{analyze_root, render_json, render_text, Config};
+
+struct Args {
+    root: PathBuf,
+    config: PathBuf,
+    json: Option<JsonSink>,
+}
+
+enum JsonSink {
+    Stdout,
+    File(PathBuf),
+}
+
+fn usage() -> &'static str {
+    "usage: tracelint [--root DIR] [--config FILE] [--json [PATH]]\n\
+     \n\
+     Runs the tracelearn workspace lints (see docs/lints.md). DIR defaults\n\
+     to the current directory; FILE defaults to DIR/tracelint.conf."
+}
+
+fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
+    let mut root: Option<PathBuf> = None;
+    let mut config: Option<PathBuf> = None;
+    let mut json: Option<JsonSink> = None;
+    while let Some(flag) = argv.next() {
+        match flag.as_str() {
+            "--root" => {
+                let value = argv.next().ok_or("--root needs a value")?;
+                root = Some(PathBuf::from(value));
+            }
+            "--config" => {
+                let value = argv.next().ok_or("--config needs a value")?;
+                config = Some(PathBuf::from(value));
+            }
+            "--json" => {
+                // An optional PATH operand: anything not starting with `--`.
+                json = Some(JsonSink::Stdout);
+                // Peeking is awkward with a plain iterator; accept the form
+                // `--json=PATH` for a file sink instead.
+            }
+            other => {
+                if let Some(path) = other.strip_prefix("--json=") {
+                    json = Some(JsonSink::File(PathBuf::from(path)));
+                } else if other == "--help" || other == "-h" {
+                    return Err(usage().to_string());
+                } else {
+                    return Err(format!("unknown flag {other:?}\n\n{}", usage()));
+                }
+            }
+        }
+    }
+    let root = root.unwrap_or_else(|| PathBuf::from("."));
+    let config = config.unwrap_or_else(|| root.join("tracelint.conf"));
+    Ok(Args { root, config, json })
+}
+
+fn run(args: &Args) -> Result<bool, String> {
+    let manifest = fs::read_to_string(&args.config)
+        .map_err(|e| format!("cannot read {}: {e}", args.config.display()))?;
+    let config = Config::parse(&manifest).map_err(|e| e.to_string())?;
+    let analysis = analyze_root(&args.root, &config).map_err(|e| format!("scan failed: {e}"))?;
+
+    match &args.json {
+        Some(JsonSink::Stdout) => print!("{}", render_json(&analysis)),
+        Some(JsonSink::File(path)) => {
+            fs::write(path, render_json(&analysis))
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+            eprint!("{}", render_text(&analysis));
+        }
+        None => print!("{}", render_text(&analysis)),
+    }
+    Ok(analysis.findings.is_empty())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args(std::env::args().skip(1)) {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&args) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(message) => {
+            eprintln!("tracelint: {message}");
+            ExitCode::from(2)
+        }
+    }
+}

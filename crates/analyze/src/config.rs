@@ -1,0 +1,167 @@
+//! The committed lint manifest, `tracelint.conf`.
+//!
+//! A deliberately plain line format (it is not TOML, hence the `.conf`
+//! extension): `[section]` headers, one entry per line, `#` comments.
+//! Sections name the rules they parameterise:
+//!
+//! ```text
+//! [nondet-iter]     # path prefixes where hash iteration is denied
+//! crates/core/src
+//!
+//! [hot-path-alloc]  # qualified function names denied heap allocation
+//! Solver::propagate
+//!
+//! [serve-panic]     # path prefixes where panicking constructs are denied
+//! crates/serve/src
+//!
+//! [interrupt-poll]  # functions whose top-level loops must poll interrupts
+//! Solver::propagate
+//! ```
+
+use std::fmt;
+
+/// Parsed manifest: which paths and functions each rule applies to.
+#[derive(Debug, Default, Clone)]
+pub struct Config {
+    /// Path prefixes (repo-relative, `/` separated) under the determinism
+    /// rule.
+    pub determinism_paths: Vec<String>,
+    /// Qualified function names (`Type::method` or `function`) in which
+    /// allocation is denied.
+    pub hot_functions: Vec<String>,
+    /// Path prefixes under the panic-safety rule.
+    pub panic_paths: Vec<String>,
+    /// Qualified function names whose top-level loops must poll an
+    /// interrupt flag.
+    pub interrupt_functions: Vec<String>,
+}
+
+/// A manifest parse failure: the offending line and what was wrong.
+#[derive(Debug)]
+pub struct ConfigError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tracelint.conf:{}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl Config {
+    /// Parses the manifest text. Unknown sections are errors so a typo'd
+    /// header cannot silently disable a rule.
+    pub fn parse(text: &str) -> Result<Config, ConfigError> {
+        let mut config = Config::default();
+        let mut section: Option<&str> = None;
+        for (number, raw) in text.lines().enumerate() {
+            let line = match raw.split_once('#') {
+                Some((before, _)) => before.trim(),
+                None => raw.trim(),
+            };
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[') {
+                let Some(name) = name.strip_suffix(']') else {
+                    return Err(ConfigError {
+                        line: number + 1,
+                        message: format!("unterminated section header {line:?}"),
+                    });
+                };
+                section = match name {
+                    "nondet-iter" => Some("nondet-iter"),
+                    "hot-path-alloc" => Some("hot-path-alloc"),
+                    "serve-panic" => Some("serve-panic"),
+                    "interrupt-poll" => Some("interrupt-poll"),
+                    other => {
+                        return Err(ConfigError {
+                            line: number + 1,
+                            message: format!("unknown section {other:?}"),
+                        })
+                    }
+                };
+                continue;
+            }
+            let entry = line.to_string();
+            match section {
+                Some("nondet-iter") => config.determinism_paths.push(entry),
+                Some("hot-path-alloc") => config.hot_functions.push(entry),
+                Some("serve-panic") => config.panic_paths.push(entry),
+                Some("interrupt-poll") => config.interrupt_functions.push(entry),
+                _ => {
+                    return Err(ConfigError {
+                        line: number + 1,
+                        message: format!("entry {entry:?} before any [section] header"),
+                    })
+                }
+            }
+        }
+        Ok(config)
+    }
+
+    /// True when `rel_path` (repo-relative, `/` separated) is under any of
+    /// the given prefixes.
+    pub fn path_matches(rel_path: &str, prefixes: &[String]) -> bool {
+        prefixes.iter().any(|p| {
+            rel_path == p
+                || rel_path
+                    .strip_prefix(p.as_str())
+                    .is_some_and(|rest| rest.starts_with('/'))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_all_sections_with_comments() {
+        let text = "\
+# manifest\n\
+[nondet-iter]\n\
+crates/core/src  # model producer\n\
+[hot-path-alloc]\n\
+Solver::propagate\n\
+[serve-panic]\n\
+crates/serve/src\n\
+[interrupt-poll]\n\
+Learner::refine_at_count\n";
+        let config = Config::parse(text).unwrap();
+        assert_eq!(config.determinism_paths, ["crates/core/src"]);
+        assert_eq!(config.hot_functions, ["Solver::propagate"]);
+        assert_eq!(config.panic_paths, ["crates/serve/src"]);
+        assert_eq!(config.interrupt_functions, ["Learner::refine_at_count"]);
+    }
+
+    #[test]
+    fn unknown_section_is_an_error() {
+        let err = Config::parse("[hot-path-aloc]\n").unwrap_err();
+        assert!(err.message.contains("unknown section"));
+        assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn entry_outside_a_section_is_an_error() {
+        let err = Config::parse("crates/core/src\n").unwrap_err();
+        assert!(err.message.contains("before any"));
+    }
+
+    #[test]
+    fn path_prefix_matching_respects_components() {
+        let prefixes = vec!["crates/core/src".to_string()];
+        assert!(Config::path_matches(
+            "crates/core/src/learner.rs",
+            &prefixes
+        ));
+        assert!(!Config::path_matches(
+            "crates/core/src2/learner.rs",
+            &prefixes
+        ));
+        assert!(!Config::path_matches("crates/serve/src/lib.rs", &prefixes));
+    }
+}

@@ -1,0 +1,384 @@
+//! A minimal Rust lexer: just enough structure for lint rules.
+//!
+//! The lexer classifies a source file into identifiers, literals, comments,
+//! and single-character punctuation. It exists so the rules never match
+//! inside string literals or comments, and so the scoping pass can track
+//! braces reliably. It is deliberately lossy where the rules don't care:
+//! multi-character operators come out as adjacent punctuation tokens
+//! (`::` is two `:` tokens) and numeric literals are one opaque token.
+
+/// The classification of one token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `unwrap`, `HashMap`, ...).
+    Ident,
+    /// A lifetime such as `'a` or `'static` (quote included in the span).
+    Lifetime,
+    /// Integer or float literal (possibly split around `.` — rules don't care).
+    Number,
+    /// String, raw string, byte string, or char literal, quotes included.
+    Literal,
+    /// `//` or `/*` comment, markers included. Doc comments included.
+    Comment,
+    /// A single punctuation character; `ch` holds it.
+    Punct(char),
+}
+
+/// One token: a classification plus its span in the source.
+#[derive(Debug, Clone, Copy)]
+pub struct Token {
+    pub kind: TokenKind,
+    /// Byte offset of the first byte of the token.
+    pub start: usize,
+    /// Byte offset one past the last byte of the token.
+    pub end: usize,
+    /// 1-based line of the token's first byte.
+    pub line: u32,
+}
+
+impl Token {
+    /// The token's text, borrowed from the source it was lexed from.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+
+    /// True when the token is the identifier `word`.
+    pub fn is_ident(&self, src: &str, word: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text(src) == word
+    }
+
+    /// True when the token is the punctuation character `ch`.
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokenKind::Punct(ch)
+    }
+}
+
+/// Lexes a whole file. Unterminated literals or comments simply run to the
+/// end of the file; the lexer never fails.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        src,
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        tokens: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    tokens: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.bytes.len() {
+            let start = self.pos;
+            let line = self.line;
+            let b = self.bytes[self.pos];
+            let kind = match b {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    if b == b'\n' {
+                        self.line += 1;
+                    }
+                    self.pos += 1;
+                    continue;
+                }
+                b'/' if self.peek(1) == Some(b'/') => {
+                    self.take_line_comment();
+                    TokenKind::Comment
+                }
+                b'/' if self.peek(1) == Some(b'*') => {
+                    self.take_block_comment();
+                    TokenKind::Comment
+                }
+                b'"' => {
+                    self.pos += 1;
+                    self.take_string_body();
+                    TokenKind::Literal
+                }
+                b'\'' => {
+                    if self.take_char_or_lifetime() {
+                        TokenKind::Literal
+                    } else {
+                        TokenKind::Lifetime
+                    }
+                }
+                b'r' | b'b' if self.at_literal_prefix() => {
+                    self.take_prefixed_literal();
+                    TokenKind::Literal
+                }
+                _ if b.is_ascii_digit() => {
+                    self.take_while(|c| c.is_ascii_alphanumeric() || c == b'_');
+                    TokenKind::Number
+                }
+                _ if b == b'_' || b.is_ascii_alphabetic() || b >= 0x80 => {
+                    self.take_while(|c| c == b'_' || c.is_ascii_alphanumeric() || c >= 0x80);
+                    TokenKind::Ident
+                }
+                _ => {
+                    self.pos += 1;
+                    TokenKind::Punct(b as char)
+                }
+            };
+            self.tokens.push(Token {
+                kind,
+                start,
+                end: self.pos,
+                line,
+            });
+        }
+        self.tokens
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn take_while(&mut self, keep: impl Fn(u8) -> bool) {
+        while self.pos < self.bytes.len() && keep(self.bytes[self.pos]) {
+            self.pos += 1;
+        }
+    }
+
+    fn take_line_comment(&mut self) {
+        self.take_while(|c| c != b'\n');
+    }
+
+    fn take_block_comment(&mut self) {
+        self.pos += 2;
+        let mut depth = 1usize;
+        while self.pos < self.bytes.len() && depth > 0 {
+            match (self.bytes[self.pos], self.peek(1)) {
+                (b'/', Some(b'*')) => {
+                    depth += 1;
+                    self.pos += 2;
+                }
+                (b'*', Some(b'/')) => {
+                    depth -= 1;
+                    self.pos += 2;
+                }
+                (b'\n', _) => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ => self.pos += 1,
+            }
+        }
+    }
+
+    /// Consumes the body of a non-raw string after the opening quote.
+    fn take_string_body(&mut self) {
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'\\' => self.pos = (self.pos + 2).min(self.bytes.len()),
+                b'"' => {
+                    self.pos += 1;
+                    return;
+                }
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ => self.pos += 1,
+            }
+        }
+    }
+
+    /// At a `'`: consumes either a char literal (returns true) or a
+    /// lifetime (returns false).
+    fn take_char_or_lifetime(&mut self) -> bool {
+        // A char literal is `'` + (escape | one char) + `'`. A lifetime is
+        // `'` + ident with no closing quote. `'a'` is a char; `'a` is a
+        // lifetime. Peek past the next character for the closing quote.
+        let next = self.peek(1);
+        let is_char = match next {
+            Some(b'\\') => true,
+            Some(c) if c == b'_' || c.is_ascii_alphanumeric() => {
+                // `'x'` char vs `'x` / `'static` lifetime: a char literal
+                // has exactly one code point then `'`.
+                let mut idx = self.pos + 1;
+                if let Some(ch) = self.src[idx..].chars().next() {
+                    idx += ch.len_utf8();
+                }
+                self.bytes.get(idx) == Some(&b'\'')
+            }
+            Some(_) => true, // `'('`, `' '`, unicode punctuation chars
+            None => false,
+        };
+        if is_char {
+            self.pos += 1; // opening quote
+            if self.peek(0) == Some(b'\\') {
+                self.pos += 2;
+                // Escapes like \x7f or \u{...}: just scan to the close.
+                self.take_while(|c| c != b'\'' && c != b'\n');
+            } else if let Some(ch) = self.src[self.pos..].chars().next() {
+                self.pos += ch.len_utf8();
+            }
+            if self.peek(0) == Some(b'\'') {
+                self.pos += 1;
+            }
+            true
+        } else {
+            self.pos += 1;
+            self.take_while(|c| c == b'_' || c.is_ascii_alphanumeric());
+            false
+        }
+    }
+
+    /// True at `r"`, `r#`, `b"`, `b'`, `br"`, `br#`, `rb` is not Rust.
+    fn at_literal_prefix(&self) -> bool {
+        match (self.bytes[self.pos], self.peek(1)) {
+            (b'r', Some(b'"')) | (b'r', Some(b'#')) => self.raw_hashes_then_quote(1),
+            (b'b', Some(b'"')) | (b'b', Some(b'\'')) => true,
+            (b'b', Some(b'r')) => self.raw_hashes_then_quote(2),
+            _ => false,
+        }
+    }
+
+    /// From `self.pos + offset`, is there a run of `#` then a `"`?
+    fn raw_hashes_then_quote(&self, offset: usize) -> bool {
+        let mut idx = self.pos + offset;
+        while self.bytes.get(idx) == Some(&b'#') {
+            idx += 1;
+        }
+        self.bytes.get(idx) == Some(&b'"')
+    }
+
+    /// Consumes `r"..."`, `r#"..."#`, `b"..."`, `b'...'`, `br#"..."#`.
+    fn take_prefixed_literal(&mut self) {
+        let raw = self.bytes[self.pos] == b'r' || self.peek(1) == Some(b'r');
+        self.pos += if self.peek(1) == Some(b'r') { 2 } else { 1 };
+        if raw {
+            let mut hashes = 0usize;
+            while self.peek(0) == Some(b'#') {
+                hashes += 1;
+                self.pos += 1;
+            }
+            self.pos += 1; // opening quote
+            while self.pos < self.bytes.len() {
+                if self.bytes[self.pos] == b'\n' {
+                    self.line += 1;
+                } else if self.bytes[self.pos] == b'"' {
+                    let mut idx = self.pos + 1;
+                    let mut seen = 0usize;
+                    while seen < hashes && self.bytes.get(idx) == Some(&b'#') {
+                        seen += 1;
+                        idx += 1;
+                    }
+                    if seen == hashes {
+                        self.pos = idx;
+                        return;
+                    }
+                }
+                self.pos += 1;
+            }
+        } else if self.peek(0) == Some(b'\'') {
+            // Byte char literal `b'x'` / `b'\n'`.
+            self.pos += 1;
+            if self.peek(0) == Some(b'\\') {
+                self.pos += 2;
+                self.take_while(|c| c != b'\'' && c != b'\n');
+            } else {
+                self.pos += 1;
+            }
+            if self.peek(0) == Some(b'\'') {
+                self.pos += 1;
+            }
+        } else {
+            self.pos += 1; // opening quote of b"..."
+            self.take_string_body();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_punct() {
+        let toks = kinds("fn foo() -> u32 { 0 }");
+        assert_eq!(toks[0], (TokenKind::Ident, "fn".to_string()));
+        assert_eq!(toks[1], (TokenKind::Ident, "foo".to_string()));
+        assert!(toks.iter().any(|t| t.0 == TokenKind::Punct('{')));
+    }
+
+    #[test]
+    fn comments_are_single_tokens() {
+        let src = "a // unwrap() inside comment\nb /* block\nstill */ c";
+        let toks = kinds(src);
+        let idents: Vec<_> = toks
+            .iter()
+            .filter(|t| t.0 == TokenKind::Ident)
+            .map(|t| t.1.as_str())
+            .collect();
+        assert_eq!(idents, ["a", "b", "c"]);
+        assert_eq!(toks.iter().filter(|t| t.0 == TokenKind::Comment).count(), 2);
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let src = r#"let x = "fake.unwrap() { }"; y"#;
+        let toks = kinds(src);
+        assert!(!toks
+            .iter()
+            .any(|t| t.0 == TokenKind::Ident && t.1 == "unwrap"));
+        assert!(toks.iter().any(|t| t.0 == TokenKind::Ident && t.1 == "y"));
+    }
+
+    #[test]
+    fn raw_strings_and_hashes() {
+        let src = r###"let x = r#"quote " inside"#; done"###;
+        let toks = kinds(src);
+        assert!(toks
+            .iter()
+            .any(|t| t.0 == TokenKind::Ident && t.1 == "done"));
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let src = "let c = 'a'; fn f<'a>(x: &'a str) {} let nl = '\\n';";
+        let toks = kinds(src);
+        let lits: Vec<_> = toks
+            .iter()
+            .filter(|t| t.0 == TokenKind::Literal)
+            .map(|t| t.1.as_str())
+            .collect();
+        assert_eq!(lits, ["'a'", "'\\n'"]);
+        assert_eq!(
+            toks.iter().filter(|t| t.0 == TokenKind::Lifetime).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn lines_are_tracked_through_multiline_tokens() {
+        let src = "a\n/* x\ny */\nb";
+        let toks = lex(src);
+        let b = toks.last().unwrap();
+        assert_eq!(b.text(src), "b");
+        assert_eq!(b.line, 4);
+    }
+
+    #[test]
+    fn byte_literals() {
+        let src = "m(b'x', b\"bytes\", br#\"raw \" bytes\"#); tail";
+        let toks = kinds(src);
+        assert!(toks
+            .iter()
+            .any(|t| t.0 == TokenKind::Ident && t.1 == "tail"));
+        assert_eq!(toks.iter().filter(|t| t.0 == TokenKind::Literal).count(), 3);
+    }
+}

@@ -1,0 +1,23 @@
+//! `tracelint` — workspace-native static analysis for tracelearn.
+//!
+//! The workspace rests on invariants that generic tooling cannot check:
+//! learned models must be byte-identical across thread counts, the solving
+//! and monitoring hot paths must not allocate per event, and the serving
+//! daemon must degrade per-stream instead of panicking a worker. This
+//! crate encodes those invariants as lint rules over a hand-rolled token
+//! stream (no dependencies) and ships a `tracelint` binary that CI runs as
+//! a hard gate. See `docs/lints.md` for the rule reference and waiver
+//! syntax, and `tracelint.conf` at the repo root for the committed
+//! manifest of paths and hot functions each rule covers.
+
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+pub mod scope;
+
+pub use config::{Config, ConfigError};
+pub use engine::{analyze_root, analyze_source, render_json, render_text, Analysis, Report};
+pub use rules::{Finding, MatchedEntries, WAIVABLE_RULES};

@@ -1,0 +1,522 @@
+//! Function/impl scoping over the token stream.
+//!
+//! A single pass over the tokens assigns every token to an enclosing
+//! function (qualified as `Type::method` inside `impl` blocks) and marks
+//! test code: `#[cfg(test)]` modules, `#[test]` functions, and whole files
+//! under a `tests/` directory. Every lint rule skips test code, so this
+//! classification is the gate the rules trust.
+
+use crate::lexer::{Token, TokenKind};
+
+/// The resolved scope of every token in one file.
+pub struct ScopeMap {
+    /// For each token index: index into `functions`, or `NO_FN`.
+    fn_of: Vec<u32>,
+    /// For each token index: true when the token is in test-only code.
+    test_of: Vec<bool>,
+    /// Qualified function names plus their body token ranges.
+    functions: Vec<FnSpan>,
+}
+
+/// One function body discovered in a file.
+#[derive(Debug, Clone)]
+pub struct FnSpan {
+    /// `name` or `Type::name` when defined inside an `impl` block.
+    pub qualified: String,
+    /// Token index of the body's opening `{`.
+    pub body_open: usize,
+    /// Token index of the body's closing `}` (or last token if unterminated).
+    pub body_close: usize,
+    /// Depth of the body's opening brace (statements directly inside the
+    /// body sit at `depth + 1`... measured as brace nesting before the `{`).
+    pub depth: usize,
+    /// True when the function is test-only code.
+    pub is_test: bool,
+    /// Line of the `fn` keyword.
+    pub line: u32,
+}
+
+pub const NO_FN: u32 = u32::MAX;
+
+impl ScopeMap {
+    /// The qualified name of the function containing token `idx`, if any.
+    pub fn function_at(&self, idx: usize) -> Option<&str> {
+        match self.fn_of.get(idx).copied() {
+            Some(f) if f != NO_FN => Some(&self.functions[f as usize].qualified),
+            _ => None,
+        }
+    }
+
+    /// True when token `idx` belongs to test-only code.
+    pub fn is_test(&self, idx: usize) -> bool {
+        self.test_of.get(idx).copied().unwrap_or(false)
+    }
+
+    /// All functions found in the file.
+    pub fn functions(&self) -> &[FnSpan] {
+        &self.functions
+    }
+}
+
+/// What kind of item a `{` opens.
+#[derive(Debug, Clone)]
+enum FrameKind {
+    Plain,
+    Fn { index: u32 },
+    Impl { type_name: String },
+    TestMod,
+}
+
+struct Frame {
+    kind: FrameKind,
+    test: bool,
+}
+
+/// Builds the scope map for one file. `file_is_test` marks the whole file
+/// as test code (integration-test files under `tests/`).
+pub fn scope(src: &str, tokens: &[Token], file_is_test: bool) -> ScopeMap {
+    // Pre-pass: decide what each opening brace introduces.
+    let mut map = ScopeMap {
+        fn_of: vec![NO_FN; tokens.len()],
+        test_of: vec![file_is_test; tokens.len()],
+        functions: Vec::new(),
+    };
+    let openers = find_item_braces(src, tokens, &mut map.functions);
+
+    let mut stack: Vec<Frame> = Vec::new();
+    let mut impl_type: Option<String> = None;
+    let mut in_test_depth: Option<usize> = None;
+    let mut current_fn: Vec<u32> = Vec::new();
+
+    for (idx, tok) in tokens.iter().enumerate() {
+        // Record context *including* the brace tokens themselves.
+        let in_test = file_is_test || in_test_depth.is_some();
+        map.test_of[idx] = in_test;
+        if let Some(&f) = current_fn.last() {
+            map.fn_of[idx] = f;
+        }
+
+        if tok.is_punct('{') {
+            let kind = openers
+                .iter()
+                .find(|(open, _)| *open == idx)
+                .map(|(_, k)| k.clone())
+                .unwrap_or(FrameKind::Plain);
+            let test_here = matches!(kind, FrameKind::TestMod)
+                || matches!(
+                    &kind,
+                    FrameKind::Fn { index } if map.functions[*index as usize].is_test
+                );
+            if test_here && in_test_depth.is_none() {
+                in_test_depth = Some(stack.len());
+            }
+            match &kind {
+                FrameKind::Fn { index } => {
+                    current_fn.push(*index);
+                    // Qualify with the enclosing impl type, if any.
+                    if let Some(ty) = &impl_type {
+                        let f = &mut map.functions[*index as usize];
+                        if !f.qualified.contains("::") {
+                            f.qualified = format!("{ty}::{}", f.qualified);
+                        }
+                    }
+                }
+                FrameKind::Impl { type_name } if impl_type.is_none() => {
+                    impl_type = Some(type_name.clone());
+                }
+                _ => {}
+            }
+            stack.push(Frame {
+                kind,
+                test: test_here,
+            });
+        } else if tok.is_punct('}') {
+            if let Some(frame) = stack.pop() {
+                match frame.kind {
+                    FrameKind::Fn { index } => {
+                        current_fn.pop();
+                        map.functions[index as usize].body_close = idx;
+                    }
+                    // Only clear if no outer impl (nested impls are rare and
+                    // outer-wins is good enough for lint scoping).
+                    FrameKind::Impl { .. }
+                        if !stack
+                            .iter()
+                            .any(|f| matches!(f.kind, FrameKind::Impl { .. })) =>
+                    {
+                        impl_type = None;
+                    }
+                    _ => {}
+                }
+                if let Some(depth) = in_test_depth {
+                    if stack.len() < depth || (stack.len() == depth && frame.test) {
+                        in_test_depth = None;
+                    }
+                }
+            }
+        }
+    }
+    map
+}
+
+/// Scans the token stream for `fn`, `impl`, and `mod` items, recording the
+/// token index of each item's opening `{` and, for functions, an `FnSpan`.
+fn find_item_braces(
+    src: &str,
+    tokens: &[Token],
+    functions: &mut Vec<FnSpan>,
+) -> Vec<(usize, FrameKind)> {
+    let mut openers: Vec<(usize, FrameKind)> = Vec::new();
+    let mut pending_test_attr = false;
+    let mut brace_depth = 0usize;
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let tok = &tokens[i];
+        match tok.kind {
+            TokenKind::Punct('{') => brace_depth += 1,
+            TokenKind::Punct('}') => brace_depth = brace_depth.saturating_sub(1),
+            TokenKind::Punct('#') if next_is_punct(tokens, i + 1, '[') => {
+                // Consume the attribute; remember `#[test]` / `#[cfg(test)]`.
+                let (end, is_test) = scan_attribute(src, tokens, i + 1);
+                pending_test_attr |= is_test;
+                i = end;
+                continue;
+            }
+            TokenKind::Ident => {
+                let word = tok.text(src);
+                match word {
+                    "fn" => {
+                        if let Some((open, span)) =
+                            scan_fn(src, tokens, i, brace_depth, pending_test_attr)
+                        {
+                            let index = functions.len() as u32;
+                            functions.push(span);
+                            openers.push((open, FrameKind::Fn { index }));
+                            pending_test_attr = false;
+                            // Resume right after the header; the body braces
+                            // are handled by the main walk.
+                            i = open;
+                            continue;
+                        }
+                        pending_test_attr = false;
+                    }
+                    "impl" => {
+                        if let Some((open, type_name)) = scan_impl(src, tokens, i) {
+                            openers.push((open, FrameKind::Impl { type_name }));
+                            i = open;
+                            pending_test_attr = false;
+                            continue;
+                        }
+                        pending_test_attr = false;
+                    }
+                    "mod" => {
+                        if let Some(open) = scan_mod(src, tokens, i, &mut pending_test_attr) {
+                            if pending_test_attr {
+                                openers.push((open, FrameKind::TestMod));
+                            }
+                            i = open;
+                            pending_test_attr = false;
+                            continue;
+                        }
+                        pending_test_attr = false;
+                    }
+                    // Visibility and qualifiers keep a pending attr alive:
+                    // `#[test] pub async fn x`.
+                    "pub" | "async" | "unsafe" | "const" | "extern" | "crate" | "in" | "super"
+                    | "self" => {}
+                    _ => pending_test_attr = false,
+                }
+            }
+            TokenKind::Punct('(') | TokenKind::Punct(')') => {
+                // pub(crate) — keep the attr pending.
+            }
+            TokenKind::Comment => {}
+            _ => pending_test_attr = false,
+        }
+        i += 1;
+    }
+    openers.sort_by_key(|(open, _)| *open);
+    openers
+}
+
+fn next_is_punct(tokens: &[Token], idx: usize, ch: char) -> bool {
+    tokens.get(idx).is_some_and(|t| t.is_punct(ch))
+}
+
+/// From the `[` of an attribute, returns (index past the closing `]`,
+/// whether the attribute marks test code).
+fn scan_attribute(src: &str, tokens: &[Token], open: usize) -> (usize, bool) {
+    let mut depth = 0usize;
+    let mut is_test = false;
+    let mut saw_cfg = false;
+    let mut saw_not = false;
+    let mut i = open;
+    while i < tokens.len() {
+        let tok = &tokens[i];
+        if tok.is_punct('[') {
+            depth += 1;
+        } else if tok.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return (i + 1, is_test);
+            }
+        } else if tok.kind == TokenKind::Ident {
+            let word = tok.text(src);
+            if word == "cfg" {
+                saw_cfg = true;
+            } else if word == "not" {
+                // `#[cfg(not(test))]` is production code, not test code.
+                saw_not = true;
+            } else if word == "test" {
+                // `#[test]` or `#[cfg(test)]` / `#[cfg(all(test, ...))]`.
+                is_test = (saw_cfg && !saw_not) || i == open + 1;
+            }
+        }
+        i += 1;
+    }
+    (tokens.len(), is_test)
+}
+
+/// From a `fn` keyword, finds the name and the body's opening `{`.
+/// Returns None for `fn` in type position (`fn(A) -> B`) or bodyless
+/// declarations (trait methods ending in `;`).
+fn scan_fn(
+    src: &str,
+    tokens: &[Token],
+    fn_idx: usize,
+    depth: usize,
+    is_test: bool,
+) -> Option<(usize, FnSpan)> {
+    let name_tok = tokens.get(fn_idx + 1)?;
+    if name_tok.kind != TokenKind::Ident {
+        return None;
+    }
+    let name = name_tok.text(src).to_string();
+    // Find the first `{` outside parentheses: that's the body.
+    let mut paren = 0usize;
+    let mut i = fn_idx + 2;
+    while i < tokens.len() {
+        let tok = &tokens[i];
+        match tok.kind {
+            TokenKind::Punct('(') => paren += 1,
+            TokenKind::Punct(')') => paren = paren.saturating_sub(1),
+            TokenKind::Punct('{') if paren == 0 => {
+                return Some((
+                    i,
+                    FnSpan {
+                        qualified: name,
+                        body_open: i,
+                        body_close: tokens.len().saturating_sub(1),
+                        depth,
+                        is_test,
+                        line: tokens[fn_idx].line,
+                    },
+                ));
+            }
+            TokenKind::Punct(';') if paren == 0 => return None,
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+/// From an `impl` keyword, finds the implemented type's name and the token
+/// index of the block's `{`. Handles `impl<T> Type<T>`, `impl Trait for
+/// Type`, and `impl fmt::Display for Type`.
+fn scan_impl(src: &str, tokens: &[Token], impl_idx: usize) -> Option<(usize, String)> {
+    // Collect header tokens up to the opening `{`.
+    let mut i = impl_idx + 1;
+    let mut header: Vec<usize> = Vec::new();
+    while i < tokens.len() {
+        let tok = &tokens[i];
+        if tok.is_punct('{') {
+            break;
+        }
+        if tok.is_punct(';') {
+            return None;
+        }
+        header.push(i);
+        i += 1;
+    }
+    if i >= tokens.len() {
+        return None;
+    }
+    let open = i;
+
+    // If a top-level `for` appears, the type is what follows it; otherwise
+    // it's the first path after any leading generic parameter list.
+    let mut angle = 0i32;
+    let mut for_pos: Option<usize> = None;
+    for (pos, &ti) in header.iter().enumerate() {
+        let tok = &tokens[ti];
+        match tok.kind {
+            TokenKind::Punct('<') => angle += 1,
+            TokenKind::Punct('>') => {
+                // Ignore the `>` of `->` in generic bounds like Fn() -> T.
+                let arrow =
+                    ti > 0 && tokens[ti - 1].is_punct('-') && tokens[ti - 1].end == tok.start;
+                if !arrow {
+                    angle -= 1;
+                }
+            }
+            TokenKind::Ident if angle == 0 && tok.text(src) == "for" => {
+                for_pos = Some(pos);
+                break;
+            }
+            TokenKind::Ident if angle == 0 && tok.text(src) == "where" => break,
+            _ => {}
+        }
+    }
+
+    let tail: &[usize] = match for_pos {
+        Some(pos) => &header[pos + 1..],
+        None => &header,
+    };
+    // The type name: last ident of the leading path, stopping at `<`, `{`,
+    // or `where`. Skips `&`, lifetimes, `mut`, and leading generics.
+    let mut name: Option<String> = None;
+    let mut angle = 0i32;
+    for &ti in tail {
+        let tok = &tokens[ti];
+        match tok.kind {
+            TokenKind::Punct('<') => angle += 1,
+            TokenKind::Punct('>') => {
+                let arrow =
+                    ti > 0 && tokens[ti - 1].is_punct('-') && tokens[ti - 1].end == tok.start;
+                if !arrow {
+                    angle -= 1;
+                }
+            }
+            TokenKind::Ident if angle == 0 => {
+                let word = tok.text(src);
+                if word == "where" || word == "for" {
+                    break;
+                }
+                if !matches!(word, "mut" | "dyn" | "const") {
+                    name = Some(word.to_string());
+                    // Keep going: `fmt::Display` should yield `Display`,
+                    // via the `::` continuation below.
+                    if !next_is_punct(tokens, ti + 1, ':') {
+                        break;
+                    }
+                }
+            }
+            TokenKind::Lifetime => {}
+            TokenKind::Punct('&') | TokenKind::Punct(':') => {}
+            _ if angle > 0 => {}
+            _ => break,
+        }
+    }
+    Some((open, name.unwrap_or_else(|| "?".to_string())))
+}
+
+/// From a `mod` keyword, finds the block's `{` (None for `mod name;`).
+/// Also treats `mod tests` / `mod test` as test modules by convention.
+fn scan_mod(
+    src: &str,
+    tokens: &[Token],
+    mod_idx: usize,
+    pending_test_attr: &mut bool,
+) -> Option<usize> {
+    let name_tok = tokens.get(mod_idx + 1)?;
+    if name_tok.kind != TokenKind::Ident {
+        return None;
+    }
+    if matches!(name_tok.text(src), "tests" | "test") {
+        *pending_test_attr = true;
+    }
+    let next = tokens.get(mod_idx + 2)?;
+    if next.is_punct('{') {
+        Some(mod_idx + 2)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn scoped(src: &str) -> (Vec<Token>, ScopeMap) {
+        let tokens = lex(src);
+        let map = scope(src, &tokens, false);
+        (tokens, map)
+    }
+
+    #[test]
+    fn free_function_names() {
+        let src = "fn alpha() { beta(); } fn gamma() {}";
+        let (tokens, map) = scoped(src);
+        let beta = tokens.iter().position(|t| t.is_ident(src, "beta")).unwrap();
+        assert_eq!(map.function_at(beta), Some("alpha"));
+        assert_eq!(map.functions().len(), 2);
+    }
+
+    #[test]
+    fn impl_methods_are_qualified() {
+        let src = "impl<T: Clone> Tracker<T> { fn push(&mut self) { work(); } }";
+        let (tokens, map) = scoped(src);
+        let work = tokens.iter().position(|t| t.is_ident(src, "work")).unwrap();
+        assert_eq!(map.function_at(work), Some("Tracker::push"));
+    }
+
+    #[test]
+    fn trait_impl_uses_the_type_after_for() {
+        let src = "impl fmt::Display for Valuation { fn fmt(&self) { x(); } }";
+        let (tokens, map) = scoped(src);
+        let x = tokens.iter().position(|t| t.is_ident(src, "x")).unwrap();
+        assert_eq!(map.function_at(x), Some("Valuation::fmt"));
+    }
+
+    #[test]
+    fn cfg_test_mod_marks_tests() {
+        let src = "fn real() { a(); }\n#[cfg(test)]\nmod tests { fn helper() { b(); } }";
+        let (tokens, map) = scoped(src);
+        let a = tokens.iter().position(|t| t.is_ident(src, "a")).unwrap();
+        let b = tokens.iter().position(|t| t.is_ident(src, "b")).unwrap();
+        assert!(!map.is_test(a));
+        assert!(map.is_test(b));
+    }
+
+    #[test]
+    fn test_attribute_marks_one_function() {
+        let src = "#[test]\nfn check() { x(); }\nfn real() { y(); }";
+        let (tokens, map) = scoped(src);
+        let x = tokens.iter().position(|t| t.is_ident(src, "x")).unwrap();
+        let y = tokens.iter().position(|t| t.is_ident(src, "y")).unwrap();
+        assert!(map.is_test(x));
+        assert!(!map.is_test(y));
+    }
+
+    #[test]
+    fn fn_in_type_position_is_not_a_function() {
+        let src = "fn takes(f: fn(u32) -> u32) { f(1); }";
+        let (_, map) = scoped(src);
+        assert_eq!(map.functions().len(), 1);
+        assert_eq!(map.functions()[0].qualified, "takes");
+    }
+
+    #[test]
+    fn trait_method_declarations_have_no_body() {
+        let src = "trait T { fn sig(&self); fn with_default(&self) { d(); } }";
+        let (tokens, map) = scoped(src);
+        assert_eq!(map.functions().len(), 1);
+        let d = tokens.iter().position(|t| t.is_ident(src, "d")).unwrap();
+        assert_eq!(map.function_at(d), Some("with_default"));
+    }
+
+    #[test]
+    fn nested_functions_resolve_to_the_inner_fn() {
+        let src = "fn outer() { fn inner() { deep(); } shallow(); }";
+        let (tokens, map) = scoped(src);
+        let deep = tokens.iter().position(|t| t.is_ident(src, "deep")).unwrap();
+        let shallow = tokens
+            .iter()
+            .position(|t| t.is_ident(src, "shallow"))
+            .unwrap();
+        assert_eq!(map.function_at(deep), Some("inner"));
+        assert_eq!(map.function_at(shallow), Some("outer"));
+    }
+}

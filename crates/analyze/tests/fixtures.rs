@@ -1,0 +1,130 @@
+//! Fixture corpus: every rule has a firing and a non-firing fixture, and
+//! the waiver machinery has honored / stale / malformed cases. Fixtures
+//! live under `crates/analyze/fixtures/` (excluded from the workspace
+//! scan) and are driven through `analyze_source` with a config that points
+//! each rule at the fixture tree.
+
+use std::fs;
+use std::path::Path;
+
+use tracelearn_analyze::{analyze_source, Config, MatchedEntries, Report};
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name);
+    fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// Runs one fixture under the given config; returns surviving findings and
+/// the number of waivers used.
+fn run(name: &str, config: &Config) -> (Vec<Report>, usize) {
+    let source = fixture(name);
+    let rel = format!("fixtures/{name}");
+    let mut matched = MatchedEntries::default();
+    analyze_source(&rel, &source, config, &mut matched)
+}
+
+fn rules(findings: &[Report]) -> Vec<&str> {
+    findings.iter().map(|f| f.rule.as_str()).collect()
+}
+
+fn nondet_config() -> Config {
+    Config {
+        determinism_paths: vec!["fixtures".to_string()],
+        ..Config::default()
+    }
+}
+
+#[test]
+fn nondet_iter_fires_on_hash_iteration() {
+    let (findings, _) = run("nondet_iter_pos.rs", &nondet_config());
+    assert_eq!(rules(&findings), ["nondet-iter"], "{findings:?}");
+}
+
+#[test]
+fn nondet_iter_stays_quiet_on_ordered_access() {
+    let (findings, _) = run("nondet_iter_neg.rs", &nondet_config());
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn hot_path_alloc_fires_only_in_manifest_functions() {
+    let config = Config {
+        hot_functions: vec!["Hot::step".to_string()],
+        ..Config::default()
+    };
+    let (findings, _) = run("hot_alloc_pos.rs", &config);
+    assert_eq!(
+        rules(&findings),
+        ["hot-path-alloc", "hot-path-alloc"],
+        "{findings:?}"
+    );
+    assert!(findings
+        .iter()
+        .all(|f| f.function.as_deref() == Some("Hot::step")));
+
+    let (findings, _) = run("hot_alloc_neg.rs", &config);
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn serve_panic_fires_on_panicking_constructs() {
+    let config = Config {
+        panic_paths: vec!["fixtures".to_string()],
+        ..Config::default()
+    };
+    let (findings, _) = run("serve_panic_pos.rs", &config);
+    // unwrap, expect, panic!, and the slice index.
+    assert_eq!(findings.len(), 4, "{findings:?}");
+    assert!(findings.iter().all(|f| f.rule == "serve-panic"));
+
+    let (findings, _) = run("serve_panic_neg.rs", &config);
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn guard_across_call_fires_on_live_guards_only() {
+    let config = Config::default();
+    let (findings, _) = run("guard_pos.rs", &config);
+    assert_eq!(rules(&findings), ["guard-across-call"], "{findings:?}");
+
+    let (findings, _) = run("guard_neg.rs", &config);
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn interrupt_poll_requires_flag_checks() {
+    let config = Config {
+        interrupt_functions: vec!["Worker::run".to_string()],
+        ..Config::default()
+    };
+    let (findings, _) = run("interrupt_pos.rs", &config);
+    assert_eq!(rules(&findings), ["interrupt-poll"], "{findings:?}");
+
+    let (findings, _) = run("interrupt_neg.rs", &config);
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn justified_waiver_is_honored_and_counted() {
+    let (findings, used) = run("waiver_ok.rs", &nondet_config());
+    assert!(findings.is_empty(), "{findings:?}");
+    assert_eq!(used, 1);
+}
+
+#[test]
+fn stale_waiver_is_rejected() {
+    let (findings, used) = run("waiver_stale.rs", &nondet_config());
+    assert_eq!(rules(&findings), ["stale-waiver"], "{findings:?}");
+    assert_eq!(used, 0);
+}
+
+#[test]
+fn waiver_without_reason_is_rejected_and_does_not_suppress() {
+    let (findings, used) = run("waiver_bad.rs", &nondet_config());
+    let mut seen = rules(&findings);
+    seen.sort_unstable();
+    assert_eq!(seen, ["nondet-iter", "waiver-syntax"], "{findings:?}");
+    assert_eq!(used, 0);
+}

@@ -1,0 +1,36 @@
+//! The workspace must be lint-clean: this test runs the full tracelint
+//! scan with the committed manifest, exactly as CI does, so `cargo test`
+//! is itself a hard gate on the repo's determinism / hot-path /
+//! panic-safety invariants.
+
+use std::fs;
+use std::path::Path;
+
+use tracelearn_analyze::{analyze_root, render_text, Config};
+
+#[test]
+fn workspace_is_lint_clean_within_the_waiver_budget() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let manifest = fs::read_to_string(root.join("tracelint.conf"))
+        .expect("tracelint.conf exists at the repo root");
+    let config = Config::parse(&manifest).expect("manifest parses");
+
+    let analysis = analyze_root(&root, &config).expect("workspace scan succeeds");
+    assert!(
+        analysis.findings.is_empty(),
+        "tracelint found problems:\n{}",
+        render_text(&analysis)
+    );
+    // The tree is realistically sized and waivers stay within the budget
+    // the rules were reviewed against.
+    assert!(
+        analysis.files_scanned >= 50,
+        "scan looks truncated: only {} files",
+        analysis.files_scanned
+    );
+    assert!(
+        analysis.waivers_used <= 10,
+        "waiver budget exceeded: {} in use",
+        analysis.waivers_used
+    );
+}

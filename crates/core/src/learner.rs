@@ -962,6 +962,7 @@ impl Learner {
         // Recover the distinct windows in first-occurrence (id) order; the
         // map owned the only copy of each window's content.
         let mut window_contents: Vec<Vec<Valuation>> = vec![Vec::new(); window_ids.len()];
+        // tracelint: allow(nondet-iter, every entry is scattered into the Vec slot named by its id, so visit order cannot reach the output)
         for (content, id) in window_ids {
             window_contents[id as usize] = content;
         }

@@ -346,6 +346,7 @@ impl MonitorSession<'_> {
     ) -> Result<Verdict, LearnError> {
         self.events += 1;
         if self.abstractor.is_none() {
+            // tracelint: allow(hot-path-alloc, calibration buffers the prefix once per stream; the steady state after calibration never takes this branch)
             self.pending.push(observation.clone());
             if self.pending.len() >= self.calibration_events {
                 return self.calibrate_and_replay(symbols);
@@ -440,8 +441,13 @@ impl MonitorSession<'_> {
     fn step_calibrated(&mut self, observation: &Valuation, symbols: &SymbolTable) -> Verdict {
         if self.recent.len() == self.window {
             self.recent.rotate_left(1);
-            *self.recent.last_mut().expect("window >= 2") = observation.clone();
+            if let Some(slot) = self.recent.last_mut() {
+                // `Valuation::clone_from` reuses the slot's buffer, so the
+                // steady-state ring update does not allocate.
+                slot.clone_from(observation);
+            }
         } else {
+            // tracelint: allow(hot-path-alloc, the ring fills once per stream during warmup; steady state takes the clone_from branch above)
             self.recent.push(observation.clone());
         }
         if self.recent.len() < self.window {

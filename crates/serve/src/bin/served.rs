@@ -99,10 +99,10 @@ fn run(args: &Args) -> Result<bool, String> {
             let summary = serve_commands(&monitors, stdin, stdout, &args.options)
                 .map_err(|e| format!("serving failed: {e}"))?;
             eprintln!(
-                "served: {} streams, {} events, {} deviations",
-                summary.streams, summary.events, summary.deviations
+                "served: {} streams, {} events, {} deviations, {} failed",
+                summary.streams, summary.events, summary.deviations, summary.failed
             );
-            summary.deviations == 0
+            summary.deviations == 0 && summary.failed == 0
         }
         Mode::Pipe(model) => {
             let monitor = monitors
@@ -117,7 +117,7 @@ fn run(args: &Args) -> Result<bool, String> {
         Mode::Socket(path) => {
             let summary = serve_socket(path, &monitors, &args.options, None)
                 .map_err(|e| format!("serving failed: {e}"))?;
-            summary.deviations == 0
+            summary.deviations == 0 && summary.failed == 0
         }
     };
     Ok(clean)

@@ -59,6 +59,10 @@ pub struct ServeSummary {
     pub events: usize,
     /// Deviations across all stream reports.
     pub deviations: usize,
+    /// Streams that aborted before a summary could be emitted (bad header,
+    /// decode failure, lost worker). Each was reported on its own error
+    /// line; none of them took a worker down.
+    pub failed: usize,
 }
 
 /// What one raw CSV stream produced.
@@ -77,6 +81,7 @@ struct WorkerTotals {
     streams: usize,
     events: usize,
     deviations: usize,
+    failed: usize,
 }
 
 /// One open stream owned by a pool worker.
@@ -146,7 +151,17 @@ impl<'m> StreamState<'m> {
             }
             return;
         }
-        let decoder = self.decoder.as_mut().expect("decoder exists past header");
+        // Both halves were installed together by the header branch above; a
+        // missing one is an internal inconsistency, which fails this stream
+        // rather than the worker.
+        let (Some(decoder), Some(session)) = (self.decoder.as_mut(), self.session.as_mut()) else {
+            emit(
+                output,
+                &error_line(name, "internal: stream state incomplete"),
+            );
+            self.failed = true;
+            return;
+        };
         // The header was input line 1 of this stream.
         let observation = match decoder.decode(payload, self.events + 2) {
             Ok(observation) => observation,
@@ -156,7 +171,6 @@ impl<'m> StreamState<'m> {
                 return;
             }
         };
-        let session = self.session.as_mut().expect("session exists past header");
         let start = Instant::now();
         match session.push_event(&observation, decoder.symbols()) {
             Ok(verdict) => {
@@ -178,9 +192,11 @@ impl<'m> StreamState<'m> {
         totals.events += self.events;
         if self.failed {
             // The failure was already reported on its own error line.
+            totals.failed += 1;
             return;
         }
         let (Some(session), Some(decoder)) = (self.session, self.decoder) else {
+            totals.failed += 1;
             emit(
                 output,
                 &error_line(name, "closed before the CSV header arrived"),
@@ -195,7 +211,10 @@ impl<'m> StreamState<'m> {
                     &summary_line(name, self.events, &report, &self.latency),
                 );
             }
-            Err(e) => emit(output, &error_line(name, &e.to_string())),
+            Err(e) => {
+                totals.failed += 1;
+                emit(output, &error_line(name, &e.to_string()));
+            }
         }
     }
 }
@@ -295,8 +314,17 @@ pub fn serve_commands<R: BufRead, W: Write + Send>(
             match parse_command(&line) {
                 Ok(command) => {
                     let worker = worker_for(command.stream(), workers);
-                    // A worker can only be gone if it panicked; join reports it.
-                    let _ = senders[worker].send(command);
+                    // A send can only fail if the worker is gone (it
+                    // panicked); the join below reports that.
+                    match senders.get(worker) {
+                        Some(sender) => {
+                            let _ = sender.send(command);
+                        }
+                        None => emit(
+                            &output,
+                            &error_line(command.stream(), "internal: no worker for stream"),
+                        ),
+                    }
                 }
                 Err(message) => emit(&output, &error_line("-", &message)),
             }
@@ -304,10 +332,27 @@ pub fn serve_commands<R: BufRead, W: Write + Send>(
         drop(senders);
         let mut summary = ServeSummary::default();
         for handle in handles {
-            let totals = handle.join().expect("serve worker panicked");
-            summary.streams += totals.streams;
-            summary.events += totals.events;
-            summary.deviations += totals.deviations;
+            match handle.join() {
+                Ok(totals) => {
+                    summary.streams += totals.streams;
+                    summary.events += totals.events;
+                    summary.deviations += totals.deviations;
+                    summary.failed += totals.failed;
+                }
+                Err(_) => {
+                    // The worker's streams die with it, but serving the
+                    // other shards' results is still worth more than a
+                    // process abort.
+                    summary.failed += 1;
+                    emit(
+                        &output,
+                        &error_line(
+                            "-",
+                            "internal: a serve worker panicked; its streams were dropped",
+                        ),
+                    );
+                }
+            }
         }
         Ok(summary)
     })
@@ -425,10 +470,15 @@ pub fn serve_socket(
         }
         let mut summary = ServeSummary::default();
         for handle in handles {
-            let outcome = handle.join().expect("connection handler panicked");
             summary.streams += 1;
-            summary.events += outcome.events;
-            summary.deviations += outcome.deviations;
+            match handle.join() {
+                Ok(outcome) => {
+                    summary.events += outcome.events;
+                    summary.deviations += outcome.deviations;
+                    summary.failed += usize::from(outcome.failed);
+                }
+                Err(_) => summary.failed += 1,
+            }
         }
         Ok(summary)
     })

@@ -55,8 +55,12 @@ impl LatencyHistogram {
     /// Records one duration.
     pub fn record(&mut self, elapsed: Duration) {
         let ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        // `64 - leading_zeros` is at most 64 < BUCKETS, so the lookup never
+        // misses; `get_mut` keeps the request path free of panicking indexing.
         let bucket = (64 - ns.leading_zeros()) as usize;
-        self.buckets[bucket] += 1;
+        if let Some(samples) = self.buckets.get_mut(bucket) {
+            *samples += 1;
+        }
         self.count += 1;
         self.max_ns = self.max_ns.max(ns);
     }

@@ -2,7 +2,7 @@
 
 use crate::merge::MergeAutomaton;
 use crate::pta::Pta;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 use tracelearn_automaton::Nfa;
 
 /// Runs kTails on a PTA: states whose outgoing label paths agree up to
@@ -23,8 +23,11 @@ pub fn k_tails(pta: &Pta, k: usize) -> Nfa<String> {
     let mut automaton = MergeAutomaton::from_pta(pta);
     let total_states = pta.automaton().num_states();
     loop {
-        // Partition current representatives by their k-tail.
-        let mut buckets: HashMap<BTreeSet<Vec<String>>, Vec<usize>> = HashMap::new();
+        // Partition current representatives by their k-tail. A BTreeMap,
+        // not a HashMap: bucket visit order decides which merges happen in
+        // a round when buckets overlap through union-find, so hash order
+        // would make the learned model depend on the hasher.
+        let mut buckets: BTreeMap<BTreeSet<Vec<String>>, Vec<usize>> = BTreeMap::new();
         let mut representatives = Vec::new();
         for state in 0..total_states {
             if automaton.find(state) == state {

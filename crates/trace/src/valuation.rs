@@ -22,9 +22,25 @@ use std::fmt;
 /// let v = Valuation::new(&sig, vec![Value::Int(1), Value::Int(2)]).unwrap();
 /// assert_eq!(v.get(sig.var("y").unwrap()), Value::Int(2));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Valuation {
     values: Vec<Value>,
+}
+
+impl Clone for Valuation {
+    fn clone(&self) -> Self {
+        Valuation {
+            values: self.values.clone(),
+        }
+    }
+
+    /// Reuses `self`'s buffer: `Value` is `Copy` and arity is constant per
+    /// stream, so ring-buffer updates (`recent.last_mut().clone_from(..)`)
+    /// stay allocation-free after warmup. The derived impl would rebuild
+    /// the `Vec` on every event.
+    fn clone_from(&mut self, source: &Self) {
+        self.values.clone_from(&source.values);
+    }
 }
 
 impl Valuation {

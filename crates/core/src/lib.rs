@@ -54,6 +54,7 @@ pub mod compliance;
 pub mod encoding;
 pub mod monitor;
 pub mod predicates;
+pub mod replay;
 
 mod error;
 mod learner;
@@ -68,3 +69,4 @@ pub use crate::monitor::{
     DEFAULT_CALIBRATION_EVENTS,
 };
 pub use crate::predicates::{PredId, PredicateAlphabet, PredicateExtractor, WindowAbstractor};
+pub use crate::replay::ReplayLog;

@@ -1,0 +1,112 @@
+//! Bounded replay logs for monitor sessions.
+//!
+//! A [`MonitorSession`](crate::MonitorSession) is deterministic: feeding the
+//! same event sequence into a fresh session reproduces the same verdicts,
+//! byte for byte. A [`ReplayLog`] exploits that to make sessions restartable
+//! — a supervisor keeps the raw event payloads of each stream since open,
+//! and when the thread owning the session dies it rebuilds the session by
+//! replaying the log into a fresh one, suppressing the verdicts that were
+//! already delivered.
+//!
+//! The log is bounded: once a stream outgrows its budget the buffered
+//! payloads are dropped and the log reports [`overflowed`]. An overflowed
+//! stream can no longer be replayed — the supervisor sacrifices it instead
+//! of holding unbounded memory hostage to a crash that may never come.
+//!
+//! [`overflowed`]: ReplayLog::overflowed
+
+/// A bounded log of raw event payloads for one monitored stream.
+#[derive(Debug, Clone)]
+pub struct ReplayLog {
+    events: Vec<String>,
+    budget: usize,
+    overflowed: bool,
+}
+
+impl ReplayLog {
+    /// Creates a log that keeps at most `budget` events. A zero budget
+    /// disables replay entirely: the log starts out overflowed and never
+    /// buffers anything.
+    pub fn new(budget: usize) -> Self {
+        ReplayLog {
+            events: Vec::new(),
+            budget,
+            overflowed: budget == 0,
+        }
+    }
+
+    /// Appends one event payload. Once the budget is exceeded the buffered
+    /// payloads are freed and every later push is a no-op — a log never
+    /// holds a partial history, which could only replay a corrupt prefix.
+    pub fn push(&mut self, payload: &str) {
+        if self.overflowed {
+            return;
+        }
+        if self.events.len() >= self.budget {
+            self.events = Vec::new();
+            self.overflowed = true;
+            return;
+        }
+        self.events.push(payload.to_string());
+    }
+
+    /// The full payload history since open, or `None` once overflowed.
+    pub fn events(&self) -> Option<&[String]> {
+        if self.overflowed {
+            None
+        } else {
+            Some(&self.events)
+        }
+    }
+
+    /// Whether the stream outgrew its budget (and can no longer be replayed).
+    pub fn overflowed(&self) -> bool {
+        self.overflowed
+    }
+
+    /// Number of buffered payloads (0 once overflowed).
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the log currently buffers nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_history_within_budget() {
+        let mut log = ReplayLog::new(3);
+        log.push("a");
+        log.push("b");
+        assert_eq!(log.events().map(<[String]>::len), Some(2));
+        assert!(!log.overflowed());
+    }
+
+    #[test]
+    fn overflow_drops_the_history_for_good() {
+        let mut log = ReplayLog::new(2);
+        log.push("a");
+        log.push("b");
+        assert!(!log.overflowed());
+        log.push("c");
+        assert!(log.overflowed());
+        assert_eq!(log.events(), None);
+        assert_eq!(log.len(), 0);
+        log.push("d");
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn zero_budget_disables_replay() {
+        let mut log = ReplayLog::new(0);
+        assert!(log.overflowed());
+        log.push("a");
+        assert_eq!(log.events(), None);
+    }
+}

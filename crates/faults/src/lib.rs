@@ -1,0 +1,194 @@
+//! Deterministic fault injection for chaos-testing the serving pipeline.
+//!
+//! The workspace's robustness claims — a worker death costs an `info` line,
+//! a torn record fails one stream, a stalled client cannot pin a worker —
+//! are only claims until something actually dies on schedule. This crate is
+//! the schedule: a seeded [`FaultPlan`] names concrete occurrences of
+//! injection points (`worker.panic@50` = the 50th data task panics its
+//! worker) that the instrumented crates consult through [`trip`].
+//!
+//! Determinism is the whole point. Occurrences are counted per site with a
+//! process-global atomic, the only "randomness" is a [splitmix64] stream
+//! keyed by `(seed, site, occurrence)`, and nothing consults a clock — so a
+//! chaos run under a pinned plan makes the same cuts in the same places
+//! every time, and the chaos suite can assert byte-identical output for
+//! every stream that is supposed to survive.
+//!
+//! The instrumented crates (`tracelearn-trace`, `tracelearn-sat`,
+//! `tracelearn-serve`) only depend on this crate behind their
+//! `fault-injection` cargo feature, and every hook compiles to nothing
+//! without it — the hot-path allocation and steady-state guarantees of the
+//! production build are untouched.
+//!
+//! [splitmix64]: https://prng.di.unimi.it/splitmix64.c
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod plan;
+
+pub use plan::{FaultEntry, FaultPlan, FaultSite, PlanError};
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// A plan armed with live occurrence counters.
+#[derive(Debug)]
+struct Armed {
+    plan: FaultPlan,
+    /// One occurrence counter per [`FaultSite`], indexed by site position
+    /// in [`plan::ALL_SITES`].
+    counters: Vec<AtomicU64>,
+}
+
+impl Armed {
+    fn new(plan: FaultPlan) -> Armed {
+        let counters = (0..plan::ALL_SITES.len())
+            .map(|_| AtomicU64::new(0))
+            .collect();
+        Armed { plan, counters }
+    }
+}
+
+fn slot() -> &'static RwLock<Option<Arc<Armed>>> {
+    static SLOT: OnceLock<RwLock<Option<Arc<Armed>>>> = OnceLock::new();
+    SLOT.get_or_init(|| RwLock::new(None))
+}
+
+fn armed() -> Option<Arc<Armed>> {
+    slot()
+        .read()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+        .clone()
+}
+
+/// Installs `plan` process-wide, resetting all occurrence counters.
+///
+/// Replaces any previously installed plan; [`disarm`] removes it again.
+/// Hooks in instrumented crates see the new plan on their next [`trip`].
+pub fn install(plan: FaultPlan) {
+    *slot()
+        .write()
+        .unwrap_or_else(|poisoned| poisoned.into_inner()) = Some(Arc::new(Armed::new(plan)));
+}
+
+/// Removes the installed plan: every subsequent [`trip`] is a no-op.
+pub fn disarm() {
+    *slot()
+        .write()
+        .unwrap_or_else(|poisoned| poisoned.into_inner()) = None;
+}
+
+/// Whether any plan is currently installed.
+pub fn is_armed() -> bool {
+    armed().is_some()
+}
+
+fn site_index(site: FaultSite) -> usize {
+    plan::ALL_SITES.iter().position(|s| *s == site).unwrap_or(0)
+}
+
+/// Records one occurrence of `site` and reports whether it should fault.
+///
+/// Without an installed plan this is a cheap no-op returning `false`. With
+/// one, the site's process-global counter advances by one and the result is
+/// whether any plan entry covers this occurrence.
+pub fn trip(site: FaultSite) -> bool {
+    trip_value(site).is_some()
+}
+
+/// Like [`trip`], but on a firing occurrence also returns the deterministic
+/// 64-bit value keyed by `(seed, site, occurrence)` — the only randomness a
+/// fault is allowed to use (byte positions, substitute bytes).
+pub fn trip_value(site: FaultSite) -> Option<u64> {
+    let armed = armed()?;
+    let index = site_index(site);
+    let counter = armed.counters.get(index)?;
+    let occurrence = counter.fetch_add(1, Ordering::Relaxed) + 1;
+    let fires = armed
+        .plan
+        .entries
+        .iter()
+        .any(|entry| entry.site == site && entry.fires_at(occurrence));
+    fires.then(|| splitmix64(armed.plan.seed ^ (index as u64) << 32 ^ occurrence))
+}
+
+/// Panics the current thread on behalf of a fired `worker.panic` fault.
+///
+/// The panic lives here, not in the serving crate, so the serving crate's
+/// no-panic discipline (`tracelint`'s `serve-panic` rule) keeps holding for
+/// everything that is not a deliberately injected crash.
+pub fn panic_now(site: FaultSite) -> ! {
+    panic!("fault-injection: injected {site} fault")
+}
+
+/// The splitmix64 mixer: a full-period 64-bit permutation good enough to
+/// decorrelate `(seed, site, occurrence)` keys.
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// The armed plan is process-global; tests touching it serialize here.
+    fn serial() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    #[test]
+    fn unarmed_trips_are_no_ops() {
+        let _guard = serial();
+        disarm();
+        assert!(!is_armed());
+        for _ in 0..10 {
+            assert!(!trip(FaultSite::WorkerPanic));
+        }
+    }
+
+    #[test]
+    fn armed_plan_fires_on_schedule_and_resets_on_install() {
+        let _guard = serial();
+        install(FaultPlan::parse("seed:1,spec:csv.torn@3x2").unwrap());
+        let fired: Vec<bool> = (0..6).map(|_| trip(FaultSite::CsvTornRecord)).collect();
+        assert_eq!(fired, vec![false, false, true, true, false, false]);
+        // Other sites are untouched.
+        assert!(!trip(FaultSite::WorkerPanic));
+        // Re-installing resets the counters.
+        install(FaultPlan::parse("seed:1,spec:csv.torn@3x2").unwrap());
+        assert!(!trip(FaultSite::CsvTornRecord));
+        disarm();
+    }
+
+    #[test]
+    fn trip_values_are_deterministic_per_occurrence() {
+        let _guard = serial();
+        let values = |seed: &str| -> Vec<Option<u64>> {
+            install(FaultPlan::parse(seed).unwrap());
+            (0..4)
+                .map(|_| trip_value(FaultSite::CsvCorruptByte))
+                .collect()
+        };
+        let first = values("seed:9,spec:csv.corrupt@2x2");
+        let second = values("seed:9,spec:csv.corrupt@2x2");
+        assert_eq!(first, second);
+        assert!(first[0].is_none() && first[3].is_none());
+        let (a, b) = (first[1].unwrap(), first[2].unwrap());
+        assert_ne!(a, b, "distinct occurrences draw distinct values");
+        let other_seed = values("seed:10,spec:csv.corrupt@2x2");
+        assert_ne!(first[1], other_seed[1], "seed changes the value stream");
+        disarm();
+    }
+
+    #[test]
+    #[should_panic(expected = "fault-injection: injected worker.panic fault")]
+    fn panic_now_panics_with_the_site_name() {
+        panic_now(FaultSite::WorkerPanic);
+    }
+}

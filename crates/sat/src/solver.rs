@@ -1320,6 +1320,21 @@ impl Solver {
     pub fn solve_with_assumptions(&mut self, assumptions: &[Lit], limits: Limits) -> SatResult {
         let entry = self.stats;
         self.stats.solve_calls += 1;
+        #[cfg(feature = "fault-injection")]
+        {
+            use tracelearn_faults::{trip, FaultSite};
+            // Advance both occurrence counters every call so a plan firing on
+            // the nth solve stays deterministic regardless of which site is
+            // armed. Either fault surfaces exactly like the genuine path:
+            // `Unknown`, which callers map to budget exhaustion.
+            let budget = trip(FaultSite::SatBudget);
+            let interrupt = trip(FaultSite::SatInterrupt);
+            if budget || interrupt {
+                self.failed.clear();
+                self.last_call = self.stats.since(&entry);
+                return SatResult::Unknown;
+            }
+        }
         self.failed.clear();
         for lit in assumptions {
             assert!(

@@ -1,0 +1,100 @@
+//! Retry pacing for transient transport errors.
+//!
+//! Decorrelated jitter (as popularised by the AWS architecture blog): each
+//! delay is drawn uniformly from `[base, prev * 3]` and capped, which spreads
+//! synchronised retriers apart far better than plain exponential backoff
+//! while still growing the mean delay geometrically. The generator is seeded
+//! deterministically — this workspace keeps every run reproducible — so two
+//! daemons started identically pace identically; what matters is that
+//! *successive* retries of one accept loop decorrelate.
+
+use std::time::Duration;
+
+/// A decorrelated-jitter delay sequence.
+#[derive(Debug, Clone)]
+pub(crate) struct DecorrelatedJitter {
+    base: Duration,
+    cap: Duration,
+    prev: Duration,
+    state: u64,
+}
+
+impl DecorrelatedJitter {
+    /// Creates a sequence starting at `base` and never exceeding `cap`.
+    pub(crate) fn new(base: Duration, cap: Duration, seed: u64) -> Self {
+        DecorrelatedJitter {
+            base,
+            cap,
+            prev: base,
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// The next delay to sleep before retrying.
+    pub(crate) fn next_delay(&mut self) -> Duration {
+        self.state = splitmix64(self.state);
+        let base = self.base.as_nanos() as u64;
+        let ceiling = (self.prev.as_nanos() as u64).saturating_mul(3).max(base);
+        let span = ceiling - base + 1;
+        let delay = Duration::from_nanos(base + self.state % span).min(self.cap);
+        self.prev = delay;
+        delay
+    }
+
+    /// Resets the sequence after a success, so the next hiccup starts small.
+    pub(crate) fn reset(&mut self) {
+        self.prev = self.base;
+    }
+}
+
+/// SplitMix64: tiny, full-period, and plenty for retry jitter.
+fn splitmix64(state: u64) -> u64 {
+    let mut z = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_stay_within_base_and_cap() {
+        let base = Duration::from_millis(5);
+        let cap = Duration::from_millis(200);
+        let mut jitter = DecorrelatedJitter::new(base, cap, 0xDAC2020);
+        for _ in 0..100 {
+            let delay = jitter.next_delay();
+            assert!(delay >= base, "delay below base: {delay:?}");
+            assert!(delay <= cap, "delay above cap: {delay:?}");
+        }
+    }
+
+    #[test]
+    fn sequence_is_deterministic_for_a_seed() {
+        let base = Duration::from_millis(1);
+        let cap = Duration::from_millis(50);
+        let mut a = DecorrelatedJitter::new(base, cap, 7);
+        let mut b = DecorrelatedJitter::new(base, cap, 7);
+        let left: Vec<Duration> = (0..10).map(|_| a.next_delay()).collect();
+        let right: Vec<Duration> = (0..10).map(|_| b.next_delay()).collect();
+        assert_eq!(left, right);
+        // Different seeds diverge.
+        let mut c = DecorrelatedJitter::new(base, cap, 8);
+        let other: Vec<Duration> = (0..10).map(|_| c.next_delay()).collect();
+        assert_ne!(left, other);
+    }
+
+    #[test]
+    fn reset_returns_to_the_base_delay() {
+        let base = Duration::from_millis(2);
+        let mut jitter = DecorrelatedJitter::new(base, Duration::from_secs(1), 3);
+        for _ in 0..20 {
+            jitter.next_delay();
+        }
+        jitter.reset();
+        // After a reset the very next ceiling is 3 * base.
+        assert!(jitter.next_delay() <= base * 3);
+    }
+}

@@ -5,7 +5,9 @@
 //!
 //! ```text
 //! served --model NAME=SPEC [--model NAME=SPEC ...]
-//!        [--workers N] [--calibration N]
+//!        [--workers N] [--calibration N] [--queue N] [--max-streams N]
+//!        [--replay-budget N] [--stall-timeout-ms N] [--drain-timeout-ms N]
+//!        [--read-timeout-ms N] [--faults SPEC]
 //!        [--pipe MODEL | --socket PATH]
 //! ```
 //!
@@ -15,12 +17,18 @@
 //! connection is one raw CSV stream whose first line names the model. By
 //! default stdin speaks the multiplexed `open`/`data`/`close` protocol.
 //!
+//! `--faults` (and the `TRACELEARN_FAULTS` environment variable) arm a
+//! deterministic fault plan — `seed:<u64>,spec:<site>@<nth>[x<count>][;...]`
+//! — in binaries built with the `fault-injection` feature; see
+//! `docs/operations.md`. A production build rejects the flag.
+//!
 //! Exits non-zero on startup errors or when any stream failed or deviated,
 //! so a clean run is scriptable: `served ... --pipe m < trace.csv && echo ok`.
 
 use std::io::{self, BufWriter, Write};
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Duration;
 
 use tracelearn_serve::{
     serve_commands, serve_csv_stream, serve_socket, ModelSpec, Registry, ServeOptions,
@@ -38,15 +46,20 @@ struct Args {
     specs: Vec<ModelSpec>,
     options: ServeOptions,
     mode: Mode,
+    faults: Option<String>,
 }
 
 fn usage() -> &'static str {
     "usage: served --model NAME=SPEC [--model NAME=SPEC ...]\n\
-     \x20             [--workers N] [--calibration N]\n\
+     \x20             [--workers N] [--calibration N] [--queue N] [--max-streams N]\n\
+     \x20             [--replay-budget N] [--stall-timeout-ms N] [--drain-timeout-ms N]\n\
+     \x20             [--read-timeout-ms N] [--faults SPEC]\n\
      \x20             [--pipe MODEL | --socket PATH]\n\
      \n\
      SPEC is workload:<benchmark>:<length>[:<seed>] or csv:<path>.\n\
      Benchmarks: usb_slot usb_attach counter serial_port linux_kernel integrator.\n\
+     --max-streams 0 admits without bound; --read-timeout-ms 0 waits forever.\n\
+     --faults arms a deterministic fault plan (fault-injection builds only).\n\
      Default mode reads the multiplexed open/data/close protocol from stdin."
 }
 
@@ -54,24 +67,47 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
     let mut specs = Vec::new();
     let mut options = ServeOptions::default();
     let mut mode = Mode::Multiplexed;
+    let mut faults = None;
     while let Some(flag) = argv.next() {
         let mut value = |flag: &str| argv.next().ok_or_else(|| format!("{flag} needs a value"));
+        let parse_count = |flag: &str, value: String| {
+            value
+                .parse::<usize>()
+                .map_err(|e| format!("bad {flag}: {e}"))
+        };
         match flag.as_str() {
             "--model" | "-m" => {
                 let spec = value("--model")?;
                 specs.push(ModelSpec::parse(&spec).map_err(|e| e.to_string())?);
             }
             "--workers" => {
-                options.workers = value("--workers")?
-                    .parse::<usize>()
-                    .map_err(|e| format!("bad --workers: {e}"))?
-                    .max(1);
+                options.workers = parse_count("--workers", value("--workers")?)?.max(1);
             }
             "--calibration" => {
-                options.calibration_events = value("--calibration")?
-                    .parse::<usize>()
-                    .map_err(|e| format!("bad --calibration: {e}"))?;
+                options.calibration_events = parse_count("--calibration", value("--calibration")?)?;
             }
+            "--queue" => {
+                options.queue_capacity = parse_count("--queue", value("--queue")?)?.max(1);
+            }
+            "--max-streams" => {
+                options.max_open_streams = parse_count("--max-streams", value("--max-streams")?)?;
+            }
+            "--replay-budget" => {
+                options.replay_budget = parse_count("--replay-budget", value("--replay-budget")?)?;
+            }
+            "--stall-timeout-ms" => {
+                let ms = parse_count("--stall-timeout-ms", value("--stall-timeout-ms")?)?;
+                options.stall_timeout = Duration::from_millis(ms.max(1) as u64);
+            }
+            "--drain-timeout-ms" => {
+                let ms = parse_count("--drain-timeout-ms", value("--drain-timeout-ms")?)?;
+                options.drain_timeout = Duration::from_millis(ms.max(1) as u64);
+            }
+            "--read-timeout-ms" => {
+                let ms = parse_count("--read-timeout-ms", value("--read-timeout-ms")?)?;
+                options.read_timeout = (ms > 0).then(|| Duration::from_millis(ms as u64));
+            }
+            "--faults" => faults = Some(value("--faults")?),
             "--pipe" => mode = Mode::Pipe(value("--pipe")?),
             "--socket" => mode = Mode::Socket(PathBuf::from(value("--socket")?)),
             "--help" | "-h" => return Err(usage().to_string()),
@@ -85,10 +121,42 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
         specs,
         options,
         mode,
+        faults,
     })
 }
 
+/// Arms the fault plan named by `--faults` or `TRACELEARN_FAULTS`, with the
+/// flag taking precedence over the environment.
+#[cfg(feature = "fault-injection")]
+fn arm_faults(flag: Option<&str>) -> Result<(), String> {
+    let plan = match flag {
+        Some(spec) => Some(
+            tracelearn_faults::FaultPlan::parse(spec).map_err(|e| format!("bad --faults: {e}"))?,
+        ),
+        None => tracelearn_faults::FaultPlan::from_env()
+            .map_err(|e| format!("bad TRACELEARN_FAULTS: {e}"))?,
+    };
+    if let Some(plan) = plan {
+        eprintln!("served: fault plan armed: {plan:?}");
+        tracelearn_faults::install(plan);
+    }
+    Ok(())
+}
+
+/// Production builds carry no fault machinery: armed plans are a hard error
+/// rather than silently ignored chaos.
+#[cfg(not(feature = "fault-injection"))]
+fn arm_faults(flag: Option<&str>) -> Result<(), String> {
+    if flag.is_some() || std::env::var_os("TRACELEARN_FAULTS").is_some() {
+        return Err("this build has no fault-injection feature; \
+                    rebuild with --features fault-injection to use --faults"
+            .to_string());
+    }
+    Ok(())
+}
+
 fn run(args: &Args) -> Result<bool, String> {
+    arm_faults(args.faults.as_deref())?;
     let registry = Registry::load(&args.specs).map_err(|e| e.to_string())?;
     let monitors = registry.monitors();
     let stdin = io::stdin().lock();
@@ -99,8 +167,15 @@ fn run(args: &Args) -> Result<bool, String> {
             let summary = serve_commands(&monitors, stdin, stdout, &args.options)
                 .map_err(|e| format!("serving failed: {e}"))?;
             eprintln!(
-                "served: {} streams, {} events, {} deviations, {} failed",
-                summary.streams, summary.events, summary.deviations, summary.failed
+                "served: {} streams, {} events, {} deviations, {} failed, \
+                 {} shed, {} restarted, {} replayed",
+                summary.streams,
+                summary.events,
+                summary.deviations,
+                summary.failed,
+                summary.shed,
+                summary.restarted,
+                summary.replayed,
             );
             summary.deviations == 0 && summary.failed == 0
         }
@@ -117,6 +192,10 @@ fn run(args: &Args) -> Result<bool, String> {
         Mode::Socket(path) => {
             let summary = serve_socket(path, &monitors, &args.options, None)
                 .map_err(|e| format!("serving failed: {e}"))?;
+            eprintln!(
+                "served: {} streams, {} events, {} deviations, {} failed, {} shed",
+                summary.streams, summary.events, summary.deviations, summary.failed, summary.shed,
+            );
             summary.deviations == 0 && summary.failed == 0
         }
     };

@@ -1,31 +1,35 @@
-//! The serving engine: many concurrent event streams, one worker pool.
+//! The serving engine: many concurrent event streams, one supervised pool.
 //!
 //! [`serve_commands`] drives the multiplexed protocol of [`crate::protocol`]:
 //! a dispatcher thread parses commands and shards them onto a fixed pool of
 //! scoped workers by hashing the stream name, so every stream is owned by
 //! exactly one worker and its events are checked in arrival order without any
-//! cross-worker locking. Workers hold one [`MonitorSession`] per open stream
-//! (bounded resident memory per stream) and funnel verdict lines through one
-//! shared writer.
+//! cross-worker locking. The pool is *supervised* (see [`crate::mux`]):
+//! worker queues are bounded, crashed or stalled workers are replaced and
+//! their streams replayed from bounded logs, and beyond the high-water mark
+//! new streams are refused with a `busy` line instead of admitted into a
+//! degrading pool.
 //!
 //! [`serve_csv_stream`] is the single-stream fast path — a raw CSV document
 //! with no command framing — used by the daemon's `--pipe` mode and by each
 //! Unix-socket connection of [`serve_socket`].
 
-use std::collections::hash_map::{DefaultHasher, Entry};
-use std::collections::{BTreeMap, HashMap};
-use std::hash::{Hash, Hasher};
-use std::io::{self, BufRead, BufReader, Write};
+use std::collections::BTreeMap;
+use std::io::{self, BufRead, BufReader, Read, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::Path;
-use std::sync::{mpsc, Mutex};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
+use crate::backoff::DecorrelatedJitter;
+use crate::inject;
 use crate::latency::LatencyHistogram;
-use crate::protocol::{error_line, parse_command, summary_line, verdict_line, Command};
-use tracelearn_core::{Monitor, MonitorSession, DEFAULT_CALIBRATION_EVENTS};
-use tracelearn_trace::{CsvRecordDecoder, StreamingCsvReader};
+use crate::mux::{Mux, SharedTotals};
+use crate::protocol::{busy_line, error_line, parse_command, summary_line, verdict_line};
+use tracelearn_core::{Monitor, DEFAULT_CALIBRATION_EVENTS};
+use tracelearn_trace::StreamingCsvReader;
 
 /// Tuning knobs for a serving run.
 #[derive(Debug, Clone)]
@@ -35,6 +39,26 @@ pub struct ServeOptions {
     pub workers: usize,
     /// Observations each session buffers before calibrating its abstractor.
     pub calibration_events: usize,
+    /// Bound of each worker's task queue; a full queue applies backpressure
+    /// to the dispatcher (at least 1).
+    pub queue_capacity: usize,
+    /// High-water mark: beyond this many open streams, new `open`s are
+    /// refused with a `busy` line. 0 means unlimited.
+    pub max_open_streams: usize,
+    /// Events of each stream kept for crash replay. A stream that outgrows
+    /// the budget is sacrificed if its worker dies. 0 disables replay.
+    pub replay_budget: usize,
+    /// How long a worker may sit behind on its queue with no forward
+    /// progress before the watchdog condemns and replaces it.
+    pub stall_timeout: Duration,
+    /// Shutdown deadline: how long end-of-input waits for workers to drain
+    /// and close their streams before condemning the remainder.
+    pub drain_timeout: Duration,
+    /// Read deadline on socket connections; `None` waits forever.
+    pub read_timeout: Option<Duration>,
+    /// Bound on one protocol (or socket model-header) line; longer lines
+    /// are rejected with an `error` line, never buffered whole.
+    pub max_line_bytes: usize,
 }
 
 impl Default for ServeOptions {
@@ -46,23 +70,41 @@ impl Default for ServeOptions {
         ServeOptions {
             workers,
             calibration_events: DEFAULT_CALIBRATION_EVENTS,
+            queue_capacity: 512,
+            max_open_streams: 1024,
+            replay_budget: 8192,
+            stall_timeout: Duration::from_secs(2),
+            drain_timeout: Duration::from_secs(30),
+            read_timeout: Some(Duration::from_secs(30)),
+            max_line_bytes: 1 << 20,
         }
     }
 }
 
 /// What a serving run processed, summed over all streams.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ServeSummary {
-    /// Streams that were opened and reached their close (explicit or EOF).
+    /// Streams that were opened and reached their close (explicit or EOF),
+    /// including failed ones.
     pub streams: usize,
     /// Events pushed through monitor sessions.
     pub events: usize,
     /// Deviations across all stream reports.
     pub deviations: usize,
     /// Streams that aborted before a summary could be emitted (bad header,
-    /// decode failure, lost worker). Each was reported on its own error
-    /// line; none of them took a worker down.
+    /// decode failure, lost worker past replay). Each was reported on its
+    /// own error line; none of them took the run down.
     pub failed: usize,
+    /// `open`s refused with a `busy` line at the high-water mark.
+    pub shed: usize,
+    /// Worker incarnations replaced after a crash or stall.
+    pub restarted: usize,
+    /// Records replayed into replacement workers.
+    pub replayed: usize,
+    /// Verdict latencies of admitted streams (merged at stream close).
+    pub admitted_latency: LatencyHistogram,
+    /// Dispatcher-side handling latencies of shed `open`s.
+    pub shed_latency: LatencyHistogram,
 }
 
 /// What one raw CSV stream produced.
@@ -76,213 +118,83 @@ pub struct StreamOutcome {
     pub failed: bool,
 }
 
-#[derive(Debug, Default)]
-struct WorkerTotals {
-    streams: usize,
-    events: usize,
-    deviations: usize,
-    failed: usize,
+/// Writes one output line, honouring any armed transport faults (dropped or
+/// torn lines). The production build compiles this down to `writeln!`.
+pub(crate) fn write_line<W: Write>(output: &mut W, line: &str) -> io::Result<()> {
+    if inject::transport_drop() {
+        return Ok(());
+    }
+    if let Some(cut) = inject::transport_half(line.len()) {
+        // A torn write: a prefix reaches the wire, the newline does not.
+        let torn = line.get(..cut).unwrap_or("");
+        return output.write_all(torn.as_bytes());
+    }
+    writeln!(output, "{line}")
 }
 
-/// One open stream owned by a pool worker.
-struct StreamState<'m> {
-    monitor: &'m Monitor<'m>,
-    decoder: Option<CsvRecordDecoder>,
-    session: Option<MonitorSession<'m>>,
-    seq: u64,
-    events: usize,
-    latency: LatencyHistogram,
-    failed: bool,
-}
-
-impl<'m> StreamState<'m> {
-    fn new(monitor: &'m Monitor<'m>) -> Self {
-        StreamState {
-            monitor,
-            decoder: None,
-            session: None,
-            seq: 0,
-            events: 0,
-            latency: LatencyHistogram::new(),
-            failed: false,
-        }
-    }
-
-    /// Feeds one CSV record (the first is the header) into the stream.
-    fn data<W: Write>(
-        &mut self,
-        name: &str,
-        payload: &str,
-        options: &ServeOptions,
-        output: &Mutex<W>,
-    ) {
-        if self.failed {
-            return;
-        }
-        if self.decoder.is_none() {
-            match CsvRecordDecoder::from_header(payload) {
-                Ok(decoder) => {
-                    if decoder.signature() != self.monitor.model().signature() {
-                        emit(
-                            output,
-                            &error_line(name, "stream signature does not match the model"),
-                        );
-                        self.failed = true;
-                        return;
-                    }
-                    match self
-                        .monitor
-                        .session_with_calibration(decoder.signature(), options.calibration_events)
-                    {
-                        Ok(session) => {
-                            self.session = Some(session);
-                            self.decoder = Some(decoder);
-                        }
-                        Err(e) => {
-                            emit(output, &error_line(name, &e.to_string()));
-                            self.failed = true;
-                        }
-                    }
-                }
-                Err(e) => {
-                    emit(output, &error_line(name, &e.to_string()));
-                    self.failed = true;
-                }
-            }
-            return;
-        }
-        // Both halves were installed together by the header branch above; a
-        // missing one is an internal inconsistency, which fails this stream
-        // rather than the worker.
-        let (Some(decoder), Some(session)) = (self.decoder.as_mut(), self.session.as_mut()) else {
-            emit(
-                output,
-                &error_line(name, "internal: stream state incomplete"),
-            );
-            self.failed = true;
-            return;
-        };
-        // The header was input line 1 of this stream.
-        let observation = match decoder.decode(payload, self.events + 2) {
-            Ok(observation) => observation,
-            Err(e) => {
-                emit(output, &error_line(name, &e.to_string()));
-                self.failed = true;
-                return;
-            }
-        };
-        let start = Instant::now();
-        match session.push_event(&observation, decoder.symbols()) {
-            Ok(verdict) => {
-                self.latency.record(start.elapsed());
-                self.events += 1;
-                self.seq += 1;
-                emit(output, &verdict_line(name, self.seq, &verdict));
-            }
-            Err(e) => {
-                emit(output, &error_line(name, &e.to_string()));
-                self.failed = true;
-            }
-        }
-    }
-
-    /// Finishes the stream: end-of-trace checks and the summary line.
-    fn close<W: Write>(self, name: &str, output: &Mutex<W>, totals: &mut WorkerTotals) {
-        totals.streams += 1;
-        totals.events += self.events;
-        if self.failed {
-            // The failure was already reported on its own error line.
-            totals.failed += 1;
-            return;
-        }
-        let (Some(session), Some(decoder)) = (self.session, self.decoder) else {
-            totals.failed += 1;
-            emit(
-                output,
-                &error_line(name, "closed before the CSV header arrived"),
-            );
-            return;
-        };
-        match session.finish(decoder.symbols()) {
-            Ok(report) => {
-                totals.deviations += report.deviations.len();
-                emit(
-                    output,
-                    &summary_line(name, self.events, &report, &self.latency),
-                );
-            }
-            Err(e) => {
-                totals.failed += 1;
-                emit(output, &error_line(name, &e.to_string()));
-            }
-        }
-    }
-}
-
-fn emit<W: Write>(output: &Mutex<W>, line: &str) {
+pub(crate) fn emit<W: Write>(output: &Mutex<W>, line: &str) {
     let mut guard = output
         .lock()
         .unwrap_or_else(|poisoned| poisoned.into_inner());
     // A reader that hung up is not the monitor's problem; keep serving.
-    let _ = writeln!(guard, "{line}");
+    let _ = write_line(&mut *guard, line);
 }
 
-fn worker_for(stream: &str, workers: usize) -> usize {
-    let mut hasher = DefaultHasher::new();
-    stream.hash(&mut hasher);
-    (hasher.finish() % workers as u64) as usize
+/// Outcome of one bounded line read.
+enum BoundedLine {
+    Eof,
+    Line,
+    /// The line exceeded the cap; its remainder was discarded.
+    Oversized,
 }
 
-fn run_worker<'m, W: Write>(
-    monitors: &BTreeMap<String, Monitor<'m>>,
-    commands: mpsc::Receiver<Command>,
-    options: &ServeOptions,
-    output: &Mutex<W>,
-) -> WorkerTotals {
-    let mut streams: HashMap<String, StreamState<'_>> = HashMap::new();
-    let mut totals = WorkerTotals::default();
-    for command in commands {
-        match command {
-            Command::Open { stream, model } => match streams.entry(stream) {
-                Entry::Occupied(occupied) => {
-                    emit(output, &error_line(occupied.key(), "stream already open"));
-                }
-                Entry::Vacant(vacant) => {
-                    if let Some(monitor) = monitors.get(&model) {
-                        vacant.insert(StreamState::new(monitor));
-                    } else {
-                        emit(
-                            output,
-                            &error_line(vacant.key(), &format!("unknown model {model:?}")),
-                        );
-                    }
-                }
-            },
-            Command::Data { stream, payload } => match streams.get_mut(&stream) {
-                Some(state) => state.data(&stream, &payload, options, output),
-                None => emit(output, &error_line(&stream, "data before open")),
-            },
-            Command::Close { stream } => match streams.remove(&stream) {
-                Some(state) => state.close(&stream, output, &mut totals),
-                None => emit(output, &error_line(&stream, "close before open")),
-            },
+/// Reads one input line into `line`, never buffering more than `max + 1`
+/// bytes of it. An oversized line is discarded through to its newline so
+/// the protocol stays in sync.
+fn read_bounded_line<R: BufRead>(
+    input: &mut R,
+    line: &mut String,
+    max: usize,
+) -> io::Result<BoundedLine> {
+    let read = {
+        let mut limited = Read::take(&mut *input, max as u64 + 1);
+        limited.read_line(line)?
+    };
+    if read == 0 {
+        return Ok(BoundedLine::Eof);
+    }
+    if line.ends_with('\n') || line.len() <= max {
+        return Ok(BoundedLine::Line);
+    }
+    loop {
+        let (skip, done) = {
+            let buffer = input.fill_buf()?;
+            if buffer.is_empty() {
+                break;
+            }
+            match buffer.iter().position(|&byte| byte == b'\n') {
+                Some(position) => (position + 1, true),
+                None => (buffer.len(), false),
+            }
+        };
+        input.consume(skip);
+        if done {
+            break;
         }
     }
-    // End of input closes every remaining stream, in a stable order.
-    let mut remaining: Vec<(String, StreamState<'_>)> = streams.drain().collect();
-    remaining.sort_by(|a, b| a.0.cmp(&b.0));
-    for (name, state) in remaining {
-        state.close(&name, output, &mut totals);
-    }
-    totals
+    Ok(BoundedLine::Oversized)
 }
 
 /// Serves the multiplexed `open`/`data`/`close` protocol from `input`,
-/// writing verdicts, summaries and errors to `output`.
+/// writing verdicts, summaries, errors, `busy` refusals and supervision
+/// `info` lines to `output`.
 ///
 /// Commands for the same stream are processed strictly in input order; the
 /// interleaving of *different* streams' output lines depends on worker
-/// scheduling (use one worker for fully deterministic output).
+/// scheduling (use one worker for fully deterministic output). Worker
+/// crashes and stalls are survived by replaying the affected streams from
+/// bounded logs — see [`ServeOptions::replay_budget`] — and are visible only
+/// as `info` lines and the [`ServeSummary::restarted`] counter.
 ///
 /// # Errors
 ///
@@ -291,70 +203,51 @@ fn run_worker<'m, W: Write>(
 /// instead.
 pub fn serve_commands<R: BufRead, W: Write + Send>(
     monitors: &BTreeMap<String, Monitor<'_>>,
-    input: R,
+    mut input: R,
     output: W,
     options: &ServeOptions,
 ) -> io::Result<ServeSummary> {
-    let workers = options.workers.max(1);
+    let max_line = options.max_line_bytes.max(1);
     let output = Mutex::new(output);
-    thread::scope(|scope| -> io::Result<ServeSummary> {
-        let mut senders = Vec::with_capacity(workers);
-        let mut handles = Vec::with_capacity(workers);
-        for _ in 0..workers {
-            let (sender, receiver) = mpsc::channel::<Command>();
-            senders.push(sender);
-            let output = &output;
-            handles.push(scope.spawn(move || run_worker(monitors, receiver, options, output)));
-        }
-        for line in input.lines() {
-            let line = line?;
-            if line.trim().is_empty() {
-                continue;
-            }
-            match parse_command(&line) {
-                Ok(command) => {
-                    let worker = worker_for(command.stream(), workers);
-                    // A send can only fail if the worker is gone (it
-                    // panicked); the join below reports that.
-                    match senders.get(worker) {
-                        Some(sender) => {
-                            let _ = sender.send(command);
-                        }
-                        None => emit(
-                            &output,
-                            &error_line(command.stream(), "internal: no worker for stream"),
-                        ),
+    let totals = SharedTotals::default();
+    let latency = Mutex::new(LatencyHistogram::new());
+    let stats = thread::scope(|scope| -> io::Result<crate::mux::MuxStats> {
+        let mut mux = Mux::new(scope, monitors, options, &output, &totals, &latency);
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match read_bounded_line(&mut input, &mut line, max_line)? {
+                BoundedLine::Eof => break,
+                BoundedLine::Oversized => emit(
+                    &output,
+                    &error_line("-", &format!("line exceeds {max_line} bytes")),
+                ),
+                BoundedLine::Line => {
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    match parse_command(&line) {
+                        Ok(command) => mux.dispatch(command),
+                        Err(message) => emit(&output, &error_line("-", &message)),
                     }
                 }
-                Err(message) => emit(&output, &error_line("-", &message)),
             }
         }
-        drop(senders);
-        let mut summary = ServeSummary::default();
-        for handle in handles {
-            match handle.join() {
-                Ok(totals) => {
-                    summary.streams += totals.streams;
-                    summary.events += totals.events;
-                    summary.deviations += totals.deviations;
-                    summary.failed += totals.failed;
-                }
-                Err(_) => {
-                    // The worker's streams die with it, but serving the
-                    // other shards' results is still worth more than a
-                    // process abort.
-                    summary.failed += 1;
-                    emit(
-                        &output,
-                        &error_line(
-                            "-",
-                            "internal: a serve worker panicked; its streams were dropped",
-                        ),
-                    );
-                }
-            }
-        }
-        Ok(summary)
+        Ok(mux.shutdown())
+    })?;
+    let admitted_latency = latency
+        .into_inner()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    Ok(ServeSummary {
+        streams: totals.streams(),
+        events: totals.events(),
+        deviations: totals.deviations(),
+        failed: totals.failed(),
+        shed: stats.shed,
+        restarted: stats.restarted,
+        replayed: stats.replayed,
+        admitted_latency,
+        shed_latency: stats.shed_latency,
     })
 }
 
@@ -376,7 +269,7 @@ pub fn serve_csv_stream<R: BufRead, W: Write>(
     let mut outcome = StreamOutcome::default();
     let failed = |output: &mut W, message: &str, outcome: &mut StreamOutcome| {
         outcome.failed = true;
-        writeln!(output, "{}", error_line(stream_name, message))
+        write_line(output, &error_line(stream_name, message))
     };
     let mut reader = match StreamingCsvReader::new(input) {
         Ok(reader) => reader,
@@ -418,7 +311,7 @@ pub fn serve_csv_stream<R: BufRead, W: Write>(
                 latency.record(start.elapsed());
                 outcome.events += 1;
                 seq += 1;
-                writeln!(output, "{}", verdict_line(stream_name, seq, &verdict))?;
+                write_line(&mut output, &verdict_line(stream_name, seq, &verdict))?;
             }
             Err(e) => {
                 failed(&mut output, &e.to_string(), &mut outcome)?;
@@ -429,10 +322,9 @@ pub fn serve_csv_stream<R: BufRead, W: Write>(
     match session.finish(reader.symbols()) {
         Ok(report) => {
             outcome.deviations = report.deviations.len();
-            writeln!(
-                output,
-                "{}",
-                summary_line(stream_name, outcome.events, &report, &latency)
+            write_line(
+                &mut output,
+                &summary_line(stream_name, outcome.events, &report, &latency),
             )?;
         }
         Err(e) => failed(&mut output, &e.to_string(), &mut outcome)?,
@@ -440,15 +332,29 @@ pub fn serve_csv_stream<R: BufRead, W: Write>(
     Ok(outcome)
 }
 
+/// Whether an accept error is worth retrying (with decorrelated-jitter
+/// pacing) rather than fatal to the listener.
+fn transient_accept_error(error: &io::Error) -> bool {
+    matches!(
+        error.kind(),
+        io::ErrorKind::Interrupted | io::ErrorKind::WouldBlock | io::ErrorKind::ConnectionAborted
+    )
+}
+
 /// Accepts Unix-socket connections on `path` and serves each as one raw CSV
 /// stream: the first line names the registry model, the rest is the CSV
-/// document. Connections are handled on scoped threads; `max_connections`
-/// bounds how many are accepted before returning (`None` serves forever).
+/// document. Connections are handled on scoped threads with a read deadline
+/// ([`ServeOptions::read_timeout`]); beyond
+/// [`ServeOptions::max_open_streams`] concurrent connections, new ones are
+/// refused with a `busy` line and counted as shed. Transient accept errors
+/// are retried with decorrelated-jitter pacing. `max_connections` bounds how
+/// many are accepted (shed included) before returning (`None` serves
+/// forever).
 ///
 /// # Errors
 ///
-/// Returns binding/accept errors; per-connection failures are reported on
-/// that connection and counted as failed streams.
+/// Returns binding errors and non-transient accept errors; per-connection
+/// failures are reported on that connection and counted as failed streams.
 pub fn serve_socket(
     path: &Path,
     monitors: &BTreeMap<String, Monitor<'_>>,
@@ -458,15 +364,50 @@ pub fn serve_socket(
     // A stale socket file from a previous run would make bind fail.
     let _ = std::fs::remove_file(path);
     let listener = UnixListener::bind(path)?;
+    let active = Arc::new(AtomicUsize::new(0));
+    let shed = AtomicUsize::new(0);
+    let mut backoff = DecorrelatedJitter::new(
+        Duration::from_millis(5),
+        Duration::from_millis(500),
+        0xDAC2020,
+    );
     thread::scope(|scope| -> io::Result<ServeSummary> {
         let mut handles = Vec::new();
-        for (index, connection) in listener.incoming().enumerate() {
-            let connection = connection?;
-            handles
-                .push(scope.spawn(move || handle_connection(connection, index, monitors, options)));
-            if max_connections.is_some_and(|max| index + 1 >= max) {
-                break;
+        let mut accepted = 0usize;
+        while !max_connections.is_some_and(|max| accepted >= max) {
+            let connection = match listener.accept() {
+                Ok((connection, _)) => {
+                    backoff.reset();
+                    connection
+                }
+                Err(error) if transient_accept_error(&error) => {
+                    thread::sleep(backoff.next_delay());
+                    continue;
+                }
+                Err(error) => return Err(error),
+            };
+            let index = accepted;
+            accepted += 1;
+            let limit = options.max_open_streams;
+            let open = active.load(Ordering::Relaxed);
+            if limit != 0 && open >= limit {
+                // Overload: refuse explicitly instead of queueing the
+                // connection behind a saturated pool.
+                shed.fetch_add(1, Ordering::Relaxed);
+                let mut connection = connection;
+                let _ = write_line(
+                    &mut connection,
+                    &busy_line(&format!("conn{index}"), open, limit),
+                );
+                continue;
             }
+            active.fetch_add(1, Ordering::Relaxed);
+            let active = Arc::clone(&active);
+            handles.push(scope.spawn(move || {
+                let outcome = handle_connection(connection, index, monitors, options);
+                active.fetch_sub(1, Ordering::Relaxed);
+                outcome
+            }));
         }
         let mut summary = ServeSummary::default();
         for handle in handles {
@@ -480,6 +421,7 @@ pub fn serve_socket(
                 Err(_) => summary.failed += 1,
             }
         }
+        summary.shed = shed.load(Ordering::Relaxed);
         Ok(summary)
     })
 }
@@ -495,21 +437,43 @@ fn handle_connection(
         failed: true,
         ..StreamOutcome::default()
     };
+    // A slow-loris client must not pin this thread forever.
+    if connection.set_read_timeout(options.read_timeout).is_err() {
+        return aborted;
+    }
     let Ok(read_half) = connection.try_clone() else {
         return aborted;
     };
     let mut writer = connection;
     let mut reader = BufReader::new(read_half);
     let mut first = String::new();
-    if reader.read_line(&mut first).is_err() {
-        return aborted;
+    let max_line = options.max_line_bytes.max(1);
+    let read = {
+        let mut limited = Read::take(&mut reader, max_line as u64 + 1);
+        limited.read_line(&mut first)
+    };
+    match read {
+        Ok(_) if first.len() > max_line && !first.ends_with('\n') => {
+            let _ = write_line(
+                &mut writer,
+                &error_line(&stream_name, &format!("line exceeds {max_line} bytes")),
+            );
+            return aborted;
+        }
+        Ok(_) => {}
+        Err(e) => {
+            let _ = write_line(
+                &mut writer,
+                &error_line(&stream_name, &format!("read failed: {e}")),
+            );
+            return aborted;
+        }
     }
     let model = first.trim();
     let Some(monitor) = monitors.get(model) else {
-        let _ = writeln!(
-            writer,
-            "{}",
-            error_line(&stream_name, &format!("unknown model {model:?}"))
+        let _ = write_line(
+            &mut writer,
+            &error_line(&stream_name, &format!("unknown model {model:?}")),
         );
         return aborted;
     };
@@ -539,6 +503,7 @@ mod tests {
         ServeOptions {
             workers,
             calibration_events: 64,
+            ..ServeOptions::default()
         }
     }
 
@@ -567,6 +532,9 @@ mod tests {
         assert_eq!(summary.streams, 2);
         assert_eq!(summary.events, 2 * records.len());
         assert_eq!(summary.deviations, 0);
+        assert_eq!(summary.shed, 0);
+        assert_eq!(summary.restarted, 0);
+        assert_eq!(summary.admitted_latency.count() as usize, 2 * records.len());
 
         let output = String::from_utf8(output).unwrap();
         let verdicts = output.lines().filter(|l| l.starts_with("verdict ")).count();
@@ -648,6 +616,147 @@ mod tests {
         assert!(output.contains("error ghost data before open"));
         assert!(output.contains("error ghost close before open"));
         assert!(output.contains("error - unknown verb"));
+    }
+
+    #[test]
+    fn every_stream_degradation_path_is_counted_as_failed() {
+        let registry = counter_registry();
+        let monitors = registry.monitors();
+        let csv = counter_csv(300);
+        let mut lines = csv.lines();
+        let header = lines.next().unwrap();
+        let records: Vec<&str> = lines.collect();
+
+        let mut input = String::new();
+        // Path 1: closed before its CSV header ever arrived.
+        input.push_str("open headerless counter\nclose headerless\n");
+        // Path 2: a record that cannot decode kills that stream only.
+        input.push_str(&format!("open garbled counter\ndata garbled {header}\n"));
+        input.push_str("data garbled this,is,not,an,integer\n");
+        // Data after the failure is swallowed — the stream is already dead.
+        input.push_str(&format!("data garbled {}\n", records[0]));
+        input.push_str("close garbled\n");
+        // Path 3: a trace too short for end-of-stream checks fails at close.
+        input.push_str(&format!("open stub counter\ndata stub {header}\n"));
+        input.push_str(&format!("data stub {}\nclose stub\n", records[0]));
+        // A healthy stream rides through all three failures untouched.
+        input.push_str(&format!("open ok counter\ndata ok {header}\n"));
+        for record in &records {
+            input.push_str(&format!("data ok {record}\n"));
+        }
+        input.push_str("close ok\n");
+
+        let mut output = Vec::new();
+        let summary =
+            serve_commands(&monitors, input.as_bytes(), &mut output, &test_options(1)).unwrap();
+        let output = String::from_utf8(output).unwrap();
+
+        assert_eq!(summary.streams, 4, "{output}");
+        assert_eq!(summary.failed, 3, "{output}");
+        assert_eq!(summary.deviations, 0);
+        assert!(
+            output.contains("error headerless closed before the CSV header arrived"),
+            "{output}"
+        );
+        assert!(output.contains("error garbled "), "{output}");
+        assert!(output.contains("error stub "), "{output}");
+        // Each dead stream reports exactly once, even `garbled` which saw
+        // more data after its failure.
+        for stream in ["headerless", "garbled", "stub"] {
+            let errors = output
+                .lines()
+                .filter(|l| l.starts_with(&format!("error {stream} ")))
+                .count();
+            assert_eq!(errors, 1, "{stream} reported {errors} errors:\n{output}");
+            assert!(
+                !output.contains(&format!("summary {stream} ")),
+                "failed stream {stream} also got a summary:\n{output}"
+            );
+        }
+        assert!(output.contains("summary ok events=300"), "{output}");
+    }
+
+    #[test]
+    fn opens_beyond_the_high_water_mark_are_shed_with_busy() {
+        let registry = counter_registry();
+        let monitors = registry.monitors();
+        let csv = counter_csv(300);
+        let mut lines = csv.lines();
+        let header = lines.next().unwrap();
+        let records: Vec<&str> = lines.collect();
+
+        let mut input = String::new();
+        input.push_str(&format!("open keep counter\ndata keep {header}\n"));
+        // At the high-water mark of 1, this open must be refused.
+        input.push_str("open extra counter\n");
+        input.push_str("data extra 1\n");
+        for record in &records {
+            input.push_str(&format!("data keep {record}\n"));
+        }
+        // After `keep` closes, the slot frees up and a new open is admitted.
+        input.push_str("close keep\n");
+        input.push_str(&format!("open late counter\ndata late {header}\n"));
+        for record in &records {
+            input.push_str(&format!("data late {record}\n"));
+        }
+        input.push_str("close late\n");
+
+        let options = ServeOptions {
+            max_open_streams: 1,
+            ..test_options(1)
+        };
+        let mut output = Vec::new();
+        let summary = serve_commands(&monitors, input.as_bytes(), &mut output, &options).unwrap();
+
+        let output = String::from_utf8(output).unwrap();
+        assert_eq!(summary.shed, 1, "{output}");
+        assert_eq!(summary.streams, 2, "keep and late both served: {output}");
+        assert_eq!(summary.failed, 0, "{output}");
+        assert_eq!(summary.shed_latency.count(), 1);
+        assert!(
+            output.contains("busy extra open=1 limit=1"),
+            "no busy line in: {output}"
+        );
+        // The shed stream was never opened, so its data is an error.
+        assert!(output.contains("error extra data before open"));
+        assert!(output.contains("summary keep "));
+        assert!(output.contains("summary late "));
+    }
+
+    #[test]
+    fn oversized_protocol_lines_are_rejected_in_sync() {
+        let registry = counter_registry();
+        let monitors = registry.monitors();
+        let csv = counter_csv(300);
+        let mut lines = csv.lines();
+        let header = lines.next().unwrap();
+        let records: Vec<&str> = lines.collect();
+
+        let mut input = String::new();
+        input.push_str(&format!("open s counter\ndata s {header}\n"));
+        // A monster line must be rejected without desyncing the protocol.
+        input.push_str(&format!("data s {}\n", "9".repeat(4096)));
+        for record in &records {
+            input.push_str(&format!("data s {record}\n"));
+        }
+        input.push_str("close s\n");
+
+        let options = ServeOptions {
+            max_line_bytes: 256,
+            ..test_options(1)
+        };
+        let mut output = Vec::new();
+        let summary = serve_commands(&monitors, input.as_bytes(), &mut output, &options).unwrap();
+
+        let output = String::from_utf8(output).unwrap();
+        assert!(
+            output.contains("error - line exceeds 256 bytes"),
+            "no cap error in: {output}"
+        );
+        // The stream itself survives: the oversized record never reached it.
+        assert_eq!(summary.streams, 1);
+        assert_eq!(summary.failed, 0);
+        assert_eq!(summary.events, records.len());
     }
 
     #[test]
@@ -742,5 +851,45 @@ mod tests {
         assert_eq!(summary.streams, 1);
         assert_eq!(summary.events, 300);
         assert_eq!(summary.deviations, 0);
+    }
+
+    #[test]
+    fn slow_socket_clients_hit_the_read_deadline() {
+        let registry = counter_registry();
+        let monitors = registry.monitors();
+        let path =
+            std::env::temp_dir().join(format!("tracelearn-serve-slow-{}.sock", std::process::id()));
+        let options = ServeOptions {
+            read_timeout: Some(Duration::from_millis(50)),
+            ..test_options(1)
+        };
+
+        let summary = thread::scope(|scope| {
+            let server = scope.spawn(|| serve_socket(&path, &monitors, &options, Some(1)));
+            let mut connection = None;
+            for _ in 0..200 {
+                match UnixStream::connect(&path) {
+                    Ok(c) => {
+                        connection = Some(c);
+                        break;
+                    }
+                    Err(_) => thread::sleep(Duration::from_millis(5)),
+                }
+            }
+            let mut connection = connection.expect("server never bound its socket");
+            // Send the model line, then stall without data and without EOF.
+            connection.write_all(b"counter\n").unwrap();
+            let mut response = String::new();
+            use std::io::Read;
+            connection.read_to_string(&mut response).unwrap();
+            assert!(
+                response.contains("error conn0 "),
+                "expected a deadline error, got: {response}"
+            );
+            server.join().expect("server panicked").unwrap()
+        });
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(summary.streams, 1);
+        assert_eq!(summary.failed, 1);
     }
 }

@@ -1,0 +1,88 @@
+//! Serving-side fault-injection points.
+//!
+//! Each hook compiles to a no-op (or a constant `false`/`None`) unless the
+//! `fault-injection` feature is on, so the production binary carries zero
+//! chaos machinery. With the feature on, a hook fires only when the armed
+//! [`tracelearn_faults::FaultPlan`] says its site fires at this occurrence —
+//! fully deterministic under a pinned seed.
+//!
+//! The panic itself lives in `tracelearn-faults` ([`panic_now`]), not here:
+//! this crate's own sources are lint-clean of panicking constructs
+//! (`tracelint` rule `serve-panic`), injected crashes included.
+//!
+//! [`panic_now`]: tracelearn_faults::panic_now
+
+#[cfg(feature = "fault-injection")]
+mod enabled {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::time::Duration;
+
+    use tracelearn_faults::{trip, trip_value, FaultSite};
+
+    /// Crashes the calling worker when the `worker.panic` site fires.
+    pub(crate) fn worker_panic_point() {
+        if trip(FaultSite::WorkerPanic) {
+            tracelearn_faults::panic_now(FaultSite::WorkerPanic);
+        }
+    }
+
+    /// Stalls the calling worker when the `worker.stall` site fires: blocks
+    /// until the supervisor's watchdog condemns it via `cancel`. Returns
+    /// `true` when the current task must be abandoned (the replacement
+    /// worker owns the stream now).
+    pub(crate) fn worker_stalled(cancel: &AtomicBool) -> bool {
+        if !trip(FaultSite::WorkerStall) {
+            return false;
+        }
+        while !cancel.load(Ordering::Relaxed) {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        true
+    }
+
+    /// Whether the `transport.drop` site swallows this output line whole.
+    pub(crate) fn transport_drop() -> bool {
+        trip(FaultSite::TransportDrop)
+    }
+
+    /// When the `transport.half` site fires, how many bytes of an
+    /// `len`-byte line reach the wire before the write is torn.
+    pub(crate) fn transport_half(len: usize) -> Option<usize> {
+        trip_value(FaultSite::TransportHalfWrite).map(|value| {
+            if len == 0 {
+                0
+            } else {
+                value as usize % len
+            }
+        })
+    }
+}
+
+#[cfg(feature = "fault-injection")]
+pub(crate) use enabled::*;
+
+#[cfg(not(feature = "fault-injection"))]
+mod disabled {
+    use std::sync::atomic::AtomicBool;
+
+    #[inline(always)]
+    pub(crate) fn worker_panic_point() {}
+
+    #[inline(always)]
+    pub(crate) fn worker_stalled(_cancel: &AtomicBool) -> bool {
+        false
+    }
+
+    #[inline(always)]
+    pub(crate) fn transport_drop() -> bool {
+        false
+    }
+
+    #[inline(always)]
+    pub(crate) fn transport_half(_len: usize) -> Option<usize> {
+        None
+    }
+}
+
+#[cfg(not(feature = "fault-injection"))]
+pub(crate) use disabled::*;

@@ -5,13 +5,18 @@
 //! check times. A fixed array of power-of-two buckets gives approximate
 //! quantiles (within 2× of the true value) at zero allocation per event —
 //! the same bounded-resident-memory discipline as the session itself.
+//!
+//! The bucket range is deliberately finite: anything past the top bucket
+//! (about 18 minutes) is not a latency, it is an outage. Such samples
+//! saturate into an explicit overflow counter instead of pretending a
+//! 2⁶³-nanosecond bucket is a meaningful percentile band.
 
 use std::time::Duration;
 
 /// Number of power-of-two nanosecond buckets: bucket `i` holds samples with
-/// `i` significant bits (bucket 0 = 0 ns, bucket 64 = the top of the u64
-/// range).
-const BUCKETS: usize = 65;
+/// `i` significant bits (bucket 0 = 0 ns, bucket 40 ≈ 1100 s). Samples above
+/// the top bucket saturate into [`LatencyHistogram::overflow`].
+const BUCKETS: usize = 41;
 
 /// A histogram of durations in power-of-two nanosecond buckets.
 ///
@@ -26,13 +31,15 @@ const BUCKETS: usize = 65;
 ///     histogram.record(Duration::from_micros(us));
 /// }
 /// assert_eq!(histogram.count(), 4);
+/// assert_eq!(histogram.overflow(), 0);
 /// assert!(histogram.quantile_ns(0.5) >= 1_000);
 /// assert!(histogram.max_ns() >= 100_000);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LatencyHistogram {
     buckets: [u64; BUCKETS],
     count: u64,
+    overflow: u64,
     max_ns: u64,
 }
 
@@ -41,6 +48,7 @@ impl Default for LatencyHistogram {
         LatencyHistogram {
             buckets: [0; BUCKETS],
             count: 0,
+            overflow: 0,
             max_ns: 0,
         }
     }
@@ -52,22 +60,30 @@ impl LatencyHistogram {
         LatencyHistogram::default()
     }
 
-    /// Records one duration.
+    /// Records one duration. Durations past the top bucket saturate into the
+    /// overflow counter (they still count towards [`count`](Self::count) and
+    /// [`max_ns`](Self::max_ns)).
     pub fn record(&mut self, elapsed: Duration) {
         let ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
-        // `64 - leading_zeros` is at most 64 < BUCKETS, so the lookup never
-        // misses; `get_mut` keeps the request path free of panicking indexing.
         let bucket = (64 - ns.leading_zeros()) as usize;
-        if let Some(samples) = self.buckets.get_mut(bucket) {
-            *samples += 1;
+        // `get_mut` keeps the request path free of panicking indexing; a
+        // miss is exactly the saturation case.
+        match self.buckets.get_mut(bucket) {
+            Some(samples) => *samples += 1,
+            None => self.overflow += 1,
         }
         self.count += 1;
         self.max_ns = self.max_ns.max(ns);
     }
 
-    /// Number of recorded samples.
+    /// Number of recorded samples (including overflowed ones).
     pub fn count(&self) -> u64 {
         self.count
+    }
+
+    /// Samples past the top bucket (≈18 minutes): outages, not latencies.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
     }
 
     /// The largest recorded duration in nanoseconds.
@@ -75,8 +91,19 @@ impl LatencyHistogram {
         self.max_ns
     }
 
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.overflow += other.overflow;
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+
     /// An upper bound (within 2×) on the `q`-quantile in nanoseconds;
-    /// 0 when nothing was recorded.
+    /// 0 when nothing was recorded. Quantiles that land in the overflow
+    /// region report the true recorded maximum.
     pub fn quantile_ns(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
@@ -86,14 +113,12 @@ impl LatencyHistogram {
         for (bucket, &samples) in self.buckets.iter().enumerate() {
             cumulative += samples;
             if cumulative >= target {
-                let upper = if bucket >= 64 {
-                    u64::MAX
-                } else {
-                    (1u64 << bucket) - 1
-                };
+                let upper = if bucket == 0 { 0 } else { (1u64 << bucket) - 1 };
                 return upper.min(self.max_ns);
             }
         }
+        // The target sits in the overflow band; the max is the only honest
+        // bound we still have.
         self.max_ns
     }
 
@@ -116,6 +141,7 @@ mod tests {
     fn empty_histogram_is_all_zero() {
         let histogram = LatencyHistogram::new();
         assert_eq!(histogram.count(), 0);
+        assert_eq!(histogram.overflow(), 0);
         assert_eq!(histogram.quantile_ns(0.5), 0);
         assert_eq!(histogram.max_ns(), 0);
     }
@@ -142,5 +168,34 @@ mod tests {
         histogram.record(Duration::from_secs(u64::MAX / 1_000_000_000));
         assert_eq!(histogram.count(), 2);
         assert!(histogram.quantile_ns(0.0) <= histogram.quantile_ns(1.0));
+    }
+
+    #[test]
+    fn outage_length_samples_saturate_into_overflow() {
+        let mut histogram = LatencyHistogram::new();
+        histogram.record(Duration::from_nanos(100));
+        histogram.record(Duration::from_secs(3600));
+        assert_eq!(histogram.count(), 2);
+        assert_eq!(histogram.overflow(), 1);
+        // The overflow band is bounded by the true maximum, not a bucket top.
+        assert_eq!(histogram.quantile_ns(1.0), 3_600_000_000_000);
+    }
+
+    #[test]
+    fn merge_sums_counts_and_keeps_the_max() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record(Duration::from_nanos(10));
+        b.record(Duration::from_nanos(1_000));
+        b.record(Duration::from_secs(3600));
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.overflow(), 1);
+        assert_eq!(a.max_ns(), 3_600_000_000_000);
+        let mut direct = LatencyHistogram::new();
+        direct.record(Duration::from_nanos(10));
+        direct.record(Duration::from_nanos(1_000));
+        direct.record(Duration::from_secs(3600));
+        assert_eq!(a, direct);
     }
 }

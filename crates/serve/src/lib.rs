@@ -26,9 +26,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod backoff;
 mod engine;
 mod error;
+mod inject;
 mod latency;
+mod mux;
 mod protocol;
 mod registry;
 
@@ -37,5 +40,7 @@ pub use crate::engine::{
 };
 pub use crate::error::ServeError;
 pub use crate::latency::LatencyHistogram;
-pub use crate::protocol::{error_line, parse_command, summary_line, verdict_line, Command};
+pub use crate::protocol::{
+    busy_line, error_line, info_line, parse_command, summary_line, verdict_line, Command,
+};
 pub use crate::registry::{learner_config_for, workload_by_name, ModelSource, ModelSpec, Registry};

@@ -1,0 +1,970 @@
+//! The supervised worker pool behind [`serve_commands`].
+//!
+//! The dispatcher thread owns all control-plane state: which streams are
+//! open, which model and worker each one is bound to, and a bounded
+//! [`ReplayLog`] of every stream's raw payloads since open. Workers own only
+//! the data plane — one [`MonitorSession`] per resident stream — so a worker
+//! is *disposable*: when one panics or stalls, the supervisor spawns a
+//! replacement at the same slot and replays each affected stream's log into
+//! it, suppressing the verdicts that were already delivered. Sessions are
+//! deterministic, so the surviving verdict sequence is byte-identical to an
+//! undisturbed run; the client sees one `info` line per restart.
+//!
+//! Three invariants keep the recovery correct:
+//!
+//! 1. **Log before dispatch.** The dispatcher records a payload in the
+//!    stream's replay log (and flips `closing` on close) *before* handing
+//!    the task to a worker, so a task lost to a dying worker is always
+//!    covered by the log.
+//! 2. **At-most-once output.** Workers publish per-stream progress
+//!    (`emitted`, `failed`, `closed`) through atomics; a replacement
+//!    suppresses verdicts up to the published high-water mark and skips
+//!    streams that already closed.
+//! 3. **Bounded everything.** Worker queues are bounded (backpressure on
+//!    the dispatcher), replay logs are bounded (an overflowed stream is
+//!    sacrificed with an `error` line instead of holding unbounded memory),
+//!    and shutdown is deadline-bounded (a wedged worker is condemned, its
+//!    streams accounted as failed).
+//!
+//! Admission control lives here too: beyond `max_open_streams`, new `open`s
+//! are refused with a `busy` line — an explicit, retryable overload verdict
+//! — rather than admitted into a degrading pool.
+//!
+//! [`serve_commands`]: crate::serve_commands
+//! [`MonitorSession`]: tracelearn_core::MonitorSession
+//! [`ReplayLog`]: tracelearn_core::ReplayLog
+
+use std::collections::hash_map::{DefaultHasher, Entry};
+use std::collections::{BTreeMap, HashMap};
+use std::hash::{Hash, Hasher};
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use crate::engine::{emit, ServeOptions};
+use crate::inject;
+use crate::latency::LatencyHistogram;
+use crate::protocol::{busy_line, error_line, info_line, summary_line, verdict_line, Command};
+use tracelearn_core::{Monitor, MonitorSession, ReplayLog};
+use tracelearn_trace::CsvRecordDecoder;
+
+/// How long an idle worker waits on its queue before re-checking its
+/// cancellation flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// How long the dispatcher sleeps between retries when a worker queue is
+/// full (backpressure) or during shutdown polling.
+const BACKPRESSURE_PAUSE: Duration = Duration::from_millis(1);
+
+/// Per-stream progress a worker publishes for its supervisor, so a
+/// replacement knows where the output stream left off.
+#[derive(Debug, Default)]
+pub(crate) struct StreamProgress {
+    /// Highest verdict sequence number already written to the client.
+    emitted: AtomicU64,
+    /// Whether the stream's failure `error` line was already written.
+    failed: AtomicBool,
+    /// Whether the stream's close (summary or failure) fully landed.
+    closed: AtomicBool,
+}
+
+/// Run totals shared by all workers; updated at stream close so the numbers
+/// survive any individual worker's death.
+#[derive(Debug, Default)]
+pub(crate) struct SharedTotals {
+    streams: AtomicUsize,
+    events: AtomicUsize,
+    deviations: AtomicUsize,
+    failed: AtomicUsize,
+}
+
+impl SharedTotals {
+    pub(crate) fn streams(&self) -> usize {
+        self.streams.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn events(&self) -> usize {
+        self.events.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn deviations(&self) -> usize {
+        self.deviations.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn failed(&self) -> usize {
+        self.failed.load(Ordering::Relaxed)
+    }
+}
+
+/// One unit of work routed to a pool worker.
+enum Task {
+    Open {
+        stream: String,
+        model: String,
+        progress: Arc<StreamProgress>,
+        /// Verdicts with `seq <= suppress_through` were already delivered by
+        /// a previous incarnation; recompute them silently.
+        suppress_through: u64,
+        /// The stream had already failed (its `error` line is out); keep it
+        /// failed without repeating the line.
+        already_failed: bool,
+    },
+    Data {
+        stream: String,
+        payload: String,
+    },
+    Close {
+        stream: String,
+    },
+}
+
+/// Everything a worker borrows from the serving run.
+struct WorkerCtx<'m, W: Write> {
+    monitors: &'m BTreeMap<String, Monitor<'m>>,
+    options: &'m ServeOptions,
+    output: &'m Mutex<W>,
+    totals: &'m SharedTotals,
+    latency: &'m Mutex<LatencyHistogram>,
+}
+
+impl<'m, W: Write> Clone for WorkerCtx<'m, W> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<'m, W: Write> Copy for WorkerCtx<'m, W> {}
+
+/// One open stream owned by a pool worker.
+struct StreamState<'m> {
+    monitor: &'m Monitor<'m>,
+    decoder: Option<CsvRecordDecoder>,
+    session: Option<MonitorSession<'m>>,
+    seq: u64,
+    events: usize,
+    latency: LatencyHistogram,
+    failed: bool,
+    progress: Arc<StreamProgress>,
+    suppress_through: u64,
+}
+
+impl<'m> StreamState<'m> {
+    fn new(
+        monitor: &'m Monitor<'m>,
+        progress: Arc<StreamProgress>,
+        suppress_through: u64,
+        already_failed: bool,
+    ) -> Self {
+        StreamState {
+            monitor,
+            decoder: None,
+            session: None,
+            seq: 0,
+            events: 0,
+            latency: LatencyHistogram::new(),
+            failed: already_failed,
+            progress,
+            suppress_through,
+        }
+    }
+
+    fn fail<W: Write>(&mut self, name: &str, message: &str, output: &Mutex<W>) {
+        self.failed = true;
+        self.progress.failed.store(true, Ordering::Relaxed);
+        emit(output, &error_line(name, message));
+    }
+
+    /// Feeds one CSV record (the first is the header) into the stream.
+    fn data<W: Write>(
+        &mut self,
+        name: &str,
+        payload: &str,
+        options: &ServeOptions,
+        output: &Mutex<W>,
+    ) {
+        if self.failed {
+            return;
+        }
+        if self.decoder.is_none() {
+            match CsvRecordDecoder::from_header(payload) {
+                Ok(decoder) => {
+                    if decoder.signature() != self.monitor.model().signature() {
+                        self.fail(name, "stream signature does not match the model", output);
+                        return;
+                    }
+                    match self
+                        .monitor
+                        .session_with_calibration(decoder.signature(), options.calibration_events)
+                    {
+                        Ok(session) => {
+                            self.session = Some(session);
+                            self.decoder = Some(decoder);
+                        }
+                        Err(e) => self.fail(name, &e.to_string(), output),
+                    }
+                }
+                Err(e) => self.fail(name, &e.to_string(), output),
+            }
+            return;
+        }
+        // Both halves were installed together by the header branch above; a
+        // missing one is an internal inconsistency, which fails this stream
+        // rather than the worker.
+        let (Some(decoder), Some(session)) = (self.decoder.as_mut(), self.session.as_mut()) else {
+            self.failed = true;
+            self.progress.failed.store(true, Ordering::Relaxed);
+            emit(
+                output,
+                &error_line(name, "internal: stream state incomplete"),
+            );
+            return;
+        };
+        // The header was input line 1 of this stream.
+        let observation = match decoder.decode(payload, self.events + 2) {
+            Ok(observation) => observation,
+            Err(e) => {
+                self.fail(name, &e.to_string(), output);
+                return;
+            }
+        };
+        let start = Instant::now();
+        match session.push_event(&observation, decoder.symbols()) {
+            Ok(verdict) => {
+                self.latency.record(start.elapsed());
+                self.events += 1;
+                self.seq += 1;
+                if self.seq > self.suppress_through {
+                    emit(output, &verdict_line(name, self.seq, &verdict));
+                    self.progress.emitted.store(self.seq, Ordering::Relaxed);
+                }
+            }
+            Err(e) => self.fail(name, &e.to_string(), output),
+        }
+    }
+
+    /// Finishes the stream: end-of-trace checks and the summary line.
+    fn close<W: Write>(
+        self,
+        name: &str,
+        output: &Mutex<W>,
+        totals: &SharedTotals,
+        latency: &Mutex<LatencyHistogram>,
+    ) {
+        totals.streams.fetch_add(1, Ordering::Relaxed);
+        totals.events.fetch_add(self.events, Ordering::Relaxed);
+        // At-most-once output: publish the close before the summary goes
+        // out, so a crash between the two costs one summary line but never
+        // duplicates one.
+        self.progress.closed.store(true, Ordering::Relaxed);
+        if self.failed {
+            // The failure was already reported on its own error line.
+            totals.failed.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let (Some(session), Some(decoder)) = (self.session, self.decoder) else {
+            totals.failed.fetch_add(1, Ordering::Relaxed);
+            self.progress.failed.store(true, Ordering::Relaxed);
+            emit(
+                output,
+                &error_line(name, "closed before the CSV header arrived"),
+            );
+            return;
+        };
+        match session.finish(decoder.symbols()) {
+            Ok(report) => {
+                totals
+                    .deviations
+                    .fetch_add(report.deviations.len(), Ordering::Relaxed);
+                emit(
+                    output,
+                    &summary_line(name, self.events, &report, &self.latency),
+                );
+                let mut shared = latency
+                    .lock()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+                shared.merge(&self.latency);
+            }
+            Err(e) => {
+                totals.failed.fetch_add(1, Ordering::Relaxed);
+                self.progress.failed.store(true, Ordering::Relaxed);
+                emit(output, &error_line(name, &e.to_string()));
+            }
+        }
+    }
+}
+
+/// The body of one pool worker thread. Exits when its queue closes (normal
+/// shutdown, after closing resident streams) or when its cancellation flag
+/// is raised (condemned by the watchdog: a replacement owns the streams, so
+/// it vanishes without output).
+fn worker_loop<W: Write>(
+    ctx: WorkerCtx<'_, W>,
+    tasks: mpsc::Receiver<Task>,
+    cancel: Arc<AtomicBool>,
+    completed: Arc<AtomicU64>,
+) {
+    let mut streams: HashMap<String, StreamState<'_>> = HashMap::new();
+    loop {
+        if cancel.load(Ordering::Relaxed) {
+            return;
+        }
+        let task = match tasks.recv_timeout(POLL_INTERVAL) {
+            Ok(task) => task,
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => break,
+        };
+        match task {
+            Task::Open {
+                stream,
+                model,
+                progress,
+                suppress_through,
+                already_failed,
+            } => match streams.entry(stream) {
+                Entry::Occupied(occupied) => {
+                    emit(
+                        ctx.output,
+                        &error_line(occupied.key(), "stream already open"),
+                    );
+                }
+                Entry::Vacant(vacant) => match ctx.monitors.get(&model) {
+                    Some(monitor) => {
+                        vacant.insert(StreamState::new(
+                            monitor,
+                            progress,
+                            suppress_through,
+                            already_failed,
+                        ));
+                    }
+                    None => emit(
+                        ctx.output,
+                        &error_line(vacant.key(), &format!("unknown model {model:?}")),
+                    ),
+                },
+            },
+            Task::Data { stream, payload } => {
+                inject::worker_panic_point();
+                if inject::worker_stalled(&cancel) {
+                    // Abandon the task without touching the stream: the
+                    // watchdog replaced this worker while it was wedged.
+                    continue;
+                }
+                match streams.get_mut(&stream) {
+                    Some(state) => state.data(&stream, &payload, ctx.options, ctx.output),
+                    None => emit(ctx.output, &error_line(&stream, "data before open")),
+                }
+            }
+            Task::Close { stream } => match streams.remove(&stream) {
+                Some(state) => state.close(&stream, ctx.output, ctx.totals, ctx.latency),
+                None => emit(ctx.output, &error_line(&stream, "close before open")),
+            },
+        }
+        completed.fetch_add(1, Ordering::Relaxed);
+    }
+    // End of input closes every remaining stream, in a stable order.
+    let mut remaining: Vec<(String, StreamState<'_>)> = streams.drain().collect();
+    remaining.sort_by(|a, b| a.0.cmp(&b.0));
+    for (name, state) in remaining {
+        if cancel.load(Ordering::Relaxed) {
+            // Condemned mid-drain; the replacement finishes the rest.
+            return;
+        }
+        state.close(&name, ctx.output, ctx.totals, ctx.latency);
+    }
+}
+
+/// One worker slot of the pool. The slot index is the stable routing key
+/// (streams hash onto slots); the slot's *incarnation* changes on restart,
+/// tracked by `generation`.
+struct WorkerSlot<'scope> {
+    sender: Option<SyncSender<Task>>,
+    handle: Option<thread::ScopedJoinHandle<'scope, ()>>,
+    cancel: Arc<AtomicBool>,
+    completed: Arc<AtomicU64>,
+    /// Tasks handed to this incarnation.
+    dispatched: u64,
+    /// `completed` as of the last watchdog tick, to detect forward progress.
+    last_completed: u64,
+    /// When the watchdog first saw this incarnation behind with no progress.
+    stalled_since: Option<Instant>,
+    generation: u64,
+}
+
+/// Dispatcher-side record of one protocol stream.
+struct StreamMeta {
+    model: String,
+    worker: usize,
+    progress: Arc<StreamProgress>,
+    log: ReplayLog,
+    closing: bool,
+}
+
+/// Counters the supervisor accumulates outside the shared totals.
+pub(crate) struct MuxStats {
+    pub(crate) shed: usize,
+    pub(crate) restarted: usize,
+    pub(crate) replayed: usize,
+    pub(crate) shed_latency: LatencyHistogram,
+}
+
+/// The supervised multiplexer: owns the worker pool, stream metadata,
+/// replay logs and admission control for one [`serve_commands`] run.
+///
+/// [`serve_commands`]: crate::serve_commands
+pub(crate) struct Mux<'scope, 'env, 'm, W: Write + Send> {
+    scope: &'scope thread::Scope<'scope, 'env>,
+    ctx: WorkerCtx<'m, W>,
+    slots: Vec<WorkerSlot<'scope>>,
+    /// Condemned-but-running incarnations, joined during shutdown.
+    retired: Vec<thread::ScopedJoinHandle<'scope, ()>>,
+    metas: HashMap<String, StreamMeta>,
+    shed: usize,
+    restarted: usize,
+    replayed: usize,
+    shed_latency: LatencyHistogram,
+    /// Guards against reentrant restarts while replaying into a fresh
+    /// worker; a cascading failure is picked up by the next watchdog tick.
+    restarting: bool,
+}
+
+pub(crate) fn worker_for(stream: &str, workers: usize) -> usize {
+    let mut hasher = DefaultHasher::new();
+    stream.hash(&mut hasher);
+    (hasher.finish() % workers.max(1) as u64) as usize
+}
+
+impl<'scope, 'env, 'm, W> Mux<'scope, 'env, 'm, W>
+where
+    'm: 'scope,
+    W: Write + Send + 'm,
+{
+    pub(crate) fn new(
+        scope: &'scope thread::Scope<'scope, 'env>,
+        monitors: &'m BTreeMap<String, Monitor<'m>>,
+        options: &'m ServeOptions,
+        output: &'m Mutex<W>,
+        totals: &'m SharedTotals,
+        latency: &'m Mutex<LatencyHistogram>,
+    ) -> Self {
+        let ctx = WorkerCtx {
+            monitors,
+            options,
+            output,
+            totals,
+            latency,
+        };
+        let mut mux = Mux {
+            scope,
+            ctx,
+            slots: Vec::new(),
+            retired: Vec::new(),
+            metas: HashMap::new(),
+            shed: 0,
+            restarted: 0,
+            replayed: 0,
+            shed_latency: LatencyHistogram::new(),
+            restarting: false,
+        };
+        for _ in 0..options.workers.max(1) {
+            let slot = mux.spawn_slot();
+            mux.slots.push(slot);
+        }
+        mux
+    }
+
+    fn spawn_slot(&self) -> WorkerSlot<'scope> {
+        let (sender, receiver) = mpsc::sync_channel(self.ctx.options.queue_capacity.max(1));
+        let cancel = Arc::new(AtomicBool::new(false));
+        let completed = Arc::new(AtomicU64::new(0));
+        let ctx = self.ctx;
+        let thread_cancel = Arc::clone(&cancel);
+        let thread_completed = Arc::clone(&completed);
+        let handle = self
+            .scope
+            .spawn(move || worker_loop(ctx, receiver, thread_cancel, thread_completed));
+        WorkerSlot {
+            sender: Some(sender),
+            handle: Some(handle),
+            cancel,
+            completed,
+            dispatched: 0,
+            last_completed: 0,
+            stalled_since: None,
+            generation: 0,
+        }
+    }
+
+    /// Routes one parsed protocol command. All protocol-level validation
+    /// (unknown model, double open, data/close before open) happens here,
+    /// against the dispatcher's own state, so a worker only ever sees
+    /// well-formed work.
+    pub(crate) fn dispatch(&mut self, command: Command) {
+        let start = Instant::now();
+        self.cancel_stalled_workers();
+        match command {
+            Command::Open { stream, model } => self.open(stream, model, start),
+            Command::Data { stream, payload } => self.data(stream, payload),
+            Command::Close { stream } => self.close(stream),
+        }
+    }
+
+    fn open(&mut self, stream: String, model: String, start: Instant) {
+        if self.metas.get(&stream).is_some_and(|meta| meta.closing) {
+            // A close for this name is still in flight; wait (bounded) for
+            // it to land so the name is reusable, matching the serial
+            // semantics of a single-worker run.
+            self.await_close(&stream);
+        }
+        if self.metas.contains_key(&stream) {
+            emit(self.ctx.output, &error_line(&stream, "stream already open"));
+            return;
+        }
+        if !self.ctx.monitors.contains_key(&model) {
+            emit(
+                self.ctx.output,
+                &error_line(&stream, &format!("unknown model {model:?}")),
+            );
+            return;
+        }
+        // Closed streams free their admission slot (and their name).
+        self.metas
+            .retain(|_, meta| !meta.progress.closed.load(Ordering::Relaxed));
+        let limit = self.ctx.options.max_open_streams;
+        if limit != 0 && self.metas.len() >= limit {
+            // A close dispatched before this open should free its slot
+            // before we refuse, matching serial semantics: wait (bounded)
+            // for in-flight closes to land, then re-check.
+            self.await_closing_slots(limit);
+        }
+        let open = self.metas.len();
+        if limit != 0 && open >= limit {
+            self.shed += 1;
+            self.shed_latency.record(start.elapsed());
+            emit(self.ctx.output, &busy_line(&stream, open, limit));
+            return;
+        }
+        let worker = worker_for(&stream, self.slots.len());
+        let progress = Arc::new(StreamProgress::default());
+        self.metas.insert(
+            stream.clone(),
+            StreamMeta {
+                model: model.clone(),
+                worker,
+                progress: Arc::clone(&progress),
+                log: ReplayLog::new(self.ctx.options.replay_budget),
+                closing: false,
+            },
+        );
+        self.send(
+            worker,
+            Task::Open {
+                stream,
+                model,
+                progress,
+                suppress_through: 0,
+                already_failed: false,
+            },
+        );
+    }
+
+    fn await_close(&mut self, stream: &str) {
+        let deadline = Instant::now() + self.ctx.options.stall_timeout.saturating_mul(2);
+        loop {
+            let Some(meta) = self.metas.get(stream) else {
+                return;
+            };
+            if !meta.closing {
+                return;
+            }
+            if meta.progress.closed.load(Ordering::Relaxed) {
+                self.metas.remove(stream);
+                return;
+            }
+            if Instant::now() >= deadline {
+                return;
+            }
+            self.cancel_stalled_workers();
+            thread::sleep(BACKPRESSURE_PAUSE);
+        }
+    }
+
+    /// Waits (bounded) for in-flight closes to free admission slots below
+    /// `limit`. Gives up at the deadline or when no close is in flight.
+    fn await_closing_slots(&mut self, limit: usize) {
+        let deadline = Instant::now() + self.ctx.options.stall_timeout.saturating_mul(2);
+        loop {
+            self.metas
+                .retain(|_, meta| !meta.progress.closed.load(Ordering::Relaxed));
+            if self.metas.len() < limit {
+                return;
+            }
+            if !self.metas.values().any(|meta| meta.closing) {
+                return;
+            }
+            if Instant::now() >= deadline {
+                return;
+            }
+            self.cancel_stalled_workers();
+            thread::sleep(BACKPRESSURE_PAUSE);
+        }
+    }
+
+    fn data(&mut self, stream: String, payload: String) {
+        let target = match self.metas.get_mut(&stream) {
+            Some(meta) if !meta.closing => {
+                // Invariant: log before dispatch, so a lost task is always
+                // covered by replay.
+                meta.log.push(&payload);
+                Some(meta.worker)
+            }
+            _ => None,
+        };
+        match target {
+            Some(worker) => self.send(worker, Task::Data { stream, payload }),
+            None => emit(self.ctx.output, &error_line(&stream, "data before open")),
+        }
+    }
+
+    fn close(&mut self, stream: String) {
+        let target = match self.metas.get_mut(&stream) {
+            Some(meta) if !meta.closing => {
+                meta.closing = true;
+                Some(meta.worker)
+            }
+            _ => None,
+        };
+        match target {
+            Some(worker) => self.send(worker, Task::Close { stream }),
+            None => emit(self.ctx.output, &error_line(&stream, "close before open")),
+        }
+    }
+
+    /// Delivers one task with bounded-queue backpressure. The retry loop
+    /// doubles as a watchdog tick: while the queue is full the supervisor
+    /// keeps checking for stalled workers, and a restart that replaces the
+    /// target (its streams are replayed by the new incarnation, log
+    /// included) ends the wait.
+    fn send(&mut self, worker: usize, task: Task) {
+        let mut task = task;
+        loop {
+            let Some(generation) = self.slots.get(worker).map(|slot| slot.generation) else {
+                return;
+            };
+            let result = match self.slots.get(worker).and_then(|slot| slot.sender.as_ref()) {
+                Some(sender) => sender.try_send(task),
+                None => return,
+            };
+            match result {
+                Ok(()) => {
+                    if let Some(slot) = self.slots.get_mut(worker) {
+                        slot.dispatched += 1;
+                    }
+                    return;
+                }
+                Err(TrySendError::Full(returned)) => {
+                    task = returned;
+                    thread::sleep(BACKPRESSURE_PAUSE);
+                    self.cancel_stalled_workers();
+                    if self.slots.get(worker).map(|slot| slot.generation) != Some(generation) {
+                        // The worker was replaced; the replacement replays
+                        // this task's stream from its log, in order.
+                        return;
+                    }
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    // The worker died between watchdog ticks. The lost task
+                    // is covered by the replay log the restart consumes.
+                    self.restart_worker(worker);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// The watchdog: condemns workers that died (their thread finished
+    /// while work was still routed to them) or stalled (behind on their
+    /// queue with no forward progress for `stall_timeout`), and replaces
+    /// each with a fresh incarnation fed from the replay logs.
+    fn cancel_stalled_workers(&mut self) {
+        if self.restarting {
+            return;
+        }
+        let stall = self.ctx.options.stall_timeout;
+        let now = Instant::now();
+        let mut condemned: Vec<usize> = Vec::new();
+        for (index, slot) in self.slots.iter_mut().enumerate() {
+            let Some(handle) = slot.handle.as_ref() else {
+                continue;
+            };
+            if handle.is_finished() {
+                // A healthy worker only exits after its channel closes; a
+                // finished thread with a live sender means it panicked.
+                if slot.sender.is_some() {
+                    condemned.push(index);
+                }
+                continue;
+            }
+            let completed = slot.completed.load(Ordering::Relaxed);
+            if completed >= slot.dispatched || completed != slot.last_completed {
+                slot.last_completed = completed;
+                slot.stalled_since = None;
+                continue;
+            }
+            match slot.stalled_since {
+                None => slot.stalled_since = Some(now),
+                Some(since) => {
+                    if now.duration_since(since) >= stall {
+                        condemned.push(index);
+                    }
+                }
+            }
+        }
+        for index in condemned {
+            self.restart_worker(index);
+        }
+    }
+
+    /// Replaces the worker at `index` with a fresh incarnation and replays
+    /// every resident stream into it. Replayable streams continue exactly
+    /// where their delivered output left off; streams whose log overflowed
+    /// are sacrificed with an `error` line.
+    fn restart_worker(&mut self, index: usize) {
+        if self.restarting {
+            return;
+        }
+        self.restarting = true;
+        let old_handle = match self.slots.get_mut(index) {
+            Some(slot) => {
+                slot.cancel.store(true, Ordering::Relaxed);
+                slot.sender = None;
+                slot.handle.take()
+            }
+            None => {
+                self.restarting = false;
+                return;
+            }
+        };
+        match old_handle {
+            Some(handle) if handle.is_finished() => {
+                // The panic payload already did its damage; the join result
+                // is not news.
+                let _ = handle.join();
+            }
+            Some(handle) => {
+                // Condemned but still running (a stall): it exits at its
+                // next cancellation poll and is joined during shutdown.
+                self.retired.push(handle);
+            }
+            None => {}
+        }
+        let replacement = self.spawn_slot();
+        if let Some(slot) = self.slots.get_mut(index) {
+            let generation = slot.generation + 1;
+            *slot = replacement;
+            slot.generation = generation;
+        }
+        self.restarted += 1;
+        emit(
+            self.ctx.output,
+            &info_line("-", &format!("worker {index} restarted")),
+        );
+        self.reattach(index);
+        self.restarting = false;
+    }
+
+    /// Re-sends every live stream routed to `worker` into its fresh
+    /// incarnation, in sorted name order for determinism.
+    fn reattach(&mut self, worker: usize) {
+        let mut names: Vec<String> = self
+            .metas
+            .iter()
+            .filter(|(_, meta)| {
+                meta.worker == worker && !meta.progress.closed.load(Ordering::Relaxed)
+            })
+            .map(|(name, _)| name.clone())
+            .collect();
+        names.sort();
+        for name in names {
+            let Some(meta) = self.metas.get(&name) else {
+                continue;
+            };
+            let payloads = meta.log.events().map(<[String]>::to_vec);
+            let progress = Arc::clone(&meta.progress);
+            let model = meta.model.clone();
+            let closing = meta.closing;
+            match payloads {
+                Some(payloads) => {
+                    let emitted = progress.emitted.load(Ordering::Relaxed);
+                    let already_failed = progress.failed.load(Ordering::Relaxed);
+                    self.replayed += payloads.len();
+                    emit(
+                        self.ctx.output,
+                        &info_line(
+                            &name,
+                            &format!("replayed {} records after worker loss", payloads.len()),
+                        ),
+                    );
+                    self.send(
+                        worker,
+                        Task::Open {
+                            stream: name.clone(),
+                            model,
+                            progress,
+                            suppress_through: emitted,
+                            already_failed,
+                        },
+                    );
+                    for payload in payloads {
+                        self.send(
+                            worker,
+                            Task::Data {
+                                stream: name.clone(),
+                                payload,
+                            },
+                        );
+                    }
+                    if closing {
+                        self.send(
+                            worker,
+                            Task::Close {
+                                stream: name.clone(),
+                            },
+                        );
+                    }
+                }
+                None => {
+                    // The replay log overflowed (or replay is disabled):
+                    // the stream cannot be reconstructed. Sacrifice it.
+                    progress.closed.store(true, Ordering::Relaxed);
+                    self.ctx.totals.streams.fetch_add(1, Ordering::Relaxed);
+                    self.ctx.totals.events.fetch_add(
+                        progress.emitted.load(Ordering::Relaxed) as usize,
+                        Ordering::Relaxed,
+                    );
+                    self.ctx.totals.failed.fetch_add(1, Ordering::Relaxed);
+                    if !progress.failed.swap(true, Ordering::Relaxed) {
+                        emit(
+                            self.ctx.output,
+                            &error_line(
+                                &name,
+                                "worker lost and replay log exhausted; stream dropped",
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Deadline-bounded shutdown: closes the worker queues, lets workers
+    /// drain and close their resident streams, restarts any worker that
+    /// panics on the way out (so its streams still reach their summaries),
+    /// and past the deadline condemns whatever is left. Streams that never
+    /// reached close are accounted as failed.
+    fn drain(&mut self) {
+        let deadline = Instant::now() + self.ctx.options.drain_timeout;
+        loop {
+            // No more input: a closed channel is the shutdown signal. A
+            // restart inside this loop re-creates a sender just long enough
+            // to replay; the next pass closes it again.
+            for slot in self.slots.iter_mut() {
+                slot.sender = None;
+            }
+            self.cancel_stalled_workers();
+            for slot in self.slots.iter_mut() {
+                slot.sender = None;
+            }
+
+            let mut pending = false;
+            for index in 0..self.slots.len() {
+                let finished = match self.slots.get(index).and_then(|slot| slot.handle.as_ref()) {
+                    Some(handle) => handle.is_finished(),
+                    None => continue,
+                };
+                if !finished {
+                    pending = true;
+                    continue;
+                }
+                let handle = self
+                    .slots
+                    .get_mut(index)
+                    .and_then(|slot| slot.handle.take());
+                let Some(handle) = handle else { continue };
+                if handle.join().is_err() {
+                    // The worker panicked while draining; replace it so its
+                    // streams still reach their summaries.
+                    self.restart_worker(index);
+                    pending = true;
+                }
+            }
+
+            let mut still_running = Vec::new();
+            for handle in self.retired.drain(..) {
+                if handle.is_finished() {
+                    let _ = handle.join();
+                } else {
+                    still_running.push(handle);
+                }
+            }
+            self.retired = still_running;
+
+            if !pending && self.retired.is_empty() {
+                break;
+            }
+            if Instant::now() >= deadline {
+                // Past the deadline: condemn everything still running.
+                // Cancelled workers exit at their next poll without closing
+                // their streams, which are accounted as lost below.
+                for slot in self.slots.iter_mut() {
+                    slot.cancel.store(true, Ordering::Relaxed);
+                }
+                break;
+            }
+            thread::sleep(BACKPRESSURE_PAUSE);
+        }
+        for slot in self.slots.iter_mut() {
+            if let Some(handle) = slot.handle.take() {
+                let _ = handle.join();
+            }
+        }
+        for handle in self.retired.drain(..) {
+            let _ = handle.join();
+        }
+        // Any stream that never reached close lost its worker for good.
+        let mut lost: Vec<(String, Arc<StreamProgress>)> = self
+            .metas
+            .iter()
+            .filter(|(_, meta)| !meta.progress.closed.load(Ordering::Relaxed))
+            .map(|(name, meta)| (name.clone(), Arc::clone(&meta.progress)))
+            .collect();
+        lost.sort_by(|a, b| a.0.cmp(&b.0));
+        for (name, progress) in lost {
+            self.ctx.totals.streams.fetch_add(1, Ordering::Relaxed);
+            self.ctx.totals.events.fetch_add(
+                progress.emitted.load(Ordering::Relaxed) as usize,
+                Ordering::Relaxed,
+            );
+            self.ctx.totals.failed.fetch_add(1, Ordering::Relaxed);
+            if !progress.failed.swap(true, Ordering::Relaxed) {
+                emit(
+                    self.ctx.output,
+                    &error_line(&name, "stream lost in shutdown"),
+                );
+            }
+        }
+    }
+
+    /// Drains the pool and returns the supervisor's counters.
+    pub(crate) fn shutdown(mut self) -> MuxStats {
+        self.drain();
+        MuxStats {
+            shed: self.shed,
+            restarted: self.restarted,
+            replayed: self.replayed,
+            shed_latency: self.shed_latency,
+        }
+    }
+}

@@ -9,14 +9,23 @@
 //! close <stream>             # finish the stream and emit its summary
 //! ```
 //!
-//! and each output line is a verdict, summary or error:
+//! and each output line is a verdict, summary, error, overload refusal or
+//! informational note:
 //!
 //! ```text
 //! verdict <stream> seq=3 status=ok windows=1 novel=0
 //! verdict <stream> seq=9 status=deviation windows=1 novel=1 position=7 kind=no_path
 //! summary <stream> events=100 windows=96 deviations=1 conformance=0.989583 ...
 //! error <stream> <message>
+//! busy <stream> open=1024 limit=1024
+//! info <stream> <message>
 //! ```
+//!
+//! `error` means the stream is dead (malformed input, model mismatch, lost
+//! worker); `busy` means the daemon refused to admit a new stream at its
+//! high-water mark and the client may retry; `info` reports supervision
+//! events (worker restarts, stream replays) that do not affect any stream's
+//! verdict sequence.
 //!
 //! Stream names carry no whitespace, so the grammar needs no quoting; the
 //! `data` payload is the remainder of the line verbatim, which keeps quoted
@@ -152,6 +161,20 @@ pub fn summary_line(
 pub fn error_line(stream: &str, message: &str) -> String {
     let message = message.replace(['\r', '\n'], " ");
     format!("error {stream} {message}")
+}
+
+/// Renders the overload verdict for a shed `open`: the daemon is at its
+/// high-water mark and refused to admit the stream. Unlike `error`, `busy`
+/// is explicitly retryable — nothing about the request was wrong.
+pub fn busy_line(stream: &str, open: usize, limit: usize) -> String {
+    format!("busy {stream} open={open} limit={limit}")
+}
+
+/// Renders an informational line (worker restarts, stream replays). Clients
+/// may log these; they never change a stream's verdict sequence.
+pub fn info_line(stream: &str, message: &str) -> String {
+    let message = message.replace(['\r', '\n'], " ");
+    format!("info {stream} {message}")
 }
 
 #[cfg(test)]

@@ -36,7 +36,13 @@ use crate::symbol::SymbolTable;
 use crate::trace::Trace;
 use crate::valuation::Valuation;
 use crate::value::Value;
-use std::io::BufRead;
+use std::io::{BufRead, Read};
+
+/// Upper bound on one buffered record (including a joined multi-line quoted
+/// record). A corrupt row — an unclosed quote, or a line with no newline at
+/// all — must become a prompt parse error, not an attempt to slurp the
+/// remaining gigabytes of the stream into one string.
+const MAX_RECORD_BYTES: usize = 1 << 20;
 
 /// A stateful decoder from complete CSV records to [`Valuation`]s.
 ///
@@ -206,17 +212,37 @@ impl<R: BufRead> StreamingCsvReader<R> {
         self.decoder.into_parts()
     }
 
+    /// Reads one more input line into `self.record`, bounded so a single
+    /// newline-free line can never grow the buffer past [`MAX_RECORD_BYTES`]
+    /// — a stalled or malicious producer gets a parse error, not unbounded
+    /// memory. Returns the bytes read (0 at end of input).
+    fn read_line_capped(&mut self) -> Result<usize, TraceError> {
+        // One spare byte of budget distinguishes "exactly at the cap" from
+        // "past it": a read that fills the whole allowance means the line
+        // kept going.
+        let budget = (MAX_RECORD_BYTES + 1).saturating_sub(self.record.len());
+        let mut limited = (&mut self.reader).take(budget as u64);
+        let read = limited.read_line(&mut self.record)?;
+        if self.record.len() > MAX_RECORD_BYTES {
+            let message = if record_is_complete(&self.record) {
+                format!("line exceeds {MAX_RECORD_BYTES} bytes")
+            } else {
+                format!("record exceeds {MAX_RECORD_BYTES} bytes with an unclosed quote")
+            };
+            return Err(TraceError::Parse {
+                line: self.line + 1,
+                message,
+            });
+        }
+        Ok(read)
+    }
+
     /// Reads the next non-blank record into `self.record`, joining lines
     /// while a quoted field is open. Returns `false` at end of input.
     fn next_record(&mut self) -> Result<bool, TraceError> {
-        /// Upper bound on one joined record. A corrupt row whose quote never
-        /// closes must become a prompt parse error, not an attempt to slurp
-        /// the remaining gigabytes of the stream into one string.
-        const MAX_RECORD_BYTES: usize = 1 << 20;
-
         loop {
             self.record.clear();
-            let read = self.reader.read_line(&mut self.record)?;
+            let read = self.read_line_capped()?;
             if read == 0 {
                 return Ok(false);
             }
@@ -224,15 +250,7 @@ impl<R: BufRead> StreamingCsvReader<R> {
             // A record continues onto following lines while a quoted field
             // is still open (an embedded newline inside the field).
             while !record_is_complete(&self.record) {
-                if self.record.len() > MAX_RECORD_BYTES {
-                    return Err(TraceError::Parse {
-                        line: self.line,
-                        message: format!(
-                            "record exceeds {MAX_RECORD_BYTES} bytes with an unclosed quote"
-                        ),
-                    });
-                }
-                let more = self.reader.read_line(&mut self.record)?;
+                let more = self.read_line_capped()?;
                 if more == 0 {
                     break; // unterminated quote; the tokenizer reports it
                 }
@@ -241,10 +259,52 @@ impl<R: BufRead> StreamingCsvReader<R> {
             while self.record.ends_with('\n') || self.record.ends_with('\r') {
                 self.record.pop();
             }
-            if !self.record.trim().is_empty() {
-                return Ok(true);
+            if self.record.trim().is_empty() {
+                continue;
+            }
+            #[cfg(feature = "fault-injection")]
+            if !self.inject_record_faults() {
+                return Ok(false);
+            }
+            return Ok(true);
+        }
+    }
+
+    /// Applies any armed ingestion faults to the record just read. Returns
+    /// `false` when an injected short read ends the stream here.
+    #[cfg(feature = "fault-injection")]
+    fn inject_record_faults(&mut self) -> bool {
+        use tracelearn_faults::{trip, trip_value, FaultSite};
+
+        fn char_floor(s: &str, mut at: usize) -> usize {
+            while at > 0 && !s.is_char_boundary(at) {
+                at -= 1;
+            }
+            at
+        }
+
+        if trip(FaultSite::CsvShortRead) {
+            // The stream ends early, as if the producer was cut off after a
+            // complete record.
+            return false;
+        }
+        if let Some(value) = trip_value(FaultSite::CsvTornRecord) {
+            if !self.record.is_empty() {
+                let cut = char_floor(&self.record, value as usize % self.record.len());
+                self.record.truncate(cut);
             }
         }
+        if let Some(value) = trip_value(FaultSite::CsvCorruptByte) {
+            if !self.record.is_empty() {
+                let at = char_floor(&self.record, value as usize % self.record.len());
+                if let Some(ch) = self.record[at..].chars().next() {
+                    // U+001A SUBSTITUTE: the classic "this byte was lost"
+                    // marker; parses as neither a number nor a clean name.
+                    self.record.replace_range(at..at + ch.len_utf8(), "\u{1A}");
+                }
+            }
+        }
+        true
     }
 
     /// Reads the next observation, or `None` at end of input.

@@ -1,0 +1,419 @@
+//! Chaos suite: deterministic fault injection against the serving pipeline.
+//!
+//! Every test arms a pinned [`FaultPlan`] — same seed, same occurrence
+//! numbers — so each "random" failure is a *named, reproducible* event, and
+//! the assertions can be exact: a worker crash must cost an `info` line and
+//! nothing else, so the verdict/summary sequence of every surviving stream
+//! is compared byte-for-byte against a fault-free run of the same input.
+//!
+//! The plan registry is process-global, so tests serialize on one mutex and
+//! each installs its own plan (which resets all occurrence counters).
+//!
+//! [`FaultPlan`]: tracelearn_faults::FaultPlan
+
+#![cfg(feature = "fault-injection")]
+
+use std::collections::BTreeMap;
+use std::sync::{Mutex, MutexGuard};
+use std::time::Duration;
+
+use tracelearn_faults::{disarm, install, FaultPlan};
+use tracelearn_serve::{
+    serve_commands, serve_csv_stream, ModelSpec, Registry, ServeOptions, ServeSummary,
+};
+use tracelearn_workloads::Workload;
+
+/// The armed fault plan is process-global state: serialize every test.
+fn serial() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Arms `spec` for the duration of one closure, guaranteeing disarm on exit
+/// even when an assertion inside panics (the next test re-serializes anyway,
+/// but a leftover plan would corrupt *its* occurrence counts).
+fn with_plan<T>(spec: &str, run: impl FnOnce() -> T) -> T {
+    struct Disarm;
+    impl Drop for Disarm {
+        fn drop(&mut self) {
+            disarm();
+        }
+    }
+    let _guard = Disarm;
+    install(FaultPlan::parse(spec).expect("test plan must parse"));
+    run()
+}
+
+fn counter_registry() -> Registry {
+    let specs = vec![ModelSpec::parse("counter=workload:counter:600").unwrap()];
+    Registry::load(&specs).unwrap()
+}
+
+fn counter_csv(length: usize) -> String {
+    let mut csv = Vec::new();
+    Workload::Counter
+        .write_csv(length, 0xDAC2020, &mut csv)
+        .unwrap();
+    String::from_utf8(csv).unwrap()
+}
+
+fn options() -> ServeOptions {
+    ServeOptions {
+        workers: 1,
+        calibration_events: 64,
+        stall_timeout: Duration::from_millis(100),
+        ..ServeOptions::default()
+    }
+}
+
+/// Builds a two-stream multiplexed protocol script over the counter trace.
+fn two_stream_input() -> String {
+    let csv = counter_csv(300);
+    let mut lines = csv.lines();
+    let header = lines.next().unwrap().to_string();
+    let records: Vec<String> = lines.map(str::to_string).collect();
+    let mut input = String::new();
+    input.push_str("open a counter\nopen b counter\n");
+    input.push_str(&format!("data a {header}\ndata b {header}\n"));
+    for record in &records {
+        input.push_str(&format!("data a {record}\ndata b {record}\n"));
+    }
+    input.push_str("close a\nclose b\n");
+    input
+}
+
+fn run_commands(
+    monitors: &BTreeMap<String, tracelearn_core::Monitor<'_>>,
+    input: &str,
+    options: &ServeOptions,
+) -> (ServeSummary, String) {
+    let mut output = Vec::new();
+    let summary = serve_commands(monitors, input.as_bytes(), &mut output, options)
+        .expect("serving must not return an I/O error");
+    (summary, String::from_utf8(output).expect("output is UTF-8"))
+}
+
+/// Strips the wall-clock latency fields from a summary line: they are the
+/// one part of the output that legitimately differs between two runs of the
+/// same plan. Everything before them — events, windows, deviations,
+/// conformance — is part of the byte-identity contract.
+fn strip_latency(line: &str) -> String {
+    match line.split_once(" p50_us=") {
+        Some((semantic, _)) if line.starts_with("summary ") => semantic.to_string(),
+        _ => line.to_string(),
+    }
+}
+
+/// The verdict/summary/error lines of one stream, in emission order —
+/// the byte-identity unit of the chaos contract (`info` lines excluded:
+/// supervision noise is allowed to differ, stream content is not).
+fn stream_lines(output: &str, stream: &str) -> Vec<String> {
+    output
+        .lines()
+        .filter(|line| {
+            let mut parts = line.split_whitespace();
+            let kind = parts.next().unwrap_or("");
+            parts.next() == Some(stream) && matches!(kind, "verdict" | "summary" | "error")
+        })
+        .map(strip_latency)
+        .collect()
+}
+
+#[test]
+fn worker_panic_is_invisible_in_stream_output() {
+    let _lock = serial();
+    let registry = counter_registry();
+    let monitors = registry.monitors();
+    let input = two_stream_input();
+    let options = options();
+
+    disarm();
+    let (baseline_summary, baseline) = run_commands(&monitors, &input, &options);
+    assert_eq!(baseline_summary.failed, 0);
+    assert_eq!(baseline_summary.restarted, 0);
+
+    // The 100th data task panics its worker mid-run.
+    let (summary, output) = with_plan("seed:7,spec:worker.panic@100", || {
+        run_commands(&monitors, &input, &options)
+    });
+
+    assert!(summary.restarted >= 1, "no restart recorded: {summary:?}");
+    assert!(summary.replayed >= 1, "no replay recorded: {summary:?}");
+    assert_eq!(summary.failed, 0, "a surviving stream failed:\n{output}");
+    assert_eq!(summary.streams, baseline_summary.streams);
+    assert_eq!(summary.events, baseline_summary.events);
+    assert_eq!(summary.deviations, baseline_summary.deviations);
+    assert!(
+        output.contains("info - worker 0 restarted"),
+        "no supervision info line in:\n{output}"
+    );
+    assert!(
+        output.contains("records after worker loss"),
+        "no replay info line in:\n{output}"
+    );
+    for stream in ["a", "b"] {
+        assert_eq!(
+            stream_lines(&output, stream),
+            stream_lines(&baseline, stream),
+            "stream {stream} diverged from the fault-free run"
+        );
+    }
+}
+
+#[test]
+fn worker_stall_is_condemned_and_replayed() {
+    let _lock = serial();
+    let registry = counter_registry();
+    let monitors = registry.monitors();
+    let input = two_stream_input();
+    let options = options();
+
+    disarm();
+    let (_, baseline) = run_commands(&monitors, &input, &options);
+
+    // The 150th data task wedges its worker until the watchdog condemns it.
+    let (summary, output) = with_plan("seed:7,spec:worker.stall@150", || {
+        run_commands(&monitors, &input, &options)
+    });
+
+    assert!(
+        summary.restarted >= 1,
+        "stall was not condemned: {summary:?}"
+    );
+    assert_eq!(summary.failed, 0, "a surviving stream failed:\n{output}");
+    for stream in ["a", "b"] {
+        assert_eq!(
+            stream_lines(&output, stream),
+            stream_lines(&baseline, stream),
+            "stream {stream} diverged from the fault-free run"
+        );
+    }
+}
+
+#[test]
+fn chaos_runs_are_reproducible_under_a_pinned_seed() {
+    let _lock = serial();
+    let registry = counter_registry();
+    let monitors = registry.monitors();
+    let input = two_stream_input();
+    let options = options();
+
+    // Without worker replacement, one worker processes tasks in input order:
+    // the *entire* output is deterministic once wall-clock latencies are
+    // masked — dropped lines included, because the occurrence counter ties
+    // the fault to a specific write, not a specific moment.
+    let drop_plan = "seed:42,spec:transport.drop@20;transport.half@200";
+    let (first_summary, first) = with_plan(drop_plan, || run_commands(&monitors, &input, &options));
+    let (second_summary, second) =
+        with_plan(drop_plan, || run_commands(&monitors, &input, &options));
+    let mask = |output: &str| {
+        output
+            .lines()
+            .map(strip_latency)
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(mask(&first), mask(&second), "same plan, different output");
+    assert_eq!(first_summary.events, second_summary.events);
+    assert_eq!(first_summary.failed, second_summary.failed);
+
+    // With worker replacement, cross-stream interleaving depends on *when*
+    // the crash was detected — but every stream's own line sequence is still
+    // byte-identical between the two runs.
+    let crash_plan = "seed:42,spec:worker.panic@73";
+    let (first_summary, first) =
+        with_plan(crash_plan, || run_commands(&monitors, &input, &options));
+    let (second_summary, second) =
+        with_plan(crash_plan, || run_commands(&monitors, &input, &options));
+    for stream in ["a", "b"] {
+        assert_eq!(
+            stream_lines(&first, stream),
+            stream_lines(&second, stream),
+            "stream {stream} differed between two runs of the same plan"
+        );
+    }
+    assert!(first_summary.restarted >= 1);
+    assert!(second_summary.restarted >= 1);
+    assert_eq!(first_summary.events, second_summary.events);
+    assert_eq!(first_summary.failed, second_summary.failed);
+}
+
+#[test]
+fn exhausted_replay_log_sacrifices_only_the_affected_streams() {
+    let _lock = serial();
+    let registry = counter_registry();
+    let monitors = registry.monitors();
+    let input = two_stream_input();
+    let options = ServeOptions {
+        // No replay log at all: a worker death takes its streams with it.
+        replay_budget: 0,
+        ..options()
+    };
+
+    let (summary, output) = with_plan("seed:7,spec:worker.panic@100", || {
+        run_commands(&monitors, &input, &options)
+    });
+
+    assert!(summary.restarted >= 1, "no restart recorded: {summary:?}");
+    assert_eq!(summary.replayed, 0);
+    // Both streams rode the one worker, so both are sacrificed — but each
+    // gets an explicit error line and the run itself stays up.
+    assert_eq!(
+        summary.failed, 2,
+        "unexpected summary: {summary:?}\n{output}"
+    );
+    assert_eq!(summary.streams, 2);
+    assert!(
+        output.contains("worker lost and replay log exhausted; stream dropped"),
+        "no sacrifice error in:\n{output}"
+    );
+}
+
+#[test]
+fn drain_deadline_bounds_a_hung_worker() {
+    let _lock = serial();
+    let registry = counter_registry();
+    let monitors = registry.monitors();
+    let input = two_stream_input();
+    let options = ServeOptions {
+        // The watchdog would need 10s to condemn the stall, but shutdown
+        // only waits 200ms: the draining deadline must win.
+        stall_timeout: Duration::from_secs(10),
+        drain_timeout: Duration::from_millis(200),
+        ..options()
+    };
+
+    let (summary, output) = with_plan("seed:7,spec:worker.stall@550", || {
+        run_commands(&monitors, &input, &options)
+    });
+
+    // The stall hit after most data was processed; shutdown gives up at the
+    // deadline and accounts both streams as lost rather than hanging.
+    assert_eq!(
+        summary.failed, 2,
+        "unexpected summary: {summary:?}\n{output}"
+    );
+    assert!(
+        output.contains("stream lost in shutdown"),
+        "no shutdown-loss error in:\n{output}"
+    );
+}
+
+#[test]
+fn short_read_truncates_a_csv_stream_cleanly() {
+    let _lock = serial();
+    let registry = counter_registry();
+    let monitors = registry.monitors();
+    let monitor = &monitors["counter"];
+    let csv = counter_csv(300);
+
+    // The 100th record read reports end-of-input instead. The header is a
+    // record too (occurrence 1), so 98 data records survive.
+    let (outcome, output) = with_plan("seed:7,spec:csv.short@100", || {
+        let mut output = Vec::new();
+        let outcome =
+            serve_csv_stream(monitor, "pipe", csv.as_bytes(), &mut output, &options()).unwrap();
+        (outcome, String::from_utf8(output).unwrap())
+    });
+
+    assert!(
+        !outcome.failed,
+        "a short read is a clean early end:\n{output}"
+    );
+    assert_eq!(outcome.events, 98);
+    assert!(output.contains("summary pipe events=98"), "{output}");
+}
+
+#[test]
+fn corrupt_byte_fails_one_stream_with_a_parse_error() {
+    let _lock = serial();
+    let registry = counter_registry();
+    let monitors = registry.monitors();
+    let monitor = &monitors["counter"];
+    let csv = counter_csv(300);
+
+    // One seeded byte of the 50th record is replaced with U+001A, which can
+    // parse as neither a number nor an event name.
+    let (outcome, output) = with_plan("seed:7,spec:csv.corrupt@50", || {
+        let mut output = Vec::new();
+        let outcome =
+            serve_csv_stream(monitor, "pipe", csv.as_bytes(), &mut output, &options()).unwrap();
+        (outcome, String::from_utf8(output).unwrap())
+    });
+
+    assert!(outcome.failed, "corruption must fail the stream:\n{output}");
+    assert!(
+        output.contains("error pipe "),
+        "no error line in:\n{output}"
+    );
+    assert!(!output.contains("summary "), "no summary after failure");
+}
+
+#[test]
+fn torn_record_outcomes_are_deterministic() {
+    let _lock = serial();
+    let registry = counter_registry();
+    let monitors = registry.monitors();
+    let monitor = &monitors["counter"];
+    let csv = counter_csv(300);
+
+    // A torn record may parse (a truncated integer is still an integer) or
+    // fail — either way the pinned seed makes both runs agree exactly.
+    let run = || {
+        with_plan("seed:11,spec:csv.torn@40x3", || {
+            let mut output = Vec::new();
+            let outcome =
+                serve_csv_stream(monitor, "pipe", csv.as_bytes(), &mut output, &options()).unwrap();
+            (outcome, String::from_utf8(output).unwrap())
+        })
+    };
+    let (first_outcome, first) = run();
+    let (second_outcome, second) = run();
+    let mask = |output: &str| output.lines().map(strip_latency).collect::<Vec<_>>();
+    assert_eq!(mask(&first), mask(&second));
+    assert_eq!(first_outcome, second_outcome);
+}
+
+#[test]
+fn spurious_budget_exhaustion_fails_learning_loudly() {
+    let _lock = serial();
+    // Every solver call reports its budget exhausted: model learning at
+    // registry load cannot succeed, and must say why rather than hang or
+    // return a half-learned model.
+    let error = with_plan("seed:7,spec:sat.budget@1x100000", || {
+        let specs = vec![ModelSpec::parse("counter=workload:counter:600").unwrap()];
+        Registry::load(&specs).expect_err("learning cannot succeed without a solver")
+    });
+    let message = error.to_string().to_lowercase();
+    assert!(
+        message.contains("budget") || message.contains("exhaust"),
+        "unhelpful learning error: {message}"
+    );
+}
+
+#[test]
+fn dropped_output_lines_do_not_derail_the_stream() {
+    let _lock = serial();
+    let registry = counter_registry();
+    let monitors = registry.monitors();
+    let monitor = &monitors["counter"];
+    let csv = counter_csv(300);
+
+    disarm();
+    let mut baseline = Vec::new();
+    let baseline_outcome =
+        serve_csv_stream(monitor, "pipe", csv.as_bytes(), &mut baseline, &options()).unwrap();
+    let baseline = String::from_utf8(baseline).unwrap();
+
+    // The 10th output line is swallowed by the transport.
+    let (outcome, output) = with_plan("seed:7,spec:transport.drop@10", || {
+        let mut output = Vec::new();
+        let outcome =
+            serve_csv_stream(monitor, "pipe", csv.as_bytes(), &mut output, &options()).unwrap();
+        (outcome, String::from_utf8(output).unwrap())
+    });
+
+    // Monitoring is unaffected — only the wire lost a line.
+    assert_eq!(outcome, baseline_outcome);
+    assert_eq!(output.lines().count() + 1, baseline.lines().count());
+}

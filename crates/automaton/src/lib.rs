@@ -37,4 +37,4 @@ mod subset;
 
 pub use crate::analysis::PathEnumeration;
 pub use crate::nfa::{LabelId, Nfa, StateId, Transition};
-pub use crate::subset::SubsetTracker;
+pub use crate::subset::{SubsetState, SubsetTracker};

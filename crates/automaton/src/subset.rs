@@ -2,11 +2,21 @@
 //!
 //! Batch acceptance queries ([`Nfa::accepts_from_any_state`]) re-run a subset
 //! construction over the whole word each time. A long-running monitor instead
-//! keeps a [`SubsetTracker`]: the set of automaton states still reachable
-//! after the labels pushed so far, stored as a bitset and updated in
-//! O(|current states| × branching) per pushed label with zero allocation.
-//! When the set drains empty the word has hit a dead end — in the all-states-
-//! accepting semantics of the learned models, that is a rejection.
+//! keeps the set of automaton states still reachable after the labels pushed
+//! so far, stored as a bitset and updated in O(|current states| × branching)
+//! per pushed label with zero allocation. When the set drains empty the word
+//! has hit a dead end — in the all-states-accepting semantics of the learned
+//! models, that is a rejection.
+//!
+//! Two entry points share one implementation:
+//!
+//! - [`SubsetState`] owns only the bitset buffers and takes the automaton as
+//!   a parameter on every step. Being lifetime-free, it can live inside
+//!   long-lived session objects that own their model behind an `Arc` (the
+//!   serving daemon's hot-reload path) and can be checkpointed byte-for-byte
+//!   ([`SubsetState::words`]).
+//! - [`SubsetTracker`] borrows the automaton once and carries it along — the
+//!   ergonomic choice when the automaton demonstrably outlives the tracker.
 //!
 //! # Example
 //!
@@ -32,15 +42,15 @@ use crate::nfa::{LabelId, Nfa, StateId};
 use std::hash::Hash;
 
 /// The set of states an [`Nfa`] can currently be in, maintained incrementally
-/// one pushed label at a time.
+/// one stepped label at a time, *without* borrowing the automaton.
 ///
-/// The tracker borrows the automaton and owns two fixed-size bit words
-/// buffers (current and scratch), so its resident memory is
-/// `2 × ⌈states / 64⌉ × 8` bytes regardless of how many labels are pushed —
-/// the O(states) bound the monitoring session builds on.
-#[derive(Debug, Clone)]
-pub struct SubsetTracker<'a, L> {
-    nfa: &'a Nfa<L>,
+/// The state owns two fixed-size bit-word buffers (current and scratch), so
+/// its resident memory is `2 × ⌈states / 64⌉ × 8` bytes regardless of how
+/// many labels are stepped — the O(states) bound the monitoring session
+/// builds on. Every stepping method takes the automaton as a parameter; it
+/// must be the same automaton (same state count) the state was created for.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubsetState {
     /// Bitset of currently reachable states.
     current: Vec<u64>,
     /// Scratch bitset for the next frontier (kept to avoid reallocation).
@@ -48,40 +58,37 @@ pub struct SubsetTracker<'a, L> {
     alive: bool,
 }
 
-impl<'a, L> SubsetTracker<'a, L>
-where
-    L: Clone + Eq + Hash,
-{
-    /// Creates a tracker whose state set is *all* states of `nfa` — the
-    /// acceptance notion for words that start mid-execution
+impl SubsetState {
+    /// Creates a state set containing *all* states of `nfa` — the acceptance
+    /// notion for words that start mid-execution
     /// (cf. [`Nfa::accepts_from_any_state`]).
-    pub fn from_all_states(nfa: &'a Nfa<L>) -> Self {
-        let mut tracker = Self::unset(nfa);
-        tracker.reset_to_all();
-        tracker
+    pub fn all_states<L: Clone + Eq + Hash>(nfa: &Nfa<L>) -> Self {
+        let mut state = Self::unset(nfa.num_states());
+        state.reset_to_all(nfa);
+        state
     }
 
-    /// Creates a tracker whose state set is the initial state of `nfa`
+    /// Creates a state set containing the initial state of `nfa`
     /// (cf. [`Nfa::run`]).
-    pub fn from_initial(nfa: &'a Nfa<L>) -> Self {
-        let mut tracker = Self::unset(nfa);
-        tracker.reset_to_initial();
-        tracker
+    pub fn initial<L: Clone + Eq + Hash>(nfa: &Nfa<L>) -> Self {
+        let mut state = Self::unset(nfa.num_states());
+        state.reset_to_initial(nfa);
+        state
     }
 
-    fn unset(nfa: &'a Nfa<L>) -> Self {
-        let words = nfa.num_states().div_ceil(64);
-        SubsetTracker {
-            nfa,
+    fn unset(num_states: usize) -> Self {
+        let words = num_states.div_ceil(64);
+        SubsetState {
             current: vec![0; words],
             scratch: vec![0; words],
             alive: false,
         }
     }
 
-    /// Resets the state set to all states, reusing the buffers.
-    pub fn reset_to_all(&mut self) {
-        let num_states = self.nfa.num_states();
+    /// Resets the state set to all states of `nfa`, reusing the buffers.
+    pub fn reset_to_all<L: Clone + Eq + Hash>(&mut self, nfa: &Nfa<L>) {
+        debug_assert_eq!(self.current.len(), nfa.num_states().div_ceil(64));
+        let num_states = nfa.num_states();
         for (word_index, word) in self.current.iter_mut().enumerate() {
             let low = word_index * 64;
             let high = (low + 64).min(num_states);
@@ -94,10 +101,12 @@ where
         self.alive = true;
     }
 
-    /// Resets the state set to the initial state, reusing the buffers.
-    pub fn reset_to_initial(&mut self) {
+    /// Resets the state set to the initial state of `nfa`, reusing the
+    /// buffers.
+    pub fn reset_to_initial<L: Clone + Eq + Hash>(&mut self, nfa: &Nfa<L>) {
+        debug_assert_eq!(self.current.len(), nfa.num_states().div_ceil(64));
         self.current.iter_mut().for_each(|word| *word = 0);
-        let initial = self.nfa.initial().index();
+        let initial = nfa.initial().index();
         self.current[initial / 64] |= 1u64 << (initial % 64);
         self.alive = true;
     }
@@ -105,9 +114,12 @@ where
     /// Advances the set by one label: replaces it with the union of the
     /// successors of its members under `label`. Returns whether any state is
     /// still reachable. A label the automaton has never seen empties the set.
-    pub fn push(&mut self, label: &L) -> bool {
-        match self.nfa.label_id(label) {
-            Some(id) => self.push_id(id),
+    pub fn step<L>(&mut self, nfa: &Nfa<L>, label: &L) -> bool
+    where
+        L: Clone + Eq + Hash,
+    {
+        match nfa.label_id(label) {
+            Some(id) => self.step_id(nfa, id),
             None => {
                 self.current.iter_mut().for_each(|word| *word = 0);
                 self.alive = false;
@@ -117,8 +129,9 @@ where
     }
 
     /// Advances the set by a pre-interned label id (see [`Nfa::label_id`]),
-    /// skipping the hash lookup of [`push`](SubsetTracker::push).
-    pub fn push_id(&mut self, label_id: LabelId) -> bool {
+    /// skipping the hash lookup of [`step`](SubsetState::step).
+    pub fn step_id<L: Clone + Eq + Hash>(&mut self, nfa: &Nfa<L>, label_id: LabelId) -> bool {
+        debug_assert_eq!(self.current.len(), nfa.num_states().div_ceil(64));
         if !self.alive {
             return false;
         }
@@ -130,7 +143,7 @@ where
                 let bit = bits.trailing_zeros();
                 bits &= bits - 1;
                 let state = StateId::new((word_index * 64) as u32 + bit);
-                for succ in self.nfa.successors_by_id(state, label_id) {
+                for succ in nfa.successors_by_id(state, label_id) {
                     let index = succ.index();
                     self.scratch[index / 64] |= 1u64 << (index % 64);
                     any = true;
@@ -163,7 +176,7 @@ where
     /// Whether `state` is in the current reachable set.
     pub fn contains(&self, state: StateId) -> bool {
         let index = state.index();
-        index < self.nfa.num_states() && self.current[index / 64] & (1u64 << (index % 64)) != 0
+        index / 64 < self.current.len() && self.current[index / 64] & (1u64 << (index % 64)) != 0
     }
 
     /// The currently reachable states, in index order.
@@ -176,6 +189,97 @@ where
                     .filter(move |bit| word & (1u64 << bit) != 0)
                     .map(move |bit| StateId::new((word_index * 64) as u32 + bit))
             })
+    }
+
+    /// The raw bit words of the current reachable set, in index order — the
+    /// checkpointable image of the tracker (together with
+    /// [`is_alive`](SubsetState::is_alive)).
+    pub fn words(&self) -> &[u64] {
+        &self.current
+    }
+}
+
+/// The set of states an [`Nfa`] can currently be in, maintained incrementally
+/// one pushed label at a time.
+///
+/// A thin wrapper pairing a [`SubsetState`] with a borrow of its automaton,
+/// for callers where the automaton demonstrably outlives the tracker. The
+/// resident-memory bound of [`SubsetState`] carries over unchanged.
+#[derive(Debug, Clone)]
+pub struct SubsetTracker<'a, L> {
+    nfa: &'a Nfa<L>,
+    state: SubsetState,
+}
+
+impl<'a, L> SubsetTracker<'a, L>
+where
+    L: Clone + Eq + Hash,
+{
+    /// Creates a tracker whose state set is *all* states of `nfa` — the
+    /// acceptance notion for words that start mid-execution
+    /// (cf. [`Nfa::accepts_from_any_state`]).
+    pub fn from_all_states(nfa: &'a Nfa<L>) -> Self {
+        SubsetTracker {
+            nfa,
+            state: SubsetState::all_states(nfa),
+        }
+    }
+
+    /// Creates a tracker whose state set is the initial state of `nfa`
+    /// (cf. [`Nfa::run`]).
+    pub fn from_initial(nfa: &'a Nfa<L>) -> Self {
+        SubsetTracker {
+            nfa,
+            state: SubsetState::initial(nfa),
+        }
+    }
+
+    /// Resets the state set to all states, reusing the buffers.
+    pub fn reset_to_all(&mut self) {
+        self.state.reset_to_all(self.nfa);
+    }
+
+    /// Resets the state set to the initial state, reusing the buffers.
+    pub fn reset_to_initial(&mut self) {
+        self.state.reset_to_initial(self.nfa);
+    }
+
+    /// Advances the set by one label: replaces it with the union of the
+    /// successors of its members under `label`. Returns whether any state is
+    /// still reachable. A label the automaton has never seen empties the set.
+    pub fn push(&mut self, label: &L) -> bool {
+        self.state.step(self.nfa, label)
+    }
+
+    /// Advances the set by a pre-interned label id (see [`Nfa::label_id`]),
+    /// skipping the hash lookup of [`push`](SubsetTracker::push).
+    pub fn push_id(&mut self, label_id: LabelId) -> bool {
+        self.state.step_id(self.nfa, label_id)
+    }
+
+    /// Whether at least one state is still reachable.
+    pub fn is_alive(&self) -> bool {
+        self.state.is_alive()
+    }
+
+    /// Number of currently reachable states.
+    pub fn len(&self) -> usize {
+        self.state.len()
+    }
+
+    /// Whether the reachable set is empty (the word hit a dead end).
+    pub fn is_empty(&self) -> bool {
+        self.state.is_empty()
+    }
+
+    /// Whether `state` is in the current reachable set.
+    pub fn contains(&self, state: StateId) -> bool {
+        self.state.contains(state)
+    }
+
+    /// The currently reachable states, in index order.
+    pub fn states(&self) -> impl Iterator<Item = StateId> + '_ {
+        self.state.states()
     }
 }
 
@@ -290,5 +394,23 @@ mod tests {
         assert_eq!(all.len(), n);
         assert!(all.push(&"step"));
         assert_eq!(all.len(), n - 1); // every state but the last has a successor
+    }
+
+    #[test]
+    fn owned_state_matches_tracker_and_exposes_words() {
+        let nfa = counter_nfa();
+        let mut owned = SubsetState::all_states(&nfa);
+        let mut tracker = SubsetTracker::from_all_states(&nfa);
+        for label in ["dec", "at_min", "inc", "at_max"] {
+            assert_eq!(owned.step(&nfa, &label), tracker.push(&label));
+            assert_eq!(
+                owned.states().collect::<Vec<_>>(),
+                tracker.states().collect::<Vec<_>>()
+            );
+        }
+        // The checkpoint image round-trips through a plain clone compare.
+        let snapshot = (owned.words().to_vec(), owned.is_alive());
+        let clone = owned.clone();
+        assert_eq!((clone.words().to_vec(), clone.is_alive()), snapshot);
     }
 }

@@ -16,12 +16,28 @@
 //! *cheapest* possible "replay a batch check per event" deployment, since a
 //! real one would replay the whole growing prefix. Beating it is therefore a
 //! conservative lower bound on the incremental speedup.
+//!
+//! The checkpointed variant (`incremental/counter_checkpointed`) replays the
+//! same stream while capturing a [`SessionCheckpoint`] image and encoding the
+//! full stream-snapshot envelope every `TRACELEARN_MONITOR_CHECKPOINT_EVERY`
+//! events (default 2048, the warm steady-state interval) — the durability
+//! work that rides the event path under `served --state-dir`. The
+//! `overhead_pct` extra is the in-run attribution of that work (time inside
+//! the capture + encode blocks over push time), which stays meaningful when
+//! run-to-run throughput drift exceeds the overhead itself. Crash-safe
+//! publication (write + fsync + rename, roughly a millisecond on commodity
+//! disks) runs on the mux thread *off* the per-event path in the daemon, so
+//! it is timed separately and reported as the `publish_us` extra rather than
+//! folded into per-event latency.
+//!
+//! [`SessionCheckpoint`]: tracelearn_core::SessionCheckpoint
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Instant;
 use tracelearn_bench::learner_config_for;
 use tracelearn_bench::report::{write_if_requested, BenchRecord};
 use tracelearn_core::{LearnedModel, Learner, Monitor, DEFAULT_CALIBRATION_EVENTS};
+use tracelearn_persist::{encode_stream, StreamSnapshot};
 use tracelearn_serve::LatencyHistogram;
 use tracelearn_trace::Trace;
 use tracelearn_workloads::Workload;
@@ -35,6 +51,19 @@ fn events() -> usize {
         .unwrap_or(100_000)
 }
 
+/// The checkpoint interval for the checkpointed variant. The default is the
+/// *warm* steady-state interval (2048 events) at which capture + encode
+/// amortize below a 5 % push-path overhead; `served` itself defaults to a
+/// tighter 256-command cycle, trading throughput for a smaller recovery
+/// window (`--checkpoint-every` tunes it, see docs/operations.md).
+fn checkpoint_every() -> usize {
+    std::env::var("TRACELEARN_MONITOR_CHECKPOINT_EVERY")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n: &usize| n > 0)
+        .unwrap_or(2048)
+}
+
 fn learn(workload: Workload) -> LearnedModel {
     let train = workload.generate(TRAIN_LENGTH);
     Learner::new(learner_config_for(workload))
@@ -44,7 +73,7 @@ fn learn(workload: Workload) -> LearnedModel {
 
 /// Pushes the whole stream through one incremental session, recording
 /// per-event latency, and returns (events, deviations, histogram).
-fn run_incremental(monitor: &Monitor<'_>, fresh: &Trace) -> (usize, usize, LatencyHistogram) {
+fn run_incremental(monitor: &Monitor, fresh: &Trace) -> (usize, usize, LatencyHistogram) {
     let mut session = monitor
         .session_with_calibration(fresh.signature(), DEFAULT_CALIBRATION_EVENTS)
         .expect("window fits");
@@ -60,9 +89,85 @@ fn run_incremental(monitor: &Monitor<'_>, fresh: &Trace) -> (usize, usize, Laten
     (fresh.len(), report.deviations.len(), latency)
 }
 
+/// What `run_incremental_checkpointed` measured, beyond the verdicts.
+struct CheckpointedRun {
+    events: usize,
+    deviations: usize,
+    latency: LatencyHistogram,
+    checkpoints: usize,
+    /// Wall time spent inside the capture + encode blocks. Measured in-run
+    /// (not by differencing two whole runs) so the checkpointing overhead
+    /// ratio is immune to run-to-run drift of the baseline throughput.
+    checkpoint_time: std::time::Duration,
+    last_snapshot: Vec<u8>,
+}
+
+/// Pushes the whole stream through one incremental session while taking a
+/// recovery image every `every` events: capture the session checkpoint and
+/// encode the complete stream-snapshot envelope, exactly the durability work
+/// `served --state-dir` adds to the event path. The replay log is left empty
+/// — in the daemon it holds verbatim client lines the I/O layer already
+/// owns, so its cost belongs to that layer, not the session.
+fn run_incremental_checkpointed(monitor: &Monitor, fresh: &Trace, every: usize) -> CheckpointedRun {
+    let mut session = monitor
+        .session_with_calibration(fresh.signature(), DEFAULT_CALIBRATION_EVENTS)
+        .expect("window fits");
+    let mut latency = LatencyHistogram::new();
+    let mut checkpoints = 0usize;
+    let mut checkpoint_time = std::time::Duration::ZERO;
+    let mut last_snapshot = Vec::new();
+    for (index, observation) in fresh.observations().iter().enumerate() {
+        let start = Instant::now();
+        session
+            .push_event(observation, fresh.symbols())
+            .expect("push succeeds");
+        if (index + 1) % every == 0 {
+            let block = Instant::now();
+            let snapshot = StreamSnapshot {
+                stream: "bench".to_owned(),
+                model: "counter".to_owned(),
+                version: 1,
+                seq: (index + 1) as u64,
+                log: Vec::new(),
+                checkpoint: Some(session.checkpoint()),
+            };
+            last_snapshot = std::hint::black_box(encode_stream(&snapshot));
+            checkpoints += 1;
+            checkpoint_time += block.elapsed();
+        }
+        latency.record(start.elapsed());
+    }
+    let report = session.finish(fresh.symbols()).expect("finish succeeds");
+    CheckpointedRun {
+        events: fresh.len(),
+        deviations: report.deviations.len(),
+        latency,
+        checkpoints,
+        checkpoint_time,
+        last_snapshot,
+    }
+}
+
+/// Runs `run` `runs` times and returns the fastest (value, wall) pair — the
+/// gated `incremental/` JSON records use this so the committed numbers (and
+/// the checkpointing-overhead ratio derived from them) measure the code, not
+/// one run's scheduler luck.
+fn fastest_of<T>(runs: usize, mut run: impl FnMut() -> T) -> (T, std::time::Duration) {
+    let mut best: Option<(T, std::time::Duration)> = None;
+    for _ in 0..runs {
+        let start = Instant::now();
+        let value = run();
+        let wall = start.elapsed();
+        if best.as_ref().map_or(true, |(_, b)| wall < *b) {
+            best = Some((value, wall));
+        }
+    }
+    best.expect("runs >= 1")
+}
+
 /// Re-runs a batch `check` on the trailing `2w - 1` observations for every
 /// event — the pre-refactor "replay per event" deployment model.
-fn run_batch_per_event(monitor: &Monitor<'_>, fresh: &Trace, window: usize) -> usize {
+fn run_batch_per_event(monitor: &Monitor, fresh: &Trace, window: usize) -> usize {
     let tail = 2 * window - 1;
     let mut deviations = 0usize;
     for end in tail..=fresh.len() {
@@ -81,6 +186,7 @@ fn run_batch_per_event(monitor: &Monitor<'_>, fresh: &Trace, window: usize) -> u
 
 fn bench_monitoring(c: &mut Criterion) {
     let events = events();
+    let checkpoint_every = checkpoint_every();
     let workload = Workload::Counter;
     let model = learn(workload);
     let config = learner_config_for(workload);
@@ -94,6 +200,19 @@ fn bench_monitoring(c: &mut Criterion) {
         BenchmarkId::new("incremental/counter", events),
         &fresh,
         |b, fresh| b.iter(|| run_incremental(&monitor, std::hint::black_box(fresh))),
+    );
+    group.bench_with_input(
+        BenchmarkId::new("incremental/counter_checkpointed", events),
+        &fresh,
+        |b, fresh| {
+            b.iter(|| {
+                run_incremental_checkpointed(
+                    &monitor,
+                    std::hint::black_box(fresh),
+                    checkpoint_every,
+                )
+            })
+        },
     );
     group.bench_with_input(
         BenchmarkId::new("batch/counter", events),
@@ -120,10 +239,40 @@ fn bench_monitoring(c: &mut Criterion) {
     }
     let mut records = Vec::new();
 
-    let start = Instant::now();
-    let (pushed, deviations, latency) = run_incremental(&monitor, &fresh);
-    let incremental_wall = start.elapsed();
+    let ((pushed, deviations, latency), incremental_wall) =
+        fastest_of(3, || run_incremental(&monitor, &fresh));
     let incremental_per_event = incremental_wall.as_nanos() as f64 / pushed.max(1) as f64;
+
+    let (checkpointed, checkpointed_wall) = fastest_of(3, || {
+        run_incremental_checkpointed(&monitor, &fresh, checkpoint_every)
+    });
+    let checkpointed_per_event =
+        checkpointed_wall.as_nanos() as f64 / checkpointed.events.max(1) as f64;
+    // Image capture is observational: verdicts must be untouched by it.
+    assert_eq!(checkpointed.deviations, deviations);
+    // The steady-state regression attributable to checkpointing: in-block
+    // time over push time, both from the same run.
+    let push_wall = checkpointed_wall.saturating_sub(checkpointed.checkpoint_time);
+    let checkpoint_overhead_pct =
+        checkpointed.checkpoint_time.as_secs_f64() * 100.0 / push_wall.as_secs_f64().max(1e-9);
+
+    // Durable publication of the final image: the cost the mux thread pays
+    // per checkpoint, off the per-event path.
+    let snap_path = std::env::temp_dir().join(format!(
+        "tracelearn-bench-monitoring-{}.snap",
+        std::process::id()
+    ));
+    let publish_wall = if checkpointed.checkpoints > 0 {
+        let start = Instant::now();
+        tracelearn_persist::write_atomic(&snap_path, &checkpointed.last_snapshot)
+            .expect("snapshot publishes");
+        let elapsed = start.elapsed();
+        assert!(tracelearn_persist::load_stream(&snap_path).is_ok());
+        let _ = std::fs::remove_file(&snap_path);
+        elapsed
+    } else {
+        std::time::Duration::ZERO
+    };
 
     let start = Instant::now();
     let batch_report = monitor.check(&fresh).expect("checkable");
@@ -155,6 +304,37 @@ fn bench_monitoring(c: &mut Criterion) {
             ),
     );
     records.push(
+        BenchRecord::new("incremental/counter_checkpointed", checkpointed_wall)
+            .with_extra("events", checkpointed.events)
+            .with_extra("deviations", checkpointed.deviations)
+            .with_extra("checkpoints", checkpointed.checkpoints)
+            .with_extra("checkpoint_every", checkpoint_every)
+            .with_extra("snapshot_bytes", checkpointed.last_snapshot.len())
+            .with_extra(
+                "events_per_sec",
+                format!(
+                    "{:.0}",
+                    checkpointed.events as f64 / checkpointed_wall.as_secs_f64().max(1e-9)
+                ),
+            )
+            .with_extra("per_event_ns", format!("{checkpointed_per_event:.1}"))
+            .with_extra("p50_us", format!("{:.3}", checkpointed.latency.p50_us()))
+            .with_extra("p99_us", format!("{:.3}", checkpointed.latency.p99_us()))
+            .with_extra(
+                "checkpoint_us",
+                format!(
+                    "{:.2}",
+                    checkpointed.checkpoint_time.as_secs_f64() * 1e6
+                        / checkpointed.checkpoints.max(1) as f64
+                ),
+            )
+            .with_extra("overhead_pct", format!("{checkpoint_overhead_pct:.2}"))
+            .with_extra(
+                "publish_us",
+                format!("{:.1}", publish_wall.as_secs_f64() * 1e6),
+            ),
+    );
+    records.push(
         BenchRecord::new("batch/counter", batch_wall)
             .with_extra("events", fresh.len())
             .with_extra("deviations", batch_report.deviations.len()),
@@ -173,9 +353,7 @@ fn bench_monitoring(c: &mut Criterion) {
     let model = learn(workload);
     let monitor = Monitor::new(&model, learner_config_for(workload));
     let fresh = workload.generate(events);
-    let start = Instant::now();
-    let (pushed, deviations, latency) = run_incremental(&monitor, &fresh);
-    let wall = start.elapsed();
+    let ((pushed, deviations, latency), wall) = fastest_of(3, || run_incremental(&monitor, &fresh));
     records.push(
         BenchRecord::new("incremental/rtlinux", wall)
             .with_extra("events", pushed)

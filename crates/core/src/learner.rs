@@ -401,6 +401,65 @@ impl LearnedModel {
     pub fn to_dot(&self, name: &str) -> String {
         self.rendered_automaton().to_dot(name)
     }
+
+    /// Reassembles a model from its constituent parts — the decode half of
+    /// the `tracelearn-persist` model snapshot codec.
+    ///
+    /// The parts are validated for internal consistency so a decoded
+    /// snapshot can never produce a model the learner could not have: every
+    /// transition label and every sequence entry must name a predicate of
+    /// `alphabet`, and at least one predicate sequence must be present
+    /// (monitoring reads `sequences[0]`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LearnError::InvalidConfig`] describing the first
+    /// inconsistency found.
+    pub fn from_parts(
+        automaton: Nfa<PredId>,
+        alphabet: PredicateAlphabet,
+        signature: Signature,
+        symbols: SymbolTable,
+        sequences: Vec<Vec<PredId>>,
+        stats: LearnStats,
+    ) -> Result<LearnedModel, LearnError> {
+        let in_alphabet = |id: &PredId| id.index() < alphabet.len();
+        if let Some(t) = automaton
+            .transitions()
+            .iter()
+            .find(|t| !in_alphabet(&t.label))
+        {
+            return Err(LearnError::InvalidConfig {
+                reason: format!(
+                    "transition label {} is outside the {}-predicate alphabet",
+                    t.label.index(),
+                    alphabet.len()
+                ),
+            });
+        }
+        if sequences.is_empty() {
+            return Err(LearnError::InvalidConfig {
+                reason: "a model needs at least one predicate sequence".to_owned(),
+            });
+        }
+        if let Some(id) = sequences.iter().flatten().find(|id| !in_alphabet(id)) {
+            return Err(LearnError::InvalidConfig {
+                reason: format!(
+                    "sequence entry {} is outside the {}-predicate alphabet",
+                    id.index(),
+                    alphabet.len()
+                ),
+            });
+        }
+        Ok(LearnedModel {
+            automaton,
+            alphabet,
+            signature,
+            symbols,
+            sequences,
+            stats,
+        })
+    }
 }
 
 /// Outcome of the complete refinement loop at one candidate state count.

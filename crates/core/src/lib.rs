@@ -65,8 +65,8 @@ pub use crate::learner::{
     learn_with_defaults, LearnStats, LearnedModel, Learner, LearnerConfig, SolverStrategy,
 };
 pub use crate::monitor::{
-    Deviation, DeviationKind, Monitor, MonitorReport, MonitorSession, SessionFootprint, Verdict,
-    DEFAULT_CALIBRATION_EVENTS,
+    Deviation, DeviationKind, Monitor, MonitorReport, MonitorSession, SessionCheckpoint,
+    SessionFootprint, Verdict, DEFAULT_CALIBRATION_EVENTS,
 };
 pub use crate::predicates::{PredId, PredicateAlphabet, PredicateExtractor, WindowAbstractor};
 pub use crate::replay::ReplayLog;

@@ -22,13 +22,14 @@
 //! predicate the model has never seen ([`DeviationKind::UnknownPredicate`])
 //! or all predicates are known but no path of the model is labelled with the
 //! window ([`DeviationKind::NoPath`], decided incrementally by a
-//! [`SubsetTracker`]).
+//! [`SubsetState`]).
 
 use crate::learner::{LearnedModel, LearnerConfig};
 use crate::predicates::{PredicateAlphabet, WindowAbstractor};
 use crate::{LearnError, PredId};
 use std::collections::{BTreeSet, HashMap, HashSet};
-use tracelearn_automaton::SubsetTracker;
+use std::sync::Arc;
+use tracelearn_automaton::SubsetState;
 use tracelearn_trace::{Signature, SymbolTable, Trace, Valuation};
 
 /// Default number of observations an incremental session buffers before
@@ -157,18 +158,30 @@ impl Verdict {
 /// # }
 /// ```
 #[derive(Debug, Clone)]
-pub struct Monitor<'m> {
-    model: &'m LearnedModel,
+pub struct Monitor {
+    /// The model, shared rather than borrowed: a monitor (and every session
+    /// cloned off it) keeps its model alive on its own, which is what lets
+    /// the serving daemon hot-swap model versions while in-flight streams
+    /// stay pinned to the version they opened against.
+    model: Arc<LearnedModel>,
     config: LearnerConfig,
-    /// Canonical rendered predicate → model predicate id, computed once.
-    known: HashMap<String, PredId>,
+    /// Canonical rendered predicate → model predicate id, computed once and
+    /// shared by every clone.
+    known: Arc<HashMap<String, PredId>>,
 }
 
-impl<'m> Monitor<'m> {
-    /// Creates a monitor for a learned model. The configuration must use the
-    /// same window length and input variables as the one the model was
-    /// learned with, so that fresh traces are abstracted identically.
-    pub fn new(model: &'m LearnedModel, config: LearnerConfig) -> Self {
+impl Monitor {
+    /// Creates a monitor for a learned model (cloned into shared ownership;
+    /// see [`from_shared`](Monitor::from_shared) to avoid the clone). The
+    /// configuration must use the same window length and input variables as
+    /// the one the model was learned with, so that fresh traces are
+    /// abstracted identically.
+    pub fn new(model: &LearnedModel, config: LearnerConfig) -> Self {
+        Monitor::from_shared(Arc::new(model.clone()), config)
+    }
+
+    /// Creates a monitor around an already-shared model without cloning it.
+    pub fn from_shared(model: Arc<LearnedModel>, config: LearnerConfig) -> Self {
         let known = model
             .alphabet()
             .iter()
@@ -184,13 +197,25 @@ impl<'m> Monitor<'m> {
         Monitor {
             model,
             config,
-            known,
+            known: Arc::new(known),
         }
     }
 
     /// The model this monitor checks against.
-    pub fn model(&self) -> &'m LearnedModel {
-        self.model
+    pub fn model(&self) -> &LearnedModel {
+        &self.model
+    }
+
+    /// The shared handle to the model — clone-counting this handle is how
+    /// the serving layer observes when the last session on a retired model
+    /// version closes.
+    pub fn shared_model(&self) -> Arc<LearnedModel> {
+        Arc::clone(&self.model)
+    }
+
+    /// The learner configuration the monitor abstracts fresh traces with.
+    pub fn config(&self) -> &LearnerConfig {
+        &self.config
     }
 
     /// Replays a whole fresh trace against the model.
@@ -220,7 +245,7 @@ impl<'m> Monitor<'m> {
     ///
     /// Returns [`LearnError::WindowTooSmall`] when the configured window is
     /// shorter than two observations.
-    pub fn session(&self, signature: &Signature) -> Result<MonitorSession<'_>, LearnError> {
+    pub fn session(&self, signature: &Signature) -> Result<MonitorSession, LearnError> {
         self.session_with_calibration(signature, DEFAULT_CALIBRATION_EVENTS)
     }
 
@@ -237,13 +262,14 @@ impl<'m> Monitor<'m> {
         &self,
         signature: &Signature,
         calibration_events: usize,
-    ) -> Result<MonitorSession<'_>, LearnError> {
+    ) -> Result<MonitorSession, LearnError> {
         let window = self.config.window;
         if window < 2 {
             return Err(LearnError::WindowTooSmall { window });
         }
         Ok(MonitorSession {
-            monitor: self,
+            tracker: SubsetState::all_states(self.model.automaton()),
+            monitor: self.clone(),
             signature: signature.clone(),
             window,
             calibration_events: calibration_events.max(window),
@@ -255,7 +281,6 @@ impl<'m> Monitor<'m> {
             recent: Vec::with_capacity(window),
             pred_window: Vec::with_capacity(window),
             seen: HashSet::new(),
-            tracker: SubsetTracker::from_all_states(self.model.automaton()),
             events: 0,
             positions: 0,
             windows_checked: 0,
@@ -286,6 +311,37 @@ pub struct SessionFootprint {
     pub deviations: usize,
 }
 
+/// The bounded mutable state of a [`MonitorSession`], captured for
+/// crash-durable checkpointing.
+///
+/// Two sessions that consumed the same events are [`PartialEq`]-equal here,
+/// so restart recovery can replay a stream's logged events into a fresh
+/// session and compare the result against the persisted checkpoint: equality
+/// proves the recovered session will emit byte-identical verdicts from the
+/// checkpoint onward; inequality means the state diverged and the stream
+/// must be reported `reset`, never silently resumed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionCheckpoint {
+    /// Observations pushed so far.
+    pub events: u64,
+    /// Predicate-sequence positions produced so far.
+    pub positions: u64,
+    /// Unique predicate windows checked so far.
+    pub windows_checked: u64,
+    /// Deviations recorded so far.
+    pub deviations: u64,
+    /// The buffered calibration prefix (empty once calibrated).
+    pub pending: Vec<Valuation>,
+    /// The sliding observation ring (the last `window` observations).
+    pub recent: Vec<Valuation>,
+    /// The sliding predicate-id ring, as raw stream-local indices.
+    pub pred_window: Vec<u32>,
+    /// The subset tracker's reachable-state bit words.
+    pub tracker_words: Vec<u64>,
+    /// Whether the subset tracker still has a reachable state.
+    pub tracker_alive: bool,
+}
+
 /// An incremental monitoring session: feed one [`Valuation`] at a time with
 /// [`push_event`](MonitorSession::push_event), collect per-event
 /// [`Verdict`]s, and close with [`finish`](MonitorSession::finish) to get
@@ -293,11 +349,16 @@ pub struct SessionFootprint {
 /// would produce.
 ///
 /// Resident state is bounded: a `window`-length observation ring, a
-/// `window`-length predicate ring, one [`SubsetTracker`] (two bitset words
+/// `window`-length predicate ring, one [`SubsetState`] (two bitset words
 /// per 64 automaton states) and per-*distinct* predicate/window memo tables.
+///
+/// Sessions own a [`Monitor`] clone (two shared handles), so a session keeps
+/// its model version alive for exactly as long as it runs — nothing borrows,
+/// which is what lets the serving daemon move sessions across worker threads
+/// and hot-reload models underneath new sessions.
 #[derive(Debug)]
-pub struct MonitorSession<'m> {
-    monitor: &'m Monitor<'m>,
+pub struct MonitorSession {
+    monitor: Monitor,
     signature: Signature,
     window: usize,
     /// Observations to buffer before calibrating the abstractor.
@@ -318,7 +379,7 @@ pub struct MonitorSession<'m> {
     pred_window: Vec<PredId>,
     /// Distinct predicate windows already checked.
     seen: HashSet<Vec<PredId>>,
-    tracker: SubsetTracker<'m, PredId>,
+    tracker: SubsetState,
     events: usize,
     /// Predicate-sequence positions produced so far.
     positions: usize,
@@ -326,7 +387,7 @@ pub struct MonitorSession<'m> {
     deviations: Vec<Deviation>,
 }
 
-impl MonitorSession<'_> {
+impl MonitorSession {
     /// Pushes one observation into the session.
     ///
     /// `symbols` is the stream's symbol table (the [`Value::Sym`] ids inside
@@ -394,6 +455,26 @@ impl MonitorSession<'_> {
     /// Unique predicate windows checked so far.
     pub fn windows_checked(&self) -> usize {
         self.windows_checked
+    }
+
+    /// A comparable image of the session's bounded mutable state (see
+    /// [`SessionCheckpoint`]) — what the serving daemon's checkpointer
+    /// persists and what restart recovery compares against after replaying a
+    /// stream's logged events. Cost is O(window + states/64) clones; the
+    /// unbounded-ish memo tables (`seen`, rendered deviations) are *not*
+    /// captured because replay rebuilds them deterministically.
+    pub fn checkpoint(&self) -> SessionCheckpoint {
+        SessionCheckpoint {
+            events: self.events as u64,
+            positions: self.positions as u64,
+            windows_checked: self.windows_checked as u64,
+            deviations: self.deviations.len() as u64,
+            pending: self.pending.clone(),
+            recent: self.recent.clone(),
+            pred_window: self.pred_window.iter().map(|p| p.index() as u32).collect(),
+            tracker_words: self.tracker.words().to_vec(),
+            tracker_alive: self.tracker.is_alive(),
+        }
     }
 
     /// Resident-memory counters (see [`SessionFootprint`]).
@@ -502,10 +583,13 @@ impl MonitorSession<'_> {
         {
             Some(DeviationKind::UnknownPredicate)
         } else {
-            self.tracker.reset_to_all();
+            let nfa = self.monitor.model.automaton();
+            let labels = &self.labels;
+            let tracker = &mut self.tracker;
+            tracker.reset_to_all(nfa);
             let dead = self.pred_window.iter().any(|p| {
-                let label = self.labels[p.index()].expect("all labels known");
-                !self.tracker.push(&label)
+                let label = labels[p.index()].expect("all labels known");
+                !tracker.step(nfa, &label)
             });
             dead.then_some(DeviationKind::NoPath)
         };

@@ -50,6 +50,19 @@ pub enum FaultSite {
     /// `transport.half` — one output line is cut in half and left without
     /// its newline, as if the writer died mid-line.
     TransportHalfWrite,
+    /// `persist.torn` — a snapshot write is cut at a seeded offset but the
+    /// torn file still lands under the final name, as if the host lost
+    /// power on a filesystem that reordered the rename ahead of the data.
+    PersistTornWrite,
+    /// `persist.rename` — the atomic rename publishing a snapshot fails;
+    /// the previous snapshot (if any) stays in place.
+    PersistRenameFail,
+    /// `persist.short` — reading a snapshot back returns only a seeded
+    /// prefix of the file, as if the read raced a truncation.
+    PersistShortRead,
+    /// `persist.interrupt` — the serving daemon aborts mid-checkpoint,
+    /// simulating a `kill -9` between per-stream snapshot writes.
+    PersistCheckpointInterrupt,
 }
 
 /// All sites, in counter order. `FaultSite as usize` indexes this table.
@@ -63,6 +76,10 @@ pub(crate) const ALL_SITES: &[FaultSite] = &[
     FaultSite::WorkerStall,
     FaultSite::TransportDrop,
     FaultSite::TransportHalfWrite,
+    FaultSite::PersistTornWrite,
+    FaultSite::PersistRenameFail,
+    FaultSite::PersistShortRead,
+    FaultSite::PersistCheckpointInterrupt,
 ];
 
 impl FaultSite {
@@ -78,6 +95,10 @@ impl FaultSite {
             FaultSite::WorkerStall => "worker.stall",
             FaultSite::TransportDrop => "transport.drop",
             FaultSite::TransportHalfWrite => "transport.half",
+            FaultSite::PersistTornWrite => "persist.torn",
+            FaultSite::PersistRenameFail => "persist.rename",
+            FaultSite::PersistShortRead => "persist.short",
+            FaultSite::PersistCheckpointInterrupt => "persist.interrupt",
         }
     }
 

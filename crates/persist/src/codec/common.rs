@@ -1,0 +1,404 @@
+//! Shared sub-codecs: signatures, symbol tables, predicates, valuations.
+//!
+//! These are the building blocks the model, warm-start and stream codecs
+//! compose. Everything is encoded in a canonical order (declaration order
+//! for signatures, intern order for symbols and predicates), so decoding by
+//! replaying the same constructor calls reproduces identical interned ids —
+//! the property the automaton and sequence codecs rely on.
+
+use crate::error::PersistError;
+use crate::wire::{Reader, Writer};
+use tracelearn_expr::{CmpOp, IntTerm, Predicate, VarRef};
+use tracelearn_trace::{
+    Signature, SymbolId, SymbolTable, Valuation, Value, VarId, VarKind, Variable,
+};
+
+/// Maximum nesting depth accepted while decoding recursive predicates and
+/// terms. Synthesized predicates are a handful of levels deep; the cap only
+/// exists so a crafted payload cannot overflow the decode stack.
+const MAX_DEPTH: usize = 200;
+
+pub(crate) fn malformed(reason: impl Into<String>) -> PersistError {
+    PersistError::Malformed(reason.into())
+}
+
+// ---- signature ----------------------------------------------------------
+
+pub(crate) fn encode_signature(w: &mut Writer, signature: &Signature) {
+    w.length(signature.arity());
+    for (_, var) in signature.iter() {
+        w.string(var.name());
+        w.u8(match var.kind() {
+            VarKind::Int => 0,
+            VarKind::Bool => 1,
+            VarKind::Event => 2,
+        });
+    }
+}
+
+pub(crate) fn decode_signature(r: &mut Reader<'_>) -> Result<Signature, PersistError> {
+    let arity = r.length(9)?; // each variable is ≥ 8 (name len) + 1 (kind)
+    let mut vars = Vec::with_capacity(arity);
+    for _ in 0..arity {
+        let name = r.string()?;
+        let kind = match r.u8()? {
+            0 => VarKind::Int,
+            1 => VarKind::Bool,
+            2 => VarKind::Event,
+            other => return Err(malformed(format!("unknown variable kind {other}"))),
+        };
+        vars.push(Variable::new(name, kind));
+    }
+    Signature::from_variables(vars)
+        .map_err(|e| malformed(format!("signature does not reassemble: {e}")))
+}
+
+// ---- symbol table -------------------------------------------------------
+
+pub(crate) fn encode_symbols(w: &mut Writer, symbols: &SymbolTable) {
+    w.length(symbols.len());
+    for (_, name) in symbols.iter() {
+        w.string(name);
+    }
+}
+
+pub(crate) fn decode_symbols(r: &mut Reader<'_>) -> Result<SymbolTable, PersistError> {
+    let len = r.length(8)?;
+    let mut symbols = SymbolTable::new();
+    for i in 0..len {
+        let name = r.string()?;
+        let id = symbols.intern(&name);
+        if id.index() as usize != i {
+            // Interning is first-occurrence order; a duplicate name means
+            // the table was not produced by our encoder.
+            return Err(malformed(format!("duplicate symbol {name:?}")));
+        }
+    }
+    Ok(symbols)
+}
+
+// ---- values and valuations ----------------------------------------------
+
+pub(crate) fn encode_value(w: &mut Writer, value: Value) {
+    match value {
+        Value::Int(v) => {
+            w.u8(0);
+            w.i64(v);
+        }
+        Value::Bool(v) => {
+            w.u8(1);
+            w.boolean(v);
+        }
+        Value::Sym(id) => {
+            w.u8(2);
+            w.u32(id.index());
+        }
+    }
+}
+
+pub(crate) fn decode_value(r: &mut Reader<'_>) -> Result<Value, PersistError> {
+    match r.u8()? {
+        0 => Ok(Value::Int(r.i64()?)),
+        1 => Ok(Value::Bool(r.boolean()?)),
+        2 => Ok(Value::Sym(SymbolId::new(r.u32()?))),
+        other => Err(malformed(format!("unknown value tag {other}"))),
+    }
+}
+
+pub(crate) fn encode_valuation(w: &mut Writer, valuation: &Valuation) {
+    w.length(valuation.arity());
+    for &value in valuation.values() {
+        encode_value(w, value);
+    }
+}
+
+pub(crate) fn decode_valuation(r: &mut Reader<'_>) -> Result<Valuation, PersistError> {
+    let arity = r.length(2)?; // each value is ≥ 1 (tag) + 1 (payload)
+    let mut values = Vec::with_capacity(arity);
+    for _ in 0..arity {
+        values.push(decode_value(r)?);
+    }
+    Ok(Valuation::from_values(values))
+}
+
+// ---- predicates and terms ------------------------------------------------
+
+fn cmp_code(op: CmpOp) -> u8 {
+    match op {
+        CmpOp::Eq => 0,
+        CmpOp::Ne => 1,
+        CmpOp::Lt => 2,
+        CmpOp::Le => 3,
+        CmpOp::Gt => 4,
+        CmpOp::Ge => 5,
+    }
+}
+
+fn cmp_from_code(code: u8) -> Result<CmpOp, PersistError> {
+    Ok(match code {
+        0 => CmpOp::Eq,
+        1 => CmpOp::Ne,
+        2 => CmpOp::Lt,
+        3 => CmpOp::Le,
+        4 => CmpOp::Gt,
+        5 => CmpOp::Ge,
+        other => return Err(malformed(format!("unknown comparison op {other}"))),
+    })
+}
+
+fn encode_var_ref(w: &mut Writer, var: VarRef) {
+    w.u32(var.var.index() as u32);
+    w.boolean(var.primed);
+}
+
+fn decode_var_ref(r: &mut Reader<'_>) -> Result<VarRef, PersistError> {
+    let var = VarId::new(r.u32()?);
+    let primed = r.boolean()?;
+    Ok(VarRef { var, primed })
+}
+
+pub(crate) fn encode_term(w: &mut Writer, term: &IntTerm) {
+    match term {
+        IntTerm::Const(v) => {
+            w.u8(0);
+            w.i64(*v);
+        }
+        IntTerm::Var(var) => {
+            w.u8(1);
+            encode_var_ref(w, *var);
+        }
+        IntTerm::Add(a, b) => {
+            w.u8(2);
+            encode_term(w, a);
+            encode_term(w, b);
+        }
+        IntTerm::Sub(a, b) => {
+            w.u8(3);
+            encode_term(w, a);
+            encode_term(w, b);
+        }
+        IntTerm::Scale(k, t) => {
+            w.u8(4);
+            w.i64(*k);
+            encode_term(w, t);
+        }
+        IntTerm::Ite(cond, a, b) => {
+            w.u8(5);
+            encode_predicate(w, cond);
+            encode_term(w, a);
+            encode_term(w, b);
+        }
+    }
+}
+
+fn decode_term_at(r: &mut Reader<'_>, depth: usize) -> Result<IntTerm, PersistError> {
+    if depth > MAX_DEPTH {
+        return Err(malformed("term nesting exceeds the depth limit"));
+    }
+    Ok(match r.u8()? {
+        0 => IntTerm::Const(r.i64()?),
+        1 => IntTerm::Var(decode_var_ref(r)?),
+        2 => IntTerm::Add(
+            Box::new(decode_term_at(r, depth + 1)?),
+            Box::new(decode_term_at(r, depth + 1)?),
+        ),
+        3 => IntTerm::Sub(
+            Box::new(decode_term_at(r, depth + 1)?),
+            Box::new(decode_term_at(r, depth + 1)?),
+        ),
+        4 => {
+            let k = r.i64()?;
+            IntTerm::Scale(k, Box::new(decode_term_at(r, depth + 1)?))
+        }
+        5 => IntTerm::Ite(
+            Box::new(decode_predicate_at(r, depth + 1)?),
+            Box::new(decode_term_at(r, depth + 1)?),
+            Box::new(decode_term_at(r, depth + 1)?),
+        ),
+        other => return Err(malformed(format!("unknown term tag {other}"))),
+    })
+}
+
+pub(crate) fn encode_predicate(w: &mut Writer, predicate: &Predicate) {
+    match predicate {
+        Predicate::True => w.u8(0),
+        Predicate::False => w.u8(1),
+        Predicate::Cmp { op, lhs, rhs } => {
+            w.u8(2);
+            w.u8(cmp_code(*op));
+            encode_term(w, lhs);
+            encode_term(w, rhs);
+        }
+        Predicate::EventIs { var, symbol } => {
+            w.u8(3);
+            encode_var_ref(w, *var);
+            w.u32(symbol.index());
+        }
+        Predicate::BoolVar { var, negated } => {
+            w.u8(4);
+            encode_var_ref(w, *var);
+            w.boolean(*negated);
+        }
+        Predicate::Not(inner) => {
+            w.u8(5);
+            encode_predicate(w, inner);
+        }
+        Predicate::And(children) => {
+            w.u8(6);
+            w.length(children.len());
+            for child in children {
+                encode_predicate(w, child);
+            }
+        }
+        Predicate::Or(children) => {
+            w.u8(7);
+            w.length(children.len());
+            for child in children {
+                encode_predicate(w, child);
+            }
+        }
+    }
+}
+
+fn decode_predicate_at(r: &mut Reader<'_>, depth: usize) -> Result<Predicate, PersistError> {
+    if depth > MAX_DEPTH {
+        return Err(malformed("predicate nesting exceeds the depth limit"));
+    }
+    Ok(match r.u8()? {
+        0 => Predicate::True,
+        1 => Predicate::False,
+        2 => {
+            let op = cmp_from_code(r.u8()?)?;
+            let lhs = decode_term_at(r, depth + 1)?;
+            let rhs = decode_term_at(r, depth + 1)?;
+            Predicate::Cmp { op, lhs, rhs }
+        }
+        3 => {
+            let var = decode_var_ref(r)?;
+            let symbol = SymbolId::new(r.u32()?);
+            Predicate::EventIs { var, symbol }
+        }
+        4 => {
+            let var = decode_var_ref(r)?;
+            let negated = r.boolean()?;
+            Predicate::BoolVar { var, negated }
+        }
+        5 => Predicate::Not(Box::new(decode_predicate_at(r, depth + 1)?)),
+        6 => {
+            let len = r.length(1)?;
+            let mut children = Vec::with_capacity(len);
+            for _ in 0..len {
+                children.push(decode_predicate_at(r, depth + 1)?);
+            }
+            Predicate::And(children)
+        }
+        7 => {
+            let len = r.length(1)?;
+            let mut children = Vec::with_capacity(len);
+            for _ in 0..len {
+                children.push(decode_predicate_at(r, depth + 1)?);
+            }
+            Predicate::Or(children)
+        }
+        other => return Err(malformed(format!("unknown predicate tag {other}"))),
+    })
+}
+
+pub(crate) fn decode_predicate(r: &mut Reader<'_>) -> Result<Predicate, PersistError> {
+    decode_predicate_at(r, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracelearn_expr::IntTerm;
+
+    #[test]
+    fn predicate_round_trips_recursively() {
+        let x = VarRef::current(VarId::new(0));
+        let x2 = VarRef::next(VarId::new(0));
+        let pred = Predicate::Or(vec![
+            Predicate::And(vec![
+                Predicate::eq(
+                    IntTerm::Var(x2),
+                    IntTerm::Add(
+                        Box::new(IntTerm::Var(x)),
+                        Box::new(IntTerm::Scale(3, Box::new(IntTerm::Const(-2)))),
+                    ),
+                ),
+                Predicate::BoolVar {
+                    var: VarRef::current(VarId::new(1)),
+                    negated: true,
+                },
+            ]),
+            Predicate::Not(Box::new(Predicate::EventIs {
+                var: x,
+                symbol: SymbolId::new(4),
+            })),
+            Predicate::Cmp {
+                op: CmpOp::Le,
+                lhs: IntTerm::Ite(
+                    Box::new(Predicate::True),
+                    Box::new(IntTerm::Const(1)),
+                    Box::new(IntTerm::Const(0)),
+                ),
+                rhs: IntTerm::Const(9),
+            },
+        ]);
+        let mut w = Writer::new();
+        encode_predicate(&mut w, &pred);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(decode_predicate(&mut r).unwrap(), pred);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn hostile_depth_is_rejected_without_overflow() {
+        // 100k nested Not(...) tags: must fail with a typed error, not a
+        // stack overflow.
+        let mut w = Writer::new();
+        for _ in 0..100_000 {
+            w.u8(5);
+        }
+        w.u8(0);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert!(matches!(
+            decode_predicate(&mut r),
+            Err(PersistError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn signature_and_symbols_round_trip() {
+        let signature = Signature::builder()
+            .int("x")
+            .boolean("b")
+            .event("e")
+            .build();
+        let mut symbols = SymbolTable::new();
+        symbols.intern("read");
+        symbols.intern("write");
+        let mut w = Writer::new();
+        encode_signature(&mut w, &signature);
+        encode_symbols(&mut w, &symbols);
+        encode_valuation(
+            &mut w,
+            &Valuation::from_values(vec![
+                Value::Int(-7),
+                Value::Bool(true),
+                Value::Sym(SymbolId::new(1)),
+            ]),
+        );
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let sig2 = decode_signature(&mut r).unwrap();
+        assert_eq!(sig2.arity(), 3);
+        let sym2 = decode_symbols(&mut r).unwrap();
+        assert_eq!(sym2.name(SymbolId::new(1)), Some("write"));
+        let val = decode_valuation(&mut r).unwrap();
+        assert_eq!(val.values()[0], Value::Int(-7));
+        r.finish().unwrap();
+    }
+}

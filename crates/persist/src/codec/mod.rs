@@ -1,0 +1,7 @@
+//! Payload codecs for each [`SnapshotKind`](crate::SnapshotKind).
+
+pub(crate) mod common;
+pub mod model;
+pub mod registry;
+pub mod stream;
+pub mod warmstart;

@@ -1,0 +1,135 @@
+//! The registry manifest codec: which models the daemon was serving, from
+//! which specs, at which versions.
+//!
+//! The manifest is the root of the state directory: recovery matches the
+//! requested `--model name=spec` pairs against it, and only a name whose
+//! spec matches byte-for-byte is restored from its model snapshot — a
+//! changed spec means the operator wants a fresh learn, not a stale restore.
+
+use crate::envelope::{self, SnapshotKind};
+use crate::error::PersistError;
+use crate::wire::{Reader, Writer};
+use std::path::Path;
+
+/// One served model in the manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegistryEntry {
+    /// The model name clients open streams against.
+    pub name: String,
+    /// The source spec the model was built from, verbatim.
+    pub spec: String,
+    /// The hot-reload version; bumped each time `reload` swaps the model.
+    pub version: u64,
+}
+
+/// The registry manifest: all served models in registration order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RegistryManifest {
+    /// The served models, in registration order.
+    pub entries: Vec<RegistryEntry>,
+}
+
+impl RegistryManifest {
+    /// Looks up an entry by model name.
+    pub fn entry(&self, name: &str) -> Option<&RegistryEntry> {
+        self.entries.iter().find(|e| e.name == name)
+    }
+}
+
+/// Encodes a registry manifest as a complete envelope.
+pub fn encode_registry(manifest: &RegistryManifest) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.length(manifest.entries.len());
+    for entry in &manifest.entries {
+        w.string(&entry.name);
+        w.string(&entry.spec);
+        w.u64(entry.version);
+    }
+    envelope::encode(SnapshotKind::Registry, &w.into_bytes())
+}
+
+/// Decodes a registry manifest from envelope bytes.
+///
+/// # Errors
+///
+/// Any damage (including duplicate model names) yields a typed
+/// [`PersistError`].
+pub fn decode_registry(bytes: &[u8]) -> Result<RegistryManifest, PersistError> {
+    let payload = envelope::decode(bytes, SnapshotKind::Registry)?;
+    let mut r = Reader::new(payload);
+    let len = r.length(24)?; // ≥ two string lengths + a version per entry
+    let mut entries: Vec<RegistryEntry> = Vec::with_capacity(len);
+    for _ in 0..len {
+        let name = r.string()?;
+        let spec = r.string()?;
+        let version = r.u64()?;
+        if entries.iter().any(|e| e.name == name) {
+            return Err(PersistError::Malformed(format!(
+                "duplicate model name {name:?} in the manifest"
+            )));
+        }
+        entries.push(RegistryEntry {
+            name,
+            spec,
+            version,
+        });
+    }
+    r.finish()?;
+    Ok(RegistryManifest { entries })
+}
+
+/// Saves a registry manifest to `path` crash-safely.
+///
+/// # Errors
+///
+/// Returns [`PersistError::Io`] on filesystem failure.
+pub fn save_registry(path: &Path, manifest: &RegistryManifest) -> Result<(), PersistError> {
+    envelope::write_atomic(path, &encode_registry(manifest))
+}
+
+/// Loads and validates a registry manifest from `path`.
+///
+/// # Errors
+///
+/// As [`decode_registry`], plus [`PersistError::Io`] for filesystem
+/// failures.
+pub fn load_registry(path: &Path) -> Result<RegistryManifest, PersistError> {
+    decode_registry(&envelope::read_file(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_round_trips_and_rejects_duplicates() {
+        let manifest = RegistryManifest {
+            entries: vec![
+                RegistryEntry {
+                    name: "counter".to_owned(),
+                    spec: "workload:counter:600".to_owned(),
+                    version: 1,
+                },
+                RegistryEntry {
+                    name: "serial".to_owned(),
+                    spec: "csv:/var/lib/traces/serial.csv".to_owned(),
+                    version: 4,
+                },
+            ],
+        };
+        let bytes = encode_registry(&manifest);
+        let restored = decode_registry(&bytes).unwrap();
+        assert_eq!(restored, manifest);
+        assert_eq!(restored.entry("serial").unwrap().version, 4);
+        assert!(restored.entry("missing").is_none());
+
+        let duplicated = RegistryManifest {
+            entries: vec![manifest.entries[0].clone(), manifest.entries[0].clone()],
+        };
+        let bytes = encode_registry(&duplicated);
+        assert!(matches!(
+            decode_registry(&bytes),
+            Err(PersistError::Malformed(_))
+        ));
+    }
+}

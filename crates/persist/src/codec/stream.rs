@@ -1,0 +1,238 @@
+//! The per-stream snapshot codec: one serving stream's recovery image.
+//!
+//! A stream snapshot pairs the stream's bounded replay log (the verbatim
+//! `data` lines since the last checkpoint barrier) with a
+//! [`SessionCheckpoint`] — the comparable image of the monitor session's
+//! bounded state at input sequence `seq`. Recovery replays the log into a
+//! fresh session and compares checkpoints: equality proves the rebuilt
+//! session will emit byte-identical verdicts for all future events, so the
+//! stream is reported `recovered`; any mismatch demotes it to an explicit
+//! `reset`, never a silently wrong continuation.
+
+use crate::codec::common::{decode_valuation, encode_valuation, malformed};
+use crate::envelope::{self, SnapshotKind};
+use crate::error::PersistError;
+use crate::wire::{Reader, Writer};
+use std::path::Path;
+use tracelearn_core::SessionCheckpoint;
+
+/// One serving stream's crash-recovery image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamSnapshot {
+    /// The stream name, exactly as opened by the client.
+    pub stream: String,
+    /// The name of the model the stream was opened against.
+    pub model: String,
+    /// The model *version* the stream is pinned to (hot-reload bumps the
+    /// registry version; in-flight streams stay on their open-time version).
+    pub version: u64,
+    /// Input commands consumed for this stream when the checkpoint was
+    /// taken. A recovered client resumes sending from `seq`.
+    pub seq: u64,
+    /// The replay log: verbatim input lines not yet retired by the
+    /// checkpoint barrier, replayed before comparing checkpoints.
+    pub log: Vec<String>,
+    /// The session image at `seq`; `None` for a stream checkpointed before
+    /// its session processed any input (recovery then replays from scratch).
+    pub checkpoint: Option<SessionCheckpoint>,
+}
+
+fn encode_checkpoint(w: &mut Writer, c: &SessionCheckpoint) {
+    w.u64(c.events);
+    w.u64(c.positions);
+    w.u64(c.windows_checked);
+    w.u64(c.deviations);
+    w.length(c.pending.len());
+    for valuation in &c.pending {
+        encode_valuation(w, valuation);
+    }
+    w.length(c.recent.len());
+    for valuation in &c.recent {
+        encode_valuation(w, valuation);
+    }
+    w.length(c.pred_window.len());
+    for &index in &c.pred_window {
+        w.u32(index);
+    }
+    w.length(c.tracker_words.len());
+    for &word in &c.tracker_words {
+        w.u64(word);
+    }
+    w.boolean(c.tracker_alive);
+}
+
+fn decode_checkpoint(r: &mut Reader<'_>) -> Result<SessionCheckpoint, PersistError> {
+    let events = r.u64()?;
+    let positions = r.u64()?;
+    let windows_checked = r.u64()?;
+    let deviations = r.u64()?;
+    let pending_len = r.length(8)?;
+    let mut pending = Vec::with_capacity(pending_len);
+    for _ in 0..pending_len {
+        pending.push(decode_valuation(r)?);
+    }
+    let recent_len = r.length(8)?;
+    let mut recent = Vec::with_capacity(recent_len);
+    for _ in 0..recent_len {
+        recent.push(decode_valuation(r)?);
+    }
+    let window_len = r.length(4)?;
+    let mut pred_window = Vec::with_capacity(window_len);
+    for _ in 0..window_len {
+        pred_window.push(r.u32()?);
+    }
+    let words_len = r.length(8)?;
+    let mut tracker_words = Vec::with_capacity(words_len);
+    for _ in 0..words_len {
+        tracker_words.push(r.u64()?);
+    }
+    let tracker_alive = r.boolean()?;
+    Ok(SessionCheckpoint {
+        events,
+        positions,
+        windows_checked,
+        deviations,
+        pending,
+        recent,
+        pred_window,
+        tracker_words,
+        tracker_alive,
+    })
+}
+
+/// Encodes a stream snapshot as a complete envelope.
+pub fn encode_stream(snapshot: &StreamSnapshot) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.string(&snapshot.stream);
+    w.string(&snapshot.model);
+    w.u64(snapshot.version);
+    w.u64(snapshot.seq);
+    w.length(snapshot.log.len());
+    for line in &snapshot.log {
+        w.string(line);
+    }
+    match &snapshot.checkpoint {
+        Some(checkpoint) => {
+            w.boolean(true);
+            encode_checkpoint(&mut w, checkpoint);
+        }
+        None => w.boolean(false),
+    }
+    envelope::encode(SnapshotKind::Stream, &w.into_bytes())
+}
+
+/// Decodes a stream snapshot from envelope bytes.
+///
+/// # Errors
+///
+/// Any damage yields a typed [`PersistError`].
+pub fn decode_stream(bytes: &[u8]) -> Result<StreamSnapshot, PersistError> {
+    let payload = envelope::decode(bytes, SnapshotKind::Stream)?;
+    let mut r = Reader::new(payload);
+    let stream = r.string()?;
+    let model = r.string()?;
+    let version = r.u64()?;
+    let seq = r.u64()?;
+    let log_len = r.length(8)?;
+    let mut log = Vec::with_capacity(log_len);
+    for _ in 0..log_len {
+        log.push(r.string()?);
+    }
+    let checkpoint = if r.option()? {
+        Some(decode_checkpoint(&mut r)?)
+    } else {
+        None
+    };
+    r.finish()?;
+    if u64::try_from(log.len()).map_err(|_| malformed("log length overflows u64"))? > seq {
+        return Err(malformed(format!(
+            "replay log of {} lines exceeds sequence number {seq}",
+            log.len()
+        )));
+    }
+    Ok(StreamSnapshot {
+        stream,
+        model,
+        version,
+        seq,
+        log,
+        checkpoint,
+    })
+}
+
+/// Saves a stream snapshot to `path` crash-safely.
+///
+/// # Errors
+///
+/// Returns [`PersistError::Io`] on filesystem failure.
+pub fn save_stream(path: &Path, snapshot: &StreamSnapshot) -> Result<(), PersistError> {
+    envelope::write_atomic(path, &encode_stream(snapshot))
+}
+
+/// Loads and validates a stream snapshot from `path`.
+///
+/// # Errors
+///
+/// As [`decode_stream`], plus [`PersistError::Io`] for filesystem failures.
+pub fn load_stream(path: &Path) -> Result<StreamSnapshot, PersistError> {
+    decode_stream(&envelope::read_file(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracelearn_trace::{Valuation, Value};
+
+    fn sample() -> StreamSnapshot {
+        StreamSnapshot {
+            stream: "tenant-a/stream-1".to_owned(),
+            model: "counter".to_owned(),
+            version: 3,
+            seq: 42,
+            log: vec!["data tenant-a/stream-1 7,up".to_owned(); 5],
+            checkpoint: Some(SessionCheckpoint {
+                events: 40,
+                positions: 38,
+                windows_checked: 36,
+                deviations: 1,
+                pending: vec![Valuation::from_values(vec![
+                    Value::Int(7),
+                    Value::Bool(true),
+                ])],
+                recent: vec![
+                    Valuation::from_values(vec![Value::Int(6), Value::Bool(false)]),
+                    Valuation::from_values(vec![Value::Int(7), Value::Bool(true)]),
+                ],
+                pred_window: vec![0, 2, 1],
+                tracker_words: vec![0b1011],
+                tracker_alive: true,
+            }),
+        }
+    }
+
+    #[test]
+    fn stream_snapshot_round_trips() {
+        let snapshot = sample();
+        let bytes = encode_stream(&snapshot);
+        assert_eq!(decode_stream(&bytes).unwrap(), snapshot);
+        let no_checkpoint = StreamSnapshot {
+            checkpoint: None,
+            log: Vec::new(),
+            seq: 0,
+            ..snapshot
+        };
+        let bytes = encode_stream(&no_checkpoint);
+        assert_eq!(decode_stream(&bytes).unwrap(), no_checkpoint);
+    }
+
+    #[test]
+    fn an_overlong_log_is_rejected() {
+        let mut snapshot = sample();
+        snapshot.seq = 2; // fewer inputs than log lines: impossible image
+        let bytes = encode_stream(&snapshot);
+        assert!(matches!(
+            decode_stream(&bytes),
+            Err(PersistError::Malformed(_))
+        ));
+    }
+}

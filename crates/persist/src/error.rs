@@ -1,0 +1,96 @@
+//! The typed rejection vocabulary of the snapshot layer.
+
+use std::fmt;
+use std::io;
+
+/// Everything that can go wrong saving or loading a snapshot.
+///
+/// The load path's contract is that a damaged file — torn, truncated,
+/// bit-flipped, wrong format, wrong kind — maps to exactly one of these
+/// variants and *never* to a silently wrong value or a panic. The
+/// adversarial corpus in the crate tests exercises every variant.
+#[derive(Debug)]
+pub enum PersistError {
+    /// An operating-system I/O failure (open, read, write, fsync, rename).
+    Io(io::Error),
+    /// The file does not start with the snapshot magic — not a snapshot at
+    /// all, or one written by an incompatible future format.
+    BadMagic,
+    /// The file is a snapshot of a different kind than the caller asked for
+    /// (for example a stream snapshot where a model was expected).
+    WrongKind {
+        /// The kind the caller expected, as its wire code.
+        expected: u16,
+        /// The kind found in the header, as its wire code.
+        found: u16,
+    },
+    /// The header names a codec version this build cannot decode.
+    UnsupportedVersion {
+        /// The kind whose version was unsupported, as its wire code.
+        kind: u16,
+        /// The version found in the header.
+        version: u16,
+    },
+    /// The file ends before the length the header promises — a torn or
+    /// short-read snapshot.
+    Truncated {
+        /// Bytes the envelope needed.
+        needed: usize,
+        /// Bytes actually present.
+        got: usize,
+    },
+    /// The file is longer than the header promises — trailing garbage, or a
+    /// botched overwrite.
+    TrailingBytes {
+        /// Extra bytes beyond the envelope.
+        extra: usize,
+    },
+    /// The checksum over header and payload does not match the trailer —
+    /// bit rot, a torn write, or overlapping writers.
+    ChecksumMismatch,
+    /// The payload passed the checksum but does not decode to a valid
+    /// value — a codec bug or a deliberately crafted file; either way it is
+    /// rejected, never guessed at.
+    Malformed(String),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "snapshot io error: {e}"),
+            PersistError::BadMagic => write!(f, "not a snapshot (bad magic)"),
+            PersistError::WrongKind { expected, found } => {
+                write!(
+                    f,
+                    "snapshot kind {found} where kind {expected} was expected"
+                )
+            }
+            PersistError::UnsupportedVersion { kind, version } => {
+                write!(f, "snapshot kind {kind} version {version} is not supported")
+            }
+            PersistError::Truncated { needed, got } => {
+                write!(f, "snapshot truncated: needed {needed} bytes, got {got}")
+            }
+            PersistError::TrailingBytes { extra } => {
+                write!(f, "snapshot has {extra} trailing bytes")
+            }
+            PersistError::ChecksumMismatch => write!(f, "snapshot checksum mismatch"),
+            PersistError::Malformed(reason) => write!(f, "malformed snapshot payload: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for PersistError {
+    fn from(e: io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}

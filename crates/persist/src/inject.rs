@@ -1,0 +1,57 @@
+//! Fault-injection hooks for the persistence layer.
+//!
+//! Mirrors `crates/serve/src/inject.rs`: with the `fault-injection` feature
+//! the hooks consult the process-global fault plan (`tracelearn-faults`);
+//! without it every hook is an `#[inline(always)]` no-op and the production
+//! build carries no injection code at all.
+
+#[cfg(feature = "fault-injection")]
+mod enabled {
+    use tracelearn_faults::{trip, trip_value, FaultSite};
+
+    /// A firing `persist.torn` fault returns how many bytes of the snapshot
+    /// actually reach the disk (a seeded strict prefix).
+    pub fn torn_write_len(len: usize) -> Option<usize> {
+        let value = trip_value(FaultSite::PersistTornWrite)?;
+        Some((value % len.max(1) as u64) as usize)
+    }
+
+    /// Whether a firing `persist.rename` fault fails this publish.
+    pub fn rename_fails() -> bool {
+        trip(FaultSite::PersistRenameFail)
+    }
+
+    /// A firing `persist.short` fault returns how many bytes of the
+    /// snapshot the reader observes (a seeded strict prefix).
+    pub fn short_read_len(len: usize) -> Option<usize> {
+        let value = trip_value(FaultSite::PersistShortRead)?;
+        Some((value % len.max(1) as u64) as usize)
+    }
+}
+
+#[cfg(not(feature = "fault-injection"))]
+mod disabled {
+    /// No-op without the `fault-injection` feature.
+    #[inline(always)]
+    pub fn torn_write_len(_len: usize) -> Option<usize> {
+        None
+    }
+
+    /// No-op without the `fault-injection` feature.
+    #[inline(always)]
+    pub fn rename_fails() -> bool {
+        false
+    }
+
+    /// No-op without the `fault-injection` feature.
+    #[inline(always)]
+    pub fn short_read_len(_len: usize) -> Option<usize> {
+        None
+    }
+}
+
+#[cfg(feature = "fault-injection")]
+pub use enabled::*;
+
+#[cfg(not(feature = "fault-injection"))]
+pub use disabled::*;

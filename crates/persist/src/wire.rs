@@ -1,0 +1,249 @@
+//! Wire primitives: little-endian, length-prefixed, allocation-checked.
+//!
+//! Every codec in this crate is built from these two types. [`Writer`] is an
+//! append-only byte buffer; [`Reader`] is a cursor that returns a typed
+//! [`PersistError`] instead of panicking on any malformed input. Length
+//! prefixes are validated against the bytes actually remaining *before*
+//! allocating, so a corrupted length can never request an absurd allocation.
+
+use crate::error::PersistError;
+
+/// An append-only encode buffer.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Writer::default()
+    }
+
+    /// Consumes the writer, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Appends one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a `u32`, little-endian.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`, little-endian.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `i64`, little-endian two's complement.
+    pub fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `bool` as one byte (0 or 1).
+    pub fn boolean(&mut self, v: bool) {
+        self.buf.push(u8::from(v));
+    }
+
+    /// Appends a `usize` as a `u64` (the format is 64-bit everywhere).
+    pub fn length(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Appends raw bytes without a length prefix.
+    pub fn raw(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Appends a length-prefixed byte string.
+    pub fn bytes(&mut self, bytes: &[u8]) {
+        self.length(bytes.len());
+        self.raw(bytes);
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn string(&mut self, s: &str) {
+        self.bytes(s.as_bytes());
+    }
+}
+
+/// A decode cursor over a byte slice.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Creates a cursor at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether every byte has been consumed — codecs check this at the end
+    /// so a payload with spare bytes is rejected, not silently accepted.
+    pub fn finish(&self) -> Result<(), PersistError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(PersistError::Malformed(format!(
+                "{} unconsumed payload bytes",
+                self.remaining()
+            )))
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], PersistError> {
+        let truncated = |end| PersistError::Truncated {
+            needed: end,
+            got: self.buf.len(),
+        };
+        let end = self
+            .pos
+            .checked_add(n)
+            .ok_or_else(|| truncated(usize::MAX))?;
+        let slice = self.buf.get(self.pos..end).ok_or_else(|| truncated(end))?;
+        self.pos = end;
+        Ok(slice)
+    }
+
+    /// Reads `N` bytes as a fixed-size array.
+    fn array<const N: usize>(&mut self) -> Result<[u8; N], PersistError> {
+        self.take(N)?
+            .try_into()
+            .map_err(|_| PersistError::Truncated {
+                needed: self.pos.saturating_add(N),
+                got: self.buf.len(),
+            })
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, PersistError> {
+        Ok(u8::from_le_bytes(self.array::<1>()?))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, PersistError> {
+        Ok(u32::from_le_bytes(self.array::<4>()?))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, PersistError> {
+        Ok(u64::from_le_bytes(self.array::<8>()?))
+    }
+
+    /// Reads a little-endian `i64`.
+    pub fn i64(&mut self) -> Result<i64, PersistError> {
+        Ok(self.u64()? as i64)
+    }
+
+    /// Reads a one-byte `bool`, rejecting anything but 0 or 1.
+    pub fn boolean(&mut self) -> Result<bool, PersistError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(PersistError::Malformed(format!(
+                "boolean byte {other} (expected 0 or 1)"
+            ))),
+        }
+    }
+
+    /// Reads a `u64` length prefix and validates that at least
+    /// `min_element_bytes × length` bytes remain, so a corrupted length can
+    /// never drive an oversized allocation.
+    pub fn length(&mut self, min_element_bytes: usize) -> Result<usize, PersistError> {
+        let len = self.u64()?;
+        let len = usize::try_from(len)
+            .map_err(|_| PersistError::Malformed(format!("length {len} overflows usize")))?;
+        let needed = len
+            .checked_mul(min_element_bytes.max(1))
+            .ok_or_else(|| PersistError::Malformed(format!("length {len} overflows the buffer")))?;
+        if needed > self.remaining() {
+            return Err(PersistError::Truncated {
+                needed: self.pos.saturating_add(needed),
+                got: self.buf.len(),
+            });
+        }
+        Ok(len)
+    }
+
+    /// Reads a length-prefixed byte string.
+    pub fn bytes(&mut self) -> Result<&'a [u8], PersistError> {
+        let len = self.length(1)?;
+        self.take(len)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn string(&mut self) -> Result<String, PersistError> {
+        let bytes = self.bytes()?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|e| PersistError::Malformed(format!("invalid utf-8 string: {e}")))
+    }
+
+    /// Reads an option tag (see [`Writer::option`]).
+    pub fn option(&mut self) -> Result<bool, PersistError> {
+        self.boolean()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut w = Writer::new();
+        w.u8(7);
+        w.u32(0xDEAD_BEEF);
+        w.u64(u64::MAX - 1);
+        w.i64(-42);
+        w.boolean(true);
+        w.string("héllo");
+        w.bytes(&[1, 2, 3]);
+        // An option is its tag byte followed by the payload when present.
+        w.boolean(true);
+        w.u8(5);
+        w.boolean(false);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.i64().unwrap(), -42);
+        assert!(r.boolean().unwrap());
+        assert_eq!(r.string().unwrap(), "héllo");
+        assert_eq!(r.bytes().unwrap(), &[1, 2, 3]);
+        assert!(r.option().unwrap());
+        assert_eq!(r.u8().unwrap(), 5);
+        assert!(!r.option().unwrap());
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn truncation_and_garbage_are_typed() {
+        let mut r = Reader::new(&[1, 2]);
+        assert!(matches!(r.u32(), Err(PersistError::Truncated { .. })));
+        // A bogus length prefix cannot drive an allocation.
+        let mut w = Writer::new();
+        w.u64(u64::MAX);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert!(r.bytes().is_err());
+        // Boolean bytes other than 0/1 are rejected.
+        let mut r = Reader::new(&[3]);
+        assert!(matches!(r.boolean(), Err(PersistError::Malformed(_))));
+        // Unconsumed bytes are an error.
+        let r = Reader::new(&[0]);
+        assert!(r.finish().is_err());
+    }
+}

@@ -6,16 +6,25 @@
 //! ```text
 //! served --model NAME=SPEC [--model NAME=SPEC ...]
 //!        [--workers N] [--calibration N] [--queue N] [--max-streams N]
-//!        [--replay-budget N] [--stall-timeout-ms N] [--drain-timeout-ms N]
-//!        [--read-timeout-ms N] [--faults SPEC]
-//!        [--pipe MODEL | --socket PATH]
+//!        [--max-streams-per-tenant N] [--replay-budget N]
+//!        [--stall-timeout-ms N] [--drain-timeout-ms N]
+//!        [--read-timeout-ms N] [--state-dir PATH] [--checkpoint-every N]
+//!        [--faults SPEC] [--pipe MODEL | --socket PATH]
 //! ```
 //!
 //! Model specs are `name=workload:<benchmark>:<length>[:<seed>]` or
 //! `name=csv:<path>`. With `--pipe MODEL`, stdin is one raw CSV stream
 //! checked against that model. With `--socket PATH`, each Unix-socket
 //! connection is one raw CSV stream whose first line names the model. By
-//! default stdin speaks the multiplexed `open`/`data`/`close` protocol.
+//! default stdin speaks the multiplexed `open`/`data`/`close`/`reload`/
+//! `shutdown` protocol.
+//!
+//! `--state-dir` makes the daemon crash-durable: learned models are
+//! snapshotted there (so a restart skips relearning unchanged specs), open
+//! protocol streams are checkpointed every `--checkpoint-every` commands,
+//! and a restart after `kill -9` recovers each checkpointed stream —
+//! reporting `recovered` or `reset` per stream — before reading new input.
+//! See the "Durability & recovery" section of `docs/operations.md`.
 //!
 //! `--faults` (and the `TRACELEARN_FAULTS` environment variable) arm a
 //! deterministic fault plan — `seed:<u64>,spec:<site>@<nth>[x<count>][;...]`
@@ -52,13 +61,17 @@ struct Args {
 fn usage() -> &'static str {
     "usage: served --model NAME=SPEC [--model NAME=SPEC ...]\n\
      \x20             [--workers N] [--calibration N] [--queue N] [--max-streams N]\n\
-     \x20             [--replay-budget N] [--stall-timeout-ms N] [--drain-timeout-ms N]\n\
-     \x20             [--read-timeout-ms N] [--faults SPEC]\n\
-     \x20             [--pipe MODEL | --socket PATH]\n\
+     \x20             [--max-streams-per-tenant N] [--replay-budget N]\n\
+     \x20             [--stall-timeout-ms N] [--drain-timeout-ms N]\n\
+     \x20             [--read-timeout-ms N] [--state-dir PATH] [--checkpoint-every N]\n\
+     \x20             [--faults SPEC] [--pipe MODEL | --socket PATH]\n\
      \n\
      SPEC is workload:<benchmark>:<length>[:<seed>] or csv:<path>.\n\
      Benchmarks: usb_slot usb_attach counter serial_port linux_kernel integrator.\n\
      --max-streams 0 admits without bound; --read-timeout-ms 0 waits forever.\n\
+     --max-streams-per-tenant 0 (default) disables the per-tenant quota.\n\
+     --state-dir enables model snapshots, stream checkpoints and recovery;\n\
+     --checkpoint-every 0 checkpoints only at shutdown (default 256).\n\
      --faults arms a deterministic fault plan (fault-injection builds only).\n\
      Default mode reads the multiplexed open/data/close protocol from stdin."
 }
@@ -91,6 +104,19 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
             }
             "--max-streams" => {
                 options.max_open_streams = parse_count("--max-streams", value("--max-streams")?)?;
+            }
+            "--max-streams-per-tenant" => {
+                options.max_streams_per_tenant = parse_count(
+                    "--max-streams-per-tenant",
+                    value("--max-streams-per-tenant")?,
+                )?;
+            }
+            "--state-dir" => {
+                options.state_dir = Some(PathBuf::from(value("--state-dir")?));
+            }
+            "--checkpoint-every" => {
+                options.checkpoint_every =
+                    parse_count("--checkpoint-every", value("--checkpoint-every")?)?;
             }
             "--replay-budget" => {
                 options.replay_budget = parse_count("--replay-budget", value("--replay-budget")?)?;
@@ -157,18 +183,30 @@ fn arm_faults(flag: Option<&str>) -> Result<(), String> {
 
 fn run(args: &Args) -> Result<bool, String> {
     arm_faults(args.faults.as_deref())?;
-    let registry = Registry::load(&args.specs).map_err(|e| e.to_string())?;
-    let monitors = registry.monitors();
+    let (mut registry, notes) =
+        Registry::load_with_state(&args.specs, args.options.state_dir.as_deref())
+            .map_err(|e| e.to_string())?;
+    for note in &notes {
+        eprintln!("served: {note}");
+    }
+    if let Some(dir) = &args.options.state_dir {
+        // Make freshly learned models durable before serving: a crash
+        // during the run must not force a relearn on restart.
+        registry
+            .persist(dir)
+            .map_err(|e| format!("persisting models to {} failed: {e}", dir.display()))?;
+    }
     let stdin = io::stdin().lock();
     let clean = match &args.mode {
         Mode::Multiplexed => {
             // `StdoutLock` is not `Send`; the owned handle locks per write.
             let stdout = BufWriter::new(io::stdout());
-            let summary = serve_commands(&monitors, stdin, stdout, &args.options)
+            let summary = serve_commands(&mut registry, stdin, stdout, &args.options)
                 .map_err(|e| format!("serving failed: {e}"))?;
             eprintln!(
                 "served: {} streams, {} events, {} deviations, {} failed, \
-                 {} shed, {} restarted, {} replayed",
+                 {} shed, {} restarted, {} replayed, {} recovered, {} reset, \
+                 {} checkpoints",
                 summary.streams,
                 summary.events,
                 summary.deviations,
@@ -176,10 +214,17 @@ fn run(args: &Args) -> Result<bool, String> {
                 summary.shed,
                 summary.restarted,
                 summary.replayed,
+                summary.recovered,
+                summary.reset,
+                summary.checkpoints,
             );
+            for (tenant, shed) in &summary.tenant_shed {
+                eprintln!("served: tenant {tenant}: {shed} shed at quota");
+            }
             summary.deviations == 0 && summary.failed == 0
         }
         Mode::Pipe(model) => {
+            let monitors = registry.monitors();
             let monitor = monitors
                 .get(model)
                 .ok_or_else(|| format!("unknown model {model:?} for --pipe"))?;
@@ -190,6 +235,7 @@ fn run(args: &Args) -> Result<bool, String> {
             !outcome.failed && outcome.deviations == 0
         }
         Mode::Socket(path) => {
+            let monitors = registry.monitors();
             let summary = serve_socket(path, &monitors, &args.options, None)
                 .map_err(|e| format!("serving failed: {e}"))?;
             eprintln!(

@@ -2,6 +2,7 @@
 
 use std::fmt;
 use tracelearn_core::LearnError;
+use tracelearn_persist::PersistError;
 use tracelearn_trace::TraceError;
 
 /// Everything that can go wrong while loading models or serving streams.
@@ -15,6 +16,8 @@ pub enum ServeError {
     Trace(TraceError),
     /// An I/O failure outside trace parsing.
     Io(std::io::Error),
+    /// Writing or reading a state-directory snapshot failed.
+    Persist(PersistError),
 }
 
 impl fmt::Display for ServeError {
@@ -24,6 +27,7 @@ impl fmt::Display for ServeError {
             ServeError::Learn(e) => write!(f, "learning failed: {e}"),
             ServeError::Trace(e) => write!(f, "trace error: {e}"),
             ServeError::Io(e) => write!(f, "io error: {e}"),
+            ServeError::Persist(e) => write!(f, "state snapshot error: {e}"),
         }
     }
 }
@@ -45,5 +49,11 @@ impl From<TraceError> for ServeError {
 impl From<std::io::Error> for ServeError {
     fn from(e: std::io::Error) -> Self {
         ServeError::Io(e)
+    }
+}
+
+impl From<PersistError> for ServeError {
+    fn from(e: PersistError) -> Self {
+        ServeError::Persist(e)
     }
 }

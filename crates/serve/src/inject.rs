@@ -56,6 +56,14 @@ mod enabled {
             }
         })
     }
+
+    /// Whether the `persist.interrupt` site kills this checkpoint cycle
+    /// mid-flight — the in-process stand-in for `kill -9` during a
+    /// checkpoint: streams snapshotted before the interrupt are durable,
+    /// streams after it are not, and the daemon stops as if crashed.
+    pub(crate) fn checkpoint_interrupt() -> bool {
+        trip(FaultSite::PersistCheckpointInterrupt)
+    }
 }
 
 #[cfg(feature = "fault-injection")]
@@ -81,6 +89,11 @@ mod disabled {
     #[inline(always)]
     pub(crate) fn transport_half(_len: usize) -> Option<usize> {
         None
+    }
+
+    #[inline(always)]
+    pub(crate) fn checkpoint_interrupt() -> bool {
+        false
     }
 }
 

@@ -34,6 +34,7 @@ mod latency;
 mod mux;
 mod protocol;
 mod registry;
+mod state;
 
 pub use crate::engine::{
     serve_commands, serve_csv_stream, serve_socket, ServeOptions, ServeSummary, StreamOutcome,
@@ -41,6 +42,7 @@ pub use crate::engine::{
 pub use crate::error::ServeError;
 pub use crate::latency::LatencyHistogram;
 pub use crate::protocol::{
-    busy_line, error_line, info_line, parse_command, summary_line, verdict_line, Command,
+    busy_line, busy_tenant_line, draining_line, error_line, info_line, parse_command,
+    recovered_line, reset_line, summary_line, verdict_line, Command,
 };
 pub use crate::registry::{learner_config_for, workload_by_name, ModelSource, ModelSpec, Registry};

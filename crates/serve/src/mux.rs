@@ -1,14 +1,15 @@
 //! The supervised worker pool behind [`serve_commands`].
 //!
 //! The dispatcher thread owns all control-plane state: which streams are
-//! open, which model and worker each one is bound to, and a bounded
-//! [`ReplayLog`] of every stream's raw payloads since open. Workers own only
-//! the data plane — one [`MonitorSession`] per resident stream — so a worker
-//! is *disposable*: when one panics or stalls, the supervisor spawns a
-//! replacement at the same slot and replays each affected stream's log into
-//! it, suppressing the verdicts that were already delivered. Sessions are
-//! deterministic, so the surviving verdict sequence is byte-identical to an
-//! undisturbed run; the client sees one `info` line per restart.
+//! open, which model *version* and worker each one is bound to, and a
+//! bounded [`ReplayLog`] of every stream's raw payloads since open. Workers
+//! own only the data plane — one [`MonitorSession`] per resident stream — so
+//! a worker is *disposable*: when one panics or stalls, the supervisor
+//! spawns a replacement at the same slot and replays each affected stream's
+//! log into it, suppressing the verdicts that were already delivered.
+//! Sessions are deterministic, so the surviving verdict sequence is
+//! byte-identical to an undisturbed run; the client sees one `info` line per
+//! restart.
 //!
 //! Three invariants keep the recovery correct:
 //!
@@ -26,18 +27,30 @@
 //!    and shutdown is deadline-bounded (a wedged worker is condemned, its
 //!    streams accounted as failed).
 //!
-//! Admission control lives here too: beyond `max_open_streams`, new `open`s
-//! are refused with a `busy` line — an explicit, retryable overload verdict
-//! — rather than admitted into a degrading pool.
+//! Admission control lives here too: beyond `max_open_streams` (globally)
+//! or `max_streams_per_tenant` (per stream-name prefix), new `open`s are
+//! refused with a `busy` line — an explicit, retryable overload verdict —
+//! rather than admitted into a degrading pool.
+//!
+//! The same replay machinery doubles as the *crash*-durability engine. With
+//! a state directory configured, [`Mux::checkpoint`] periodically snapshots
+//! each dirty stream — its full replay log plus the worker session's
+//! [`SessionCheckpoint`] image, captured in queue order by a
+//! [`Task::Snapshot`] — and [`Mux::recover`] replays those snapshots at
+//! startup, verifying the rebuilt session against the stored checkpoint
+//! before a stream is resumed (`recovered`) rather than discarded
+//! (`reset`).
 //!
 //! [`serve_commands`]: crate::serve_commands
 //! [`MonitorSession`]: tracelearn_core::MonitorSession
 //! [`ReplayLog`]: tracelearn_core::ReplayLog
+//! [`SessionCheckpoint`]: tracelearn_core::SessionCheckpoint
 
 use std::collections::hash_map::{DefaultHasher, Entry};
 use std::collections::{BTreeMap, HashMap};
 use std::hash::{Hash, Hasher};
 use std::io::Write;
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
@@ -47,8 +60,14 @@ use std::time::{Duration, Instant};
 use crate::engine::{emit, ServeOptions};
 use crate::inject;
 use crate::latency::LatencyHistogram;
-use crate::protocol::{busy_line, error_line, info_line, summary_line, verdict_line, Command};
-use tracelearn_core::{Monitor, MonitorSession, ReplayLog};
+use crate::protocol::{
+    busy_line, busy_tenant_line, draining_line, error_line, info_line, recovered_line, reset_line,
+    summary_line, verdict_line, Command,
+};
+use crate::registry::{ModelSpec, Registry};
+use crate::state;
+use tracelearn_core::{Monitor, MonitorSession, ReplayLog, SessionCheckpoint};
+use tracelearn_persist::{load_stream, save_stream, StreamSnapshot};
 use tracelearn_trace::CsvRecordDecoder;
 
 /// How long an idle worker waits on its queue before re-checking its
@@ -99,11 +118,58 @@ impl SharedTotals {
     }
 }
 
+/// The dispatcher's view of one in-flight [`Task::Snapshot`]: the worker
+/// publishes its session image here and the dispatcher polls for it.
+#[derive(Debug, Default)]
+struct SnapshotSlot {
+    reply: Mutex<SnapshotReply>,
+}
+
+impl SnapshotSlot {
+    fn publish(&self, reply: SnapshotReply) {
+        let mut guard = self
+            .reply
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        *guard = reply;
+    }
+
+    fn poll(&self) -> SnapshotReply {
+        self.reply
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .clone()
+    }
+}
+
+/// A worker's answer to a [`Task::Snapshot`].
+#[derive(Debug, Clone, Default)]
+enum SnapshotReply {
+    /// Not answered yet (or never: the worker was replaced mid-request).
+    #[default]
+    Pending,
+    /// The stream is no longer resident (already closed on this worker).
+    Gone,
+    /// The stream's session image as of every task queued before this one.
+    Image {
+        /// Verdicts computed so far (the worker's sequence counter).
+        events: u64,
+        /// Whether the stream has failed (nothing durable to keep).
+        failed: bool,
+        /// The monitor session's resumable state; `None` before the CSV
+        /// header arrives.
+        checkpoint: Option<SessionCheckpoint>,
+    },
+}
+
 /// One unit of work routed to a pool worker.
 enum Task {
     Open {
         stream: String,
-        model: String,
+        /// The model clone this stream is pinned to — captured at open (or
+        /// recovery) time, so later `reload`s never touch it. Boxed to keep
+        /// the queued-task footprint at pointer size.
+        monitor: Box<Monitor>,
         progress: Arc<StreamProgress>,
         /// Verdicts with `seq <= suppress_through` were already delivered by
         /// a previous incarnation; recompute them silently.
@@ -119,11 +185,17 @@ enum Task {
     Close {
         stream: String,
     },
+    /// Publish the stream's current session image into `slot`. Queued like
+    /// any other task, so the image reflects exactly the data dispatched
+    /// before it — the property the checkpoint freshness check relies on.
+    Snapshot {
+        stream: String,
+        slot: Arc<SnapshotSlot>,
+    },
 }
 
 /// Everything a worker borrows from the serving run.
 struct WorkerCtx<'m, W: Write> {
-    monitors: &'m BTreeMap<String, Monitor<'m>>,
     options: &'m ServeOptions,
     output: &'m Mutex<W>,
     totals: &'m SharedTotals,
@@ -139,10 +211,10 @@ impl<'m, W: Write> Clone for WorkerCtx<'m, W> {
 impl<'m, W: Write> Copy for WorkerCtx<'m, W> {}
 
 /// One open stream owned by a pool worker.
-struct StreamState<'m> {
-    monitor: &'m Monitor<'m>,
+struct StreamState {
+    monitor: Monitor,
     decoder: Option<CsvRecordDecoder>,
-    session: Option<MonitorSession<'m>>,
+    session: Option<MonitorSession>,
     seq: u64,
     events: usize,
     latency: LatencyHistogram,
@@ -151,9 +223,9 @@ struct StreamState<'m> {
     suppress_through: u64,
 }
 
-impl<'m> StreamState<'m> {
+impl StreamState {
     fn new(
-        monitor: &'m Monitor<'m>,
+        monitor: Monitor,
         progress: Arc<StreamProgress>,
         suppress_through: u64,
         already_failed: bool,
@@ -306,7 +378,7 @@ fn worker_loop<W: Write>(
     cancel: Arc<AtomicBool>,
     completed: Arc<AtomicU64>,
 ) {
-    let mut streams: HashMap<String, StreamState<'_>> = HashMap::new();
+    let mut streams: HashMap<String, StreamState> = HashMap::new();
     loop {
         if cancel.load(Ordering::Relaxed) {
             return;
@@ -319,7 +391,7 @@ fn worker_loop<W: Write>(
         match task {
             Task::Open {
                 stream,
-                model,
+                monitor,
                 progress,
                 suppress_through,
                 already_failed,
@@ -330,20 +402,14 @@ fn worker_loop<W: Write>(
                         &error_line(occupied.key(), "stream already open"),
                     );
                 }
-                Entry::Vacant(vacant) => match ctx.monitors.get(&model) {
-                    Some(monitor) => {
-                        vacant.insert(StreamState::new(
-                            monitor,
-                            progress,
-                            suppress_through,
-                            already_failed,
-                        ));
-                    }
-                    None => emit(
-                        ctx.output,
-                        &error_line(vacant.key(), &format!("unknown model {model:?}")),
-                    ),
-                },
+                Entry::Vacant(vacant) => {
+                    vacant.insert(StreamState::new(
+                        *monitor,
+                        progress,
+                        suppress_through,
+                        already_failed,
+                    ));
+                }
             },
             Task::Data { stream, payload } => {
                 inject::worker_panic_point();
@@ -361,11 +427,19 @@ fn worker_loop<W: Write>(
                 Some(state) => state.close(&stream, ctx.output, ctx.totals, ctx.latency),
                 None => emit(ctx.output, &error_line(&stream, "close before open")),
             },
+            Task::Snapshot { stream, slot } => match streams.get(&stream) {
+                Some(state) => slot.publish(SnapshotReply::Image {
+                    events: state.seq,
+                    failed: state.failed,
+                    checkpoint: state.session.as_ref().map(MonitorSession::checkpoint),
+                }),
+                None => slot.publish(SnapshotReply::Gone),
+            },
         }
         completed.fetch_add(1, Ordering::Relaxed);
     }
     // End of input closes every remaining stream, in a stable order.
-    let mut remaining: Vec<(String, StreamState<'_>)> = streams.drain().collect();
+    let mut remaining: Vec<(String, StreamState)> = streams.drain().collect();
     remaining.sort_by(|a, b| a.0.cmp(&b.0));
     for (name, state) in remaining {
         if cancel.load(Ordering::Relaxed) {
@@ -396,9 +470,19 @@ struct WorkerSlot<'scope> {
 /// Dispatcher-side record of one protocol stream.
 struct StreamMeta {
     model: String,
+    /// The registry version this stream opened against (pinned for life).
+    version: u64,
+    /// The pinned monitor clone, kept to reattach the stream after a worker
+    /// loss even when the registry has since moved to a newer version.
+    monitor: Monitor,
     worker: usize,
     progress: Arc<StreamProgress>,
     log: ReplayLog,
+    /// Payload lines logged since open (header included) — the sequence
+    /// number a checkpoint of this stream covers.
+    logged: u64,
+    /// Whether data arrived since the last durable checkpoint.
+    dirty: bool,
     closing: bool,
 }
 
@@ -407,15 +491,22 @@ pub(crate) struct MuxStats {
     pub(crate) shed: usize,
     pub(crate) restarted: usize,
     pub(crate) replayed: usize,
+    pub(crate) recovered: usize,
+    pub(crate) reset: usize,
+    pub(crate) checkpoints: usize,
+    pub(crate) tenant_shed: BTreeMap<String, usize>,
     pub(crate) shed_latency: LatencyHistogram,
+    pub(crate) aborted: bool,
 }
 
 /// The supervised multiplexer: owns the worker pool, stream metadata,
-/// replay logs and admission control for one [`serve_commands`] run.
+/// replay logs, admission control and checkpoint/recovery for one
+/// [`serve_commands`] run.
 ///
 /// [`serve_commands`]: crate::serve_commands
 pub(crate) struct Mux<'scope, 'env, 'm, W: Write + Send> {
     scope: &'scope thread::Scope<'scope, 'env>,
+    registry: &'m mut Registry,
     ctx: WorkerCtx<'m, W>,
     slots: Vec<WorkerSlot<'scope>>,
     /// Condemned-but-running incarnations, joined during shutdown.
@@ -424,16 +515,65 @@ pub(crate) struct Mux<'scope, 'env, 'm, W: Write + Send> {
     shed: usize,
     restarted: usize,
     replayed: usize,
+    recovered: usize,
+    reset: usize,
+    checkpoints: usize,
+    tenant_shed: BTreeMap<String, usize>,
     shed_latency: LatencyHistogram,
     /// Guards against reentrant restarts while replaying into a fresh
     /// worker; a cascading failure is picked up by the next watchdog tick.
     restarting: bool,
+    /// A `shutdown` drain is in progress: new `open`s are refused.
+    draining: bool,
+    /// An injected checkpoint interrupt fired: stop as if killed, with no
+    /// further output or durability work.
+    aborted: bool,
 }
 
 pub(crate) fn worker_for(stream: &str, workers: usize) -> usize {
     let mut hasher = DefaultHasher::new();
     stream.hash(&mut hasher);
     (hasher.finish() % workers.max(1) as u64) as usize
+}
+
+/// The stream's tenant: the name prefix before the first `/`, or the whole
+/// name for streams outside any tenant hierarchy.
+pub(crate) fn tenant_of(stream: &str) -> &str {
+    match stream.split_once('/') {
+        Some((tenant, _)) => tenant,
+        None => stream,
+    }
+}
+
+/// Rebuilds a snapshot's monitor session by replaying its logged payloads,
+/// returning the resulting [`SessionCheckpoint`] for comparison against the
+/// stored one. Any decode or monitoring failure along the way means the
+/// snapshot does not describe a healthy stream of this model.
+fn verify_replay(
+    monitor: &Monitor,
+    calibration_events: usize,
+    log: &[String],
+) -> Result<SessionCheckpoint, String> {
+    let Some(header) = log.first() else {
+        return Err("empty replay log".to_string());
+    };
+    let mut decoder = CsvRecordDecoder::from_header(header).map_err(|e| e.to_string())?;
+    if decoder.signature() != monitor.model().signature() {
+        return Err("stream signature does not match the model".to_string());
+    }
+    let mut session = monitor
+        .session_with_calibration(decoder.signature(), calibration_events)
+        .map_err(|e| e.to_string())?;
+    for (index, payload) in log.iter().enumerate().skip(1) {
+        // Replay numbering matches live serving: the header was line 1.
+        let observation = decoder
+            .decode(payload, index + 1)
+            .map_err(|e| e.to_string())?;
+        session
+            .push_event(&observation, decoder.symbols())
+            .map_err(|e| e.to_string())?;
+    }
+    Ok(session.checkpoint())
 }
 
 impl<'scope, 'env, 'm, W> Mux<'scope, 'env, 'm, W>
@@ -443,14 +583,13 @@ where
 {
     pub(crate) fn new(
         scope: &'scope thread::Scope<'scope, 'env>,
-        monitors: &'m BTreeMap<String, Monitor<'m>>,
+        registry: &'m mut Registry,
         options: &'m ServeOptions,
         output: &'m Mutex<W>,
         totals: &'m SharedTotals,
         latency: &'m Mutex<LatencyHistogram>,
     ) -> Self {
         let ctx = WorkerCtx {
-            monitors,
             options,
             output,
             totals,
@@ -458,6 +597,7 @@ where
         };
         let mut mux = Mux {
             scope,
+            registry,
             ctx,
             slots: Vec::new(),
             retired: Vec::new(),
@@ -465,8 +605,14 @@ where
             shed: 0,
             restarted: 0,
             replayed: 0,
+            recovered: 0,
+            reset: 0,
+            checkpoints: 0,
+            tenant_shed: BTreeMap::new(),
             shed_latency: LatencyHistogram::new(),
             restarting: false,
+            draining: false,
+            aborted: false,
         };
         for _ in 0..options.workers.max(1) {
             let slot = mux.spawn_slot();
@@ -497,10 +643,16 @@ where
         }
     }
 
+    /// Whether an injected checkpoint interrupt has "killed" this run.
+    pub(crate) fn is_aborted(&self) -> bool {
+        self.aborted
+    }
+
     /// Routes one parsed protocol command. All protocol-level validation
     /// (unknown model, double open, data/close before open) happens here,
     /// against the dispatcher's own state, so a worker only ever sees
-    /// well-formed work.
+    /// well-formed work. `shutdown` is handled by the caller before input
+    /// ends; it is a no-op here.
     pub(crate) fn dispatch(&mut self, command: Command) {
         let start = Instant::now();
         self.cancel_stalled_workers();
@@ -508,6 +660,8 @@ where
             Command::Open { stream, model } => self.open(stream, model, start),
             Command::Data { stream, payload } => self.data(stream, payload),
             Command::Close { stream } => self.close(stream),
+            Command::Reload { model, spec } => self.reload(&model, &spec),
+            Command::Shutdown => {}
         }
     }
 
@@ -522,13 +676,19 @@ where
             emit(self.ctx.output, &error_line(&stream, "stream already open"));
             return;
         }
-        if !self.ctx.monitors.contains_key(&model) {
+        if self.draining {
+            self.shed += 1;
+            self.shed_latency.record(start.elapsed());
+            emit(self.ctx.output, &draining_line(&stream));
+            return;
+        }
+        let Some((monitor, version)) = self.registry.resolve(&model) else {
             emit(
                 self.ctx.output,
                 &error_line(&stream, &format!("unknown model {model:?}")),
             );
             return;
-        }
+        };
         // Closed streams free their admission slot (and their name).
         self.metas
             .retain(|_, meta| !meta.progress.closed.load(Ordering::Relaxed));
@@ -546,15 +706,39 @@ where
             emit(self.ctx.output, &busy_line(&stream, open, limit));
             return;
         }
+        let tenant_limit = self.ctx.options.max_streams_per_tenant;
+        if tenant_limit != 0 {
+            let tenant = tenant_of(&stream).to_string();
+            if self.tenant_open(&tenant) >= tenant_limit {
+                // As with the global limit: a close dispatched before this
+                // open should free its slot before we refuse.
+                self.await_closing_tenant(&tenant, tenant_limit);
+            }
+            let tenant_open = self.tenant_open(&tenant);
+            if tenant_open >= tenant_limit {
+                self.shed += 1;
+                *self.tenant_shed.entry(tenant.clone()).or_insert(0) += 1;
+                self.shed_latency.record(start.elapsed());
+                emit(
+                    self.ctx.output,
+                    &busy_tenant_line(&stream, &tenant, tenant_open, tenant_limit),
+                );
+                return;
+            }
+        }
         let worker = worker_for(&stream, self.slots.len());
         let progress = Arc::new(StreamProgress::default());
         self.metas.insert(
             stream.clone(),
             StreamMeta {
-                model: model.clone(),
+                model,
+                version,
+                monitor: monitor.clone(),
                 worker,
                 progress: Arc::clone(&progress),
                 log: ReplayLog::new(self.ctx.options.replay_budget),
+                logged: 0,
+                dirty: false,
                 closing: false,
             },
         );
@@ -562,7 +746,7 @@ where
             worker,
             Task::Open {
                 stream,
-                model,
+                monitor: Box::new(monitor),
                 progress,
                 suppress_through: 0,
                 already_failed: false,
@@ -584,6 +768,37 @@ where
                 return;
             }
             if Instant::now() >= deadline {
+                return;
+            }
+            self.cancel_stalled_workers();
+            thread::sleep(BACKPRESSURE_PAUSE);
+        }
+    }
+
+    /// Live streams of `tenant`, after purging closed metas.
+    fn tenant_open(&mut self, tenant: &str) -> usize {
+        self.metas
+            .retain(|_, meta| !meta.progress.closed.load(Ordering::Relaxed));
+        self.metas
+            .keys()
+            .filter(|name| tenant_of(name) == tenant)
+            .count()
+    }
+
+    /// Waits (bounded) for `tenant`'s in-flight closes to drop its live
+    /// count below `limit`. Gives up at the deadline or when none of the
+    /// tenant's streams is closing.
+    fn await_closing_tenant(&mut self, tenant: &str, limit: usize) {
+        let deadline = Instant::now() + self.ctx.options.stall_timeout.saturating_mul(2);
+        loop {
+            if self.tenant_open(tenant) < limit {
+                return;
+            }
+            let closing = self
+                .metas
+                .iter()
+                .any(|(name, meta)| tenant_of(name) == tenant && meta.closing);
+            if !closing || Instant::now() >= deadline {
                 return;
             }
             self.cancel_stalled_workers();
@@ -618,6 +833,8 @@ where
                 // Invariant: log before dispatch, so a lost task is always
                 // covered by replay.
                 meta.log.push(&payload);
+                meta.logged += 1;
+                meta.dirty = true;
                 Some(meta.worker)
             }
             _ => None,
@@ -632,14 +849,339 @@ where
         let target = match self.metas.get_mut(&stream) {
             Some(meta) if !meta.closing => {
                 meta.closing = true;
+                meta.dirty = false;
                 Some(meta.worker)
             }
             _ => None,
         };
         match target {
-            Some(worker) => self.send(worker, Task::Close { stream }),
+            Some(worker) => {
+                // A closed stream must not be resurrected by recovery.
+                if let Some(dir) = &self.ctx.options.state_dir {
+                    let _ = std::fs::remove_file(state::stream_path(dir, &stream));
+                }
+                self.send(worker, Task::Close { stream });
+            }
             None => emit(self.ctx.output, &error_line(&stream, "close before open")),
         }
+    }
+
+    /// Handles the `reload` verb: learns the new spec synchronously on the
+    /// dispatcher (a control-plane pause, documented in the operations
+    /// runbook) and swaps it in. In-flight streams stay pinned to their
+    /// open-time clones; the retired model is reported once its last pinned
+    /// stream closes.
+    fn reload(&mut self, model: &str, spec: &str) {
+        let parsed = match ModelSpec::parse(&format!("{model}={spec}")) {
+            Ok(parsed) => parsed,
+            Err(e) => {
+                emit(self.ctx.output, &error_line(model, &e.to_string()));
+                return;
+            }
+        };
+        match self.registry.reload(&parsed) {
+            Ok(version) => {
+                if let Some(dir) = self.ctx.options.state_dir.clone() {
+                    if let Err(e) = self.registry.persist(&dir) {
+                        emit(
+                            self.ctx.output,
+                            &info_line(model, &format!("state persist failed: {e}")),
+                        );
+                    }
+                }
+                emit(
+                    self.ctx.output,
+                    &info_line(model, &format!("reloaded version={version}")),
+                );
+            }
+            Err(e) => emit(self.ctx.output, &error_line(model, &e.to_string())),
+        }
+    }
+
+    /// Restores every stream snapshot found in the state directory, called
+    /// once before the input loop. A snapshot is resumed (`recovered`) only
+    /// if it loads cleanly, its model is still served *at the same
+    /// version*, and replaying its log rebuilds exactly the stored session
+    /// checkpoint; anything else resets the stream (`reset`) and deletes
+    /// the snapshot, so the client re-opens from scratch.
+    pub(crate) fn recover(&mut self) {
+        let Some(dir) = self.ctx.options.state_dir.clone() else {
+            return;
+        };
+        let snapshots = match state::stream_snapshots(&dir) {
+            Ok(snapshots) => snapshots,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return,
+            Err(e) => {
+                emit(
+                    self.ctx.output,
+                    &info_line("-", &format!("state directory unreadable: {e}")),
+                );
+                return;
+            }
+        };
+        for (stream, path) in snapshots {
+            let snapshot = match load_stream(&path) {
+                Ok(snapshot) => snapshot,
+                Err(e) => {
+                    self.reset_stream(&stream, &path, &format!("snapshot rejected: {e}"));
+                    continue;
+                }
+            };
+            if snapshot.stream != stream {
+                self.reset_stream(&stream, &path, "snapshot names a different stream");
+                continue;
+            }
+            let Some((monitor, version)) = self.registry.resolve(&snapshot.model) else {
+                self.reset_stream(
+                    &stream,
+                    &path,
+                    &format!("model {:?} no longer served", snapshot.model),
+                );
+                continue;
+            };
+            if version != snapshot.version {
+                self.reset_stream(
+                    &stream,
+                    &path,
+                    &format!(
+                        "model {:?} moved from version {} to {version}",
+                        snapshot.model, snapshot.version
+                    ),
+                );
+                continue;
+            }
+            let rebuilt =
+                match verify_replay(&monitor, self.ctx.options.calibration_events, &snapshot.log) {
+                    Ok(rebuilt) => rebuilt,
+                    Err(reason) => {
+                        self.reset_stream(&stream, &path, &format!("replay failed: {reason}"));
+                        continue;
+                    }
+                };
+            if snapshot.checkpoint.as_ref() != Some(&rebuilt) {
+                self.reset_stream(&stream, &path, "replay diverged from the stored checkpoint");
+                continue;
+            }
+            self.resume_stream(&stream, snapshot, monitor);
+        }
+    }
+
+    /// Discards an unrecoverable snapshot: one `reset` line, file removed,
+    /// stream not opened (the client must re-open from scratch).
+    fn reset_stream(&mut self, stream: &str, path: &Path, reason: &str) {
+        let _ = std::fs::remove_file(path);
+        self.reset += 1;
+        emit(self.ctx.output, &reset_line(stream, reason));
+    }
+
+    /// Re-opens a verified snapshot's stream: the dispatcher rebuilds its
+    /// meta (replay log included) and feeds the snapshot's log through the
+    /// normal open/replay machinery with every already-delivered verdict
+    /// suppressed, so the worker's session lands exactly where the crash
+    /// left it.
+    fn resume_stream(&mut self, stream: &str, snapshot: StreamSnapshot, monitor: Monitor) {
+        // The snapshot covered `seq` logged lines, one of which was the
+        // header: the client had seen `seq - 1` verdicts.
+        let delivered = snapshot.seq.saturating_sub(1);
+        let worker = worker_for(stream, self.slots.len());
+        let progress = Arc::new(StreamProgress::default());
+        progress.emitted.store(delivered, Ordering::Relaxed);
+        let mut log = ReplayLog::new(self.ctx.options.replay_budget);
+        for line in &snapshot.log {
+            log.push(line);
+        }
+        self.metas.insert(
+            stream.to_string(),
+            StreamMeta {
+                model: snapshot.model,
+                version: snapshot.version,
+                monitor: monitor.clone(),
+                worker,
+                progress: Arc::clone(&progress),
+                log,
+                logged: snapshot.seq,
+                dirty: false,
+                closing: false,
+            },
+        );
+        self.recovered += 1;
+        emit(
+            self.ctx.output,
+            &recovered_line(stream, snapshot.seq, delivered),
+        );
+        self.send(
+            worker,
+            Task::Open {
+                stream: stream.to_string(),
+                monitor: Box::new(monitor),
+                progress,
+                suppress_through: delivered,
+                already_failed: false,
+            },
+        );
+        for payload in snapshot.log {
+            self.send(
+                worker,
+                Task::Data {
+                    stream: stream.to_string(),
+                    payload,
+                },
+            );
+        }
+    }
+
+    /// One checkpoint cycle: snapshots every dirty live stream (every live
+    /// stream on the `finale` cycle before a graceful drain) to the state
+    /// directory. Returns quietly when no state directory is configured.
+    pub(crate) fn checkpoint(&mut self, finale: bool) {
+        let Some(dir) = self.ctx.options.state_dir.clone() else {
+            return;
+        };
+        if std::fs::create_dir_all(&dir).is_err() {
+            return;
+        }
+        let mut names: Vec<String> = self
+            .metas
+            .iter()
+            .filter(|(_, meta)| {
+                !meta.closing
+                    && !meta.progress.closed.load(Ordering::Relaxed)
+                    && (finale || meta.dirty)
+            })
+            .map(|(name, _)| name.clone())
+            .collect();
+        names.sort();
+        for name in names {
+            if inject::checkpoint_interrupt() {
+                // The in-process stand-in for `kill -9` mid-checkpoint:
+                // streams snapshotted before this point are durable, the
+                // rest are not, and the daemon stops as if crashed.
+                self.aborted = true;
+                return;
+            }
+            self.checkpoint_stream(&dir, &name);
+        }
+    }
+
+    /// Snapshots one stream: asks its worker for a session image (a queued
+    /// [`Task::Snapshot`], so the image covers exactly the logged data) and
+    /// publishes it atomically. A stream that cannot be checkpointed any
+    /// more (failed, or its replay log overflowed) has its stale snapshot
+    /// removed instead, so a crash resets it rather than resuming it
+    /// against state the daemon no longer holds.
+    fn checkpoint_stream(&mut self, dir: &Path, name: &str) {
+        let Some(meta) = self.metas.get(name) else {
+            return;
+        };
+        if meta.progress.failed.load(Ordering::Relaxed) {
+            let _ = std::fs::remove_file(state::stream_path(dir, name));
+            if let Some(meta) = self.metas.get_mut(name) {
+                meta.dirty = false;
+            }
+            return;
+        }
+        let Some(log) = meta.log.events().map(<[String]>::to_vec) else {
+            let _ = std::fs::remove_file(state::stream_path(dir, name));
+            if let Some(meta) = self.metas.get_mut(name) {
+                meta.dirty = false;
+            }
+            return;
+        };
+        if log.is_empty() {
+            // No header yet: nothing worth making durable.
+            if let Some(meta) = self.metas.get_mut(name) {
+                meta.dirty = false;
+            }
+            return;
+        }
+        let worker = meta.worker;
+        let model = meta.model.clone();
+        let version = meta.version;
+        let logged = meta.logged;
+        let slot = Arc::new(SnapshotSlot::default());
+        self.send(
+            worker,
+            Task::Snapshot {
+                stream: name.to_string(),
+                slot: Arc::clone(&slot),
+            },
+        );
+        let generation = self.slots.get(worker).map(|slot| slot.generation);
+        let deadline = Instant::now() + self.ctx.options.stall_timeout.saturating_mul(2);
+        let reply = loop {
+            match slot.poll() {
+                SnapshotReply::Pending => {}
+                reply => break reply,
+            }
+            if Instant::now() >= deadline {
+                break SnapshotReply::Pending;
+            }
+            self.cancel_stalled_workers();
+            if self.slots.get(worker).map(|slot| slot.generation) != generation {
+                // The worker was replaced; snapshot requests are not in the
+                // replay log, so this one is simply lost. The stream stays
+                // dirty and is retried next cycle.
+                break SnapshotReply::Pending;
+            }
+            thread::sleep(BACKPRESSURE_PAUSE);
+        };
+        match reply {
+            SnapshotReply::Pending => {}
+            SnapshotReply::Gone => {
+                let _ = std::fs::remove_file(state::stream_path(dir, name));
+                if let Some(meta) = self.metas.get_mut(name) {
+                    meta.dirty = false;
+                }
+            }
+            SnapshotReply::Image {
+                events,
+                failed,
+                checkpoint,
+            } => {
+                if failed {
+                    let _ = std::fs::remove_file(state::stream_path(dir, name));
+                    if let Some(meta) = self.metas.get_mut(name) {
+                        meta.dirty = false;
+                    }
+                    return;
+                }
+                if events + 1 != logged {
+                    // The image does not cover the full log (a replay was
+                    // in flight); leave the stream dirty and retry.
+                    return;
+                }
+                let snapshot = StreamSnapshot {
+                    stream: name.to_string(),
+                    model,
+                    version,
+                    seq: logged,
+                    log,
+                    checkpoint,
+                };
+                match save_stream(&state::stream_path(dir, name), &snapshot) {
+                    Ok(()) => {
+                        if let Some(meta) = self.metas.get_mut(name) {
+                            meta.dirty = false;
+                        }
+                        self.checkpoints += 1;
+                    }
+                    Err(e) => {
+                        // Publication is atomic: the previous snapshot (if
+                        // any) is intact, and the stream stays dirty.
+                        emit(
+                            self.ctx.output,
+                            &info_line(name, &format!("checkpoint failed: {e}")),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Begins a graceful drain: new `open`s are refused with
+    /// `busy <stream> draining` until input ends.
+    pub(crate) fn start_draining(&mut self) {
+        self.draining = true;
     }
 
     /// Delivers one task with bounded-queue backpressure. The retry loop
@@ -776,7 +1318,9 @@ where
     }
 
     /// Re-sends every live stream routed to `worker` into its fresh
-    /// incarnation, in sorted name order for determinism.
+    /// incarnation, in sorted name order for determinism. Each stream
+    /// reattaches with the monitor clone it was pinned to at open time, so
+    /// a reload between open and restart never changes its model.
     fn reattach(&mut self, worker: usize) {
         let mut names: Vec<String> = self
             .metas
@@ -793,7 +1337,7 @@ where
             };
             let payloads = meta.log.events().map(<[String]>::to_vec);
             let progress = Arc::clone(&meta.progress);
-            let model = meta.model.clone();
+            let monitor = meta.monitor.clone();
             let closing = meta.closing;
             match payloads {
                 Some(payloads) => {
@@ -811,7 +1355,7 @@ where
                         worker,
                         Task::Open {
                             stream: name.clone(),
-                            model,
+                            monitor: Box::new(monitor),
                             progress,
                             suppress_through: emitted,
                             already_failed,
@@ -863,8 +1407,27 @@ where
     /// drain and close their resident streams, restarts any worker that
     /// panics on the way out (so its streams still reach their summaries),
     /// and past the deadline condemns whatever is left. Streams that never
-    /// reached close are accounted as failed.
+    /// reached close are accounted as failed — but keep their snapshot, so
+    /// a restart with the same state directory recovers them.
     fn drain(&mut self) {
+        if self.aborted {
+            // An injected mid-checkpoint "kill": stop every worker at its
+            // next poll and vanish without summaries, error lines or any
+            // further durability work — exactly what SIGKILL would leave.
+            for slot in self.slots.iter_mut() {
+                slot.cancel.store(true, Ordering::Relaxed);
+                slot.sender = None;
+            }
+            for slot in self.slots.iter_mut() {
+                if let Some(handle) = slot.handle.take() {
+                    let _ = handle.join();
+                }
+            }
+            for handle in self.retired.drain(..) {
+                let _ = handle.join();
+            }
+            return;
+        }
         let deadline = Instant::now() + self.ctx.options.drain_timeout;
         loop {
             // No more input: a closed channel is the shutdown signal. A
@@ -933,6 +1496,16 @@ where
         for handle in self.retired.drain(..) {
             let _ = handle.join();
         }
+        // Streams that reached their close are finished business: their
+        // snapshots must not be resurrected by the next start. Streams that
+        // did not keep theirs — that is the crash-recovery path.
+        if let Some(dir) = &self.ctx.options.state_dir {
+            for (name, meta) in &self.metas {
+                if meta.progress.closed.load(Ordering::Relaxed) {
+                    let _ = std::fs::remove_file(state::stream_path(dir, name));
+                }
+            }
+        }
         // Any stream that never reached close lost its worker for good.
         let mut lost: Vec<(String, Arc<StreamProgress>)> = self
             .metas
@@ -964,7 +1537,25 @@ where
             shed: self.shed,
             restarted: self.restarted,
             replayed: self.replayed,
-            shed_latency: self.shed_latency,
+            recovered: self.recovered,
+            reset: self.reset,
+            checkpoints: self.checkpoints,
+            tenant_shed: std::mem::take(&mut self.tenant_shed),
+            shed_latency: std::mem::take(&mut self.shed_latency),
+            aborted: self.aborted,
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::tenant_of;
+
+    #[test]
+    fn tenants_are_the_prefix_before_the_first_slash() {
+        assert_eq!(tenant_of("acme/stream-1"), "acme");
+        assert_eq!(tenant_of("acme/region/s"), "acme");
+        assert_eq!(tenant_of("loner"), "loner");
+        assert_eq!(tenant_of("/odd"), "");
     }
 }

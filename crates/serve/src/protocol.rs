@@ -7,10 +7,12 @@
 //! open <stream> <model>      # bind a new stream to a registry model
 //! data <stream> <payload>    # one CSV record (the first is the header)
 //! close <stream>             # finish the stream and emit its summary
+//! reload <model> <source>    # hot-swap a registry model to a new version
+//! shutdown                   # stop reading and drain every open stream
 //! ```
 //!
-//! and each output line is a verdict, summary, error, overload refusal or
-//! informational note:
+//! and each output line is a verdict, summary, error, overload refusal,
+//! recovery report or informational note:
 //!
 //! ```text
 //! verdict <stream> seq=3 status=ok windows=1 novel=0
@@ -18,13 +20,21 @@
 //! summary <stream> events=100 windows=96 deviations=1 conformance=0.989583 ...
 //! error <stream> <message>
 //! busy <stream> open=1024 limit=1024
+//! busy <stream> tenant=acme open=16 limit=16
+//! busy <stream> draining
+//! recovered <stream> seq=40 events=38
+//! reset <stream> <reason>
 //! info <stream> <message>
 //! ```
 //!
 //! `error` means the stream is dead (malformed input, model mismatch, lost
-//! worker); `busy` means the daemon refused to admit a new stream at its
-//! high-water mark and the client may retry; `info` reports supervision
-//! events (worker restarts, stream replays) that do not affect any stream's
+//! worker); `busy` means the daemon refused to admit a new stream — at its
+//! global high-water mark, at the stream's tenant quota, or because a
+//! `shutdown` drain is in progress — and the client may retry (elsewhere,
+//! for `draining`); `recovered`/`reset` report, once per checkpointed
+//! stream at startup, whether its state-directory snapshot was resumed or
+//! discarded; `info` reports supervision events (worker restarts, stream
+//! replays, model reloads and retirements) that do not affect any stream's
 //! verdict sequence.
 //!
 //! Stream names carry no whitespace, so the grammar needs no quoting; the
@@ -56,15 +66,31 @@ pub enum Command {
         /// The stream to finish.
         stream: String,
     },
+    /// Hot-swap a registry model: learn `spec`'s model and serve it as the
+    /// next version of `model`. Streams already open stay pinned to the
+    /// version they opened against.
+    Reload {
+        /// Registry name to swap (or add).
+        model: String,
+        /// The new `source` spec (same grammar as `--model name=source`,
+        /// without the `name=` part).
+        spec: String,
+    },
+    /// Stop reading input and drain every open stream as if its `close`
+    /// arrived.
+    Shutdown,
 }
 
 impl Command {
-    /// The stream this command addresses.
+    /// The stream this command addresses (`reload` addresses its model
+    /// name; `shutdown` addresses no stream and uses the placeholder `-`).
     pub fn stream(&self) -> &str {
         match self {
             Command::Open { stream, .. }
             | Command::Data { stream, .. }
             | Command::Close { stream } => stream,
+            Command::Reload { model, .. } => model,
+            Command::Shutdown => "-",
         }
     }
 }
@@ -72,6 +98,9 @@ impl Command {
 /// Parses one input line into a [`Command`].
 pub fn parse_command(line: &str) -> Result<Command, String> {
     let line = line.trim_end_matches(['\r', '\n']);
+    if line.trim() == "shutdown" {
+        return Ok(Command::Shutdown);
+    }
     let (verb, rest) = line
         .split_once(char::is_whitespace)
         .ok_or_else(|| format!("expected `<verb> <stream> ...`, got {line:?}"))?;
@@ -111,7 +140,22 @@ pub fn parse_command(line: &str) -> Result<Command, String> {
                 stream: stream.to_string(),
             })
         }
-        other => Err(format!("unknown verb {other:?} (expected open/data/close)")),
+        "reload" => {
+            let (model, spec) = rest
+                .split_once(char::is_whitespace)
+                .ok_or_else(|| "reload needs `<model> <source>`".to_string())?;
+            let spec = spec.trim();
+            if model.is_empty() || spec.is_empty() || spec.contains(char::is_whitespace) {
+                return Err("reload needs `<model> <source>`".to_string());
+            }
+            Ok(Command::Reload {
+                model: model.to_string(),
+                spec: spec.to_string(),
+            })
+        }
+        other => Err(format!(
+            "unknown verb {other:?} (expected open/data/close/reload/shutdown)"
+        )),
     }
 }
 
@@ -170,6 +214,35 @@ pub fn busy_line(stream: &str, open: usize, limit: usize) -> String {
     format!("busy {stream} open={open} limit={limit}")
 }
 
+/// Renders the overload verdict for an `open` shed at its *tenant's* quota
+/// (the stream-name prefix before the first `/`): the tenant already has
+/// `open` live streams of an allowed `limit`. Retryable once the tenant
+/// closes one.
+pub fn busy_tenant_line(stream: &str, tenant: &str, open: usize, limit: usize) -> String {
+    format!("busy {stream} tenant={tenant} open={open} limit={limit}")
+}
+
+/// Renders the refusal for an `open` that arrived while a `shutdown` drain
+/// was in progress. Retryable only against another daemon.
+pub fn draining_line(stream: &str) -> String {
+    format!("busy {stream} draining")
+}
+
+/// Renders the startup report for a stream resumed from its state-directory
+/// snapshot: the stream continues at `seq` (data records logged) having
+/// emitted `events` verdicts.
+pub fn recovered_line(stream: &str, seq: u64, events: u64) -> String {
+    format!("recovered {stream} seq={seq} events={events}")
+}
+
+/// Renders the startup report for a stream whose snapshot could not be
+/// resumed (unreadable, model gone, version changed, replay mismatch). The
+/// snapshot is discarded and the client must re-open from scratch.
+pub fn reset_line(stream: &str, reason: &str) -> String {
+    let reason = reason.replace(['\r', '\n'], " ");
+    format!("reset {stream} {reason}")
+}
+
 /// Renders an informational line (worker restarts, stream replays). Clients
 /// may log these; they never change a stream's verdict sequence.
 pub fn info_line(stream: &str, message: &str) -> String {
@@ -206,6 +279,21 @@ mod tests {
     }
 
     #[test]
+    fn parses_reload_and_shutdown() {
+        assert_eq!(
+            parse_command("reload counter workload:counter:900\n"),
+            Ok(Command::Reload {
+                model: "counter".into(),
+                spec: "workload:counter:900".into()
+            })
+        );
+        assert_eq!(parse_command("shutdown\n"), Ok(Command::Shutdown));
+        assert_eq!(parse_command("shutdown"), Ok(Command::Shutdown));
+        assert_eq!(parse_command("reload m csv:/a.csv").unwrap().stream(), "m");
+        assert_eq!(Command::Shutdown.stream(), "-");
+    }
+
+    #[test]
     fn rejects_malformed_commands() {
         assert!(parse_command("open s1").is_err());
         assert!(parse_command("open  counter").is_err());
@@ -213,6 +301,9 @@ mod tests {
         assert!(parse_command("close").is_err());
         assert!(parse_command("close a b").is_err());
         assert!(parse_command("flush s1").is_err());
+        assert!(parse_command("reload counter").is_err());
+        assert!(parse_command("reload counter two specs").is_err());
+        assert!(parse_command("shutdown now").is_err());
         assert!(parse_command("").is_err());
     }
 
@@ -231,6 +322,23 @@ mod tests {
         assert_eq!(
             verdict_line("s", 1, &warmup),
             "verdict s seq=1 status=warmup windows=0 novel=0"
+        );
+    }
+
+    #[test]
+    fn recovery_and_quota_lines_render() {
+        assert_eq!(
+            busy_tenant_line("acme/s1", "acme", 4, 4),
+            "busy acme/s1 tenant=acme open=4 limit=4"
+        );
+        assert_eq!(draining_line("s9"), "busy s9 draining");
+        assert_eq!(
+            recovered_line("s1", 40, 38),
+            "recovered s1 seq=40 events=38"
+        );
+        assert_eq!(
+            reset_line("s1", "model version\nchanged"),
+            "reset s1 model version changed"
         );
     }
 }

@@ -1,17 +1,39 @@
-//! The model registry: named learned models served to many streams.
+//! The model registry: named, versioned learned models served to many
+//! streams.
 //!
 //! A daemon invocation declares its models up front as `name=source` specs
 //! (`--model slot=workload:usb_slot:2000`, `--model prod=csv:trace.csv`).
 //! [`Registry::load`] learns every model once at startup; per-stream
-//! [`Monitor`]s borrow the learned models for the daemon's lifetime, so
-//! serving never re-learns or clones a model.
+//! [`Monitor`]s are cheap clones sharing the learned model behind an `Arc`,
+//! so serving never re-learns a model per stream.
+//!
+//! Every entry carries a *version*. The `reload` control verb learns a
+//! fresh model for a name and swaps it in atomically: streams opened before
+//! the swap keep the `Monitor` clone (and hence the model `Arc`) they were
+//! given at open time, streams opened after get the new version, and the
+//! registry watches each retired version through a [`Weak`] handle so it can
+//! report when the last pinned stream has closed and the old model is
+//! actually freed.
+//!
+//! With a state directory, [`Registry::load_with_state`] restores models
+//! from their snapshots instead of relearning — but only when the requested
+//! spec matches the persisted manifest byte for byte. A changed spec (or a
+//! snapshot that fails validation) means a fresh learn under a *bumped*
+//! version, so stream snapshots pinned to the old version are explicitly
+//! reset rather than resumed against a model with different behaviour.
 
 use std::collections::BTreeMap;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Weak};
 
 use crate::error::ServeError;
+use crate::state::{model_path, REGISTRY_FILE};
 use tracelearn_core::{LearnedModel, Learner, LearnerConfig, Monitor};
-use tracelearn_trace::parse_csv;
+use tracelearn_persist::{
+    load_model, load_registry, save_model, save_registry, ModelSnapshot, PersistError,
+    RegistryEntry, RegistryManifest,
+};
+use tracelearn_trace::{parse_csv, Trace};
 use tracelearn_workloads::Workload;
 
 /// Where a registry model's calibration trace comes from.
@@ -97,6 +119,39 @@ impl ModelSpec {
             source,
         })
     }
+
+    /// The canonical source string, with defaults spelled out. This is what
+    /// the state manifest records, so a restart's `--model` spec is matched
+    /// byte-for-byte against the spec its snapshot was built from no matter
+    /// which accepted spelling either used.
+    pub fn source_string(&self) -> String {
+        match &self.source {
+            ModelSource::Workload {
+                workload,
+                length,
+                seed,
+            } => format!("workload:{}:{length}:{seed}", workload_spec_name(*workload)),
+            ModelSource::Csv(path) => format!("csv:{}", path.display()),
+        }
+    }
+
+    /// Builds this spec's training trace and learner configuration.
+    fn build(&self) -> Result<(Trace, LearnerConfig), ServeError> {
+        match &self.source {
+            ModelSource::Workload {
+                workload,
+                length,
+                seed,
+            } => Ok((
+                workload.generate_seeded(*length, *seed),
+                learner_config_for(*workload),
+            )),
+            ModelSource::Csv(path) => {
+                let text = std::fs::read_to_string(path)?;
+                Ok((parse_csv(&text)?, LearnerConfig::default()))
+            }
+        }
+    }
 }
 
 /// Resolves a benchmark name, ignoring case, `_`, `-` and spaces.
@@ -117,6 +172,19 @@ pub fn workload_by_name(name: &str) -> Option<Workload> {
     }
 }
 
+/// The canonical spec-grammar name of a workload (the preferred spelling
+/// accepted by [`workload_by_name`]).
+fn workload_spec_name(workload: Workload) -> &'static str {
+    match workload {
+        Workload::UsbSlot => "usb_slot",
+        Workload::UsbAttach => "usb_attach",
+        Workload::Counter => "counter",
+        Workload::SerialPort => "serial_port",
+        Workload::LinuxKernel => "linux_kernel",
+        Workload::Integrator => "integrator",
+    }
+}
+
 /// The learner configuration the benchmark suite uses for a workload.
 ///
 /// Matches `tracelearn-bench`: the integrator's `ip` variable is an input,
@@ -129,40 +197,125 @@ pub fn learner_config_for(workload: Workload) -> LearnerConfig {
     }
 }
 
+/// One registry name's current model plus the versions it has retired.
+#[derive(Debug)]
+struct RegistryModel {
+    /// Canonical source spec of the current version.
+    spec: String,
+    /// Hot-reload version, bumped on every swap — and on any restart that
+    /// had to relearn instead of restore, so pinned stream snapshots reset.
+    version: u64,
+    monitor: Monitor,
+    /// The version already written to the state directory; unchanged models
+    /// are not rewritten on every [`Registry::persist`].
+    persisted: Option<u64>,
+    /// Superseded versions still pinned by in-flight streams; swept once
+    /// the last `Monitor`/session clone drops.
+    retired: Vec<(u64, Weak<LearnedModel>)>,
+}
+
 /// The daemon's set of learned models, keyed by registry name.
 #[derive(Debug)]
 pub struct Registry {
-    entries: BTreeMap<String, (LearnedModel, LearnerConfig)>,
+    entries: BTreeMap<String, RegistryModel>,
 }
 
 impl Registry {
     /// Learns every spec's model. Duplicate names are an error.
     pub fn load(specs: &[ModelSpec]) -> Result<Registry, ServeError> {
-        let mut entries = BTreeMap::new();
+        Registry::load_with_state(specs, None).map(|(registry, _)| registry)
+    }
+
+    /// Like [`load`](Registry::load), but restores models from an optional
+    /// state directory: a model whose spec matches the persisted manifest
+    /// byte-for-byte is loaded from its snapshot instead of relearned. A
+    /// missing manifest, a changed spec, or a snapshot that fails
+    /// validation all fall back to a fresh learn — under a bumped version
+    /// when the name existed before. The returned notes say what happened
+    /// to each model.
+    pub fn load_with_state(
+        specs: &[ModelSpec],
+        state_dir: Option<&Path>,
+    ) -> Result<(Registry, Vec<String>), ServeError> {
+        let mut notes = Vec::new();
+        let manifest = match state_dir {
+            Some(dir) => match load_registry(&dir.join(REGISTRY_FILE)) {
+                Ok(manifest) => manifest,
+                Err(PersistError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {
+                    RegistryManifest::default()
+                }
+                Err(e) => {
+                    notes.push(format!("registry manifest rejected ({e}); relearning all"));
+                    RegistryManifest::default()
+                }
+            },
+            None => RegistryManifest::default(),
+        };
+        let mut entries: BTreeMap<String, RegistryModel> = BTreeMap::new();
         for spec in specs {
-            let (trace, config) = match &spec.source {
-                ModelSource::Workload {
-                    workload,
-                    length,
-                    seed,
-                } => (
-                    workload.generate_seeded(*length, *seed),
-                    learner_config_for(*workload),
-                ),
-                ModelSource::Csv(path) => {
-                    let text = std::fs::read_to_string(path)?;
-                    (parse_csv(&text)?, LearnerConfig::default())
+            let source = spec.source_string();
+            let previous = manifest.entry(&spec.name);
+            let restored = match (previous, state_dir) {
+                (Some(entry), Some(dir)) if entry.spec == source => {
+                    match load_model(&model_path(dir, &spec.name)) {
+                        Ok(snapshot) => {
+                            notes.push(format!(
+                                "model {} restored from snapshot (version {})",
+                                spec.name, entry.version
+                            ));
+                            Some(RegistryModel {
+                                spec: source.clone(),
+                                version: entry.version,
+                                monitor: Monitor::from_shared(
+                                    Arc::new(snapshot.model),
+                                    snapshot.config,
+                                ),
+                                persisted: Some(entry.version),
+                                retired: Vec::new(),
+                            })
+                        }
+                        Err(e) => {
+                            notes.push(format!(
+                                "model {} snapshot rejected ({e}); relearning",
+                                spec.name
+                            ));
+                            None
+                        }
+                    }
+                }
+                (Some(_), Some(_)) => {
+                    notes.push(format!("model {} spec changed; relearning", spec.name));
+                    None
+                }
+                _ => None,
+            };
+            let entry = match restored {
+                Some(entry) => entry,
+                None => {
+                    let (trace, config) = spec.build()?;
+                    let model = Learner::new(config.clone()).learn(&trace)?;
+                    // A relearn under a previously-manifested name bumps the
+                    // version: even an identical spec cannot guarantee the
+                    // rejected snapshot's model, so pinned streams must not
+                    // resume against this one.
+                    let version = previous.map_or(1, |entry| entry.version + 1);
+                    RegistryModel {
+                        spec: source,
+                        version,
+                        monitor: Monitor::from_shared(Arc::new(model), config),
+                        persisted: None,
+                        retired: Vec::new(),
+                    }
                 }
             };
-            let model = Learner::new(config.clone()).learn(&trace)?;
-            if entries.insert(spec.name.clone(), (model, config)).is_some() {
+            if entries.insert(spec.name.clone(), entry).is_some() {
                 return Err(ServeError::Spec(format!(
                     "duplicate model name {:?}",
                     spec.name
                 )));
             }
         }
-        Ok(Registry { entries })
+        Ok((Registry { entries }, notes))
     }
 
     /// Number of loaded models.
@@ -180,12 +333,123 @@ impl Registry {
         self.entries.keys().map(String::as_str)
     }
 
-    /// Builds one borrowing [`Monitor`] per model, keyed by registry name.
-    pub fn monitors(&self) -> BTreeMap<String, Monitor<'_>> {
+    /// Whether `name` is a served model.
+    pub fn contains(&self, name: &str) -> bool {
+        self.entries.contains_key(name)
+    }
+
+    /// The current monitor and version for `name` — the clone handed to a
+    /// stream at open time, pinning the stream to this version for its
+    /// whole life regardless of later reloads.
+    pub fn resolve(&self, name: &str) -> Option<(Monitor, u64)> {
+        self.entries
+            .get(name)
+            .map(|entry| (entry.monitor.clone(), entry.version))
+    }
+
+    /// One current-version [`Monitor`] per model, keyed by registry name
+    /// (the shape the single-model pipe and socket front doors consume).
+    pub fn monitors(&self) -> BTreeMap<String, Monitor> {
         self.entries
             .iter()
-            .map(|(name, (model, config))| (name.clone(), Monitor::new(model, config.clone())))
+            .map(|(name, entry)| (name.clone(), entry.monitor.clone()))
             .collect()
+    }
+
+    /// Learns `spec` and swaps it in as the new current version of its
+    /// name, retiring the old version: new opens get the new model,
+    /// in-flight streams keep the clone they were given at open time. A
+    /// spec for a new name adds it at version 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns the spec/learn error without touching the served version.
+    pub fn reload(&mut self, spec: &ModelSpec) -> Result<u64, ServeError> {
+        let (trace, config) = spec.build()?;
+        let model = Learner::new(config.clone()).learn(&trace)?;
+        let monitor = Monitor::from_shared(Arc::new(model), config);
+        let source = spec.source_string();
+        match self.entries.get_mut(&spec.name) {
+            Some(entry) => {
+                let old = std::mem::replace(&mut entry.monitor, monitor);
+                entry
+                    .retired
+                    .push((entry.version, Arc::downgrade(&old.shared_model())));
+                entry.version += 1;
+                entry.spec = source;
+                entry.persisted = None;
+                Ok(entry.version)
+            }
+            None => {
+                self.entries.insert(
+                    spec.name.clone(),
+                    RegistryModel {
+                        spec: source,
+                        version: 1,
+                        monitor,
+                        persisted: None,
+                        retired: Vec::new(),
+                    },
+                );
+                Ok(1)
+            }
+        }
+    }
+
+    /// Reaps retired versions whose last pinned stream has closed,
+    /// returning `(name, version)` pairs in sorted order.
+    pub fn sweep_retired(&mut self) -> Vec<(String, u64)> {
+        let mut freed = Vec::new();
+        for (name, entry) in self.entries.iter_mut() {
+            entry.retired.retain(|(version, weak)| {
+                if weak.upgrade().is_none() {
+                    freed.push((name.clone(), *version));
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        freed.sort();
+        freed
+    }
+
+    /// The manifest image of the registry's current versions.
+    pub fn manifest(&self) -> RegistryManifest {
+        RegistryManifest {
+            entries: self
+                .entries
+                .iter()
+                .map(|(name, entry)| RegistryEntry {
+                    name: name.clone(),
+                    spec: entry.spec.clone(),
+                    version: entry.version,
+                })
+                .collect(),
+        }
+    }
+
+    /// Writes the manifest and every model version not yet on disk to the
+    /// state directory, crash-safely.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`PersistError`] of the first failed write.
+    pub fn persist(&mut self, dir: &Path) -> Result<(), ServeError> {
+        std::fs::create_dir_all(dir)?;
+        save_registry(&dir.join(REGISTRY_FILE), &self.manifest()).map_err(ServeError::Persist)?;
+        for (name, entry) in self.entries.iter_mut() {
+            if entry.persisted == Some(entry.version) {
+                continue;
+            }
+            let snapshot = ModelSnapshot {
+                config: entry.monitor.config().clone(),
+                model: entry.monitor.model().clone(),
+            };
+            save_model(&model_path(dir, name), &snapshot).map_err(ServeError::Persist)?;
+            entry.persisted = Some(entry.version);
+        }
+        Ok(())
     }
 }
 
@@ -205,12 +469,15 @@ mod tests {
                 seed: 7,
             }
         );
+        assert_eq!(spec.source_string(), "workload:usb_slot:500:7");
         let spec = ModelSpec::parse("prod=csv:/tmp/trace.csv").unwrap();
         assert_eq!(
             spec.source,
             ModelSource::Csv(PathBuf::from("/tmp/trace.csv"))
         );
-        // Length defaults, seed defaults.
+        assert_eq!(spec.source_string(), "csv:/tmp/trace.csv");
+        // Length defaults, seed defaults — and the canonical form spells
+        // both out, so restarts with either spelling match the manifest.
         let spec = ModelSpec::parse("c=workload:counter").unwrap();
         assert_eq!(
             spec.source,
@@ -220,6 +487,7 @@ mod tests {
                 seed: 0xDAC2020,
             }
         );
+        assert_eq!(spec.source_string(), "workload:counter:2000:229384224");
     }
 
     #[test]
@@ -240,6 +508,19 @@ mod tests {
         assert_eq!(workload_by_name("rtlinux"), Some(Workload::LinuxKernel));
         assert_eq!(workload_by_name("Serial"), Some(Workload::SerialPort));
         assert_eq!(workload_by_name("nope"), None);
+        for workload in [
+            Workload::UsbSlot,
+            Workload::UsbAttach,
+            Workload::Counter,
+            Workload::SerialPort,
+            Workload::LinuxKernel,
+            Workload::Integrator,
+        ] {
+            assert_eq!(
+                workload_by_name(workload_spec_name(workload)),
+                Some(workload)
+            );
+        }
     }
 
     #[test]
@@ -253,11 +534,79 @@ mod tests {
         assert_eq!(registry.names().collect::<Vec<_>>(), vec!["c", "s"]);
         let monitors = registry.monitors();
         assert!(monitors.contains_key("c") && monitors.contains_key("s"));
+        assert_eq!(registry.resolve("c").unwrap().1, 1);
+        assert!(registry.contains("s") && !registry.contains("x"));
 
         let duplicated = vec![specs[0].clone(), specs[0].clone()];
         assert!(matches!(
             Registry::load(&duplicated),
             Err(ServeError::Spec(_))
         ));
+    }
+
+    #[test]
+    fn reload_bumps_the_version_and_retires_the_old_model() {
+        let specs = vec![ModelSpec::parse("c=workload:counter:600").unwrap()];
+        let mut registry = Registry::load(&specs).unwrap();
+        let (pinned, v1) = registry.resolve("c").unwrap();
+        assert_eq!(v1, 1);
+
+        let new_spec = ModelSpec::parse("c=workload:counter:700").unwrap();
+        assert_eq!(registry.reload(&new_spec).unwrap(), 2);
+        // The pinned monitor still holds version 1's model alive.
+        assert!(registry.sweep_retired().is_empty());
+        drop(pinned);
+        assert_eq!(registry.sweep_retired(), vec![("c".to_string(), 1)]);
+        assert_eq!(registry.resolve("c").unwrap().1, 2);
+        // A reload for a fresh name adds it at version 1.
+        let added = ModelSpec::parse("u=workload:usb_slot:600").unwrap();
+        assert_eq!(registry.reload(&added).unwrap(), 1);
+    }
+
+    #[test]
+    fn state_restore_matches_specs_byte_for_byte() {
+        let dir = std::env::temp_dir().join(format!(
+            "tracelearn-registry-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let specs = vec![ModelSpec::parse("c=workload:counter:600").unwrap()];
+        let (mut registry, _) = Registry::load_with_state(&specs, Some(&dir)).unwrap();
+        registry.persist(&dir).unwrap();
+        let strings = registry.resolve("c").unwrap().0.model().predicate_strings();
+
+        // Same spec: restored, same version, same model.
+        let (restored, notes) = Registry::load_with_state(&specs, Some(&dir)).unwrap();
+        assert!(
+            notes.iter().any(|n| n.contains("restored from snapshot")),
+            "{notes:?}"
+        );
+        let (monitor, version) = restored.resolve("c").unwrap();
+        assert_eq!(version, 1);
+        assert_eq!(monitor.model().predicate_strings(), strings);
+
+        // Changed spec: relearned under a bumped version.
+        let changed = vec![ModelSpec::parse("c=workload:counter:800").unwrap()];
+        let (relearned, notes) = Registry::load_with_state(&changed, Some(&dir)).unwrap();
+        assert!(
+            notes.iter().any(|n| n.contains("spec changed")),
+            "{notes:?}"
+        );
+        assert_eq!(relearned.resolve("c").unwrap().1, 2);
+
+        // A corrupted snapshot is rejected and relearned, never half-loaded.
+        let model_file = model_path(&dir, "c");
+        let mut bytes = std::fs::read(&model_file).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x41;
+        std::fs::write(&model_file, &bytes).unwrap();
+        let (recovered, notes) = Registry::load_with_state(&specs, Some(&dir)).unwrap();
+        assert!(
+            notes.iter().any(|n| n.contains("snapshot rejected")),
+            "{notes:?}"
+        );
+        assert_eq!(recovered.resolve("c").unwrap().1, 2);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

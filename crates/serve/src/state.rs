@@ -1,0 +1,118 @@
+//! State-directory layout for `served --state-dir`.
+//!
+//! One flat directory holds everything the daemon needs to survive a crash:
+//!
+//! ```text
+//! <state-dir>/
+//!   registry.snap          # which models, from which specs, at which versions
+//!   model-<hex>.snap       # one learned model per registry name
+//!   stream-<hex>.snap      # one recovery image per checkpointed stream
+//! ```
+//!
+//! Registry names and stream names are client-chosen strings, so file names
+//! embed them hex-encoded — every name maps to exactly one path with no
+//! escaping rules, and a snapshot file found on disk maps back to its stream
+//! name even when the envelope inside is unreadable (which is exactly when
+//! recovery needs the name, to report the stream `reset`).
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The registry manifest's file name inside the state directory.
+pub(crate) const REGISTRY_FILE: &str = "registry.snap";
+
+const STREAM_PREFIX: &str = "stream-";
+const MODEL_PREFIX: &str = "model-";
+const SNAP_SUFFIX: &str = ".snap";
+
+/// Lower-case hex of a name's UTF-8 bytes.
+pub(crate) fn hex_encode(name: &str) -> String {
+    let mut hex = String::with_capacity(name.len() * 2);
+    for byte in name.as_bytes() {
+        hex.push(char::from_digit((byte >> 4) as u32, 16).unwrap_or('0'));
+        hex.push(char::from_digit((byte & 0xF) as u32, 16).unwrap_or('0'));
+    }
+    hex
+}
+
+/// Inverse of [`hex_encode`]; `None` for odd lengths, non-hex digits or
+/// non-UTF-8 bytes (a foreign file in the state directory, not ours).
+pub(crate) fn hex_decode(hex: &str) -> Option<String> {
+    if hex.len() % 2 != 0 {
+        return None;
+    }
+    let mut bytes = Vec::with_capacity(hex.len() / 2);
+    let digits: Vec<u32> = hex.chars().map(|c| c.to_digit(16)).collect::<Option<_>>()?;
+    for pair in digits.chunks(2) {
+        let [high, low] = pair else { return None };
+        bytes.push(((high << 4) | low) as u8);
+    }
+    String::from_utf8(bytes).ok()
+}
+
+/// Path of the model snapshot for registry name `name`.
+pub(crate) fn model_path(dir: &Path, name: &str) -> PathBuf {
+    dir.join(format!("{MODEL_PREFIX}{}{SNAP_SUFFIX}", hex_encode(name)))
+}
+
+/// Path of the stream snapshot for stream `stream`.
+pub(crate) fn stream_path(dir: &Path, stream: &str) -> PathBuf {
+    dir.join(format!(
+        "{STREAM_PREFIX}{}{SNAP_SUFFIX}",
+        hex_encode(stream)
+    ))
+}
+
+/// Every stream snapshot in the state directory as `(stream name, path)`,
+/// sorted by stream name so recovery order is deterministic. Files whose
+/// names do not decode are not ours and are left alone.
+pub(crate) fn stream_snapshots(dir: &Path) -> io::Result<Vec<(String, PathBuf)>> {
+    let mut found = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let file_name = entry.file_name();
+        let Some(name) = file_name.to_str() else {
+            continue;
+        };
+        let Some(hex) = name
+            .strip_prefix(STREAM_PREFIX)
+            .and_then(|rest| rest.strip_suffix(SNAP_SUFFIX))
+        else {
+            continue;
+        };
+        if let Some(stream) = hex_decode(hex) {
+            found.push((stream, entry.path()));
+        }
+    }
+    found.sort();
+    Ok(found)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_round_trips_arbitrary_names() {
+        for name in ["s1", "tenant-a/stream 0", "héllo/wörld", ""] {
+            assert_eq!(hex_decode(&hex_encode(name)).as_deref(), Some(name));
+        }
+        assert_eq!(hex_decode("abc"), None);
+        assert_eq!(hex_decode("zz"), None);
+    }
+
+    #[test]
+    fn layout_lists_only_stream_snapshots() {
+        let dir = std::env::temp_dir().join(format!("tracelearn-state-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(stream_path(&dir, "b/2"), b"x").unwrap();
+        std::fs::write(stream_path(&dir, "a/1"), b"x").unwrap();
+        std::fs::write(model_path(&dir, "counter"), b"x").unwrap();
+        std::fs::write(dir.join("stream-zz.snap"), b"x").unwrap();
+        std::fs::write(dir.join(REGISTRY_FILE), b"x").unwrap();
+        let listed = stream_snapshots(&dir).unwrap();
+        let names: Vec<&str> = listed.iter().map(|(name, _)| name.as_str()).collect();
+        assert_eq!(names, vec!["a/1", "b/2"]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,247 @@
+//! End-to-end crash recovery: the real `served` binary is killed with
+//! SIGKILL mid-run and restarted against the same `--state-dir`.
+//!
+//! Unlike the in-process chaos suite (which simulates the kill with an
+//! injected fault and can assert byte-identity), these tests exercise the
+//! whole binary: argument parsing, model persistence at startup, checkpoint
+//! publication while serving, and the `recovered`/`reset` startup report —
+//! with a genuine `kill -9`, after which the only state that survives is
+//! what `write_atomic` published.
+
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use tracelearn_workloads::Workload;
+
+const MODEL_SPEC: &str = "counter=workload:counter:600";
+
+fn counter_records() -> (String, Vec<String>) {
+    let mut csv = Vec::new();
+    Workload::Counter
+        .write_csv(300, 0xDAC2020, &mut csv)
+        .unwrap();
+    let csv = String::from_utf8(csv).unwrap();
+    let mut lines = csv.lines();
+    let header = lines.next().unwrap().to_string();
+    (header, lines.map(str::to_string).collect())
+}
+
+/// A unique, empty state directory for one test.
+fn state_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("tracelearn-recovery-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn served(dir: &Path, extra_env: &[(&str, &str)]) -> Child {
+    let mut command = Command::new(env!("CARGO_BIN_EXE_served"));
+    command
+        .arg("--model")
+        .arg(MODEL_SPEC)
+        .arg("--workers")
+        .arg("1")
+        .arg("--state-dir")
+        .arg(dir)
+        .arg("--checkpoint-every")
+        .arg("40")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .env_remove("TRACELEARN_FAULTS");
+    for (key, value) in extra_env {
+        command.env(key, value);
+    }
+    command.spawn().expect("served binary spawns")
+}
+
+/// The `(stream, seq)` of every stream snapshot currently published in
+/// `dir`, sorted; unreadable files are skipped (a writer may be mid-publish).
+fn published_snapshots(dir: &Path) -> Vec<(String, u64)> {
+    let mut found = Vec::new();
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return found;
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let name = name.to_string_lossy().into_owned();
+        if !name.starts_with("stream-") || !name.ends_with(".snap") {
+            continue;
+        }
+        if let Ok(snapshot) = tracelearn_persist::load_stream(&entry.path()) {
+            found.push((snapshot.stream, snapshot.seq));
+        }
+    }
+    found.sort();
+    found
+}
+
+/// Runs `served` to completion over `input` and returns (status, stdout,
+/// stderr).
+fn run_to_completion(
+    dir: &Path,
+    input: &str,
+    extra_env: &[(&str, &str)],
+) -> (std::process::ExitStatus, String, String) {
+    let mut child = served(dir, extra_env);
+    child
+        .stdin
+        .take()
+        .expect("stdin piped")
+        .write_all(input.as_bytes())
+        .expect("write protocol input");
+    let output = child.wait_with_output().expect("served runs to completion");
+    (
+        output.status,
+        String::from_utf8(output.stdout).expect("stdout is UTF-8"),
+        String::from_utf8(output.stderr).expect("stderr is UTF-8"),
+    )
+}
+
+/// The real thing: `served` is SIGKILLed while a stream is open and
+/// checkpointed, then restarted on the same state directory. The restart
+/// must report the stream `recovered` at the exact sequence the last
+/// published snapshot covers, serve the remainder, and finish clean.
+#[test]
+fn sigkill_mid_stream_recovers_from_the_state_dir() {
+    let dir = state_dir("sigkill");
+    let (header, records) = counter_records();
+
+    let mut child = served(&dir, &[]);
+    let mut stdin = child.stdin.take().expect("stdin piped");
+    // Drain stdout so the daemon can never block on a full pipe.
+    let stdout = child.stdout.take().expect("stdout piped");
+    let drain = std::thread::spawn(move || {
+        let mut lines = Vec::new();
+        for line in BufReader::new(stdout).lines() {
+            match line {
+                Ok(line) => lines.push(line),
+                Err(_) => break,
+            }
+        }
+        lines
+    });
+
+    // Open one stream and feed the whole trace, but never close it: the
+    // stream stays open (and dirty) until the kill.
+    write!(stdin, "open a counter\ndata a {header}\n").unwrap();
+    for record in &records {
+        writeln!(stdin, "data a {record}").unwrap();
+    }
+    stdin.flush().unwrap();
+
+    // Wait for a checkpoint to be published, then pull the rug out. stdin
+    // stays open so the daemon cannot drain gracefully in the meantime.
+    let deadline = Instant::now() + Duration::from_secs(120);
+    while published_snapshots(&dir).is_empty() {
+        assert!(
+            Instant::now() < deadline,
+            "no stream snapshot appeared before the deadline"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    child.kill().expect("SIGKILL");
+    child.wait().expect("reap the killed daemon");
+    drop(stdin);
+    // Whatever sat in the daemon's stdout buffer died with it — that is the
+    // point of the exercise; only the published snapshot survives.
+    drain.join().expect("stdout drain thread");
+
+    // The only surviving truth is the published snapshot. Resume from it.
+    let snapshots = published_snapshots(&dir);
+    assert_eq!(
+        snapshots.len(),
+        1,
+        "exactly one stream snapshot: {snapshots:?}"
+    );
+    let (ref stream, seq) = snapshots[0];
+    assert_eq!(stream, "a");
+    let consumed = (seq - 1) as usize;
+    assert!(
+        consumed >= 1 && consumed <= records.len(),
+        "seq {seq} is sane"
+    );
+
+    let mut continuation = String::new();
+    for record in &records[consumed..] {
+        continuation.push_str(&format!("data a {record}\n"));
+    }
+    continuation.push_str("close a\n");
+    let (status, stdout, stderr) = run_to_completion(&dir, &continuation, &[]);
+
+    assert!(status.success(), "restart failed:\n{stdout}\n{stderr}");
+    assert!(
+        stdout.contains(&format!("recovered a seq={seq} events={consumed}")),
+        "missing recovery report in:\n{stdout}"
+    );
+    assert!(!stdout.contains("reset "), "unexpected reset in:\n{stdout}");
+    assert!(
+        stdout.contains("summary a events=300"),
+        "stream did not finish whole in:\n{stdout}"
+    );
+    // The clean close retired the snapshot: a third start reports nothing.
+    assert!(published_snapshots(&dir).is_empty());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The CI recovery scenario: a *pinned* fault plan (via `TRACELEARN_FAULTS`)
+/// kills the daemon deterministically in the middle of a checkpoint cycle —
+/// after stream `a`'s snapshot is published, before stream `b`'s — so the
+/// restart must recover `a` and see nothing for `b`. This exercises the
+/// environment-variable arming path of the real binary end to end.
+#[cfg(feature = "fault-injection")]
+#[test]
+fn pinned_fault_kill_mid_checkpoint_recovers_deterministically() {
+    let dir = state_dir("pinned-fault");
+    let (header, records) = counter_records();
+
+    let mut input = String::new();
+    input.push_str("open a counter\nopen b counter\n");
+    input.push_str(&format!("data a {header}\ndata b {header}\n"));
+    for record in &records {
+        input.push_str(&format!("data a {record}\ndata b {record}\n"));
+    }
+    input.push_str("close a\nclose b\n");
+
+    let (status, stdout, stderr) = run_to_completion(
+        &dir,
+        &input,
+        &[("TRACELEARN_FAULTS", "seed:7,spec:persist.interrupt@2")],
+    );
+    assert!(
+        stderr.contains("fault plan armed"),
+        "plan not armed via the environment:\n{stderr}"
+    );
+    assert!(status.success(), "aborted run errored:\n{stdout}\n{stderr}");
+    // The injected kill aborted the run mid-cycle: `a` durable, `b` not.
+    let snapshots = published_snapshots(&dir);
+    assert_eq!(snapshots.len(), 1, "{snapshots:?}");
+    let (ref stream, seq) = snapshots[0];
+    assert_eq!(stream, "a");
+    let consumed = (seq - 1) as usize;
+
+    let mut continuation = String::new();
+    for record in &records[consumed..] {
+        continuation.push_str(&format!("data a {record}\n"));
+    }
+    continuation.push_str("close a\n");
+    continuation.push_str(&format!("open b counter\ndata b {header}\n"));
+    for record in &records {
+        continuation.push_str(&format!("data b {record}\n"));
+    }
+    continuation.push_str("close b\n");
+    let (status, stdout, stderr) = run_to_completion(&dir, &continuation, &[]);
+
+    assert!(status.success(), "restart failed:\n{stdout}\n{stderr}");
+    assert!(
+        stdout.contains(&format!("recovered a seq={seq} events={consumed}")),
+        "missing recovery report in:\n{stdout}"
+    );
+    assert!(!stdout.contains("reset "), "unexpected reset in:\n{stdout}");
+    assert!(stdout.contains("summary a events=300"), "{stdout}");
+    assert!(stdout.contains("summary b events=300"), "{stdout}");
+    assert!(published_snapshots(&dir).is_empty());
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -64,6 +64,51 @@ impl<T: Clone + Eq + Hash> WindowCollector<T> {
         self.w
     }
 
+    /// The carried tail of the current trace: the last `< w` items, which
+    /// have not yet completed a window. Together with
+    /// [`unique`](WindowCollector::unique) and the totals this is the
+    /// collector's complete resumable state (the warm-start snapshot codec
+    /// in `tracelearn-persist` round-trips exactly these parts).
+    pub fn carry(&self) -> &[T] {
+        &self.carry
+    }
+
+    /// Reassembles a collector from persisted parts — the decode half of the
+    /// warm-start snapshot codec. The dedup set is rebuilt from `unique`, so
+    /// the result continues exactly where the snapshotted collector stopped.
+    ///
+    /// Returns `None` when the parts are inconsistent: `w == 0`, a unique
+    /// window of the wrong length, a duplicate unique window (the set is
+    /// first-occurrence deduplicated by construction), or a carry at or
+    /// beyond the window length.
+    pub fn from_parts(
+        w: usize,
+        carry: Vec<T>,
+        unique: Vec<Vec<T>>,
+        total_windows: usize,
+        total_items: usize,
+    ) -> Option<Self> {
+        if w == 0 || carry.len() >= w {
+            return None;
+        }
+        let mut seen: HashSet<Vec<T>> = HashSet::with_capacity(unique.len());
+        for window in &unique {
+            // Short-trace segments recorded via `push_segment` may be
+            // shorter than `w`, but nothing can exceed it.
+            if window.len() > w || !seen.insert(window.clone()) {
+                return None;
+            }
+        }
+        Some(WindowCollector {
+            w,
+            carry,
+            seen,
+            unique,
+            total_windows,
+            total_items,
+        })
+    }
+
     /// Feeds one item of the current trace.
     pub fn push(&mut self, item: T) {
         self.total_items += 1;
@@ -271,6 +316,43 @@ mod tests {
         let contributed = global.merge_mapped(local, |&id| u16::from(id) * 10);
         assert_eq!(contributed, 1);
         assert_eq!(global.unique(), &[vec![10, 20], vec![20, 30], vec![20, 40]]);
+    }
+
+    #[test]
+    fn from_parts_resumes_where_the_snapshot_stopped() {
+        let mut original = WindowCollector::new(3);
+        original.extend([1u8, 2, 3, 1, 2]);
+        let resumed = WindowCollector::from_parts(
+            original.window(),
+            original.carry().to_vec(),
+            original.unique().to_vec(),
+            original.total_windows(),
+            original.total_items(),
+        )
+        .unwrap();
+        let mut pair = [original, resumed];
+        for collector in &mut pair {
+            collector.extend([4u8, 1, 2, 3]);
+            collector.end_trace();
+        }
+        let [original, resumed] = pair;
+        assert_eq!(original.unique(), resumed.unique());
+        assert_eq!(original.total_windows(), resumed.total_windows());
+        assert_eq!(original.total_items(), resumed.total_items());
+    }
+
+    #[test]
+    fn from_parts_rejects_inconsistent_parts() {
+        // Zero window.
+        assert!(WindowCollector::<u8>::from_parts(0, vec![], vec![], 0, 0).is_none());
+        // Carry as long as the window.
+        assert!(WindowCollector::from_parts(2, vec![1u8, 2], vec![], 0, 0).is_none());
+        // Over-length unique window.
+        assert!(WindowCollector::from_parts(2, vec![], vec![vec![1u8, 2, 3]], 1, 3).is_none());
+        // Duplicate unique windows.
+        assert!(
+            WindowCollector::from_parts(2, vec![], vec![vec![1u8, 2], vec![1, 2]], 2, 3).is_none()
+        );
     }
 
     #[test]

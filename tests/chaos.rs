@@ -13,7 +13,7 @@
 
 #![cfg(feature = "fault-injection")]
 
-use std::collections::BTreeMap;
+use std::path::PathBuf;
 use std::sync::{Mutex, MutexGuard};
 use std::time::Duration;
 
@@ -83,14 +83,46 @@ fn two_stream_input() -> String {
 }
 
 fn run_commands(
-    monitors: &BTreeMap<String, tracelearn_core::Monitor<'_>>,
+    registry: &mut Registry,
     input: &str,
     options: &ServeOptions,
 ) -> (ServeSummary, String) {
     let mut output = Vec::new();
-    let summary = serve_commands(monitors, input.as_bytes(), &mut output, options)
+    let summary = serve_commands(registry, input.as_bytes(), &mut output, options)
         .expect("serving must not return an I/O error");
     (summary, String::from_utf8(output).expect("output is UTF-8"))
+}
+
+/// A unique, empty state directory for one test.
+fn state_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "tracelearn-chaos-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The stream snapshots currently in `dir`, as `(stream, seq)` pairs sorted
+/// by stream name.
+fn snapshot_coverage(dir: &std::path::Path) -> Vec<(String, u64)> {
+    let mut coverage = Vec::new();
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return coverage;
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if !name.starts_with("stream-") || !name.ends_with(".snap") {
+            continue;
+        }
+        let snapshot = tracelearn_persist::load_stream(&entry.path())
+            .expect("snapshot on disk must load in this scenario");
+        coverage.push((snapshot.stream, snapshot.seq));
+    }
+    coverage.sort();
+    coverage
 }
 
 /// Strips the wall-clock latency fields from a summary line: they are the
@@ -122,19 +154,18 @@ fn stream_lines(output: &str, stream: &str) -> Vec<String> {
 #[test]
 fn worker_panic_is_invisible_in_stream_output() {
     let _lock = serial();
-    let registry = counter_registry();
-    let monitors = registry.monitors();
+    let mut registry = counter_registry();
     let input = two_stream_input();
     let options = options();
 
     disarm();
-    let (baseline_summary, baseline) = run_commands(&monitors, &input, &options);
+    let (baseline_summary, baseline) = run_commands(&mut registry, &input, &options);
     assert_eq!(baseline_summary.failed, 0);
     assert_eq!(baseline_summary.restarted, 0);
 
     // The 100th data task panics its worker mid-run.
     let (summary, output) = with_plan("seed:7,spec:worker.panic@100", || {
-        run_commands(&monitors, &input, &options)
+        run_commands(&mut registry, &input, &options)
     });
 
     assert!(summary.restarted >= 1, "no restart recorded: {summary:?}");
@@ -163,17 +194,16 @@ fn worker_panic_is_invisible_in_stream_output() {
 #[test]
 fn worker_stall_is_condemned_and_replayed() {
     let _lock = serial();
-    let registry = counter_registry();
-    let monitors = registry.monitors();
+    let mut registry = counter_registry();
     let input = two_stream_input();
     let options = options();
 
     disarm();
-    let (_, baseline) = run_commands(&monitors, &input, &options);
+    let (_, baseline) = run_commands(&mut registry, &input, &options);
 
     // The 150th data task wedges its worker until the watchdog condemns it.
     let (summary, output) = with_plan("seed:7,spec:worker.stall@150", || {
-        run_commands(&monitors, &input, &options)
+        run_commands(&mut registry, &input, &options)
     });
 
     assert!(
@@ -193,8 +223,7 @@ fn worker_stall_is_condemned_and_replayed() {
 #[test]
 fn chaos_runs_are_reproducible_under_a_pinned_seed() {
     let _lock = serial();
-    let registry = counter_registry();
-    let monitors = registry.monitors();
+    let mut registry = counter_registry();
     let input = two_stream_input();
     let options = options();
 
@@ -203,9 +232,10 @@ fn chaos_runs_are_reproducible_under_a_pinned_seed() {
     // masked — dropped lines included, because the occurrence counter ties
     // the fault to a specific write, not a specific moment.
     let drop_plan = "seed:42,spec:transport.drop@20;transport.half@200";
-    let (first_summary, first) = with_plan(drop_plan, || run_commands(&monitors, &input, &options));
+    let (first_summary, first) =
+        with_plan(drop_plan, || run_commands(&mut registry, &input, &options));
     let (second_summary, second) =
-        with_plan(drop_plan, || run_commands(&monitors, &input, &options));
+        with_plan(drop_plan, || run_commands(&mut registry, &input, &options));
     let mask = |output: &str| {
         output
             .lines()
@@ -222,9 +252,9 @@ fn chaos_runs_are_reproducible_under_a_pinned_seed() {
     // byte-identical between the two runs.
     let crash_plan = "seed:42,spec:worker.panic@73";
     let (first_summary, first) =
-        with_plan(crash_plan, || run_commands(&monitors, &input, &options));
+        with_plan(crash_plan, || run_commands(&mut registry, &input, &options));
     let (second_summary, second) =
-        with_plan(crash_plan, || run_commands(&monitors, &input, &options));
+        with_plan(crash_plan, || run_commands(&mut registry, &input, &options));
     for stream in ["a", "b"] {
         assert_eq!(
             stream_lines(&first, stream),
@@ -241,8 +271,7 @@ fn chaos_runs_are_reproducible_under_a_pinned_seed() {
 #[test]
 fn exhausted_replay_log_sacrifices_only_the_affected_streams() {
     let _lock = serial();
-    let registry = counter_registry();
-    let monitors = registry.monitors();
+    let mut registry = counter_registry();
     let input = two_stream_input();
     let options = ServeOptions {
         // No replay log at all: a worker death takes its streams with it.
@@ -251,7 +280,7 @@ fn exhausted_replay_log_sacrifices_only_the_affected_streams() {
     };
 
     let (summary, output) = with_plan("seed:7,spec:worker.panic@100", || {
-        run_commands(&monitors, &input, &options)
+        run_commands(&mut registry, &input, &options)
     });
 
     assert!(summary.restarted >= 1, "no restart recorded: {summary:?}");
@@ -272,8 +301,7 @@ fn exhausted_replay_log_sacrifices_only_the_affected_streams() {
 #[test]
 fn drain_deadline_bounds_a_hung_worker() {
     let _lock = serial();
-    let registry = counter_registry();
-    let monitors = registry.monitors();
+    let mut registry = counter_registry();
     let input = two_stream_input();
     let options = ServeOptions {
         // The watchdog would need 10s to condemn the stall, but shutdown
@@ -284,7 +312,7 @@ fn drain_deadline_bounds_a_hung_worker() {
     };
 
     let (summary, output) = with_plan("seed:7,spec:worker.stall@550", || {
-        run_commands(&monitors, &input, &options)
+        run_commands(&mut registry, &input, &options)
     });
 
     // The stall hit after most data was processed; shutdown gives up at the
@@ -416,4 +444,233 @@ fn dropped_output_lines_do_not_derail_the_stream() {
     // Monitoring is unaffected — only the wire lost a line.
     assert_eq!(outcome, baseline_outcome);
     assert_eq!(output.lines().count() + 1, baseline.lines().count());
+}
+
+/// The headline crash-durability scenario: the daemon is "killed" (injected
+/// `persist.interrupt`) partway through a checkpoint cycle, restarted
+/// against the same state directory, and every recovered stream's
+/// *subsequent* verdict/summary lines must be byte-identical to an
+/// uninterrupted run. Streams whose snapshot never landed simply start
+/// over — also byte-identical from scratch.
+#[test]
+fn kill_during_checkpoint_recovers_streams_byte_identically() {
+    let _lock = serial();
+    let dir = state_dir("kill-ckpt");
+    let input = two_stream_input();
+    let csv = counter_csv(300);
+    let records: Vec<String> = csv.lines().skip(1).map(str::to_string).collect();
+    let options = ServeOptions {
+        state_dir: Some(dir.clone()),
+        checkpoint_every: 100,
+        ..options()
+    };
+
+    // The uninterrupted reference run (no state machinery involved).
+    disarm();
+    let plain = ServeOptions {
+        state_dir: None,
+        ..options.clone()
+    };
+    let (baseline_summary, baseline) = run_commands(&mut counter_registry(), &input, &plain);
+    assert_eq!(baseline_summary.failed, 0);
+
+    // The crash: checkpoint cycle 1 snapshots stream `a` (interrupt check
+    // 1 passes), then dies before stream `b` (check 2 fires) — a torn
+    // checkpoint *cycle*, with one stream durable and one not.
+    let (summary, _) = with_plan("seed:7,spec:persist.interrupt@2", || {
+        run_commands(&mut counter_registry(), &input, &options)
+    });
+    assert!(summary.aborted, "interrupt did not abort: {summary:?}");
+    assert_eq!(summary.checkpoints, 1, "{summary:?}");
+
+    let coverage = snapshot_coverage(&dir);
+    assert_eq!(coverage.len(), 1, "one durable snapshot: {coverage:?}");
+    let (ref covered_stream, covered_seq) = coverage[0];
+    assert_eq!(covered_stream, "a");
+    assert!(covered_seq >= 2, "snapshot covers the header and some data");
+
+    // The restart: the client resumes each stream where the *snapshot*
+    // says it stands — `a` from its covered sequence, `b` from scratch.
+    disarm();
+    let consumed = (covered_seq - 1) as usize;
+    let header = csv.lines().next().unwrap();
+    let mut continuation = String::new();
+    for record in &records[consumed..] {
+        continuation.push_str(&format!("data a {record}\n"));
+    }
+    continuation.push_str("close a\n");
+    continuation.push_str(&format!("open b counter\ndata b {header}\n"));
+    for record in &records {
+        continuation.push_str(&format!("data b {record}\n"));
+    }
+    continuation.push_str("close b\n");
+    let (restarted, output) = run_commands(&mut counter_registry(), &continuation, &options);
+
+    assert_eq!(restarted.recovered, 1, "{output}");
+    assert_eq!(restarted.reset, 0, "{output}");
+    assert_eq!(restarted.failed, 0, "{output}");
+    assert!(
+        output.contains(&format!("recovered a seq={covered_seq} events={consumed}")),
+        "{output}"
+    );
+    // Stream `a` continues exactly where the crash left it: its post-crash
+    // lines equal the tail of the uninterrupted run.
+    let expected_tail: Vec<String> = stream_lines(&baseline, "a")[consumed..].to_vec();
+    assert_eq!(
+        stream_lines(&output, "a"),
+        expected_tail,
+        "recovered stream diverged from the uninterrupted run"
+    );
+    // Stream `b` was never durable: re-opened from scratch, it reproduces
+    // the full uninterrupted sequence.
+    assert_eq!(
+        stream_lines(&output, "b"),
+        stream_lines(&baseline, "b"),
+        "reset stream diverged from the uninterrupted run"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A torn snapshot write lands on disk looking published (rename included —
+/// the crash image of a host that died mid-write), so the *restart* must
+/// reject it with a typed error and reset the stream, never resume against
+/// half a snapshot.
+#[test]
+fn torn_checkpoint_is_rejected_and_reset_on_restart() {
+    let _lock = serial();
+    let dir = state_dir("torn-ckpt");
+    let input = two_stream_input();
+    let options = ServeOptions {
+        state_dir: Some(dir.clone()),
+        checkpoint_every: 100,
+        ..options()
+    };
+
+    // Cycle 1: stream `a`'s snapshot write is torn (but lands), then the
+    // interrupt kills the daemon before stream `b`.
+    let (summary, _) = with_plan("seed:7,spec:persist.torn@1;persist.interrupt@2", || {
+        run_commands(&mut counter_registry(), &input, &options)
+    });
+    assert!(summary.aborted, "{summary:?}");
+
+    disarm();
+    let (restarted, output) = run_commands(&mut counter_registry(), "", &options);
+    assert_eq!(restarted.recovered, 0, "{output}");
+    assert_eq!(restarted.reset, 1, "{output}");
+    assert!(
+        output.contains("reset a snapshot rejected:"),
+        "torn snapshot not rejected in:\n{output}"
+    );
+    // The damaged file is gone: the next start is silent.
+    let (third, _) = run_commands(&mut counter_registry(), "", &options);
+    assert_eq!(third.reset, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A failed snapshot *rename* is an explicit error: the checkpoint reports
+/// it on an `info` line, keeps the stream dirty, and the next cycle
+/// retries successfully — the run itself never degrades.
+#[test]
+fn failed_snapshot_rename_is_retried_next_cycle() {
+    let _lock = serial();
+    let dir = state_dir("rename-ckpt");
+    let input = two_stream_input();
+    let options = ServeOptions {
+        state_dir: Some(dir.clone()),
+        checkpoint_every: 100,
+        ..options()
+    };
+
+    let (summary, output) = with_plan("seed:7,spec:persist.rename@1", || {
+        run_commands(&mut counter_registry(), &input, &options)
+    });
+    assert_eq!(summary.failed, 0, "{output}");
+    assert!(!summary.aborted);
+    assert!(
+        output.contains("info a checkpoint failed:"),
+        "no checkpoint-failure info line in:\n{output}"
+    );
+    // Later cycles succeeded, and the clean closes swept the files away.
+    assert!(summary.checkpoints >= 1, "{summary:?}");
+    assert!(snapshot_coverage(&dir).is_empty());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A snapshot read truncated mid-flight (`persist.short`) at recovery is a
+/// typed rejection and a `reset`, never a panic or a wrong resume.
+#[test]
+fn short_snapshot_read_resets_the_stream_on_recovery() {
+    let _lock = serial();
+    let dir = state_dir("short-ckpt");
+    let input = two_stream_input();
+    let options = ServeOptions {
+        state_dir: Some(dir.clone()),
+        checkpoint_every: 100,
+        ..options()
+    };
+
+    // Leave one healthy snapshot behind via an interrupted run.
+    let (summary, _) = with_plan("seed:7,spec:persist.interrupt@2", || {
+        run_commands(&mut counter_registry(), &input, &options)
+    });
+    assert!(summary.aborted);
+    assert_eq!(snapshot_coverage(&dir).len(), 1);
+
+    // The restart's read of that snapshot comes up short.
+    let (restarted, output) = with_plan("seed:7,spec:persist.short@1", || {
+        run_commands(&mut counter_registry(), "", &options)
+    });
+    assert_eq!(restarted.recovered, 0, "{output}");
+    assert_eq!(restarted.reset, 1, "{output}");
+    assert!(
+        output.contains("reset a snapshot rejected:"),
+        "short read not rejected in:\n{output}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `reload` under worker loss: a stream opened before the reload stays
+/// pinned to its open-time model even when its worker dies *after* the
+/// registry moved on — the replay must use the pinned version, so the
+/// stream's lines stay byte-identical to a crash-free run with the same
+/// reload.
+#[test]
+fn reload_pins_in_flight_streams_across_worker_loss() {
+    let _lock = serial();
+    let csv = counter_csv(300);
+    let mut lines = csv.lines();
+    let header = lines.next().unwrap();
+    let records: Vec<&str> = lines.collect();
+    let options = options();
+
+    let mut input = String::new();
+    input.push_str(&format!("open a counter\ndata a {header}\n"));
+    for record in &records[..100] {
+        input.push_str(&format!("data a {record}\n"));
+    }
+    // The registry hot-swaps to a differently-trained version mid-stream.
+    input.push_str("reload counter workload:counter:900\n");
+    for record in &records[100..] {
+        input.push_str(&format!("data a {record}\n"));
+    }
+    input.push_str("close a\n");
+
+    // Each run gets a fresh registry: a reload mutates the registry, so
+    // reusing one would open the second run's stream against version 2.
+    disarm();
+    let (baseline_summary, baseline) = run_commands(&mut counter_registry(), &input, &options);
+    assert_eq!(baseline_summary.failed, 0);
+
+    // Same input, but the worker dies after the reload: the replay has to
+    // rebuild stream `a` against version 1, not the reloaded version 2+.
+    let (summary, output) = with_plan("seed:7,spec:worker.panic@150", || {
+        run_commands(&mut counter_registry(), &input, &options)
+    });
+    assert!(summary.restarted >= 1, "{summary:?}");
+    assert_eq!(summary.failed, 0, "{output}");
+    assert_eq!(
+        stream_lines(&output, "a"),
+        stream_lines(&baseline, "a"),
+        "pinned stream diverged after reload + worker loss"
+    );
 }

@@ -13,7 +13,7 @@ use proptest::prelude::*;
 /// Feeds every observation of `fresh` through an incremental session with
 /// the given calibration budget and returns the finished report.
 fn incremental_report(
-    monitor: &Monitor<'_>,
+    monitor: &Monitor,
     fresh: &Trace,
     calibration_events: usize,
 ) -> MonitorReport {
